@@ -1,0 +1,59 @@
+// Shared helpers for the figure/table reproduction binaries: fixed-width
+// table printing and a tiny flag parser (--full switches the scaled-down
+// default workloads to the paper's exact sizes).
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace flare::bench {
+
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+inline void print_title(const char* id, const char* what) {
+  std::printf("\n==============================================================================\n");
+  std::printf("%s — %s\n", id, what);
+  std::printf("==============================================================================\n");
+}
+
+inline void print_note(const char* note) { std::printf("  %s\n", note); }
+
+inline std::string fmt_tbps(f64 bps) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%6.2f", bps / 1e12);
+  return buf;
+}
+
+inline std::string fmt_mib(f64 bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%8.2f", bytes / (1024.0 * 1024.0));
+  return buf;
+}
+
+inline std::string fmt_kib(f64 bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%7.2f", bytes / 1024.0);
+  return buf;
+}
+
+inline std::string fmt_size(u64 bytes) {
+  char buf[32];
+  if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%lluMiB",
+                  static_cast<unsigned long long>(bytes / kMiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluKiB",
+                  static_cast<unsigned long long>(bytes / kKiB));
+  }
+  return buf;
+}
+
+}  // namespace flare::bench

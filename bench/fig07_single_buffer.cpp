@@ -1,0 +1,45 @@
+// Figure 7 — single-buffer aggregation: modeled bandwidth, input-buffer
+// occupancy and working-memory occupancy for S = 1 vs S = C, at
+// 8 KiB / 64 KiB / 512 KiB reductions (fp32, 1 KiB packets, K = 512,
+// C = 8, P = 16).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "model/policies.hpp"
+
+using namespace flare;
+
+int main() {
+  bench::print_title("Figure 7",
+                     "single-buffer aggregation: bandwidth & memory vs S");
+  const u64 sizes[] = {8_KiB, 64_KiB, 512_KiB};
+
+  std::printf("  %-8s | %13s %13s | %13s %13s | %13s %13s\n", "", "Band S=1",
+              "Band S=C", "InpBuf S=1", "InpBuf S=C", "WorkMem S=1",
+              "WorkMem S=C");
+  std::printf("  %-8s | %13s %13s | %13s %13s | %13s %13s\n", "size",
+              "(Tbps)", "(Tbps)", "(MiB)", "(MiB)", "(MiB)", "(MiB)");
+  for (const u64 z : sizes) {
+    model::SwitchParams s1;
+    s1.subset = 1;
+    model::SwitchParams sc;  // defaults: S = C = 8
+    const auto p1 =
+        model::evaluate(s1, core::AggPolicy::kSingleBuffer, 1, z);
+    const auto pc =
+        model::evaluate(sc, core::AggPolicy::kSingleBuffer, 1, z);
+    std::printf("  %-8s | %13s %13s | %13s %13s | %13s %13s\n",
+                bench::fmt_size(z).c_str(),
+                bench::fmt_tbps(p1.bandwidth_bps).c_str(),
+                bench::fmt_tbps(pc.bandwidth_bps).c_str(),
+                bench::fmt_mib(p1.input_buffer_bytes).c_str(),
+                bench::fmt_mib(pc.input_buffer_bytes).c_str(),
+                bench::fmt_mib(p1.working_memory_bytes).c_str(),
+                bench::fmt_mib(pc.working_memory_bytes).c_str());
+  }
+  std::printf("\n  Paper shape: S=C collapses bandwidth for small messages "
+              "(lock contention),\n  S=1 keeps bandwidth but inflates the "
+              "input buffers by ~an order of magnitude;\n  for >= 512 KiB "
+              "(staggered sending effective) both perform, S=C uses far\n"
+              "  less input-buffer memory; working memory stays ~0.5 MiB.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Figure 15 — 64-node allreduce on a 2-level fat tree of 8-port 100 Gbps
+// switches: completion time and total network traffic for
+//
+//   * host-based dense  (ring / Rabenseifner allreduce),
+//   * Flare dense       (in-network reduction tree),
+//   * host-based sparse (SparCML recursive doubling),
+//   * Flare sparse      (in-network sparse allreduce),
+//
+// with a bucketed top-1-of-512 gradient trace (~0.2% density, strongly
+// overlapped indices) standing in for the paper's ResNet50/SparCML capture.
+//
+// Default: 4 MiB per host so the run completes in seconds; --full uses the
+// paper's 100 MiB (the schemes scale near-linearly in Z, so the RATIOS —
+// who wins and by how much — are preserved; see EXPERIMENTS.md).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "coll/flare_dense.hpp"
+#include "coll/flare_sparse.hpp"
+#include "coll/ring.hpp"
+#include "coll/sparcml.hpp"
+#include "workload/gradient_trace.hpp"
+
+using namespace flare;
+
+namespace {
+
+void print_row(const char* name, const coll::CollectiveResult& res) {
+  std::printf("  %-18s %12.3f %14.3f %10s\n", name,
+              res.completion_seconds * 1e3,
+              static_cast<f64>(res.total_traffic_bytes) / (1024.0 * 1024.0 *
+                                                           1024.0),
+              res.ok ? "OK" : "FAILED");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = bench::has_flag(argc, argv, "--full");
+  const u64 data_bytes = full ? 100 * kMiB : 4 * kMiB;
+  bench::print_title("Figure 15",
+                     "64-node fat-tree allreduce: time & network traffic");
+  std::printf("  2-level fat tree: 16 leaves + 8 spines (radix 8), 100 Gbps "
+              "links; %s/host fp32.\n",
+              bench::fmt_size(data_bytes).c_str());
+  if (!full) {
+    bench::print_note("(default 4 MiB/host for a quick run; --full = the "
+                      "paper's 100 MiB; ratios are size-stable)");
+  }
+  std::printf("\n  %-18s %12s %14s %10s\n", "scheme", "time (ms)",
+              "traffic (GiB)", "check");
+
+  // Gradient trace shared by the two sparse schemes (0.2% density).
+  workload::GradientTraceSpec gspec;
+  gspec.model_elems = data_bytes / 4;
+  gspec.bucket = 512;
+  gspec.top_k = 1;
+  gspec.overlap = 0.6;  // measured top-k selections agree often, not always
+  workload::GradientTrace trace(gspec, 64);
+
+  // 1) Host-based dense: ring allreduce.
+  {
+    net::Network net;
+    auto topo = net::build_fat_tree(net, net::FatTreeSpec{});
+    coll::RingOptions opt;
+    opt.data_bytes = data_bytes;
+    print_row("Host-Based Dense", run_ring_allreduce(net, topo.hosts, opt));
+  }
+
+  // 2) Flare dense in-network reduction.
+  {
+    net::Network net;
+    auto topo = net::build_fat_tree(net, net::FatTreeSpec{});
+    coll::FlareDenseOptions opt;
+    opt.data_bytes = data_bytes;
+    print_row("Flare Dense", run_flare_dense(net, topo.hosts, opt));
+  }
+
+  // 3) Host-based sparse: SparCML recursive doubling on the trace.
+  {
+    net::Network net;
+    auto topo = net::build_fat_tree(net, net::FatTreeSpec{});
+    coll::SparcmlOptions opt;
+    opt.total_elems = trace.buckets() * gspec.bucket;
+    auto provider = [&trace](u32 h) {
+      return trace.window_pairs(h, 0, trace.buckets());
+    };
+    print_row("Host-Based Sparse",
+              run_sparcml_allreduce(net, topo.hosts, provider, opt));
+  }
+
+  // 4) Flare sparse in-network reduction on the same trace.
+  {
+    net::Network net;
+    auto topo = net::build_fat_tree(net, net::FatTreeSpec{});
+    // One reduction block = 128 buckets so a block's expected non-zeros
+    // (~top_k * 128 = 128 pairs) fill one packet.
+    const u64 buckets_per_block = 128;
+    coll::SparseWorkload w;
+    w.block_span = static_cast<u32>(buckets_per_block * gspec.bucket);
+    w.num_blocks = static_cast<u32>(
+        (trace.buckets() + buckets_per_block - 1) / buckets_per_block);
+    w.pairs = [&trace, buckets_per_block](u32 h, u32 b) {
+      return trace.window_pairs(h, b * buckets_per_block, buckets_per_block);
+    };
+    coll::FlareSparseOptions opt;
+    const auto res = coll::run_flare_sparse(net, topo.hosts, w, opt);
+    print_row("Flare Sparse", res);
+    std::printf("  %-18s %12s %14llu\n", "  (spill packets)", "",
+                static_cast<unsigned long long>(res.spill_packets));
+  }
+
+  std::printf("\n  Paper shape: Flare dense ~2x faster and ~2x less traffic "
+              "than the host ring;\n  host-based sparse beats dense schemes "
+              "on time but moves more bytes than\n  in-network sparse; "
+              "Flare sparse wins on BOTH time and traffic (paper: up to\n"
+              "  35%% faster and ~20x less traffic than SparCML).\n");
+  return 0;
+}

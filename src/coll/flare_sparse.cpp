@@ -1,0 +1,204 @@
+#include "coll/flare_sparse.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <cstring>
+
+#include "workload/generators.hpp"
+
+namespace flare::coll {
+
+namespace {
+
+struct BlockProgress {
+  u32 received = 0;
+  u32 expected = 0;  ///< 0 until the root's last shard announces it
+  bool done() const { return expected != 0 && received >= expected; }
+};
+
+struct HostRun {
+  net::Host* host = nullptr;
+  std::vector<u32> schedule;
+  std::size_t next = 0;
+  u32 outstanding = 0;
+  u64 blocks_done = 0;
+  SimTime finish_ps = 0;
+  std::vector<BlockProgress> progress;
+};
+
+}  // namespace
+
+FlareSparseResult run_flare_sparse(
+    net::Network& net, const std::vector<net::Host*>& participants,
+    const SparseWorkload& workload, const FlareSparseOptions& opt) {
+  FlareSparseResult res;
+  const u32 P = static_cast<u32>(participants.size());
+  FLARE_ASSERT(P >= 1 && workload.pairs != nullptr);
+  const u32 nb = workload.num_blocks;
+  const u32 span = workload.block_span;
+  const u32 ppp =
+      core::sparse_pairs_per_packet(opt.packet_payload, opt.dtype);
+  const u32 esize = core::dtype_size(opt.dtype);
+  res.blocks = nb;
+  const core::ReduceOp op(core::OpKind::kSum);
+
+  // --- control plane ---
+  NetworkManager manager(net);
+  core::AllreduceConfig cfg;
+  cfg.id = manager.next_id();
+  cfg.dtype = opt.dtype;
+  cfg.op = op;
+  cfg.policy = core::AggPolicy::kSingleBuffer;
+  cfg.sparse = true;
+  cfg.block_span = span;
+  cfg.pairs_per_packet = ppp;
+  cfg.hash_capacity_pairs = opt.hash_capacity_pairs;
+  cfg.spill_capacity_pairs = opt.spill_capacity_pairs;
+  auto tree =
+      manager.install_with_retry(participants, cfg, opt.switch_service_bps);
+  if (!tree) return res;
+
+  const u64 base_traffic = net.total_traffic_bytes();
+
+  // Stage all host pairs once (shared with the reference computation).
+  std::vector<std::vector<std::vector<core::SparsePair>>> staged(P);
+  for (u32 h = 0; h < P; ++h) {
+    staged[h].resize(nb);
+    for (u32 b = 0; b < nb; ++b) staged[h][b] = workload.pairs(h, b);
+  }
+
+  // Every host accumulates the multicast stream into one result vector;
+  // contents are identical across hosts, so host 0's copy is checked.
+  core::TypedBuffer result(opt.dtype, static_cast<u64>(nb) * span);
+  result.fill_identity(op);
+
+  std::vector<HostRun> runs(P);
+  for (u32 h = 0; h < P; ++h) {
+    HostRun& hr = runs[h];
+    hr.host = participants[h];
+    hr.schedule = core::send_schedule(h, P, nb, opt.order);
+    hr.progress.resize(nb);
+  }
+
+  // As in the dense protocol: staggered sending needs the whole operation
+  // in flight, so the window expands to the block count.
+  const u32 window = opt.order == core::SendOrder::kStaggered
+                         ? std::max(opt.window_blocks, nb)
+                         : opt.window_blocks;
+
+  std::function<void(u32)> try_send = [&](u32 h) {
+    HostRun& hr = runs[h];
+    while (hr.outstanding < window && hr.next < hr.schedule.size()) {
+      const u32 b = hr.schedule[hr.next++];
+      const auto& pairs = staged[h][b];
+      const u16 child = tree->host_child_index[hr.host->host_index()];
+      const u32 shards = std::max<u32>(
+          1, (static_cast<u32>(pairs.size()) + ppp - 1) / ppp);
+      for (u32 s = 0; s < shards; ++s) {
+        core::Packet p;
+        if (pairs.empty()) {
+          p = core::make_empty_block_packet(cfg.id, b, child);
+        } else {
+          const u32 off = s * ppp;
+          const u32 count =
+              std::min<u32>(ppp, static_cast<u32>(pairs.size()) - off);
+          const bool last = (s + 1 == shards);
+          p = core::make_sparse_packet(
+              cfg.id, b, child,
+              std::span<const core::SparsePair>(pairs.data() + off, count),
+              opt.dtype, last ? core::kFlagLastShard : 0);
+          p.hdr.shard_seq = s;
+          if (last) p.hdr.shard_count = shards;
+        }
+        res.host_pairs_sent += p.hdr.elem_count;
+        net::NetPacket np;
+        np.kind = net::PacketKind::kReduceUp;
+        np.allreduce_id = cfg.id;
+        np.wire_bytes = p.wire_bytes();
+        np.reduce = std::make_shared<const core::Packet>(std::move(p));
+        hr.host->send(std::move(np));
+      }
+      hr.outstanding += 1;
+    }
+  };
+
+  for (u32 h = 0; h < P; ++h) {
+    HostRun& hr = runs[h];
+    hr.host->set_reduce_handler(cfg.id, [&, h](const core::Packet& pkt) {
+      HostRun& me = runs[h];
+      const u32 b = pkt.hdr.block_id;
+      FLARE_ASSERT(b < nb);
+      BlockProgress& bp = me.progress[b];
+      if (bp.done()) return;
+      bp.received += 1;
+      if (pkt.is_last_shard()) bp.expected = pkt.hdr.shard_count;
+      // Host-side final aggregation of the multicast pairs (root spills
+      // arrive unaggregated; summing here restores exactness).
+      if (h == 0 && pkt.hdr.elem_count > 0) {
+        const core::SparseView view = core::sparse_view(pkt, opt.dtype);
+        res.down_pairs += view.count;
+        for (u32 i = 0; i < view.count; ++i) {
+          op.apply(opt.dtype,
+                   result.at_byte(static_cast<u64>(b) * span +
+                                  view.indices[i]),
+                   view.values + static_cast<std::size_t>(i) * esize, 1);
+        }
+      }
+      if (bp.done()) {
+        me.blocks_done += 1;
+        me.outstanding -= 1;
+        if (me.blocks_done == nb) me.finish_ps = net.sim().now();
+        try_send(h);
+      }
+    });
+  }
+
+  for (u32 h = 0; h < P; ++h) try_send(h);
+  net.sim().run();
+
+  // --- results ---
+  f64 worst = 0.0, sum = 0.0;
+  bool all_done = true;
+  for (HostRun& hr : runs) {
+    all_done = all_done && (hr.blocks_done == nb);
+    worst = std::max(worst, static_cast<f64>(hr.finish_ps));
+    sum += static_cast<f64>(hr.finish_ps);
+  }
+  res.completion_seconds = worst / kPsPerSecond;
+  res.mean_host_seconds = sum / P / kPsPerSecond;
+  res.total_traffic_bytes = net.total_traffic_bytes() - base_traffic;
+  res.total_packets = net.total_packets();
+  for (const TreeSwitchEntry& e : tree->switches) {
+    const core::EngineStats* st = e.sw->engine_stats(cfg.id);
+    if (st != nullptr) res.spill_packets += st->spill_packets;
+  }
+  res.extra_packets = res.spill_packets;
+
+  if (all_done) {
+    // Reference: densified per-block sums.
+    f64 max_err = 0.0;
+    core::TypedBuffer block_ref(opt.dtype, span);
+    for (u32 b = 0; b < nb; ++b) {
+      block_ref.fill_identity(op);
+      for (u32 h = 0; h < P; ++h) {
+        for (const core::SparsePair& sp : staged[h][b]) {
+          core::TypedBuffer one(opt.dtype, 1);
+          one.set_from_f64(0, sp.value);
+          op.apply(opt.dtype, block_ref.at_byte(sp.index), one.data(), 1);
+        }
+      }
+      for (u32 i = 0; i < span; ++i) {
+        const f64 got =
+            result.get_as_f64(static_cast<u64>(b) * span + i);
+        max_err = std::max(max_err, std::abs(got - block_ref.get_as_f64(i)));
+      }
+    }
+    res.max_abs_err = max_err;
+    const f64 tol = core::dtype_is_float(opt.dtype) ? 1e-3 * P : 0.0;
+    res.ok = max_err <= tol;
+  }
+  manager.uninstall(*tree, cfg.id);
+  return res;
+}
+
+}  // namespace flare::coll

@@ -1,0 +1,209 @@
+#include "coll/manager.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace flare::coll {
+
+std::optional<ReductionTree> NetworkManager::compute_tree(
+    const std::vector<net::Host*>& participants, net::NodeId root) {
+  const u32 n = net_.num_nodes();
+  FLARE_ASSERT(!participants.empty());
+
+  // BFS over switches only (hosts hang off their single access switch).
+  std::vector<u32> dist(n, std::numeric_limits<u32>::max());
+  std::vector<net::NodeId> pred(n, net::kInvalidNode);
+  std::vector<u32> pred_port(n, UINT32_MAX);  // port on THIS node -> parent
+  dist[root] = 0;
+  std::deque<net::NodeId> frontier{root};
+  std::unordered_map<net::NodeId, net::Switch*> switch_by_id;
+  for (net::Switch* sw : net_.switches()) switch_by_id[sw->id()] = sw;
+  if (!switch_by_id.contains(root)) return std::nullopt;
+
+  while (!frontier.empty()) {
+    const net::NodeId cur = frontier.front();
+    frontier.pop_front();
+    for (const net::PortPeer& pp : net_.neighbors(cur)) {
+      if (!switch_by_id.contains(pp.peer)) continue;  // skip hosts
+      if (dist[pp.peer] != std::numeric_limits<u32>::max()) continue;
+      dist[pp.peer] = dist[cur] + 1;
+      pred[pp.peer] = cur;
+      // Find the peer's port toward cur.
+      for (const net::PortPeer& back : net_.neighbors(pp.peer)) {
+        if (back.peer == cur) {
+          pred_port[pp.peer] = back.my_port;
+          break;
+        }
+      }
+      frontier.push_back(pp.peer);
+    }
+  }
+
+  // Each participant attaches to its single access switch.
+  std::vector<std::vector<net::Host*>> hosts_of(n);
+  for (net::Host* host : participants) {
+    const auto& adj = net_.neighbors(host->id());
+    FLARE_ASSERT_MSG(adj.size() == 1, "hosts must be single-homed");
+    const net::NodeId leaf = adj[0].peer;
+    if (dist[leaf] == std::numeric_limits<u32>::max()) return std::nullopt;
+    hosts_of[leaf].push_back(host);
+  }
+
+  // A switch is needed if it has participant hosts below it in the BFS tree.
+  std::vector<bool> needed(n, false);
+  for (net::NodeId id = 0; id < n; ++id) {
+    if (hosts_of[id].empty()) continue;
+    net::NodeId cur = id;
+    while (cur != net::kInvalidNode && !needed[cur]) {
+      needed[cur] = true;
+      cur = pred[cur];
+    }
+  }
+  if (!needed[root]) return std::nullopt;
+
+  // Emit entries in BFS order (root first) and wire up children.
+  ReductionTree tree;
+  tree.root = root;
+  std::vector<net::NodeId> order;
+  std::unordered_map<net::NodeId, u32> entry_of;
+  {
+    std::deque<net::NodeId> q{root};
+    while (!q.empty()) {
+      const net::NodeId cur = q.front();
+      q.pop_front();
+      if (!needed[cur]) continue;
+      entry_of[cur] = static_cast<u32>(order.size());
+      order.push_back(cur);
+      // Children switches = needed switches whose BFS predecessor is cur.
+      // Parallel links (common in small fat trees) would enumerate a child
+      // several times — deduplicate.
+      std::unordered_set<net::NodeId> seen;
+      for (const net::PortPeer& pp : net_.neighbors(cur)) {
+        if (switch_by_id.contains(pp.peer) && pred[pp.peer] == cur &&
+            needed[pp.peer] && seen.insert(pp.peer).second) {
+          q.push_back(pp.peer);
+        }
+      }
+    }
+  }
+
+  tree.host_child_index.assign(net_.hosts().size(), 0);
+  tree.switches.resize(order.size());
+  for (u32 i = 0; i < order.size(); ++i) {
+    const net::NodeId id = order[i];
+    TreeSwitchEntry& e = tree.switches[i];
+    e.sw = switch_by_id.at(id);
+    e.depth = dist[id];
+    tree.max_depth = std::max(tree.max_depth, e.depth);
+    if (id != root) e.parent_port = pred_port[id];
+
+    // Children: participant hosts first, then needed child switches.
+    u16 next_index = 0;
+    for (net::Host* host : hosts_of[id]) {
+      for (const net::PortPeer& pp : net_.neighbors(id)) {
+        if (pp.peer == host->id()) {
+          e.child_ports.push_back(pp.my_port);
+          break;
+        }
+      }
+      tree.host_child_index[host->host_index()] = next_index++;
+    }
+    std::unordered_set<net::NodeId> seen_children;
+    for (const net::PortPeer& pp : net_.neighbors(id)) {
+      if (switch_by_id.contains(pp.peer) && pred[pp.peer] == id &&
+          needed[pp.peer] && seen_children.insert(pp.peer).second) {
+        e.child_ports.push_back(pp.my_port);
+        // The child switch will learn its index below (after all entries
+        // exist).
+        next_index++;
+      }
+    }
+    e.num_children = next_index;
+  }
+  // Second pass: assign each non-root switch its child index at the parent.
+  for (u32 i = 1; i < order.size(); ++i) {
+    const net::NodeId id = order[i];
+    const net::NodeId parent = pred[id];
+    // Index = number of host children + position among switch children
+    // (same dedup rule as the child_ports construction above).
+    u16 idx = static_cast<u16>(hosts_of[parent].size());
+    std::unordered_set<net::NodeId> seen_children;
+    bool found = false;
+    for (const net::PortPeer& pp : net_.neighbors(parent)) {
+      if (!switch_by_id.contains(pp.peer) || pred[pp.peer] != parent ||
+          !needed[pp.peer] || !seen_children.insert(pp.peer).second) {
+        continue;
+      }
+      if (pp.peer == id) {
+        found = true;
+        break;
+      }
+      ++idx;
+    }
+    FLARE_ASSERT(found);
+    tree.switches[i].child_index_at_parent = idx;
+  }
+  return tree;
+}
+
+bool NetworkManager::install(const ReductionTree& tree,
+                             core::AllreduceConfig cfg,
+                             f64 switch_service_bps) {
+  std::vector<net::Switch*> installed;
+  for (const TreeSwitchEntry& e : tree.switches) {
+    core::AllreduceConfig sw_cfg = cfg;
+    sw_cfg.num_children = e.num_children;
+    sw_cfg.is_root = (e.sw->id() == tree.root);
+    if (cfg.sparse) {
+      // Densification along the tree: hash at the leaves/interior, array at
+      // the root (Section 7).
+      sw_cfg.hash_storage = !sw_cfg.is_root;
+    }
+    net::ReduceRole role;
+    role.is_root = sw_cfg.is_root;
+    role.parent_port = e.parent_port;
+    role.child_index_at_parent = e.child_index_at_parent;
+    role.child_ports = e.child_ports;
+    role.service_bps = switch_service_bps;
+    if (!e.sw->install_reduce(sw_cfg, std::move(role))) {
+      for (net::Switch* sw : installed) sw->uninstall_reduce(cfg.id);
+      return false;
+    }
+    installed.push_back(e.sw);
+  }
+  return true;
+}
+
+void NetworkManager::uninstall(const ReductionTree& tree, u32 allreduce_id) {
+  for (const TreeSwitchEntry& e : tree.switches)
+    e.sw->uninstall_reduce(allreduce_id);
+}
+
+std::optional<ReductionTree> NetworkManager::install_with_retry(
+    const std::vector<net::Host*>& participants, core::AllreduceConfig cfg,
+    f64 switch_service_bps) {
+  // Prefer the embedding that uses the fewest switches (and, among those,
+  // the shallowest): less switch memory consumed and fewer hops.
+  std::vector<ReductionTree> candidates;
+  for (net::Switch* candidate : net_.switches()) {
+    auto tree = compute_tree(participants, candidate->id());
+    if (tree) candidates.push_back(std::move(*tree));
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const ReductionTree& a, const ReductionTree& b) {
+              if (a.switches.size() != b.switches.size())
+                return a.switches.size() < b.switches.size();
+              return a.max_depth < b.max_depth;
+            });
+  for (ReductionTree& tree : candidates) {
+    if (install(tree, cfg, switch_service_bps)) return tree;
+  }
+  return std::nullopt;
+}
+
+}  // namespace flare::coll

@@ -1,0 +1,65 @@
+// The network manager (Section 4): given the participants of an allreduce,
+// computes a reduction tree embedded in the physical topology, and installs
+// the aggregation handlers + per-switch tree roles through the control
+// plane.  Memory is statically partitioned: each switch accepts at most
+// `max_allreduces` concurrent reductions; installation fails (and rolls
+// back) when any switch on the tree is full, in which case the caller can
+// retry with a different root or fall back to host-based allreduce —
+// exactly the paper's admission policy.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace flare::coll {
+
+struct TreeSwitchEntry {
+  net::Switch* sw = nullptr;
+  u32 depth = 0;                  ///< 0 at the root
+  u32 parent_port = UINT32_MAX;   ///< port toward tree parent (non-root)
+  u16 child_index_at_parent = 0;
+  std::vector<u32> child_ports;   ///< ports to tree children (hosts+switches)
+  u32 num_children = 0;
+};
+
+struct ReductionTree {
+  net::NodeId root = net::kInvalidNode;
+  std::vector<TreeSwitchEntry> switches;     ///< root first (BFS order)
+  std::vector<u16> host_child_index;         ///< by host_index
+  u32 max_depth = 0;
+};
+
+class NetworkManager {
+ public:
+  explicit NetworkManager(net::Network& net) : net_(net) {}
+
+  /// Fresh allreduce identifier.
+  u32 next_id() { return next_id_++; }
+
+  /// Builds the BFS reduction tree rooted at `root` spanning `participants`.
+  /// Returns nullopt if some participant is unreachable from the root.
+  std::optional<ReductionTree> compute_tree(
+      const std::vector<net::Host*>& participants, net::NodeId root);
+
+  /// Installs `cfg` on every tree switch.  For sparse allreduces the root
+  /// switch uses array storage and the others hash storage (Section 7,
+  /// "densification").  Rolls back on admission failure and returns false.
+  bool install(const ReductionTree& tree, core::AllreduceConfig cfg,
+               f64 switch_service_bps);
+
+  void uninstall(const ReductionTree& tree, u32 allreduce_id);
+
+  /// compute_tree + install, retrying every switch as root until one
+  /// admission succeeds.  Returns the tree used.
+  std::optional<ReductionTree> install_with_retry(
+      const std::vector<net::Host*>& participants, core::AllreduceConfig cfg,
+      f64 switch_service_bps);
+
+ private:
+  net::Network& net_;
+  u32 next_id_ = 1;
+};
+
+}  // namespace flare::coll

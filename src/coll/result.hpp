@@ -1,0 +1,22 @@
+// Common result record for every collective implementation (Figure 15
+// reports completion time and total network traffic per scheme).
+#pragma once
+
+#include "common/units.hpp"
+
+namespace flare::coll {
+
+struct CollectiveResult {
+  bool ok = false;          ///< completed and functionally correct
+  f64 max_abs_err = 0.0;
+  f64 completion_seconds = 0.0;   ///< slowest host
+  f64 mean_host_seconds = 0.0;
+  u64 total_traffic_bytes = 0;    ///< all link bytes, both directions
+  u64 total_packets = 0;
+  u64 blocks = 0;                 ///< reduction blocks / chunks processed
+  u64 extra_packets = 0;          ///< scheme-specific (e.g. sparse spills)
+  /// Peak working memory across the tree switches (in-network schemes).
+  u64 switch_working_mem_hwm = 0;
+};
+
+}  // namespace flare::coll

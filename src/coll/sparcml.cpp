@@ -1,0 +1,252 @@
+#include "coll/sparcml.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+namespace flare::coll {
+
+namespace {
+
+constexpr u32 kSparcmlProto = 0x53504D4C;  // "SPML"
+
+/// Host state: the evolving reduced set, sparse (sorted by index, f64
+/// staged values) until the dense switchover.
+struct SpHost {
+  net::Host* host = nullptr;
+  std::vector<core::SparsePair> sparse;  // sorted by index
+  core::TypedBuffer dense;
+  bool is_dense = false;
+  u32 round = 0;
+  SimTime finish_ps = 0;
+  struct Partial {
+    u32 frags = 0;
+    u32 expected = 0;
+    std::shared_ptr<const core::TypedBuffer> dense;
+    std::shared_ptr<const std::vector<core::StoredPair>> sparse;
+  };
+  std::unordered_map<u32, Partial> inbox;
+};
+
+/// Union-sum merge of two sorted pair lists.
+std::vector<core::SparsePair> merge_pairs(
+    const std::vector<core::SparsePair>& a,
+    const std::vector<core::StoredPair>& b, core::DType dtype) {
+  std::vector<core::SparsePair> out;
+  out.reserve(a.size() + b.size());
+  std::size_t i = 0, j = 0;
+  auto b_value = [&](std::size_t k) {
+    core::TypedBuffer tmp(dtype, 1);
+    std::memcpy(tmp.data(), b[k].value.data(), core::dtype_size(dtype));
+    return tmp.get_as_f64(0);
+  };
+  while (i < a.size() && j < b.size()) {
+    if (a[i].index < b[j].index) {
+      out.push_back(a[i++]);
+    } else if (a[i].index > b[j].index) {
+      out.push_back({b[j].index, b_value(j)});
+      ++j;
+    } else {
+      out.push_back({a[i].index, a[i].value + b_value(j)});
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < a.size(); ++i) out.push_back(a[i]);
+  for (; j < b.size(); ++j) out.push_back({b[j].index, b_value(j)});
+  return out;
+}
+
+}  // namespace
+
+SparcmlResult run_sparcml_allreduce(
+    net::Network& net, const std::vector<net::Host*>& hosts,
+    const std::function<std::vector<core::SparsePair>(u32)>& pairs,
+    const SparcmlOptions& opt) {
+  SparcmlResult res;
+  const u32 P = static_cast<u32>(hosts.size());
+  FLARE_ASSERT(P >= 1);
+  FLARE_ASSERT_MSG(std::has_single_bit(P),
+                   "recursive doubling needs a power-of-two host count");
+  const u32 rounds = static_cast<u32>(std::countr_zero(P));
+  const u32 esize = core::dtype_size(opt.dtype);
+  const u64 dense_bytes = opt.total_elems * esize;
+  const core::ReduceOp op(core::OpKind::kSum);
+  res.blocks = rounds;
+
+  // Reference: dense sum of all hosts' inputs.
+  core::TypedBuffer expected(opt.dtype, opt.total_elems);
+  expected.fill_identity(op);
+  std::vector<SpHost> runs(P);
+  for (u32 h = 0; h < P; ++h) {
+    runs[h].host = hosts[h];
+    runs[h].sparse = pairs(h);
+    std::sort(runs[h].sparse.begin(), runs[h].sparse.end(),
+              [](const core::SparsePair& a, const core::SparsePair& b) {
+                return a.index < b.index;
+              });
+    for (const auto& sp : runs[h].sparse) {
+      core::TypedBuffer one(opt.dtype, 1);
+      one.set_from_f64(0, sp.value);
+      op.apply(opt.dtype, expected.at_byte(sp.index), one.data(), 1);
+    }
+  }
+  const u64 base_traffic = net.total_traffic_bytes();
+
+  if (P == 1) {
+    res.ok = true;
+    return res;
+  }
+
+  // Sends host h's current representation to its round-r partner.
+  auto send_round = [&](u32 h, u32 r) {
+    SpHost& hr = runs[h];
+    const u32 dst = h ^ (1u << r);
+    const u64 sparse_bytes =
+        hr.sparse.size() * core::sparse_pair_bytes(opt.dtype);
+    const bool send_dense = hr.is_dense || sparse_bytes >= dense_bytes;
+    std::shared_ptr<const core::TypedBuffer> dense_payload;
+    std::shared_ptr<const std::vector<core::StoredPair>> sparse_payload;
+    u64 bytes;
+    if (send_dense) {
+      res.dense_switchovers += 1;
+      if (!hr.is_dense) {
+        // Convert before sending (switchover happens at the sender).
+        core::TypedBuffer d(opt.dtype, opt.total_elems);
+        d.fill_identity(op);
+        for (const auto& sp : hr.sparse) d.set_from_f64(sp.index, sp.value);
+        hr.dense = std::move(d);
+        hr.is_dense = true;
+        hr.sparse.clear();
+      }
+      dense_payload = std::make_shared<const core::TypedBuffer>(hr.dense);
+      bytes = dense_bytes;
+    } else {
+      auto stored = std::make_shared<std::vector<core::StoredPair>>();
+      stored->reserve(hr.sparse.size());
+      core::TypedBuffer one(opt.dtype, 1);
+      for (const auto& sp : hr.sparse) {
+        one.set_from_f64(0, sp.value);
+        stored->push_back(
+            core::make_stored_pair(sp.index, one.data(), opt.dtype));
+      }
+      res.pairs_exchanged += stored->size();
+      sparse_payload = std::move(stored);
+      bytes = sparse_bytes;
+    }
+    const u32 frags = std::max<u32>(
+        1, static_cast<u32>((bytes + opt.mtu_bytes - 1) / opt.mtu_bytes));
+    for (u32 f = 0; f < frags; ++f) {
+      auto msg = std::make_shared<net::HostMsg>();
+      msg->src_host = h;
+      msg->dst_host = dst;
+      msg->proto = kSparcmlProto;
+      msg->tag = r;
+      msg->seq = f;
+      msg->seq_count = frags;
+      if (f + 1 == frags) {
+        msg->dense = dense_payload;
+        msg->sparse = sparse_payload;
+      }
+      net::NetPacket np;
+      np.kind = net::PacketKind::kHostMsg;
+      np.dst_node = hosts[dst]->id();
+      np.flow = static_cast<u64>(h) << 32 | dst;
+      const u64 frag_bytes =
+          std::min<u64>(opt.mtu_bytes, bytes - f * opt.mtu_bytes);
+      np.wire_bytes = frag_bytes + core::kPacketWireOverhead;
+      np.msg = std::move(msg);
+      hr.host->send(std::move(np));
+    }
+  };
+
+  std::function<void(u32)> advance = [&](u32 h) {
+    SpHost& hr = runs[h];
+    while (hr.round < rounds) {
+      auto it = hr.inbox.find(hr.round);
+      if (it == hr.inbox.end() || it->second.frags < it->second.expected ||
+          it->second.expected == 0) {
+        return;
+      }
+      const SpHost::Partial partial = std::move(it->second);
+      hr.inbox.erase(it);
+      if (partial.dense) {
+        if (!hr.is_dense) {
+          core::TypedBuffer d(opt.dtype, opt.total_elems);
+          d.fill_identity(op);
+          for (const auto& sp : hr.sparse) d.set_from_f64(sp.index, sp.value);
+          hr.dense = std::move(d);
+          hr.is_dense = true;
+          hr.sparse.clear();
+        }
+        hr.dense.accumulate(*partial.dense, op);
+      } else {
+        FLARE_ASSERT(partial.sparse != nullptr);
+        if (hr.is_dense) {
+          for (const auto& sp : *partial.sparse) {
+            op.apply(opt.dtype, hr.dense.at_byte(sp.index), sp.value.data(),
+                     1);
+          }
+        } else {
+          hr.sparse = merge_pairs(hr.sparse, *partial.sparse, opt.dtype);
+        }
+      }
+      hr.round += 1;
+      if (hr.round < rounds) {
+        send_round(h, hr.round);
+      } else {
+        hr.finish_ps = net.sim().now();
+      }
+    }
+  };
+
+  for (u32 h = 0; h < P; ++h) {
+    runs[h].host->set_msg_handler([&, h](const net::HostMsg& msg) {
+      if (msg.proto != kSparcmlProto) return;
+      SpHost& hr = runs[h];
+      SpHost::Partial& partial = hr.inbox[msg.tag];
+      partial.frags += 1;
+      partial.expected = msg.seq_count;
+      if (msg.dense) partial.dense = msg.dense;
+      if (msg.sparse) partial.sparse = msg.sparse;
+      advance(h);
+    });
+  }
+
+  for (u32 h = 0; h < P; ++h) send_round(h, 0);
+  net.sim().run();
+
+  f64 worst = 0.0, sum = 0.0;
+  bool all_done = true;
+  for (SpHost& hr : runs) {
+    all_done = all_done && (hr.round == rounds);
+    worst = std::max(worst, static_cast<f64>(hr.finish_ps));
+    sum += static_cast<f64>(hr.finish_ps);
+  }
+  res.completion_seconds = worst / kPsPerSecond;
+  res.mean_host_seconds = sum / P / kPsPerSecond;
+  res.total_traffic_bytes = net.total_traffic_bytes() - base_traffic;
+  res.total_packets = net.total_packets();
+  if (all_done) {
+    f64 err = 0.0;
+    core::TypedBuffer got(opt.dtype, opt.total_elems);
+    for (u32 h = 0; h < std::min<u32>(P, 2); ++h) {
+      SpHost& hr = runs[h];
+      if (hr.is_dense) {
+        got = hr.dense;
+      } else {
+        got.fill_identity(op);
+        for (const auto& sp : hr.sparse) got.set_from_f64(sp.index, sp.value);
+      }
+      err = std::max(err, got.max_abs_diff(expected));
+    }
+    res.max_abs_err = err;
+    const f64 tol = core::dtype_is_float(opt.dtype) ? 1e-2 * P : 0.0;
+    res.ok = err <= tol;
+  }
+  return res;
+}
+
+}  // namespace flare::coll

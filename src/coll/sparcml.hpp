@@ -1,0 +1,37 @@
+// SparCML-style host-based sparse allreduce (Renggli et al., SC'19) — the
+// "Host-Based Sparse" baseline of Figure 15.
+//
+// Recursive doubling over log2(P) rounds: partners exchange their full
+// current sparse sets and merge them (union, summing on index matches).
+// The set densifies every round; when the sparse encoding would exceed the
+// dense vector, the host switches to the dense representation — SparCML's
+// sparse-to-dense switchover.  Every host handles log2(P) increasingly
+// dense messages, which is why the in-network sparse allreduce beats it on
+// both time and traffic.
+#pragma once
+
+#include <functional>
+
+#include "coll/result.hpp"
+#include "net/network.hpp"
+
+namespace flare::coll {
+
+struct SparcmlOptions {
+  u64 total_elems = 1 << 20;  ///< global vector length
+  core::DType dtype = core::DType::kFloat32;
+  u64 mtu_bytes = 4096;
+};
+
+struct SparcmlResult : CollectiveResult {
+  u64 dense_switchovers = 0;  ///< messages sent in dense representation
+  u64 pairs_exchanged = 0;
+};
+
+/// `pairs(host)` yields host's sparse input with global indices.
+SparcmlResult run_sparcml_allreduce(
+    net::Network& net, const std::vector<net::Host*>& hosts,
+    const std::function<std::vector<core::SparsePair>(u32)>& pairs,
+    const SparcmlOptions& opt);
+
+}  // namespace flare::coll

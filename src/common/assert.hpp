@@ -1,0 +1,36 @@
+// Always-on assertion macros.
+//
+// Simulator state-machine bugs manifest as silently-wrong performance
+// numbers, so invariants are checked in every build type (the checks are
+// cheap relative to event dispatch).  FLARE_ASSERT aborts with a readable
+// message; FLARE_CHECK_* add the offending values to the message.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace flare::detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "FLARE_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+}  // namespace flare::detail
+
+#define FLARE_ASSERT(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::flare::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                                   \
+  } while (0)
+
+#define FLARE_ASSERT_MSG(expr, msg)                                  \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::flare::detail::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+    }                                                                \
+  } while (0)
+
+#define FLARE_UNREACHABLE(msg) \
+  ::flare::detail::assert_fail("unreachable", __FILE__, __LINE__, msg)

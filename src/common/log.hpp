@@ -1,0 +1,46 @@
+// Minimal leveled logger.  Default level is Warn so that tests and benches
+// stay quiet; experiment drivers raise it explicitly with --verbose flags.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace flare {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace flare
+
+#define FLARE_LOG(level)                                      \
+  if (static_cast<int>(level) < static_cast<int>(::flare::log_level())) { \
+  } else                                                       \
+    ::flare::detail::LogLine(level)
+
+#define FLARE_DEBUG FLARE_LOG(::flare::LogLevel::kDebug)
+#define FLARE_INFO FLARE_LOG(::flare::LogLevel::kInfo)
+#define FLARE_WARN FLARE_LOG(::flare::LogLevel::kWarn)
+#define FLARE_ERROR FLARE_LOG(::flare::LogLevel::kError)

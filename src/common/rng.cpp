@@ -1,0 +1,12 @@
+#include "common/rng.hpp"
+
+namespace flare {
+
+u64 derive_seed(u64 parent, u64 stream) {
+  u64 s = parent ^ (0xA5A5A5A55A5A5A5Aull + stream * 0x9E3779B97F4A7C15ull);
+  // Two splitmix rounds decorrelate adjacent stream ids.
+  (void)splitmix64(s);
+  return splitmix64(s);
+}
+
+}  // namespace flare

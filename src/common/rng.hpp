@@ -1,0 +1,117 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the simulators (exponential packet arrivals,
+// sparse index draws, gradient magnitudes) flows through this generator so
+// that every experiment is reproducible from a single seed.  xoshiro256**
+// is used for its quality/speed; seeding goes through splitmix64 as its
+// authors recommend.
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+
+namespace flare {
+
+/// splitmix64 step, used to expand a single u64 seed into a full state.
+constexpr u64 splitmix64(u64& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = u64;
+
+  explicit Rng(u64 seed = 0xF1A2E0ull) { reseed(seed); }
+
+  void reseed(u64 seed) {
+    u64 sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<u64>::max();
+  }
+
+  result_type operator()() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  f64 uniform() {
+    return static_cast<f64>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  f64 uniform(f64 lo, f64 hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  u64 uniform_u64(u64 n) {
+    FLARE_ASSERT(n > 0);
+    // Lemire's multiply-shift rejection method (unbiased).
+    u64 x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    u64 l = static_cast<u64>(m);
+    if (l < n) {
+      u64 t = (0 - n) % n;
+      while (l < t) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<u64>(m);
+      }
+    }
+    return static_cast<u64>(m >> 64);
+  }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  f64 exponential(f64 mean) {
+    FLARE_ASSERT(mean > 0.0);
+    f64 u = uniform();
+    // Guard against log(0).
+    if (u <= 0.0) u = std::numeric_limits<f64>::min();
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal via Box-Muller (single value; no caching for
+  /// reproducibility simplicity).
+  f64 normal(f64 mean = 0.0, f64 stddev = 1.0) {
+    f64 u1 = uniform();
+    if (u1 <= 0.0) u1 = std::numeric_limits<f64>::min();
+    const f64 u2 = uniform();
+    const f64 r = std::sqrt(-2.0 * std::log(u1));
+    constexpr f64 kTwoPi = 6.283185307179586476925286766559;
+    return mean + stddev * r * std::cos(kTwoPi * u2);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(f64 p) { return uniform() < p; }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  u64 state_[4] = {};
+};
+
+/// Derives an independent child seed from a parent seed and a stream id.
+/// Used to give every host/entity its own decorrelated stream.
+u64 derive_seed(u64 parent, u64 stream);
+
+}  // namespace flare

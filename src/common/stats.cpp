@@ -1,0 +1,139 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace flare {
+
+void RunningStats::add(f64 x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  n_ += 1;
+  sum_ += x;
+  const f64 delta = x - mean_;
+  mean_ += delta / static_cast<f64>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const f64 delta = other.mean_ - mean_;
+  const f64 na = static_cast<f64>(n_);
+  const f64 nb = static_cast<f64>(other.n_);
+  const f64 nab = na + nb;
+  mean_ += delta * nb / nab;
+  m2_ += other.m2_ + delta * delta * na * nb / nab;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  n_ += other.n_;
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+f64 RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<f64>(n_ - 1);
+}
+
+void Gauge::advance_to(SimTime now) {
+  if (!started_) {
+    started_ = true;
+    first_update_ = now;
+    last_update_ = now;
+    return;
+  }
+  FLARE_ASSERT_MSG(now >= last_update_, "gauge updated with time going back");
+  weighted_area_ +=
+      static_cast<f64>(current_) * static_cast<f64>(now - last_update_);
+  last_update_ = now;
+}
+
+void Gauge::add(i64 delta, SimTime now) {
+  advance_to(now);
+  if (delta < 0) {
+    const u64 dec = static_cast<u64>(-delta);
+    FLARE_ASSERT_MSG(dec <= current_, "gauge would go negative");
+    current_ -= dec;
+  } else {
+    current_ += static_cast<u64>(delta);
+  }
+  high_water_ = std::max(high_water_, current_);
+}
+
+void Gauge::set(u64 value, SimTime now) {
+  advance_to(now);
+  current_ = value;
+  high_water_ = std::max(high_water_, current_);
+}
+
+f64 Gauge::time_weighted_mean(SimTime now) const {
+  if (!started_ || now <= first_update_) return static_cast<f64>(current_);
+  const f64 tail =
+      static_cast<f64>(current_) * static_cast<f64>(now - last_update_);
+  return (weighted_area_ + tail) / static_cast<f64>(now - first_update_);
+}
+
+Histogram::Histogram(f64 lo, f64 hi, u32 bins) : lo_(lo), hi_(hi) {
+  FLARE_ASSERT(hi > lo);
+  FLARE_ASSERT(bins > 0);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(f64 x) {
+  total_ += 1;
+  if (x < lo_) {
+    underflow_ += 1;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += 1;
+    return;
+  }
+  const f64 frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<u32>(frac * static_cast<f64>(counts_.size()));
+  idx = std::min<u32>(idx, static_cast<u32>(counts_.size() - 1));
+  counts_[idx] += 1;
+}
+
+f64 Histogram::bin_low(u32 i) const {
+  return lo_ + (hi_ - lo_) * static_cast<f64>(i) /
+                   static_cast<f64>(counts_.size());
+}
+
+f64 Histogram::quantile(f64 q) const {
+  if (total_ == 0) return lo_;
+  const f64 target = q * static_cast<f64>(total_);
+  f64 acc = static_cast<f64>(underflow_);
+  if (acc >= target) return lo_;
+  const f64 width = (hi_ - lo_) / static_cast<f64>(counts_.size());
+  for (u32 i = 0; i < counts_.size(); ++i) {
+    const f64 next = acc + static_cast<f64>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const f64 within = (target - acc) / static_cast<f64>(counts_[i]);
+      return bin_low(i) + width * within;
+    }
+    acc = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream os;
+  os << "hist[" << lo_ << "," << hi_ << ") n=" << total_
+     << " under=" << underflow_ << " over=" << overflow_;
+  return os.str();
+}
+
+}  // namespace flare

@@ -1,0 +1,101 @@
+// Lightweight statistics collectors used by the simulators' telemetry:
+// running mean/min/max/stddev, high-water-mark gauges for memory occupancy,
+// and a byte/packet counter for traffic accounting.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace flare {
+
+/// Welford running statistics over a stream of samples.
+class RunningStats {
+ public:
+  void add(f64 x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  u64 count() const { return n_; }
+  f64 mean() const { return n_ ? mean_ : 0.0; }
+  f64 min() const { return n_ ? min_ : 0.0; }
+  f64 max() const { return n_ ? max_ : 0.0; }
+  f64 variance() const;  ///< Sample variance (n-1 denominator).
+  f64 stddev() const { return std::sqrt(variance()); }
+  f64 sum() const { return sum_; }
+
+ private:
+  u64 n_ = 0;
+  f64 mean_ = 0.0;
+  f64 m2_ = 0.0;
+  f64 min_ = 0.0;
+  f64 max_ = 0.0;
+  f64 sum_ = 0.0;
+};
+
+/// Gauge tracking a current level and its high-water mark, plus the
+/// time-weighted average level (useful for average buffer occupancy).
+class Gauge {
+ public:
+  /// Adjusts the level by `delta` at simulated time `now`.
+  void add(i64 delta, SimTime now);
+  void set(u64 value, SimTime now);
+
+  u64 current() const { return current_; }
+  u64 high_water() const { return high_water_; }
+
+  /// Time-weighted mean level over [first update, `now`].
+  f64 time_weighted_mean(SimTime now) const;
+
+ private:
+  void advance_to(SimTime now);
+
+  u64 current_ = 0;
+  u64 high_water_ = 0;
+  SimTime last_update_ = 0;
+  SimTime first_update_ = 0;
+  bool started_ = false;
+  f64 weighted_area_ = 0.0;
+};
+
+/// Counts packets and bytes; used for per-link and per-scheme traffic.
+struct TrafficCounter {
+  u64 packets = 0;
+  u64 bytes = 0;
+
+  void add(u64 packet_bytes) {
+    packets += 1;
+    bytes += packet_bytes;
+  }
+  void merge(const TrafficCounter& o) {
+    packets += o.packets;
+    bytes += o.bytes;
+  }
+};
+
+/// Fixed-bin histogram for latency/queue-length distributions.
+class Histogram {
+ public:
+  Histogram(f64 lo, f64 hi, u32 bins);
+
+  void add(f64 x);
+  u64 count() const { return total_; }
+  u64 bin_count(u32 i) const { return counts_.at(i); }
+  u32 bins() const { return static_cast<u32>(counts_.size()); }
+  f64 bin_low(u32 i) const;
+  /// Approximate quantile q in [0,1] from the binned data.
+  f64 quantile(f64 q) const;
+  std::string to_string() const;
+
+ private:
+  f64 lo_;
+  f64 hi_;
+  std::vector<u64> counts_;
+  u64 total_ = 0;
+  u64 underflow_ = 0;
+  u64 overflow_ = 0;
+};
+
+}  // namespace flare

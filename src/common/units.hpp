@@ -1,0 +1,77 @@
+// Units and conversions used throughout the Flare reproduction.
+//
+// The simulators count time in *cycles* of the PsPIN processing unit
+// (1 GHz by default, Section 3 of the paper), and the network layer counts
+// time in picoseconds.  Keeping both as strong typedefs of u64 with explicit
+// conversion helpers avoids the classic cycles-vs-ns confusion.
+#pragma once
+
+#include <cstdint>
+
+namespace flare {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using f32 = float;
+using f64 = double;
+
+/// Simulation time. The discrete-event core is unit-agnostic; each simulator
+/// documents its own tick meaning (PsPIN: cycles, network: picoseconds).
+using SimTime = u64;
+
+constexpr u64 kKiB = 1024;
+constexpr u64 kMiB = 1024 * kKiB;
+constexpr u64 kGiB = 1024 * kMiB;
+
+constexpr u64 operator"" _KiB(unsigned long long v) { return v * kKiB; }
+constexpr u64 operator"" _MiB(unsigned long long v) { return v * kMiB; }
+
+/// Bits-per-second helpers (link and switch bandwidths are quoted in Gbps
+/// and Tbps in the paper).
+constexpr f64 kGbps = 1e9;
+constexpr f64 kTbps = 1e12;
+
+/// Converts a cycle count at `clock_ghz` into seconds.
+constexpr f64 cycles_to_seconds(u64 cycles, f64 clock_ghz) {
+  return static_cast<f64>(cycles) / (clock_ghz * 1e9);
+}
+
+/// Converts seconds into cycles at `clock_ghz` (rounding down).
+constexpr u64 seconds_to_cycles(f64 seconds, f64 clock_ghz) {
+  return static_cast<u64>(seconds * clock_ghz * 1e9);
+}
+
+/// Converts a byte count moved in `cycles` at `clock_ghz` into bits/s.
+constexpr f64 bytes_per_cycles_to_bps(u64 bytes, u64 cycles, f64 clock_ghz) {
+  if (cycles == 0) return 0.0;
+  return static_cast<f64>(bytes) * 8.0 /
+         cycles_to_seconds(cycles, clock_ghz);
+}
+
+/// Picosecond helpers for the network simulator.
+constexpr u64 kPsPerNs = 1000;
+constexpr u64 kPsPerUs = 1000 * kPsPerNs;
+constexpr u64 kPsPerMs = 1000 * kPsPerUs;
+constexpr f64 kPsPerSecond = 1e12;
+
+/// Time (ps) to serialize `bytes` onto a link of `bandwidth_bps`.
+constexpr u64 serialization_ps(u64 bytes, f64 bandwidth_bps) {
+  if (bandwidth_bps <= 0.0) return 0;
+  return static_cast<u64>(static_cast<f64>(bytes) * 8.0 /
+                          bandwidth_bps * kPsPerSecond);
+}
+
+/// Achieved bandwidth in bits/s for `bytes` moved over `ps` picoseconds.
+constexpr f64 bps_from_bytes_ps(u64 bytes, u64 ps) {
+  if (ps == 0) return 0.0;
+  return static_cast<f64>(bytes) * 8.0 * kPsPerSecond /
+         static_cast<f64>(ps);
+}
+
+}  // namespace flare

@@ -1,0 +1,3 @@
+#include "core/allreduce_engine.hpp"
+
+namespace flare::core {}

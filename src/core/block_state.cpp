@@ -1,0 +1,4 @@
+#include "core/block_state.hpp"
+
+// Header-only state machines; translation unit anchors the target.
+namespace flare::core {}

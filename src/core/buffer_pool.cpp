@@ -1,0 +1,3 @@
+#include "core/buffer_pool.hpp"
+
+namespace flare::core {}

@@ -1,0 +1,56 @@
+// Working-memory accounting (Section 4.3).
+//
+// The L1 working memory assigned to one allreduce is statically partitioned
+// by the network manager; aggregation buffers are acquired from this pool
+// when a block starts and released when the block's result is emitted.  The
+// pool tracks the time-weighted occupancy and high-water mark that Figures
+// 7, 10 and 14 report ("Work. Mem.", "Block Mem.").
+#pragma once
+
+#include "common/assert.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace flare::core {
+
+class BufferPool {
+ public:
+  /// `capacity_bytes == 0` means unlimited (accounting only).
+  explicit BufferPool(u64 capacity_bytes = 0)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Attempts to acquire `bytes` at time `now`.  Returns false if the pool
+  /// is exhausted (callers either assert — hosts are window-flow-controlled
+  /// so this should not happen — or fall back per policy).
+  bool acquire(u64 bytes, SimTime now) {
+    if (capacity_bytes_ != 0 && in_use_ + bytes > capacity_bytes_) {
+      failed_acquires_ += 1;
+      return false;
+    }
+    in_use_ += bytes;
+    gauge_.set(in_use_, now);
+    return true;
+  }
+
+  void release(u64 bytes, SimTime now) {
+    FLARE_ASSERT_MSG(bytes <= in_use_, "releasing more than acquired");
+    in_use_ -= bytes;
+    gauge_.set(in_use_, now);
+  }
+
+  u64 in_use() const { return in_use_; }
+  u64 capacity() const { return capacity_bytes_; }
+  u64 high_water() const { return gauge_.high_water(); }
+  f64 mean_occupancy(SimTime now) const {
+    return gauge_.time_weighted_mean(now);
+  }
+  u64 failed_acquires() const { return failed_acquires_; }
+
+ private:
+  u64 capacity_bytes_;
+  u64 in_use_ = 0;
+  u64 failed_acquires_ = 0;
+  Gauge gauge_;
+};
+
+}  // namespace flare::core

@@ -1,0 +1,6 @@
+#include "core/cost_model.hpp"
+
+// CostModel is header-only arithmetic; this translation unit exists so the
+// target has a place to grow (e.g. loading calibration overrides) and to
+// anchor the vtable-free struct in the library.
+namespace flare::core {}

@@ -1,0 +1,98 @@
+// Handler cycle-cost model, calibrated against the numbers the paper reports
+// from the PsPIN cycle-accurate simulator (Sections 3 and 6):
+//
+//   * 1 GHz clock; 1 KiB packets carrying 256 fp32 elements;
+//   * 4 cycles to sum two fp32 values and store the result back
+//     => L = 1024 cycles per packet ("1 ns per byte circa");
+//   * DMA copy of a packet costs 64 cycles (vs 1024 for aggregation);
+//   * the RI5CY SIMD datapath aggregates two int16 (four int8) per op;
+//   * remote-L1 accesses are up to 25x slower (motivates cluster-local
+//     scheduling, Section 5).
+//
+// Every cycle figure the simulators charge flows through this one struct so
+// the calibration is auditable and the analytical model (src/model) can use
+// the very same constants.
+#pragma once
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+#include "core/dtype.hpp"
+
+namespace flare::core {
+
+struct CostModel {
+  f64 clock_ghz = 1.0;
+
+  /// Cycles per element for "load, reduce, store" on the local L1, by dtype.
+  /// fp32 = 4 (measured, paper Section 6); integer SIMD packs 2 x int16 or
+  /// 4 x int8 per op; int32 avoids FPU latency; int64 is multi-word.
+  f64 cycles_per_elem_f32 = 4.0;
+  f64 cycles_per_elem_f16 = 2.0;
+  f64 cycles_per_elem_i8 = 0.75;
+  f64 cycles_per_elem_i16 = 1.5;
+  f64 cycles_per_elem_i32 = 3.0;
+  f64 cycles_per_elem_i64 = 6.0;
+
+  /// DMA engine copy of one packet L2 -> L1 (paper: 64 cycles vs 1024).
+  u64 dma_packet_cycles = 64;
+
+  /// Fixed handler dispatch overhead (scheduler hand-off, header parse).
+  u64 handler_dispatch_cycles = 32;
+
+  /// Packetization + command-unit cost to emit one packet.
+  u64 emit_packet_cycles = 32;
+
+  /// One-time i-cache fill the first time a core runs the handler
+  /// ("cold start", paper Section 6.4): 4 KiB i-cache over a 64-bit port.
+  u64 cold_start_cycles = 512;
+
+  /// Multiplier on aggregation cycles when the aggregation buffer lives in a
+  /// remote cluster's L1 (paper: up to 25x).  Hierarchical FCFS scheduling
+  /// exists precisely to keep this off the fast path.
+  f64 remote_l1_penalty = 25.0;
+
+  /// Sparse-store costs (Section 7): hash probe+insert per pair, array
+  /// indexed add per pair, spill-buffer append per pair, and the final
+  /// array scan per *slot* plus per emitted nonzero.
+  f64 hash_insert_cycles_per_pair = 16.0;
+  f64 array_insert_cycles_per_pair = 12.0;
+  f64 spill_append_cycles_per_pair = 4.0;
+  f64 scan_cycles_per_slot = 1.0;
+  f64 emit_cycles_per_pair = 4.0;
+
+  /// Cycles per element of `t` by the SIMD aggregation kernel.
+  f64 cycles_per_elem(DType t) const {
+    switch (t) {
+      case DType::kInt8: return cycles_per_elem_i8;
+      case DType::kInt16: return cycles_per_elem_i16;
+      case DType::kInt32: return cycles_per_elem_i32;
+      case DType::kInt64: return cycles_per_elem_i64;
+      case DType::kFloat16: return cycles_per_elem_f16;
+      case DType::kFloat32: return cycles_per_elem_f32;
+    }
+    return 4.0;
+  }
+
+  /// L: cycles to aggregate `elems` elements into a local-L1 buffer.
+  u64 aggregation_cycles(DType t, u64 elems, bool remote_l1 = false) const {
+    f64 c = static_cast<f64>(elems) * cycles_per_elem(t);
+    if (remote_l1) c *= remote_l1_penalty;
+    return static_cast<u64>(c + 0.5);
+  }
+
+  /// Cycles for a sparse insert of `pairs` pairs into the given store kind.
+  u64 sparse_insert_cycles(bool hash_store, u64 pairs) const {
+    const f64 per = hash_store ? hash_insert_cycles_per_pair
+                               : array_insert_cycles_per_pair;
+    return static_cast<u64>(static_cast<f64>(pairs) * per + 0.5);
+  }
+
+  u64 scan_cycles(u64 slots, u64 emitted_pairs) const {
+    return static_cast<u64>(static_cast<f64>(slots) * scan_cycles_per_slot +
+                            static_cast<f64>(emitted_pairs) *
+                                emit_cycles_per_pair +
+                            0.5);
+  }
+};
+
+}  // namespace flare::core

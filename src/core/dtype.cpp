@@ -1,0 +1,85 @@
+#include "core/dtype.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace flare::core {
+
+std::string_view dtype_name(DType t) {
+  switch (t) {
+    case DType::kInt8: return "int8";
+    case DType::kInt16: return "int16";
+    case DType::kInt32: return "int32";
+    case DType::kInt64: return "int64";
+    case DType::kFloat16: return "float16";
+    case DType::kFloat32: return "float32";
+  }
+  return "?";
+}
+
+u16 f32_to_f16(f32 value) {
+  const u32 bits = std::bit_cast<u32>(value);
+  const u32 sign = (bits >> 16) & 0x8000u;
+  const u32 exp32 = (bits >> 23) & 0xFFu;
+  u32 frac = bits & 0x007FFFFFu;
+
+  if (exp32 == 0xFF) {  // Inf / NaN
+    const u32 nan_frac = frac ? 0x200u | (frac >> 13) : 0u;
+    return static_cast<u16>(sign | 0x7C00u | nan_frac);
+  }
+
+  const i32 exp = static_cast<i32>(exp32) - 127 + 15;
+  if (exp >= 0x1F) {  // overflow -> inf
+    return static_cast<u16>(sign | 0x7C00u);
+  }
+  if (exp <= 0) {  // subnormal or zero
+    if (exp < -10) return static_cast<u16>(sign);  // too small -> +-0
+    // Add the implicit leading 1, then shift right with rounding.
+    frac |= 0x00800000u;
+    const u32 shift = static_cast<u32>(14 - exp);
+    const u32 half_frac = frac >> shift;
+    const u32 rem = frac & ((1u << shift) - 1);
+    const u32 halfway = 1u << (shift - 1);
+    u32 rounded = half_frac;
+    if (rem > halfway || (rem == halfway && (half_frac & 1u))) rounded += 1;
+    return static_cast<u16>(sign | rounded);
+  }
+
+  // Normal number: round mantissa from 23 to 10 bits (nearest even).
+  u32 half = sign | (static_cast<u32>(exp) << 10) | (frac >> 13);
+  const u32 rem = frac & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half & 1u))) half += 1;
+  return static_cast<u16>(half);
+}
+
+f32 f16_to_f32(u16 half_bits) {
+  const u32 sign = static_cast<u32>(half_bits & 0x8000u) << 16;
+  const u32 exp = (half_bits >> 10) & 0x1Fu;
+  const u32 frac = half_bits & 0x3FFu;
+
+  u32 bits;
+  if (exp == 0) {
+    if (frac == 0) {
+      bits = sign;  // +-0
+    } else {
+      // Subnormal: normalize.
+      u32 e = 127 - 15 + 1;
+      u32 f = frac;
+      while ((f & 0x400u) == 0) {
+        f <<= 1;
+        e -= 1;
+      }
+      f &= 0x3FFu;
+      bits = sign | (e << 23) | (f << 13);
+    }
+  } else if (exp == 0x1F) {
+    bits = sign | 0x7F800000u | (frac << 13);  // inf / nan
+  } else {
+    bits = sign | ((exp - 15 + 127) << 23) | (frac << 13);
+  }
+  f32 out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+}  // namespace flare::core

@@ -1,0 +1,56 @@
+// Element data types supported by the Flare aggregation engine.
+//
+// Flexibility limitation F1 of the paper: fixed-function and RMT-based
+// switches support a frozen set of types (SwitchML: int32 only).  Flare
+// handlers are software, so any type with a C representation works; this
+// reproduction ships the types the paper evaluates (int8/16/32, fp16, fp32,
+// Figure 11) plus int64, and fp16 is implemented in software exactly as a
+// RISC-V core without a double-precision FPU would handle it.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "common/units.hpp"
+
+namespace flare::core {
+
+enum class DType : u8 {
+  kInt8 = 0,
+  kInt16,
+  kInt32,
+  kInt64,
+  kFloat16,
+  kFloat32,
+};
+
+inline constexpr DType kAllDTypes[] = {
+    DType::kInt8,  DType::kInt16,   DType::kInt32,
+    DType::kInt64, DType::kFloat16, DType::kFloat32,
+};
+
+/// Size in bytes of one element.
+constexpr u32 dtype_size(DType t) {
+  switch (t) {
+    case DType::kInt8: return 1;
+    case DType::kInt16: return 2;
+    case DType::kInt32: return 4;
+    case DType::kInt64: return 8;
+    case DType::kFloat16: return 2;
+    case DType::kFloat32: return 4;
+  }
+  return 0;
+}
+
+std::string_view dtype_name(DType t);
+
+constexpr bool dtype_is_float(DType t) {
+  return t == DType::kFloat16 || t == DType::kFloat32;
+}
+
+/// IEEE 754 binary16 <-> binary32 conversions (round-to-nearest-even),
+/// matching the behaviour of the FPnew FP16 unit the paper adds to each HPU.
+u16 f32_to_f16(f32 value);
+f32 f16_to_f32(u16 half_bits);
+
+}  // namespace flare::core

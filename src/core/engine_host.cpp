@@ -1,0 +1,7 @@
+#include "core/engine_host.hpp"
+
+namespace flare::core {
+
+// EngineHost is an interface; the anchor keeps its typeinfo in this library.
+
+}  // namespace flare::core

@@ -1,0 +1,26 @@
+#include "core/policy.hpp"
+
+namespace flare::core {
+
+std::string_view policy_name(AggPolicy p) {
+  switch (p) {
+    case AggPolicy::kSingleBuffer: return "single-buffer";
+    case AggPolicy::kMultiBuffer: return "multi-buffer";
+    case AggPolicy::kTree: return "tree";
+  }
+  return "?";
+}
+
+PolicyChoice select_policy(u64 data_bytes, bool reproducible,
+                           const PolicyThresholds& thresholds) {
+  if (reproducible) return {AggPolicy::kTree, 1};
+  if (data_bytes > thresholds.single_buffer_min_bytes)
+    return {AggPolicy::kSingleBuffer, 1};
+  if (data_bytes > thresholds.multi4_min_bytes)
+    return {AggPolicy::kMultiBuffer, 4};
+  if (data_bytes > thresholds.multi2_min_bytes)
+    return {AggPolicy::kMultiBuffer, 2};
+  return {AggPolicy::kTree, 1};
+}
+
+}  // namespace flare::core

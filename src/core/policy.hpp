@@ -1,0 +1,43 @@
+// Aggregation-policy selection (Section 6.4).
+//
+// Flare picks the parallelism/memory organisation by reduction size:
+//   > 512 KiB  -> single buffer          (staggered sending hides contention)
+//   > 256 KiB  -> multiple buffers, B=4
+//   > 128 KiB  -> multiple buffers, B=2
+//   otherwise  -> tree aggregation       (contention-free)
+// When the user requests reproducible floating-point reduction (F3), tree
+// aggregation is always used: its fixed association never exploits
+// associativity, so results are bitwise identical across runs.
+#pragma once
+
+#include <string_view>
+
+#include "common/units.hpp"
+
+namespace flare::core {
+
+enum class AggPolicy : u8 {
+  kSingleBuffer = 0,
+  kMultiBuffer,
+  kTree,
+};
+
+std::string_view policy_name(AggPolicy p);
+
+struct PolicyChoice {
+  AggPolicy policy;
+  u32 num_buffers;  ///< B; meaningful for kMultiBuffer (1 otherwise)
+};
+
+/// Thresholds from Section 6.4, exposed for the ablation bench.
+struct PolicyThresholds {
+  u64 single_buffer_min_bytes = 512 * 1024;
+  u64 multi4_min_bytes = 256 * 1024;
+  u64 multi2_min_bytes = 128 * 1024;
+};
+
+/// Selects the policy Flare uses for a reduction of `data_bytes` per host.
+PolicyChoice select_policy(u64 data_bytes, bool reproducible,
+                           const PolicyThresholds& thresholds = {});
+
+}  // namespace flare::core

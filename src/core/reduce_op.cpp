@@ -1,0 +1,207 @@
+#include "core/reduce_op.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace flare::core {
+
+namespace {
+
+template <typename T>
+struct Kernels {
+  static void apply(OpKind k, T* acc, const T* in, std::size_t n) {
+    switch (k) {
+      case OpKind::kSum:
+        for (std::size_t i = 0; i < n; ++i)
+          acc[i] = static_cast<T>(acc[i] + in[i]);
+        break;
+      case OpKind::kProd:
+        for (std::size_t i = 0; i < n; ++i)
+          acc[i] = static_cast<T>(acc[i] * in[i]);
+        break;
+      case OpKind::kMin:
+        for (std::size_t i = 0; i < n; ++i) acc[i] = std::min(acc[i], in[i]);
+        break;
+      case OpKind::kMax:
+        for (std::size_t i = 0; i < n; ++i) acc[i] = std::max(acc[i], in[i]);
+        break;
+      case OpKind::kBand:
+        if constexpr (std::is_integral_v<T>) {
+          for (std::size_t i = 0; i < n; ++i)
+            acc[i] = static_cast<T>(acc[i] & in[i]);
+        }
+        break;
+      case OpKind::kBor:
+        if constexpr (std::is_integral_v<T>) {
+          for (std::size_t i = 0; i < n; ++i)
+            acc[i] = static_cast<T>(acc[i] | in[i]);
+        }
+        break;
+      case OpKind::kBxor:
+        if constexpr (std::is_integral_v<T>) {
+          for (std::size_t i = 0; i < n; ++i)
+            acc[i] = static_cast<T>(acc[i] ^ in[i]);
+        }
+        break;
+      case OpKind::kCustom:
+        FLARE_UNREACHABLE("custom op dispatched through builtin kernel");
+    }
+  }
+
+  static T identity(OpKind k) {
+    switch (k) {
+      case OpKind::kSum: return T{0};
+      case OpKind::kProd: return T{1};
+      case OpKind::kMin: return std::numeric_limits<T>::max();
+      case OpKind::kMax: return std::numeric_limits<T>::lowest();
+      case OpKind::kBand:
+        if constexpr (std::is_integral_v<T>) {
+          return static_cast<T>(~T{0});
+        } else {
+          return T{0};
+        }
+      case OpKind::kBor: return T{0};
+      case OpKind::kBxor: return T{0};
+      case OpKind::kCustom: break;
+    }
+    return T{0};
+  }
+};
+
+// Float16: convert through f32 per element, exactly like handler code on an
+// FP16-capable FPU that widens to f32 internally.
+void apply_f16(OpKind k, u16* acc, const u16* in, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const f32 a = f16_to_f32(acc[i]);
+    const f32 b = f16_to_f32(in[i]);
+    f32 r = 0.0f;
+    switch (k) {
+      case OpKind::kSum: r = a + b; break;
+      case OpKind::kProd: r = a * b; break;
+      case OpKind::kMin: r = std::min(a, b); break;
+      case OpKind::kMax: r = std::max(a, b); break;
+      default: FLARE_UNREACHABLE("unsupported f16 op");
+    }
+    acc[i] = f32_to_f16(r);
+  }
+}
+
+}  // namespace
+
+std::string_view op_name(OpKind k) {
+  switch (k) {
+    case OpKind::kSum: return "sum";
+    case OpKind::kProd: return "prod";
+    case OpKind::kMin: return "min";
+    case OpKind::kMax: return "max";
+    case OpKind::kBand: return "band";
+    case OpKind::kBor: return "bor";
+    case OpKind::kBxor: return "bxor";
+    case OpKind::kCustom: return "custom";
+  }
+  return "?";
+}
+
+ReduceOp::ReduceOp(OpKind kind) : kind_(kind), name_(op_name(kind)) {
+  FLARE_ASSERT_MSG(kind != OpKind::kCustom,
+                   "use ReduceOp::custom() for custom operators");
+}
+
+ReduceOp ReduceOp::custom(std::string name, CustomKernel kernel,
+                          CustomIdentity identity, bool commutative) {
+  ReduceOp op(OpKind::kSum);
+  op.kind_ = OpKind::kCustom;
+  op.name_ = std::move(name);
+  op.commutative_ = commutative;
+  op.custom_kernel_ =
+      std::make_shared<const CustomKernel>(std::move(kernel));
+  op.custom_identity_ =
+      std::make_shared<const CustomIdentity>(std::move(identity));
+  return op;
+}
+
+bool ReduceOp::supports(DType t) const {
+  if (kind_ == OpKind::kBand || kind_ == OpKind::kBor ||
+      kind_ == OpKind::kBxor) {
+    return !dtype_is_float(t);
+  }
+  return true;
+}
+
+void ReduceOp::apply(DType t, void* acc, const void* in,
+                     std::size_t n) const {
+  FLARE_ASSERT_MSG(supports(t), "operator does not support this dtype");
+  if (kind_ == OpKind::kCustom) {
+    (*custom_kernel_)(t, acc, in, n);
+    return;
+  }
+  switch (t) {
+    case DType::kInt8:
+      Kernels<i8>::apply(kind_, static_cast<i8*>(acc),
+                         static_cast<const i8*>(in), n);
+      break;
+    case DType::kInt16:
+      Kernels<i16>::apply(kind_, static_cast<i16*>(acc),
+                          static_cast<const i16*>(in), n);
+      break;
+    case DType::kInt32:
+      Kernels<i32>::apply(kind_, static_cast<i32*>(acc),
+                          static_cast<const i32*>(in), n);
+      break;
+    case DType::kInt64:
+      Kernels<i64>::apply(kind_, static_cast<i64*>(acc),
+                          static_cast<const i64*>(in), n);
+      break;
+    case DType::kFloat32:
+      Kernels<f32>::apply(kind_, static_cast<f32*>(acc),
+                          static_cast<const f32*>(in), n);
+      break;
+    case DType::kFloat16:
+      apply_f16(kind_, static_cast<u16*>(acc), static_cast<const u16*>(in),
+                n);
+      break;
+  }
+}
+
+void ReduceOp::fill_identity(DType t, void* dst, std::size_t n) const {
+  if (kind_ == OpKind::kCustom) {
+    (*custom_identity_)(t, dst, n);
+    return;
+  }
+  switch (t) {
+    case DType::kInt8: {
+      const i8 v = Kernels<i8>::identity(kind_);
+      std::fill_n(static_cast<i8*>(dst), n, v);
+      break;
+    }
+    case DType::kInt16: {
+      const i16 v = Kernels<i16>::identity(kind_);
+      std::fill_n(static_cast<i16*>(dst), n, v);
+      break;
+    }
+    case DType::kInt32: {
+      const i32 v = Kernels<i32>::identity(kind_);
+      std::fill_n(static_cast<i32*>(dst), n, v);
+      break;
+    }
+    case DType::kInt64: {
+      const i64 v = Kernels<i64>::identity(kind_);
+      std::fill_n(static_cast<i64*>(dst), n, v);
+      break;
+    }
+    case DType::kFloat32: {
+      const f32 v = Kernels<f32>::identity(kind_);
+      std::fill_n(static_cast<f32*>(dst), n, v);
+      break;
+    }
+    case DType::kFloat16: {
+      const u16 v = f32_to_f16(Kernels<f32>::identity(kind_));
+      std::fill_n(static_cast<u16*>(dst), n, v);
+      break;
+    }
+  }
+}
+
+}  // namespace flare::core

@@ -1,0 +1,119 @@
+#include "core/sparse_store.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace flare::core {
+
+StoredPair make_stored_pair(u32 index, const std::byte* value, DType dtype) {
+  StoredPair p;
+  p.index = index;
+  std::memcpy(p.value.data(), value, dtype_size(dtype));
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// HashStore
+// ---------------------------------------------------------------------------
+
+HashStore::HashStore(u32 capacity_pairs, DType dtype) : dtype_(dtype) {
+  FLARE_ASSERT(capacity_pairs >= 1);
+  const u64 cap =
+      std::bit_ceil(std::max<u64>(capacity_pairs, kWays));
+  slots_.resize(cap);
+  bucket_mask_ = cap / kWays - 1;
+}
+
+u64 HashStore::bucket_of(u32 index) const {
+  // Fibonacci multiplicative hash: one multiply + shift, exactly the kind of
+  // arithmetic a RISC-V handler does per pair.
+  const u64 h = static_cast<u64>(index) * 0x9E3779B97F4A7C15ull;
+  return ((h >> 32) & bucket_mask_) * kWays;
+}
+
+bool HashStore::insert(u32 index, const std::byte* value, DType dtype,
+                       const ReduceOp& op) {
+  FLARE_ASSERT(dtype == dtype_);
+  const u64 base = bucket_of(index);
+  // One pass over the bucket: match wins, else the first free slot.
+  Slot* free_slot = nullptr;
+  for (u32 w = 0; w < kWays; ++w) {
+    Slot& s = slots_[base + w];
+    if (s.occupied) {
+      if (s.index == index) {
+        op.apply(dtype, s.value.data(), value, 1);
+        return true;
+      }
+    } else if (free_slot == nullptr) {
+      free_slot = &s;
+    }
+  }
+  if (free_slot != nullptr) {
+    free_slot->occupied = true;
+    free_slot->index = index;
+    std::memcpy(free_slot->value.data(), value, dtype_size(dtype));
+    used_ += 1;
+    return true;
+  }
+  collisions_ += 1;
+  return false;  // bucket full of other indices: caller spills
+}
+
+void HashStore::extract(std::vector<StoredPair>& out) const {
+  for (const Slot& s : slots_) {
+    if (!s.occupied) continue;
+    StoredPair p;
+    p.index = s.index;
+    p.value = s.value;
+    out.push_back(p);
+  }
+}
+
+u64 HashStore::footprint_bytes() const {
+  // index (4B) + value (dtype) + occupancy bit per slot, as the handler
+  // would lay it out in L1.
+  return slots_.size() * (sizeof(u32) + dtype_size(dtype_)) +
+         slots_.size() / 8;
+}
+
+// ---------------------------------------------------------------------------
+// ArrayStore
+// ---------------------------------------------------------------------------
+
+ArrayStore::ArrayStore(u32 span_elems, DType dtype)
+    : span_(span_elems), dtype_(dtype) {
+  FLARE_ASSERT(span_elems >= 1);
+  values_.resize(static_cast<std::size_t>(span_elems) * dtype_size(dtype));
+  bitmap_.assign((span_elems + 63) / 64, 0);
+}
+
+bool ArrayStore::insert(u32 index, const std::byte* value, DType dtype,
+                        const ReduceOp& op) {
+  FLARE_ASSERT(dtype == dtype_);
+  FLARE_ASSERT_MSG(index < span_, "sparse index outside block span");
+  std::byte* cell =
+      values_.data() + static_cast<std::size_t>(index) * dtype_size(dtype);
+  if (!occupied(index)) {
+    bitmap_[index >> 6] |= 1ull << (index & 63);
+    std::memcpy(cell, value, dtype_size(dtype));
+    used_ += 1;
+    return true;
+  }
+  op.apply(dtype, cell, value, 1);
+  return true;
+}
+
+void ArrayStore::extract(std::vector<StoredPair>& out) const {
+  for (u32 i = 0; i < span_; ++i) {
+    if (!occupied(i)) continue;
+    out.push_back(make_stored_pair(
+        i, values_.data() + static_cast<std::size_t>(i) * dtype_size(dtype_),
+        dtype_));
+  }
+}
+
+u64 ArrayStore::footprint_bytes() const {
+  return values_.size() + bitmap_.size() * sizeof(u64);
+}
+
+}  // namespace flare::core

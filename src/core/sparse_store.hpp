@@ -1,0 +1,123 @@
+// Working-memory data structures for sparse aggregation (Section 7).
+//
+// Two designs, with the tradeoff the paper analyses in Figure 14:
+//
+//  * HashStore — a set-associative hash table over (index, value) slots:
+//    one bucket of `kWays` contiguous slots (a single L1 line) is probed
+//    per pair, so the per-pair cost stays constant.  To avoid expensive
+//    collision RESOLUTION in a packet handler, a pair whose bucket is full
+//    of other indices is appended to a *spill buffer*; when the spill
+//    buffer fills, the engine flushes it onto the network immediately
+//    (extra traffic, but constant memory and per-pair cost independent of
+//    density).
+//
+//  * ArrayStore — a contiguous array spanning the whole block index range
+//    plus an occupancy bitmap.  Lowest per-insert latency and no extra
+//    traffic, but memory scales with 1/density and completion requires a
+//    full scan.
+//
+// Values are stored and combined in the wire dtype (the reduction arithmetic
+// is identical to what the handler would do), staged in an 8-byte cell.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/packet.hpp"
+#include "core/reduce_op.hpp"
+
+namespace flare::core {
+
+/// One (index, value) pair in store/extract form; `value` holds the raw
+/// dtype bytes left-aligned in an 8-byte cell.
+struct StoredPair {
+  u32 index = 0;
+  std::array<std::byte, 8> value{};
+};
+
+/// Copies a raw dtype value into a StoredPair cell.
+StoredPair make_stored_pair(u32 index, const std::byte* value, DType dtype);
+
+class SparseStore {
+ public:
+  virtual ~SparseStore() = default;
+
+  /// Inserts one pair, combining with `op` on index match.  Returns false
+  /// if the pair could not be stored (hash collision): the caller must
+  /// spill it.
+  virtual bool insert(u32 index, const std::byte* value, DType dtype,
+                      const ReduceOp& op) = 0;
+
+  /// Appends all stored pairs to `out` in a deterministic order
+  /// (ascending index for the array store, slot order for the hash store).
+  virtual void extract(std::vector<StoredPair>& out) const = 0;
+
+  virtual u64 stored_pairs() const = 0;
+  /// Memory footprint of the structure in bytes (the paper's "Block Mem").
+  virtual u64 footprint_bytes() const = 0;
+  /// Number of slots a completion scan must touch.
+  virtual u64 scan_slots() const = 0;
+};
+
+/// Set-associative hash table (one bucket probed; overflow -> caller
+/// spills — no chains, no rehashing, handler cost stays O(1)).
+class HashStore final : public SparseStore {
+ public:
+  /// Slots per bucket: 4 x 8B slots ~ one L1 line probed per insert.
+  static constexpr u32 kWays = 4;
+
+  /// `capacity_pairs` is rounded up to a power of two (total slots).
+  HashStore(u32 capacity_pairs, DType dtype);
+
+  bool insert(u32 index, const std::byte* value, DType dtype,
+              const ReduceOp& op) override;
+  void extract(std::vector<StoredPair>& out) const override;
+  u64 stored_pairs() const override { return used_; }
+  u64 footprint_bytes() const override;
+  u64 scan_slots() const override { return slots_.size(); }
+
+  u64 capacity() const { return slots_.size(); }
+  u64 collisions() const { return collisions_; }
+
+ private:
+  struct Slot {
+    u32 index = 0;
+    bool occupied = false;
+    std::array<std::byte, 8> value{};
+  };
+
+  u64 bucket_of(u32 index) const;  ///< first slot of the bucket
+
+  std::vector<Slot> slots_;
+  u64 bucket_mask_;
+  u64 used_ = 0;
+  u64 collisions_ = 0;
+  DType dtype_;
+};
+
+/// Contiguous array over the block's index span with an occupancy bitmap.
+class ArrayStore final : public SparseStore {
+ public:
+  ArrayStore(u32 span_elems, DType dtype);
+
+  bool insert(u32 index, const std::byte* value, DType dtype,
+              const ReduceOp& op) override;
+  void extract(std::vector<StoredPair>& out) const override;
+  u64 stored_pairs() const override { return used_; }
+  u64 footprint_bytes() const override;
+  u64 scan_slots() const override { return span_; }
+
+ private:
+  bool occupied(u32 index) const {
+    return (bitmap_[index >> 6] >> (index & 63)) & 1ull;
+  }
+
+  u32 span_;
+  DType dtype_;
+  std::vector<std::byte> values_;
+  std::vector<u64> bitmap_;
+  u64 used_ = 0;
+};
+
+}  // namespace flare::core

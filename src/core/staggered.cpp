@@ -1,0 +1,28 @@
+#include "core/staggered.hpp"
+
+namespace flare::core {
+
+u32 staggered_block(u32 host, u32 num_hosts, u32 num_blocks, u32 pos,
+                    SendOrder order) {
+  FLARE_ASSERT(pos < num_blocks);
+  FLARE_ASSERT(host < num_hosts);
+  if (order == SendOrder::kAligned) return pos;
+  const u32 stride = (num_blocks + num_hosts - 1) / num_hosts;  // ceil
+  return (pos + host * stride) % num_blocks;
+}
+
+std::vector<u32> send_schedule(u32 host, u32 num_hosts, u32 num_blocks,
+                               SendOrder order) {
+  std::vector<u32> out(num_blocks);
+  for (u32 i = 0; i < num_blocks; ++i)
+    out[i] = staggered_block(host, num_hosts, num_blocks, i, order);
+  return out;
+}
+
+f64 staggered_delta_c_factor(u32 num_hosts, u32 num_blocks, SendOrder order) {
+  if (order == SendOrder::kAligned || num_blocks <= 1) return 1.0;
+  const u32 stride = (num_blocks + num_hosts - 1) / num_hosts;
+  return static_cast<f64>(stride);
+}
+
+}  // namespace flare::core

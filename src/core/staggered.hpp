@@ -1,0 +1,37 @@
+// Staggered sending (Section 5).
+//
+// Hosts send their blocks in rotated orders so that, at the switch, packets
+// of the same block arrive spread out in time: this raises the intra-block
+// interarrival time delta_c from ~delta (all hosts aligned) towards its
+// upper bound delta * Z/N, which (a) keeps hierarchical-FCFS bursts short
+// (scenario C of Figure 5) and (b) removes critical-section contention on
+// the shared aggregation buffer (Section 6.1).
+#pragma once
+
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+
+namespace flare::core {
+
+enum class SendOrder : u8 {
+  kAligned = 0,   ///< every host sends block 0, 1, 2, ... (worst delta_c)
+  kStaggered,     ///< host h starts at block h * ceil(num_blocks / P)
+};
+
+/// The block index host `host` (of `num_hosts`) sends at position `pos`.
+u32 staggered_block(u32 host, u32 num_hosts, u32 num_blocks, u32 pos,
+                    SendOrder order);
+
+/// Full send order for one host (convenience for tests and host models).
+std::vector<u32> send_schedule(u32 host, u32 num_hosts, u32 num_blocks,
+                               SendOrder order);
+
+/// delta_c this schedule induces, in units of the per-host send interval
+/// (= P * delta): with max stagger every host is offset by
+/// ceil(num_blocks/P) positions, so two packets of the same block are
+/// ceil(num_blocks/P) host-send-intervals apart.
+f64 staggered_delta_c_factor(u32 num_hosts, u32 num_blocks, SendOrder order);
+
+}  // namespace flare::core

@@ -1,0 +1,117 @@
+#include "core/typed_buffer.hpp"
+
+#include <cmath>
+
+namespace flare::core {
+
+f64 TypedBuffer::get_as_f64(std::size_t i) const {
+  FLARE_ASSERT(i < elems_);
+  const std::byte* p = at_byte(i);
+  switch (dtype_) {
+    case DType::kInt8: {
+      i8 v;
+      std::memcpy(&v, p, sizeof(v));
+      return static_cast<f64>(v);
+    }
+    case DType::kInt16: {
+      i16 v;
+      std::memcpy(&v, p, sizeof(v));
+      return static_cast<f64>(v);
+    }
+    case DType::kInt32: {
+      i32 v;
+      std::memcpy(&v, p, sizeof(v));
+      return static_cast<f64>(v);
+    }
+    case DType::kInt64: {
+      i64 v;
+      std::memcpy(&v, p, sizeof(v));
+      return static_cast<f64>(v);
+    }
+    case DType::kFloat16: {
+      u16 v;
+      std::memcpy(&v, p, sizeof(v));
+      return static_cast<f64>(f16_to_f32(v));
+    }
+    case DType::kFloat32: {
+      f32 v;
+      std::memcpy(&v, p, sizeof(v));
+      return static_cast<f64>(v);
+    }
+  }
+  return 0.0;
+}
+
+void TypedBuffer::set_from_f64(std::size_t i, f64 v) {
+  FLARE_ASSERT(i < elems_);
+  std::byte* p = at_byte(i);
+  switch (dtype_) {
+    case DType::kInt8: {
+      const i8 x = static_cast<i8>(v);
+      std::memcpy(p, &x, sizeof(x));
+      break;
+    }
+    case DType::kInt16: {
+      const i16 x = static_cast<i16>(v);
+      std::memcpy(p, &x, sizeof(x));
+      break;
+    }
+    case DType::kInt32: {
+      const i32 x = static_cast<i32>(v);
+      std::memcpy(p, &x, sizeof(x));
+      break;
+    }
+    case DType::kInt64: {
+      const i64 x = static_cast<i64>(v);
+      std::memcpy(p, &x, sizeof(x));
+      break;
+    }
+    case DType::kFloat16: {
+      const u16 x = f32_to_f16(static_cast<f32>(v));
+      std::memcpy(p, &x, sizeof(x));
+      break;
+    }
+    case DType::kFloat32: {
+      const f32 x = static_cast<f32>(v);
+      std::memcpy(p, &x, sizeof(x));
+      break;
+    }
+  }
+}
+
+void TypedBuffer::fill_random(Rng& rng, f64 lo, f64 hi) {
+  for (std::size_t i = 0; i < elems_; ++i) {
+    f64 v = rng.uniform(lo, hi);
+    if (!dtype_is_float(dtype_)) v = std::floor(v);
+    set_from_f64(i, v);
+  }
+}
+
+f64 TypedBuffer::max_abs_diff(const TypedBuffer& other) const {
+  FLARE_ASSERT(other.dtype_ == dtype_ && other.elems_ == elems_);
+  f64 worst = 0.0;
+  for (std::size_t i = 0; i < elems_; ++i) {
+    worst = std::max(worst, std::abs(get_as_f64(i) - other.get_as_f64(i)));
+  }
+  return worst;
+}
+
+std::size_t TypedBuffer::count_mismatches(const TypedBuffer& other) const {
+  FLARE_ASSERT(other.dtype_ == dtype_ && other.elems_ == elems_);
+  std::size_t n = 0;
+  const u32 es = dtype_size(dtype_);
+  for (std::size_t i = 0; i < elems_; ++i) {
+    if (std::memcmp(at_byte(i), other.at_byte(i), es) != 0) ++n;
+  }
+  return n;
+}
+
+TypedBuffer reference_reduce(const std::vector<TypedBuffer>& inputs,
+                             const ReduceOp& op) {
+  FLARE_ASSERT(!inputs.empty());
+  TypedBuffer acc = inputs.front();
+  for (std::size_t i = 1; i < inputs.size(); ++i) acc.accumulate(inputs[i], op);
+  return acc;
+}
+
+}  // namespace flare::core

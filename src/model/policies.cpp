@@ -1,0 +1,138 @@
+#include "model/policies.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "core/packet.hpp"
+
+namespace flare::model {
+
+f64 elems_per_packet(const SwitchParams& sp) {
+  return static_cast<f64>(sp.packet_payload) /
+         static_cast<f64>(core::dtype_size(sp.dtype));
+}
+
+f64 packet_aggregation_cycles(const SwitchParams& sp) {
+  return elems_per_packet(sp) * sp.costs.cycles_per_elem(sp.dtype);
+}
+
+f64 packet_interarrival(const SwitchParams& sp) {
+  const f64 wire_bytes =
+      static_cast<f64>(sp.packet_payload + core::kPacketWireOverhead);
+  const f64 wire_delta_s = wire_bytes * 8.0 / sp.ingest_bps;
+  const f64 wire_delta_cyc = wire_delta_s * sp.costs.clock_ghz * 1e9;
+  // The paper sizes the system so interarrival >= service time of the unit
+  // (Section 5); the best-case service rate is K / L.
+  const f64 service_delta = packet_aggregation_cycles(sp) / sp.cores;
+  return std::max(wire_delta_cyc, service_delta);
+}
+
+f64 intra_block_interarrival(const SwitchParams& sp, u64 data_bytes) {
+  const f64 delta = packet_interarrival(sp);
+  const f64 num_blocks = std::max(
+      1.0, static_cast<f64>(data_bytes) / static_cast<f64>(sp.packet_payload));
+  if (sp.send_order == core::SendOrder::kAligned) return delta;
+  // Maximum stagger spreads the P packets of one block over the whole
+  // message: delta_c = delta * Z / N (the paper's upper bound).
+  return delta * num_blocks;
+}
+
+f64 effective_concurrency(const SwitchParams& sp, f64 delta_c, u32 buffers) {
+  if (sp.subset <= 1.0) return 1.0;  // S = 1: serial by construction
+  const f64 lagg = packet_aggregation_cycles(sp);
+  const f64 c = lagg / (static_cast<f64>(buffers) * delta_c);
+  return std::clamp(c, 1.0, sp.subset);
+}
+
+f64 service_time(const SwitchParams& sp, core::AggPolicy policy, u32 buffers,
+                 u64 data_bytes, const PolicyOverheads& ov) {
+  const f64 lagg = packet_aggregation_cycles(sp);
+  const f64 p = sp.hosts;
+  const f64 dc = intra_block_interarrival(sp, data_bytes);
+  f64 tau = 0.0;
+  switch (policy) {
+    case core::AggPolicy::kSingleBuffer: {
+      const f64 c_eff = effective_concurrency(sp, dc, 1);
+      tau = lagg * (1.0 + (c_eff - 1.0) / 2.0) + ov.single;
+      break;
+    }
+    case core::AggPolicy::kMultiBuffer: {
+      FLARE_ASSERT(buffers >= 1);
+      const f64 c_eff = effective_concurrency(sp, dc, buffers);
+      // Contention term with delta_c scaled by B (Section 6.2), plus the
+      // last handler's sequential fold of B-1 buffers amortized over the
+      // P packets of the block.
+      tau = lagg * (1.0 + (c_eff - 1.0) / 2.0) +
+            (static_cast<f64>(buffers) - 1.0) * lagg / p + ov.multi;
+      break;
+    }
+    case core::AggPolicy::kTree: {
+      // P-1 aggregations for P packets, each packet additionally pays the
+      // DMA leaf copy; never any waiting (Section 6.3).
+      tau = (p - 1.0) * lagg / p +
+            static_cast<f64>(sp.costs.dma_packet_cycles) + ov.tree;
+      break;
+    }
+  }
+  if (sp.cold_start) {
+    // One i-cache fill per active core per operation, amortized over the
+    // operation's packets.
+    const f64 total_packets =
+        p * std::max(1.0, static_cast<f64>(data_bytes) /
+                              static_cast<f64>(sp.packet_payload));
+    const f64 active_cores = std::min(sp.cores, total_packets);
+    tau += static_cast<f64>(sp.costs.cold_start_cycles) * active_cores /
+           total_packets;
+  }
+  return tau;
+}
+
+f64 buffers_per_block(const SwitchParams& sp, core::AggPolicy policy,
+                      u32 buffers) {
+  switch (policy) {
+    case core::AggPolicy::kSingleBuffer: return 1.0;
+    case core::AggPolicy::kMultiBuffer: return static_cast<f64>(buffers);
+    case core::AggPolicy::kTree: {
+      const f64 p = sp.hosts;
+      if (p <= 2.0) return 1.0;
+      return (p - 1.0) / std::log2(p);
+    }
+  }
+  return 1.0;
+}
+
+PolicyPoint evaluate(const SwitchParams& sp, core::AggPolicy policy,
+                     u32 buffers, u64 data_bytes, const PolicyOverheads& ov) {
+  PolicyPoint pt;
+  pt.delta = packet_interarrival(sp);
+  pt.delta_c = intra_block_interarrival(sp, data_bytes);
+  pt.tau = service_time(sp, policy, buffers, data_bytes, ov);
+  pt.bandwidth_pkt_per_cyc = std::min(sp.cores / pt.tau, 1.0 / pt.delta);
+  pt.bandwidth_bps = pt.bandwidth_pkt_per_cyc *
+                     static_cast<f64>(sp.packet_payload) * 8.0 *
+                     sp.costs.clock_ghz * 1e9;
+  pt.buffers_per_block = buffers_per_block(sp, policy, buffers);
+
+  SchedulingParams sched;
+  sched.cores = sp.cores;
+  sched.subset = sp.subset;
+  sched.packets_per_block = sp.hosts;
+  sched.delta = pt.delta;
+  sched.delta_c = pt.delta_c;
+  sched.tau = pt.tau;
+  pt.block_latency_cycles = block_latency(sched);
+  pt.input_buffer_bytes = input_buffer_bytes(
+      sched,
+      static_cast<f64>(sp.packet_payload + core::kPacketWireOverhead));
+
+  // Little's law (Section 4.3): R = M * (B/P) * L blocks' worth of buffers.
+  const f64 block_rate = pt.bandwidth_pkt_per_cyc / sp.hosts;
+  const f64 buffers_in_flight =
+      pt.buffers_per_block * block_rate * pt.block_latency_cycles;
+  pt.working_memory_bytes =
+      buffers_in_flight * static_cast<f64>(sp.packet_payload);
+  return pt;
+}
+
+}  // namespace flare::model

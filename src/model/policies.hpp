@@ -1,0 +1,95 @@
+// Analytical bandwidth / memory models of Section 6.
+//
+// The paper's Eq. (2) gives the two extremes of the single-buffer service
+// time (uncontended tau = L; fully contended tau = L*(C-1)/2).  Between the
+// extremes we interpolate through the expected number of handlers
+// concurrently working on one block,
+//
+//     c_eff = clamp(L / (B * delta_c), 1, S)
+//
+// (a handler occupies the buffer for L cycles; same-block packets arrive
+// every delta_c cycles and spread over B buffers; at most S handlers can
+// run them).  tau then carries the average serialization wait
+// L * (c_eff - 1) / 2, reproducing both Eq. (2) limits.
+//
+// Per-policy overheads beyond the aggregation loop itself (buffer
+// management, DMA copies, merge folds) are charged explicitly; constants
+// live in core::CostModel and in PolicyOverheads below.
+#pragma once
+
+#include "core/cost_model.hpp"
+#include "core/policy.hpp"
+#include "core/staggered.hpp"
+#include "model/scheduling.hpp"
+
+namespace flare::model {
+
+/// Static description of the modeled switch + workload.
+struct SwitchParams {
+  f64 cores = 512;             ///< K (64 clusters x 8 HPUs, Section 3)
+  f64 cores_per_cluster = 8;   ///< C
+  f64 subset = 8;              ///< S (hierarchical FCFS subset size)
+  f64 hosts = 16;              ///< P = children of the switch
+  u64 packet_payload = 1024;   ///< bytes of reducible data per packet
+  core::DType dtype = core::DType::kFloat32;
+  core::CostModel costs{};
+  /// Aggregate ingest of the reduction traffic in bits/s.  The effective
+  /// packet interarrival is delta = max(wire delta, L/K): the paper sizes
+  /// the system so the unit is fed at most at its service rate.
+  f64 ingest_bps = 6.4e12;
+  core::SendOrder send_order = core::SendOrder::kStaggered;
+  /// Charge the i-cache cold-start penalty once per core per operation
+  /// (single-shot operations; Section 6.4 "cold start" effect).
+  bool cold_start = true;
+};
+
+/// Per-policy fixed overhead cycles added to the service time.
+struct PolicyOverheads {
+  f64 single = 8;    ///< amortized emit bookkeeping
+  f64 multi = 32;    ///< buffer search / occupancy bookkeeping
+  f64 tree = 160;    ///< climb checks + claim bookkeeping
+};
+
+/// Everything the figure generators need for one (policy, size) point.
+struct PolicyPoint {
+  f64 tau = 0;                 ///< service time, cycles/packet
+  f64 delta = 0;               ///< packet interarrival, cycles
+  f64 delta_c = 0;             ///< same-block interarrival, cycles
+  f64 bandwidth_pkt_per_cyc = 0;
+  f64 bandwidth_bps = 0;       ///< payload goodput, bits/s
+  f64 buffers_per_block = 0;   ///< M
+  f64 block_latency_cycles = 0;  ///< script-L
+  f64 input_buffer_bytes = 0;  ///< Eq. 1 in bytes
+  f64 working_memory_bytes = 0;  ///< script-R in bytes
+};
+
+/// Elements per packet for the configured dtype.
+f64 elems_per_packet(const SwitchParams& sp);
+
+/// L: cycles to aggregate one packet (local L1).
+f64 packet_aggregation_cycles(const SwitchParams& sp);
+
+/// delta in cycles (wire-limited or service-limited, whichever is slower).
+f64 packet_interarrival(const SwitchParams& sp);
+
+/// delta_c for a message of `data_bytes` per host under the send order.
+f64 intra_block_interarrival(const SwitchParams& sp, u64 data_bytes);
+
+/// Expected concurrent handlers per (block, buffer): the interpolation knob.
+f64 effective_concurrency(const SwitchParams& sp, f64 delta_c, u32 buffers);
+
+/// Service time tau for a policy at message size `data_bytes`.
+f64 service_time(const SwitchParams& sp, core::AggPolicy policy, u32 buffers,
+                 u64 data_bytes, const PolicyOverheads& ov = {});
+
+/// M: average buffers held per in-flight block (Section 6.x insights).
+f64 buffers_per_block(const SwitchParams& sp, core::AggPolicy policy,
+                      u32 buffers);
+
+/// Full evaluation of one (policy, size) point: bandwidth (B = min(K/tau,
+/// 1/delta)), Eq. 1 input buffers, Little's-law working memory.
+PolicyPoint evaluate(const SwitchParams& sp, core::AggPolicy policy,
+                     u32 buffers, u64 data_bytes,
+                     const PolicyOverheads& ov = {});
+
+}  // namespace flare::model

@@ -1,0 +1,26 @@
+#include "model/reference.hpp"
+
+namespace flare::model {
+
+f64 switchml_elements_per_second(core::DType t) {
+  // 1.6 Tbps of int32 payload = 50 G elements/s.  Narrower integers are
+  // still carried as 32-bit pipeline slots (no element-rate gain); floats
+  // are unsupported on the Tofino ALUs.
+  switch (t) {
+    case core::DType::kInt8:
+    case core::DType::kInt16:
+    case core::DType::kInt32:
+      return kSwitchMLBandwidthBps / 32.0;
+    case core::DType::kInt64:
+    case core::DType::kFloat16:
+    case core::DType::kFloat32:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+f64 elements_per_second(f64 payload_bps, core::DType t) {
+  return payload_bps / (8.0 * static_cast<f64>(core::dtype_size(t)));
+}
+
+}  // namespace flare::model

@@ -1,0 +1,30 @@
+// Published reference points the paper plots against (Section 6.4):
+//
+//  * SwitchML on a Tofino programmable switch: 1.6 Tbps, int32 only, a
+//    fixed number of elements per packet — more elements require
+//    recirculation, dividing the element rate accordingly.
+//  * SHARP on Mellanox fixed-function switches: 3.2 Tbps (32 x 100 Gbps,
+//    the best single-switch datum the paper cites), int + float.
+//
+// These are constants from the literature, not executed systems — exactly
+// how the paper uses them.
+#pragma once
+
+#include "common/units.hpp"
+#include "core/dtype.hpp"
+
+namespace flare::model {
+
+inline constexpr f64 kSwitchMLBandwidthBps = 1.6e12;
+inline constexpr f64 kSharpBandwidthBps = 3.2e12;
+
+/// SwitchML element rate by dtype (elements/s).  The RMT pipeline processes
+/// a fixed 32 x int32 slots per packet pass independent of element width,
+/// so narrower types do NOT speed it up (limitation F1); float is
+/// unsupported (returns 0).
+f64 switchml_elements_per_second(core::DType t);
+
+/// Flare element rate for a switch achieving `payload_bps` goodput.
+f64 elements_per_second(f64 payload_bps, core::DType t);
+
+}  // namespace flare::model

@@ -1,0 +1,34 @@
+#include "model/scheduling.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace flare::model {
+
+f64 delta_k(const SchedulingParams& p) {
+  FLARE_ASSERT(p.subset >= 1.0 && p.cores >= p.subset);
+  return std::min(p.subset * p.delta_c, p.cores * p.delta);
+}
+
+f64 queue_length(const SchedulingParams& p) {
+  FLARE_ASSERT(p.tau > 0.0);
+  const f64 dk = delta_k(p);
+  const f64 q = (p.packets_per_block / p.subset) * (1.0 - dk / p.tau);
+  return std::max(q, 0.0);
+}
+
+f64 packets_in_switch(const SchedulingParams& p) {
+  return queue_length(p) * p.cores + p.cores;
+}
+
+f64 block_latency(const SchedulingParams& p) {
+  return (p.packets_per_block - 1.0) * p.delta_c +
+         (queue_length(p) + 1.0) * p.tau;
+}
+
+f64 input_buffer_bytes(const SchedulingParams& p, f64 packet_bytes) {
+  return packets_in_switch(p) * packet_bytes;
+}
+
+}  // namespace flare::model

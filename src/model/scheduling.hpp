@@ -1,0 +1,47 @@
+// Analytical models of Section 5: packet scheduling and input-buffer
+// occupancy.  Symbols follow Table 2 of the paper:
+//
+//   K        cores in the switch
+//   S        cores per scheduling subset (hierarchical FCFS)
+//   P        packets per block (= children of the switch)
+//   delta    average packet interarrival time at the unit        [cycles]
+//   delta_c  interarrival of packets of the SAME block           [cycles]
+//   delta_k  interarrival at one core during a burst             [cycles]
+//   tau      core service time per packet                        [cycles]
+//
+// Key results reproduced here:
+//   delta_k = min(S * delta_c, K * delta)
+//   Q       = (P/S) * (1 - delta_k / tau)            per-core queue length
+//   Q_tot   = (P*K/S) * (1 - delta_k/tau) + K        packets in switch (Eq.1)
+//   L_blk   = (P-1) * delta_c + (Q+1) * tau          block latency
+#pragma once
+
+#include "common/units.hpp"
+
+namespace flare::model {
+
+struct SchedulingParams {
+  f64 cores = 512;        ///< K
+  f64 subset = 8;         ///< S
+  f64 packets_per_block;  ///< P
+  f64 delta;              ///< cycles between packets at the unit
+  f64 delta_c;            ///< cycles between same-block packets
+  f64 tau;                ///< core service time, cycles
+};
+
+/// delta_k: per-core interarrival during a burst (Section 5).
+f64 delta_k(const SchedulingParams& p);
+
+/// Maximum queue length in front of one core.
+f64 queue_length(const SchedulingParams& p);
+
+/// Eq. (1): maximum number of packets resident in the switch.
+f64 packets_in_switch(const SchedulingParams& p);
+
+/// Block latency L = (P-1)*delta_c + (Q+1)*tau  [cycles].
+f64 block_latency(const SchedulingParams& p);
+
+/// Input-buffer occupancy in bytes for `packet_bytes` packets.
+f64 input_buffer_bytes(const SchedulingParams& p, f64 packet_bytes);
+
+}  // namespace flare::model

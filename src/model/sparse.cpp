@@ -1,0 +1,85 @@
+#include "model/sparse.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "core/packet.hpp"
+
+namespace flare::model {
+
+f64 sparse_pairs_per_packet(const SparseParams& p) {
+  return static_cast<f64>(core::sparse_pairs_per_packet(
+      p.sw.packet_payload, p.sw.dtype));
+}
+
+f64 sparse_block_span(const SparseParams& p) {
+  return sparse_pairs_per_packet(p) / p.density;
+}
+
+f64 sparse_packet_cycles(const SparseParams& p) {
+  const f64 ppp = sparse_pairs_per_packet(p);
+  const auto& c = p.sw.costs;
+  if (p.hash_storage) {
+    // Constant work per pair regardless of density (the paper's "number of
+    // instructions that only depend on the size of the packet"), plus the
+    // capacity-bounded completion scan amortized over the block's packets.
+    const f64 scan = (static_cast<f64>(p.hash_capacity_pairs) *
+                          c.scan_cycles_per_slot +
+                      ppp * c.emit_cycles_per_pair) /
+                     p.sw.hosts;
+    return ppp * c.hash_insert_cycles_per_pair + scan;
+  }
+  // Array store: cheap indexed adds, but the completion scan walks the whole
+  // span — the 1/density growth that eventually kills it (Section 7.1).
+  const f64 span = sparse_block_span(p);
+  const f64 scan =
+      (span * c.scan_cycles_per_slot + ppp * c.emit_cycles_per_pair) /
+      p.sw.hosts;
+  return ppp * c.array_insert_cycles_per_pair + scan;
+}
+
+f64 sparse_block_memory_bytes(const SparseParams& p) {
+  const f64 pair_bytes =
+      static_cast<f64>(core::sparse_pair_bytes(p.sw.dtype));
+  if (p.hash_storage) {
+    return static_cast<f64>(std::bit_ceil(
+               static_cast<u64>(p.hash_capacity_pairs))) *
+               pair_bytes +
+           static_cast<f64>(p.spill_capacity_pairs) * pair_bytes;
+  }
+  const f64 span = sparse_block_span(p);
+  return span * static_cast<f64>(core::dtype_size(p.sw.dtype)) + span / 8.0;
+}
+
+PolicyPoint evaluate_sparse(const SparseParams& p, core::AggPolicy policy,
+                            u32 buffers, u64 sparsified_bytes) {
+  // Reuse the dense machinery with L replaced by the sparse packet cost:
+  // express the sparse work as an equivalent "elements per packet" so that
+  // service_time() picks it up through the cost model.
+  SwitchParams sw = p.sw;
+  const f64 lsparse = sparse_packet_cycles(p);
+  const f64 ldense_per_byte =
+      sw.costs.cycles_per_elem(sw.dtype) /
+      static_cast<f64>(core::dtype_size(sw.dtype));
+  // Scale the per-element cost so packet_aggregation_cycles() == lsparse.
+  const f64 scale = lsparse / (ldense_per_byte *
+                               static_cast<f64>(sw.packet_payload));
+  sw.costs.cycles_per_elem_f32 *= scale;
+  sw.costs.cycles_per_elem_f16 *= scale;
+  sw.costs.cycles_per_elem_i8 *= scale;
+  sw.costs.cycles_per_elem_i16 *= scale;
+  sw.costs.cycles_per_elem_i32 *= scale;
+  sw.costs.cycles_per_elem_i64 *= scale;
+
+  PolicyPoint pt = evaluate(sw, policy, buffers, sparsified_bytes);
+  // Working memory: Little's law with the sparse structure footprint
+  // replacing the dense packet-sized buffer.
+  const f64 block_rate = pt.bandwidth_pkt_per_cyc / sw.hosts;
+  const f64 m = buffers_per_block(sw, policy, buffers);
+  pt.working_memory_bytes = m * block_rate * pt.block_latency_cycles *
+                            sparse_block_memory_bytes(p);
+  return pt;
+}
+
+}  // namespace flare::model

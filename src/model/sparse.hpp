@@ -1,0 +1,40 @@
+// Analytical model of the sparse allreduce (Section 7 / Figure 13).
+//
+// A sparse packet carries `pairs_per_packet` (index, value) pairs.  The
+// handler pays a per-pair store cost (hash probe+insert, or array indexed
+// add) instead of the dense SIMD loop, plus — for the array store — an
+// amortized share of the completion scan over the whole block span.
+// The parallelism policies compose exactly as in the dense model, with the
+// per-packet work L replaced by the sparse insert cost.
+#pragma once
+
+#include "model/policies.hpp"
+
+namespace flare::model {
+
+struct SparseParams {
+  SwitchParams sw;
+  f64 density = 0.10;        ///< fraction of non-zero elements
+  bool hash_storage = true;  ///< hash+spill vs contiguous array
+  u32 hash_capacity_pairs = 512;
+  u32 spill_capacity_pairs = 64;
+};
+
+/// Pairs carried per packet for the configured dtype/payload.
+f64 sparse_pairs_per_packet(const SparseParams& p);
+
+/// Block index span so that one host's non-zeros fill ~one packet.
+f64 sparse_block_span(const SparseParams& p);
+
+/// L_sparse: per-packet handler work in cycles (insert + amortized scan).
+f64 sparse_packet_cycles(const SparseParams& p);
+
+/// Working-structure footprint per block in bytes (Figure 14 "Block Mem").
+f64 sparse_block_memory_bytes(const SparseParams& p);
+
+/// Full point evaluation at `sparsified_bytes` of wire data per host.
+/// Bandwidth counts sparsified payload bytes (the x-axis of Figure 13).
+PolicyPoint evaluate_sparse(const SparseParams& p, core::AggPolicy policy,
+                            u32 buffers, u64 sparsified_bytes);
+
+}  // namespace flare::model

@@ -1,0 +1,23 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace flare::net {
+
+void Link::send(NetPacket&& pkt) {
+  FLARE_ASSERT_MSG(deliver_ != nullptr, "link has no receiver");
+  const SimTime now = sim_.now();
+  const u64 ser = serialization_ps(pkt.wire_bytes, bandwidth_bps_);
+  const SimTime depart = std::max(now, busy_until_);
+  busy_until_ = depart + ser;
+  busy_cum_ += ser;
+  traffic_.add(pkt.wire_bytes);
+  const SimTime arrive = busy_until_ + latency_ps_;
+  sim_.schedule_at(arrive, [this, p = std::move(pkt)]() mutable {
+    deliver_(std::move(p));
+  });
+}
+
+}  // namespace flare::net

@@ -1,0 +1,49 @@
+// Unidirectional point-to-point link: FIFO serialization at the configured
+// bandwidth plus propagation latency, with per-link byte accounting (the
+// "Traffic (GiB)" panel of Figure 15 sums these counters).
+#pragma once
+
+#include <functional>
+
+#include "common/stats.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace flare::net {
+
+class Link {
+ public:
+  using Deliver = std::function<void(NetPacket&&)>;
+
+  Link(sim::Simulator& sim, f64 bandwidth_bps, u64 latency_ps,
+       std::string name = {})
+      : sim_(sim), bandwidth_bps_(bandwidth_bps), latency_ps_(latency_ps),
+        name_(std::move(name)) {}
+
+  void set_deliver(Deliver d) { deliver_ = std::move(d); }
+
+  /// Enqueues `pkt` for transmission at the current simulated time.
+  void send(NetPacket&& pkt);
+
+  const TrafficCounter& traffic() const { return traffic_; }
+  /// Time at which the link finishes serializing everything queued so far.
+  SimTime busy_until() const { return busy_until_; }
+  f64 bandwidth_bps() const { return bandwidth_bps_; }
+  const std::string& name() const { return name_; }
+  f64 utilization(SimTime horizon) const {
+    if (horizon == 0) return 0.0;
+    return static_cast<f64>(busy_cum_) / static_cast<f64>(horizon);
+  }
+
+ private:
+  sim::Simulator& sim_;
+  f64 bandwidth_bps_;
+  u64 latency_ps_;
+  std::string name_;
+  Deliver deliver_;
+  SimTime busy_until_ = 0;
+  u64 busy_cum_ = 0;
+  TrafficCounter traffic_;
+};
+
+}  // namespace flare::net

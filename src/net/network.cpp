@@ -1,0 +1,153 @@
+#include "net/network.hpp"
+
+#include <deque>
+#include <limits>
+
+namespace flare::net {
+
+Host& Network::add_host(std::string name) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  auto host = std::make_unique<Host>(*this, id,
+                                     static_cast<u32>(hosts_.size()),
+                                     std::move(name));
+  Host* raw = host.get();
+  nodes_.push_back(std::move(host));
+  adjacency_.emplace_back();
+  hosts_.push_back(raw);
+  return *raw;
+}
+
+Switch& Network::add_switch(std::string name, u32 max_allreduces) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  auto sw = std::make_unique<Switch>(*this, id, std::move(name),
+                                     max_allreduces);
+  Switch* raw = sw.get();
+  nodes_.push_back(std::move(sw));
+  adjacency_.emplace_back();
+  switches_.push_back(raw);
+  return *raw;
+}
+
+void Network::connect(Node& a, Node& b, f64 bandwidth_bps, u64 latency_ps) {
+  auto ab = std::make_unique<Link>(sim_, bandwidth_bps, latency_ps,
+                                   a.name() + "->" + b.name());
+  auto ba = std::make_unique<Link>(sim_, bandwidth_bps, latency_ps,
+                                   b.name() + "->" + a.name());
+  Node* pb = &b;
+  Node* pa = &a;
+  const u32 b_in = b.num_ports();  // symmetric port numbering on both ends
+  const u32 a_in = a.num_ports();
+  ab->set_deliver([pb, b_in](NetPacket&& p) { pb->receive(std::move(p), b_in); });
+  ba->set_deliver([pa, a_in](NetPacket&& p) { pa->receive(std::move(p), a_in); });
+  const u32 a_port = a.add_port(ab.get());
+  const u32 b_port = b.add_port(ba.get());
+  adjacency_[a.id()].push_back({b.id(), a_port});
+  adjacency_[b.id()].push_back({a.id(), b_port});
+  links_.push_back(std::move(ab));
+  links_.push_back(std::move(ba));
+}
+
+void Network::build_routes() {
+  const u32 n = num_nodes();
+  // BFS from every destination; a switch's ECMP set toward dst = all ports
+  // whose peer is one hop closer.
+  std::vector<std::vector<std::vector<u32>>> table(
+      n);  // [switch][dst] -> ports
+  for (Switch* sw : switches_) table[sw->id()].resize(n);
+
+  for (NodeId dst = 0; dst < n; ++dst) {
+    // BFS over the undirected graph from dst.
+    std::vector<u32> dist(n, std::numeric_limits<u32>::max());
+    dist[dst] = 0;
+    std::deque<NodeId> frontier{dst};
+    while (!frontier.empty()) {
+      const NodeId cur = frontier.front();
+      frontier.pop_front();
+      for (const PortPeer& pp : adjacency_[cur]) {
+        if (dist[pp.peer] == std::numeric_limits<u32>::max()) {
+          dist[pp.peer] = dist[cur] + 1;
+          frontier.push_back(pp.peer);
+        }
+      }
+    }
+    for (Switch* sw : switches_) {
+      const NodeId sid = sw->id();
+      if (dist[sid] == std::numeric_limits<u32>::max() || sid == dst)
+        continue;
+      for (const PortPeer& pp : adjacency_[sid]) {
+        if (dist[pp.peer] + 1 == dist[sid]) {
+          table[sid][dst].push_back(pp.my_port);
+        }
+      }
+    }
+  }
+  for (Switch* sw : switches_) sw->set_routes(std::move(table[sw->id()]));
+}
+
+u64 Network::total_traffic_bytes() const {
+  u64 total = 0;
+  for (const auto& link : links_) total += link->traffic().bytes;
+  return total;
+}
+
+u64 Network::total_packets() const {
+  u64 total = 0;
+  for (const auto& link : links_) total += link->traffic().packets;
+  return total;
+}
+
+// ------------------------------------------------------------- builders ---
+
+BuiltTopology build_single_switch(Network& net, u32 hosts,
+                                  const LinkSpec& link, u32 max_allreduces) {
+  BuiltTopology topo;
+  Switch& sw = net.add_switch("sw0", max_allreduces);
+  topo.leaves.push_back(&sw);
+  for (u32 h = 0; h < hosts; ++h) {
+    Host& host = net.add_host("h" + std::to_string(h));
+    net.connect(host, sw, link.bandwidth_bps, link.latency_ps);
+    topo.hosts.push_back(&host);
+  }
+  net.build_routes();
+  return topo;
+}
+
+BuiltTopology build_fat_tree(Network& net, const FatTreeSpec& spec) {
+  FLARE_ASSERT(spec.radix >= 2 && spec.radix % 2 == 0);
+  const u32 down = spec.radix / 2;
+  FLARE_ASSERT_MSG(spec.hosts % down == 0,
+                   "hosts must fill leaf down-ports evenly");
+  const u32 n_leaf = spec.hosts / down;
+  FLARE_ASSERT_MSG((n_leaf * down) % spec.radix == 0,
+                   "uplinks must fill spine ports evenly");
+  const u32 n_spine = n_leaf * down / spec.radix;
+  FLARE_ASSERT(n_spine >= 1);
+
+  BuiltTopology topo;
+  for (u32 s = 0; s < n_spine; ++s)
+    topo.spines.push_back(
+        &net.add_switch("spine" + std::to_string(s), spec.max_allreduces));
+  for (u32 l = 0; l < n_leaf; ++l)
+    topo.leaves.push_back(
+        &net.add_switch("leaf" + std::to_string(l), spec.max_allreduces));
+
+  for (u32 l = 0; l < n_leaf; ++l) {
+    for (u32 h = 0; h < down; ++h) {
+      Host& host = net.add_host("h" + std::to_string(l * down + h));
+      net.connect(host, *topo.leaves[l], spec.link.bandwidth_bps,
+                  spec.link.latency_ps);
+      topo.hosts.push_back(&host);
+    }
+    // Round-robin wiring (leaf l uplink j -> spine (l + j) mod n_spine)
+    // keeps the leaf-spine graph connected for any radix.
+    for (u32 j = 0; j < down; ++j) {
+      const u32 s = (l + j) % n_spine;
+      net.connect(*topo.leaves[l], *topo.spines[s], spec.link.bandwidth_bps,
+                  spec.link.latency_ps);
+    }
+  }
+  net.build_routes();
+  return topo;
+}
+
+}  // namespace flare::net

@@ -1,0 +1,85 @@
+// The network simulator container: owns the event calendar (picoseconds),
+// nodes and links; computes shortest-path ECMP routes; and provides the two
+// topology builders the paper's evaluation uses — a single switch (Sections
+// 6.4/7.1 microbenchmarks) and the 2-level fat tree of 8-port 100 Gbps
+// switches connecting 64 nodes (Figure 15).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/node.hpp"
+
+namespace flare::net {
+
+struct PortPeer {
+  NodeId peer = kInvalidNode;
+  u32 my_port = 0;
+};
+
+class Network {
+ public:
+  Network() = default;
+
+  sim::Simulator& sim() { return sim_; }
+
+  Host& add_host(std::string name);
+  Switch& add_switch(std::string name, u32 max_allreduces = 8);
+
+  /// Creates a full-duplex link (two unidirectional Links) between a and b.
+  void connect(Node& a, Node& b, f64 bandwidth_bps, u64 latency_ps);
+
+  /// Computes shortest-path ECMP routing tables for every switch.
+  void build_routes();
+
+  Node& node(NodeId id) { return *nodes_.at(id); }
+  const std::vector<PortPeer>& neighbors(NodeId id) const {
+    return adjacency_.at(id);
+  }
+  u32 num_nodes() const { return static_cast<u32>(nodes_.size()); }
+  const std::vector<Host*>& hosts() const { return hosts_; }
+  const std::vector<Switch*>& switches() const { return switches_; }
+
+  /// Total bytes serialized over all links (both directions).
+  u64 total_traffic_bytes() const;
+  u64 total_packets() const;
+
+ private:
+  sim::Simulator sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::vector<PortPeer>> adjacency_;
+  std::vector<Host*> hosts_;
+  std::vector<Switch*> switches_;
+};
+
+// ------------------------------------------------------------- builders ---
+
+struct LinkSpec {
+  f64 bandwidth_bps = 100e9;  ///< 100 Gbps, the paper's Figure 15 links
+  u64 latency_ps = 500 * kPsPerNs;
+};
+
+struct BuiltTopology {
+  std::vector<Host*> hosts;
+  std::vector<Switch*> leaves;
+  std::vector<Switch*> spines;  ///< empty for the single-switch topology
+};
+
+/// `hosts` hosts attached to one switch.
+BuiltTopology build_single_switch(Network& net, u32 hosts,
+                                  const LinkSpec& link = {},
+                                  u32 max_allreduces = 8);
+
+struct FatTreeSpec {
+  u32 hosts = 64;
+  u32 radix = 8;  ///< ports per switch; radix/2 down + radix/2 up at leaves
+  LinkSpec link{};
+  u32 max_allreduces = 8;
+};
+
+/// 2-level fat tree: hosts/(radix/2) leaves, each with radix/2 uplinks
+/// wired round-robin to hosts/radix spines (full bisection).
+BuiltTopology build_fat_tree(Network& net, const FatTreeSpec& spec);
+
+}  // namespace flare::net

@@ -1,0 +1,159 @@
+#include "net/node.hpp"
+
+#include <algorithm>
+
+#include "net/network.hpp"
+
+namespace flare::net {
+
+void Host::receive(NetPacket&& pkt, u32 in_port) {
+  (void)in_port;
+  switch (pkt.kind) {
+    case PacketKind::kHostMsg:
+      FLARE_ASSERT(pkt.msg != nullptr);
+      if (on_msg_) on_msg_(*pkt.msg);
+      break;
+    case PacketKind::kReduceDown: {
+      FLARE_ASSERT(pkt.reduce != nullptr);
+      auto it = on_reduce_.find(pkt.reduce->hdr.allreduce_id);
+      if (it != on_reduce_.end()) it->second(*pkt.reduce);
+      break;
+    }
+    case PacketKind::kReduceUp:
+      FLARE_UNREACHABLE("host received up-bound reduction traffic");
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+core::CostModel make_zero_costs() {
+  // Functional aggregation is free inside the network simulator: timing is
+  // owned by the calibrated per-switch server (the paper's SST methodology).
+  core::CostModel c;
+  c.cycles_per_elem_f32 = 0;
+  c.cycles_per_elem_f16 = 0;
+  c.cycles_per_elem_i8 = 0;
+  c.cycles_per_elem_i16 = 0;
+  c.cycles_per_elem_i32 = 0;
+  c.cycles_per_elem_i64 = 0;
+  c.dma_packet_cycles = 0;
+  c.handler_dispatch_cycles = 0;
+  c.emit_packet_cycles = 0;
+  c.cold_start_cycles = 0;
+  c.hash_insert_cycles_per_pair = 0;
+  c.array_insert_cycles_per_pair = 0;
+  c.spill_append_cycles_per_pair = 0;
+  c.scan_cycles_per_slot = 0;
+  c.emit_cycles_per_pair = 0;
+  return c;
+}
+}  // namespace
+
+Switch::Switch(Network& net, NodeId id, std::string name, u32 max_allreduces)
+    : Node(net, id, std::move(name)), max_allreduces_(max_allreduces),
+      zero_costs_(make_zero_costs()) {}
+
+Switch::~Switch() = default;
+
+sim::Simulator& Switch::simulator() { return net_.sim(); }
+
+bool Switch::install_reduce(const core::AllreduceConfig& cfg,
+                            ReduceRole&& role) {
+  if (!can_install()) return false;
+  role.engine = std::make_unique<core::AllreduceEngine>(*this, cfg);
+  auto [it, inserted] = roles_.try_emplace(cfg.id, std::move(role));
+  FLARE_ASSERT_MSG(inserted, "allreduce id already installed on switch");
+  return true;
+}
+
+const ReduceRole* Switch::role(u32 allreduce_id) const {
+  auto it = roles_.find(allreduce_id);
+  return it == roles_.end() ? nullptr : &it->second;
+}
+
+const core::EngineStats* Switch::engine_stats(u32 allreduce_id) const {
+  const ReduceRole* r = role(allreduce_id);
+  return r == nullptr ? nullptr : &r->engine->stats();
+}
+
+void Switch::receive(NetPacket&& pkt, u32 in_port) {
+  (void)in_port;
+  switch (pkt.kind) {
+    case PacketKind::kHostMsg:
+      forward_host_msg(std::move(pkt));
+      break;
+    case PacketKind::kReduceUp:
+      on_reduce_up(std::move(pkt));
+      break;
+    case PacketKind::kReduceDown:
+      on_reduce_down(std::move(pkt));
+      break;
+  }
+}
+
+void Switch::forward_host_msg(NetPacket&& pkt) {
+  FLARE_ASSERT(pkt.dst_node < routes_.size());
+  const std::vector<u32>& ecmp = routes_[pkt.dst_node];
+  FLARE_ASSERT_MSG(!ecmp.empty(), "no route to destination");
+  // Deterministic ECMP: hash the flow id over the equal-cost set.
+  u64 h = pkt.flow * 0x9E3779B97F4A7C15ull;
+  const u32 out = ecmp[(h >> 32) % ecmp.size()];
+  port(out).send(std::move(pkt));
+}
+
+void Switch::on_reduce_up(NetPacket&& pkt) {
+  auto it = roles_.find(pkt.allreduce_id);
+  FLARE_ASSERT_MSG(it != roles_.end(),
+                   "reduction packet at a switch outside the tree");
+  ReduceRole& role2 = it->second;
+  reduce_packets_ += 1;
+  // Calibrated aggregation server: FIFO service at the PsPIN-derived rate.
+  const SimTime now = net_.sim().now();
+  const u64 service =
+      serialization_ps(pkt.wire_bytes, role2.service_bps);
+  const SimTime start = std::max(now, role2.server_busy_until);
+  role2.server_busy_until = start + service;
+  net_.sim().schedule_at(
+      role2.server_busy_until,
+      [this, id = pkt.allreduce_id, reduce = pkt.reduce] {
+        roles_.at(id).engine->process(reduce, [](SimTime) {});
+      });
+}
+
+void Switch::on_reduce_down(NetPacket&& pkt) {
+  auto it = roles_.find(pkt.allreduce_id);
+  FLARE_ASSERT_MSG(it != roles_.end(),
+                   "down-bound reduction packet at a switch outside the tree");
+  // Replicate toward every tree child (hosts or further switches).
+  const ReduceRole& role2 = it->second;
+  for (const u32 p : role2.child_ports) {
+    NetPacket copy = pkt;
+    port(p).send(std::move(copy));
+  }
+}
+
+void Switch::emit(core::Packet&& pkt, SimTime when) {
+  const u32 id = pkt.hdr.allreduce_id;
+  ReduceRole& role2 = roles_.at(id);
+  NetPacket np;
+  np.allreduce_id = id;
+  np.wire_bytes = pkt.wire_bytes();
+  if (role2.is_root || pkt.is_down()) {
+    np.kind = PacketKind::kReduceDown;
+    np.reduce = std::make_shared<const core::Packet>(std::move(pkt));
+    net_.sim().schedule_at(when, [this, np = std::move(np)]() mutable {
+      on_reduce_down(std::move(np));
+    });
+  } else {
+    np.kind = PacketKind::kReduceUp;
+    pkt.hdr.child_index = role2.child_index_at_parent;
+    np.reduce = std::make_shared<const core::Packet>(std::move(pkt));
+    const u32 out = role2.parent_port;
+    net_.sim().schedule_at(when, [this, out, np = std::move(np)]() mutable {
+      port(out).send(std::move(np));
+    });
+  }
+}
+
+}  // namespace flare::net

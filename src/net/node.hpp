@@ -1,0 +1,137 @@
+// Network nodes: hosts and switches.
+//
+// Switches forward host messages by destination routing tables (ECMP over
+// equal-cost ports by flow hash) and intercept Flare reduction traffic:
+// up-packets pass through a calibrated aggregation server (service rate
+// matched to the PsPIN unit's measured bandwidth — exactly how the paper
+// tuned its extended SST) and into a core::AllreduceEngine; results are
+// forwarded to the tree parent or multicast down to the tree children.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/allreduce_engine.hpp"
+#include "net/link.hpp"
+
+namespace flare::net {
+
+class Network;
+
+class Node {
+ public:
+  Node(Network& net, NodeId id, std::string name)
+      : net_(net), id_(id), name_(std::move(name)) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  u32 num_ports() const { return static_cast<u32>(ports_.size()); }
+
+  /// Registers an outgoing link as the next port; returns the port index.
+  u32 add_port(Link* out) {
+    ports_.push_back(out);
+    return static_cast<u32>(ports_.size() - 1);
+  }
+  Link& port(u32 i) { return *ports_.at(i); }
+
+  virtual void receive(NetPacket&& pkt, u32 in_port) = 0;
+
+ protected:
+  Network& net_;
+  NodeId id_;
+  std::string name_;
+  std::vector<Link*> ports_;
+};
+
+// ---------------------------------------------------------------------------
+
+class Host final : public Node {
+ public:
+  using MsgHandler = std::function<void(const HostMsg&)>;
+  using ReduceHandler = std::function<void(const core::Packet&)>;
+
+  Host(Network& net, NodeId id, u32 host_index, std::string name)
+      : Node(net, id, std::move(name)), host_index_(host_index) {}
+
+  u32 host_index() const { return host_index_; }
+  void set_msg_handler(MsgHandler h) { on_msg_ = std::move(h); }
+  /// Registers the consumer of down-multicast results for one allreduce id
+  /// (a host can participate in several concurrent allreduces, Section 4).
+  void set_reduce_handler(u32 allreduce_id, ReduceHandler h) {
+    on_reduce_[allreduce_id] = std::move(h);
+  }
+  void clear_reduce_handler(u32 allreduce_id) {
+    on_reduce_.erase(allreduce_id);
+  }
+
+  /// Sends through the NIC (port 0); the link serializes at NIC rate.
+  void send(NetPacket&& pkt) { port(0).send(std::move(pkt)); }
+
+  void receive(NetPacket&& pkt, u32 in_port) override;
+
+ private:
+  u32 host_index_;
+  MsgHandler on_msg_;
+  std::unordered_map<u32, ReduceHandler> on_reduce_;
+};
+
+// ---------------------------------------------------------------------------
+
+/// Reduction-tree role of one switch for one installed allreduce.
+struct ReduceRole {
+  std::unique_ptr<core::AllreduceEngine> engine;
+  bool is_root = false;
+  u32 parent_port = UINT32_MAX;      ///< toward the tree root
+  u16 child_index_at_parent = 0;     ///< our index among the parent's children
+  std::vector<u32> child_ports;      ///< down-multicast targets
+  /// Calibrated aggregation service rate (bits/s of up-traffic processed).
+  f64 service_bps = 0.0;
+  SimTime server_busy_until = 0;
+};
+
+class Switch final : public Node, public core::EngineHost {
+ public:
+  Switch(Network& net, NodeId id, std::string name, u32 max_allreduces = 8);
+  ~Switch() override;
+
+  // --- forwarding plane ---
+  void set_routes(std::vector<std::vector<u32>> routes) {
+    routes_ = std::move(routes);
+  }
+  void receive(NetPacket&& pkt, u32 in_port) override;
+
+  // --- control plane (driven by the coll::NetworkManager) ---
+  bool can_install() const { return roles_.size() < max_allreduces_; }
+  u32 max_allreduces() const { return max_allreduces_; }
+  /// Installs a reduction role; returns false if slots are exhausted.
+  bool install_reduce(const core::AllreduceConfig& cfg, ReduceRole&& role);
+  void uninstall_reduce(u32 allreduce_id) { roles_.erase(allreduce_id); }
+  const ReduceRole* role(u32 allreduce_id) const;
+  const core::EngineStats* engine_stats(u32 allreduce_id) const;
+
+  // --- EngineHost (picosecond clock; engines run with a zero cost model,
+  //     timing comes from the calibrated server) ---
+  sim::Simulator& simulator() override;
+  const core::CostModel& costs() override { return zero_costs_; }
+  void emit(core::Packet&& pkt, SimTime when) override;
+
+  u64 reduce_packets_processed() const { return reduce_packets_; }
+
+ private:
+  void forward_host_msg(NetPacket&& pkt);
+  void on_reduce_up(NetPacket&& pkt);
+  void on_reduce_down(NetPacket&& pkt);
+
+  u32 max_allreduces_;
+  std::vector<std::vector<u32>> routes_;  ///< dst NodeId -> ECMP port set
+  std::unordered_map<u32, ReduceRole> roles_;
+  core::CostModel zero_costs_;
+  u64 reduce_packets_ = 0;
+};
+
+}  // namespace flare::net

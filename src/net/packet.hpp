@@ -1,0 +1,57 @@
+// Network-level packet representation for the SST-style simulator
+// (Section 7.1, Figure 15).  Two traffic classes:
+//
+//  * Flare reduction packets (up toward the tree root / down multicast):
+//    carry a core::Packet and are intercepted by the per-switch reduction
+//    engine — this is the "switch modifies in-transit packets" capability
+//    the paper added to SST;
+//  * host-to-host messages used by the host-based baselines (ring allreduce
+//    and the SparCML-style sparse allreduce): routed by destination,
+//    opaque to switches.
+//
+// Time in this simulator is PICOSECONDS.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/packet.hpp"
+#include "core/sparse_store.hpp"
+#include "core/typed_buffer.hpp"
+
+namespace flare::net {
+
+using NodeId = u32;
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+/// Payload of a host-protocol message.  Fragments of one logical message
+/// share the (proto, tag, seq_count) triple; bulk data rides on one
+/// fragment as a shared_ptr (the others model wire bytes only).
+struct HostMsg {
+  u32 src_host = 0;
+  u32 dst_host = 0;
+  u32 proto = 0;  ///< protocol discriminator, owned by the collective
+  u32 tag = 0;    ///< step / chunk id
+  u32 seq = 0;
+  u32 seq_count = 1;
+  std::shared_ptr<const core::TypedBuffer> dense;
+  std::shared_ptr<const std::vector<core::StoredPair>> sparse;
+};
+
+enum class PacketKind : u8 {
+  kHostMsg = 0,
+  kReduceUp,
+  kReduceDown,
+};
+
+struct NetPacket {
+  PacketKind kind = PacketKind::kHostMsg;
+  u64 wire_bytes = 0;
+  NodeId dst_node = kInvalidNode;  ///< routing target for kHostMsg
+  u64 flow = 0;                    ///< ECMP hash input
+  u32 allreduce_id = 0;            ///< for reduction traffic
+  std::shared_ptr<const core::Packet> reduce;
+  std::shared_ptr<const HostMsg> msg;
+};
+
+}  // namespace flare::net

@@ -1,0 +1,45 @@
+// PsPIN processing-unit configuration (Section 3 of the paper).
+//
+// Defaults reproduce the paper's scaled switch: 64 clusters of 8 RI5CY HPUs
+// at 1 GHz inside the 180 mm^2 area budget, 1 MiB single-cycle L1 TCDM per
+// cluster, a 4 MiB shared L2 packet memory, and hierarchical FCFS
+// scheduling that pins all packets of a reduction block to a subset of S
+// cores within one cluster (Section 5).
+#pragma once
+
+#include "common/units.hpp"
+#include "core/cost_model.hpp"
+
+namespace flare::pspin {
+
+enum class SchedulerKind : u8 {
+  /// One global FCFS queue over all cores; blocks land on arbitrary
+  /// clusters, so aggregation touches remote L1 (the slow strawman).
+  kGlobalFcfs = 0,
+  /// Packets of one block go FCFS to a fixed subset of S cores inside one
+  /// cluster (local L1 only) — Flare's design.
+  kHierarchicalFcfs,
+};
+
+struct PsPinConfig {
+  u32 n_clusters = 64;
+  u32 cores_per_cluster = 8;
+  /// S: cores per scheduling subset; must divide cores_per_cluster.
+  u32 subset_cores = 8;
+  f64 clock_ghz = 1.0;
+  u64 l2_packet_bytes = 4 * kMiB;
+  u64 l1_bytes_per_cluster = 1 * kMiB;
+  SchedulerKind scheduler = SchedulerKind::kHierarchicalFcfs;
+  /// Charge the i-cache fill the first time each core runs a handler.
+  bool charge_cold_start = true;
+  core::CostModel costs{};
+
+  u32 total_cores() const { return n_clusters * cores_per_cluster; }
+  u32 num_subsets() const {
+    return scheduler == SchedulerKind::kGlobalFcfs
+               ? 1
+               : total_cores() / subset_cores;
+  }
+};
+
+}  // namespace flare::pspin

@@ -1,0 +1,55 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace flare::sim {
+
+void Simulator::schedule_at(SimTime at, EventFn fn) {
+  FLARE_ASSERT_MSG(at >= now_, "event scheduled in the past");
+  FLARE_ASSERT(fn != nullptr);
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void Simulator::dispatch(Event&& ev) {
+  now_ = ev.at;
+  events_run_ += 1;
+  ev.fn();
+}
+
+u64 Simulator::run() {
+  stop_requested_ = false;
+  u64 n = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    // priority_queue::top() returns const&; the event is copied out so the
+    // callback can schedule new events (which may reallocate the heap).
+    Event ev = queue_.top();
+    queue_.pop();
+    dispatch(std::move(ev));
+    ++n;
+  }
+  return n;
+}
+
+u64 Simulator::run_until(SimTime until) {
+  stop_requested_ = false;
+  u64 n = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.top().at > until) break;
+    Event ev = queue_.top();
+    queue_.pop();
+    dispatch(std::move(ev));
+    ++n;
+  }
+  if (now_ < until && queue_.empty()) now_ = until;
+  return n;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  dispatch(std::move(ev));
+  return true;
+}
+
+}  // namespace flare::sim

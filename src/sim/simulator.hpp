@@ -1,0 +1,80 @@
+// Discrete-event simulation core.
+//
+// A single-threaded event calendar: callbacks scheduled at absolute times,
+// dispatched in (time, insertion-sequence) order.  The sequence tie-break
+// makes every run bit-for-bit deterministic — essential both for the
+// reproducibility experiments (Section 6.3 of the paper) and for debugging
+// the aggregation state machines.
+//
+// Time units are not interpreted by this layer: the PsPIN simulator ticks in
+// core cycles, the network simulator in picoseconds.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+
+namespace flare::sim {
+
+using EventFn = std::function<void()>;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.  Valid inside event callbacks and after run().
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (must be >= now()).
+  void schedule_at(SimTime at, EventFn fn);
+
+  /// Schedules `fn` `delay` ticks after the current time.
+  void schedule_after(SimTime delay, EventFn fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs until the calendar is empty.  Returns the number of events run.
+  u64 run();
+
+  /// Runs until the calendar is empty or simulated time exceeds `until`.
+  /// Events scheduled exactly at `until` are executed.
+  u64 run_until(SimTime until);
+
+  /// Runs a single event if one is pending; returns false if calendar empty.
+  bool step();
+
+  /// Requests run()/run_until() to return after the current event completes.
+  void stop() { stop_requested_ = true; }
+
+  bool empty() const { return queue_.empty(); }
+  u64 pending_events() const { return queue_.size(); }
+  u64 total_events_run() const { return events_run_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    u64 seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;  // FIFO among same-time events.
+    }
+  };
+
+  void dispatch(Event&& ev);
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  u64 next_seq_ = 0;
+  u64 events_run_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace flare::sim

@@ -1,0 +1,3 @@
+#include "workload/arrivals.hpp"
+
+namespace flare::workload {}

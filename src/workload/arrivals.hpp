@@ -1,0 +1,35 @@
+// Packet arrival processes.  The paper's single-switch experiments generate
+// packets "with a random and exponentially distributed arrival rate"
+// (Section 6.4); deterministic pacing is available for the model-validation
+// tests, which need the exact scenarios of Figure 5.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace flare::workload {
+
+enum class ArrivalKind : u8 {
+  kDeterministic = 0,  ///< fixed interval
+  kExponential,        ///< Poisson process with the given mean interval
+};
+
+class ArrivalProcess {
+ public:
+  ArrivalProcess(ArrivalKind kind, f64 mean_interval, u64 seed)
+      : kind_(kind), mean_(mean_interval), rng_(seed) {}
+
+  /// Next interarrival gap (>= 0, same units as mean_interval).
+  f64 next_gap() {
+    if (kind_ == ArrivalKind::kDeterministic) return mean_;
+    return rng_.exponential(mean_);
+  }
+
+  f64 mean_interval() const { return mean_; }
+
+ private:
+  ArrivalKind kind_;
+  f64 mean_;
+  Rng rng_;
+};
+
+}  // namespace flare::workload

@@ -1,0 +1,105 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace flare::workload {
+
+std::vector<core::TypedBuffer> make_dense_data(u32 hosts, std::size_t elems,
+                                               core::DType dtype, u64 seed) {
+  std::vector<core::TypedBuffer> out;
+  out.reserve(hosts);
+  for (u32 h = 0; h < hosts; ++h) {
+    Rng rng(derive_seed(seed, h));
+    core::TypedBuffer buf(dtype, elems);
+    buf.fill_random(rng);
+    out.push_back(std::move(buf));
+  }
+  return out;
+}
+
+namespace {
+
+/// Draws `count` distinct indices in [0, span) into `out` (which may
+/// already contain indices that must not be duplicated).
+void draw_distinct(Rng& rng, u32 span, std::size_t count,
+                   std::unordered_set<u32>& seen, std::vector<u32>& out) {
+  FLARE_ASSERT(seen.size() + count <= span);
+  while (count > 0) {
+    const u32 idx = static_cast<u32>(rng.uniform_u64(span));
+    if (seen.insert(idx).second) {
+      out.push_back(idx);
+      count -= 1;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<u32> sparse_block_indices(const SparseSpec& spec, u32 host,
+                                      u32 block) {
+  const f64 expected =
+      static_cast<f64>(spec.span) * std::clamp(spec.density, 0.0, 1.0);
+  // Per-host per-block Poisson-ish variation around the expectation, but
+  // deterministic: jitter comes from the host/block RNG itself.
+  Rng host_rng(derive_seed(derive_seed(spec.seed, 0x5A5A + host), block));
+  f64 jitter = 1.0 + 0.25 * (host_rng.uniform() - 0.5);
+  std::size_t nnz = static_cast<std::size_t>(expected * jitter + 0.5);
+  nnz = std::min<std::size_t>(nnz, spec.span);
+
+  const std::size_t shared_count = static_cast<std::size_t>(
+      static_cast<f64>(nnz) * std::clamp(spec.overlap, 0.0, 1.0) + 0.5);
+
+  std::unordered_set<u32> seen;
+  std::vector<u32> out;
+  out.reserve(nnz);
+  if (shared_count > 0) {
+    // The shared pool is drawn from a block-only RNG: every host picks the
+    // same pool, modelling "important coordinates are important everywhere".
+    Rng shared_rng(derive_seed(derive_seed(spec.seed, 0xC0DE), block));
+    draw_distinct(shared_rng, spec.span, shared_count, seen, out);
+  }
+  if (nnz > shared_count) {
+    draw_distinct(host_rng, spec.span, nnz - shared_count, seen, out);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<core::SparsePair> sparse_block_pairs(const SparseSpec& spec,
+                                                 u32 host, u32 block) {
+  const std::vector<u32> idx = sparse_block_indices(spec, host, block);
+  Rng val_rng(
+      derive_seed(derive_seed(spec.seed, 0x7A1Eu + host), block));
+  std::vector<core::SparsePair> out;
+  out.reserve(idx.size());
+  for (const u32 i : idx) {
+    f64 v = val_rng.uniform(-8.0, 8.0);
+    if (!core::dtype_is_float(spec.dtype)) v = std::floor(v);
+    if (v == 0.0) v = 1.0;  // non-zero by construction
+    out.push_back({i, v});
+  }
+  return out;
+}
+
+core::TypedBuffer densify(const SparseSpec& spec,
+                          const std::vector<core::SparsePair>& pairs) {
+  core::TypedBuffer buf(spec.dtype, spec.span);
+  core::ReduceOp sum(core::OpKind::kSum);
+  buf.fill_identity(sum);
+  for (const auto& p : pairs) buf.set_from_f64(p.index, p.value);
+  return buf;
+}
+
+std::size_t union_index_count(const SparseSpec& spec, u32 hosts, u32 block) {
+  std::unordered_set<u32> all;
+  for (u32 h = 0; h < hosts; ++h) {
+    for (const u32 i : sparse_block_indices(spec, h, block)) all.insert(i);
+  }
+  return all.size();
+}
+
+}  // namespace flare::workload

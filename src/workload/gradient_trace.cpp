@@ -1,0 +1,75 @@
+#include "workload/gradient_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace flare::workload {
+
+GradientTrace::GradientTrace(GradientTraceSpec spec, u32 hosts)
+    : spec_(spec), hosts_(hosts) {
+  FLARE_ASSERT(spec_.bucket >= 1 && spec_.top_k >= 1);
+  FLARE_ASSERT(spec_.top_k <= spec_.bucket);
+  buckets_ = (spec_.model_elems + spec_.bucket - 1) / spec_.bucket;
+  Rng rng(derive_seed(spec_.seed, 0x1A7E5));
+  layer_scales_.resize(std::max<u32>(spec_.layers, 1));
+  for (auto& s : layer_scales_) s = std::exp(rng.normal(0.0, 1.5));
+}
+
+f64 GradientTrace::density() const {
+  return static_cast<f64>(spec_.top_k) / static_cast<f64>(spec_.bucket);
+}
+
+u32 GradientTrace::hot_index(u64 bucket) const {
+  Rng rng(derive_seed(derive_seed(spec_.seed, 0x9D07u), bucket));
+  return static_cast<u32>(rng.uniform_u64(spec_.bucket));
+}
+
+f64 GradientTrace::layer_scale(u64 bucket) const {
+  const u64 layer = bucket * layer_scales_.size() / std::max<u64>(buckets_, 1);
+  return layer_scales_[std::min<u64>(layer, layer_scales_.size() - 1)];
+}
+
+std::vector<core::SparsePair> GradientTrace::window_pairs(
+    u32 host, u64 first_bucket, u64 bucket_count) const {
+  std::vector<core::SparsePair> out;
+  out.reserve(bucket_count * spec_.top_k);
+  for (u64 b = first_bucket;
+       b < std::min(first_bucket + bucket_count, buckets_); ++b) {
+    Rng rng(derive_seed(derive_seed(spec_.seed, 0xB0B0 + host), b));
+    std::unordered_set<u32> chosen;
+    for (u32 k = 0; k < spec_.top_k; ++k) {
+      u32 off;
+      if (rng.uniform() < spec_.overlap) {
+        off = (hot_index(b) + k) % spec_.bucket;  // shared hot coordinates
+      } else {
+        off = static_cast<u32>(rng.uniform_u64(spec_.bucket));
+      }
+      while (!chosen.insert(off).second) off = (off + 1) % spec_.bucket;
+      const f64 magnitude = layer_scale(b) * std::abs(rng.normal(0.0, 1.0));
+      const f64 sign = rng.bernoulli(0.5) ? 1.0 : -1.0;
+      const u64 rel = (b - first_bucket) * spec_.bucket + off;
+      out.push_back({static_cast<u32>(rel), sign * (magnitude + 1e-6)});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const core::SparsePair& a, const core::SparsePair& b) {
+              return a.index < b.index;
+            });
+  return out;
+}
+
+std::size_t GradientTrace::window_union(u64 first_bucket,
+                                        u64 bucket_count) const {
+  std::unordered_set<u64> all;
+  for (u32 h = 0; h < hosts_; ++h) {
+    for (const auto& p : window_pairs(h, first_bucket, bucket_count)) {
+      all.insert(p.index);
+    }
+  }
+  return all.size();
+}
+
+}  // namespace flare::workload

@@ -1,0 +1,63 @@
+// Synthetic sparsified-gradient traces (substitute for the paper's ResNet50
+// SparCML trace, Section 7.1 / Figure 15).
+//
+// The paper's trace: 64 hosts, a 100 MiB fp32 gradient per host, split into
+// buckets of 512 values, top-1 value per bucket transmitted (~0.2 % density).
+// This generator reproduces that structure synthetically:
+//
+//   * the model is a sequence of "layers" with log-normal magnitude scales
+//     (gradient magnitude varies by orders of magnitude across layers);
+//   * within each bucket, every host transmits exactly `top_k` indices;
+//   * with probability `overlap` a host picks the bucket's shared "hot"
+//     index (top-k selections agree strongly across data-parallel workers);
+//     otherwise it picks a private random index in the bucket.
+//
+// The substitution preserves what Flare's performance depends on: density,
+// per-bucket packetization, and the cross-host index-overlap profile that
+// drives densification along the reduction tree.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/packet.hpp"
+
+namespace flare::workload {
+
+struct GradientTraceSpec {
+  u64 model_elems = 25 * 1024 * 1024;  ///< fp32 elements (100 MiB)
+  u32 bucket = 512;                    ///< sparsification bucket size
+  u32 top_k = 1;                       ///< values kept per bucket
+  f64 overlap = 0.85;                  ///< P(host picks the shared hot index)
+  u32 layers = 50;                     ///< magnitude-scale segments
+  u64 seed = 7;
+};
+
+class GradientTrace {
+ public:
+  GradientTrace(GradientTraceSpec spec, u32 hosts);
+
+  u32 hosts() const { return hosts_; }
+  u64 buckets() const { return buckets_; }
+  f64 density() const;
+
+  /// Sparse pairs of `host` restricted to buckets [first, first+count);
+  /// indices are relative to the window start.  Used to chop the trace into
+  /// reduction blocks.
+  std::vector<core::SparsePair> window_pairs(u32 host, u64 first_bucket,
+                                             u64 bucket_count) const;
+
+  /// Distinct indices across all hosts in the window (densification probe).
+  std::size_t window_union(u64 first_bucket, u64 bucket_count) const;
+
+ private:
+  u32 hot_index(u64 bucket) const;     ///< shared per-bucket hot offset
+  f64 layer_scale(u64 bucket) const;
+
+  GradientTraceSpec spec_;
+  u32 hosts_;
+  u64 buckets_;
+  std::vector<f64> layer_scales_;
+};
+
+}  // namespace flare::workload

@@ -1,0 +1,241 @@
+// Collective-level property sweeps: the traffic and scaling laws each
+// scheme must obey on any topology/host-count —
+//
+//   * ring allreduce: per-host bytes = 2 (P-1)/P Z (Rabenseifner bound);
+//   * Flare dense: host->switch traffic = Z per host (the paper's 2x
+//     claim), monotone in Z, result independent of topology;
+//   * SparCML: exactly log2(P) rounds, traffic grows with the union;
+//   * barrier: completion scales with tree depth, not host count;
+//   * concurrent tenants: traffic additivity.
+#include <gtest/gtest.h>
+
+#include "coll/flare_dense.hpp"
+#include "coll/flare_sparse.hpp"
+#include "coll/other_collectives.hpp"
+#include "coll/ring.hpp"
+#include "coll/sparcml.hpp"
+#include "workload/generators.hpp"
+
+namespace flare::coll {
+namespace {
+
+// ----------------------------------------------------- ring traffic law ---
+
+class RingTrafficLaw : public ::testing::TestWithParam<u32> {};
+
+TEST_P(RingTrafficLaw, MatchesRabenseifnerBound) {
+  const u32 P = GetParam();
+  const u64 Z = 64_KiB;
+  net::Network net;
+  auto topo = net::build_single_switch(net, P);
+  RingOptions opt;
+  opt.data_bytes = Z;
+  const auto res = run_ring_allreduce(net, topo.hosts, opt);
+  ASSERT_TRUE(res.ok);
+  // Payload bytes per host: 2 * (P-1)/P * Z; every byte crosses 2 links on
+  // a single switch; allow up to 8% for headers and chunk rounding.
+  const f64 ideal = 2.0 * static_cast<f64>(P - 1) / P *
+                    static_cast<f64>(Z) * P * 2.0;
+  const f64 ratio = static_cast<f64>(res.total_traffic_bytes) / ideal;
+  EXPECT_GT(ratio, 0.99);
+  EXPECT_LT(ratio, 1.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(HostCounts, RingTrafficLaw,
+                         ::testing::Values(2, 3, 4, 6, 8, 12, 16));
+
+// ------------------------------------------------- flare dense traffic ----
+
+class FlareDenseTrafficLaw : public ::testing::TestWithParam<u32> {};
+
+TEST_P(FlareDenseTrafficLaw, HostUplinkCarriesExactlyZ) {
+  // Each host transmits its vector ONCE — the in-network 2x saving.
+  const u32 P = GetParam();
+  const u64 Z = 32_KiB;
+  net::Network net;
+  auto topo = net::build_single_switch(net, P);
+  FlareDenseOptions opt;
+  opt.data_bytes = Z;
+  const auto res = run_flare_dense(net, topo.hosts, opt);
+  ASSERT_TRUE(res.ok);
+  // Single switch: up = P*Z, down multicast = P*Z, plus per-packet headers.
+  const f64 ideal = 2.0 * static_cast<f64>(P) * static_cast<f64>(Z);
+  const f64 ratio = static_cast<f64>(res.total_traffic_bytes) / ideal;
+  EXPECT_GT(ratio, 0.99);
+  EXPECT_LT(ratio, 1.10);  // 64B header per 1 KiB payload ~ 6%
+}
+
+INSTANTIATE_TEST_SUITE_P(HostCounts, FlareDenseTrafficLaw,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+TEST(FlareDenseScaling, CompletionMonotoneInSize) {
+  f64 prev = 0.0;
+  for (const u64 z : {16_KiB, 64_KiB, 256_KiB}) {
+    net::Network net;
+    auto topo = net::build_single_switch(net, 8);
+    FlareDenseOptions opt;
+    opt.data_bytes = z;
+    const auto res = run_flare_dense(net, topo.hosts, opt);
+    ASSERT_TRUE(res.ok) << z;
+    EXPECT_GT(res.completion_seconds, prev) << z;
+    prev = res.completion_seconds;
+  }
+}
+
+TEST(FlareDenseScaling, ResultIndependentOfTopology) {
+  // The same participants and data must produce the same numbers whether
+  // they sit on one switch or across a fat tree (reproducible mode makes
+  // the comparison bitwise-meaningful through max_abs_err equality).
+  FlareDenseOptions opt;
+  opt.data_bytes = 32_KiB;
+  opt.reproducible = true;
+  opt.seed = 1234;
+
+  net::Network a;
+  auto ta = net::build_single_switch(a, 16);
+  const auto ra = run_flare_dense(a, ta.hosts, opt);
+
+  net::Network b;
+  net::FatTreeSpec spec;
+  spec.hosts = 16;
+  spec.radix = 4;
+  auto tb = net::build_fat_tree(b, spec);
+  const auto rb = run_flare_dense(b, tb.hosts, opt);
+
+  ASSERT_TRUE(ra.ok && rb.ok);
+  // Tree association differs between a flat 16-child tree and a two-level
+  // (4x4) one, so bitwise equality is not required — but both must be
+  // within the fp32 reduction tolerance of the same reference.
+  EXPECT_LE(ra.max_abs_err, 1e-3 * 16);
+  EXPECT_LE(rb.max_abs_err, 1e-3 * 16);
+}
+
+// ------------------------------------------------------------- sparcml ----
+
+class SparcmlRounds : public ::testing::TestWithParam<u32> {};
+
+TEST_P(SparcmlRounds, ExactlyLogPRounds) {
+  const u32 P = GetParam();
+  net::Network net;
+  auto topo = net::build_single_switch(net, P);
+  SparcmlOptions opt;
+  opt.total_elems = 2048;
+  workload::SparseSpec spec{2048, 0.05, 0.3, core::DType::kFloat32, 55};
+  auto provider = [&spec](u32 h) {
+    return workload::sparse_block_pairs(spec, h, 0);
+  };
+  const auto res = run_sparcml_allreduce(net, topo.hosts, provider, opt);
+  ASSERT_TRUE(res.ok);
+  u32 logp = 0;
+  while ((1u << logp) < P) ++logp;
+  EXPECT_EQ(res.blocks, logp);  // blocks field reports rounds
+}
+
+INSTANTIATE_TEST_SUITE_P(HostCounts, SparcmlRounds,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+TEST(SparcmlProperty, TrafficGrowsWithLowerOverlap) {
+  auto run_with_overlap = [](f64 overlap) {
+    net::Network net;
+    auto topo = net::build_single_switch(net, 16);
+    SparcmlOptions opt;
+    opt.total_elems = 8192;
+    workload::SparseSpec spec{8192, 0.03, overlap, core::DType::kFloat32,
+                              66};
+    auto provider = [&spec](u32 h) {
+      return workload::sparse_block_pairs(spec, h, 0);
+    };
+    const auto res = run_sparcml_allreduce(net, topo.hosts, provider, opt);
+    EXPECT_TRUE(res.ok);
+    return res.total_traffic_bytes;
+  };
+  // Less overlap -> bigger unions every round -> more bytes.
+  EXPECT_GT(run_with_overlap(0.0), run_with_overlap(0.9));
+}
+
+// ------------------------------------------------------------- barrier ----
+
+TEST(BarrierProperty, LatencyScalesWithDepthNotHosts) {
+  // Barrier over 8 hosts on one switch vs 64 hosts on a deeper fat tree:
+  // the fat-tree barrier pays more hops but stays in the microsecond range
+  // (empty packets; no serialization of bulk data).
+  net::Network a;
+  auto ta = net::build_single_switch(a, 8);
+  const auto ra = run_flare_barrier(a, ta.hosts);
+  ASSERT_TRUE(ra.ok);
+
+  net::Network b;
+  auto tb = net::build_fat_tree(b, net::FatTreeSpec{});
+  const auto rb = run_flare_barrier(b, tb.hosts);
+  ASSERT_TRUE(rb.ok);
+
+  EXPECT_GT(rb.completion_seconds, ra.completion_seconds);  // more hops
+  EXPECT_LT(rb.completion_seconds, 50e-6);                  // but still tiny
+}
+
+// ------------------------------------------------------- sparse density ---
+
+class SparseDensitySweep : public ::testing::TestWithParam<f64> {};
+
+TEST_P(SparseDensitySweep, TrafficTracksDensity) {
+  const f64 density = GetParam();
+  net::Network net;
+  auto topo = net::build_single_switch(net, 8);
+  const u32 span = 2560;
+  workload::SparseSpec spec{span, density, 0.5, core::DType::kFloat32, 77};
+  SparseWorkload w;
+  w.block_span = span;
+  w.num_blocks = 8;
+  w.pairs = [spec](u32 h, u32 b) {
+    return workload::sparse_block_pairs(spec, h, b);
+  };
+  const auto res = run_flare_sparse(net, topo.hosts, w, {});
+  ASSERT_TRUE(res.ok) << res.max_abs_err;
+  // Host pairs scale ~ density * span * blocks per host.
+  const f64 expected_pairs = density * span * 8;
+  const f64 per_host =
+      static_cast<f64>(res.host_pairs_sent) / topo.hosts.size();
+  EXPECT_NEAR(per_host / expected_pairs, 1.0, 0.15) << density;
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, SparseDensitySweep,
+                         ::testing::Values(0.01, 0.05, 0.10, 0.25));
+
+// ----------------------------------------------------- tenant additivity --
+
+TEST(MultiTenantProperty, TrafficIsAdditive) {
+  // Two concurrent tenants move (approximately) the sum of what each moves
+  // alone — the fabric does not duplicate or lose traffic under sharing.
+  const u64 Z = 32_KiB;
+  auto solo_traffic = [&](u64 seed) {
+    net::Network net;
+    auto topo = net::build_single_switch(net, 8);
+    FlareDenseOptions opt;
+    opt.data_bytes = Z;
+    opt.seed = seed;
+    const auto res = run_flare_dense(net, topo.hosts, opt);
+    EXPECT_TRUE(res.ok);
+    return res.total_traffic_bytes;
+  };
+  const u64 a = solo_traffic(1), b = solo_traffic(2);
+
+  net::Network net;
+  auto topo = net::build_single_switch(net, 8);
+  std::vector<DenseTenant> tenants(2);
+  tenants[0].participants = topo.hosts;
+  tenants[0].opt.data_bytes = Z;
+  tenants[0].opt.seed = 1;
+  tenants[1].participants = topo.hosts;
+  tenants[1].opt.data_bytes = Z;
+  tenants[1].opt.seed = 2;
+  const auto both = run_flare_dense_concurrent(net, std::move(tenants));
+  ASSERT_TRUE(both[0].ok && both[1].ok);
+  // Per-tenant deltas overlap in time, so compare the NETWORK-wide total:
+  // sharing must neither duplicate nor drop traffic.
+  const u64 together = net.total_traffic_bytes();
+  EXPECT_NEAR(static_cast<f64>(together) / static_cast<f64>(a + b), 1.0,
+              0.02);
+}
+
+}  // namespace
+}  // namespace flare::coll

@@ -1,0 +1,194 @@
+// Unit tests for src/common: units, RNG determinism and distributions,
+// running statistics, gauges, histograms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace flare {
+namespace {
+
+TEST(Units, ByteLiterals) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(4_MiB, 4ull * 1024 * 1024);
+  EXPECT_EQ(2_MiB, 2048_KiB);
+}
+
+TEST(Units, CycleSecondsRoundTrip) {
+  const u64 cycles = 123456789;
+  const f64 s = cycles_to_seconds(cycles, 1.0);
+  EXPECT_EQ(seconds_to_cycles(s, 1.0), cycles);
+}
+
+TEST(Units, BandwidthFromCycles) {
+  // 1 KiB in 1024 cycles at 1 GHz = 1 byte/ns = 8 Gbit/s.
+  EXPECT_NEAR(bytes_per_cycles_to_bps(1024, 1024, 1.0), 8e9, 1e3);
+}
+
+TEST(Units, SerializationPs) {
+  // 1250 bytes at 100 Gbps = 100 ns.
+  EXPECT_EQ(serialization_ps(1250, 100e9), 100u * kPsPerNs);
+}
+
+TEST(Units, BpsFromBytesPs) {
+  EXPECT_NEAR(bps_from_bytes_ps(1250, 100 * kPsPerNs), 100e9, 1.0);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  const u64 first = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const f64 u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformU64Bounds) {
+  Rng r(4);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.uniform_u64(17), 17u);
+}
+
+TEST(Rng, UniformU64CoversAllResidues) {
+  Rng r(5);
+  std::set<u64> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.uniform_u64(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(6);
+  f64 sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(8);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(r.normal(2.0, 3.0));
+  EXPECT_NEAR(s.mean(), 2.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, DeriveSeedDecorrelates) {
+  const u64 a = derive_seed(100, 0);
+  const u64 b = derive_seed(100, 1);
+  EXPECT_NE(a, b);
+  // Streams from adjacent ids should not produce equal first draws.
+  Rng ra(a), rb(b);
+  EXPECT_NE(ra(), rb());
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (const f64 v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  Rng r(9);
+  for (int i = 0; i < 100; ++i) {
+    const f64 v = r.uniform(-5, 5);
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.count(), all.count());
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Gauge, HighWaterAndCurrent) {
+  Gauge g;
+  g.add(5, 0);
+  g.add(7, 10);
+  g.add(-3, 20);
+  EXPECT_EQ(g.current(), 9u);
+  EXPECT_EQ(g.high_water(), 12u);
+}
+
+TEST(Gauge, TimeWeightedMean) {
+  Gauge g;
+  g.set(10, 0);
+  g.set(0, 10);   // level 10 for 10 ticks
+  // level 0 for 10 ticks
+  EXPECT_NEAR(g.time_weighted_mean(20), 5.0, 1e-12);
+}
+
+TEST(Gauge, SetTracksHighWater) {
+  Gauge g;
+  g.set(100, 0);
+  g.set(1, 5);
+  EXPECT_EQ(g.high_water(), 100u);
+  EXPECT_EQ(g.current(), 1u);
+}
+
+TEST(TrafficCounter, Accumulates) {
+  TrafficCounter c;
+  c.add(100);
+  c.add(28);
+  TrafficCounter d;
+  d.add(1);
+  c.merge(d);
+  EXPECT_EQ(c.packets, 3u);
+  EXPECT_EQ(c.bytes, 129u);
+}
+
+TEST(Histogram, BinningAndQuantiles) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<f64>(i));
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.bin_count(0), 10u);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 10.0);
+  EXPECT_NEAR(h.quantile(0.95), 95.0, 10.0);
+}
+
+TEST(Histogram, OverflowUnderflowCounted) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(100.0);
+  h.add(5.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+}
+
+}  // namespace
+}  // namespace flare

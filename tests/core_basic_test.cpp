@@ -1,0 +1,446 @@
+// Core building blocks: dtypes (incl. software fp16), reduction operators
+// (built-in + custom, F1), packet encode/decode, completion trackers
+// (retransmission bitmap, sparse shard counters), policy selection
+// thresholds, staggered sending schedules, buffer-pool accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "core/block_state.hpp"
+#include "core/buffer_pool.hpp"
+#include "core/packet.hpp"
+#include "core/policy.hpp"
+#include "core/reduce_op.hpp"
+#include "core/staggered.hpp"
+#include "core/typed_buffer.hpp"
+
+namespace flare::core {
+namespace {
+
+// ---------------------------------------------------------------- dtypes --
+
+TEST(DType, Sizes) {
+  EXPECT_EQ(dtype_size(DType::kInt8), 1u);
+  EXPECT_EQ(dtype_size(DType::kInt16), 2u);
+  EXPECT_EQ(dtype_size(DType::kInt32), 4u);
+  EXPECT_EQ(dtype_size(DType::kInt64), 8u);
+  EXPECT_EQ(dtype_size(DType::kFloat16), 2u);
+  EXPECT_EQ(dtype_size(DType::kFloat32), 4u);
+}
+
+TEST(DType, Names) {
+  EXPECT_EQ(dtype_name(DType::kInt32), "int32");
+  EXPECT_EQ(dtype_name(DType::kFloat16), "float16");
+}
+
+TEST(Float16, ExactSmallIntegers) {
+  for (int i = -128; i <= 128; ++i) {
+    const f32 v = static_cast<f32>(i);
+    EXPECT_EQ(f16_to_f32(f32_to_f16(v)), v) << i;
+  }
+}
+
+TEST(Float16, RoundTripRepresentables) {
+  // All powers of two in half range round-trip exactly.
+  for (int e = -14; e <= 15; ++e) {
+    const f32 v = std::ldexp(1.0f, e);
+    EXPECT_EQ(f16_to_f32(f32_to_f16(v)), v) << e;
+  }
+}
+
+TEST(Float16, SignedZero) {
+  EXPECT_EQ(f32_to_f16(0.0f), 0x0000u);
+  EXPECT_EQ(f32_to_f16(-0.0f), 0x8000u);
+}
+
+TEST(Float16, InfinityAndOverflow) {
+  EXPECT_EQ(f32_to_f16(1e10f), 0x7C00u);
+  EXPECT_EQ(f32_to_f16(-1e10f), 0xFC00u);
+  EXPECT_TRUE(std::isinf(f16_to_f32(0x7C00u)));
+}
+
+TEST(Float16, NanPropagates) {
+  const u16 h = f32_to_f16(std::numeric_limits<f32>::quiet_NaN());
+  EXPECT_TRUE(std::isnan(f16_to_f32(h)));
+}
+
+TEST(Float16, SubnormalsRoundTrip) {
+  const f32 smallest = std::ldexp(1.0f, -24);  // smallest half subnormal
+  EXPECT_EQ(f16_to_f32(f32_to_f16(smallest)), smallest);
+  EXPECT_EQ(f32_to_f16(std::ldexp(1.0f, -30)), 0u);  // flushes to zero
+}
+
+TEST(Float16, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and 1+2^-10: ties to even -> 1.
+  const f32 halfway = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(f16_to_f32(f32_to_f16(halfway)), 1.0f);
+  // Just above halfway rounds up.
+  const f32 above = 1.0f + std::ldexp(1.0f, -11) + std::ldexp(1.0f, -16);
+  EXPECT_EQ(f16_to_f32(f32_to_f16(above)), 1.0f + std::ldexp(1.0f, -10));
+}
+
+// ------------------------------------------------------------- operators --
+
+struct OpCase {
+  OpKind kind;
+  f64 a, b, expected;
+};
+
+class BuiltinOpTest : public ::testing::TestWithParam<std::tuple<DType, OpCase>> {};
+
+TEST_P(BuiltinOpTest, SingleElement) {
+  const auto [dtype, c] = GetParam();
+  ReduceOp op(c.kind);
+  if (!op.supports(dtype)) GTEST_SKIP();
+  TypedBuffer acc(dtype, 1), in(dtype, 1);
+  acc.set_from_f64(0, c.a);
+  in.set_from_f64(0, c.b);
+  acc.accumulate(in, op);
+  EXPECT_DOUBLE_EQ(acc.get_as_f64(0), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, BuiltinOpTest,
+    ::testing::Combine(
+        ::testing::Values(DType::kInt8, DType::kInt16, DType::kInt32,
+                          DType::kInt64, DType::kFloat16, DType::kFloat32),
+        ::testing::Values(OpCase{OpKind::kSum, 3, 4, 7},
+                          OpCase{OpKind::kProd, 3, 4, 12},
+                          OpCase{OpKind::kMin, 3, 4, 3},
+                          OpCase{OpKind::kMax, 3, 4, 4},
+                          OpCase{OpKind::kBand, 6, 3, 2},
+                          OpCase{OpKind::kBor, 6, 3, 7},
+                          OpCase{OpKind::kBxor, 6, 3, 5})));
+
+TEST(ReduceOp, BitwiseRejectsFloat) {
+  ReduceOp band(OpKind::kBand);
+  EXPECT_FALSE(band.supports(DType::kFloat32));
+  EXPECT_FALSE(band.supports(DType::kFloat16));
+  EXPECT_TRUE(band.supports(DType::kInt32));
+}
+
+class IdentityTest : public ::testing::TestWithParam<
+                         std::tuple<DType, OpKind>> {};
+
+TEST_P(IdentityTest, IdentityIsNeutral) {
+  const auto [dtype, kind] = GetParam();
+  ReduceOp op(kind);
+  if (!op.supports(dtype)) GTEST_SKIP();
+  TypedBuffer acc(dtype, 8);
+  acc.fill_identity(op);
+  TypedBuffer in(dtype, 8);
+  Rng rng(11);
+  in.fill_random(rng);
+  TypedBuffer expected = in;
+  acc.accumulate(in, op);
+  // identity op x == x for every built-in operator.
+  EXPECT_EQ(acc.count_mismatches(expected), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, IdentityTest,
+    ::testing::Combine(
+        ::testing::Values(DType::kInt8, DType::kInt16, DType::kInt32,
+                          DType::kInt64, DType::kFloat32),
+        ::testing::Values(OpKind::kSum, OpKind::kProd, OpKind::kMin,
+                          OpKind::kMax, OpKind::kBand, OpKind::kBor,
+                          OpKind::kBxor)));
+
+TEST(ReduceOp, VectorSum) {
+  ReduceOp op(OpKind::kSum);
+  TypedBuffer a(DType::kInt32, 100), b(DType::kInt32, 100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    a.set_from_f64(i, static_cast<f64>(i));
+    b.set_from_f64(i, 2.0 * static_cast<f64>(i));
+  }
+  a.accumulate(b, op);
+  for (std::size_t i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(a.get_as_f64(i), 3.0 * static_cast<f64>(i));
+}
+
+TEST(ReduceOp, CustomOperatorRuns) {
+  // F1: arbitrary user function — saturating add clamped to [-100, 100].
+  auto op = ReduceOp::custom_binary(
+      "sat_add",
+      [](auto x, auto y) {
+        const f64 s = static_cast<f64>(x) + static_cast<f64>(y);
+        return std::clamp(s, -100.0, 100.0);
+      },
+      0.0);
+  EXPECT_EQ(op.kind(), OpKind::kCustom);
+  EXPECT_EQ(op.name(), "sat_add");
+  TypedBuffer acc(DType::kInt32, 2), in(DType::kInt32, 2);
+  acc.set_from_f64(0, 90);
+  in.set_from_f64(0, 45);
+  acc.set_from_f64(1, -1);
+  in.set_from_f64(1, -2);
+  acc.accumulate(in, op);
+  EXPECT_DOUBLE_EQ(acc.get_as_f64(0), 100.0);  // saturated
+  EXPECT_DOUBLE_EQ(acc.get_as_f64(1), -3.0);
+}
+
+TEST(ReduceOp, CustomIdentity) {
+  auto op = ReduceOp::custom_binary(
+      "max_mag",
+      [](auto x, auto y) { return std::abs(x) >= std::abs(y) ? x : y; },
+      0.0);
+  TypedBuffer acc(DType::kFloat32, 4);
+  acc.fill_identity(op);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(acc.get_as_f64(i), 0.0);
+}
+
+TEST(ReduceOp, CustomNonCommutativeFlag) {
+  auto op = ReduceOp::custom_binary(
+      "left", [](auto x, auto) { return x; }, 0.0, /*commutative=*/false);
+  EXPECT_FALSE(op.commutative());
+}
+
+TEST(TypedBuffer, ReferenceReduceMatchesManual) {
+  Rng rng(21);
+  std::vector<TypedBuffer> inputs;
+  for (int h = 0; h < 5; ++h) {
+    TypedBuffer b(DType::kInt64, 32);
+    b.fill_random(rng);
+    inputs.push_back(std::move(b));
+  }
+  ReduceOp sum(OpKind::kSum);
+  const TypedBuffer result = reference_reduce(inputs, sum);
+  for (std::size_t i = 0; i < 32; ++i) {
+    f64 expect = 0;
+    for (const auto& in : inputs) expect += in.get_as_f64(i);
+    EXPECT_DOUBLE_EQ(result.get_as_f64(i), expect);
+  }
+}
+
+// --------------------------------------------------------------- packets --
+
+TEST(Packet, DenseRoundTrip) {
+  std::vector<i32> data(64);
+  std::iota(data.begin(), data.end(), -10);
+  Packet p = make_dense_packet(7, 3, 2, data.data(), 64, DType::kInt32);
+  EXPECT_EQ(p.hdr.allreduce_id, 7u);
+  EXPECT_EQ(p.hdr.block_id, 3u);
+  EXPECT_EQ(p.hdr.child_index, 2u);
+  EXPECT_EQ(p.hdr.elem_count, 64u);
+  EXPECT_TRUE(p.is_last_shard());
+  EXPECT_FALSE(p.is_sparse());
+  EXPECT_EQ(p.payload_bytes(), 256u);
+  EXPECT_EQ(p.wire_bytes(), 256u + kPacketWireOverhead);
+  const auto* back = static_cast<const i32*>(dense_payload(p));
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(back[i], data[static_cast<size_t>(i)]);
+}
+
+TEST(Packet, SparseRoundTrip) {
+  std::vector<SparsePair> pairs = {{5, 1.5}, {100, -2.25}, {7, 3.0}};
+  Packet p = make_sparse_packet(1, 2, 0, pairs, DType::kFloat32,
+                                kFlagLastShard);
+  EXPECT_TRUE(p.is_sparse());
+  EXPECT_TRUE(p.is_last_shard());
+  EXPECT_EQ(p.hdr.elem_count, 3u);
+  const SparseView v = sparse_view(p, DType::kFloat32);
+  EXPECT_EQ(v.indices[0], 5u);
+  EXPECT_EQ(v.indices[1], 100u);
+  EXPECT_EQ(v.indices[2], 7u);
+  EXPECT_DOUBLE_EQ(v.value_as_f64(0), 1.5);
+  EXPECT_DOUBLE_EQ(v.value_as_f64(1), -2.25);
+  EXPECT_DOUBLE_EQ(v.value_as_f64(2), 3.0);
+}
+
+TEST(Packet, SparseIntNarrowing) {
+  std::vector<SparsePair> pairs = {{0, -7.0}, {1, 120.0}};
+  Packet p = make_sparse_packet(1, 0, 0, pairs, DType::kInt8);
+  const SparseView v = sparse_view(p, DType::kInt8);
+  EXPECT_DOUBLE_EQ(v.value_as_f64(0), -7.0);
+  EXPECT_DOUBLE_EQ(v.value_as_f64(1), 120.0);
+  EXPECT_EQ(p.payload_bytes(), 2u * (4 + 1));
+}
+
+TEST(Packet, EmptyBlock) {
+  Packet p = make_empty_block_packet(9, 4, 3);
+  EXPECT_TRUE(p.is_sparse());
+  EXPECT_TRUE(p.is_last_shard());
+  EXPECT_EQ(p.hdr.flags & kFlagEmptyBlock, kFlagEmptyBlock);
+  EXPECT_EQ(p.hdr.shard_count, 1u);
+  EXPECT_EQ(p.payload_bytes(), 0u);
+}
+
+TEST(Packet, PairsPerPacket) {
+  EXPECT_EQ(sparse_pairs_per_packet(1024, DType::kFloat32), 128u);
+  EXPECT_EQ(sparse_pairs_per_packet(1024, DType::kInt8), 204u);
+  EXPECT_EQ(sparse_pair_bytes(DType::kInt64), 12u);
+}
+
+// ----------------------------------------------------- completion state --
+
+TEST(ChildBitmap, MarksAndCompletes) {
+  ChildBitmap bm(3);
+  EXPECT_FALSE(bm.complete());
+  EXPECT_TRUE(bm.mark(0));
+  EXPECT_TRUE(bm.mark(2));
+  EXPECT_FALSE(bm.complete());
+  EXPECT_TRUE(bm.mark(1));
+  EXPECT_TRUE(bm.complete());
+}
+
+TEST(ChildBitmap, DetectsRetransmission) {
+  ChildBitmap bm(4);
+  EXPECT_TRUE(bm.mark(1));
+  EXPECT_FALSE(bm.mark(1));  // duplicate must not be aggregated again
+  EXPECT_EQ(bm.seen(), 1u);
+}
+
+TEST(ChildBitmap, WideMembership) {
+  ChildBitmap bm(130);  // multiple 64-bit words
+  for (u32 i = 0; i < 130; ++i) EXPECT_TRUE(bm.mark(i));
+  EXPECT_TRUE(bm.complete());
+  for (u32 i = 0; i < 130; ++i) EXPECT_FALSE(bm.mark(i));
+}
+
+TEST(ShardTracker, CompletesOnAnnouncedCount) {
+  ShardTracker st;
+  EXPECT_TRUE(st.mark(0));
+  EXPECT_FALSE(st.complete());  // count unknown yet
+  EXPECT_TRUE(st.mark(2));
+  st.announce_total(3);
+  EXPECT_FALSE(st.complete());
+  EXPECT_TRUE(st.mark(1));
+  EXPECT_TRUE(st.complete());
+}
+
+TEST(ShardTracker, OutOfOrderLastShardFirst) {
+  ShardTracker st;
+  st.announce_total(2);
+  EXPECT_TRUE(st.mark(1));
+  EXPECT_FALSE(st.complete());
+  EXPECT_TRUE(st.mark(0));
+  EXPECT_TRUE(st.complete());
+}
+
+TEST(ShardTracker, DeduplicatesRetransmits) {
+  ShardTracker st;
+  EXPECT_TRUE(st.mark(0));
+  EXPECT_FALSE(st.mark(0));
+  st.announce_total(1);
+  EXPECT_TRUE(st.complete());
+  EXPECT_EQ(st.received(), 1u);
+}
+
+TEST(SparseBlockTracker, PerChildCompletion) {
+  SparseBlockTracker t(2);
+  auto r = t.mark(0, 0, true, 1);
+  EXPECT_TRUE(r.fresh);
+  EXPECT_TRUE(r.child_completed);
+  EXPECT_FALSE(t.complete());
+  r = t.mark(1, 0, false, 0);
+  EXPECT_TRUE(r.fresh);
+  EXPECT_FALSE(r.child_completed);
+  r = t.mark(1, 1, true, 2);
+  EXPECT_TRUE(r.child_completed);
+  EXPECT_TRUE(t.complete());
+}
+
+TEST(SparseBlockTracker, DuplicateDoesNotDoubleComplete) {
+  SparseBlockTracker t(1);
+  auto r = t.mark(0, 0, true, 1);
+  EXPECT_TRUE(r.child_completed);
+  r = t.mark(0, 0, true, 1);
+  EXPECT_FALSE(r.fresh);
+  EXPECT_FALSE(r.child_completed);
+  EXPECT_EQ(t.complete_children(), 1u);
+}
+
+// -------------------------------------------------------- policy choice --
+
+TEST(PolicySelect, PaperThresholds) {
+  EXPECT_EQ(select_policy(1024 * 1024, false).policy,
+            AggPolicy::kSingleBuffer);
+  const auto m4 = select_policy(300 * 1024, false);
+  EXPECT_EQ(m4.policy, AggPolicy::kMultiBuffer);
+  EXPECT_EQ(m4.num_buffers, 4u);
+  const auto m2 = select_policy(200 * 1024, false);
+  EXPECT_EQ(m2.policy, AggPolicy::kMultiBuffer);
+  EXPECT_EQ(m2.num_buffers, 2u);
+  EXPECT_EQ(select_policy(64 * 1024, false).policy, AggPolicy::kTree);
+}
+
+TEST(PolicySelect, BoundariesAreExclusive) {
+  EXPECT_EQ(select_policy(512 * 1024, false).policy,
+            AggPolicy::kMultiBuffer);  // exactly 512 KiB -> multi(4)
+  EXPECT_EQ(select_policy(512 * 1024 + 1, false).policy,
+            AggPolicy::kSingleBuffer);
+  EXPECT_EQ(select_policy(128 * 1024, false).policy, AggPolicy::kTree);
+}
+
+TEST(PolicySelect, ReproducibleAlwaysTree) {
+  for (const u64 bytes : {1_KiB, 128_KiB, 512_KiB, 8_MiB}) {
+    EXPECT_EQ(select_policy(bytes, true).policy, AggPolicy::kTree) << bytes;
+  }
+}
+
+// ------------------------------------------------------------ staggered --
+
+TEST(Staggered, AlignedIsIdentity) {
+  for (u32 pos = 0; pos < 10; ++pos) {
+    EXPECT_EQ(staggered_block(3, 4, 10, pos, SendOrder::kAligned), pos);
+  }
+}
+
+TEST(Staggered, EveryHostSendsEveryBlockOnce) {
+  const u32 P = 4, NB = 10;
+  for (u32 h = 0; h < P; ++h) {
+    auto sched = send_schedule(h, P, NB, SendOrder::kStaggered);
+    std::vector<bool> seen(NB, false);
+    for (const u32 b : sched) {
+      EXPECT_FALSE(seen[b]);
+      seen[b] = true;
+    }
+    for (const bool s : seen) EXPECT_TRUE(s);
+  }
+}
+
+TEST(Staggered, HostsStartAtDistinctOffsets) {
+  const u32 P = 4, NB = 16;
+  std::set<u32> firsts;
+  for (u32 h = 0; h < P; ++h)
+    firsts.insert(staggered_block(h, P, NB, 0, SendOrder::kStaggered));
+  EXPECT_EQ(firsts.size(), P);
+}
+
+TEST(Staggered, DeltaCFactor) {
+  EXPECT_DOUBLE_EQ(staggered_delta_c_factor(4, 16, SendOrder::kAligned), 1.0);
+  EXPECT_DOUBLE_EQ(staggered_delta_c_factor(4, 16, SendOrder::kStaggered),
+                   4.0);
+  EXPECT_DOUBLE_EQ(staggered_delta_c_factor(4, 1, SendOrder::kStaggered),
+                   1.0);
+}
+
+// ----------------------------------------------------------- buffer pool --
+
+TEST(BufferPool, AccountsAndHighWater) {
+  BufferPool pool(1000);
+  EXPECT_TRUE(pool.acquire(600, 0));
+  EXPECT_TRUE(pool.acquire(400, 10));
+  EXPECT_FALSE(pool.acquire(1, 20));  // exhausted
+  EXPECT_EQ(pool.failed_acquires(), 1u);
+  pool.release(600, 30);
+  EXPECT_TRUE(pool.acquire(100, 40));
+  EXPECT_EQ(pool.high_water(), 1000u);
+  EXPECT_EQ(pool.in_use(), 500u);
+}
+
+TEST(BufferPool, UnlimitedNeverFails) {
+  BufferPool pool(0);
+  EXPECT_TRUE(pool.acquire(1ull << 40, 0));
+  EXPECT_EQ(pool.high_water(), 1ull << 40);
+}
+
+TEST(BufferPoolDeath, OverReleaseAborts) {
+  BufferPool pool(100);
+  EXPECT_TRUE(pool.acquire(10, 0));
+  EXPECT_DEATH(pool.release(20, 1), "releasing more than acquired");
+}
+
+}  // namespace
+}  // namespace flare::core

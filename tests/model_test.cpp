@@ -1,0 +1,352 @@
+// Analytical-model tests: the closed forms of Sections 4-6 (Eq. 1, Eq. 2,
+// tree/multi-buffer service times, Little's-law working memory), scenario
+// checks against Figure 5, threshold/crossover properties behind the policy
+// selection of Section 6.4, and the sparse model of Section 7.
+#include <gtest/gtest.h>
+
+#include "model/policies.hpp"
+#include "model/reference.hpp"
+#include "model/scheduling.hpp"
+#include "model/sparse.hpp"
+
+namespace flare::model {
+namespace {
+
+// ------------------------------------------------------ Figure 5 scenarios
+
+SchedulingParams figure5_base() {
+  SchedulingParams p;
+  p.cores = 4;             // K = 4
+  p.packets_per_block = 4; // P = 4
+  p.delta = 1;             // one packet per second
+  p.tau = 4;               // service time 4 s
+  return p;
+}
+
+TEST(SchedulingModel, Fig5ScenarioA_GlobalFcfsNeverQueues) {
+  // Scenario A: S = K, delta_c = delta: every core gets one packet each
+  // tau cycles -> no queue.
+  SchedulingParams p = figure5_base();
+  p.subset = 4;
+  p.delta_c = 1;
+  EXPECT_DOUBLE_EQ(delta_k(p), 4.0);  // min(S*delta_c, K*delta)
+  EXPECT_DOUBLE_EQ(queue_length(p), 0.0);
+  EXPECT_DOUBLE_EQ(packets_in_switch(p), 4.0);  // only in-service packets
+}
+
+TEST(SchedulingModel, Fig5ScenarioB_SubsetBurstsQueue) {
+  // Scenario B: S = 1 with aligned sending (delta_c = 1): each core gets a
+  // burst of 4 back-to-back packets -> queue of 3.
+  SchedulingParams p = figure5_base();
+  p.subset = 1;
+  p.delta_c = 1;
+  EXPECT_DOUBLE_EQ(delta_k(p), 1.0);
+  EXPECT_DOUBLE_EQ(queue_length(p), 3.0);  // Q = P/S * (1 - dk/tau) = 4*3/4
+  EXPECT_DOUBLE_EQ(packets_in_switch(p), 16.0);  // Eq. 1: 3*4 + 4
+}
+
+TEST(SchedulingModel, Fig5ScenarioC_StaggeringRemovesQueue) {
+  // Scenario C: S = 1 but delta_c = 4 (staggered sending): the burst is
+  // spread and the queue vanishes.
+  SchedulingParams p = figure5_base();
+  p.subset = 1;
+  p.delta_c = 4;
+  EXPECT_DOUBLE_EQ(delta_k(p), 4.0);
+  EXPECT_DOUBLE_EQ(queue_length(p), 0.0);
+  EXPECT_DOUBLE_EQ(packets_in_switch(p), 4.0);
+}
+
+TEST(SchedulingModel, DeltaKNeverExceedsKDelta) {
+  SchedulingParams p = figure5_base();
+  p.subset = 2;
+  p.delta_c = 1000.0;  // absurdly staggered
+  EXPECT_DOUBLE_EQ(delta_k(p), p.cores * p.delta);
+}
+
+TEST(SchedulingModel, BlockLatencyFormula) {
+  SchedulingParams p = figure5_base();
+  p.subset = 1;
+  p.delta_c = 1;
+  // L = (P-1)*delta_c + (Q+1)*tau = 3 + 16.
+  EXPECT_DOUBLE_EQ(block_latency(p), 19.0);
+}
+
+TEST(SchedulingModel, InputBufferBytesScalesWithPacket) {
+  SchedulingParams p = figure5_base();
+  p.subset = 1;
+  p.delta_c = 1;
+  EXPECT_DOUBLE_EQ(input_buffer_bytes(p, 1088.0), 16.0 * 1088.0);
+}
+
+// ------------------------------------------------------- service times ----
+
+SwitchParams paper_switch() {
+  SwitchParams sp;  // defaults = paper calibration
+  sp.cold_start = false;
+  return sp;
+}
+
+TEST(PolicyModel, PacketAggregationCyclesMatchesPaper) {
+  // 256 fp32 elements at 4 cycles each = 1024 cycles = 1 ns/B at 1 GHz.
+  SwitchParams sp = paper_switch();
+  EXPECT_DOUBLE_EQ(elems_per_packet(sp), 256.0);
+  EXPECT_DOUBLE_EQ(packet_aggregation_cycles(sp), 1024.0);
+}
+
+TEST(PolicyModel, Eq2UncontendedLimit) {
+  // delta_c >= L -> tau == L (+ tiny bookkeeping) for the single buffer.
+  SwitchParams sp = paper_switch();
+  const u64 big = 8 * 1024 * 1024;  // delta_c far above L
+  const f64 tau = service_time(sp, core::AggPolicy::kSingleBuffer, 1, big);
+  EXPECT_NEAR(tau, 1024.0, 16.0);
+}
+
+TEST(PolicyModel, Eq2ContendedLimit) {
+  // Aligned sending at any size: delta_c = delta -> c_eff = S and
+  // tau = L * (1 + (S-1)/2).
+  SwitchParams sp = paper_switch();
+  sp.send_order = core::SendOrder::kAligned;
+  const f64 tau =
+      service_time(sp, core::AggPolicy::kSingleBuffer, 1, 8 * 1024 * 1024);
+  EXPECT_NEAR(tau, 1024.0 * (1.0 + 3.5), 16.0);
+}
+
+TEST(PolicyModel, SubsetOfOneNeverContends) {
+  SwitchParams sp = paper_switch();
+  sp.subset = 1;
+  sp.send_order = core::SendOrder::kAligned;
+  const f64 tau = service_time(sp, core::AggPolicy::kSingleBuffer, 1, 1024);
+  EXPECT_NEAR(tau, 1024.0, 16.0);
+}
+
+TEST(PolicyModel, MultiBufferRelaxesContention) {
+  // Same small size: tau must drop monotonically with B (Section 6.2).
+  SwitchParams sp = paper_switch();
+  const u64 z = 64 * 1024;
+  const f64 t1 = service_time(sp, core::AggPolicy::kSingleBuffer, 1, z);
+  const f64 t2 = service_time(sp, core::AggPolicy::kMultiBuffer, 2, z);
+  const f64 t4 = service_time(sp, core::AggPolicy::kMultiBuffer, 4, z);
+  EXPECT_GT(t1, t2);
+  EXPECT_GT(t2, t4);
+}
+
+TEST(PolicyModel, MultiBufferMergePenaltyAtLargeSizes) {
+  // Uncontended regime: multi pays (B-1)L/P over single.
+  SwitchParams sp = paper_switch();
+  const u64 z = 8 * 1024 * 1024;
+  const f64 t1 = service_time(sp, core::AggPolicy::kSingleBuffer, 1, z);
+  const f64 t4 = service_time(sp, core::AggPolicy::kMultiBuffer, 4, z);
+  EXPECT_NEAR(t4 - t1, 3.0 * 1024.0 / 16.0, 64.0);
+}
+
+TEST(PolicyModel, TreeTauIndependentOfSize) {
+  SwitchParams sp = paper_switch();
+  const f64 a = service_time(sp, core::AggPolicy::kTree, 1, 1024);
+  const f64 b = service_time(sp, core::AggPolicy::kTree, 1, 8 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(PolicyModel, TreeTauFormula) {
+  SwitchParams sp = paper_switch();
+  PolicyOverheads ov;
+  const f64 tau = service_time(sp, core::AggPolicy::kTree, 1, 1024, ov);
+  EXPECT_NEAR(tau, 15.0 / 16.0 * 1024.0 + 64.0 + ov.tree, 1e-9);
+}
+
+TEST(PolicyModel, BuffersPerBlock) {
+  SwitchParams sp = paper_switch();
+  EXPECT_DOUBLE_EQ(buffers_per_block(sp, core::AggPolicy::kSingleBuffer, 1),
+                   1.0);
+  EXPECT_DOUBLE_EQ(buffers_per_block(sp, core::AggPolicy::kMultiBuffer, 4),
+                   4.0);
+  // (P-1)/log2(P) with P=16: 15/4.
+  EXPECT_DOUBLE_EQ(buffers_per_block(sp, core::AggPolicy::kTree, 1), 3.75);
+}
+
+// ---------------------------------------------------- bandwidth figures ---
+
+TEST(PolicyModel, BandwidthIsComputeOrWireBound) {
+  SwitchParams sp = paper_switch();
+  const PolicyPoint pt =
+      evaluate(sp, core::AggPolicy::kSingleBuffer, 1, 8 * 1024 * 1024);
+  EXPECT_LE(pt.bandwidth_pkt_per_cyc, sp.cores / pt.tau + 1e-12);
+  EXPECT_LE(pt.bandwidth_pkt_per_cyc, 1.0 / pt.delta + 1e-12);
+  // Large fp32 single-buffer: ~4 Tbps (paper Figure 10/11 scale).
+  EXPECT_GT(pt.bandwidth_bps, 3.5e12);
+  EXPECT_LT(pt.bandwidth_bps, 4.5e12);
+}
+
+TEST(PolicyModel, TreeWinsSmall_SingleWinsLarge) {
+  // The crossover that drives Flare's policy auto-selection (Section 6.4).
+  SwitchParams sp = paper_switch();
+  sp.cold_start = true;
+  const u64 small = 32 * 1024, large = 2 * 1024 * 1024;
+  const f64 tree_small =
+      evaluate(sp, core::AggPolicy::kTree, 1, small).bandwidth_bps;
+  const f64 single_small =
+      evaluate(sp, core::AggPolicy::kSingleBuffer, 1, small).bandwidth_bps;
+  const f64 tree_large =
+      evaluate(sp, core::AggPolicy::kTree, 1, large).bandwidth_bps;
+  const f64 single_large =
+      evaluate(sp, core::AggPolicy::kSingleBuffer, 1, large).bandwidth_bps;
+  EXPECT_GT(tree_small, single_small);
+  EXPECT_GT(single_large, tree_large);
+}
+
+TEST(PolicyModel, SingleBufferBandwidthMonotonicInSize) {
+  SwitchParams sp = paper_switch();
+  f64 prev = 0.0;
+  for (const u64 z : {8_KiB, 64_KiB, 256_KiB, 512_KiB, 2_MiB}) {
+    const f64 bw =
+        evaluate(sp, core::AggPolicy::kSingleBuffer, 1, z).bandwidth_bps;
+    EXPECT_GE(bw, prev - 1e6) << z;
+    prev = bw;
+  }
+}
+
+TEST(PolicyModel, StaggeringBeatsAlignedForSingleBuffer) {
+  SwitchParams sp = paper_switch();
+  const u64 z = 1 * kMiB;
+  const f64 stag =
+      evaluate(sp, core::AggPolicy::kSingleBuffer, 1, z).bandwidth_bps;
+  sp.send_order = core::SendOrder::kAligned;
+  const f64 aligned =
+      evaluate(sp, core::AggPolicy::kSingleBuffer, 1, z).bandwidth_bps;
+  EXPECT_GT(stag, 2.0 * aligned);
+}
+
+TEST(PolicyModel, WorkingMemoryMatchesPaperScale) {
+  // Section 6.1: "the occupancy of the working memory is negligible and
+  // around 512 KiB" for large messages at S = C.
+  SwitchParams sp = paper_switch();
+  const PolicyPoint pt =
+      evaluate(sp, core::AggPolicy::kSingleBuffer, 1, 512 * 1024);
+  EXPECT_GT(pt.working_memory_bytes, 128.0 * 1024);
+  EXPECT_LT(pt.working_memory_bytes, 2048.0 * 1024);
+}
+
+TEST(PolicyModel, S1InflatesInputBuffers) {
+  // Figure 7: S=1 removes contention but blows up the input buffers.
+  SwitchParams sp = paper_switch();
+  const u64 z = 8 * kKiB;
+  const PolicyPoint sc =
+      evaluate(sp, core::AggPolicy::kSingleBuffer, 1, z);
+  sp.subset = 1;
+  const PolicyPoint s1 =
+      evaluate(sp, core::AggPolicy::kSingleBuffer, 1, z);
+  EXPECT_GT(s1.input_buffer_bytes, 2.0 * sc.input_buffer_bytes);
+  EXPECT_GE(s1.bandwidth_bps, sc.bandwidth_bps);
+}
+
+TEST(PolicyModel, ColdStartHurtsSmallSizesOnly) {
+  SwitchParams warm = paper_switch();
+  SwitchParams cold = paper_switch();
+  cold.cold_start = true;
+  const f64 small_ratio =
+      evaluate(cold, core::AggPolicy::kTree, 1, 1024).bandwidth_bps /
+      evaluate(warm, core::AggPolicy::kTree, 1, 1024).bandwidth_bps;
+  const f64 large_ratio =
+      evaluate(cold, core::AggPolicy::kTree, 1, 4 * kMiB).bandwidth_bps /
+      evaluate(warm, core::AggPolicy::kTree, 1, 4 * kMiB).bandwidth_bps;
+  EXPECT_LT(small_ratio, 0.8);
+  EXPECT_GT(large_ratio, 0.97);
+}
+
+// ------------------------------------------------------------- sparse -----
+
+SparseParams sparse_base(bool hash) {
+  SparseParams p;
+  p.sw = paper_switch();
+  p.hash_storage = hash;
+  p.density = 0.10;
+  return p;
+}
+
+TEST(SparseModel, PairsAndSpan) {
+  SparseParams p = sparse_base(true);
+  EXPECT_DOUBLE_EQ(sparse_pairs_per_packet(p), 128.0);
+  EXPECT_DOUBLE_EQ(sparse_block_span(p), 1280.0);
+}
+
+TEST(SparseModel, HashCostDensityIndependent) {
+  SparseParams p = sparse_base(true);
+  p.density = 0.20;
+  const f64 a = sparse_packet_cycles(p);
+  p.density = 0.01;
+  const f64 b = sparse_packet_cycles(p);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(SparseModel, ArrayCostGrowsAsDensityDrops) {
+  SparseParams p = sparse_base(false);
+  p.density = 0.20;
+  const f64 dense20 = sparse_packet_cycles(p);
+  p.density = 0.01;
+  const f64 dense1 = sparse_packet_cycles(p);
+  EXPECT_GT(dense1, dense20);
+}
+
+TEST(SparseModel, SparseSlowerThanDense) {
+  // Figure 13 vs Figure 10: sparse bandwidth is below dense because the
+  // handler does per-pair work instead of SIMD loops.
+  SparseParams p = sparse_base(true);
+  const f64 sparse_bw =
+      evaluate_sparse(p, core::AggPolicy::kSingleBuffer, 1, 512 * 1024)
+          .bandwidth_bps;
+  const f64 dense_bw =
+      evaluate(p.sw, core::AggPolicy::kSingleBuffer, 1, 512 * 1024)
+          .bandwidth_bps;
+  EXPECT_LT(sparse_bw, dense_bw);
+  EXPECT_GT(sparse_bw, 0.25 * dense_bw);
+}
+
+TEST(SparseModel, BlockMemoryShapes) {
+  // Hash memory constant in density; array memory ~ 1/density (Figure 14).
+  SparseParams hash = sparse_base(true);
+  hash.density = 0.20;
+  const f64 h20 = sparse_block_memory_bytes(hash);
+  hash.density = 0.01;
+  const f64 h1 = sparse_block_memory_bytes(hash);
+  EXPECT_DOUBLE_EQ(h20, h1);
+
+  SparseParams arr = sparse_base(false);
+  arr.density = 0.20;
+  const f64 a20 = sparse_block_memory_bytes(arr);
+  arr.density = 0.01;
+  const f64 a1 = sparse_block_memory_bytes(arr);
+  EXPECT_GT(a1, 15.0 * a20);
+}
+
+// --------------------------------------------------------- references -----
+
+TEST(References, PaperConstants) {
+  EXPECT_DOUBLE_EQ(kSwitchMLBandwidthBps, 1.6e12);
+  EXPECT_DOUBLE_EQ(kSharpBandwidthBps, 3.2e12);
+}
+
+TEST(References, SwitchMLElementRates) {
+  // F1: no float support; no gain from narrow integers.
+  EXPECT_EQ(switchml_elements_per_second(core::DType::kFloat32), 0.0);
+  EXPECT_DOUBLE_EQ(switchml_elements_per_second(core::DType::kInt32),
+                   switchml_elements_per_second(core::DType::kInt8));
+}
+
+TEST(References, FlareNarrowTypesRaiseElementRate) {
+  // Figure 11 (right): vectorization makes elements/s grow as types shrink.
+  SwitchParams sp;
+  sp.cold_start = false;
+  std::vector<f64> rates;
+  for (const core::DType t : {core::DType::kInt32, core::DType::kInt16,
+                              core::DType::kInt8}) {
+    sp.dtype = t;
+    const f64 bw =
+        evaluate(sp, core::AggPolicy::kSingleBuffer, 1, 1 * kMiB)
+            .bandwidth_bps;
+    rates.push_back(elements_per_second(bw, t));
+  }
+  EXPECT_GT(rates[1], rates[0]);
+  EXPECT_GT(rates[2], rates[1]);
+}
+
+}  // namespace
+}  // namespace flare::model

@@ -1,0 +1,110 @@
+// Unit tests for the discrete-event core: ordering, determinism,
+// same-timestamp FIFO, run_until semantics, stop().
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace flare::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulator, SameTimestampIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  std::function<void()> chain = [&] {
+    times.push_back(sim.now());
+    if (times.size() < 5) sim.schedule_after(7, chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{0, 7, 14, 21, 28}));
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  SimTime inner = 0;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(11, [&] { inner = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner, 111u);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule_at(10, [&] { ++ran; });
+  sim.schedule_at(20, [&] { ++ran; });
+  sim.schedule_at(21, [&] { ++ran; });
+  sim.run_until(20);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(Simulator, StopInterruptsRun) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule_at(1, [&] {
+    ++ran;
+    sim.stop();
+  });
+  sim.schedule_at(2, [&] { ++ran; });
+  sim.run();
+  EXPECT_EQ(ran, 1);
+  sim.run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulator, StepRunsExactlyOne) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule_at(1, [&] { ++ran; });
+  sim.schedule_at(2, [&] { ++ran; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, CountsEvents) {
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) sim.schedule_at(static_cast<SimTime>(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.total_events_run(), 10u);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimulatorDeath, PastSchedulingAborts) {
+  Simulator sim;
+  sim.schedule_at(10, [&] {
+    EXPECT_DEATH(sim.schedule_at(5, [] {}), "scheduled in the past");
+  });
+  sim.run();
+}
+
+}  // namespace
+}  // namespace flare::sim

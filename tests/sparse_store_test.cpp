@@ -1,0 +1,209 @@
+// HashStore (single-probe + spill) and ArrayStore behaviour: insert/combine
+// semantics, collision spilling, extraction order, footprints — plus a
+// parameterized load-sweep property suite.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "common/rng.hpp"
+#include "core/sparse_store.hpp"
+#include "core/typed_buffer.hpp"
+
+namespace flare::core {
+namespace {
+
+ReduceOp sum(OpKind::kSum);
+
+void insert_f32(SparseStore& store, u32 index, f32 value,
+                std::vector<StoredPair>* spill = nullptr) {
+  std::byte raw[4];
+  std::memcpy(raw, &value, 4);
+  if (!store.insert(index, raw, DType::kFloat32, sum)) {
+    ASSERT_NE(spill, nullptr) << "unexpected collision";
+    spill->push_back(make_stored_pair(index, raw, DType::kFloat32));
+  }
+}
+
+f32 pair_value(const StoredPair& p) {
+  f32 v;
+  std::memcpy(&v, p.value.data(), 4);
+  return v;
+}
+
+TEST(ArrayStore, InsertAndExtractSorted) {
+  ArrayStore store(100, DType::kFloat32);
+  insert_f32(store, 42, 1.0f);
+  insert_f32(store, 7, 2.0f);
+  insert_f32(store, 99, 3.0f);
+  EXPECT_EQ(store.stored_pairs(), 3u);
+  std::vector<StoredPair> out;
+  store.extract(out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].index, 7u);   // ascending order
+  EXPECT_EQ(out[1].index, 42u);
+  EXPECT_EQ(out[2].index, 99u);
+  EXPECT_EQ(pair_value(out[0]), 2.0f);
+}
+
+TEST(ArrayStore, CombinesOnIndexMatch) {
+  ArrayStore store(10, DType::kFloat32);
+  insert_f32(store, 3, 1.5f);
+  insert_f32(store, 3, 2.5f);
+  EXPECT_EQ(store.stored_pairs(), 1u);
+  std::vector<StoredPair> out;
+  store.extract(out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(pair_value(out[0]), 4.0f);
+}
+
+TEST(ArrayStore, ZeroValueIsStillStored) {
+  // Sparse semantics: transmitted zero-valued pairs are data (sum identity
+  // marks absence via the occupancy bitmap, not the value).
+  ArrayStore store(10, DType::kFloat32);
+  insert_f32(store, 5, 0.0f);
+  EXPECT_EQ(store.stored_pairs(), 1u);
+}
+
+TEST(ArrayStore, FootprintScalesWithSpan) {
+  ArrayStore small(128, DType::kFloat32);
+  ArrayStore big(1280, DType::kFloat32);
+  EXPECT_GT(big.footprint_bytes(), 9 * small.footprint_bytes());
+  EXPECT_EQ(small.scan_slots(), 128u);
+}
+
+TEST(ArrayStoreDeath, OutOfSpanIndexAborts) {
+  ArrayStore store(10, DType::kFloat32);
+  std::byte raw[4] = {};
+  EXPECT_DEATH(store.insert(10, raw, DType::kFloat32, sum),
+               "outside block span");
+}
+
+TEST(HashStore, InsertAndCombine) {
+  HashStore store(64, DType::kFloat32);
+  insert_f32(store, 1, 5.0f);
+  insert_f32(store, 1, 7.0f);
+  EXPECT_EQ(store.stored_pairs(), 1u);
+  std::vector<StoredPair> out;
+  store.extract(out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].index, 1u);
+  EXPECT_EQ(pair_value(out[0]), 12.0f);
+}
+
+TEST(HashStore, CapacityRoundsToPowerOfTwo) {
+  HashStore store(100, DType::kFloat32);
+  EXPECT_EQ(store.capacity(), 128u);
+}
+
+TEST(HashStore, CollisionGoesToSpill) {
+  // Fill a tiny table until a collision must occur (pigeonhole): 5 distinct
+  // indices into 4 slots.
+  HashStore store(4, DType::kFloat32);
+  std::vector<StoredPair> spill;
+  for (u32 i = 0; i < 5; ++i) insert_f32(store, i * 13 + 1, 1.0f, &spill);
+  EXPECT_EQ(store.stored_pairs() + spill.size(), 5u);
+  EXPECT_GE(spill.size(), 1u);
+  EXPECT_EQ(store.collisions(), spill.size());
+}
+
+TEST(HashStore, NoFalseCombines) {
+  // Distinct indices must never be merged even when they collide.
+  HashStore store(8, DType::kFloat32);
+  std::vector<StoredPair> spill;
+  std::map<u32, f32> truth;
+  Rng rng(3);
+  for (int i = 0; i < 64; ++i) {
+    const u32 idx = static_cast<u32>(rng.uniform_u64(1000));
+    const f32 v = static_cast<f32>(rng.uniform(-4, 4));
+    truth[idx] += v;
+    insert_f32(store, idx, v, &spill);
+  }
+  // Reconstruct: stored + spilled pairs must sum to the truth.
+  std::map<u32, f64> got;
+  std::vector<StoredPair> out;
+  store.extract(out);
+  for (const auto& p : out) got[p.index] += static_cast<f64>(pair_value(p));
+  for (const auto& p : spill) got[p.index] += static_cast<f64>(pair_value(p));
+  for (const auto& [idx, v] : truth) {
+    ASSERT_TRUE(got.contains(idx)) << idx;
+    EXPECT_NEAR(got[idx], static_cast<f64>(v), 1e-3) << idx;
+  }
+  EXPECT_EQ(got.size(), truth.size());
+}
+
+TEST(HashStore, FootprintIndependentOfContent) {
+  HashStore a(256, DType::kFloat32);
+  const u64 before = a.footprint_bytes();
+  insert_f32(a, 10, 1.0f);
+  EXPECT_EQ(a.footprint_bytes(), before);
+}
+
+struct LoadSweepParam {
+  u32 capacity;
+  u32 inserts;
+};
+
+class HashLoadSweep : public ::testing::TestWithParam<LoadSweepParam> {};
+
+TEST_P(HashLoadSweep, ConservationUnderLoad) {
+  // Property: stored + spilled == inserted distinct contributions, for any
+  // load factor; spill fraction grows monotonically-ish with load.
+  const auto [capacity, inserts] = GetParam();
+  HashStore store(capacity, DType::kFloat32);
+  std::vector<StoredPair> spill;
+  Rng rng(derive_seed(99, capacity * 131 + inserts));
+  f64 total_in = 0.0;
+  for (u32 i = 0; i < inserts; ++i) {
+    const u32 idx = static_cast<u32>(rng.uniform_u64(inserts * 4));
+    const f32 v = 1.0f;
+    total_in += 1.0;
+    insert_f32(store, idx, v, &spill);
+  }
+  std::vector<StoredPair> out;
+  store.extract(out);
+  f64 total_out = 0.0;
+  for (const auto& p : out) total_out += static_cast<f64>(pair_value(p));
+  for (const auto& p : spill) total_out += static_cast<f64>(pair_value(p));
+  EXPECT_NEAR(total_out, total_in, 1e-6);
+  EXPECT_LE(store.stored_pairs(), store.capacity());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Loads, HashLoadSweep,
+    ::testing::Values(LoadSweepParam{16, 8}, LoadSweepParam{16, 16},
+                      LoadSweepParam{16, 64}, LoadSweepParam{64, 256},
+                      LoadSweepParam{256, 64}, LoadSweepParam{256, 1024},
+                      LoadSweepParam{1024, 4096}));
+
+class StoreDtypeSweep : public ::testing::TestWithParam<DType> {};
+
+TEST_P(StoreDtypeSweep, ArrayStoreAllTypes) {
+  const DType t = GetParam();
+  ArrayStore store(32, t);
+  ReduceOp op(OpKind::kSum);
+  // Two inserts on the same index combine with dtype arithmetic.
+  std::byte raw[8] = {};
+  TypedBuffer staging(t, 1);
+  staging.set_from_f64(0, 3.0);
+  std::memcpy(raw, staging.data(), dtype_size(t));
+  EXPECT_TRUE(store.insert(9, raw, t, op));
+  staging.set_from_f64(0, 4.0);
+  std::memcpy(raw, staging.data(), dtype_size(t));
+  EXPECT_TRUE(store.insert(9, raw, t, op));
+  std::vector<StoredPair> out;
+  store.extract(out);
+  ASSERT_EQ(out.size(), 1u);
+  TypedBuffer check(t, 1);
+  std::memcpy(check.data(), out[0].value.data(), dtype_size(t));
+  EXPECT_DOUBLE_EQ(check.get_as_f64(0), 7.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, StoreDtypeSweep,
+                         ::testing::Values(DType::kInt8, DType::kInt16,
+                                           DType::kInt32, DType::kInt64,
+                                           DType::kFloat16,
+                                           DType::kFloat32));
+
+}  // namespace
+}  // namespace flare::core

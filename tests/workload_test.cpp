@@ -1,0 +1,145 @@
+// Workload generators: determinism, density targets, overlap control,
+// gradient-trace structure (bucket top-k, layer scales), arrival processes.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "workload/arrivals.hpp"
+#include "workload/generators.hpp"
+#include "workload/gradient_trace.hpp"
+
+namespace flare::workload {
+namespace {
+
+TEST(DenseGen, DeterministicPerSeedAndHost) {
+  auto a = make_dense_data(3, 128, core::DType::kFloat32, 5);
+  auto b = make_dense_data(3, 128, core::DType::kFloat32, 5);
+  for (u32 h = 0; h < 3; ++h) EXPECT_TRUE(a[h].bitwise_equal(b[h]));
+  auto c = make_dense_data(3, 128, core::DType::kFloat32, 6);
+  EXPECT_FALSE(a[0].bitwise_equal(c[0]));
+}
+
+TEST(DenseGen, HostsDiffer) {
+  auto d = make_dense_data(2, 256, core::DType::kInt32, 7);
+  EXPECT_FALSE(d[0].bitwise_equal(d[1]));
+}
+
+TEST(SparseGen, DensityTargetIsHonoured) {
+  SparseSpec spec{10000, 0.10, 0.0, core::DType::kFloat32, 11};
+  f64 total = 0;
+  const int blocks = 20;
+  for (int b = 0; b < blocks; ++b)
+    total += static_cast<f64>(sparse_block_indices(spec, 0, static_cast<u32>(b)).size());
+  const f64 mean_density = total / blocks / spec.span;
+  EXPECT_NEAR(mean_density, 0.10, 0.02);
+}
+
+TEST(SparseGen, IndicesSortedUniqueInSpan) {
+  SparseSpec spec{640, 0.2, 0.3, core::DType::kFloat32, 13};
+  for (u32 h = 0; h < 4; ++h) {
+    const auto idx = sparse_block_indices(spec, h, 0);
+    for (std::size_t i = 1; i < idx.size(); ++i)
+      EXPECT_LT(idx[i - 1], idx[i]);
+    for (const u32 i : idx) EXPECT_LT(i, spec.span);
+  }
+}
+
+TEST(SparseGen, OverlapControlsUnionSize) {
+  // With full overlap every host picks the same shared pool: union ~ nnz.
+  // With none, union ~ P * nnz (minus collisions).
+  SparseSpec lo{2000, 0.05, 0.0, core::DType::kFloat32, 17};
+  SparseSpec hi{2000, 0.05, 1.0, core::DType::kFloat32, 17};
+  const std::size_t u_lo = union_index_count(lo, 8, 0);
+  const std::size_t u_hi = union_index_count(hi, 8, 0);
+  EXPECT_GT(u_lo, 3 * u_hi);
+}
+
+TEST(SparseGen, PairsMatchIndices) {
+  SparseSpec spec{640, 0.1, 0.5, core::DType::kFloat32, 19};
+  const auto idx = sparse_block_indices(spec, 2, 3);
+  const auto pairs = sparse_block_pairs(spec, 2, 3);
+  ASSERT_EQ(idx.size(), pairs.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    EXPECT_EQ(pairs[i].index, idx[i]);
+    EXPECT_NE(pairs[i].value, 0.0);
+  }
+}
+
+TEST(SparseGen, DensifyPlacesValues) {
+  SparseSpec spec{100, 0.1, 0.0, core::DType::kFloat32, 23};
+  std::vector<core::SparsePair> pairs = {{3, 1.5}, {97, -2.0}};
+  const core::TypedBuffer buf = densify(spec, pairs);
+  EXPECT_DOUBLE_EQ(buf.get_as_f64(3), 1.5);
+  EXPECT_DOUBLE_EQ(buf.get_as_f64(97), -2.0);
+  EXPECT_DOUBLE_EQ(buf.get_as_f64(0), 0.0);
+}
+
+TEST(GradientTrace, DensityMatchesBucketTopK) {
+  GradientTraceSpec spec;
+  spec.model_elems = 512 * 1000;
+  spec.bucket = 512;
+  spec.top_k = 1;
+  GradientTrace trace(spec, 4);
+  EXPECT_NEAR(trace.density(), 1.0 / 512.0, 1e-12);
+  EXPECT_EQ(trace.buckets(), 1000u);
+}
+
+TEST(GradientTrace, ExactlyTopKPerBucket) {
+  GradientTraceSpec spec;
+  spec.model_elems = 512 * 64;
+  GradientTrace trace(spec, 2);
+  const auto pairs = trace.window_pairs(0, 0, 64);
+  EXPECT_EQ(pairs.size(), 64u);  // one pair per bucket
+  // Every pair lands in its own bucket.
+  std::unordered_set<u64> buckets;
+  for (const auto& p : pairs) buckets.insert(p.index / spec.bucket);
+  EXPECT_EQ(buckets.size(), 64u);
+}
+
+TEST(GradientTrace, OverlapShrinksUnion) {
+  GradientTraceSpec hi;
+  hi.model_elems = 512 * 128;
+  hi.overlap = 0.95;
+  GradientTraceSpec lo = hi;
+  lo.overlap = 0.0;
+  GradientTrace t_hi(hi, 16), t_lo(lo, 16);
+  EXPECT_LT(t_hi.window_union(0, 128), t_lo.window_union(0, 128) / 2);
+}
+
+TEST(GradientTrace, WindowIndicesRelativeAndBounded) {
+  GradientTraceSpec spec;
+  spec.model_elems = 512 * 256;
+  GradientTrace trace(spec, 2);
+  const auto pairs = trace.window_pairs(1, 100, 10);
+  for (const auto& p : pairs) EXPECT_LT(p.index, 10u * spec.bucket);
+  EXPECT_EQ(pairs.size(), 10u);
+}
+
+TEST(GradientTrace, Deterministic) {
+  GradientTraceSpec spec;
+  spec.model_elems = 512 * 32;
+  GradientTrace a(spec, 4), b(spec, 4);
+  const auto pa = a.window_pairs(2, 0, 32);
+  const auto pb = b.window_pairs(2, 0, 32);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].index, pb[i].index);
+    EXPECT_EQ(pa[i].value, pb[i].value);
+  }
+}
+
+TEST(Arrivals, DeterministicIsConstant) {
+  ArrivalProcess ap(ArrivalKind::kDeterministic, 42.0, 1);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(ap.next_gap(), 42.0);
+}
+
+TEST(Arrivals, ExponentialMeanConverges) {
+  ArrivalProcess ap(ArrivalKind::kExponential, 100.0, 2);
+  f64 sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += ap.next_gap();
+  EXPECT_NEAR(sum / n, 100.0, 3.0);
+}
+
+}  // namespace
+}  // namespace flare::workload
