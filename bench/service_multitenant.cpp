@@ -1,0 +1,171 @@
+// Multi-tenant allreduce service trajectory (Sections 4 and 7: admission
+// against statically partitioned switch memory, host fallback on
+// rejection) — the production-scale scenario the standalone figure benches
+// don't exercise: a 64-host fat tree serving a STREAM of concurrent jobs.
+//
+// Sweeps job arrival rate × job size × max_allreduces (the per-switch
+// memory partition) and reports, per cell:
+//
+//   * in-network vs host-fallback job split,
+//   * queue delay (mean / max) and mean service time,
+//   * peak per-switch occupancy (concurrent reductions high-water mark).
+//
+// Ends with the verification scenario: >= 8 concurrent jobs on ample
+// switch memory must ALL run in-network and match the reference reduction
+// bit-for-bit (int32 sum is associative, so in-network aggregation order
+// cannot change the answer).  Exits non-zero if that fails.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "service/service.hpp"
+#include "workload/job_mix.hpp"
+
+using namespace flare;
+
+namespace {
+
+struct CellResult {
+  u32 jobs = 0;
+  u32 in_network = 0;
+  u32 fallback = 0;
+  f64 queue_delay_mean_us = 0.0;
+  f64 queue_delay_max_us = 0.0;
+  f64 service_mean_us = 0.0;
+  u64 peak_occupancy = 0;
+  u64 peak_queue = 0;
+  bool all_ok = true;
+  bool all_exact = true;
+};
+
+CellResult run_cell(u32 max_allreduces, f64 mean_interarrival_s,
+                    u64 data_bytes, u32 jobs,
+                    service::RootPolicy policy, u64 seed) {
+  net::Network net;
+  net::FatTreeSpec topo_spec;
+  topo_spec.hosts = 64;
+  topo_spec.radix = 8;
+  topo_spec.max_allreduces = max_allreduces;
+  auto topo = net::build_fat_tree(net, topo_spec);
+
+  service::ServiceOptions opt;
+  opt.root_policy = policy;
+  opt.queue_timeout_ps = 200 * kPsPerUs;
+  service::AllreduceService svc(net, opt);
+
+  workload::JobMixSpec mix;
+  mix.jobs = jobs;
+  mix.hosts_min = 4;
+  mix.hosts_max = 16;
+  mix.sizes_bytes = {data_bytes};
+  mix.dtype = core::DType::kInt32;
+  mix.mean_interarrival_s = mean_interarrival_s;
+  mix.seed = seed;
+  for (const workload::JobArrival& a : workload::make_job_mix(mix, 64)) {
+    service::JobSpec spec;
+    for (const u32 h : a.host_indices)
+      spec.participants.push_back(topo.hosts[h]);
+    spec.data_bytes = a.data_bytes;
+    spec.dtype = a.dtype;
+    spec.seed = a.seed;
+    svc.submit_at(a.at_ps, std::move(spec));
+  }
+  net.sim().run();
+
+  CellResult cell;
+  cell.jobs = jobs;
+  const service::ServiceTelemetry& t = svc.telemetry();
+  cell.in_network = static_cast<u32>(t.in_network);
+  cell.fallback = static_cast<u32>(t.fallback);
+  cell.queue_delay_mean_us = t.queue_delay_s.mean() * 1e6;
+  cell.queue_delay_max_us = t.queue_delay_s.max() * 1e6;
+  const f64 svc_sum = t.in_network_service_s.sum() +
+                      t.fallback_service_s.sum();
+  const u64 svc_n =
+      t.in_network_service_s.count() + t.fallback_service_s.count();
+  cell.service_mean_us = svc_n == 0 ? 0.0 : svc_sum / svc_n * 1e6;
+  cell.peak_occupancy = service::peak_switch_occupancy(net);
+  cell.peak_queue = t.peak_queue_len;
+  for (const service::JobRecord& rec : svc.records()) {
+    cell.all_ok = cell.all_ok && rec.ok;
+    cell.all_exact = cell.all_exact && rec.exact;
+  }
+  return cell;
+}
+
+void print_row(u32 max_allreduces, f64 rate_jobs_per_ms, u64 size,
+               const CellResult& c) {
+  std::printf("  %9u %10.1f %8s %5u %7.1f%% %7.1f%% %10.1f %10.1f %9.1f "
+              "%6llu %6llu %7s\n",
+              max_allreduces, rate_jobs_per_ms,
+              bench::fmt_size(size).c_str(), c.jobs,
+              100.0 * c.in_network / c.jobs, 100.0 * c.fallback / c.jobs,
+              c.queue_delay_mean_us, c.queue_delay_max_us, c.service_mean_us,
+              static_cast<unsigned long long>(c.peak_occupancy),
+              static_cast<unsigned long long>(c.peak_queue),
+              c.all_ok ? "OK" : "FAILED");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = bench::has_flag(argc, argv, "--full");
+  bench::print_title("SERVICE",
+                     "multi-tenant allreduce: arrival rate x job size x "
+                     "switch memory partition");
+  std::printf("  64-host 2-level fat tree (16 leaves + 8 spines, radix 8, "
+              "100 Gbps), least-loaded\n  root policy, 200 us queue "
+              "timeout, int32 sum jobs of 4-16 hosts each.\n");
+  if (!full) {
+    bench::print_note("(default: 24 jobs/cell for a quick run; --full = 96 "
+                      "jobs/cell)");
+  }
+  std::printf("\n  %9s %10s %8s %5s %8s %8s %10s %10s %9s %6s %6s %7s\n",
+              "max_allrd", "jobs/ms", "size", "jobs", "in-net", "fallbk",
+              "qdly-mean", "qdly-max", "svc-mean", "occ", "queue", "check");
+  std::printf("  %9s %10s %8s %5s %8s %8s %10s %10s %9s %6s %6s %7s\n", "",
+              "", "", "", "", "", "(us)", "(us)", "(us)", "peak", "peak",
+              "");
+
+  const u32 jobs = full ? 96 : 24;
+  const u32 partitions[] = {1, 2, 4, 32};
+  const f64 interarrivals_s[] = {2e-6, 10e-6, 50e-6};
+  const u64 sizes[] = {64 * kKiB, 256 * kKiB, 1 * kMiB};
+  bool sweep_ok = true;
+  for (const u32 m : partitions) {
+    for (const f64 ia : interarrivals_s) {
+      for (const u64 size : sizes) {
+        const CellResult c = run_cell(m, ia, size, jobs,
+                                      service::RootPolicy::kLeastLoaded,
+                                      /*seed=*/17);
+        print_row(m, 1e-3 / ia, size, c);
+        sweep_ok = sweep_ok && c.all_ok;
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("  Shape: with 1 reduction slot per switch most jobs queue "
+              "and fall back to the\n  host ring; each doubling of "
+              "max_allreduces shifts jobs in-network and shrinks\n  queue "
+              "delay; with ample slots everything runs in-network.\n");
+
+  // ------------------------------------------------------ verification ---
+  // >= 8 concurrent jobs, ample switch memory: 100% in-network and
+  // bit-for-bit identical to the reference reduction.
+  bench::print_title("SERVICE-VERIFY",
+                     "ample memory: every job in-network, bit-for-bit");
+  const CellResult v = run_cell(/*max_allreduces=*/32,
+                                /*mean_interarrival_s=*/1e-6,
+                                /*data_bytes=*/256 * kKiB,
+                                /*jobs=*/full ? 32 : 12,
+                                service::RootPolicy::kLeastLoaded,
+                                /*seed=*/23);
+  const bool verify_ok =
+      v.all_ok && v.all_exact && v.fallback == 0 && v.in_network == v.jobs;
+  std::printf("  jobs=%u  in-network=%u  fallback=%u  exact=%s  ->  %s\n",
+              v.jobs, v.in_network, v.fallback, v.all_exact ? "yes" : "no",
+              verify_ok ? "PASS" : "FAIL");
+
+  if (!verify_ok || !sweep_ok) return 1;
+  return 0;
+}

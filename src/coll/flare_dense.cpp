@@ -98,10 +98,7 @@ class DenseRun {
       res.max_abs_err =
           std::max(runs_.front().result.max_abs_diff(expected_),
                    runs_.back().result.max_abs_diff(expected_));
-      f64 tol = 0.0;
-      if (opt_.dtype == core::DType::kFloat32) tol = 1e-3 * P;
-      if (opt_.dtype == core::DType::kFloat16) tol = 0.25 * P;
-      res.ok = res.max_abs_err <= tol;
+      res.ok = res.max_abs_err <= core::reduce_tolerance(opt_.dtype, P);
     }
     for (const TreeSwitchEntry& e : tree_.switches) {
       const net::ReduceRole* role = e.sw->role(cfg_.id);

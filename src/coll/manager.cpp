@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "coll/tree_cache.hpp"
 #include "common/assert.hpp"
 
 namespace flare::coll {
@@ -154,6 +155,12 @@ std::optional<ReductionTree> NetworkManager::compute_tree(
 bool NetworkManager::install(const ReductionTree& tree,
                              core::AllreduceConfig cfg,
                              f64 switch_service_bps) {
+  // Admission precheck: reject before touching any switch.  A partial
+  // install would bump occupancy gauges whose high-water marks cannot be
+  // rolled back, corrupting the peak-occupancy telemetry.
+  for (const TreeSwitchEntry& e : tree.switches) {
+    if (!e.sw->can_install()) return false;
+  }
   std::vector<net::Switch*> installed;
   for (const TreeSwitchEntry& e : tree.switches) {
     core::AllreduceConfig sw_cfg = cfg;
@@ -182,6 +189,33 @@ bool NetworkManager::install(const ReductionTree& tree,
 void NetworkManager::uninstall(const ReductionTree& tree, u32 allreduce_id) {
   for (const TreeSwitchEntry& e : tree.switches)
     e.sw->uninstall_reduce(allreduce_id);
+  if (on_release_) on_release_(allreduce_id);
+}
+
+std::optional<ReductionTree> NetworkManager::install_with_roots(
+    const std::vector<net::Host*>& participants, core::AllreduceConfig cfg,
+    f64 switch_service_bps, const std::vector<net::NodeId>& roots,
+    TreeCache* cache, u32* attempts, bool* cache_hit, bool* any_feasible) {
+  if (any_feasible != nullptr) *any_feasible = false;
+  for (const net::NodeId root : roots) {
+    if (attempts != nullptr) *attempts += 1;
+    bool hit = false;
+    std::optional<ReductionTree> tree =
+        cache != nullptr
+            ? cache->get_or_compute(*this, participants, root, &hit)
+            : compute_tree(participants, root);
+    if (!tree) continue;
+    if (any_feasible != nullptr && !*any_feasible) {
+      *any_feasible = std::all_of(
+          tree->switches.begin(), tree->switches.end(),
+          [](const TreeSwitchEntry& e) { return e.sw->max_allreduces() > 0; });
+    }
+    if (install(*tree, cfg, switch_service_bps)) {
+      if (cache_hit != nullptr) *cache_hit = hit;
+      return tree;
+    }
+  }
+  return std::nullopt;
 }
 
 std::optional<ReductionTree> NetworkManager::install_with_retry(

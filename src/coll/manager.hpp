@@ -8,6 +8,7 @@
 // exactly the paper's admission policy.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -57,9 +58,32 @@ class NetworkManager {
       const std::vector<net::Host*>& participants, core::AllreduceConfig cfg,
       f64 switch_service_bps);
 
+  /// Like install_with_retry but tries roots in the CALLER's order (the
+  /// service layer's root-selection policy decides), optionally reusing
+  /// embeddings from `cache`.  Returns the installed tree, or nullopt if
+  /// every candidate was rejected by admission.
+  /// `any_feasible` (optional) reports whether at least one candidate root
+  /// produced a tree every switch of which has a non-zero memory partition
+  /// — false means the job can NEVER run in-network with these roots, not
+  /// just not right now.
+  std::optional<ReductionTree> install_with_roots(
+      const std::vector<net::Host*>& participants, core::AllreduceConfig cfg,
+      f64 switch_service_bps, const std::vector<net::NodeId>& roots,
+      class TreeCache* cache = nullptr, u32* attempts = nullptr,
+      bool* cache_hit = nullptr, bool* any_feasible = nullptr);
+
+  /// Invoked after every uninstall() with the released allreduce id — the
+  /// service layer hooks this to re-try queued admissions when switch
+  /// slots free up.
+  using ReleaseListener = std::function<void(u32 allreduce_id)>;
+  void set_release_listener(ReleaseListener listener) {
+    on_release_ = std::move(listener);
+  }
+
  private:
   net::Network& net_;
   u32 next_id_ = 1;
+  ReleaseListener on_release_;
 };
 
 }  // namespace flare::coll

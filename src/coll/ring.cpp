@@ -187,8 +187,7 @@ CollectiveResult run_ring_allreduce(net::Network& net,
     for (const RingHost& hr : runs)
       err = std::max(err, hr.vec.max_abs_diff(expected));
     res.max_abs_err = err;
-    const f64 tol = core::dtype_is_float(opt.dtype) ? 1e-3 * P : 0.0;
-    res.ok = err <= tol;
+    res.ok = err <= core::reduce_tolerance(opt.dtype, P);
   }
   return res;
 }

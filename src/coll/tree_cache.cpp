@@ -1,0 +1,69 @@
+#include "coll/tree_cache.hpp"
+
+#include <algorithm>
+
+namespace flare::coll {
+
+std::string TreeCache::make_key(const std::vector<net::Host*>& participants,
+                                net::NodeId root) {
+  std::vector<net::NodeId> ids;
+  ids.reserve(participants.size());
+  for (const net::Host* h : participants) ids.push_back(h->id());
+  std::sort(ids.begin(), ids.end());
+  std::string key = std::to_string(root) + '|';
+  for (net::NodeId id : ids) {
+    key += std::to_string(id);
+    key += ',';
+  }
+  return key;
+}
+
+const ReductionTree* TreeCache::lookup(
+    const std::vector<net::Host*>& participants, net::NodeId root) {
+  const auto it = map_.find(make_key(participants, root));
+  if (it == map_.end()) {
+    misses_ += 1;
+    return nullptr;
+  }
+  hits_ += 1;
+  lru_.splice(lru_.begin(), lru_, it->second);  // mark most recently used
+  return &it->second->second;
+}
+
+void TreeCache::insert(const std::vector<net::Host*>& participants,
+                       net::NodeId root, ReductionTree tree) {
+  if (capacity_ == 0) return;
+  std::string key = make_key(participants, root);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->second = std::move(tree);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  lru_.emplace_front(std::move(key), std::move(tree));
+  map_.emplace(lru_.front().first, lru_.begin());
+}
+
+std::optional<ReductionTree> TreeCache::get_or_compute(
+    NetworkManager& manager, const std::vector<net::Host*>& participants,
+    net::NodeId root, bool* cache_hit) {
+  if (const ReductionTree* cached = lookup(participants, root)) {
+    if (cache_hit != nullptr) *cache_hit = true;
+    return *cached;
+  }
+  if (cache_hit != nullptr) *cache_hit = false;
+  auto tree = manager.compute_tree(participants, root);
+  if (tree) insert(participants, root, *tree);
+  return tree;
+}
+
+void TreeCache::clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace flare::coll

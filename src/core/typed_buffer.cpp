@@ -114,4 +114,10 @@ TypedBuffer reference_reduce(const std::vector<TypedBuffer>& inputs,
   return acc;
 }
 
+f64 reduce_tolerance(DType dtype, u32 participants) {
+  if (dtype == DType::kFloat32) return 1e-3 * participants;
+  if (dtype == DType::kFloat16) return 0.25 * participants;
+  return 0.0;
+}
+
 }  // namespace flare::core

@@ -74,4 +74,10 @@ class TypedBuffer {
 TypedBuffer reference_reduce(const std::vector<TypedBuffer>& inputs,
                              const ReduceOp& op);
 
+/// Numeric tolerance of a `participants`-way reduction check against
+/// reference_reduce over the network simulator: floats accumulate
+/// association-order rounding per participant, integers are exact.  (The
+/// PsPIN single-switch experiments use their own, tighter calibration.)
+f64 reduce_tolerance(DType dtype, u32 participants);
+
 }  // namespace flare::core

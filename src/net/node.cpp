@@ -64,7 +64,14 @@ bool Switch::install_reduce(const core::AllreduceConfig& cfg,
   role.engine = std::make_unique<core::AllreduceEngine>(*this, cfg);
   auto [it, inserted] = roles_.try_emplace(cfg.id, std::move(role));
   FLARE_ASSERT_MSG(inserted, "allreduce id already installed on switch");
+  occupancy_.set(roles_.size(), net_.sim().now());
   return true;
+}
+
+void Switch::uninstall_reduce(u32 allreduce_id) {
+  if (roles_.erase(allreduce_id) != 0) {
+    occupancy_.set(roles_.size(), net_.sim().now());
+  }
 }
 
 const ReduceRole* Switch::role(u32 allreduce_id) const {

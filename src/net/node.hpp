@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "core/allreduce_engine.hpp"
 #include "net/link.hpp"
 
@@ -110,9 +111,18 @@ class Switch final : public Node, public core::EngineHost {
   u32 max_allreduces() const { return max_allreduces_; }
   /// Installs a reduction role; returns false if slots are exhausted.
   bool install_reduce(const core::AllreduceConfig& cfg, ReduceRole&& role);
-  void uninstall_reduce(u32 allreduce_id) { roles_.erase(allreduce_id); }
+  void uninstall_reduce(u32 allreduce_id);
   const ReduceRole* role(u32 allreduce_id) const;
   const core::EngineStats* engine_stats(u32 allreduce_id) const;
+
+  // --- occupancy telemetry (Section 4: statically partitioned memory) ---
+  /// Reductions currently installed on this switch.
+  u32 installed_reduces() const { return static_cast<u32>(roles_.size()); }
+  /// Remaining admission slots.
+  u32 free_slots() const { return max_allreduces_ - installed_reduces(); }
+  /// Occupancy over simulated time: current level, high-water mark, and
+  /// time-weighted mean — the control plane's contention signal.
+  const Gauge& occupancy() const { return occupancy_; }
 
   // --- EngineHost (picosecond clock; engines run with a zero cost model,
   //     timing comes from the calibrated server) ---
@@ -130,6 +140,7 @@ class Switch final : public Node, public core::EngineHost {
   u32 max_allreduces_;
   std::vector<std::vector<u32>> routes_;  ///< dst NodeId -> ECMP port set
   std::unordered_map<u32, ReduceRole> roles_;
+  Gauge occupancy_;
   core::CostModel zero_costs_;
   u64 reduce_packets_ = 0;
 };

@@ -1,0 +1,16 @@
+#include "service/job.hpp"
+
+namespace flare::service {
+
+std::string_view job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kInNetwork: return "in-network";
+    case JobState::kFallback: return "fallback";
+    case JobState::kDone: return "done";
+    case JobState::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+}  // namespace flare::service

@@ -1,0 +1,77 @@
+// Job model of the multi-tenant allreduce service: what a tenant submits
+// (JobSpec), the lifecycle the control plane drives it through (JobState),
+// and the per-job telemetry record the service keeps (JobRecord).
+//
+// Lifecycle (the paper's Section 4 admission policy, made explicit):
+//
+//   submit -> admitted in-network          (switch slots available)
+//          -> queued  -> admitted          (slots freed by a release)
+//                     -> fallback          (queue timeout: host-based ring)
+//          -> fallback                     (queue full on arrival)
+//          -> rejected                     (fallback disabled)
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/dtype.hpp"
+#include "core/reduce_op.hpp"
+#include "net/network.hpp"
+
+namespace flare::service {
+
+struct JobSpec {
+  std::vector<net::Host*> participants;
+  u64 data_bytes = 1 * kMiB;  ///< Z per host
+  core::DType dtype = core::DType::kFloat32;
+  core::OpKind op = core::OpKind::kSum;
+  u64 packet_payload = 1024;  ///< in-network block size (bytes)
+  u32 window_blocks = 64;     ///< in-network per-host flow-control window
+  u64 mtu_bytes = 4096;       ///< fragmentation unit for the host fallback
+  u64 seed = 1;               ///< workload seed (gradient data)
+};
+
+enum class JobState : u8 {
+  kQueued = 0,   ///< waiting for switch slots
+  kInNetwork,    ///< running through an installed reduction tree
+  kFallback,     ///< running the host-based ring allreduce
+  kDone,         ///< finished (in_network/ok say how and whether correctly)
+  kRejected,     ///< admission failed and fallback disabled
+};
+
+std::string_view job_state_name(JobState s);
+
+struct JobRecord {
+  u32 job_id = 0;
+  JobState state = JobState::kQueued;
+  bool in_network = false;  ///< served by the switches (vs host fallback)
+  bool ok = false;          ///< completed and within numeric tolerance
+  bool exact = false;       ///< bit-for-bit equal to the reference reduction
+  f64 max_abs_err = 0.0;
+  u32 participants = 0;
+  u64 data_bytes = 0;
+
+  SimTime arrival_ps = 0;
+  SimTime start_ps = 0;   ///< admission success or fallback start
+  SimTime finish_ps = 0;
+
+  u32 admission_attempts = 0;  ///< install attempts across candidate roots
+  u32 requeue_retries = 0;     ///< admission rounds re-run from the queue
+  bool timed_out = false;      ///< left the queue via timeout
+  bool tree_cache_hit = false;
+  net::NodeId tree_root = net::kInvalidNode;
+  u32 tree_switches = 0;
+
+  f64 queue_delay_seconds() const {
+    return static_cast<f64>(start_ps - arrival_ps) / kPsPerSecond;
+  }
+  f64 service_seconds() const {
+    return static_cast<f64>(finish_ps - start_ps) / kPsPerSecond;
+  }
+  f64 sojourn_seconds() const {
+    return static_cast<f64>(finish_ps - arrival_ps) / kPsPerSecond;
+  }
+};
+
+}  // namespace flare::service

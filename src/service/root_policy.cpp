@@ -1,0 +1,46 @@
+#include "service/root_policy.hpp"
+
+#include <algorithm>
+
+namespace flare::service {
+
+std::string_view root_policy_name(RootPolicy p) {
+  switch (p) {
+    case RootPolicy::kFixed: return "fixed";
+    case RootPolicy::kRoundRobin: return "round-robin";
+    case RootPolicy::kLeastLoaded: return "least-loaded";
+  }
+  return "?";
+}
+
+std::vector<net::NodeId> candidate_roots(RootPolicy policy,
+                                         const net::Network& net, u64 cursor) {
+  const std::vector<net::Switch*>& switches = net.switches();
+  std::vector<net::NodeId> roots;
+  roots.reserve(switches.size());
+  const std::size_t n = switches.size();
+  switch (policy) {
+    case RootPolicy::kFixed:
+      for (net::Switch* sw : switches) roots.push_back(sw->id());
+      break;
+    case RootPolicy::kRoundRobin:
+      for (std::size_t i = 0; i < n; ++i)
+        roots.push_back(switches[(cursor + i) % n]->id());
+      break;
+    case RootPolicy::kLeastLoaded: {
+      std::vector<net::Switch*> by_load(switches);
+      // Stable: equal-load switches keep creation order, so runs are
+      // deterministic.
+      std::stable_sort(by_load.begin(), by_load.end(),
+                       [](const net::Switch* a, const net::Switch* b) {
+                         return a->installed_reduces() <
+                                b->installed_reduces();
+                       });
+      for (net::Switch* sw : by_load) roots.push_back(sw->id());
+      break;
+    }
+  }
+  return roots;
+}
+
+}  // namespace flare::service

@@ -1,0 +1,37 @@
+// Root-selection policies for tree placement under contention.
+//
+// Where the reduction tree is rooted decides WHICH switches spend memory
+// slots on a job; under concurrent tenants this is the placement decision
+// that Canary (De Sensi et al., 2023) shows dominates in-network allreduce
+// behaviour at scale.  Three policies:
+//
+//   kFixed        every job tries the same root order (switch creation
+//                 order) — the static baseline; hot-spots the first switch.
+//   kRoundRobin   rotates the starting root per admission round — spreads
+//                 load blindly.
+//   kLeastLoaded  orders candidates by current installed-reduction count
+//                 (fewest first) — a contention-aware heuristic that steers
+//                 trees away from occupied switches.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace flare::service {
+
+enum class RootPolicy : u8 {
+  kFixed = 0,
+  kRoundRobin,
+  kLeastLoaded,
+};
+
+std::string_view root_policy_name(RootPolicy p);
+
+/// Ordered candidate roots for one admission round.  `cursor` is the
+/// caller's monotonically increasing round counter (used by kRoundRobin).
+std::vector<net::NodeId> candidate_roots(RootPolicy policy,
+                                         const net::Network& net, u64 cursor);
+
+}  // namespace flare::service

@@ -1,0 +1,112 @@
+// Multi-tenant allreduce control plane (the "network manager" process the
+// paper's evaluation assumes, Sections 4 and 7, grown into a subsystem).
+//
+// The AllreduceService drives many concurrent allreduce jobs through one
+// shared network simulation:
+//
+//   * admission through coll::NetworkManager, trying candidate tree roots
+//     in the order chosen by a RootPolicy (fixed / round-robin /
+//     least-loaded contention heuristic);
+//   * a bounded FIFO wait queue: jobs that no switch can admit wait for a
+//     release, with a per-job timeout;
+//   * host fallback: on queue overflow or timeout the job runs a host-based
+//     ring allreduce over the same network — the paper's admission policy
+//     ("fall back to host-based allreduce on rejection");
+//   * reduction-tree reuse through coll::TreeCache;
+//   * switch state released on completion, which re-triggers admission for
+//     queued jobs;
+//   * per-job records and aggregate telemetry through common/stats.
+//
+// The service owns the msg handlers of every host in the network (for the
+// fallback data plane) for its lifetime; drive it by scheduling
+// submissions (submit_at) and running the network's event calendar.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "coll/manager.hpp"
+#include "coll/tree_cache.hpp"
+#include "service/job.hpp"
+#include "service/root_policy.hpp"
+#include "service/telemetry.hpp"
+
+namespace flare::service {
+
+struct ServiceOptions {
+  RootPolicy root_policy = RootPolicy::kLeastLoaded;
+  /// Cap on roots tried per admission round; 0 = every switch.
+  u32 max_root_candidates = 0;
+  /// Bounded wait queue: arrivals beyond this fall back immediately.
+  u32 max_queue = 64;
+  /// How long a job may wait for switch slots before falling back.
+  /// 0 disables the timeout (jobs wait until slots free up).
+  SimTime queue_timeout_ps = 2 * kPsPerMs;
+  /// When false, jobs that cannot run in-network are rejected instead of
+  /// falling back to the host ring.
+  bool fallback_to_host = true;
+  /// Calibrated per-switch aggregation rate (see FlareDenseOptions).
+  f64 switch_service_bps = 2.4e12;
+  std::size_t tree_cache_capacity = 64;
+};
+
+class AllreduceService {
+ public:
+  AllreduceService(net::Network& net, ServiceOptions opt = {});
+  ~AllreduceService();
+  AllreduceService(const AllreduceService&) = delete;
+  AllreduceService& operator=(const AllreduceService&) = delete;
+
+  /// Submits a job arriving NOW (must be called before or during the event
+  /// loop).  Returns the job id (index into records()).
+  u32 submit(JobSpec spec);
+
+  /// Schedules a job arrival at absolute simulated time `at`.  Job ids are
+  /// assigned in arrival order.
+  void submit_at(SimTime at, JobSpec spec);
+
+  const std::vector<JobRecord>& records() const { return records_; }
+  const ServiceTelemetry& telemetry() const { return telemetry_; }
+  const coll::TreeCache& tree_cache() const { return cache_; }
+  coll::NetworkManager& manager() { return manager_; }
+
+  u32 active_jobs() const {
+    return static_cast<u32>(innet_.size() + ring_.size());
+  }
+  u32 queued_jobs() const { return static_cast<u32>(queue_.size()); }
+
+ private:
+  struct InNetRun;
+  struct RingRun;
+
+  core::AllreduceConfig make_config(const JobSpec& spec, u32 id) const;
+  /// One admission round.  `feasible` (optional) reports whether the job
+  /// could EVER run in-network (see NetworkManager::install_with_roots).
+  bool try_admit(u32 job, bool* feasible = nullptr);
+  void enqueue(u32 job);
+  void schedule_drain();
+  void drain_queue();
+  void start_in_network(u32 job, const core::AllreduceConfig& cfg,
+                        coll::ReductionTree tree);
+  void start_fallback_or_reject(u32 job);
+  void on_host_msg(const net::HostMsg& msg);
+  void complete(u32 job, bool ok, bool exact, f64 err);
+
+  net::Network& net_;
+  ServiceOptions opt_;
+  coll::NetworkManager manager_;
+  coll::TreeCache cache_;
+  ServiceTelemetry telemetry_;
+  std::vector<JobRecord> records_;
+  std::vector<JobSpec> specs_;
+  std::deque<u32> queue_;  ///< job ids waiting for admission (FIFO)
+  std::unordered_map<u32, std::unique_ptr<InNetRun>> innet_;
+  std::unordered_map<u32, std::unique_ptr<RingRun>> ring_;
+  std::unordered_map<u32, RingRun*> ring_by_proto_;
+  u64 rr_cursor_ = 0;  ///< admission-round counter (round-robin policy)
+  bool drain_scheduled_ = false;
+};
+
+}  // namespace flare::service

@@ -1,0 +1,30 @@
+#include "service/telemetry.hpp"
+
+#include <algorithm>
+
+namespace flare::service {
+
+std::vector<SwitchOccupancy> snapshot_occupancy(const net::Network& net,
+                                                SimTime now) {
+  std::vector<SwitchOccupancy> out;
+  out.reserve(net.switches().size());
+  for (const net::Switch* sw : net.switches()) {
+    SwitchOccupancy o;
+    o.name = sw->name();
+    o.capacity = sw->max_allreduces();
+    o.peak = sw->occupancy().high_water();
+    o.mean = sw->occupancy().time_weighted_mean(now);
+    o.current = sw->installed_reduces();
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+u64 peak_switch_occupancy(const net::Network& net) {
+  u64 peak = 0;
+  for (const net::Switch* sw : net.switches())
+    peak = std::max(peak, sw->occupancy().high_water());
+  return peak;
+}
+
+}  // namespace flare::service

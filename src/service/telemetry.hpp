@@ -1,0 +1,54 @@
+// Aggregate service telemetry: admission counters, queue-delay and service
+// time distributions (common/stats collectors), and a per-switch occupancy
+// snapshot taken from the switches' Gauge instrumentation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "net/network.hpp"
+
+namespace flare::service {
+
+struct ServiceTelemetry {
+  u64 submitted = 0;
+  u64 in_network = 0;       ///< jobs admitted to switch-based reduction
+  u64 fallback = 0;         ///< jobs served by the host-based ring
+  u64 rejected = 0;         ///< jobs dropped (fallback disabled)
+  u64 timed_out = 0;        ///< jobs that left the wait queue via timeout
+  u64 queue_overflows = 0;  ///< arrivals bounced off a full queue
+  u64 inadmissible = 0;     ///< jobs no switch partition can ever hold
+  u64 admission_attempts = 0;  ///< install attempts across all jobs/roots
+  u64 requeue_retries = 0;     ///< admission rounds re-run after a release
+  u64 peak_queue_len = 0;
+
+  RunningStats queue_delay_s;        ///< submit -> start, per served job
+  RunningStats in_network_service_s; ///< start -> finish, in-network jobs
+  RunningStats fallback_service_s;   ///< start -> finish, fallback jobs
+
+  u64 completed() const { return in_network + fallback; }
+  /// Fraction of served jobs that had to fall back to host-based allreduce.
+  f64 fallback_ratio() const {
+    const u64 served = completed();
+    return served == 0 ? 0.0 : static_cast<f64>(fallback) / served;
+  }
+};
+
+/// One switch's occupancy over the run: peak concurrent reductions,
+/// time-weighted mean, and the static partition size.
+struct SwitchOccupancy {
+  std::string name;
+  u32 capacity = 0;      ///< max_allreduces partition
+  u64 peak = 0;          ///< high-water mark of concurrent reductions
+  f64 mean = 0.0;        ///< time-weighted mean occupancy
+  u32 current = 0;       ///< still installed (should be 0 after drain)
+};
+
+std::vector<SwitchOccupancy> snapshot_occupancy(const net::Network& net,
+                                                SimTime now);
+
+/// Highest per-switch peak across the network.
+u64 peak_switch_occupancy(const net::Network& net);
+
+}  // namespace flare::service

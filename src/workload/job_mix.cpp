@@ -1,0 +1,50 @@
+#include "workload/job_mix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace flare::workload {
+
+std::vector<JobArrival> make_job_mix(const JobMixSpec& spec,
+                                     u32 total_hosts) {
+  FLARE_ASSERT(total_hosts >= 1);
+  FLARE_ASSERT(spec.hosts_min >= 1 && spec.hosts_min <= spec.hosts_max);
+  FLARE_ASSERT(!spec.sizes_bytes.empty());
+
+  Rng rng(derive_seed(spec.seed, 0x4A4F424Dull));  // "JOBM"
+  ArrivalProcess arrivals(spec.arrivals, spec.mean_interarrival_s,
+                          derive_seed(spec.seed, 0x41525256ull));
+
+  std::vector<u32> pool(total_hosts);
+  std::iota(pool.begin(), pool.end(), 0);
+
+  std::vector<JobArrival> out;
+  out.reserve(spec.jobs);
+  f64 t_s = 0.0;
+  for (u32 j = 0; j < spec.jobs; ++j) {
+    t_s += arrivals.next_gap();
+    JobArrival job;
+    job.at_ps = static_cast<SimTime>(std::llround(t_s * kPsPerSecond));
+    const u32 lo = std::min(spec.hosts_min, total_hosts);
+    const u32 hi = std::min(spec.hosts_max, total_hosts);
+    const u32 p = lo + static_cast<u32>(rng.uniform_u64(hi - lo + 1));
+    // Partial Fisher–Yates: the first p entries become the participant set.
+    for (u32 i = 0; i < p; ++i) {
+      const u64 k = i + rng.uniform_u64(total_hosts - i);
+      std::swap(pool[i], pool[k]);
+    }
+    job.host_indices.assign(pool.begin(), pool.begin() + p);
+    std::sort(job.host_indices.begin(), job.host_indices.end());
+    job.data_bytes =
+        spec.sizes_bytes[rng.uniform_u64(spec.sizes_bytes.size())];
+    job.dtype = spec.dtype;
+    job.seed = derive_seed(spec.seed, 1000 + j);
+    out.push_back(std::move(job));
+  }
+  return out;
+}
+
+}  // namespace flare::workload

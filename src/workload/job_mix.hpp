@@ -1,0 +1,40 @@
+// Multi-tenant job-mix generator: a stream of allreduce job arrivals
+// (Poisson or paced, via ArrivalProcess) with randomized participant
+// subsets and sizes — the "heavy concurrent traffic" input of the service
+// layer.  Deterministic in the seed, like every other workload generator.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/dtype.hpp"
+#include "workload/arrivals.hpp"
+
+namespace flare::workload {
+
+struct JobMixSpec {
+  u32 jobs = 8;
+  u32 hosts_min = 4;   ///< participants per job, inclusive range
+  u32 hosts_max = 16;
+  /// Candidate per-host reduction sizes, chosen uniformly per job.
+  std::vector<u64> sizes_bytes = {256 * kKiB, 1 * kMiB, 4 * kMiB};
+  core::DType dtype = core::DType::kInt32;
+  ArrivalKind arrivals = ArrivalKind::kExponential;
+  f64 mean_interarrival_s = 50e-6;
+  u64 seed = 1;
+};
+
+struct JobArrival {
+  SimTime at_ps = 0;
+  std::vector<u32> host_indices;  ///< indices into net.hosts()
+  u64 data_bytes = 0;
+  core::DType dtype = core::DType::kInt32;
+  u64 seed = 0;  ///< per-job workload seed (derive_seed of the mix seed)
+};
+
+/// Generates `spec.jobs` arrivals over a pool of `total_hosts` hosts.
+/// Participant sets are distinct host indices (uniform without
+/// replacement); jobs from one mix may overlap each other's hosts.
+std::vector<JobArrival> make_job_mix(const JobMixSpec& spec, u32 total_hosts);
+
+}  // namespace flare::workload

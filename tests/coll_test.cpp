@@ -12,6 +12,7 @@
 #include "coll/flare_sparse.hpp"
 #include "coll/manager.hpp"
 #include "coll/ring.hpp"
+#include "coll/tree_cache.hpp"
 #include "coll/sparcml.hpp"
 #include "workload/generators.hpp"
 
@@ -88,6 +89,149 @@ TEST(Manager, AdmissionFailureRollsBack) {
   mgr.uninstall(*first, 1);
   cfg.id = mgr.next_id();
   EXPECT_TRUE(mgr.install_with_retry(topo.hosts, cfg, 1e12).has_value());
+}
+
+TEST(Manager, PartialInstallRollbackRestoresOccupancy) {
+  // 16 hosts, radix 4 -> 8 leaves (2 hosts each) + 4 spines, 2 slots each.
+  net::Network net;
+  net::FatTreeSpec spec;
+  spec.hosts = 16;
+  spec.radix = 4;
+  spec.max_allreduces = 2;
+  auto topo = net::build_fat_tree(net, spec);
+  NetworkManager mgr(net);
+
+  // Participants under two leaves: the spine-rooted tree spans >= 3
+  // switches, so a full switch deep in the install order forces a rollback
+  // of the earlier, successful installs.
+  std::vector<net::Host*> parts(topo.hosts.begin(), topo.hosts.begin() + 4);
+  auto tree = mgr.compute_tree(parts, topo.spines[0]->id());
+  ASSERT_TRUE(tree.has_value());
+  ASSERT_GE(tree->switches.size(), 3u);
+
+  // Fill the LAST tree switch to capacity with unrelated reductions.
+  net::Switch* full = tree->switches.back().sw;
+  while (full->can_install()) {
+    core::AllreduceConfig dummy;
+    dummy.id = mgr.next_id();
+    dummy.dtype = core::DType::kInt32;
+    dummy.elems_per_packet = 16;
+    ASSERT_TRUE(full->install_reduce(dummy, net::ReduceRole{}));
+  }
+
+  std::vector<u32> before;
+  std::vector<u64> hwm_before;
+  for (const net::Switch* sw : net.switches()) {
+    before.push_back(sw->installed_reduces());
+    hwm_before.push_back(sw->occupancy().high_water());
+  }
+
+  core::AllreduceConfig cfg;
+  cfg.id = mgr.next_id();
+  cfg.dtype = core::DType::kInt32;
+  cfg.elems_per_packet = 16;
+  EXPECT_FALSE(mgr.install(*tree, cfg, 1e12));
+
+  // After the rejected admission every switch is back at its prior
+  // occupancy, no switch holds the rejected id, and the occupancy
+  // telemetry (high-water mark) was not polluted by a partial install.
+  for (std::size_t i = 0; i < net.switches().size(); ++i) {
+    EXPECT_EQ(net.switches()[i]->installed_reduces(), before[i])
+        << net.switches()[i]->name();
+    EXPECT_EQ(net.switches()[i]->role(cfg.id), nullptr);
+    EXPECT_EQ(net.switches()[i]->occupancy().high_water(), hwm_before[i])
+        << net.switches()[i]->name();
+  }
+
+  // A smaller tree avoiding the full switch still installs: single-leaf
+  // participants rooted at a leaf that has slots left.
+  net::Switch* free_leaf = topo.leaves[0] == full ? topo.leaves[1]
+                                                  : topo.leaves[0];
+  const u32 leaf_index = free_leaf == topo.leaves[0] ? 0 : 1;
+  std::vector<net::Host*> small = {topo.hosts[2 * leaf_index],
+                                   topo.hosts[2 * leaf_index + 1]};
+  auto small_tree = mgr.compute_tree(small, free_leaf->id());
+  ASSERT_TRUE(small_tree.has_value());
+  EXPECT_EQ(small_tree->switches.size(), 1u);
+  core::AllreduceConfig cfg2;
+  cfg2.id = mgr.next_id();
+  cfg2.dtype = core::DType::kInt32;
+  cfg2.elems_per_packet = 16;
+  const u32 leaf_before = free_leaf->installed_reduces();
+  EXPECT_TRUE(mgr.install(*small_tree, cfg2, 1e12));
+  EXPECT_EQ(free_leaf->installed_reduces(), leaf_before + 1);
+  mgr.uninstall(*small_tree, cfg2.id);
+  EXPECT_EQ(free_leaf->installed_reduces(), leaf_before);
+}
+
+TEST(Manager, ReleaseListenerFiresOnUninstall) {
+  net::Network net;
+  auto topo = net::build_single_switch(net, 4);
+  NetworkManager mgr(net);
+  std::vector<u32> released;
+  mgr.set_release_listener([&](u32 id) { released.push_back(id); });
+  core::AllreduceConfig cfg;
+  cfg.id = mgr.next_id();
+  cfg.dtype = core::DType::kInt32;
+  cfg.elems_per_packet = 16;
+  auto tree = mgr.install_with_retry(topo.hosts, cfg, 1e12);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_TRUE(released.empty());
+  mgr.uninstall(*tree, cfg.id);
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0], cfg.id);
+}
+
+// ---------------------------------------------------------- tree cache ----
+
+TEST(TreeCache, HitMissAndLruEviction) {
+  net::Network net;
+  net::FatTreeSpec spec;
+  spec.hosts = 16;
+  spec.radix = 4;
+  auto topo = net::build_fat_tree(net, spec);
+  NetworkManager mgr(net);
+  TreeCache cache(/*capacity=*/2);
+
+  std::vector<net::Host*> a(topo.hosts.begin(), topo.hosts.begin() + 4);
+  std::vector<net::Host*> b(topo.hosts.begin() + 4, topo.hosts.begin() + 8);
+  const net::NodeId root = topo.spines[0]->id();
+
+  EXPECT_EQ(cache.lookup(a, root), nullptr);  // miss #1
+  auto t1 = cache.get_or_compute(mgr, a, root);  // miss #2, then cached
+  ASSERT_TRUE(t1.has_value());
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  // Participant ORDER must not matter for the key.
+  std::vector<net::Host*> a_rev(a.rbegin(), a.rend());
+  EXPECT_NE(cache.lookup(a_rev, root), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  auto t2 = cache.get_or_compute(mgr, b, root);
+  ASSERT_TRUE(t2.has_value());
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Recency is now [b, a] (b inserted after a's last touch); a third
+  // distinct key evicts a.
+  std::vector<net::Host*> c(topo.hosts.begin() + 8,
+                            topo.hosts.begin() + 12);
+  auto t3 = cache.get_or_compute(mgr, c, root);
+  ASSERT_TRUE(t3.has_value());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.lookup(a, root), nullptr);   // evicted
+  EXPECT_NE(cache.lookup(b, root), nullptr);   // retained
+  EXPECT_NE(cache.lookup(c, root), nullptr);   // retained
+
+  // Cached trees install identically to freshly computed ones.
+  core::AllreduceConfig cfg;
+  cfg.id = mgr.next_id();
+  cfg.dtype = core::DType::kInt32;
+  cfg.elems_per_packet = 16;
+  const ReductionTree* cached = cache.lookup(b, root);
+  ASSERT_NE(cached, nullptr);
+  EXPECT_TRUE(mgr.install(*cached, cfg, 1e12));
+  mgr.uninstall(*cached, cfg.id);
 }
 
 // --------------------------------------------------------- flare dense ----

@@ -208,6 +208,37 @@ TEST(SwitchReduce, AdmissionControlLimitsInstalls) {
   EXPECT_TRUE(sw->can_install());
 }
 
+TEST(SwitchReduce, OccupancyAccessorsAndGauge) {
+  Network net;
+  auto topo = build_single_switch(net, 2, LinkSpec{}, /*max_allreduces=*/4);
+  Switch* sw = topo.leaves[0];
+  EXPECT_EQ(sw->installed_reduces(), 0u);
+  EXPECT_EQ(sw->free_slots(), 4u);
+
+  for (u32 id = 1; id <= 3; ++id) {
+    ReduceRole role;
+    role.is_root = true;
+    role.service_bps = 1e12;
+    role.child_ports = {0, 1};
+    ASSERT_TRUE(sw->install_reduce(reduce_cfg(id, 2), std::move(role)));
+  }
+  EXPECT_EQ(sw->installed_reduces(), 3u);
+  EXPECT_EQ(sw->free_slots(), 1u);
+  EXPECT_EQ(sw->occupancy().current(), 3u);
+  EXPECT_EQ(sw->occupancy().high_water(), 3u);
+
+  sw->uninstall_reduce(2);
+  sw->uninstall_reduce(3);
+  EXPECT_EQ(sw->installed_reduces(), 1u);
+  EXPECT_EQ(sw->free_slots(), 3u);
+  EXPECT_EQ(sw->occupancy().current(), 1u);
+  // The high-water mark survives releases.
+  EXPECT_EQ(sw->occupancy().high_water(), 3u);
+  // Uninstalling an unknown id is a no-op, not an underflow.
+  sw->uninstall_reduce(99);
+  EXPECT_EQ(sw->installed_reduces(), 1u);
+}
+
 TEST(SwitchReduce, CalibratedServerSerializesProcessing) {
   // Two packets arriving together must be serviced back to back at the
   // calibrated rate, delaying the aggregated result accordingly.
