@@ -15,10 +15,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "coll/flare_dense.hpp"
-#include "coll/flare_sparse.hpp"
-#include "coll/ring.hpp"
-#include "coll/sparcml.hpp"
+#include "coll/communicator.hpp"
 #include "workload/gradient_trace.hpp"
 
 using namespace flare;
@@ -58,57 +55,45 @@ int main(int argc, char** argv) {
   gspec.overlap = 0.6;  // measured top-k selections agree often, not always
   workload::GradientTrace trace(gspec, 64);
 
-  // 1) Host-based dense: ring allreduce.
-  {
-    net::Network net;
-    auto topo = net::build_fat_tree(net, net::FatTreeSpec{});
-    coll::RingOptions opt;
-    opt.data_bytes = data_bytes;
-    print_row("Host-Based Dense", run_ring_allreduce(net, topo.hosts, opt));
-  }
+  // One descriptor per scheme, all executed through the SAME Communicator
+  // session API — the flexibility surface the paper claims.
 
-  // 2) Flare dense in-network reduction.
-  {
-    net::Network net;
-    auto topo = net::build_fat_tree(net, net::FatTreeSpec{});
-    coll::FlareDenseOptions opt;
-    opt.data_bytes = data_bytes;
-    print_row("Flare Dense", run_flare_dense(net, topo.hosts, opt));
-  }
+  // Sparse workload shared by both sparse schemes: one reduction block =
+  // 128 buckets so a block's expected non-zeros (~top_k * 128 = 128 pairs)
+  // fill one packet.
+  const u64 buckets_per_block = 128;
+  coll::SparseWorkload sparse_w;
+  sparse_w.block_span = static_cast<u32>(buckets_per_block * gspec.bucket);
+  sparse_w.num_blocks = static_cast<u32>(
+      (trace.buckets() + buckets_per_block - 1) / buckets_per_block);
+  sparse_w.pairs = [&trace, buckets_per_block](u32 h, u32 b) {
+    return trace.window_pairs(h, b * buckets_per_block, buckets_per_block);
+  };
 
-  // 3) Host-based sparse: SparCML recursive doubling on the trace.
-  {
+  auto run_scheme = [&](const char* name, coll::Algorithm algorithm,
+                        bool sparse) {
     net::Network net;
     auto topo = net::build_fat_tree(net, net::FatTreeSpec{});
-    coll::SparcmlOptions opt;
-    opt.total_elems = trace.buckets() * gspec.bucket;
-    auto provider = [&trace](u32 h) {
-      return trace.window_pairs(h, 0, trace.buckets());
-    };
-    print_row("Host-Based Sparse",
-              run_sparcml_allreduce(net, topo.hosts, provider, opt));
-  }
+    coll::CollectiveOptions desc;
+    desc.algorithm = algorithm;
+    if (sparse) {
+      desc.sparse = sparse_w;
+    } else {
+      desc.data_bytes = data_bytes;
+    }
+    coll::Communicator comm(net, topo.hosts);
+    const auto res = comm.run(desc);
+    print_row(name, res);
+    return res;
+  };
 
-  // 4) Flare sparse in-network reduction on the same trace.
-  {
-    net::Network net;
-    auto topo = net::build_fat_tree(net, net::FatTreeSpec{});
-    // One reduction block = 128 buckets so a block's expected non-zeros
-    // (~top_k * 128 = 128 pairs) fill one packet.
-    const u64 buckets_per_block = 128;
-    coll::SparseWorkload w;
-    w.block_span = static_cast<u32>(buckets_per_block * gspec.bucket);
-    w.num_blocks = static_cast<u32>(
-        (trace.buckets() + buckets_per_block - 1) / buckets_per_block);
-    w.pairs = [&trace, buckets_per_block](u32 h, u32 b) {
-      return trace.window_pairs(h, b * buckets_per_block, buckets_per_block);
-    };
-    coll::FlareSparseOptions opt;
-    const auto res = coll::run_flare_sparse(net, topo.hosts, w, opt);
-    print_row("Flare Sparse", res);
-    std::printf("  %-18s %12s %14llu\n", "  (spill packets)", "",
-                static_cast<unsigned long long>(res.spill_packets));
-  }
+  run_scheme("Host-Based Dense", coll::Algorithm::kHostRing, false);
+  run_scheme("Flare Dense", coll::Algorithm::kFlareDense, false);
+  run_scheme("Host-Based Sparse", coll::Algorithm::kSparcml, true);
+  const auto sparse_res =
+      run_scheme("Flare Sparse", coll::Algorithm::kFlareSparse, true);
+  std::printf("  %-18s %12s %14llu\n", "  (spill packets)", "",
+              static_cast<unsigned long long>(sparse_res.extra_packets));
 
   std::printf("\n  Paper shape: Flare dense ~2x faster and ~2x less traffic "
               "than the host ring;\n  host-based sparse beats dense schemes "

@@ -64,9 +64,9 @@ CellResult run_cell(u32 max_allreduces, f64 mean_interarrival_s,
     service::JobSpec spec;
     for (const u32 h : a.host_indices)
       spec.participants.push_back(topo.hosts[h]);
-    spec.data_bytes = a.data_bytes;
-    spec.dtype = a.dtype;
-    spec.seed = a.seed;
+    spec.desc.data_bytes = a.data_bytes;
+    spec.desc.dtype = a.dtype;
+    spec.desc.seed = a.seed;
     svc.submit_at(a.at_ps, std::move(spec));
   }
   net.sim().run();

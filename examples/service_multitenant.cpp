@@ -26,9 +26,9 @@ int main() {
     service::JobSpec spec;
     for (u32 h = 0; h < 8; ++h)
       spec.participants.push_back(topo.hosts[(2 * j + h) % 16]);
-    spec.data_bytes = 128 * kKiB;
-    spec.dtype = core::DType::kInt32;
-    spec.seed = 100 + j;
+    spec.desc.data_bytes = 128 * kKiB;
+    spec.desc.dtype = core::DType::kInt32;
+    spec.desc.seed = 100 + j;
     svc.submit_at(j * 2 * kPsPerUs, std::move(spec));
   }
   net.sim().run();

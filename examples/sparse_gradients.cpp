@@ -14,8 +14,8 @@
 //   ./build/examples/sparse_gradients
 #include <cstdio>
 
+#include "coll/communicator.hpp"
 #include "coll/flare_sparse.hpp"
-#include "coll/sparcml.hpp"
 #include "workload/gradient_trace.hpp"
 
 using namespace flare;
@@ -35,6 +35,18 @@ int main() {
               static_cast<unsigned long long>(gspec.model_elems),
               gspec.top_k, gspec.bucket, trace.density() * 100.0);
 
+  // One sparse workload description drives BOTH schemes through the
+  // Communicator: flip desc.algorithm and the same call runs in-network or
+  // host-based — SparCML's "switch algorithms under one API" motivation.
+  const u64 buckets_per_block = 128;
+  coll::SparseWorkload w;
+  w.block_span = static_cast<u32>(buckets_per_block * gspec.bucket);
+  w.num_blocks = static_cast<u32>(
+      (trace.buckets() + buckets_per_block - 1) / buckets_per_block);
+  w.pairs = [&](u32 h, u32 b) {
+    return trace.window_pairs(h, b * buckets_per_block, buckets_per_block);
+  };
+
   // --- Flare in-network sparse ------------------------------------------
   {
     net::Network net;
@@ -42,16 +54,10 @@ int main() {
     spec.hosts = workers;
     spec.radix = 8;
     auto topo = net::build_fat_tree(net, spec);
-
-    const u64 buckets_per_block = 128;
-    coll::SparseWorkload w;
-    w.block_span = static_cast<u32>(buckets_per_block * gspec.bucket);
-    w.num_blocks = static_cast<u32>(
-        (trace.buckets() + buckets_per_block - 1) / buckets_per_block);
-    w.pairs = [&](u32 h, u32 b) {
-      return trace.window_pairs(h, b * buckets_per_block, buckets_per_block);
-    };
-    const auto res = coll::run_flare_sparse(net, topo.hosts, w, {});
+    // The scheme-specific pair counters come from the shared oneshot; the
+    // Communicator returns the common CollectiveResult.
+    const auto res = coll::detail::flare_sparse_oneshot(net, topo.hosts, w,
+                                                        {});
     std::printf("\n  Flare in-network sparse: %s\n",
                 res.ok ? "PASS" : "FAIL");
     std::printf("    completion : %.3f ms\n", res.completion_seconds * 1e3);
@@ -71,21 +77,16 @@ int main() {
     spec.hosts = workers;
     spec.radix = 8;
     auto topo = net::build_fat_tree(net, spec);
-    coll::SparcmlOptions opt;
-    opt.total_elems = trace.buckets() * gspec.bucket;
-    auto provider = [&](u32 h) {
-      return trace.window_pairs(h, 0, trace.buckets());
-    };
-    const auto res =
-        coll::run_sparcml_allreduce(net, topo.hosts, provider, opt);
+    coll::CollectiveOptions desc;
+    desc.algorithm = coll::Algorithm::kSparcml;
+    desc.sparse = w;
+    coll::Communicator comm(net, topo.hosts);
+    const auto res = comm.run(desc);
     std::printf("\n  SparCML host-based sparse: %s\n",
                 res.ok ? "PASS" : "FAIL");
     std::printf("    completion : %.3f ms\n", res.completion_seconds * 1e3);
-    std::printf("    traffic    : %.2f MiB (%llu pair-messages, %llu dense "
-                "switchovers)\n",
-                static_cast<f64>(res.total_traffic_bytes) / (1024.0 * 1024),
-                static_cast<unsigned long long>(res.pairs_exchanged),
-                static_cast<unsigned long long>(res.dense_switchovers));
+    std::printf("    traffic    : %.2f MiB\n",
+                static_cast<f64>(res.total_traffic_bytes) / (1024.0 * 1024));
   }
   return 0;
 }

@@ -1,0 +1,882 @@
+#include "coll/communicator.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "coll/flare_sparse.hpp"
+#include "coll/sparcml.hpp"
+#include "coll/tree_cache.hpp"
+#include "core/policy.hpp"
+#include "core/staggered.hpp"
+#include "workload/generators.hpp"
+
+namespace flare::coll {
+
+std::string_view collective_kind_name(CollectiveKind k) {
+  switch (k) {
+    case CollectiveKind::kAllreduce: return "allreduce";
+    case CollectiveKind::kReduce: return "reduce";
+    case CollectiveKind::kBroadcast: return "broadcast";
+    case CollectiveKind::kBarrier: return "barrier";
+  }
+  return "?";
+}
+
+std::string_view algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kAuto: return "auto";
+    case Algorithm::kFlareDense: return "flare-dense";
+    case Algorithm::kFlareSparse: return "flare-sparse";
+    case Algorithm::kHostRing: return "host-ring";
+    case Algorithm::kSparcml: return "sparcml";
+  }
+  return "?";
+}
+
+namespace detail {
+
+class OpBase {
+ public:
+  virtual ~OpBase() = default;
+  OpBase(const OpBase&) = delete;
+  OpBase& operator=(const OpBase&) = delete;
+
+  /// Kicks off one iteration: (re)wires host handlers, stages data and
+  /// enqueues the first sends on the calendar.  `state` receives the
+  /// result; its on_complete (if any) fires at completion.
+  virtual void begin(u64 seed, std::shared_ptr<OpState> state) = 0;
+
+  /// True once finalize ran and (for one-shot ops) resources are released.
+  bool reapable() const { return complete_; }
+
+ protected:
+  OpBase() = default;
+
+  /// Publishes the result and invokes the completion callback.  MUST be
+  /// the last thing a finalize path does: the callback may destroy the op
+  /// (service jobs self-erase), so no member access is allowed after it.
+  void publish(CollectiveResult&& res) {
+    auto st = std::move(state_);
+    st->result = std::move(res);
+    st->done = true;
+    auto cb = std::move(st->on_complete);
+    if (cb) cb(st->result);  // 'this' may be destroyed here
+  }
+
+  std::shared_ptr<OpState> state_;
+  bool complete_ = false;
+};
+
+// ========================================================== in-network ====
+// One event-driven driver for ALL in-network dense kinds (Section 8: the
+// extension collectives fall out of the allreduce machinery):
+//
+//   * allreduce — every host contributes its vector and consumes the
+//     aggregated multicast;
+//   * reduce    — same protocol; only the destination's buffer is the
+//     result (the multicast down is shared, as in the paper);
+//   * broadcast — the root contributes its data, everyone else the
+//     operator identity; the "sum" coming back is the root's vector;
+//   * barrier   — one 0-byte block; a host leaves the barrier when the
+//     root's empty result multicast reaches it.
+
+class InNetOp final : public OpBase {
+ public:
+  InNetOp(net::Network& net, NetworkManager& manager,
+          const std::vector<net::Host*>& participants,
+          const CollectiveOptions& desc, core::AllreduceConfig cfg,
+          ReductionTree tree, bool owns_install)
+      : net_(net), manager_(manager), participants_(participants),
+        desc_(desc), cfg_(cfg), tree_(std::move(tree)),
+        owns_install_(owns_install), installed_(owns_install),
+        op_(cfg.op) {
+    const u32 esize = core::dtype_size(desc_.dtype);
+    if (desc_.kind == CollectiveKind::kBarrier) {
+      elems_total_ = 0;
+      elems_per_pkt_ = 0;
+      nb_ = 1;
+    } else {
+      elems_total_ = std::max<u64>(1, desc_.data_bytes / esize);
+      elems_per_pkt_ = cfg_.elems_per_packet;
+      FLARE_ASSERT(elems_per_pkt_ >= 1);
+      nb_ = static_cast<u32>((elems_total_ + elems_per_pkt_ - 1) /
+                             elems_per_pkt_);
+    }
+    // Staggered sending keeps every block of the operation in flight
+    // (Section 5); windowed flow control applies to aligned sending.
+    window_ = desc_.order == core::SendOrder::kStaggered
+                  ? std::max(desc_.window_blocks, nb_)
+                  : std::max(1u, desc_.window_blocks);
+  }
+
+  ~InNetOp() override {
+    // Abandoned mid-flight (communicator destroyed): release switch slots
+    // and host handlers so the fabric is reusable.
+    if (installed_) {
+      for (net::Host* host : participants_) {
+        host->clear_reduce_handler(cfg_.id);
+      }
+      manager_.uninstall(tree_, cfg_.id);
+    }
+  }
+
+  void begin(u64 seed, std::shared_ptr<OpState> state) override {
+    FLARE_ASSERT_MSG(state_ == nullptr,
+                     "previous iteration of this collective still running");
+    state_ = std::move(state);
+    complete_ = false;
+    finished_ = false;
+    hosts_done_ = 0;
+    start_ps_ = net_.sim().now();
+    base_traffic_ = net_.total_traffic_bytes();
+    const u32 P = static_cast<u32>(participants_.size());
+
+    switch (desc_.kind) {
+      case CollectiveKind::kAllreduce:
+      case CollectiveKind::kReduce:
+        host_data_ = workload::make_dense_data(P, elems_total_, desc_.dtype,
+                                               seed);
+        expected_ = core::reference_reduce(host_data_, op_);
+        break;
+      case CollectiveKind::kBroadcast: {
+        Rng rng(seed);
+        payload_ = core::TypedBuffer(desc_.dtype, elems_total_);
+        payload_.fill_random(rng);
+        identity_ = core::TypedBuffer(desc_.dtype, elems_per_pkt_);
+        identity_.fill_identity(op_);
+        break;
+      }
+      case CollectiveKind::kBarrier:
+        break;
+    }
+
+    runs_.clear();
+    runs_.resize(P);
+    for (u32 h = 0; h < P; ++h) {
+      HostRun& hr = runs_[h];
+      hr.host = participants_[h];
+      if (consumes_payload()) {
+        hr.result = core::TypedBuffer(desc_.dtype, elems_total_);
+      }
+      hr.schedule = core::send_schedule(h, P, nb_, desc_.order);
+      hr.block_done.assign(nb_, false);
+      hr.host->set_reduce_handler(
+          cfg_.id, [this, h](const core::Packet& pkt) { on_down(h, pkt); });
+    }
+    for (u32 h = 0; h < P; ++h) try_send(h);
+  }
+
+ private:
+  struct HostRun {
+    net::Host* host = nullptr;
+    core::TypedBuffer result;
+    std::vector<u32> schedule;
+    std::size_t next = 0;
+    u32 outstanding = 0;
+    u64 blocks_done = 0;
+    SimTime finish_ps = 0;
+    std::vector<bool> block_done;
+  };
+
+  bool consumes_payload() const {
+    return desc_.kind != CollectiveKind::kBarrier;
+  }
+
+  u32 block_elems(u32 b) const {
+    if (elems_per_pkt_ == 0) return 0;  // barrier
+    const u64 first = static_cast<u64>(b) * elems_per_pkt_;
+    return static_cast<u32>(
+        std::min<u64>(elems_per_pkt_, elems_total_ - first));
+  }
+
+  /// What host `h` feeds into the reduction for block `b`.
+  const void* contribution(u32 h, u32 b) const {
+    const u64 first = static_cast<u64>(b) * elems_per_pkt_;
+    switch (desc_.kind) {
+      case CollectiveKind::kAllreduce:
+      case CollectiveKind::kReduce:
+        return host_data_[h].at_byte(first);
+      case CollectiveKind::kBroadcast:
+        return h == desc_.root ? payload_.at_byte(first) : identity_.data();
+      case CollectiveKind::kBarrier:
+        return nullptr;
+    }
+    return nullptr;
+  }
+
+  void try_send(u32 h) {
+    HostRun& hr = runs_[h];
+    while (hr.outstanding < window_ && hr.next < hr.schedule.size()) {
+      const u32 b = hr.schedule[hr.next++];
+      core::Packet p = core::make_dense_packet(
+          cfg_.id, b, tree_.host_child_index[hr.host->host_index()],
+          contribution(h, b), block_elems(b), desc_.dtype);
+      net::NetPacket np;
+      np.kind = net::PacketKind::kReduceUp;
+      np.allreduce_id = cfg_.id;
+      np.wire_bytes = p.wire_bytes();
+      np.reduce = std::make_shared<const core::Packet>(std::move(p));
+      hr.outstanding += 1;
+      hr.host->send(std::move(np));
+    }
+  }
+
+  void on_down(u32 h, const core::Packet& pkt) {
+    HostRun& me = runs_[h];
+    const u32 b = pkt.hdr.block_id;
+    FLARE_ASSERT(b < nb_);
+    if (me.block_done[b]) return;  // duplicated multicast replica
+    me.block_done[b] = true;
+    FLARE_ASSERT(pkt.hdr.elem_count == block_elems(b));
+    if (consumes_payload()) {
+      const u64 first = static_cast<u64>(b) * elems_per_pkt_;
+      std::memcpy(me.result.at_byte(first), pkt.payload.data(),
+                  pkt.payload.size());
+    }
+    me.blocks_done += 1;
+    me.outstanding -= 1;
+    if (me.blocks_done == nb_) {
+      me.finish_ps = net_.sim().now();
+      hosts_done_ += 1;
+    }
+    try_send(h);
+    if (hosts_done_ == runs_.size() && !finished_) {
+      finished_ = true;
+      // Finalize off this packet's call stack: by the time every host
+      // holds every block, all switch-side events of this collective have
+      // run (host delivery is causally last on each path), so releasing or
+      // resetting switch state afterwards is race-free.
+      net_.sim().schedule_after(0, [this] { finalize(); });
+    }
+  }
+
+  void finalize() {
+    const u32 P = static_cast<u32>(runs_.size());
+    CollectiveResult res;
+    res.blocks = nb_;
+    res.in_network = true;
+    f64 worst = 0.0, sum = 0.0;
+    for (const HostRun& hr : runs_) {
+      worst = std::max(worst, static_cast<f64>(hr.finish_ps - start_ps_));
+      sum += static_cast<f64>(hr.finish_ps - start_ps_);
+    }
+    if (desc_.kind == CollectiveKind::kReduce) {
+      // Only the destination consumes the result; its delivery time is the
+      // reduce latency even though the shared multicast reaches everyone.
+      worst = static_cast<f64>(runs_[desc_.root].finish_ps - start_ps_);
+    }
+    res.completion_seconds = worst / kPsPerSecond;
+    res.mean_host_seconds = sum / P / kPsPerSecond;
+    res.total_traffic_bytes = net_.total_traffic_bytes() - base_traffic_;
+    res.total_packets = net_.total_packets();
+
+    switch (desc_.kind) {
+      case CollectiveKind::kAllreduce: {
+        f64 err = 0.0;
+        for (const HostRun& hr : runs_)
+          err = std::max(err, hr.result.max_abs_diff(expected_));
+        res.max_abs_err = err;
+        res.ok = err <= core::reduce_tolerance(desc_.dtype, P);
+        break;
+      }
+      case CollectiveKind::kReduce:
+        res.max_abs_err = runs_[desc_.root].result.max_abs_diff(expected_);
+        res.ok = res.max_abs_err <= core::reduce_tolerance(desc_.dtype, P);
+        break;
+      case CollectiveKind::kBroadcast: {
+        f64 err = 0.0;
+        for (const HostRun& hr : runs_)
+          err = std::max(err, hr.result.max_abs_diff(payload_));
+        res.max_abs_err = err;
+        res.ok = err <= (core::dtype_is_float(desc_.dtype) ? 1e-4 : 0.0);
+        break;
+      }
+      case CollectiveKind::kBarrier:
+        res.ok = true;  // finalize fires only once every host is released
+        break;
+    }
+
+    for (const TreeSwitchEntry& e : tree_.switches) {
+      const net::ReduceRole* role = e.sw->role(cfg_.id);
+      if (role != nullptr && role->engine != nullptr) {
+        res.switch_working_mem_hwm = std::max(
+            res.switch_working_mem_hwm, role->engine->pool().high_water());
+      }
+    }
+
+    if (owns_install_) {
+      for (net::Host* host : participants_) {
+        host->clear_reduce_handler(cfg_.id);
+      }
+      manager_.uninstall(tree_, cfg_.id);
+      installed_ = false;
+    }
+    complete_ = true;
+    publish(std::move(res));  // may destroy *this — nothing after
+  }
+
+  net::Network& net_;
+  NetworkManager& manager_;
+  const std::vector<net::Host*>& participants_;
+  CollectiveOptions desc_;
+  core::AllreduceConfig cfg_;
+  ReductionTree tree_;
+  bool owns_install_;
+  /// One-shot ops own their install; cleared once finalize released it.
+  /// Persistent installs are released by the PersistentCollective instead.
+  bool installed_;
+  core::ReduceOp op_;
+  u64 elems_total_ = 0;
+  u32 elems_per_pkt_ = 0;
+  u32 nb_ = 0;
+  u32 window_ = 0;
+  u64 base_traffic_ = 0;
+  SimTime start_ps_ = 0;
+  std::vector<core::TypedBuffer> host_data_;
+  core::TypedBuffer payload_;   ///< broadcast source vector
+  core::TypedBuffer identity_;  ///< broadcast non-root contribution
+  core::TypedBuffer expected_;
+  std::vector<HostRun> runs_;
+  u32 hosts_done_ = 0;
+  bool finished_ = false;
+};
+
+// ======================================================== host ring =======
+// Event-driven ring (Rabenseifner) allreduce over the same network: two
+// phases of P-1 steps (scatter-reduce, then allgather).  Each op draws a
+// fresh wire-protocol id and registers per-proto host handlers, so
+// overlapping ring collectives over shared hosts never mix fragments.
+
+class RingOp final : public OpBase {
+ public:
+  RingOp(net::Network& net, const std::vector<net::Host*>& participants,
+         const CollectiveOptions& desc)
+      : net_(net), participants_(participants), desc_(desc),
+        proto_(0x40000000u + net.alloc_collective_id()), op_(desc.op) {
+    dtype_ = desc_.dtype;
+    esize_ = core::dtype_size(dtype_);
+    elems_total_ = std::max<u64>(1, desc_.data_bytes / esize_);
+    mtu_ = desc_.mtu_bytes;
+    P_ = static_cast<u32>(participants_.size());
+  }
+
+  ~RingOp() override {
+    if (handlers_set_) {
+      for (net::Host* host : participants_) host->clear_proto_handler(proto_);
+    }
+  }
+
+  void begin(u64 seed, std::shared_ptr<OpState> state) override {
+    FLARE_ASSERT_MSG(state_ == nullptr,
+                     "previous iteration of this collective still running");
+    state_ = std::move(state);
+    complete_ = false;
+    finished_ = false;
+    hosts_done_ = 0;
+    start_ps_ = net_.sim().now();
+    base_traffic_ = net_.total_traffic_bytes();
+
+    auto host_data =
+        workload::make_dense_data(P_, elems_total_, dtype_, seed);
+    expected_ = core::reference_reduce(host_data, op_);
+
+    runs_.clear();
+    runs_.resize(P_);
+    for (u32 h = 0; h < P_; ++h) {
+      runs_[h].host = participants_[h];
+      runs_[h].vec = std::move(host_data[h]);
+      runs_[h].host->set_proto_handler(
+          proto_, [this](const net::HostMsg& msg) { on_msg(msg); });
+    }
+    handlers_set_ = true;
+    if (P_ == 1) {
+      runs_[0].finish_ps = net_.sim().now();
+      finished_ = true;
+      net_.sim().schedule_after(0, [this] { finalize(); });
+      return;
+    }
+    // Kick off: every host sends its own chunk h for scatter-reduce step 0.
+    for (u32 h = 0; h < P_; ++h)
+      send_chunk(h, h, Phase::kScatterReduce, 0);
+  }
+
+ private:
+  enum class Phase : u8 { kScatterReduce, kAllGather, kDone };
+
+  struct Partial {
+    u32 frags = 0;
+    std::shared_ptr<const core::TypedBuffer> data;
+  };
+  struct RHost {
+    net::Host* host = nullptr;
+    core::TypedBuffer vec;  ///< working vector (input, then result)
+    Phase phase = Phase::kScatterReduce;
+    u32 step = 0;
+    SimTime finish_ps = 0;
+    std::unordered_map<u32, Partial> inbox;
+  };
+
+  u64 chunk_begin(u32 c) const {
+    const u64 base = elems_total_ / P_;
+    const u64 rem = elems_total_ % P_;
+    return static_cast<u64>(c) * base + std::min<u64>(c, rem);
+  }
+  u64 chunk_elems(u32 c) const {
+    return chunk_begin(c + 1) - chunk_begin(c);
+  }
+
+  static u32 make_tag(Phase phase, u32 step) {
+    return (phase == Phase::kAllGather ? 0x10000u : 0u) | step;
+  }
+
+  void send_chunk(u32 h, u32 c, Phase phase, u32 step) {
+    RHost& hr = runs_[h];
+    const u32 dst = (h + 1) % P_;
+    const u64 elems = chunk_elems(c);
+    const u64 bytes = elems * esize_;
+    const u32 frags =
+        std::max<u32>(1, static_cast<u32>((bytes + mtu_ - 1) / mtu_));
+    auto snapshot = std::make_shared<core::TypedBuffer>(dtype_, elems);
+    std::memcpy(snapshot->data(), hr.vec.at_byte(chunk_begin(c)), bytes);
+    for (u32 f = 0; f < frags; ++f) {
+      auto msg = std::make_shared<net::HostMsg>();
+      msg->src_host = h;
+      msg->dst_host = dst;  ///< job-local rank of the receiver
+      msg->proto = proto_;
+      msg->tag = make_tag(phase, step);
+      msg->seq = f;
+      msg->seq_count = frags;
+      if (f + 1 == frags) msg->dense = snapshot;
+      net::NetPacket np;
+      np.kind = net::PacketKind::kHostMsg;
+      np.dst_node = runs_[dst].host->id();
+      // One flow per (op, ring edge): FIFO along one ECMP path.
+      np.flow = (static_cast<u64>(proto_) << 16) | h;
+      const u64 frag_bytes = std::min<u64>(mtu_, bytes - f * mtu_);
+      np.wire_bytes = frag_bytes + core::kPacketWireOverhead;
+      np.msg = std::move(msg);
+      hr.host->send(std::move(np));
+    }
+  }
+
+  void on_msg(const net::HostMsg& msg) {
+    if (finished_) return;
+    const u32 h = msg.dst_host;
+    FLARE_ASSERT(h < P_);
+    RHost& hr = runs_[h];
+    Partial& partial = hr.inbox[msg.tag];
+    partial.frags += 1;
+    if (msg.dense) partial.data = msg.dense;
+    if (partial.frags == msg.seq_count) advance(h);
+  }
+
+  void advance(u32 h) {
+    RHost& hr = runs_[h];
+    while (hr.phase != Phase::kDone) {
+      const u32 tag = make_tag(hr.phase, hr.step);
+      auto it = hr.inbox.find(tag);
+      if (it == hr.inbox.end() || it->second.frags == 0 ||
+          it->second.data == nullptr) {
+        return;  // expected message not fully here yet
+      }
+      const Partial& partial = it->second;
+      if (hr.phase == Phase::kScatterReduce) {
+        const u32 c = (h + P_ - hr.step - 1) % P_;
+        FLARE_ASSERT(partial.data->size() == chunk_elems(c));
+        op_.apply(dtype_, hr.vec.at_byte(chunk_begin(c)),
+                  partial.data->data(), chunk_elems(c));
+        hr.inbox.erase(it);
+        hr.step += 1;
+        if (hr.step < P_ - 1) {
+          send_chunk(h, (h + P_ - hr.step) % P_, Phase::kScatterReduce,
+                     hr.step);
+        } else {
+          hr.phase = Phase::kAllGather;
+          hr.step = 0;
+          send_chunk(h, (h + 1) % P_, Phase::kAllGather, 0);
+        }
+      } else {
+        const u32 c = (h + P_ - hr.step) % P_;
+        FLARE_ASSERT(partial.data->size() == chunk_elems(c));
+        std::memcpy(hr.vec.at_byte(chunk_begin(c)), partial.data->data(),
+                    chunk_elems(c) * esize_);
+        hr.inbox.erase(it);
+        hr.step += 1;
+        if (hr.step < P_ - 1) {
+          send_chunk(h, c, Phase::kAllGather, hr.step);
+        } else {
+          hr.phase = Phase::kDone;
+          hr.finish_ps = net_.sim().now();
+          hosts_done_ += 1;
+          if (hosts_done_ == P_ && !finished_) {
+            finished_ = true;
+            net_.sim().schedule_after(0, [this] { finalize(); });
+          }
+        }
+      }
+    }
+  }
+
+  void finalize() {
+    CollectiveResult res;
+    res.blocks = P_;
+    res.in_network = false;
+    f64 err = 0.0, worst = 0.0, sum = 0.0;
+    for (const RHost& hr : runs_) {
+      err = std::max(err, hr.vec.max_abs_diff(expected_));
+      worst = std::max(worst, static_cast<f64>(hr.finish_ps - start_ps_));
+      sum += static_cast<f64>(hr.finish_ps - start_ps_);
+    }
+    res.max_abs_err = err;
+    res.ok = err <= core::reduce_tolerance(dtype_, P_);
+    res.completion_seconds = worst / kPsPerSecond;
+    res.mean_host_seconds = sum / P_ / kPsPerSecond;
+    res.total_traffic_bytes = net_.total_traffic_bytes() - base_traffic_;
+    res.total_packets = net_.total_packets();
+    for (net::Host* host : participants_) host->clear_proto_handler(proto_);
+    handlers_set_ = false;
+    complete_ = true;
+    publish(std::move(res));  // may destroy *this — nothing after
+  }
+
+  net::Network& net_;
+  const std::vector<net::Host*>& participants_;
+  CollectiveOptions desc_;
+  u32 proto_;
+  core::ReduceOp op_;
+  core::DType dtype_ = core::DType::kFloat32;
+  u32 esize_ = 4;
+  u64 elems_total_ = 0;
+  u64 mtu_ = 4096;
+  u32 P_ = 0;
+  u64 base_traffic_ = 0;
+  SimTime start_ps_ = 0;
+  bool handlers_set_ = false;
+  core::TypedBuffer expected_;
+  std::vector<RHost> runs_;
+  u32 hosts_done_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace detail
+
+// ===================================================== CollectiveHandle ===
+
+const CollectiveResult& CollectiveHandle::result() const {
+  FLARE_ASSERT_MSG(done(), "result() before the collective completed");
+  return state_->result;
+}
+
+// ================================================= PersistentCollective ===
+
+PersistentCollective::PersistentCollective() = default;
+
+PersistentCollective::PersistentCollective(
+    PersistentCollective&& other) noexcept {
+  *this = std::move(other);
+}
+
+PersistentCollective& PersistentCollective::operator=(
+    PersistentCollective&& other) noexcept {
+  if (this != &other) {
+    release();
+    comm_ = std::exchange(other.comm_, nullptr);
+    desc_ = std::move(other.desc_);
+    cfg_ = other.cfg_;
+    report_ = std::move(other.report_);
+    op_ = std::move(other.op_);
+    host_ring_ = other.host_ring_;
+    iterations_ = other.iterations_;
+  }
+  return *this;
+}
+
+PersistentCollective::~PersistentCollective() { release(); }
+
+const ReductionTree& PersistentCollective::tree() const {
+  FLARE_ASSERT_MSG(report_.has_value(),
+                   "tree() on a host-ring persistent (no installed tree)");
+  return *report_;
+}
+
+void PersistentCollective::release() {
+  if (comm_ != nullptr && !host_ring_ && report_.has_value()) {
+    for (net::Host* host : comm_->participants()) {
+      host->clear_reduce_handler(cfg_.id);
+    }
+    comm_->manager().uninstall(*report_, cfg_.id);
+    report_.tree.reset();
+  }
+  op_.reset();
+  comm_ = nullptr;
+}
+
+CollectiveHandle PersistentCollective::start(CompletionFn on_complete) {
+  FLARE_ASSERT_MSG(ok(), "start() on a rejected persistent collective");
+  auto state = std::make_shared<detail::OpState>();
+  state->on_complete = std::move(on_complete);
+  if (!host_ring_ && iterations_ > 0) {
+    // Install-once / run-many: clear per-iteration engine state on every
+    // tree switch; the admission slot and tree roles stay put.
+    for (const TreeSwitchEntry& e : report_->switches) {
+      const bool found = e.sw->reset_reduce(cfg_.id);
+      FLARE_ASSERT_MSG(found, "persistent engine vanished from the switch");
+    }
+  }
+  CollectiveHandle handle(state);
+  op_->begin(desc_.seed + iterations_, std::move(state));
+  iterations_ += 1;
+  return handle;
+}
+
+CollectiveResult PersistentCollective::run() {
+  FLARE_ASSERT_MSG(comm_ != nullptr, "run() on a released collective");
+  CollectiveHandle handle = start({});
+  comm_->network().sim().run();
+  FLARE_ASSERT_MSG(handle.done(),
+                   "calendar drained without completing the collective");
+  return handle.result();
+}
+
+// ======================================================== Communicator ====
+
+Communicator::Communicator(net::Network& net,
+                           std::vector<net::Host*> participants,
+                           CommunicatorConfig cfg)
+    : net_(net), participants_(std::move(participants)),
+      cfg_(std::move(cfg)) {
+  FLARE_ASSERT_MSG(!participants_.empty(),
+                   "a communicator needs at least one participant");
+  if (cfg_.manager != nullptr) {
+    manager_ = cfg_.manager;
+  } else {
+    owned_manager_ = std::make_unique<NetworkManager>(net_);
+    manager_ = owned_manager_.get();
+  }
+}
+
+Communicator::~Communicator() = default;
+
+Algorithm Communicator::resolve_algorithm(
+    const CollectiveOptions& desc) const {
+  if (desc.algorithm != Algorithm::kAuto) return desc.algorithm;
+  if (desc.sparse.pairs != nullptr) return Algorithm::kFlareSparse;
+  return Algorithm::kFlareDense;
+}
+
+core::AllreduceConfig Communicator::make_config(
+    const CollectiveOptions& desc) const {
+  core::AllreduceConfig cfg;
+  cfg.id = manager_->next_id();
+  cfg.dtype = desc.dtype;
+  const u32 esize = core::dtype_size(desc.dtype);
+  switch (desc.kind) {
+    case CollectiveKind::kAllreduce:
+    case CollectiveKind::kReduce: {
+      cfg.op = core::ReduceOp(desc.op);
+      FLARE_ASSERT(desc.packet_payload >= esize);
+      cfg.elems_per_packet =
+          static_cast<u32>(desc.packet_payload / esize);
+      cfg.reproducible = desc.reproducible;
+      if (desc.auto_policy) {
+        const core::PolicyChoice choice =
+            core::select_policy(desc.data_bytes, desc.reproducible);
+        cfg.policy = choice.policy;
+        cfg.num_buffers = choice.num_buffers;
+      } else {
+        cfg.policy =
+            desc.reproducible ? core::AggPolicy::kTree : desc.policy;
+        cfg.num_buffers = 1;
+      }
+      break;
+    }
+    case CollectiveKind::kBroadcast:
+      cfg.op = core::ReduceOp(core::OpKind::kSum);
+      FLARE_ASSERT(desc.packet_payload >= esize);
+      cfg.elems_per_packet =
+          static_cast<u32>(desc.packet_payload / esize);
+      cfg.policy = core::AggPolicy::kTree;
+      break;
+    case CollectiveKind::kBarrier:
+      cfg.dtype = core::DType::kInt32;
+      cfg.elems_per_packet = 0;  // 0-byte blocks (Section 8)
+      cfg.policy = core::AggPolicy::kSingleBuffer;
+      break;
+  }
+  return cfg;
+}
+
+InstallReport Communicator::install(const CollectiveOptions& desc,
+                                    const core::AllreduceConfig& cfg) {
+  const f64 bps = resolved_switch_service_bps(desc, /*sparse=*/false);
+  if (!cfg_.roots.empty()) {
+    return manager_->install_with_roots(participants_, cfg, bps, cfg_.roots,
+                                        cfg_.cache);
+  }
+  return manager_->install_with_retry(participants_, cfg, bps);
+}
+
+void Communicator::reap() {
+  std::erase_if(ops_, [](const std::unique_ptr<detail::OpBase>& op) {
+    return op->reapable();
+  });
+}
+
+CollectiveHandle Communicator::start(const CollectiveOptions& desc,
+                                     CompletionFn on_complete) {
+  reap();
+  if (desc.kind == CollectiveKind::kReduce ||
+      desc.kind == CollectiveKind::kBroadcast) {
+    FLARE_ASSERT_MSG(desc.root < participants_.size(),
+                     "root must index the participant group");
+  }
+  const Algorithm alg = resolve_algorithm(desc);
+  switch (alg) {
+    case Algorithm::kFlareDense: {
+      const core::AllreduceConfig cfg = make_config(desc);
+      InstallReport report = install(desc, cfg);
+      if (!report) {
+        if (desc.algorithm == Algorithm::kAuto &&
+            desc.kind == CollectiveKind::kAllreduce) {
+          // The paper's admission policy: fall back to the host ring.
+          return start_ring(desc, std::move(on_complete));
+        }
+        // Explicit in-network request rejected by admission: report
+        // failure through an immediately-complete handle.
+        auto state = std::make_shared<detail::OpState>();
+        state->done = true;
+        if (on_complete) on_complete(state->result);
+        return CollectiveHandle(std::move(state));
+      }
+      auto op = std::make_unique<detail::InNetOp>(
+          net_, *manager_, participants_, desc, cfg, std::move(*report),
+          /*owns_install=*/true);
+      auto state = std::make_shared<detail::OpState>();
+      state->on_complete = std::move(on_complete);
+      CollectiveHandle handle(state);
+      detail::InNetOp* raw = op.get();
+      ops_.push_back(std::move(op));
+      raw->begin(desc.seed, std::move(state));
+      return handle;
+    }
+    case Algorithm::kHostRing:
+      return start_ring(desc, std::move(on_complete));
+    case Algorithm::kFlareSparse:
+    case Algorithm::kSparcml:
+      FLARE_ASSERT_MSG(false,
+                       "sparse algorithms are blocking-only: use run()");
+      return {};
+    case Algorithm::kAuto:
+      break;  // resolved above
+  }
+  FLARE_UNREACHABLE("unresolved algorithm");
+}
+
+CollectiveHandle Communicator::start_ring(const CollectiveOptions& desc,
+                                          CompletionFn on_complete) {
+  FLARE_ASSERT_MSG(desc.kind == CollectiveKind::kAllreduce,
+                   "the host ring serves allreduce only");
+  auto op = std::make_unique<detail::RingOp>(net_, participants_, desc);
+  auto state = std::make_shared<detail::OpState>();
+  state->on_complete = std::move(on_complete);
+  CollectiveHandle handle(state);
+  detail::RingOp* raw = op.get();
+  ops_.push_back(std::move(op));
+  raw->begin(desc.seed, std::move(state));
+  return handle;
+}
+
+CollectiveResult Communicator::run(const CollectiveOptions& desc) {
+  const Algorithm alg = resolve_algorithm(desc);
+  if (alg == Algorithm::kFlareSparse || alg == Algorithm::kSparcml) {
+    return run_sparse(desc, alg);
+  }
+  CollectiveHandle handle = start(desc, {});
+  net_.sim().run();
+  FLARE_ASSERT_MSG(handle.done(),
+                   "calendar drained without completing the collective");
+  return handle.result();
+}
+
+CollectiveResult Communicator::run_sparse(const CollectiveOptions& desc,
+                                          Algorithm alg) {
+  FLARE_ASSERT_MSG(desc.kind == CollectiveKind::kAllreduce,
+                   "sparse engines serve allreduce only");
+  FLARE_ASSERT_MSG(desc.sparse.pairs != nullptr,
+                   "sparse collective without a sparse workload");
+  if (alg == Algorithm::kFlareSparse) {
+    FlareSparseOptions opt;
+    opt.dtype = desc.dtype;
+    opt.packet_payload = desc.packet_payload;
+    opt.window_blocks = desc.window_blocks;
+    opt.order = desc.order;
+    opt.hash_capacity_pairs = desc.hash_capacity_pairs;
+    opt.spill_capacity_pairs = desc.spill_capacity_pairs;
+    opt.switch_service_bps =
+        resolved_switch_service_bps(desc, /*sparse=*/true);
+    CollectiveResult res =
+        detail::flare_sparse_oneshot(net_, participants_, desc.sparse, opt);
+    res.in_network = true;
+    return res;
+  }
+  // SparCML on the same workload description: blocks flattened to global
+  // indices (the SparCML baseline reduces one global sparse vector).
+  SparcmlOptions opt;
+  opt.total_elems =
+      static_cast<u64>(desc.sparse.block_span) * desc.sparse.num_blocks;
+  opt.dtype = desc.dtype;
+  opt.mtu_bytes = desc.mtu_bytes;
+  const SparseWorkload& w = desc.sparse;
+  auto provider = [&w](u32 h) {
+    std::vector<core::SparsePair> all;
+    for (u32 b = 0; b < w.num_blocks; ++b) {
+      for (core::SparsePair sp : w.pairs(h, b)) {
+        sp.index += b * w.block_span;
+        all.push_back(sp);
+      }
+    }
+    return all;
+  };
+  return detail::sparcml_oneshot(net_, participants_, provider, opt);
+}
+
+PersistentCollective Communicator::persistent(const CollectiveOptions& desc) {
+  if (desc.kind == CollectiveKind::kReduce ||
+      desc.kind == CollectiveKind::kBroadcast) {
+    FLARE_ASSERT_MSG(desc.root < participants_.size(),
+                     "root must index the participant group");
+  }
+  PersistentCollective pc;
+  pc.comm_ = this;
+  pc.desc_ = desc;
+  const Algorithm alg = resolve_algorithm(desc);
+  if (alg == Algorithm::kHostRing) {
+    FLARE_ASSERT_MSG(desc.kind == CollectiveKind::kAllreduce,
+                     "the host ring serves allreduce only");
+    pc.host_ring_ = true;
+    pc.op_ = std::make_unique<detail::RingOp>(net_, participants_, desc);
+    return pc;
+  }
+  FLARE_ASSERT_MSG(alg == Algorithm::kFlareDense,
+                   "persistent requests serve the dense engines");
+  pc.cfg_ = make_config(desc);
+  pc.report_ = install(desc, pc.cfg_);
+  if (!pc.report_) {
+    if (desc.algorithm == Algorithm::kAuto &&
+        desc.kind == CollectiveKind::kAllreduce) {
+      // Admission rejected: a persistent host ring needs no switch state.
+      pc.host_ring_ = true;
+      pc.op_ = std::make_unique<detail::RingOp>(net_, participants_, desc);
+    }
+    return pc;  // !ok() when no fallback applies
+  }
+  // The op keeps its own copy of the tree; the report's copy backs
+  // tree()/release() and survives moves of the PersistentCollective.
+  pc.op_ = std::make_unique<detail::InNetOp>(
+      net_, *manager_, participants_, desc, pc.cfg_, *pc.report_,
+      /*owns_install=*/false);
+  return pc;
+}
+
+}  // namespace flare::coll

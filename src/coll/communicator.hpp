@@ -1,0 +1,187 @@
+// Communicator sessions with persistent collectives — one API for every
+// collective the Flare substrate serves.
+//
+// A Communicator binds a participant group to a net::Network + a
+// NetworkManager control plane and executes CollectiveOptions descriptors
+// three ways:
+//
+//   * run(desc)          — blocking one-shot: install (in-network schemes),
+//                          drive the event calendar to idle, uninstall,
+//                          return the result;
+//   * start(desc, cb)    — nonblocking: wires the collective onto the
+//                          SHARED event calendar and returns a
+//                          CollectiveHandle; the caller drives
+//                          net.sim().run() (possibly with other collectives
+//                          in flight) and reads result() post-drain;
+//   * persistent(desc)   — computes + installs the reduction tree and
+//                          switch engines ONCE, then run()/start() executes
+//                          iterations against the installed state,
+//                          amortizing compute_tree/install across a
+//                          training loop (iteration i uses seed + i); the
+//                          per-iteration reset clears engine block state
+//                          but never touches the admission slot.
+//
+// The paper's training workloads re-issue the same allreduce every
+// iteration (Section 4's network manager installs the tree once per
+// communicator); Canary and SparCML (PAPERS.md) motivate the long-lived
+// session and per-call algorithm switching this API provides.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "coll/manager.hpp"
+#include "coll/options.hpp"
+#include "coll/result.hpp"
+
+namespace flare::coll {
+
+class TreeCache;
+class Communicator;
+
+using CompletionFn = std::function<void(const CollectiveResult&)>;
+
+namespace detail {
+
+/// Shared completion record behind a CollectiveHandle.
+struct OpState {
+  bool done = false;
+  CollectiveResult result;
+  CompletionFn on_complete;
+};
+
+class OpBase;  // one in-flight collective on the calendar (communicator.cpp)
+
+}  // namespace detail
+
+/// Handle to a started (nonblocking) collective.  Cheap to copy; stays
+/// valid after the Communicator finishes the operation.
+class CollectiveHandle {
+ public:
+  CollectiveHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  bool done() const { return state_ != nullptr && state_->done; }
+  /// Valid once done() — typically after draining the event calendar.
+  const CollectiveResult& result() const;
+
+ private:
+  friend class Communicator;
+  friend class PersistentCollective;
+  explicit CollectiveHandle(std::shared_ptr<detail::OpState> s)
+      : state_(std::move(s)) {}
+  std::shared_ptr<detail::OpState> state_;
+};
+
+struct CommunicatorConfig {
+  /// Shared control plane (e.g. the service layer's); the Communicator
+  /// owns a private manager when null.
+  NetworkManager* manager = nullptr;
+  /// Optional reduction-tree embedding reuse across sessions.
+  TreeCache* cache = nullptr;
+  /// Candidate tree roots tried in THIS order (a root-selection policy);
+  /// empty -> best-fit retry over every switch.
+  std::vector<net::NodeId> roots;
+};
+
+/// A persistent collective request: install-once / run-many.  Move-only;
+/// releases the installed switch state on destruction (or release()).
+class PersistentCollective {
+ public:
+  PersistentCollective();  // empty (ok() == false) until assigned
+  PersistentCollective(PersistentCollective&& other) noexcept;
+  PersistentCollective& operator=(PersistentCollective&& other) noexcept;
+  PersistentCollective(const PersistentCollective&) = delete;
+  PersistentCollective& operator=(const PersistentCollective&) = delete;
+  ~PersistentCollective();
+
+  /// False when admission rejected the install (and no fallback applies):
+  /// run()/start() must not be called.
+  bool ok() const { return op_ != nullptr; }
+  /// Admission outcome of the one-time install (attempts, cache_hit,
+  /// any_feasible; empty tree for host-ring persistents, which need none).
+  const InstallReport& install_report() const { return report_; }
+  /// True when this request holds an installed reduction tree (false for
+  /// host-ring persistents, including the kAuto admission fallback).
+  bool in_network() const { return report_.has_value(); }
+  /// Asserts in_network(): host-ring persistents have no tree.
+  const ReductionTree& tree() const;
+  u32 iterations() const { return iterations_; }
+
+  /// Blocking iteration: resets per-iteration engine/host state, executes
+  /// against the installed tree, drives the calendar to idle.
+  CollectiveResult run();
+  /// Nonblocking iteration on the shared calendar.  Iterations of ONE
+  /// persistent request must not overlap each other (the installed engine
+  /// state is per-request); distinct requests may.
+  CollectiveHandle start(CompletionFn on_complete = {});
+
+  /// Uninstalls the tree and detaches; idempotent.
+  void release();
+
+ private:
+  friend class Communicator;
+  Communicator* comm_ = nullptr;
+  CollectiveOptions desc_;
+  core::AllreduceConfig cfg_{};
+  InstallReport report_;
+  std::unique_ptr<detail::OpBase> op_;  ///< reused across iterations
+  bool host_ring_ = false;
+  u32 iterations_ = 0;
+};
+
+class Communicator {
+ public:
+  Communicator(net::Network& net, std::vector<net::Host*> participants,
+               CommunicatorConfig cfg = {});
+  ~Communicator();
+  Communicator(const Communicator&) = delete;
+  Communicator& operator=(const Communicator&) = delete;
+
+  /// Blocking one-shot collective.  Requires an otherwise-idle calendar
+  /// position (it drives net.sim().run() to completion).  On admission
+  /// rejection: kAuto allreduce falls back to the host ring; explicit
+  /// in-network algorithms return ok == false.
+  CollectiveResult run(const CollectiveOptions& desc);
+
+  /// Nonblocking one-shot: installs (in-network schemes) and enqueues the
+  /// first sends, then returns.  The caller drives the calendar; `cb` (if
+  /// any) fires at completion, on the calendar.  Sparse algorithms are
+  /// blocking-only — use run().
+  CollectiveHandle start(const CollectiveOptions& desc,
+                         CompletionFn on_complete = {});
+
+  /// Install-once / run-many (see PersistentCollective).  Supported for
+  /// the in-network dense kinds and the host ring; kAuto allreduce falls
+  /// back to a persistent host ring when admission rejects the install.
+  PersistentCollective persistent(const CollectiveOptions& desc);
+
+  net::Network& network() { return net_; }
+  NetworkManager& manager() { return *manager_; }
+  const std::vector<net::Host*>& participants() const {
+    return participants_;
+  }
+
+ private:
+  friend class PersistentCollective;
+
+  Algorithm resolve_algorithm(const CollectiveOptions& desc) const;
+  core::AllreduceConfig make_config(const CollectiveOptions& desc) const;
+  InstallReport install(const CollectiveOptions& desc,
+                        const core::AllreduceConfig& cfg);
+  CollectiveHandle start_ring(const CollectiveOptions& desc,
+                              CompletionFn on_complete);
+  CollectiveResult run_sparse(const CollectiveOptions& desc, Algorithm alg);
+  void reap();
+
+  net::Network& net_;
+  std::vector<net::Host*> participants_;
+  CommunicatorConfig cfg_;
+  std::unique_ptr<NetworkManager> owned_manager_;
+  NetworkManager* manager_ = nullptr;
+  /// One-shot ops in flight (completed ops are reaped lazily).
+  std::vector<std::unique_ptr<detail::OpBase>> ops_;
+};
+
+}  // namespace flare::coll

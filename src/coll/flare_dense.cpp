@@ -1,218 +1,44 @@
 #include "coll/flare_dense.hpp"
 
-#include <algorithm>
-#include <cstring>
-#include <functional>
 #include <memory>
-
-#include "workload/generators.hpp"
 
 namespace flare::coll {
 
-namespace {
-
-/// One tenant's full protocol state: installed tree, per-host send loops,
-/// result collection.  `prepare()` wires everything up; the caller runs the
-/// shared event calendar (possibly with other tenants in flight) and then
-/// calls `finalize()`.
-class DenseRun {
- public:
-  DenseRun(net::Network& net, std::vector<net::Host*> participants,
-           FlareDenseOptions opt)
-      : net_(net), participants_(std::move(participants)), opt_(opt) {}
-
-  bool prepare(NetworkManager& manager) {
-    const u32 P = static_cast<u32>(participants_.size());
-    FLARE_ASSERT(P >= 1);
-    const u32 esize = core::dtype_size(opt_.dtype);
-    elems_total_ = std::max<u64>(1, opt_.data_bytes / esize);
-    elems_per_pkt_ = static_cast<u32>(opt_.packet_payload / esize);
-    nb_ = static_cast<u32>((elems_total_ + elems_per_pkt_ - 1) /
-                           elems_per_pkt_);
-    op_ = core::ReduceOp(opt_.op);
-
-    cfg_.id = manager.next_id();
-    cfg_.dtype = opt_.dtype;
-    cfg_.op = op_;
-    cfg_.elems_per_packet = elems_per_pkt_;
-    cfg_.reproducible = opt_.reproducible;
-    if (opt_.auto_policy) {
-      const core::PolicyChoice choice =
-          core::select_policy(opt_.data_bytes, opt_.reproducible);
-      cfg_.policy = choice.policy;
-      cfg_.num_buffers = choice.num_buffers;
-    } else {
-      cfg_.policy =
-          opt_.reproducible ? core::AggPolicy::kTree : opt_.policy;
-      cfg_.num_buffers = 1;
-    }
-    auto tree = manager.install_with_retry(participants_, cfg_,
-                                           opt_.switch_service_bps);
-    if (!tree) return false;
-    tree_ = std::move(*tree);
-    installed_ = true;
-
-    host_data_ = workload::make_dense_data(P, elems_total_, opt_.dtype,
-                                           opt_.seed);
-    expected_ = core::reference_reduce(host_data_, op_);
-
-    // Staggered sending keeps every block of the operation in flight
-    // (Section 5); windowed flow control applies to aligned sending.
-    window_ = opt_.order == core::SendOrder::kStaggered
-                  ? std::max(opt_.window_blocks, nb_)
-                  : opt_.window_blocks;
-
-    runs_.resize(P);
-    for (u32 h = 0; h < P; ++h) {
-      HostRun& hr = runs_[h];
-      hr.host = participants_[h];
-      hr.result = core::TypedBuffer(opt_.dtype, elems_total_);
-      hr.schedule = core::send_schedule(h, P, nb_, opt_.order);
-      hr.block_done.assign(nb_, false);
-      hr.host->set_reduce_handler(
-          cfg_.id, [this, h](const core::Packet& pkt) { on_down(h, pkt); });
-    }
-    base_traffic_ = net_.total_traffic_bytes();
-    for (u32 h = 0; h < P; ++h) try_send(h);
-    return true;
-  }
-
-  CollectiveResult finalize(NetworkManager& manager) {
-    CollectiveResult res;
-    res.blocks = nb_;
-    if (!installed_) return res;
-    const u32 P = static_cast<u32>(participants_.size());
-    f64 worst = 0.0, sum = 0.0;
-    bool all_done = true;
-    for (HostRun& hr : runs_) {
-      all_done = all_done && (hr.blocks_done == nb_);
-      worst = std::max(worst, static_cast<f64>(hr.finish_ps));
-      sum += static_cast<f64>(hr.finish_ps);
-    }
-    res.completion_seconds = worst / kPsPerSecond;
-    res.mean_host_seconds = sum / P / kPsPerSecond;
-    res.total_traffic_bytes = net_.total_traffic_bytes() - base_traffic_;
-    res.total_packets = net_.total_packets();
-    if (all_done) {
-      // All hosts receive the same multicast bits; check first and last.
-      res.max_abs_err =
-          std::max(runs_.front().result.max_abs_diff(expected_),
-                   runs_.back().result.max_abs_diff(expected_));
-      res.ok = res.max_abs_err <= core::reduce_tolerance(opt_.dtype, P);
-    }
-    for (const TreeSwitchEntry& e : tree_.switches) {
-      const net::ReduceRole* role = e.sw->role(cfg_.id);
-      if (role != nullptr && role->engine != nullptr) {
-        res.switch_working_mem_hwm = std::max(
-            res.switch_working_mem_hwm, role->engine->pool().high_water());
-      }
-    }
-    for (net::Host* host : participants_) {
-      host->clear_reduce_handler(cfg_.id);
-    }
-    manager.uninstall(tree_, cfg_.id);
-    return res;
-  }
-
- private:
-  struct HostRun {
-    net::Host* host = nullptr;
-    core::TypedBuffer result;
-    std::vector<u32> schedule;
-    std::size_t next = 0;
-    u32 outstanding = 0;
-    u64 blocks_done = 0;
-    SimTime finish_ps = 0;
-    std::vector<bool> block_done;
-  };
-
-  u32 block_elems(u32 b) const {
-    const u64 first = static_cast<u64>(b) * elems_per_pkt_;
-    return static_cast<u32>(
-        std::min<u64>(elems_per_pkt_, elems_total_ - first));
-  }
-
-  void try_send(u32 h) {
-    HostRun& hr = runs_[h];
-    while (hr.outstanding < window_ && hr.next < hr.schedule.size()) {
-      const u32 b = hr.schedule[hr.next++];
-      const u64 first = static_cast<u64>(b) * elems_per_pkt_;
-      core::Packet p = core::make_dense_packet(
-          cfg_.id, b, tree_.host_child_index[hr.host->host_index()],
-          host_data_[h].at_byte(first), block_elems(b), opt_.dtype);
-      net::NetPacket np;
-      np.kind = net::PacketKind::kReduceUp;
-      np.allreduce_id = cfg_.id;
-      np.wire_bytes = p.wire_bytes();
-      np.reduce = std::make_shared<const core::Packet>(std::move(p));
-      hr.outstanding += 1;
-      hr.host->send(std::move(np));
-    }
-  }
-
-  void on_down(u32 h, const core::Packet& pkt) {
-    HostRun& me = runs_[h];
-    const u32 b = pkt.hdr.block_id;
-    FLARE_ASSERT(b < nb_);
-    if (me.block_done[b]) return;  // duplicated multicast replica
-    me.block_done[b] = true;
-    const u64 first = static_cast<u64>(b) * elems_per_pkt_;
-    FLARE_ASSERT(pkt.hdr.elem_count == block_elems(b));
-    std::memcpy(me.result.at_byte(first), pkt.payload.data(),
-                pkt.payload.size());
-    me.blocks_done += 1;
-    me.outstanding -= 1;
-    if (me.blocks_done == nb_) me.finish_ps = net_.sim().now();
-    try_send(h);
-  }
-
-  net::Network& net_;
-  std::vector<net::Host*> participants_;
-  FlareDenseOptions opt_;
-  core::AllreduceConfig cfg_;
-  core::ReduceOp op_{core::OpKind::kSum};
-  ReductionTree tree_;
-  bool installed_ = false;
-  u64 elems_total_ = 0;
-  u32 elems_per_pkt_ = 0;
-  u32 nb_ = 0;
-  u32 window_ = 0;
-  u64 base_traffic_ = 0;
-  std::vector<core::TypedBuffer> host_data_;
-  core::TypedBuffer expected_;
-  std::vector<HostRun> runs_;
-};
-
-}  // namespace
+CollectiveOptions dense_descriptor(const FlareDenseOptions& opt) {
+  CollectiveOptions desc;
+  static_cast<Tuning&>(desc) = opt;  // the shared tuning block
+  desc.kind = CollectiveKind::kAllreduce;
+  desc.algorithm = Algorithm::kFlareDense;
+  desc.data_bytes = opt.data_bytes;
+  desc.op = opt.op;
+  desc.order = opt.order;
+  desc.reproducible = opt.reproducible;
+  desc.policy = opt.policy;
+  desc.auto_policy = opt.auto_policy;
+  return desc;
+}
 
 CollectiveResult run_flare_dense(net::Network& net,
                                  const std::vector<net::Host*>& participants,
                                  const FlareDenseOptions& opt) {
-  NetworkManager manager(net);
-  DenseRun run(net, participants, opt);
-  if (!run.prepare(manager)) {
-    CollectiveResult rejected;
-    return rejected;  // admission rejected -> ok == false (host fallback)
-  }
-  net.sim().run();
-  return run.finalize(manager);
+  Communicator comm(net, participants);
+  return comm.run(dense_descriptor(opt));
 }
 
 std::vector<CollectiveResult> run_flare_dense_concurrent(
     net::Network& net, std::vector<DenseTenant> tenants) {
-  NetworkManager manager(net);
-  std::vector<std::unique_ptr<DenseRun>> runs;
-  std::vector<bool> prepared;
+  // One session per tenant; all handles share the network's calendar.
+  std::vector<std::unique_ptr<Communicator>> comms;
+  std::vector<CollectiveHandle> handles;
   for (DenseTenant& t : tenants) {
-    runs.push_back(
-        std::make_unique<DenseRun>(net, t.participants, t.opt));
-    prepared.push_back(runs.back()->prepare(manager));
+    comms.push_back(
+        std::make_unique<Communicator>(net, std::move(t.participants)));
+    handles.push_back(comms.back()->start(dense_descriptor(t.opt)));
   }
   net.sim().run();
   std::vector<CollectiveResult> results;
-  for (std::size_t i = 0; i < runs.size(); ++i) {
-    results.push_back(prepared[i] ? runs[i]->finalize(manager)
-                                  : CollectiveResult{});
+  for (const CollectiveHandle& h : handles) {
+    results.push_back(h.done() ? h.result() : CollectiveResult{});
   }
   return results;
 }

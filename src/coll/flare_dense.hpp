@@ -1,58 +1,49 @@
-// Flare in-network DENSE allreduce over the network simulator (the
-// "Flare Dense" bars of Figure 15).
+// Legacy single-shot entry points for the Flare in-network DENSE allreduce
+// (the "Flare Dense" bars of Figure 15).
 //
-// Hosts chunk their vector into N-element blocks, send each block once
-// toward the reduction tree (staggered order, window flow control per
-// Section 4.3), and receive the fully-aggregated blocks multicast down from
-// the root.  Every host transmits ~Z bytes — half of the 2Z a host-based
-// ring moves — which is the 2x traffic/bandwidth advantage of in-network
-// reduction.
+// DEPRECATED: these free functions predate the Communicator session API
+// (coll/communicator.hpp), which serves every collective through one
+// CollectiveOptions descriptor, amortizes tree install across iterations
+// (persistent requests) and composes concurrent collectives through
+// nonblocking handles.  They remain as thin wrappers:
+//
+//   run_flare_dense(net, hosts, opt)
+//     -> Communicator(net, hosts).run({kind = kAllreduce,
+//                                      algorithm = kFlareDense, ...})
 #pragma once
 
-#include "coll/manager.hpp"
-#include "coll/result.hpp"
-#include "core/policy.hpp"
-#include "core/staggered.hpp"
-#include "core/typed_buffer.hpp"
+#include "coll/communicator.hpp"
 
 namespace flare::coll {
 
-struct FlareDenseOptions {
+struct FlareDenseOptions : Tuning {
   u64 data_bytes = 1 * kMiB;  ///< Z per host
-  core::DType dtype = core::DType::kFloat32;
   core::OpKind op = core::OpKind::kSum;
-  u64 packet_payload = 1024;
-  /// Blocks a host may have in flight (aggregation buffers per allreduce).
-  u32 window_blocks = 64;
-  /// Default aligned: in the network simulator the switch is a calibrated
-  /// aggregation server (no shared-buffer contention to spread out), and
-  /// staggering would delay every block's completion to the end of the
-  /// message.  Staggered sending matters inside the PsPIN unit (src/pspin).
+  /// See CollectiveOptions::order.
   core::SendOrder order = core::SendOrder::kAligned;
   bool reproducible = false;
   /// 0 -> auto-select by size (Section 6.4 thresholds).
   core::AggPolicy policy = core::AggPolicy::kSingleBuffer;
   bool auto_policy = true;
-  /// Aggregation service rate per switch; calibrated against the PsPIN
-  /// simulator (Figure 11 operating point for the configured dtype).
-  f64 switch_service_bps = 2.4e12;
-  u64 seed = 1;
 };
 
+/// The CollectiveOptions equivalent of the legacy options struct.
+CollectiveOptions dense_descriptor(const FlareDenseOptions& opt);
+
+[[deprecated("use coll::Communicator with a CollectiveOptions descriptor")]]
 CollectiveResult run_flare_dense(net::Network& net,
                                  const std::vector<net::Host*>& participants,
                                  const FlareDenseOptions& opt);
 
 /// Multi-tenancy (Section 4): several allreduces — different participant
-/// groups, sizes, dtypes — run CONCURRENTLY over one network; every switch
-/// holds one engine per installed allreduce id within its `max_allreduces`
-/// memory partition.  Returns one result per tenant (ok == false for
-/// tenants rejected by admission control).
+/// groups, sizes, dtypes — run CONCURRENTLY over one network.  Returns one
+/// result per tenant (ok == false for tenants rejected by admission).
 struct DenseTenant {
   std::vector<net::Host*> participants;
   FlareDenseOptions opt;
 };
 
+[[deprecated("use overlapping Communicator::start handles on one calendar")]]
 std::vector<CollectiveResult> run_flare_dense_concurrent(
     net::Network& net, std::vector<DenseTenant> tenants);
 

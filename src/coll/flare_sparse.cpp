@@ -28,10 +28,13 @@ struct HostRun {
 
 }  // namespace
 
-FlareSparseResult run_flare_sparse(
+namespace detail {
+
+FlareSparseResult flare_sparse_oneshot(
     net::Network& net, const std::vector<net::Host*>& participants,
     const SparseWorkload& workload, const FlareSparseOptions& opt) {
   FlareSparseResult res;
+  res.in_network = true;
   const u32 P = static_cast<u32>(participants.size());
   FLARE_ASSERT(P >= 1 && workload.pairs != nullptr);
   const u32 nb = workload.num_blocks;
@@ -54,9 +57,12 @@ FlareSparseResult run_flare_sparse(
   cfg.pairs_per_packet = ppp;
   cfg.hash_capacity_pairs = opt.hash_capacity_pairs;
   cfg.spill_capacity_pairs = opt.spill_capacity_pairs;
-  auto tree =
-      manager.install_with_retry(participants, cfg, opt.switch_service_bps);
-  if (!tree) return res;
+  auto tree = manager.install_with_retry(
+      participants, cfg, resolved_switch_service_bps(opt, /*sparse=*/true));
+  if (!tree) {
+    res.in_network = false;
+    return res;
+  }
 
   const u64 base_traffic = net.total_traffic_bytes();
 
@@ -200,5 +206,7 @@ FlareSparseResult run_flare_sparse(
   manager.uninstall(*tree, cfg.id);
   return res;
 }
+
+}  // namespace detail
 
 }  // namespace flare::coll

@@ -5,38 +5,26 @@
 // Hosts transmit only (index, value) pairs, sharded per reduction block
 // with per-block shard counts; switches aggregate in hash stores (array at
 // the root), spilling collisions as extra traffic; the root multicasts the
-// aggregated pairs down.  The workload is pluggable so both the uniform
-// SparseSpec generator (Figure 14) and the bucketed gradient trace
-// (Figure 15) drive the same protocol.
+// aggregated pairs down.  The workload is pluggable (coll::SparseWorkload)
+// so both the uniform SparseSpec generator (Figure 14) and the bucketed
+// gradient trace (Figure 15) drive the same protocol.
+//
+// The legacy run_flare_sparse entry point is DEPRECATED: use
+// coll::Communicator with a sparse workload attached to CollectiveOptions
+// (algorithm kAuto or kFlareSparse).  The sparse engine is blocking-only
+// (Communicator::run); detail::flare_sparse_oneshot is the shared
+// implementation.
 #pragma once
 
-#include <functional>
-
-#include "coll/manager.hpp"
-#include "coll/result.hpp"
-#include "core/staggered.hpp"
-#include "core/typed_buffer.hpp"
+#include "coll/communicator.hpp"
 
 namespace flare::coll {
 
-/// Pluggable sparse data source: pairs of (host, block) with block-relative
-/// indices in [0, block_span).
-struct SparseWorkload {
-  u32 block_span = 1280;
-  u32 num_blocks = 16;
-  std::function<std::vector<core::SparsePair>(u32 host, u32 block)> pairs;
-};
-
-struct FlareSparseOptions {
-  core::DType dtype = core::DType::kFloat32;
-  u64 packet_payload = 1024;
-  u32 window_blocks = 64;
-  /// Aligned by default — see FlareDenseOptions::order.
+struct FlareSparseOptions : Tuning {
+  /// See CollectiveOptions::order.
   core::SendOrder order = core::SendOrder::kAligned;
   u32 hash_capacity_pairs = 512;
   u32 spill_capacity_pairs = 64;
-  /// Sparse aggregation is slower than dense (Figure 13): calibrated rate.
-  f64 switch_service_bps = 1.6e12;
 };
 
 struct FlareSparseResult : CollectiveResult {
@@ -45,8 +33,17 @@ struct FlareSparseResult : CollectiveResult {
   u64 down_pairs = 0;
 };
 
-FlareSparseResult run_flare_sparse(
+namespace detail {
+FlareSparseResult flare_sparse_oneshot(
     net::Network& net, const std::vector<net::Host*>& participants,
     const SparseWorkload& workload, const FlareSparseOptions& opt);
+}  // namespace detail
+
+[[deprecated("use coll::Communicator with CollectiveOptions::sparse")]]
+inline FlareSparseResult run_flare_sparse(
+    net::Network& net, const std::vector<net::Host*>& participants,
+    const SparseWorkload& workload, const FlareSparseOptions& opt) {
+  return detail::flare_sparse_oneshot(net, participants, workload, opt);
+}
 
 }  // namespace flare::coll

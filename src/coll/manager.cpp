@@ -192,35 +192,37 @@ void NetworkManager::uninstall(const ReductionTree& tree, u32 allreduce_id) {
   if (on_release_) on_release_(allreduce_id);
 }
 
-std::optional<ReductionTree> NetworkManager::install_with_roots(
+InstallReport NetworkManager::install_with_roots(
     const std::vector<net::Host*>& participants, core::AllreduceConfig cfg,
     f64 switch_service_bps, const std::vector<net::NodeId>& roots,
-    TreeCache* cache, u32* attempts, bool* cache_hit, bool* any_feasible) {
-  if (any_feasible != nullptr) *any_feasible = false;
+    TreeCache* cache) {
+  InstallReport report;
   for (const net::NodeId root : roots) {
-    if (attempts != nullptr) *attempts += 1;
+    report.attempts += 1;
     bool hit = false;
     std::optional<ReductionTree> tree =
         cache != nullptr
             ? cache->get_or_compute(*this, participants, root, &hit)
             : compute_tree(participants, root);
     if (!tree) continue;
-    if (any_feasible != nullptr && !*any_feasible) {
-      *any_feasible = std::all_of(
+    if (!report.any_feasible) {
+      report.any_feasible = std::all_of(
           tree->switches.begin(), tree->switches.end(),
           [](const TreeSwitchEntry& e) { return e.sw->max_allreduces() > 0; });
     }
     if (install(*tree, cfg, switch_service_bps)) {
-      if (cache_hit != nullptr) *cache_hit = hit;
-      return tree;
+      report.cache_hit = hit;
+      report.tree = std::move(tree);
+      return report;
     }
   }
-  return std::nullopt;
+  return report;
 }
 
-std::optional<ReductionTree> NetworkManager::install_with_retry(
+InstallReport NetworkManager::install_with_retry(
     const std::vector<net::Host*>& participants, core::AllreduceConfig cfg,
     f64 switch_service_bps) {
+  InstallReport report;
   // Prefer the embedding that uses the fewest switches (and, among those,
   // the shallowest): less switch memory consumed and fewer hops.
   std::vector<ReductionTree> candidates;
@@ -235,9 +237,18 @@ std::optional<ReductionTree> NetworkManager::install_with_retry(
               return a.max_depth < b.max_depth;
             });
   for (ReductionTree& tree : candidates) {
-    if (install(tree, cfg, switch_service_bps)) return tree;
+    report.attempts += 1;
+    if (!report.any_feasible) {
+      report.any_feasible = std::all_of(
+          tree.switches.begin(), tree.switches.end(),
+          [](const TreeSwitchEntry& e) { return e.sw->max_allreduces() > 0; });
+    }
+    if (install(tree, cfg, switch_service_bps)) {
+      report.tree = std::move(tree);
+      return report;
+    }
   }
-  return std::nullopt;
+  return report;
 }
 
 }  // namespace flare::coll

@@ -32,12 +32,33 @@ struct ReductionTree {
   u32 max_depth = 0;
 };
 
+/// Outcome of an admission round (replaces the out-pointer parameters the
+/// install entry points used to take).  Smart-pointer style accessors keep
+/// `if (!report)` / `report->switches` call sites reading naturally.
+struct InstallReport {
+  std::optional<ReductionTree> tree;  ///< installed tree on success
+  u32 attempts = 0;                   ///< install attempts across roots
+  bool cache_hit = false;             ///< embedding reused from a TreeCache
+  /// Whether at least one candidate root produced a tree every switch of
+  /// which has a non-zero memory partition — false means the job can NEVER
+  /// run in-network with these roots, not just not right now.
+  bool any_feasible = false;
+
+  bool has_value() const { return tree.has_value(); }
+  explicit operator bool() const { return has_value(); }
+  ReductionTree& operator*() { return *tree; }
+  const ReductionTree& operator*() const { return *tree; }
+  ReductionTree* operator->() { return &*tree; }
+  const ReductionTree* operator->() const { return &*tree; }
+};
+
 class NetworkManager {
  public:
   explicit NetworkManager(net::Network& net) : net_(net) {}
 
-  /// Fresh allreduce identifier.
-  u32 next_id() { return next_id_++; }
+  /// Fresh collective identifier, unique across every manager sharing the
+  /// network (the counter lives on net::Network).
+  u32 next_id() { return net_.alloc_collective_id(); }
 
   /// Builds the BFS reduction tree rooted at `root` spanning `participants`.
   /// Returns nullopt if some participant is unreachable from the root.
@@ -52,25 +73,21 @@ class NetworkManager {
 
   void uninstall(const ReductionTree& tree, u32 allreduce_id);
 
-  /// compute_tree + install, retrying every switch as root until one
-  /// admission succeeds.  Returns the tree used.
-  std::optional<ReductionTree> install_with_retry(
+  /// compute_tree + install, preferring the smallest (then shallowest)
+  /// embedding and retrying every switch as root until one admission
+  /// succeeds.
+  InstallReport install_with_retry(
       const std::vector<net::Host*>& participants, core::AllreduceConfig cfg,
       f64 switch_service_bps);
 
   /// Like install_with_retry but tries roots in the CALLER's order (the
   /// service layer's root-selection policy decides), optionally reusing
-  /// embeddings from `cache`.  Returns the installed tree, or nullopt if
-  /// every candidate was rejected by admission.
-  /// `any_feasible` (optional) reports whether at least one candidate root
-  /// produced a tree every switch of which has a non-zero memory partition
-  /// — false means the job can NEVER run in-network with these roots, not
-  /// just not right now.
-  std::optional<ReductionTree> install_with_roots(
+  /// embeddings from `cache`.  The report's tree is empty if every
+  /// candidate was rejected by admission.
+  InstallReport install_with_roots(
       const std::vector<net::Host*>& participants, core::AllreduceConfig cfg,
       f64 switch_service_bps, const std::vector<net::NodeId>& roots,
-      class TreeCache* cache = nullptr, u32* attempts = nullptr,
-      bool* cache_hit = nullptr, bool* any_feasible = nullptr);
+      class TreeCache* cache = nullptr);
 
   /// Invoked after every uninstall() with the released allreduce id — the
   /// service layer hooks this to re-try queued admissions when switch
@@ -82,7 +99,6 @@ class NetworkManager {
 
  private:
   net::Network& net_;
-  u32 next_id_ = 1;
   ReleaseListener on_release_;
 };
 

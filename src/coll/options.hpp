@@ -1,0 +1,116 @@
+// Unified collective descriptor (the Communicator session API).
+//
+// Flare's headline claim is flexibility: one programmable substrate serving
+// dense and sparse allreduce, reduce, broadcast and barrier (Sections 4, 7
+// and 8).  The descriptor makes that one API surface: a CollectiveKind
+// (what to compute), an Algorithm (which engine computes it), and ONE
+// options struct whose shared tuning block replaces the near-duplicate
+// fields the per-scheme option structs used to re-declare.
+#pragma once
+
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/dtype.hpp"
+#include "core/packet.hpp"
+#include "core/policy.hpp"
+#include "core/reduce_op.hpp"
+#include "core/staggered.hpp"
+
+namespace flare::coll {
+
+/// What to compute (Section 8: reduce, broadcast and barrier fall out of
+/// the allreduce machinery).
+enum class CollectiveKind : u8 {
+  kAllreduce = 0,
+  kReduce,     ///< only the destination host consumes the result
+  kBroadcast,  ///< the root host's vector reaches every participant
+  kBarrier,    ///< 0-byte blocks; release when the empty result arrives
+};
+
+std::string_view collective_kind_name(CollectiveKind k);
+
+/// Which engine executes it.  kAuto picks in-network Flare (dense or
+/// sparse, depending on whether a sparse workload is attached) and falls
+/// back to the host-based ring when admission rejects an allreduce — the
+/// paper's admission policy.
+enum class Algorithm : u8 {
+  kAuto = 0,
+  kFlareDense,  ///< in-network reduction tree (Sections 4-6)
+  kFlareSparse, ///< in-network sparse allreduce (Section 7)
+  kHostRing,    ///< host-based ring / Rabenseifner baseline
+  kSparcml,     ///< host-based sparse recursive doubling (SparCML)
+};
+
+std::string_view algorithm_name(Algorithm a);
+
+/// Tuning fields shared by every scheme — formerly re-declared by
+/// FlareDenseOptions, BroadcastOptions, BarrierOptions and the service's
+/// JobSpec.  The legacy option structs now inherit this block.
+struct Tuning {
+  u64 packet_payload = 1024;  ///< in-network block size (bytes)
+  /// Aggregation service rate per switch; calibrated against the PsPIN
+  /// simulator (Figure 11 operating point for the configured dtype).
+  /// 0 -> the calibrated default for the selected algorithm: 2.4e12 for
+  /// dense aggregation, 1.6e12 for sparse (Figure 13: sparse is slower).
+  f64 switch_service_bps = 0.0;
+  core::DType dtype = core::DType::kFloat32;
+  u64 seed = 1;  ///< workload seed (iteration i of a persistent request
+                 ///< uses seed + i)
+  /// Blocks a host may have in flight (aggregation buffers per collective).
+  u32 window_blocks = 64;
+};
+
+/// Calibrated per-switch aggregation rates (Figures 11 and 13).
+constexpr f64 kDenseSwitchServiceBps = 2.4e12;
+constexpr f64 kSparseSwitchServiceBps = 1.6e12;
+
+/// Resolves the `switch_service_bps == 0` auto sentinel.
+inline f64 resolved_switch_service_bps(const Tuning& t, bool sparse) {
+  if (t.switch_service_bps > 0.0) return t.switch_service_bps;
+  return sparse ? kSparseSwitchServiceBps : kDenseSwitchServiceBps;
+}
+
+/// Pluggable sparse data source: pairs of (host, block) with block-relative
+/// indices in [0, block_span).  Drives both the in-network sparse allreduce
+/// (per block) and SparCML (blocks flattened to global indices).
+struct SparseWorkload {
+  u32 block_span = 1280;
+  u32 num_blocks = 16;
+  std::function<std::vector<core::SparsePair>(u32 host, u32 block)> pairs;
+};
+
+/// One descriptor for every collective the substrate serves.
+struct CollectiveOptions : Tuning {
+  CollectiveKind kind = CollectiveKind::kAllreduce;
+  Algorithm algorithm = Algorithm::kAuto;
+
+  u64 data_bytes = 1 * kMiB;  ///< Z per host (dense kinds)
+  core::OpKind op = core::OpKind::kSum;
+  /// Reduce destination / broadcast source (index into the participants).
+  u32 root = 0;
+
+  // --- flare-dense extras ---
+  /// Default aligned: in the network simulator the switch is a calibrated
+  /// aggregation server (no shared-buffer contention to spread out), and
+  /// staggering would delay every block's completion to the end of the
+  /// message.  Staggered sending matters inside the PsPIN unit (src/pspin).
+  core::SendOrder order = core::SendOrder::kAligned;
+  bool reproducible = false;
+  /// 0 -> auto-select by size (Section 6.4 thresholds).
+  core::AggPolicy policy = core::AggPolicy::kSingleBuffer;
+  bool auto_policy = true;
+
+  // --- host-based extras ---
+  u64 mtu_bytes = 4096;  ///< fragmentation unit for ring / SparCML messages
+
+  // --- sparse extras (Section 7); `sparse.pairs != nullptr` selects the
+  //     sparse engines under kAuto ---
+  SparseWorkload sparse;
+  u32 hash_capacity_pairs = 512;
+  u32 spill_capacity_pairs = 64;
+};
+
+}  // namespace flare::coll

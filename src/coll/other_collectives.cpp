@@ -1,155 +1,37 @@
 #include "coll/other_collectives.hpp"
 
-#include <algorithm>
-#include <cstring>
-
-#include "workload/generators.hpp"
-
 namespace flare::coll {
+
+CollectiveOptions barrier_descriptor(const BarrierOptions& opt) {
+  CollectiveOptions desc;
+  static_cast<Tuning&>(desc) = opt;
+  desc.kind = CollectiveKind::kBarrier;
+  desc.algorithm = Algorithm::kFlareDense;
+  return desc;
+}
+
+CollectiveOptions broadcast_descriptor(const BroadcastOptions& opt) {
+  CollectiveOptions desc;
+  static_cast<Tuning&>(desc) = opt;
+  desc.kind = CollectiveKind::kBroadcast;
+  desc.algorithm = Algorithm::kFlareDense;
+  desc.root = opt.root;
+  desc.data_bytes = opt.data_bytes;
+  return desc;
+}
 
 CollectiveResult run_flare_barrier(net::Network& net,
                                    const std::vector<net::Host*>& hosts,
                                    const BarrierOptions& opt) {
-  CollectiveResult res;
-  const u32 P = static_cast<u32>(hosts.size());
-  FLARE_ASSERT(P >= 1);
-  res.blocks = 1;
-
-  NetworkManager manager(net);
-  core::AllreduceConfig cfg;
-  cfg.id = manager.next_id();
-  cfg.dtype = core::DType::kInt32;
-  cfg.elems_per_packet = 0;  // 0-byte blocks (Section 8)
-  cfg.policy = core::AggPolicy::kSingleBuffer;
-  auto tree = manager.install_with_retry(hosts, cfg, opt.switch_service_bps);
-  if (!tree) return res;
-
-  const u64 base_traffic = net.total_traffic_bytes();
-  std::vector<SimTime> released(P, 0);
-  std::vector<bool> done(P, false);
-  for (u32 h = 0; h < P; ++h) {
-    hosts[h]->set_reduce_handler(cfg.id, [&, h](const core::Packet& pkt) {
-      FLARE_ASSERT(pkt.hdr.elem_count == 0);
-      if (!done[h]) {
-        done[h] = true;
-        released[h] = net.sim().now();
-      }
-    });
-    // Every host enters the barrier by sending an empty block packet.
-    core::Packet p = core::make_dense_packet(
-        cfg.id, 0, tree->host_child_index[hosts[h]->host_index()], nullptr,
-        0, cfg.dtype);
-    net::NetPacket np;
-    np.kind = net::PacketKind::kReduceUp;
-    np.allreduce_id = cfg.id;
-    np.wire_bytes = p.wire_bytes();
-    np.reduce = std::make_shared<const core::Packet>(std::move(p));
-    hosts[h]->send(std::move(np));
-  }
-  net.sim().run();
-
-  bool all = true;
-  SimTime worst = 0;
-  f64 sum = 0;
-  for (u32 h = 0; h < P; ++h) {
-    all = all && done[h];
-    worst = std::max(worst, released[h]);
-    sum += static_cast<f64>(released[h]);
-  }
-  res.ok = all;
-  res.completion_seconds = static_cast<f64>(worst) / kPsPerSecond;
-  res.mean_host_seconds = sum / P / kPsPerSecond;
-  res.total_traffic_bytes = net.total_traffic_bytes() - base_traffic;
-  manager.uninstall(*tree, cfg.id);
-  return res;
+  Communicator comm(net, hosts);
+  return comm.run(barrier_descriptor(opt));
 }
 
 CollectiveResult run_flare_broadcast(net::Network& net,
                                      const std::vector<net::Host*>& hosts,
                                      const BroadcastOptions& opt) {
-  CollectiveResult res;
-  const u32 P = static_cast<u32>(hosts.size());
-  FLARE_ASSERT(P >= 1 && opt.root < P);
-  const u32 esize = core::dtype_size(opt.dtype);
-  const u64 elems_total = std::max<u64>(1, opt.data_bytes / esize);
-  const u32 elems_per_pkt = static_cast<u32>(opt.packet_payload / esize);
-  const u32 nb =
-      static_cast<u32>((elems_total + elems_per_pkt - 1) / elems_per_pkt);
-  res.blocks = nb;
-  const core::ReduceOp op(core::OpKind::kSum);
-
-  NetworkManager manager(net);
-  core::AllreduceConfig cfg;
-  cfg.id = manager.next_id();
-  cfg.dtype = opt.dtype;
-  cfg.op = op;
-  cfg.elems_per_packet = elems_per_pkt;
-  cfg.policy = core::AggPolicy::kTree;
-  auto tree = manager.install_with_retry(hosts, cfg, opt.switch_service_bps);
-  if (!tree) return res;
-
-  Rng rng(opt.seed);
-  core::TypedBuffer payload(opt.dtype, elems_total);
-  payload.fill_random(rng);
-  core::TypedBuffer identity(opt.dtype, elems_per_pkt);
-  identity.fill_identity(op);
-
-  const u64 base_traffic = net.total_traffic_bytes();
-  std::vector<core::TypedBuffer> results;
-  results.reserve(P);
-  for (u32 h = 0; h < P; ++h)
-    results.emplace_back(opt.dtype, elems_total);
-  std::vector<u32> blocks_done(P, 0);
-  std::vector<SimTime> finish(P, 0);
-
-  for (u32 h = 0; h < P; ++h) {
-    hosts[h]->set_reduce_handler(cfg.id, [&, h](const core::Packet& pkt) {
-      const u32 b = pkt.hdr.block_id;
-      std::memcpy(results[h].at_byte(static_cast<u64>(b) * elems_per_pkt),
-                  pkt.payload.data(), pkt.payload.size());
-      blocks_done[h] += 1;
-      if (blocks_done[h] == nb) finish[h] = net.sim().now();
-    });
-  }
-  for (u32 h = 0; h < P; ++h) {
-    for (u32 b = 0; b < nb; ++b) {
-      const u64 first = static_cast<u64>(b) * elems_per_pkt;
-      const u32 elems = static_cast<u32>(
-          std::min<u64>(elems_per_pkt, elems_total - first));
-      // Root contributes its data; everyone else the operator identity.
-      const void* src =
-          h == opt.root ? payload.at_byte(first) : identity.data();
-      core::Packet p = core::make_dense_packet(
-          cfg.id, b, tree->host_child_index[hosts[h]->host_index()], src,
-          elems, opt.dtype);
-      net::NetPacket np;
-      np.kind = net::PacketKind::kReduceUp;
-      np.allreduce_id = cfg.id;
-      np.wire_bytes = p.wire_bytes();
-      np.reduce = std::make_shared<const core::Packet>(std::move(p));
-      hosts[h]->send(std::move(np));
-    }
-  }
-  net.sim().run();
-
-  bool all = true;
-  SimTime worst = 0;
-  f64 sum = 0;
-  f64 err = 0;
-  for (u32 h = 0; h < P; ++h) {
-    all = all && (blocks_done[h] == nb);
-    worst = std::max(worst, finish[h]);
-    sum += static_cast<f64>(finish[h]);
-    if (blocks_done[h] == nb)
-      err = std::max(err, results[h].max_abs_diff(payload));
-  }
-  res.ok = all && err <= (core::dtype_is_float(opt.dtype) ? 1e-4 : 0.0);
-  res.max_abs_err = err;
-  res.completion_seconds = static_cast<f64>(worst) / kPsPerSecond;
-  res.mean_host_seconds = sum / P / kPsPerSecond;
-  res.total_traffic_bytes = net.total_traffic_bytes() - base_traffic;
-  manager.uninstall(*tree, cfg.id);
-  return res;
+  Communicator comm(net, hosts);
+  return comm.run(broadcast_descriptor(opt));
 }
 
 }  // namespace flare::coll

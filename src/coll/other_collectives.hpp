@@ -1,41 +1,37 @@
-// Other collectives on the Flare substrate (Section 8, "Support for other
-// collectives"): the paper points out that reduce, broadcast and barrier
-// fall out of the allreduce machinery.
+// Legacy entry points for the Section 8 extension collectives (barrier,
+// broadcast).  The paper points out that reduce, broadcast and barrier
+// fall out of the allreduce machinery — the Communicator's unified InNetOp
+// driver now implements exactly that; these wrappers remain for source
+// compatibility.
 //
-//  * barrier    — an in-network allreduce of 0-byte blocks: a host leaves
-//    the barrier when the root's (empty) result multicast reaches it.
-//  * broadcast  — the root contributes its data, everyone else contributes
-//    the operator identity; the "sum" that comes back is the root's vector.
-//  * reduce     — an allreduce where only the destination host consumes the
-//    result (the multicast down is shared with every co-located reduction;
-//    a unicast-down optimization is left as future work, as in the paper).
+// DEPRECATED: use coll::Communicator with CollectiveKind::kBarrier /
+// kBroadcast (and kReduce, which has no legacy equivalent).
 #pragma once
 
-#include "coll/manager.hpp"
-#include "coll/result.hpp"
-#include "core/typed_buffer.hpp"
+#include "coll/communicator.hpp"
 
 namespace flare::coll {
 
-struct BarrierOptions {
-  f64 switch_service_bps = 2.4e12;
-};
+struct BarrierOptions : Tuning {};
+
+/// The CollectiveOptions equivalent of the legacy options structs.
+CollectiveOptions barrier_descriptor(const BarrierOptions& opt);
 
 /// Returns ok=true when every host observed the barrier release; the
 /// completion time is the paper's barrier latency.
+[[deprecated("use coll::Communicator with CollectiveKind::kBarrier")]]
 CollectiveResult run_flare_barrier(net::Network& net,
                                    const std::vector<net::Host*>& hosts,
                                    const BarrierOptions& opt = {});
 
-struct BroadcastOptions {
+struct BroadcastOptions : Tuning {
   u32 root = 0;  ///< broadcasting host (index into `hosts`)
   u64 data_bytes = 64 * kKiB;
-  core::DType dtype = core::DType::kFloat32;
-  u64 packet_payload = 1024;
-  f64 switch_service_bps = 2.4e12;
-  u64 seed = 1;
 };
 
+CollectiveOptions broadcast_descriptor(const BroadcastOptions& opt);
+
+[[deprecated("use coll::Communicator with CollectiveKind::kBroadcast")]]
 CollectiveResult run_flare_broadcast(net::Network& net,
                                      const std::vector<net::Host*>& hosts,
                                      const BroadcastOptions& opt = {});

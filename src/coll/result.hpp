@@ -8,6 +8,7 @@ namespace flare::coll {
 
 struct CollectiveResult {
   bool ok = false;          ///< completed and functionally correct
+  bool in_network = false;  ///< served by the switches (vs a host scheme)
   f64 max_abs_err = 0.0;
   f64 completion_seconds = 0.0;   ///< slowest host
   f64 mean_host_seconds = 0.0;

@@ -1,195 +1,23 @@
 #include "coll/ring.hpp"
 
-#include <algorithm>
-#include <functional>
-#include <cstring>
-#include <unordered_map>
-
-#include "workload/generators.hpp"
-
 namespace flare::coll {
 
-namespace {
-
-constexpr u32 kRingProto = 0x52494E47;  // "RING"
-
-struct ChunkGeometry {
-  u64 elems_total;
-  u32 chunks;  // = P
-
-  u64 chunk_begin(u32 c) const {
-    const u64 base = elems_total / chunks;
-    const u64 rem = elems_total % chunks;
-    return static_cast<u64>(c) * base + std::min<u64>(c, rem);
-  }
-  u64 chunk_elems(u32 c) const { return chunk_begin(c + 1) - chunk_begin(c); }
-};
-
-enum class Phase : u8 { kScatterReduce, kAllGather, kDone };
-
-struct RingHost {
-  net::Host* host = nullptr;
-  core::TypedBuffer vec;  ///< working vector (input, then result)
-  Phase phase = Phase::kScatterReduce;
-  u32 step = 0;
-  SimTime finish_ps = 0;
-  /// Reassembly: tag -> (fragments seen, attached data).
-  struct Partial {
-    u32 frags = 0;
-    std::shared_ptr<const core::TypedBuffer> data;
-  };
-  std::unordered_map<u32, Partial> inbox;
-};
-
-u32 make_tag(Phase phase, u32 step) {
-  return (phase == Phase::kAllGather ? 0x10000u : 0u) | step;
+CollectiveOptions ring_descriptor(const RingOptions& opt) {
+  CollectiveOptions desc;
+  static_cast<Tuning&>(desc) = opt;
+  desc.kind = CollectiveKind::kAllreduce;
+  desc.algorithm = Algorithm::kHostRing;
+  desc.data_bytes = opt.data_bytes;
+  desc.op = opt.op;
+  desc.mtu_bytes = opt.mtu_bytes;
+  return desc;
 }
-
-}  // namespace
 
 CollectiveResult run_ring_allreduce(net::Network& net,
                                     const std::vector<net::Host*>& hosts,
                                     const RingOptions& opt) {
-  CollectiveResult res;
-  const u32 P = static_cast<u32>(hosts.size());
-  FLARE_ASSERT(P >= 1);
-  const u32 esize = core::dtype_size(opt.dtype);
-  const u64 elems_total = std::max<u64>(1, opt.data_bytes / esize);
-  const ChunkGeometry geo{elems_total, P};
-  const core::ReduceOp op(opt.op);
-  res.blocks = P;
-
-  const auto host_data =
-      workload::make_dense_data(P, elems_total, opt.dtype, opt.seed);
-  const core::TypedBuffer expected = reference_reduce(host_data, op);
-
-  std::vector<RingHost> runs(P);
-  const u64 base_traffic = net.total_traffic_bytes();
-  for (u32 h = 0; h < P; ++h) {
-    runs[h].host = hosts[h];
-    runs[h].vec = host_data[h];
-  }
-
-  if (P == 1) {
-    res.ok = true;
-    res.completion_seconds = 0;
-    return res;
-  }
-
-  // Sends chunk `c` of host `h`'s working vector to its right neighbour,
-  // fragmented at the MTU; the data snapshot rides on the last fragment.
-  auto send_chunk = [&](u32 h, u32 c, Phase phase, u32 step) {
-    RingHost& hr = runs[h];
-    const u32 dst = (h + 1) % P;
-    const u64 elems = geo.chunk_elems(c);
-    const u64 bytes = elems * esize;
-    const u32 frags =
-        std::max<u32>(1, static_cast<u32>((bytes + opt.mtu_bytes - 1) /
-                                          opt.mtu_bytes));
-    auto snapshot = std::make_shared<core::TypedBuffer>(opt.dtype, elems);
-    std::memcpy(snapshot->data(), hr.vec.at_byte(geo.chunk_begin(c)), bytes);
-    for (u32 f = 0; f < frags; ++f) {
-      auto msg = std::make_shared<net::HostMsg>();
-      msg->src_host = h;
-      msg->dst_host = dst;
-      msg->proto = kRingProto;
-      msg->tag = make_tag(phase, step);
-      msg->seq = f;
-      msg->seq_count = frags;
-      if (f + 1 == frags) msg->dense = snapshot;
-      net::NetPacket np;
-      np.kind = net::PacketKind::kHostMsg;
-      np.dst_node = hosts[dst]->id();
-      np.flow = h;  // one flow per ring edge: FIFO along one ECMP path
-      const u64 frag_bytes =
-          std::min<u64>(opt.mtu_bytes, bytes - f * opt.mtu_bytes);
-      np.wire_bytes = frag_bytes + core::kPacketWireOverhead;
-      np.msg = std::move(msg);
-      hr.host->send(std::move(np));
-    }
-  };
-
-  // Applies the completed message for the host's current step and advances.
-  std::function<void(u32)> advance = [&](u32 h) {
-    RingHost& hr = runs[h];
-    while (hr.phase != Phase::kDone) {
-      const u32 tag = make_tag(hr.phase, hr.step);
-      auto it = hr.inbox.find(tag);
-      if (it == hr.inbox.end() || it->second.frags == 0 ||
-          it->second.data == nullptr) {
-        return;  // expected message not fully here yet
-      }
-      const auto& partial = it->second;
-      // Which chunk does this step deliver?
-      if (hr.phase == Phase::kScatterReduce) {
-        const u32 c = (h + P - hr.step - 1) % P;
-        FLARE_ASSERT(partial.data->size() == geo.chunk_elems(c));
-        op.apply(opt.dtype, hr.vec.at_byte(geo.chunk_begin(c)),
-                 partial.data->data(), geo.chunk_elems(c));
-        hr.inbox.erase(it);
-        hr.step += 1;
-        if (hr.step < P - 1) {
-          send_chunk(h, (h + P - hr.step) % P, Phase::kScatterReduce,
-                     hr.step);
-        } else {
-          // Scatter-reduce finished: host owns reduced chunk (h+1)%P and
-          // starts the allgather by forwarding it.
-          hr.phase = Phase::kAllGather;
-          hr.step = 0;
-          send_chunk(h, (h + 1) % P, Phase::kAllGather, 0);
-        }
-      } else {
-        const u32 c = (h + P - hr.step) % P;
-        FLARE_ASSERT(partial.data->size() == geo.chunk_elems(c));
-        std::memcpy(hr.vec.at_byte(geo.chunk_begin(c)),
-                    partial.data->data(), geo.chunk_elems(c) * esize);
-        hr.inbox.erase(it);
-        hr.step += 1;
-        if (hr.step < P - 1) {
-          send_chunk(h, c, Phase::kAllGather, hr.step);
-        } else {
-          hr.phase = Phase::kDone;
-          hr.finish_ps = net.sim().now();
-        }
-      }
-    }
-  };
-
-  for (u32 h = 0; h < P; ++h) {
-    runs[h].host->set_msg_handler([&, h](const net::HostMsg& msg) {
-      if (msg.proto != kRingProto) return;
-      RingHost& hr = runs[h];
-      RingHost::Partial& partial = hr.inbox[msg.tag];
-      partial.frags += 1;
-      if (msg.dense) partial.data = msg.dense;
-      if (partial.frags == msg.seq_count) advance(h);
-    });
-  }
-
-  // Kick off: every host sends its own chunk h for scatter-reduce step 0.
-  for (u32 h = 0; h < P; ++h)
-    send_chunk(h, h, Phase::kScatterReduce, 0);
-  net.sim().run();
-
-  f64 worst = 0.0, sum = 0.0;
-  bool all_done = true;
-  for (RingHost& hr : runs) {
-    all_done = all_done && (hr.phase == Phase::kDone);
-    worst = std::max(worst, static_cast<f64>(hr.finish_ps));
-    sum += static_cast<f64>(hr.finish_ps);
-  }
-  res.completion_seconds = worst / kPsPerSecond;
-  res.mean_host_seconds = sum / P / kPsPerSecond;
-  res.total_traffic_bytes = net.total_traffic_bytes() - base_traffic;
-  res.total_packets = net.total_packets();
-  if (all_done) {
-    f64 err = 0.0;
-    for (const RingHost& hr : runs)
-      err = std::max(err, hr.vec.max_abs_diff(expected));
-    res.max_abs_err = err;
-    res.ok = err <= core::reduce_tolerance(opt.dtype, P);
-  }
-  return res;
+  Communicator comm(net, hosts);
+  return comm.run(ring_descriptor(opt));
 }
 
 }  // namespace flare::coll

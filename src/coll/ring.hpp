@@ -1,23 +1,26 @@
-// Host-based ring (Rabenseifner) allreduce — the bandwidth-optimal
-// host-based baseline (Section 1; the "Host-Based Dense" bars of
-// Figure 15).  Two phases of P-1 steps each (scatter-reduce, then
-// allgather); every host transmits 2 * (P-1)/P * Z bytes, ~2x the traffic
-// of the in-network reduction.
+// Legacy entry point for the host-based ring (Rabenseifner) allreduce —
+// the bandwidth-optimal host-based baseline (Section 1; the "Host-Based
+// Dense" bars of Figure 15).  Two phases of P-1 steps each (scatter-reduce,
+// then allgather); every host transmits 2 * (P-1)/P * Z bytes, ~2x the
+// traffic of the in-network reduction.
+//
+// DEPRECATED: use coll::Communicator with algorithm = Algorithm::kHostRing.
 #pragma once
 
-#include "coll/result.hpp"
-#include "net/network.hpp"
+#include "coll/communicator.hpp"
 
 namespace flare::coll {
 
-struct RingOptions {
+struct RingOptions : Tuning {
   u64 data_bytes = 1 * kMiB;  ///< Z per host
-  core::DType dtype = core::DType::kFloat32;
   core::OpKind op = core::OpKind::kSum;
   u64 mtu_bytes = 4096;  ///< fragmentation unit for chunk messages
-  u64 seed = 1;
 };
 
+/// The CollectiveOptions equivalent of the legacy options struct.
+CollectiveOptions ring_descriptor(const RingOptions& opt);
+
+[[deprecated("use coll::Communicator with Algorithm::kHostRing")]]
 CollectiveResult run_ring_allreduce(net::Network& net,
                                     const std::vector<net::Host*>& hosts,
                                     const RingOptions& opt);

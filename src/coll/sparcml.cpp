@@ -61,7 +61,9 @@ std::vector<core::SparsePair> merge_pairs(
 
 }  // namespace
 
-SparcmlResult run_sparcml_allreduce(
+namespace detail {
+
+SparcmlResult sparcml_oneshot(
     net::Network& net, const std::vector<net::Host*>& hosts,
     const std::function<std::vector<core::SparsePair>(u32)>& pairs,
     const SparcmlOptions& opt) {
@@ -203,8 +205,8 @@ SparcmlResult run_sparcml_allreduce(
   };
 
   for (u32 h = 0; h < P; ++h) {
-    runs[h].host->set_msg_handler([&, h](const net::HostMsg& msg) {
-      if (msg.proto != kSparcmlProto) return;
+    runs[h].host->set_proto_handler(kSparcmlProto, [&, h](
+                                        const net::HostMsg& msg) {
       SpHost& hr = runs[h];
       SpHost::Partial& partial = hr.inbox[msg.tag];
       partial.frags += 1;
@@ -217,6 +219,9 @@ SparcmlResult run_sparcml_allreduce(
 
   for (u32 h = 0; h < P; ++h) send_round(h, 0);
   net.sim().run();
+  // The handlers capture this frame by reference: never leave them behind.
+  for (u32 h = 0; h < P; ++h)
+    runs[h].host->clear_proto_handler(kSparcmlProto);
 
   f64 worst = 0.0, sum = 0.0;
   bool all_done = true;
@@ -248,5 +253,7 @@ SparcmlResult run_sparcml_allreduce(
   }
   return res;
 }
+
+}  // namespace detail
 
 }  // namespace flare::coll

@@ -8,6 +8,11 @@
 // sparse-to-dense switchover.  Every host handles log2(P) increasingly
 // dense messages, which is why the in-network sparse allreduce beats it on
 // both time and traffic.
+//
+// The legacy run_sparcml_allreduce entry point is DEPRECATED: use
+// coll::Communicator with a sparse workload and Algorithm::kSparcml
+// (blocking-only, Communicator::run).  detail::sparcml_oneshot is the
+// shared implementation.
 #pragma once
 
 #include <functional>
@@ -28,10 +33,20 @@ struct SparcmlResult : CollectiveResult {
   u64 pairs_exchanged = 0;
 };
 
-/// `pairs(host)` yields host's sparse input with global indices.
-SparcmlResult run_sparcml_allreduce(
+namespace detail {
+SparcmlResult sparcml_oneshot(
     net::Network& net, const std::vector<net::Host*>& hosts,
     const std::function<std::vector<core::SparsePair>(u32)>& pairs,
     const SparcmlOptions& opt);
+}  // namespace detail
+
+/// `pairs(host)` yields host's sparse input with global indices.
+[[deprecated("use coll::Communicator with Algorithm::kSparcml")]]
+inline SparcmlResult run_sparcml_allreduce(
+    net::Network& net, const std::vector<net::Host*>& hosts,
+    const std::function<std::vector<core::SparsePair>(u32)>& pairs,
+    const SparcmlOptions& opt) {
+  return detail::sparcml_oneshot(net, hosts, pairs, opt);
+}
 
 }  // namespace flare::coll

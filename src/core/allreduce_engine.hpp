@@ -28,6 +28,11 @@ class AllreduceEngine {
     agg_->process(std::move(pkt), std::move(done));
   }
 
+  /// Between iterations of a persistent collective: clears per-iteration
+  /// aggregation state so the same block ids can run again (install-once /
+  /// run-many).  See Aggregator::reset.
+  void reset() { agg_->reset(); }
+
   const AllreduceConfig& config() const { return cfg_; }
   const EngineStats& stats() const { return agg_->stats(); }
   const BufferPool& pool() const { return pool_; }

@@ -51,6 +51,12 @@ SingleBufferAggregator::Block& SingleBufferAggregator::get_block(
   return blk;
 }
 
+void SingleBufferAggregator::reset() {
+  FLARE_ASSERT_MSG(blocks_.empty(),
+                   "reset with open blocks: packets still in flight");
+  completed_.clear();
+}
+
 void SingleBufferAggregator::process(std::shared_ptr<const Packet> pkt,
                                      HandlerDone done) {
   stats_.packets_in += 1;
@@ -105,7 +111,11 @@ void SingleBufferAggregator::in_critical_section(
   u64 work;
   if (!blk.has_data) {
     // First packet of the block: plain buffer initialization via DMA.
-    std::memcpy(blk.buf.data(), pkt->payload.data(), pkt->payload.size());
+    // (Barrier blocks are 0-byte; memcpy must not see a null source.)
+    if (!pkt->payload.empty()) {
+      std::memcpy(blk.buf.data(), pkt->payload.data(),
+                  pkt->payload.size());
+    }
     blk.has_data = true;
     work = costs.dma_packet_cycles;
   } else {
@@ -176,6 +186,12 @@ MultiBufferAggregator::Block& MultiBufferAggregator::get_block(u32 block_id,
   return blk;
 }
 
+void MultiBufferAggregator::reset() {
+  FLARE_ASSERT_MSG(blocks_.empty(),
+                   "reset with open blocks: packets still in flight");
+  completed_.clear();
+}
+
 void MultiBufferAggregator::process(std::shared_ptr<const Packet> pkt,
                                     HandlerDone done) {
   stats_.packets_in += 1;
@@ -244,7 +260,9 @@ void MultiBufferAggregator::run_on_sub(u32 block_id, u32 sub_idx,
     blk.max_allocated = std::max(blk.max_allocated, allocated);
   }
   if (!s.has_data) {
-    std::memcpy(s.buf.data(), pkt->payload.data(), pkt->payload.size());
+    if (!pkt->payload.empty()) {
+      std::memcpy(s.buf.data(), pkt->payload.data(), pkt->payload.size());
+    }
     s.has_data = true;
     work = costs.dma_packet_cycles;
   } else {
@@ -381,6 +399,12 @@ TreeAggregator::Block& TreeAggregator::get_block(u32 block_id, SimTime now) {
     blk.first_arrival = now;
   }
   return blk;
+}
+
+void TreeAggregator::reset() {
+  FLARE_ASSERT_MSG(blocks_.empty(),
+                   "reset with open blocks: packets still in flight");
+  completed_.clear();
 }
 
 void TreeAggregator::process(std::shared_ptr<const Packet> pkt,

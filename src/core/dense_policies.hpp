@@ -95,6 +95,13 @@ class Aggregator {
   virtual void process(std::shared_ptr<const Packet> pkt,
                        HandlerDone done) = 0;
 
+  /// Clears per-iteration block state (open blocks + completed-block
+  /// dedup sets) so an installed engine can serve the next iteration of a
+  /// persistent collective with the same block ids.  Must only be called
+  /// between iterations: open blocks at reset time indicate in-flight
+  /// packets and are a protocol bug.  Cumulative stats are preserved.
+  virtual void reset() = 0;
+
   const EngineStats& stats() const { return stats_; }
   EngineStats& stats() { return stats_; }
 
@@ -109,6 +116,7 @@ class SingleBufferAggregator final : public Aggregator {
   SingleBufferAggregator(EngineHost& host, const AllreduceConfig& cfg,
                          BufferPool& pool);
   void process(std::shared_ptr<const Packet> pkt, HandlerDone done) override;
+  void reset() override;
 
  private:
   struct Block {
@@ -147,6 +155,7 @@ class MultiBufferAggregator final : public Aggregator {
   MultiBufferAggregator(EngineHost& host, const AllreduceConfig& cfg,
                         BufferPool& pool);
   void process(std::shared_ptr<const Packet> pkt, HandlerDone done) override;
+  void reset() override;
 
  private:
   struct Sub {
@@ -188,6 +197,7 @@ class TreeAggregator final : public Aggregator {
   TreeAggregator(EngineHost& host, const AllreduceConfig& cfg,
                  BufferPool& pool);
   void process(std::shared_ptr<const Packet> pkt, HandlerDone done) override;
+  void reset() override;
 
   /// Exposed for tests: the fixed combine tree over `p` leaves.  Node 0 is
   /// the root; leaves are identified by child index.

@@ -1,6 +1,8 @@
 #include "core/reduce_op.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstring>
 #include <limits>
 
 #include "common/assert.hpp"
@@ -133,6 +135,39 @@ bool ReduceOp::supports(DType t) const {
 void ReduceOp::apply(DType t, void* acc, const void* in,
                      std::size_t n) const {
   FLARE_ASSERT_MSG(supports(t), "operator does not support this dtype");
+  // Sparse wire formats pack (index, value) pairs without padding, so `in`
+  // (and in principle `acc`) may be misaligned for the dtype.  Bounce
+  // misaligned spans through an aligned scratch chunk; typed kernels below
+  // may then dereference directly.
+  const std::size_t esize = dtype_size(t);
+  const bool in_misaligned =
+      reinterpret_cast<std::uintptr_t>(in) % esize != 0;
+  const bool acc_misaligned =
+      reinterpret_cast<std::uintptr_t>(acc) % esize != 0;
+  if (in_misaligned || acc_misaligned) {
+    alignas(16) std::byte in_scratch[256];
+    alignas(16) std::byte acc_scratch[256];
+    const std::size_t chunk = sizeof(in_scratch) / esize;
+    auto* acc_bytes = static_cast<std::byte*>(acc);
+    const auto* in_bytes = static_cast<const std::byte*>(in);
+    for (std::size_t off = 0; off < n; off += chunk) {
+      const std::size_t m = std::min(chunk, n - off);
+      const void* in_chunk = in_bytes + off * esize;
+      void* acc_chunk = acc_bytes + off * esize;
+      if (in_misaligned) {
+        std::memcpy(in_scratch, in_chunk, m * esize);
+        in_chunk = in_scratch;
+      }
+      if (acc_misaligned) {
+        std::memcpy(acc_scratch, acc_chunk, m * esize);
+        apply(t, acc_scratch, in_chunk, m);
+        std::memcpy(acc_chunk, acc_scratch, m * esize);
+      } else {
+        apply(t, acc_chunk, in_chunk, m);
+      }
+    }
+    return;
+  }
   if (kind_ == OpKind::kCustom) {
     (*custom_kernel_)(t, acc, in, n);
     return;

@@ -79,6 +79,12 @@ SparseAggregator::Block& SparseAggregator::get_block(u32 block_id,
   return blk;
 }
 
+void SparseAggregator::reset() {
+  FLARE_ASSERT_MSG(blocks_.empty(),
+                   "reset with open blocks: packets still in flight");
+  completed_.clear();
+}
+
 void SparseAggregator::process(std::shared_ptr<const Packet> pkt,
                                HandlerDone done) {
   stats_.packets_in += 1;

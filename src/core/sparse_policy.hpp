@@ -43,6 +43,7 @@ class SparseAggregator final : public Aggregator {
   ~SparseAggregator() override;
 
   void process(std::shared_ptr<const Packet> pkt, HandlerDone done) override;
+  void reset() override;
 
   /// Total collisions observed across all hash stores (telemetry).
   u64 total_collisions() const { return total_collisions_; }

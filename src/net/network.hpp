@@ -44,8 +44,15 @@ class Network {
   u64 total_traffic_bytes() const;
   u64 total_packets() const;
 
+  /// Network-wide collective-id allocator: every control plane sharing this
+  /// fabric (NetworkManagers, Communicators, the service layer) draws from
+  /// one counter, so concurrent sessions can never install colliding
+  /// allreduce ids on a shared switch.
+  u32 alloc_collective_id() { return next_collective_id_++; }
+
  private:
   sim::Simulator sim_;
+  u32 next_collective_id_ = 1;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<std::vector<PortPeer>> adjacency_;

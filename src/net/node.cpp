@@ -9,10 +9,16 @@ namespace flare::net {
 void Host::receive(NetPacket&& pkt, u32 in_port) {
   (void)in_port;
   switch (pkt.kind) {
-    case PacketKind::kHostMsg:
+    case PacketKind::kHostMsg: {
       FLARE_ASSERT(pkt.msg != nullptr);
-      if (on_msg_) on_msg_(*pkt.msg);
+      const auto it = on_proto_.find(pkt.msg->proto);
+      if (it != on_proto_.end()) {
+        it->second(*pkt.msg);
+      } else if (on_msg_) {
+        on_msg_(*pkt.msg);
+      }
       break;
+    }
     case PacketKind::kReduceDown: {
       FLARE_ASSERT(pkt.reduce != nullptr);
       auto it = on_reduce_.find(pkt.reduce->hdr.allreduce_id);
@@ -72,6 +78,13 @@ void Switch::uninstall_reduce(u32 allreduce_id) {
   if (roles_.erase(allreduce_id) != 0) {
     occupancy_.set(roles_.size(), net_.sim().now());
   }
+}
+
+bool Switch::reset_reduce(u32 allreduce_id) {
+  auto it = roles_.find(allreduce_id);
+  if (it == roles_.end()) return false;
+  it->second.engine->reset();
+  return true;
 }
 
 const ReduceRole* Switch::role(u32 allreduce_id) const {

@@ -60,7 +60,15 @@ class Host final : public Node {
       : Node(net, id, std::move(name)), host_index_(host_index) {}
 
   u32 host_index() const { return host_index_; }
+  /// Catch-all handler for host messages no proto handler claims.
   void set_msg_handler(MsgHandler h) { on_msg_ = std::move(h); }
+  /// Registers a handler for one wire protocol id, so independent
+  /// host-based collectives (each with its own proto) can overlap on one
+  /// host without clobbering each other's dispatch.
+  void set_proto_handler(u32 proto, MsgHandler h) {
+    on_proto_[proto] = std::move(h);
+  }
+  void clear_proto_handler(u32 proto) { on_proto_.erase(proto); }
   /// Registers the consumer of down-multicast results for one allreduce id
   /// (a host can participate in several concurrent allreduces, Section 4).
   void set_reduce_handler(u32 allreduce_id, ReduceHandler h) {
@@ -78,6 +86,7 @@ class Host final : public Node {
  private:
   u32 host_index_;
   MsgHandler on_msg_;
+  std::unordered_map<u32, MsgHandler> on_proto_;
   std::unordered_map<u32, ReduceHandler> on_reduce_;
 };
 
@@ -112,6 +121,10 @@ class Switch final : public Node, public core::EngineHost {
   /// Installs a reduction role; returns false if slots are exhausted.
   bool install_reduce(const core::AllreduceConfig& cfg, ReduceRole&& role);
   void uninstall_reduce(u32 allreduce_id);
+  /// Clears the installed engine's per-iteration state WITHOUT releasing
+  /// the switch slot — persistent collectives re-run against the installed
+  /// tree (install-once / run-many).  Returns false if the id is unknown.
+  bool reset_reduce(u32 allreduce_id);
   const ReduceRole* role(u32 allreduce_id) const;
   const core::EngineStats* engine_stats(u32 allreduce_id) const;
 

@@ -14,22 +14,20 @@
 #include <string_view>
 #include <vector>
 
+#include "coll/options.hpp"
 #include "common/units.hpp"
-#include "core/dtype.hpp"
-#include "core/reduce_op.hpp"
 #include "net/network.hpp"
 
 namespace flare::service {
 
+/// What a tenant submits: a participant group plus the SAME unified
+/// descriptor the Communicator executes (no more service-private option
+/// fields).  desc.algorithm steers admission: in-network algorithms go
+/// through admission control; Algorithm::kHostRing skips straight to the
+/// host data plane.
 struct JobSpec {
   std::vector<net::Host*> participants;
-  u64 data_bytes = 1 * kMiB;  ///< Z per host
-  core::DType dtype = core::DType::kFloat32;
-  core::OpKind op = core::OpKind::kSum;
-  u64 packet_payload = 1024;  ///< in-network block size (bytes)
-  u32 window_blocks = 64;     ///< in-network per-host flow-control window
-  u64 mtu_bytes = 4096;       ///< fragmentation unit for the host fallback
-  u64 seed = 1;               ///< workload seed (gradient data)
+  coll::CollectiveOptions desc;
 };
 
 enum class JobState : u8 {

@@ -1,331 +1,14 @@
 #include "service/service.hpp"
 
 #include <algorithm>
-#include <cstring>
-
-#include "core/policy.hpp"
-#include "core/staggered.hpp"
-#include "workload/generators.hpp"
 
 namespace flare::service {
 
-namespace {
-
-/// Host-fallback wire protocol id: one per job so concurrent fallbacks over
-/// shared hosts never mix fragments.  Job ids are never recycled, so the
-/// full id goes into the proto — masking it would let two long-lived jobs
-/// 2^16 apart collide and cross their ring traffic.
-u32 fallback_proto(u32 job) { return 0x40000000u + job; }
-
-}  // namespace
-
-// ========================================================== in-network ====
-// Per-job driver of the Flare in-network dense allreduce, event-driven so
-// many jobs share one calendar (the standalone coll::run_flare_dense owns
-// the whole event loop and cannot).
-
-struct AllreduceService::InNetRun {
-  AllreduceService& svc;
-  u32 job;
-  core::AllreduceConfig cfg;
-  coll::ReductionTree tree;
-
-  core::ReduceOp op;
-  u64 elems_total = 0;
-  u32 elems_per_pkt = 0;
-  u32 nb = 0;      ///< number of blocks
-  u32 window = 0;  ///< per-host in-flight block cap
-  std::vector<core::TypedBuffer> host_data;
-  core::TypedBuffer expected;
-
-  struct HostRun {
-    net::Host* host = nullptr;
-    core::TypedBuffer result;
-    std::vector<u32> schedule;
-    std::size_t next = 0;
-    u32 outstanding = 0;
-    u64 blocks_done = 0;
-    std::vector<bool> block_done;
-  };
-  std::vector<HostRun> runs;
-  u32 hosts_done = 0;
-  bool finished = false;
-
-  InNetRun(AllreduceService& service, u32 job_id, core::AllreduceConfig c,
-           coll::ReductionTree t)
-      : svc(service), job(job_id), cfg(c), tree(std::move(t)),
-        op(specs().op) {}
-
-  const JobSpec& specs() const { return svc.specs_[job]; }
-
-  u32 block_elems(u32 b) const {
-    const u64 first = static_cast<u64>(b) * elems_per_pkt;
-    return static_cast<u32>(
-        std::min<u64>(elems_per_pkt, elems_total - first));
-  }
-
-  void start() {
-    const JobSpec& spec = specs();
-    const u32 P = static_cast<u32>(spec.participants.size());
-    const u32 esize = core::dtype_size(spec.dtype);
-    elems_total = std::max<u64>(1, spec.data_bytes / esize);
-    elems_per_pkt = cfg.elems_per_packet;
-    nb = static_cast<u32>((elems_total + elems_per_pkt - 1) / elems_per_pkt);
-    window = std::max(1u, spec.window_blocks);
-
-    host_data = workload::make_dense_data(P, elems_total, spec.dtype,
-                                          spec.seed);
-    expected = core::reference_reduce(host_data, op);
-
-    runs.resize(P);
-    for (u32 h = 0; h < P; ++h) {
-      HostRun& hr = runs[h];
-      hr.host = spec.participants[h];
-      hr.result = core::TypedBuffer(spec.dtype, elems_total);
-      hr.schedule = core::send_schedule(h, P, nb, core::SendOrder::kAligned);
-      hr.block_done.assign(nb, false);
-      hr.host->set_reduce_handler(
-          cfg.id, [this, h](const core::Packet& pkt) { on_down(h, pkt); });
-    }
-    for (u32 h = 0; h < P; ++h) try_send(h);
-  }
-
-  void try_send(u32 h) {
-    HostRun& hr = runs[h];
-    while (hr.outstanding < window && hr.next < hr.schedule.size()) {
-      const u32 b = hr.schedule[hr.next++];
-      const u64 first = static_cast<u64>(b) * elems_per_pkt;
-      core::Packet p = core::make_dense_packet(
-          cfg.id, b, tree.host_child_index[hr.host->host_index()],
-          host_data[h].at_byte(first), block_elems(b), cfg.dtype);
-      net::NetPacket np;
-      np.kind = net::PacketKind::kReduceUp;
-      np.allreduce_id = cfg.id;
-      np.wire_bytes = p.wire_bytes();
-      np.reduce = std::make_shared<const core::Packet>(std::move(p));
-      hr.outstanding += 1;
-      hr.host->send(std::move(np));
-    }
-  }
-
-  void on_down(u32 h, const core::Packet& pkt) {
-    HostRun& me = runs[h];
-    const u32 b = pkt.hdr.block_id;
-    FLARE_ASSERT(b < nb);
-    if (me.block_done[b]) return;  // duplicated multicast replica
-    me.block_done[b] = true;
-    const u64 first = static_cast<u64>(b) * elems_per_pkt;
-    FLARE_ASSERT(pkt.hdr.elem_count == block_elems(b));
-    std::memcpy(me.result.at_byte(first), pkt.payload.data(),
-                pkt.payload.size());
-    me.blocks_done += 1;
-    me.outstanding -= 1;
-    if (me.blocks_done == nb) hosts_done += 1;
-    try_send(h);
-    if (hosts_done == runs.size() && !finished) {
-      finished = true;
-      // Finalize off this packet's call stack: the handler being destroyed
-      // must not be the one currently executing.
-      svc.net_.sim().schedule_after(0, [this] { finalize(); });
-    }
-  }
-
-  void finalize() {
-    // By the time every host holds every block, all switch-side events of
-    // this reduction have run (host delivery is causally last on each
-    // path), so releasing the switch state here is race-free.
-    f64 err = 0.0;
-    for (HostRun& hr : runs) {
-      err = std::max(err, hr.result.max_abs_diff(expected));
-      hr.host->clear_reduce_handler(cfg.id);
-    }
-    const bool ok =
-        err <= core::reduce_tolerance(cfg.dtype,
-                                      static_cast<u32>(runs.size()));
-    svc.complete(job, ok, err == 0.0, err);
-    svc.manager_.uninstall(tree, cfg.id);  // fires the release listener
-    svc.innet_.erase(job);                 // destroys *this
-  }
-};
-
-// ======================================================= host fallback ====
-// Event-driven ring (Rabenseifner) allreduce over the same network — the
-// standalone coll::run_ring_allreduce, restructured so it can run alongside
-// other jobs and report completion through a callback.  Fragments of one
-// job never mix with another's: each job gets its own proto id and the
-// service's per-host dispatcher routes by proto.
-
-struct AllreduceService::RingRun {
-  AllreduceService& svc;
-  u32 job;
-  u32 proto;
-
-  core::ReduceOp op;
-  core::DType dtype = core::DType::kFloat32;
-  u32 esize = 4;
-  u64 elems_total = 0;
-  u64 mtu = 4096;
-  u32 P = 0;
-  core::TypedBuffer expected;
-
-  enum class Phase : u8 { kScatterReduce, kAllGather, kDone };
-
-  struct Partial {
-    u32 frags = 0;
-    std::shared_ptr<const core::TypedBuffer> data;
-  };
-  struct RHost {
-    net::Host* host = nullptr;
-    core::TypedBuffer vec;  ///< working vector (input, then result)
-    Phase phase = Phase::kScatterReduce;
-    u32 step = 0;
-    std::unordered_map<u32, Partial> inbox;
-  };
-  std::vector<RHost> runs;
-  u32 hosts_done = 0;
-  bool finished = false;
-
-  RingRun(AllreduceService& service, u32 job_id)
-      : svc(service), job(job_id), proto(fallback_proto(job_id)),
-        op(svc.specs_[job_id].op) {}
-
-  u64 chunk_begin(u32 c) const {
-    const u64 base = elems_total / P;
-    const u64 rem = elems_total % P;
-    return static_cast<u64>(c) * base + std::min<u64>(c, rem);
-  }
-  u64 chunk_elems(u32 c) const { return chunk_begin(c + 1) - chunk_begin(c); }
-
-  static u32 make_tag(Phase phase, u32 step) {
-    return (phase == Phase::kAllGather ? 0x10000u : 0u) | step;
-  }
-
-  void start() {
-    const JobSpec& spec = svc.specs_[job];
-    P = static_cast<u32>(spec.participants.size());
-    dtype = spec.dtype;
-    esize = core::dtype_size(dtype);
-    elems_total = std::max<u64>(1, spec.data_bytes / esize);
-    mtu = spec.mtu_bytes;
-
-    auto host_data =
-        workload::make_dense_data(P, elems_total, dtype, spec.seed);
-    expected = core::reference_reduce(host_data, op);
-
-    runs.resize(P);
-    for (u32 h = 0; h < P; ++h) {
-      runs[h].host = spec.participants[h];
-      runs[h].vec = std::move(host_data[h]);
-    }
-    if (P == 1) {
-      finished = true;
-      svc.net_.sim().schedule_after(0, [this] { finalize(); });
-      return;
-    }
-    // Kick off: every host sends its own chunk h for scatter-reduce step 0.
-    for (u32 h = 0; h < P; ++h)
-      send_chunk(h, h, Phase::kScatterReduce, 0);
-  }
-
-  void send_chunk(u32 h, u32 c, Phase phase, u32 step) {
-    RHost& hr = runs[h];
-    const u32 dst = (h + 1) % P;
-    const u64 elems = chunk_elems(c);
-    const u64 bytes = elems * esize;
-    const u32 frags =
-        std::max<u32>(1, static_cast<u32>((bytes + mtu - 1) / mtu));
-    auto snapshot = std::make_shared<core::TypedBuffer>(dtype, elems);
-    std::memcpy(snapshot->data(), hr.vec.at_byte(chunk_begin(c)), bytes);
-    for (u32 f = 0; f < frags; ++f) {
-      auto msg = std::make_shared<net::HostMsg>();
-      msg->src_host = h;
-      msg->dst_host = dst;  ///< job-local rank of the receiver
-      msg->proto = proto;
-      msg->tag = make_tag(phase, step);
-      msg->seq = f;
-      msg->seq_count = frags;
-      if (f + 1 == frags) msg->dense = snapshot;
-      net::NetPacket np;
-      np.kind = net::PacketKind::kHostMsg;
-      np.dst_node = runs[dst].host->id();
-      // One flow per (job, ring edge): FIFO along one ECMP path.
-      np.flow = (static_cast<u64>(proto) << 16) | h;
-      const u64 frag_bytes = std::min<u64>(mtu, bytes - f * mtu);
-      np.wire_bytes = frag_bytes + core::kPacketWireOverhead;
-      np.msg = std::move(msg);
-      hr.host->send(std::move(np));
-    }
-  }
-
-  void on_msg(const net::HostMsg& msg) {
-    if (finished) return;
-    const u32 h = msg.dst_host;
-    FLARE_ASSERT(h < P);
-    RHost& hr = runs[h];
-    Partial& partial = hr.inbox[msg.tag];
-    partial.frags += 1;
-    if (msg.dense) partial.data = msg.dense;
-    if (partial.frags == msg.seq_count) advance(h);
-  }
-
-  void advance(u32 h) {
-    RHost& hr = runs[h];
-    while (hr.phase != Phase::kDone) {
-      const u32 tag = make_tag(hr.phase, hr.step);
-      auto it = hr.inbox.find(tag);
-      if (it == hr.inbox.end() || it->second.frags == 0 ||
-          it->second.data == nullptr) {
-        return;  // expected message not fully here yet
-      }
-      const Partial& partial = it->second;
-      if (hr.phase == Phase::kScatterReduce) {
-        const u32 c = (h + P - hr.step - 1) % P;
-        FLARE_ASSERT(partial.data->size() == chunk_elems(c));
-        op.apply(dtype, hr.vec.at_byte(chunk_begin(c)),
-                 partial.data->data(), chunk_elems(c));
-        hr.inbox.erase(it);
-        hr.step += 1;
-        if (hr.step < P - 1) {
-          send_chunk(h, (h + P - hr.step) % P, Phase::kScatterReduce,
-                     hr.step);
-        } else {
-          hr.phase = Phase::kAllGather;
-          hr.step = 0;
-          send_chunk(h, (h + 1) % P, Phase::kAllGather, 0);
-        }
-      } else {
-        const u32 c = (h + P - hr.step) % P;
-        FLARE_ASSERT(partial.data->size() == chunk_elems(c));
-        std::memcpy(hr.vec.at_byte(chunk_begin(c)), partial.data->data(),
-                    chunk_elems(c) * esize);
-        hr.inbox.erase(it);
-        hr.step += 1;
-        if (hr.step < P - 1) {
-          send_chunk(h, c, Phase::kAllGather, hr.step);
-        } else {
-          hr.phase = Phase::kDone;
-          hosts_done += 1;
-          if (hosts_done == P && !finished) {
-            finished = true;
-            svc.net_.sim().schedule_after(0, [this] { finalize(); });
-          }
-        }
-      }
-    }
-  }
-
-  void finalize() {
-    f64 err = 0.0;
-    for (const RHost& hr : runs)
-      err = std::max(err, hr.vec.max_abs_diff(expected));
-    const bool ok = err <= core::reduce_tolerance(dtype, P);
-    svc.complete(job, ok, err == 0.0, err);
-    svc.ring_by_proto_.erase(proto);
-    svc.ring_.erase(job);  // destroys *this
-  }
-};
-
-// ============================================================ service =====
+// The service is pure orchestration: admission order, queueing, timeouts,
+// fallback decisions and telemetry.  The data planes (in-network dense
+// engines, host ring) live in coll::Communicator; each job runs as a
+// persistent request (in-network) or a nonblocking ring collective on the
+// shared calendar.
 
 AllreduceService::AllreduceService(net::Network& net, ServiceOptions opt)
     : net_(net), opt_(opt), manager_(net),
@@ -334,43 +17,39 @@ AllreduceService::AllreduceService(net::Network& net, ServiceOptions opt)
   manager_.set_release_listener([this](u32) {
     if (!queue_.empty()) schedule_drain();
   });
-  // The fallback data plane: one dispatcher per host, routing by proto.
-  for (net::Host* host : net_.hosts()) {
-    host->set_msg_handler(
-        [this](const net::HostMsg& msg) { on_host_msg(msg); });
-  }
 }
 
 AllreduceService::~AllreduceService() = default;
 
-core::AllreduceConfig AllreduceService::make_config(const JobSpec& spec,
-                                                    u32 id) const {
-  core::AllreduceConfig cfg;
-  cfg.id = id;
-  cfg.dtype = spec.dtype;
-  cfg.op = core::ReduceOp(spec.op);
-  const u32 esize = core::dtype_size(spec.dtype);
-  FLARE_ASSERT(spec.packet_payload >= esize);
-  cfg.elems_per_packet = static_cast<u32>(spec.packet_payload / esize);
-  const core::PolicyChoice choice =
-      core::select_policy(spec.data_bytes, /*reproducible=*/false);
-  cfg.policy = choice.policy;
-  cfg.num_buffers = choice.num_buffers;
-  return cfg;
+coll::CollectiveOptions AllreduceService::descriptor_for(
+    const JobSpec& spec) const {
+  coll::CollectiveOptions desc = spec.desc;
+  // The service calibrates the fabric-wide aggregation rate centrally.
+  desc.switch_service_bps = opt_.switch_service_bps;
+  return desc;
 }
 
 u32 AllreduceService::submit(JobSpec spec) {
   FLARE_ASSERT_MSG(!spec.participants.empty(),
                    "job needs at least one participant");
+  FLARE_ASSERT_MSG(spec.desc.sparse.pairs == nullptr,
+                   "the service schedules dense collectives");
   const u32 job = static_cast<u32>(records_.size());
   JobRecord rec;
   rec.job_id = job;
   rec.arrival_ps = net_.sim().now();
   rec.participants = static_cast<u32>(spec.participants.size());
-  rec.data_bytes = spec.data_bytes;
+  rec.data_bytes = spec.desc.data_bytes;
   records_.push_back(rec);
   specs_.push_back(std::move(spec));
   telemetry_.submitted += 1;
+
+  if (specs_[job].desc.algorithm == coll::Algorithm::kHostRing) {
+    // The tenant explicitly requested the host data plane: no admission,
+    // and not a fallback (runs even with fallback_to_host disabled).
+    start_host_ring(job, /*requested=*/true);
+    return job;
+  }
 
   bool feasible = false;
   if (try_admit(job, &feasible)) return job;
@@ -403,26 +82,34 @@ bool AllreduceService::try_admit(u32 job, bool* feasible) {
       roots.size() > opt_.max_root_candidates) {
     roots.resize(opt_.max_root_candidates);
   }
-  const core::AllreduceConfig cfg = make_config(spec, manager_.next_id());
-  u32 attempts = 0;
-  bool cache_hit = false;
-  auto tree = manager_.install_with_roots(spec.participants, cfg,
-                                          opt_.switch_service_bps, roots,
-                                          &cache_, &attempts, &cache_hit,
-                                          feasible);
-  rec.admission_attempts += attempts;
-  telemetry_.admission_attempts += attempts;
-  if (!tree) return false;
+  coll::CollectiveOptions desc = descriptor_for(spec);
+  // Explicitly in-network: the fallback decision is the SERVICE's (queue
+  // first, ring only on timeout/overflow), not the Communicator's.
+  desc.algorithm = coll::Algorithm::kFlareDense;
+
+  auto aj = std::make_unique<ActiveJob>(
+      net_, spec.participants,
+      coll::CommunicatorConfig{&manager_, &cache_, std::move(roots)});
+  aj->pc = aj->comm.persistent(desc);
+  const coll::InstallReport& report = aj->pc.install_report();
+  rec.admission_attempts += report.attempts;
+  telemetry_.admission_attempts += report.attempts;
+  if (feasible != nullptr) *feasible = report.any_feasible;
+  if (!aj->pc.ok()) return false;
 
   rec.state = JobState::kInNetwork;
   rec.in_network = true;
   rec.start_ps = net_.sim().now();
-  rec.tree_cache_hit = cache_hit;
-  rec.tree_root = tree->root;
-  rec.tree_switches = static_cast<u32>(tree->switches.size());
+  rec.tree_cache_hit = report.cache_hit;
+  rec.tree_root = aj->pc.tree().root;
+  rec.tree_switches = static_cast<u32>(aj->pc.tree().switches.size());
   telemetry_.in_network += 1;
   telemetry_.queue_delay_s.add(rec.queue_delay_seconds());
-  start_in_network(job, cfg, std::move(*tree));
+  aj->handle = aj->pc.start(
+      [this, job](const coll::CollectiveResult& res) {
+        on_job_done(job, res);
+      });
+  jobs_.emplace(job, std::move(aj));
   return true;
 }
 
@@ -461,50 +148,59 @@ void AllreduceService::drain_queue() {
   }
 }
 
-void AllreduceService::start_in_network(u32 job,
-                                        const core::AllreduceConfig& cfg,
-                                        coll::ReductionTree tree) {
-  auto run = std::make_unique<InNetRun>(*this, job, cfg, std::move(tree));
-  InNetRun* raw = run.get();
-  innet_.emplace(job, std::move(run));
-  raw->start();
-}
-
 void AllreduceService::start_fallback_or_reject(u32 job) {
-  JobRecord& rec = records_[job];
-  if (!opt_.fallback_to_host) {
+  const JobSpec& spec = specs_[job];
+  const bool can_ring =
+      opt_.fallback_to_host &&
+      spec.desc.kind == coll::CollectiveKind::kAllreduce;
+  if (!can_ring) {
+    JobRecord& rec = records_[job];
     rec.state = JobState::kRejected;
     rec.start_ps = rec.finish_ps = net_.sim().now();
     telemetry_.rejected += 1;
     return;
   }
+  start_host_ring(job, /*requested=*/false);
+}
+
+void AllreduceService::start_host_ring(u32 job, bool requested) {
+  const JobSpec& spec = specs_[job];
+  FLARE_ASSERT_MSG(spec.desc.kind == coll::CollectiveKind::kAllreduce,
+                   "the host ring serves allreduce only");
+  JobRecord& rec = records_[job];
   rec.state = JobState::kFallback;
   rec.in_network = false;
   rec.start_ps = net_.sim().now();
-  telemetry_.fallback += 1;
+  (requested ? telemetry_.host_requested : telemetry_.fallback) += 1;
   telemetry_.queue_delay_s.add(rec.queue_delay_seconds());
-  auto run = std::make_unique<RingRun>(*this, job);
-  RingRun* raw = run.get();
-  ring_.emplace(job, std::move(run));
-  ring_by_proto_[raw->proto] = raw;
-  raw->start();
+
+  coll::CollectiveOptions desc = descriptor_for(spec);
+  desc.algorithm = coll::Algorithm::kHostRing;
+  auto aj = std::make_unique<ActiveJob>(net_, spec.participants,
+                                        coll::CommunicatorConfig{});
+  ActiveJob* raw = aj.get();
+  jobs_.emplace(job, std::move(aj));
+  raw->handle = raw->comm.start(
+      desc, [this, job](const coll::CollectiveResult& res) {
+        on_job_done(job, res);
+      });
 }
 
-void AllreduceService::on_host_msg(const net::HostMsg& msg) {
-  const auto it = ring_by_proto_.find(msg.proto);
-  if (it != ring_by_proto_.end()) it->second->on_msg(msg);
-}
-
-void AllreduceService::complete(u32 job, bool ok, bool exact, f64 err) {
+void AllreduceService::on_job_done(u32 job,
+                                   const coll::CollectiveResult& res) {
   JobRecord& rec = records_[job];
   rec.state = JobState::kDone;
-  rec.ok = ok;
-  rec.exact = exact;
-  rec.max_abs_err = err;
+  rec.ok = res.ok;
+  rec.exact = res.max_abs_err == 0.0;
+  rec.max_abs_err = res.max_abs_err;
   rec.finish_ps = net_.sim().now();
   (rec.in_network ? telemetry_.in_network_service_s
                   : telemetry_.fallback_service_s)
       .add(rec.service_seconds());
+  // Destroy the ActiveJob (and release its switch state) off this
+  // callback's stack: the job's own op is still executing it.  The release
+  // listener then re-triggers admission for queued jobs.
+  net_.sim().schedule_after(0, [this, job] { jobs_.erase(job); });
 }
 
 }  // namespace flare::service

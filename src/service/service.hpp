@@ -1,25 +1,27 @@
 // Multi-tenant allreduce control plane (the "network manager" process the
 // paper's evaluation assumes, Sections 4 and 7, grown into a subsystem).
 //
-// The AllreduceService drives many concurrent allreduce jobs through one
-// shared network simulation:
+// The AllreduceService ORCHESTRATES coll::Communicator sessions: it owns
+// the scheduling policy (admission order, queueing, timeouts, fallback
+// decisions, telemetry) while each admitted job executes through a
+// persistent Communicator request on the shared calendar:
 //
-//   * admission through coll::NetworkManager, trying candidate tree roots
-//     in the order chosen by a RootPolicy (fixed / round-robin /
+//   * admission through the shared coll::NetworkManager, trying candidate
+//     tree roots in the order chosen by a RootPolicy (fixed / round-robin /
 //     least-loaded contention heuristic);
 //   * a bounded FIFO wait queue: jobs that no switch can admit wait for a
 //     release, with a per-job timeout;
-//   * host fallback: on queue overflow or timeout the job runs a host-based
-//     ring allreduce over the same network — the paper's admission policy
-//     ("fall back to host-based allreduce on rejection");
+//   * host fallback: on queue overflow or timeout the job runs the
+//     Communicator's host-ring data plane over the same network — the
+//     paper's admission policy ("fall back to host-based allreduce on
+//     rejection");
 //   * reduction-tree reuse through coll::TreeCache;
 //   * switch state released on completion, which re-triggers admission for
 //     queued jobs;
 //   * per-job records and aggregate telemetry through common/stats.
 //
-// The service owns the msg handlers of every host in the network (for the
-// fallback data plane) for its lifetime; drive it by scheduling
-// submissions (submit_at) and running the network's event calendar.
+// Drive it by scheduling submissions (submit_at) and running the network's
+// event calendar.
 #pragma once
 
 #include <deque>
@@ -27,7 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "coll/manager.hpp"
+#include "coll/communicator.hpp"
 #include "coll/tree_cache.hpp"
 #include "service/job.hpp"
 #include "service/root_policy.hpp"
@@ -72,27 +74,36 @@ class AllreduceService {
   const coll::TreeCache& tree_cache() const { return cache_; }
   coll::NetworkManager& manager() { return manager_; }
 
-  u32 active_jobs() const {
-    return static_cast<u32>(innet_.size() + ring_.size());
-  }
+  u32 active_jobs() const { return static_cast<u32>(jobs_.size()); }
   u32 queued_jobs() const { return static_cast<u32>(queue_.size()); }
 
  private:
-  struct InNetRun;
-  struct RingRun;
+  /// One executing job: a Communicator session bound to the job's
+  /// participants, plus the persistent request holding its installed tree
+  /// (in-network jobs).  `pc` MUST be declared after `comm`: its release
+  /// path uses the communicator, so it has to be destroyed first.
+  struct ActiveJob {
+    coll::Communicator comm;
+    coll::PersistentCollective pc;
+    coll::CollectiveHandle handle;
 
-  core::AllreduceConfig make_config(const JobSpec& spec, u32 id) const;
+    ActiveJob(net::Network& net, std::vector<net::Host*> participants,
+              coll::CommunicatorConfig cfg)
+        : comm(net, std::move(participants), std::move(cfg)) {}
+  };
+
+  coll::CollectiveOptions descriptor_for(const JobSpec& spec) const;
   /// One admission round.  `feasible` (optional) reports whether the job
   /// could EVER run in-network (see NetworkManager::install_with_roots).
   bool try_admit(u32 job, bool* feasible = nullptr);
   void enqueue(u32 job);
   void schedule_drain();
   void drain_queue();
-  void start_in_network(u32 job, const core::AllreduceConfig& cfg,
-                        coll::ReductionTree tree);
   void start_fallback_or_reject(u32 job);
-  void on_host_msg(const net::HostMsg& msg);
-  void complete(u32 job, bool ok, bool exact, f64 err);
+  /// Runs the job on the host-ring data plane.  `requested` marks jobs
+  /// that explicitly asked for the ring (vs admission fallbacks).
+  void start_host_ring(u32 job, bool requested);
+  void on_job_done(u32 job, const coll::CollectiveResult& res);
 
   net::Network& net_;
   ServiceOptions opt_;
@@ -102,9 +113,7 @@ class AllreduceService {
   std::vector<JobRecord> records_;
   std::vector<JobSpec> specs_;
   std::deque<u32> queue_;  ///< job ids waiting for admission (FIFO)
-  std::unordered_map<u32, std::unique_ptr<InNetRun>> innet_;
-  std::unordered_map<u32, std::unique_ptr<RingRun>> ring_;
-  std::unordered_map<u32, RingRun*> ring_by_proto_;
+  std::unordered_map<u32, std::unique_ptr<ActiveJob>> jobs_;
   u64 rr_cursor_ = 0;  ///< admission-round counter (round-robin policy)
   bool drain_scheduled_ = false;
 };

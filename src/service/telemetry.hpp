@@ -14,7 +14,8 @@ namespace flare::service {
 struct ServiceTelemetry {
   u64 submitted = 0;
   u64 in_network = 0;       ///< jobs admitted to switch-based reduction
-  u64 fallback = 0;         ///< jobs served by the host-based ring
+  u64 fallback = 0;         ///< jobs that FELL BACK to the host-based ring
+  u64 host_requested = 0;   ///< jobs that explicitly asked for the ring
   u64 rejected = 0;         ///< jobs dropped (fallback disabled)
   u64 timed_out = 0;        ///< jobs that left the wait queue via timeout
   u64 queue_overflows = 0;  ///< arrivals bounced off a full queue
@@ -27,8 +28,9 @@ struct ServiceTelemetry {
   RunningStats in_network_service_s; ///< start -> finish, in-network jobs
   RunningStats fallback_service_s;   ///< start -> finish, fallback jobs
 
-  u64 completed() const { return in_network + fallback; }
-  /// Fraction of served jobs that had to fall back to host-based allreduce.
+  u64 completed() const { return in_network + fallback + host_requested; }
+  /// Fraction of served jobs that had to fall back to host-based allreduce
+  /// (explicitly host-requested jobs are not fallbacks).
   f64 fallback_ratio() const {
     const u64 served = completed();
     return served == 0 ? 0.0 : static_cast<f64>(fallback) / served;

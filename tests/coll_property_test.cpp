@@ -1,23 +1,28 @@
-// Collective-level property sweeps: the traffic and scaling laws each
-// scheme must obey on any topology/host-count —
+// Collective-level property sweeps through the Communicator descriptor
+// API: the traffic and scaling laws each scheme must obey on any
+// topology/host-count —
 //
 //   * ring allreduce: per-host bytes = 2 (P-1)/P Z (Rabenseifner bound);
 //   * Flare dense: host->switch traffic = Z per host (the paper's 2x
 //     claim), monotone in Z, result independent of topology;
 //   * SparCML: exactly log2(P) rounds, traffic grows with the union;
 //   * barrier: completion scales with tree depth, not host count;
-//   * concurrent tenants: traffic additivity.
+//   * concurrent nonblocking handles: traffic additivity.
 #include <gtest/gtest.h>
 
-#include "coll/flare_dense.hpp"
+#include "coll/communicator.hpp"
 #include "coll/flare_sparse.hpp"
-#include "coll/other_collectives.hpp"
-#include "coll/ring.hpp"
-#include "coll/sparcml.hpp"
 #include "workload/generators.hpp"
 
 namespace flare::coll {
 namespace {
+
+CollectiveResult run_collective(net::Network& net,
+                                const std::vector<net::Host*>& hosts,
+                                const CollectiveOptions& desc) {
+  Communicator comm(net, hosts);
+  return comm.run(desc);
+}
 
 // ----------------------------------------------------- ring traffic law ---
 
@@ -28,9 +33,10 @@ TEST_P(RingTrafficLaw, MatchesRabenseifnerBound) {
   const u64 Z = 64_KiB;
   net::Network net;
   auto topo = net::build_single_switch(net, P);
-  RingOptions opt;
-  opt.data_bytes = Z;
-  const auto res = run_ring_allreduce(net, topo.hosts, opt);
+  CollectiveOptions desc;
+  desc.algorithm = Algorithm::kHostRing;
+  desc.data_bytes = Z;
+  const auto res = run_collective(net, topo.hosts, desc);
   ASSERT_TRUE(res.ok);
   // Payload bytes per host: 2 * (P-1)/P * Z; every byte crosses 2 links on
   // a single switch; allow up to 8% for headers and chunk rounding.
@@ -54,9 +60,10 @@ TEST_P(FlareDenseTrafficLaw, HostUplinkCarriesExactlyZ) {
   const u64 Z = 32_KiB;
   net::Network net;
   auto topo = net::build_single_switch(net, P);
-  FlareDenseOptions opt;
-  opt.data_bytes = Z;
-  const auto res = run_flare_dense(net, topo.hosts, opt);
+  CollectiveOptions desc;
+  desc.algorithm = Algorithm::kFlareDense;
+  desc.data_bytes = Z;
+  const auto res = run_collective(net, topo.hosts, desc);
   ASSERT_TRUE(res.ok);
   // Single switch: up = P*Z, down multicast = P*Z, plus per-packet headers.
   const f64 ideal = 2.0 * static_cast<f64>(P) * static_cast<f64>(Z);
@@ -73,9 +80,10 @@ TEST(FlareDenseScaling, CompletionMonotoneInSize) {
   for (const u64 z : {16_KiB, 64_KiB, 256_KiB}) {
     net::Network net;
     auto topo = net::build_single_switch(net, 8);
-    FlareDenseOptions opt;
-    opt.data_bytes = z;
-    const auto res = run_flare_dense(net, topo.hosts, opt);
+    CollectiveOptions desc;
+    desc.algorithm = Algorithm::kFlareDense;
+    desc.data_bytes = z;
+    const auto res = run_collective(net, topo.hosts, desc);
     ASSERT_TRUE(res.ok) << z;
     EXPECT_GT(res.completion_seconds, prev) << z;
     prev = res.completion_seconds;
@@ -86,21 +94,22 @@ TEST(FlareDenseScaling, ResultIndependentOfTopology) {
   // The same participants and data must produce the same numbers whether
   // they sit on one switch or across a fat tree (reproducible mode makes
   // the comparison bitwise-meaningful through max_abs_err equality).
-  FlareDenseOptions opt;
-  opt.data_bytes = 32_KiB;
-  opt.reproducible = true;
-  opt.seed = 1234;
+  CollectiveOptions desc;
+  desc.algorithm = Algorithm::kFlareDense;
+  desc.data_bytes = 32_KiB;
+  desc.reproducible = true;
+  desc.seed = 1234;
 
   net::Network a;
   auto ta = net::build_single_switch(a, 16);
-  const auto ra = run_flare_dense(a, ta.hosts, opt);
+  const auto ra = run_collective(a, ta.hosts, desc);
 
   net::Network b;
   net::FatTreeSpec spec;
   spec.hosts = 16;
   spec.radix = 4;
   auto tb = net::build_fat_tree(b, spec);
-  const auto rb = run_flare_dense(b, tb.hosts, opt);
+  const auto rb = run_collective(b, tb.hosts, desc);
 
   ASSERT_TRUE(ra.ok && rb.ok);
   // Tree association differs between a flat 16-child tree and a two-level
@@ -118,13 +127,15 @@ TEST_P(SparcmlRounds, ExactlyLogPRounds) {
   const u32 P = GetParam();
   net::Network net;
   auto topo = net::build_single_switch(net, P);
-  SparcmlOptions opt;
-  opt.total_elems = 2048;
   workload::SparseSpec spec{2048, 0.05, 0.3, core::DType::kFloat32, 55};
-  auto provider = [&spec](u32 h) {
+  CollectiveOptions desc;
+  desc.algorithm = Algorithm::kSparcml;
+  desc.sparse.block_span = 2048;
+  desc.sparse.num_blocks = 1;
+  desc.sparse.pairs = [&spec](u32 h, u32) {
     return workload::sparse_block_pairs(spec, h, 0);
   };
-  const auto res = run_sparcml_allreduce(net, topo.hosts, provider, opt);
+  const auto res = run_collective(net, topo.hosts, desc);
   ASSERT_TRUE(res.ok);
   u32 logp = 0;
   while ((1u << logp) < P) ++logp;
@@ -138,14 +149,16 @@ TEST(SparcmlProperty, TrafficGrowsWithLowerOverlap) {
   auto run_with_overlap = [](f64 overlap) {
     net::Network net;
     auto topo = net::build_single_switch(net, 16);
-    SparcmlOptions opt;
-    opt.total_elems = 8192;
     workload::SparseSpec spec{8192, 0.03, overlap, core::DType::kFloat32,
                               66};
-    auto provider = [&spec](u32 h) {
+    CollectiveOptions desc;
+    desc.algorithm = Algorithm::kSparcml;
+    desc.sparse.block_span = 8192;
+    desc.sparse.num_blocks = 1;
+    desc.sparse.pairs = [spec](u32 h, u32) {
       return workload::sparse_block_pairs(spec, h, 0);
     };
-    const auto res = run_sparcml_allreduce(net, topo.hosts, provider, opt);
+    const auto res = run_collective(net, topo.hosts, desc);
     EXPECT_TRUE(res.ok);
     return res.total_traffic_bytes;
   };
@@ -159,14 +172,17 @@ TEST(BarrierProperty, LatencyScalesWithDepthNotHosts) {
   // Barrier over 8 hosts on one switch vs 64 hosts on a deeper fat tree:
   // the fat-tree barrier pays more hops but stays in the microsecond range
   // (empty packets; no serialization of bulk data).
+  CollectiveOptions desc;
+  desc.kind = CollectiveKind::kBarrier;
+
   net::Network a;
   auto ta = net::build_single_switch(a, 8);
-  const auto ra = run_flare_barrier(a, ta.hosts);
+  const auto ra = run_collective(a, ta.hosts, desc);
   ASSERT_TRUE(ra.ok);
 
   net::Network b;
   auto tb = net::build_fat_tree(b, net::FatTreeSpec{});
-  const auto rb = run_flare_barrier(b, tb.hosts);
+  const auto rb = run_collective(b, tb.hosts, desc);
   ASSERT_TRUE(rb.ok);
 
   EXPECT_GT(rb.completion_seconds, ra.completion_seconds);  // more hops
@@ -189,7 +205,9 @@ TEST_P(SparseDensitySweep, TrafficTracksDensity) {
   w.pairs = [spec](u32 h, u32 b) {
     return workload::sparse_block_pairs(spec, h, b);
   };
-  const auto res = run_flare_sparse(net, topo.hosts, w, {});
+  // host_pairs_sent is scheme-specific: drive the shared oneshot.
+  const auto res =
+      detail::flare_sparse_oneshot(net, topo.hosts, w, {});
   ASSERT_TRUE(res.ok) << res.max_abs_err;
   // Host pairs scale ~ density * span * blocks per host.
   const f64 expected_pairs = density * span * 8;
@@ -204,16 +222,18 @@ INSTANTIATE_TEST_SUITE_P(Densities, SparseDensitySweep,
 // ----------------------------------------------------- tenant additivity --
 
 TEST(MultiTenantProperty, TrafficIsAdditive) {
-  // Two concurrent tenants move (approximately) the sum of what each moves
-  // alone — the fabric does not duplicate or lose traffic under sharing.
+  // Two concurrent nonblocking handles move (approximately) the sum of
+  // what each moves alone — the fabric does not duplicate or lose traffic
+  // under sharing.
   const u64 Z = 32_KiB;
   auto solo_traffic = [&](u64 seed) {
     net::Network net;
     auto topo = net::build_single_switch(net, 8);
-    FlareDenseOptions opt;
-    opt.data_bytes = Z;
-    opt.seed = seed;
-    const auto res = run_flare_dense(net, topo.hosts, opt);
+    CollectiveOptions desc;
+    desc.algorithm = Algorithm::kFlareDense;
+    desc.data_bytes = Z;
+    desc.seed = seed;
+    const auto res = run_collective(net, topo.hosts, desc);
     EXPECT_TRUE(res.ok);
     return res.total_traffic_bytes;
   };
@@ -221,15 +241,17 @@ TEST(MultiTenantProperty, TrafficIsAdditive) {
 
   net::Network net;
   auto topo = net::build_single_switch(net, 8);
-  std::vector<DenseTenant> tenants(2);
-  tenants[0].participants = topo.hosts;
-  tenants[0].opt.data_bytes = Z;
-  tenants[0].opt.seed = 1;
-  tenants[1].participants = topo.hosts;
-  tenants[1].opt.data_bytes = Z;
-  tenants[1].opt.seed = 2;
-  const auto both = run_flare_dense_concurrent(net, std::move(tenants));
-  ASSERT_TRUE(both[0].ok && both[1].ok);
+  CollectiveOptions desc;
+  desc.algorithm = Algorithm::kFlareDense;
+  desc.data_bytes = Z;
+  Communicator c1(net, topo.hosts), c2(net, topo.hosts);
+  desc.seed = 1;
+  auto h1 = c1.start(desc);
+  desc.seed = 2;
+  auto h2 = c2.start(desc);
+  net.sim().run();
+  ASSERT_TRUE(h1.done() && h2.done());
+  ASSERT_TRUE(h1.result().ok && h2.result().ok);
   // Per-tenant deltas overlap in time, so compare the NETWORK-wide total:
   // sharing must neither duplicate nor drop traffic.
   const u64 together = net.total_traffic_bytes();

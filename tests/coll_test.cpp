@@ -1,23 +1,48 @@
 // Collectives over the network simulator: reduction-tree computation and
 // admission control, Flare dense/sparse end-to-end on single-switch and
 // fat-tree topologies, ring allreduce, SparCML recursive doubling — all
-// functionally verified, plus the traffic relationships the paper claims
-// (in-network dense moves ~half the bytes of the host ring; Flare sparse
-// moves far less than SparCML).
+// driven through the coll::Communicator descriptor API and functionally
+// verified, plus the traffic relationships the paper claims (in-network
+// dense moves ~half the bytes of the host ring; Flare sparse moves far
+// less than SparCML).
 #include <gtest/gtest.h>
 
 #include <set>
 
-#include "coll/flare_dense.hpp"
+#include "coll/communicator.hpp"
 #include "coll/flare_sparse.hpp"
 #include "coll/manager.hpp"
-#include "coll/ring.hpp"
-#include "coll/tree_cache.hpp"
 #include "coll/sparcml.hpp"
+#include "coll/tree_cache.hpp"
 #include "workload/generators.hpp"
 
 namespace flare::coll {
 namespace {
+
+CollectiveResult run_collective(net::Network& net,
+                                const std::vector<net::Host*>& hosts,
+                                const CollectiveOptions& desc) {
+  Communicator comm(net, hosts);
+  return comm.run(desc);
+}
+
+CollectiveOptions dense_desc(u64 data_bytes,
+                             core::DType dtype = core::DType::kFloat32) {
+  CollectiveOptions desc;
+  desc.algorithm = Algorithm::kFlareDense;
+  desc.data_bytes = data_bytes;
+  desc.dtype = dtype;
+  return desc;
+}
+
+CollectiveOptions ring_desc(u64 data_bytes,
+                            core::DType dtype = core::DType::kFloat32) {
+  CollectiveOptions desc;
+  desc.algorithm = Algorithm::kHostRing;
+  desc.data_bytes = data_bytes;
+  desc.dtype = dtype;
+  return desc;
+}
 
 // ------------------------------------------------------------ manager -----
 
@@ -70,6 +95,8 @@ TEST(Manager, SubsetParticipantsPruneTree) {
   }(), 1e12);
   ASSERT_TRUE(tree.has_value());
   EXPECT_LE(tree->switches.size(), 2u);
+  EXPECT_GE(tree.attempts, 1u);  // the InstallReport counts the rounds
+  EXPECT_TRUE(tree.any_feasible);
 }
 
 TEST(Manager, AdmissionFailureRollsBack) {
@@ -86,6 +113,7 @@ TEST(Manager, AdmissionFailureRollsBack) {
   cfg.id = mgr.next_id();
   auto second = mgr.install_with_retry(topo.hosts, cfg, 1e12);
   EXPECT_FALSE(second.has_value());  // the paper's fallback-to-host case
+  EXPECT_TRUE(second.any_feasible);  // rejected NOW, not inadmissible
   mgr.uninstall(*first, 1);
   cfg.id = mgr.next_id();
   EXPECT_TRUE(mgr.install_with_retry(topo.hosts, cfg, 1e12).has_value());
@@ -182,6 +210,17 @@ TEST(Manager, ReleaseListenerFiresOnUninstall) {
   EXPECT_EQ(released[0], cfg.id);
 }
 
+TEST(Manager, IdsUniqueAcrossManagersOnOneNetwork) {
+  // Concurrent sessions each own a manager; ids come from the network so
+  // two sessions can never install colliding reductions on a shared
+  // switch.
+  net::Network net;
+  net::build_single_switch(net, 2);
+  NetworkManager a(net), b(net);
+  std::set<u32> ids = {a.next_id(), b.next_id(), a.next_id(), b.next_id()};
+  EXPECT_EQ(ids.size(), 4u);
+}
+
 // ---------------------------------------------------------- tree cache ----
 
 TEST(TreeCache, HitMissAndLruEviction) {
@@ -250,10 +289,9 @@ TEST_P(FlareDenseTopoSweep, EndToEndCorrect) {
   } else {
     hosts = net::build_single_switch(net, 8).hosts;
   }
-  FlareDenseOptions opt;
-  opt.data_bytes = 64_KiB;
-  const CollectiveResult res = run_flare_dense(net, hosts, opt);
+  const CollectiveResult res = run_collective(net, hosts, dense_desc(64_KiB));
   EXPECT_TRUE(res.ok) << "err=" << res.max_abs_err;
+  EXPECT_TRUE(res.in_network);
   EXPECT_GT(res.completion_seconds, 0.0);
   EXPECT_GT(res.total_traffic_bytes, 0u);
 }
@@ -269,10 +307,8 @@ TEST_P(FlareDenseDtypeSweep, AllTypesOnFatTree) {
   spec.hosts = 8;
   spec.radix = 4;
   auto topo = net::build_fat_tree(net, spec);
-  FlareDenseOptions opt;
-  opt.data_bytes = 16_KiB;
-  opt.dtype = GetParam();
-  const CollectiveResult res = run_flare_dense(net, topo.hosts, opt);
+  const CollectiveResult res =
+      run_collective(net, topo.hosts, dense_desc(16_KiB, GetParam()));
   EXPECT_TRUE(res.ok) << "err=" << res.max_abs_err;
 }
 
@@ -285,10 +321,9 @@ INSTANTIATE_TEST_SUITE_P(Dtypes, FlareDenseDtypeSweep,
 TEST(FlareDense, ReproducibleModeUsesTreeAndChecksOut) {
   net::Network net;
   auto topo = net::build_single_switch(net, 6);
-  FlareDenseOptions opt;
-  opt.data_bytes = 32_KiB;
-  opt.reproducible = true;
-  const CollectiveResult res = run_flare_dense(net, topo.hosts, opt);
+  CollectiveOptions desc = dense_desc(32_KiB);
+  desc.reproducible = true;
+  const CollectiveResult res = run_collective(net, topo.hosts, desc);
   EXPECT_TRUE(res.ok);
 }
 
@@ -298,20 +333,33 @@ TEST(FlareDense, WindowOneStillCompletes) {
   // the whole message in flight by design.)
   net::Network net;
   auto topo = net::build_single_switch(net, 4);
-  FlareDenseOptions opt;
-  opt.data_bytes = 8_KiB;
-  opt.window_blocks = 1;
-  opt.order = core::SendOrder::kAligned;
-  const CollectiveResult res = run_flare_dense(net, topo.hosts, opt);
+  CollectiveOptions desc = dense_desc(8_KiB);
+  desc.window_blocks = 1;
+  desc.order = core::SendOrder::kAligned;
+  const CollectiveResult res = run_collective(net, topo.hosts, desc);
   EXPECT_TRUE(res.ok);
 }
 
 TEST(FlareDense, AdmissionRejectionReportsFailure) {
   net::Network net;
   auto topo = net::build_single_switch(net, 4, net::LinkSpec{}, 0);
-  FlareDenseOptions opt;
-  const CollectiveResult res = run_flare_dense(net, topo.hosts, opt);
+  // Explicitly in-network: no auto fallback, the rejection must surface.
+  const CollectiveResult res =
+      run_collective(net, topo.hosts, dense_desc(1 * kMiB));
   EXPECT_FALSE(res.ok);
+}
+
+TEST(FlareDense, AutoFallsBackToRingOnRejection) {
+  // The paper's admission policy through the descriptor API: kAuto
+  // allreduce rejected by admission runs host-based instead.
+  net::Network net;
+  auto topo = net::build_single_switch(net, 4, net::LinkSpec{}, 0);
+  CollectiveOptions desc = dense_desc(32_KiB, core::DType::kInt32);
+  desc.algorithm = Algorithm::kAuto;
+  const CollectiveResult res = run_collective(net, topo.hosts, desc);
+  EXPECT_TRUE(res.ok);
+  EXPECT_FALSE(res.in_network);
+  EXPECT_EQ(res.max_abs_err, 0.0);
 }
 
 // ------------------------------------------------------------- ring -------
@@ -322,10 +370,10 @@ TEST_P(RingSweep, CorrectForAnyHostCount) {
   const u32 P = GetParam();
   net::Network net;
   auto topo = net::build_single_switch(net, P);
-  RingOptions opt;
-  opt.data_bytes = 64_KiB;
-  const CollectiveResult res = run_ring_allreduce(net, topo.hosts, opt);
+  const CollectiveResult res = run_collective(net, topo.hosts,
+                                              ring_desc(64_KiB));
   EXPECT_TRUE(res.ok) << "err=" << res.max_abs_err;
+  EXPECT_FALSE(res.in_network);
 }
 
 INSTANTIATE_TEST_SUITE_P(HostCounts, RingSweep,
@@ -338,9 +386,7 @@ TEST(Ring, TrafficMatchesTwoZFormula) {
   const u64 Z = 256_KiB;
   net::Network net;
   auto topo = net::build_single_switch(net, P);
-  RingOptions opt;
-  opt.data_bytes = Z;
-  const CollectiveResult res = run_ring_allreduce(net, topo.hosts, opt);
+  const CollectiveResult res = run_collective(net, topo.hosts, ring_desc(Z));
   ASSERT_TRUE(res.ok);
   const f64 expected_payload =
       2.0 * static_cast<f64>(P) * static_cast<f64>(Z) *
@@ -355,29 +401,27 @@ TEST(Ring, FatTreeCorrect) {
   spec.hosts = 16;
   spec.radix = 4;
   auto topo = net::build_fat_tree(net, spec);
-  RingOptions opt;
-  opt.data_bytes = 32_KiB;
-  const CollectiveResult res = run_ring_allreduce(net, topo.hosts, opt);
+  const CollectiveResult res = run_collective(net, topo.hosts,
+                                              ring_desc(32_KiB));
   EXPECT_TRUE(res.ok) << res.max_abs_err;
 }
 
 TEST(InNetworkVsRing, FlareHalvesHostTraffic) {
   // The paper's headline: in-network dense ~2x traffic reduction vs the
-  // host-based ring (Figure 15 and Section 1).
+  // host-based ring (Figure 15 and Section 1).  Same descriptor, two
+  // algorithms — the unified API the flexibility claim asks for.
   const u32 P = 16;
   const u64 Z = 128_KiB;
   net::Network netA;
   auto topoA = net::build_single_switch(netA, P);
-  FlareDenseOptions fopt;
-  fopt.data_bytes = Z;
-  const CollectiveResult flare = run_flare_dense(netA, topoA.hosts, fopt);
+  const CollectiveResult flare =
+      run_collective(netA, topoA.hosts, dense_desc(Z));
   ASSERT_TRUE(flare.ok);
 
   net::Network netB;
   auto topoB = net::build_single_switch(netB, P);
-  RingOptions ropt;
-  ropt.data_bytes = Z;
-  const CollectiveResult ring = run_ring_allreduce(netB, topoB.hosts, ropt);
+  const CollectiveResult ring = run_collective(netB, topoB.hosts,
+                                               ring_desc(Z));
   ASSERT_TRUE(ring.ok);
 
   const f64 ratio = static_cast<f64>(ring.total_traffic_bytes) /
@@ -388,21 +432,30 @@ TEST(InNetworkVsRing, FlareHalvesHostTraffic) {
 
 // ---------------------------------------------------------- sparcml -------
 
+CollectiveOptions sparcml_desc(u32 span, u32 blocks,
+                               const workload::SparseSpec& spec) {
+  CollectiveOptions desc;
+  desc.algorithm = Algorithm::kSparcml;
+  desc.dtype = spec.dtype;
+  desc.sparse.block_span = span;
+  desc.sparse.num_blocks = blocks;
+  desc.sparse.pairs = [spec](u32 h, u32 b) {
+    return workload::sparse_block_pairs(spec, h, b);
+  };
+  return desc;
+}
+
 class SparcmlSweep : public ::testing::TestWithParam<u32> {};
 
 TEST_P(SparcmlSweep, CorrectForPowerOfTwoHosts) {
   const u32 P = GetParam();
   net::Network net;
   auto topo = net::build_single_switch(net, P);
-  SparcmlOptions opt;
-  opt.total_elems = 4096;
   workload::SparseSpec spec{4096, 0.02, 0.5, core::DType::kFloat32, 31};
-  auto provider = [&spec](u32 h) {
-    return workload::sparse_block_pairs(spec, h, 0);
-  };
-  const SparcmlResult res = run_sparcml_allreduce(net, topo.hosts, provider,
-                                                  opt);
+  const CollectiveResult res =
+      run_collective(net, topo.hosts, sparcml_desc(4096, 1, spec));
   EXPECT_TRUE(res.ok) << "err=" << res.max_abs_err;
+  EXPECT_FALSE(res.in_network);
 }
 
 INSTANTIATE_TEST_SUITE_P(HostCounts, SparcmlSweep,
@@ -411,27 +464,33 @@ INSTANTIATE_TEST_SUITE_P(HostCounts, SparcmlSweep,
 TEST(Sparcml, DenseSwitchoverTriggersForDenseData) {
   net::Network net;
   auto topo = net::build_single_switch(net, 4);
-  SparcmlOptions opt;
-  opt.total_elems = 1024;
   workload::SparseSpec spec{1024, 0.45, 0.0, core::DType::kFloat32, 37};
+  // Union of 4 hosts at 45% density exceeds the pair-encoding break-even:
+  // later rounds must go dense.  The switchover count needs the
+  // scheme-specific result, so this drives the shared oneshot directly.
   auto provider = [&spec](u32 h) {
     return workload::sparse_block_pairs(spec, h, 0);
   };
-  const SparcmlResult res = run_sparcml_allreduce(net, topo.hosts, provider,
-                                                  opt);
+  SparcmlOptions opt;
+  opt.total_elems = 1024;
+  const SparcmlResult res =
+      detail::sparcml_oneshot(net, topo.hosts, provider, opt);
   ASSERT_TRUE(res.ok);
-  // Union of 4 hosts at 45% density exceeds the pair-encoding break-even:
-  // later rounds must go dense.
   EXPECT_GT(res.dense_switchovers, 0u);
 }
 
 TEST(Sparcml, NonPowerOfTwoAborts) {
   net::Network net;
   auto topo = net::build_single_switch(net, 3);
-  SparcmlOptions opt;
-  auto provider = [](u32) { return std::vector<core::SparsePair>{}; };
-  EXPECT_DEATH(run_sparcml_allreduce(net, topo.hosts, provider, opt),
-               "power-of-two");
+  CollectiveOptions desc;
+  desc.algorithm = Algorithm::kSparcml;
+  desc.sparse.block_span = 16;
+  desc.sparse.num_blocks = 1;
+  desc.sparse.pairs = [](u32, u32) {
+    return std::vector<core::SparsePair>{};
+  };
+  Communicator comm(net, topo.hosts);
+  EXPECT_DEATH(comm.run(desc), "power-of-two");
 }
 
 // ------------------------------------------------------- flare sparse -----
@@ -449,6 +508,13 @@ SparseWorkload uniform_workload(u32 span, u32 blocks, f64 density,
   return w;
 }
 
+CollectiveOptions sparse_desc(SparseWorkload w) {
+  CollectiveOptions desc;
+  desc.algorithm = Algorithm::kFlareSparse;
+  desc.sparse = std::move(w);
+  return desc;
+}
+
 class FlareSparseTopoSweep : public ::testing::TestWithParam<bool> {};
 
 TEST_P(FlareSparseTopoSweep, EndToEndCorrect) {
@@ -463,11 +529,10 @@ TEST_P(FlareSparseTopoSweep, EndToEndCorrect) {
   } else {
     hosts = net::build_single_switch(net, 8).hosts;
   }
-  const SparseWorkload w = uniform_workload(1280, 8, 0.10, 0.6, 41);
-  FlareSparseOptions opt;
-  const FlareSparseResult res = run_flare_sparse(net, hosts, w, opt);
+  const CollectiveResult res = run_collective(
+      net, hosts, sparse_desc(uniform_workload(1280, 8, 0.10, 0.6, 41)));
   EXPECT_TRUE(res.ok) << "err=" << res.max_abs_err;
-  EXPECT_GT(res.down_pairs, 0u);
+  EXPECT_TRUE(res.in_network);
 }
 
 INSTANTIATE_TEST_SUITE_P(Topologies, FlareSparseTopoSweep,
@@ -485,8 +550,23 @@ TEST(FlareSparse, EmptyBlocksComplete) {
     if (h == 0 && b % 2 == 0) out.push_back({b, 1.0});
     return out;
   };
-  const FlareSparseResult res = run_flare_sparse(net, topo.hosts, w, {});
+  const CollectiveResult res =
+      run_collective(net, topo.hosts, sparse_desc(std::move(w)));
   EXPECT_TRUE(res.ok) << res.max_abs_err;
+}
+
+TEST(FlareSparse, AutoAlgorithmPicksSparseForSparseWorkloads) {
+  // Attaching a sparse workload to a kAuto descriptor selects the
+  // in-network sparse engine — SparCML's "switch algorithms per call under
+  // one API" motivation.
+  net::Network net;
+  auto topo = net::build_single_switch(net, 8);
+  CollectiveOptions desc = sparse_desc(uniform_workload(1280, 4, 0.05,
+                                                        0.5, 59));
+  desc.algorithm = Algorithm::kAuto;
+  const CollectiveResult res = run_collective(net, topo.hosts, desc);
+  EXPECT_TRUE(res.ok) << res.max_abs_err;
+  EXPECT_TRUE(res.in_network);
 }
 
 TEST(FlareSparse, TinyHashSpillsButStaysCorrect) {
@@ -498,45 +578,34 @@ TEST(FlareSparse, TinyHashSpillsButStaysCorrect) {
   spec.hosts = 16;
   spec.radix = 4;
   auto topo = net::build_fat_tree(net, spec);
-  const SparseWorkload w = uniform_workload(2048, 4, 0.2, 0.0, 43);
-  FlareSparseOptions opt;
-  opt.hash_capacity_pairs = 32;
-  opt.spill_capacity_pairs = 8;
-  const FlareSparseResult res = run_flare_sparse(net, topo.hosts, w, opt);
+  CollectiveOptions desc = sparse_desc(uniform_workload(2048, 4, 0.2, 0.0,
+                                                        43));
+  desc.hash_capacity_pairs = 32;
+  desc.spill_capacity_pairs = 8;
+  const CollectiveResult res = run_collective(net, topo.hosts, desc);
   EXPECT_TRUE(res.ok) << res.max_abs_err;
-  EXPECT_GT(res.spill_packets, 0u);
+  EXPECT_GT(res.extra_packets, 0u);  // scheme-specific extras = spills
 }
 
 TEST(FlareSparseVsSparcml, LessTrafficWithOverlappedData) {
   // Figure 15's sparse comparison: with realistically-overlapped indices
-  // the in-network sparse allreduce moves far fewer bytes than SparCML.
+  // the in-network sparse allreduce moves far fewer bytes than SparCML —
+  // same workload description, two algorithms.
   const u32 P = 16;
   const u32 span = 64 * 128;
+  const SparseWorkload w = uniform_workload(span, 8, 0.02, 0.9, 47);
+
   net::Network netA;
   auto topoA = net::build_single_switch(netA, P);
-  const SparseWorkload w = uniform_workload(span, 8, 0.02, 0.9, 47);
-  const FlareSparseResult flare =
-      run_flare_sparse(netA, topoA.hosts, w, {});
+  const CollectiveResult flare =
+      run_collective(netA, topoA.hosts, sparse_desc(w));
   ASSERT_TRUE(flare.ok);
 
   net::Network netB;
   auto topoB = net::build_single_switch(netB, P);
-  SparcmlOptions sopt;
-  sopt.total_elems = static_cast<u64>(span) * 8;
-  workload::SparseSpec spec{span, 0.02, 0.9, core::DType::kFloat32, 47};
-  auto provider = [&](u32 h) {
-    // Same data, flattened to global indices.
-    std::vector<core::SparsePair> all;
-    for (u32 b = 0; b < 8; ++b) {
-      for (auto sp : workload::sparse_block_pairs(spec, h, b)) {
-        sp.index += b * span;
-        all.push_back(sp);
-      }
-    }
-    return all;
-  };
-  const SparcmlResult sparcml =
-      run_sparcml_allreduce(netB, topoB.hosts, provider, sopt);
+  CollectiveOptions sdesc = sparse_desc(w);
+  sdesc.algorithm = Algorithm::kSparcml;
+  const CollectiveResult sparcml = run_collective(netB, topoB.hosts, sdesc);
   ASSERT_TRUE(sparcml.ok);
   EXPECT_LT(flare.total_traffic_bytes, sparcml.total_traffic_bytes);
 }

@@ -1,0 +1,363 @@
+// The Communicator session API: persistent collectives (install-once /
+// run-many with per-iteration engine reset), the unified descriptor across
+// allreduce / reduce / broadcast / barrier, and nonblocking handles
+// composing on one event calendar.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "coll/communicator.hpp"
+#include "service/telemetry.hpp"
+
+namespace flare::coll {
+namespace {
+
+CollectiveOptions int_allreduce(u64 data_bytes) {
+  CollectiveOptions desc;
+  desc.kind = CollectiveKind::kAllreduce;
+  desc.algorithm = Algorithm::kFlareDense;
+  desc.data_bytes = data_bytes;
+  desc.dtype = core::DType::kInt32;  // integer sum: bit-for-bit checkable
+  return desc;
+}
+
+// ------------------------------------------------------- persistent -------
+
+TEST(Persistent, TenIterationsInstallOnceBitForBit) {
+  // The acceptance scenario: a 10-iteration persistent allreduce performs
+  // tree install exactly once, every iteration is bit-for-bit against the
+  // reference reduction, and the per-iteration completion time is no worse
+  // than the single-shot path.
+  const CollectiveOptions desc = int_allreduce(64_KiB);
+
+  // Single-shot baseline on an identical fabric.
+  net::Network solo_net;
+  auto solo_topo = net::build_single_switch(solo_net, 8);
+  Communicator solo_comm(solo_net, solo_topo.hosts);
+  const CollectiveResult solo = solo_comm.run(desc);
+  ASSERT_TRUE(solo.ok);
+
+  net::Network net;
+  auto topo = net::build_single_switch(net, 8);
+  Communicator comm(net, topo.hosts);
+  PersistentCollective pc = comm.persistent(desc);
+  ASSERT_TRUE(pc.ok());
+  EXPECT_EQ(pc.install_report().attempts, 1u);
+
+  for (u32 it = 0; it < 10; ++it) {
+    const CollectiveResult res = pc.run();
+    ASSERT_TRUE(res.ok) << "iteration " << it;
+    EXPECT_EQ(res.max_abs_err, 0.0) << "iteration " << it;
+    EXPECT_TRUE(res.in_network);
+    // The per-iteration data plane is identical to the single-shot path —
+    // install amortization must not cost completion time.
+    EXPECT_LE(res.completion_seconds, solo.completion_seconds + 1e-12)
+        << "iteration " << it;
+    // Zero re-install attempts after the first: the one-time report never
+    // grows and the switch keeps exactly the one installed reduction.
+    EXPECT_EQ(pc.install_report().attempts, 1u);
+    EXPECT_EQ(topo.leaves[0]->installed_reduces(), 1u);
+    EXPECT_EQ(topo.leaves[0]->occupancy().high_water(), 1u);
+  }
+  EXPECT_EQ(pc.iterations(), 10u);
+
+  pc.release();
+  EXPECT_EQ(topo.leaves[0]->installed_reduces(), 0u);
+}
+
+TEST(Persistent, IterationsUseFreshDataPerSeed) {
+  // Iteration i runs seed + i: distinct gradients, all exact.
+  net::Network net;
+  auto topo = net::build_single_switch(net, 4);
+  Communicator comm(net, topo.hosts);
+  CollectiveOptions desc = int_allreduce(16_KiB);
+  desc.seed = 11;
+  PersistentCollective pc = comm.persistent(desc);
+  ASSERT_TRUE(pc.ok());
+  f64 prev_traffic = -1.0;
+  for (u32 it = 0; it < 3; ++it) {
+    const CollectiveResult res = pc.run();
+    ASSERT_TRUE(res.ok);
+    EXPECT_EQ(res.max_abs_err, 0.0);
+    // Traffic per iteration is workload-shaped, not cumulative.
+    if (prev_traffic >= 0.0) {
+      EXPECT_DOUBLE_EQ(static_cast<f64>(res.total_traffic_bytes),
+                       prev_traffic);
+    }
+    prev_traffic = static_cast<f64>(res.total_traffic_bytes);
+  }
+}
+
+TEST(Persistent, FatTreeMultiSwitchEngineReuse) {
+  // Reuse across a multi-switch tree: every tree switch's engine resets
+  // between iterations (the multi-level reduce would otherwise drop every
+  // block of iteration 2 as a duplicate).
+  net::Network net;
+  net::FatTreeSpec spec;
+  spec.hosts = 16;
+  spec.radix = 4;
+  auto topo = net::build_fat_tree(net, spec);
+  Communicator comm(net, topo.hosts);
+  PersistentCollective pc = comm.persistent(int_allreduce(32_KiB));
+  ASSERT_TRUE(pc.ok());
+  ASSERT_GE(pc.tree().switches.size(), 5u);
+  for (u32 it = 0; it < 3; ++it) {
+    const CollectiveResult res = pc.run();
+    ASSERT_TRUE(res.ok) << "iteration " << it;
+    EXPECT_EQ(res.max_abs_err, 0.0);
+  }
+}
+
+TEST(Persistent, ReleaseFreesSlotsForOtherTenants) {
+  net::Network net;
+  auto topo = net::build_single_switch(net, 4, net::LinkSpec{},
+                                       /*max_allreduces=*/1);
+  Communicator comm(net, topo.hosts);
+  PersistentCollective pc = comm.persistent(int_allreduce(8_KiB));
+  ASSERT_TRUE(pc.ok());
+  ASSERT_TRUE(pc.run().ok);
+
+  // The slot is held between iterations (that is the amortization)...
+  Communicator other(net, topo.hosts);
+  PersistentCollective rejected = other.persistent(int_allreduce(8_KiB));
+  EXPECT_FALSE(rejected.ok());
+
+  // ...and released exactly once, whether via release() or destruction.
+  pc.release();
+  pc.release();  // idempotent
+  PersistentCollective admitted = other.persistent(int_allreduce(8_KiB));
+  EXPECT_TRUE(admitted.ok());
+  EXPECT_TRUE(admitted.run().ok);
+}
+
+TEST(Persistent, MoveTransfersOwnershipOfTheInstall) {
+  net::Network net;
+  auto topo = net::build_single_switch(net, 4, net::LinkSpec{},
+                                       /*max_allreduces=*/1);
+  Communicator comm(net, topo.hosts);
+  std::vector<PersistentCollective> slots;
+  {
+    PersistentCollective pc = comm.persistent(int_allreduce(8_KiB));
+    ASSERT_TRUE(pc.ok());
+    slots.push_back(std::move(pc));
+    // The moved-from object must not release on destruction...
+  }
+  EXPECT_EQ(topo.leaves[0]->installed_reduces(), 1u);
+  ASSERT_TRUE(slots[0].run().ok);
+  slots.clear();  // ...the moved-to object does.
+  EXPECT_EQ(topo.leaves[0]->installed_reduces(), 0u);
+}
+
+TEST(Persistent, AutoFallsBackToPersistentRing) {
+  // Zero switch slots: a kAuto persistent allreduce degrades to a
+  // persistent host ring (no install) and still iterates correctly.
+  net::Network net;
+  auto topo = net::build_single_switch(net, 4, net::LinkSpec{},
+                                       /*max_allreduces=*/0);
+  Communicator comm(net, topo.hosts);
+  CollectiveOptions desc = int_allreduce(16_KiB);
+  desc.algorithm = Algorithm::kAuto;
+  PersistentCollective pc = comm.persistent(desc);
+  ASSERT_TRUE(pc.ok());
+  for (u32 it = 0; it < 3; ++it) {
+    const CollectiveResult res = pc.run();
+    ASSERT_TRUE(res.ok);
+    EXPECT_FALSE(res.in_network);
+    EXPECT_EQ(res.max_abs_err, 0.0);
+  }
+}
+
+TEST(Persistent, SingleHostRingIterationsAfterTimeZero) {
+  // A one-participant ring completes instantly; later iterations start at
+  // t > 0 and must report ~zero completion time, not an underflowed one.
+  net::Network net;
+  auto topo = net::build_single_switch(net, 1);
+  Communicator comm(net, topo.hosts);
+  CollectiveOptions desc = int_allreduce(8_KiB);
+  desc.algorithm = Algorithm::kHostRing;
+  PersistentCollective pc = comm.persistent(desc);
+  ASSERT_TRUE(pc.ok());
+  EXPECT_FALSE(pc.in_network());
+  for (u32 it = 0; it < 3; ++it) {
+    const CollectiveResult res = pc.run();
+    ASSERT_TRUE(res.ok);
+    EXPECT_EQ(res.completion_seconds, 0.0);
+    EXPECT_EQ(res.mean_host_seconds, 0.0);
+  }
+}
+
+// ------------------------------------------- reduce/broadcast/barrier -----
+
+TEST(CommunicatorKinds, ReduceDeliversAtDestination) {
+  net::Network net;
+  auto topo = net::build_single_switch(net, 8);
+  Communicator comm(net, topo.hosts);
+  CollectiveOptions desc;
+  desc.kind = CollectiveKind::kReduce;
+  desc.root = 5;
+  desc.data_bytes = 32_KiB;
+  desc.dtype = core::DType::kInt32;
+  const CollectiveResult res = comm.run(desc);
+  EXPECT_TRUE(res.ok) << res.max_abs_err;
+  EXPECT_EQ(res.max_abs_err, 0.0);
+  EXPECT_TRUE(res.in_network);
+}
+
+TEST(CommunicatorKinds, PersistentReduceBroadcastBarrier) {
+  // The extension collectives ride the same persistent machinery.
+  net::Network net;
+  net::FatTreeSpec spec;
+  spec.hosts = 16;
+  spec.radix = 4;
+  auto topo = net::build_fat_tree(net, spec);
+  Communicator comm(net, topo.hosts);
+
+  CollectiveOptions reduce;
+  reduce.kind = CollectiveKind::kReduce;
+  reduce.root = 2;
+  reduce.data_bytes = 16_KiB;
+  reduce.dtype = core::DType::kInt32;
+  PersistentCollective pr = comm.persistent(reduce);
+  ASSERT_TRUE(pr.ok());
+
+  CollectiveOptions bcast;
+  bcast.kind = CollectiveKind::kBroadcast;
+  bcast.root = 7;
+  bcast.data_bytes = 16_KiB;
+  PersistentCollective pb = comm.persistent(bcast);
+  ASSERT_TRUE(pb.ok());
+
+  CollectiveOptions barrier;
+  barrier.kind = CollectiveKind::kBarrier;
+  PersistentCollective px = comm.persistent(barrier);
+  ASSERT_TRUE(px.ok());
+
+  for (u32 it = 0; it < 3; ++it) {
+    EXPECT_TRUE(pr.run().ok) << "reduce it " << it;
+    EXPECT_TRUE(pb.run().ok) << "broadcast it " << it;
+    const CollectiveResult bar = px.run();
+    EXPECT_TRUE(bar.ok) << "barrier it " << it;
+    EXPECT_GT(bar.completion_seconds, 0.0);
+  }
+  EXPECT_EQ(pr.install_report().attempts, 1u);
+  EXPECT_EQ(pb.install_report().attempts, 1u);
+  EXPECT_EQ(px.install_report().attempts, 1u);
+}
+
+// -------------------------------------------------- nonblocking handles ---
+
+TEST(Handles, TwoOverlappingCollectivesOneCalendar) {
+  // Satellite requirement: two overlapping nonblocking handles on one
+  // calendar complete correctly — here an in-network allreduce and a host
+  // ring SHARING the same hosts.
+  net::Network net;
+  auto topo = net::build_single_switch(net, 8);
+  Communicator inns(net, topo.hosts);
+  Communicator ring(net, topo.hosts);
+
+  CollectiveOptions d1 = int_allreduce(64_KiB);
+  CollectiveOptions d2 = int_allreduce(32_KiB);
+  d2.algorithm = Algorithm::kHostRing;
+  d2.seed = 3;
+
+  bool cb1 = false, cb2 = false;
+  CollectiveHandle h1 = inns.start(d1, [&](const CollectiveResult& r) {
+    cb1 = true;
+    EXPECT_TRUE(r.ok);
+  });
+  CollectiveHandle h2 = ring.start(d2, [&](const CollectiveResult& r) {
+    cb2 = true;
+    EXPECT_TRUE(r.ok);
+  });
+  EXPECT_FALSE(h1.done());
+  EXPECT_FALSE(h2.done());
+  net.sim().run();
+  ASSERT_TRUE(h1.done() && h2.done());
+  EXPECT_TRUE(cb1 && cb2);
+  EXPECT_TRUE(h1.result().ok);
+  EXPECT_TRUE(h2.result().ok);
+  EXPECT_EQ(h1.result().max_abs_err, 0.0);
+  EXPECT_EQ(h2.result().max_abs_err, 0.0);
+  EXPECT_TRUE(h1.result().in_network);
+  EXPECT_FALSE(h2.result().in_network);
+}
+
+TEST(Handles, TwoPersistentRequestsOverlapEachIteration) {
+  // Two model shards allreduced concurrently every iteration, each behind
+  // its own installed tree; both complete exactly on every iteration.
+  net::Network net;
+  net::FatTreeSpec spec;
+  spec.hosts = 16;
+  spec.radix = 4;
+  auto topo = net::build_fat_tree(net, spec);
+  Communicator left(net, {topo.hosts.begin(), topo.hosts.begin() + 8});
+  Communicator right(net, {topo.hosts.begin() + 8, topo.hosts.end()});
+  PersistentCollective pl = left.persistent(int_allreduce(32_KiB));
+  PersistentCollective pr = right.persistent(int_allreduce(16_KiB));
+  ASSERT_TRUE(pl.ok() && pr.ok());
+
+  for (u32 it = 0; it < 3; ++it) {
+    CollectiveHandle hl = pl.start();
+    CollectiveHandle hr = pr.start();
+    net.sim().run();
+    ASSERT_TRUE(hl.done() && hr.done()) << "iteration " << it;
+    EXPECT_TRUE(hl.result().ok);
+    EXPECT_TRUE(hr.result().ok);
+    EXPECT_EQ(hl.result().max_abs_err, 0.0);
+    EXPECT_EQ(hr.result().max_abs_err, 0.0);
+  }
+  EXPECT_EQ(pl.install_report().attempts, 1u);
+  EXPECT_EQ(pr.install_report().attempts, 1u);
+}
+
+TEST(Handles, CompletionCallbackFiresOnCalendar) {
+  // The callback runs at completion time ON the calendar, enabling
+  // pipelining: the next iteration is started from inside it.
+  net::Network net;
+  auto topo = net::build_single_switch(net, 4);
+  Communicator comm(net, topo.hosts);
+  PersistentCollective pc = comm.persistent(int_allreduce(8_KiB));
+  ASSERT_TRUE(pc.ok());
+
+  u32 completed = 0;
+  std::function<void(const CollectiveResult&)> chain =
+      [&](const CollectiveResult& r) {
+        EXPECT_TRUE(r.ok);
+        completed += 1;
+        if (completed < 3) pc.start(chain);
+      };
+  pc.start(chain);
+  net.sim().run();
+  EXPECT_EQ(completed, 3u);
+  EXPECT_EQ(pc.iterations(), 3u);
+}
+
+// ----------------------------------------------------- occupancy hygiene --
+
+TEST(Communicator, NoSwitchStateLeaksAfterMixedWorkload) {
+  // One-shots, persistents and fallbacks on one fabric: when everything
+  // is done and released, every switch is back to zero occupancy.
+  net::Network net;
+  net::FatTreeSpec spec;
+  spec.hosts = 16;
+  spec.radix = 4;
+  auto topo = net::build_fat_tree(net, spec);
+  {
+    Communicator comm(net, topo.hosts);
+    ASSERT_TRUE(comm.run(int_allreduce(16_KiB)).ok);
+    PersistentCollective pc = comm.persistent(int_allreduce(8_KiB));
+    ASSERT_TRUE(pc.ok());
+    ASSERT_TRUE(pc.run().ok);
+    CollectiveOptions barrier;
+    barrier.kind = CollectiveKind::kBarrier;
+    ASSERT_TRUE(comm.run(barrier).ok);
+  }
+  for (const auto& occ :
+       service::snapshot_occupancy(net, net.sim().now())) {
+    EXPECT_EQ(occ.current, 0u) << occ.name << " still holds switch state";
+  }
+}
+
+}  // namespace
+}  // namespace flare::coll

@@ -7,8 +7,9 @@
 //  * end-to-end reproducibility on the network simulator.
 #include <gtest/gtest.h>
 
-#include "coll/flare_dense.hpp"
-#include "coll/other_collectives.hpp"
+#include <memory>
+
+#include "coll/communicator.hpp"
 #include "model/policies.hpp"
 #include "pspin/experiment.hpp"
 #include "pspin/unit.hpp"
@@ -202,7 +203,10 @@ TEST(OtherCollectives, BarrierReleasesEveryHost) {
   spec.hosts = 16;
   spec.radix = 4;
   auto topo = net::build_fat_tree(net, spec);
-  const auto res = coll::run_flare_barrier(net, topo.hosts);
+  coll::CollectiveOptions desc;
+  desc.kind = coll::CollectiveKind::kBarrier;
+  coll::Communicator comm(net, topo.hosts);
+  const auto res = comm.run(desc);
   EXPECT_TRUE(res.ok);
   EXPECT_GT(res.completion_seconds, 0.0);
   // A barrier moves only empty packets: header-sized traffic.
@@ -212,10 +216,12 @@ TEST(OtherCollectives, BarrierReleasesEveryHost) {
 TEST(OtherCollectives, BroadcastDeliversRootVector) {
   net::Network net;
   auto topo = net::build_single_switch(net, 8);
-  coll::BroadcastOptions opt;
-  opt.root = 3;
-  opt.data_bytes = 32_KiB;
-  const auto res = coll::run_flare_broadcast(net, topo.hosts, opt);
+  coll::CollectiveOptions desc;
+  desc.kind = coll::CollectiveKind::kBroadcast;
+  desc.root = 3;
+  desc.data_bytes = 32_KiB;
+  coll::Communicator comm(net, topo.hosts);
+  const auto res = comm.run(desc);
   EXPECT_TRUE(res.ok) << res.max_abs_err;
 }
 
@@ -223,10 +229,12 @@ TEST(OtherCollectives, BroadcastFromEveryRoot) {
   for (u32 root = 0; root < 4; ++root) {
     net::Network net;
     auto topo = net::build_single_switch(net, 4);
-    coll::BroadcastOptions opt;
-    opt.root = root;
-    opt.data_bytes = 4_KiB;
-    const auto res = coll::run_flare_broadcast(net, topo.hosts, opt);
+    coll::CollectiveOptions desc;
+    desc.kind = coll::CollectiveKind::kBroadcast;
+    desc.root = root;
+    desc.data_bytes = 4_KiB;
+    coll::Communicator comm(net, topo.hosts);
+    const auto res = comm.run(desc);
     EXPECT_TRUE(res.ok) << "root " << root;
   }
 }
@@ -244,12 +252,14 @@ TEST(Integration, FatTreeReproducibleAcrossSendOrders) {
     spec.hosts = 16;
     spec.radix = 4;
     auto topo = net::build_fat_tree(net, spec);
-    coll::FlareDenseOptions opt;
-    opt.data_bytes = 32_KiB;
-    opt.order = order;
-    opt.reproducible = reproducible;
-    opt.seed = 99;
-    return coll::run_flare_dense(net, topo.hosts, opt);
+    coll::CollectiveOptions desc;
+    desc.algorithm = coll::Algorithm::kFlareDense;
+    desc.data_bytes = 32_KiB;
+    desc.order = order;
+    desc.reproducible = reproducible;
+    desc.seed = 99;
+    coll::Communicator comm(net, topo.hosts);
+    return comm.run(desc);
   };
   const auto a = run(core::SendOrder::kAligned, true);
   const auto b = run(core::SendOrder::kStaggered, true);
@@ -264,17 +274,19 @@ TEST(Integration, WindowLimitsSwitchWorkingMemory) {
   // than ~W blocks of working memory.
   net::Network net;
   auto topo = net::build_single_switch(net, 8);
-  coll::FlareDenseOptions opt;
-  opt.data_bytes = 128_KiB;
-  opt.order = core::SendOrder::kAligned;
-  opt.window_blocks = 4;
-  opt.auto_policy = false;
-  opt.policy = core::AggPolicy::kSingleBuffer;
-  const auto res = coll::run_flare_dense(net, topo.hosts, opt);
+  coll::CollectiveOptions desc;
+  desc.algorithm = coll::Algorithm::kFlareDense;
+  desc.data_bytes = 128_KiB;
+  desc.order = core::SendOrder::kAligned;
+  desc.window_blocks = 4;
+  desc.auto_policy = false;
+  desc.policy = core::AggPolicy::kSingleBuffer;
+  coll::Communicator comm(net, topo.hosts);
+  const auto res = comm.run(desc);
   ASSERT_TRUE(res.ok);
   // Single-buffer policy: one packet-sized buffer per in-flight block, and
   // at most window (+1 in completion hand-off) blocks are ever open.
-  EXPECT_LE(res.switch_working_mem_hwm, (opt.window_blocks + 1) * 1024u);
+  EXPECT_LE(res.switch_working_mem_hwm, (desc.window_blocks + 1) * 1024u);
   EXPECT_GT(res.switch_working_mem_hwm, 0u);
 }
 
@@ -282,60 +294,69 @@ TEST(Integration, WindowLimitsSwitchWorkingMemory) {
 
 TEST(MultiTenant, ConcurrentAllreducesOnSharedFatTree) {
   // Section 4: "each switch can participate simultaneously in different
-  // allreduces" — three tenants with different participant groups, sizes
-  // and dtypes run concurrently over one fabric; all must be exact.
+  // allreduces" — three Communicator sessions with different participant
+  // groups, sizes and dtypes overlap on one calendar; all must be exact.
   net::Network net;
   net::FatTreeSpec spec;
   spec.hosts = 16;
   spec.radix = 4;
   auto topo = net::build_fat_tree(net, spec);
 
-  std::vector<coll::DenseTenant> tenants(3);
-  tenants[0].participants = topo.hosts;  // everyone
-  tenants[0].opt.data_bytes = 64_KiB;
-  tenants[0].opt.dtype = core::DType::kFloat32;
-  tenants[0].opt.seed = 1;
-  tenants[1].participants.assign(topo.hosts.begin(), topo.hosts.begin() + 8);
-  tenants[1].opt.data_bytes = 16_KiB;
-  tenants[1].opt.dtype = core::DType::kInt32;
-  tenants[1].opt.seed = 2;
-  tenants[2].participants.assign(topo.hosts.begin() + 8, topo.hosts.end());
-  tenants[2].opt.data_bytes = 32_KiB;
-  tenants[2].opt.dtype = core::DType::kInt64;
-  tenants[2].opt.seed = 3;
+  coll::Communicator all(net, topo.hosts);
+  coll::Communicator left(
+      net, {topo.hosts.begin(), topo.hosts.begin() + 8});
+  coll::Communicator right(
+      net, {topo.hosts.begin() + 8, topo.hosts.end()});
 
-  const auto results =
-      coll::run_flare_dense_concurrent(net, std::move(tenants));
-  ASSERT_EQ(results.size(), 3u);
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    EXPECT_TRUE(results[i].ok) << "tenant " << i << " err "
-                               << results[i].max_abs_err;
+  coll::CollectiveOptions desc;
+  desc.algorithm = coll::Algorithm::kFlareDense;
+  std::vector<coll::CollectiveHandle> handles;
+  desc.data_bytes = 64_KiB;
+  desc.dtype = core::DType::kFloat32;
+  desc.seed = 1;
+  handles.push_back(all.start(desc));
+  desc.data_bytes = 16_KiB;
+  desc.dtype = core::DType::kInt32;
+  desc.seed = 2;
+  handles.push_back(left.start(desc));
+  desc.data_bytes = 32_KiB;
+  desc.dtype = core::DType::kInt64;
+  desc.seed = 3;
+  handles.push_back(right.start(desc));
+
+  net.sim().run();
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    ASSERT_TRUE(handles[i].done()) << "tenant " << i;
+    EXPECT_TRUE(handles[i].result().ok)
+        << "tenant " << i << " err " << handles[i].result().max_abs_err;
   }
 }
 
 TEST(MultiTenant, SharedSwitchSlowerThanExclusive) {
   // Two full-fabric tenants share every switch's aggregation server: each
   // tenant must finish no faster than it would alone.
+  coll::CollectiveOptions desc;
+  desc.algorithm = coll::Algorithm::kFlareDense;
+  desc.data_bytes = 128_KiB;
+
   net::Network net_solo;
   auto topo_solo = net::build_single_switch(net_solo, 8);
-  coll::FlareDenseOptions opt;
-  opt.data_bytes = 128_KiB;
-  const auto solo = run_flare_dense(net_solo, topo_solo.hosts, opt);
+  coll::Communicator comm_solo(net_solo, topo_solo.hosts);
+  const auto solo = comm_solo.run(desc);
   ASSERT_TRUE(solo.ok);
 
   net::Network net_shared;
   auto topo_shared = net::build_single_switch(net_shared, 8);
-  std::vector<coll::DenseTenant> tenants(2);
-  tenants[0].participants = topo_shared.hosts;
-  tenants[0].opt = opt;
-  tenants[1].participants = topo_shared.hosts;
-  tenants[1].opt = opt;
-  tenants[1].opt.seed = 77;
-  const auto both =
-      coll::run_flare_dense_concurrent(net_shared, std::move(tenants));
-  ASSERT_TRUE(both[0].ok && both[1].ok);
-  EXPECT_GE(both[0].completion_seconds, solo.completion_seconds);
-  EXPECT_GE(both[1].completion_seconds, solo.completion_seconds);
+  coll::Communicator c1(net_shared, topo_shared.hosts);
+  coll::Communicator c2(net_shared, topo_shared.hosts);
+  auto h1 = c1.start(desc);
+  desc.seed = 77;
+  auto h2 = c2.start(desc);
+  net_shared.sim().run();
+  ASSERT_TRUE(h1.done() && h2.done());
+  ASSERT_TRUE(h1.result().ok && h2.result().ok);
+  EXPECT_GE(h1.result().completion_seconds, solo.completion_seconds);
+  EXPECT_GE(h2.result().completion_seconds, solo.completion_seconds);
 }
 
 TEST(MultiTenant, AdmissionRejectsBeyondPartition) {
@@ -344,15 +365,21 @@ TEST(MultiTenant, AdmissionRejectsBeyondPartition) {
   net::Network net;
   auto topo = net::build_single_switch(net, 4, net::LinkSpec{},
                                        /*max_allreduces=*/2);
-  std::vector<coll::DenseTenant> tenants(3);
-  for (auto& t : tenants) {
-    t.participants = topo.hosts;
-    t.opt.data_bytes = 8_KiB;
+  coll::CollectiveOptions desc;
+  desc.algorithm = coll::Algorithm::kFlareDense;
+  desc.data_bytes = 8_KiB;
+  std::vector<std::unique_ptr<coll::Communicator>> comms;
+  std::vector<coll::CollectiveHandle> handles;
+  for (u32 i = 0; i < 3; ++i) {
+    comms.push_back(std::make_unique<coll::Communicator>(net, topo.hosts));
+    handles.push_back(comms.back()->start(desc));
   }
-  const auto results = coll::run_flare_dense_concurrent(net, std::move(tenants));
-  EXPECT_TRUE(results[0].ok);
-  EXPECT_TRUE(results[1].ok);
-  EXPECT_FALSE(results[2].ok);  // paper: falls back to host-based allreduce
+  // The rejected tenant's handle completes immediately (ok == false).
+  EXPECT_TRUE(handles[2].done());
+  net.sim().run();
+  EXPECT_TRUE(handles[0].result().ok);
+  EXPECT_TRUE(handles[1].result().ok);
+  EXPECT_FALSE(handles[2].result().ok);  // paper: fall back to host-based
 }
 
 }  // namespace

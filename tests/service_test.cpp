@@ -17,9 +17,10 @@ JobSpec make_job(std::vector<net::Host*> hosts, u64 bytes = 64 * kKiB,
                  u64 seed = 7) {
   JobSpec s;
   s.participants = std::move(hosts);
-  s.data_bytes = bytes;
-  s.dtype = core::DType::kInt32;  // integer sum: expect bit-for-bit results
-  s.seed = seed;
+  s.desc.data_bytes = bytes;
+  // integer sum: expect bit-for-bit results
+  s.desc.dtype = core::DType::kInt32;
+  s.desc.seed = seed;
   return s;
 }
 
@@ -125,7 +126,7 @@ TEST(Service, FallbackRingFloatWithinTolerance) {
   AllreduceService svc(net, opt);
 
   JobSpec spec = make_job(topo.hosts, 64 * kKiB, 5);
-  spec.dtype = core::DType::kFloat32;
+  spec.desc.dtype = core::DType::kFloat32;
   svc.submit(std::move(spec));
   net.sim().run();
 
@@ -155,6 +156,33 @@ TEST(Service, QueueTimeoutFallsBackToRing) {
   EXPECT_EQ(recs[1].start_ps, recs[1].arrival_ps + 1 * kPsPerUs);
   EXPECT_EQ(svc.telemetry().timed_out, 1u);
   EXPECT_EQ(svc.telemetry().fallback, 1u);
+}
+
+TEST(Service, ExplicitHostRingSkipsAdmission) {
+  // A tenant that explicitly requests the host data plane runs without
+  // admission — even with fallback disabled — and is counted as a direct
+  // host request, not a fallback.
+  net::Network net;
+  auto topo = net::build_single_switch(net, 4);
+  ServiceOptions opt;
+  opt.fallback_to_host = false;
+  AllreduceService svc(net, opt);
+
+  JobSpec spec = make_job(topo.hosts, 32 * kKiB, 9);
+  spec.desc.algorithm = coll::Algorithm::kHostRing;
+  svc.submit(std::move(spec));
+  net.sim().run();
+
+  const JobRecord& rec = svc.records()[0];
+  EXPECT_EQ(rec.state, JobState::kDone);
+  EXPECT_FALSE(rec.in_network);
+  EXPECT_TRUE(rec.ok);
+  EXPECT_TRUE(rec.exact);
+  EXPECT_EQ(rec.admission_attempts, 0u);
+  EXPECT_EQ(svc.telemetry().host_requested, 1u);
+  EXPECT_EQ(svc.telemetry().fallback, 0u);
+  EXPECT_EQ(svc.telemetry().rejected, 0u);
+  EXPECT_DOUBLE_EQ(svc.telemetry().fallback_ratio(), 0.0);
 }
 
 TEST(Service, RejectsWhenFallbackDisabled) {
@@ -286,9 +314,9 @@ TEST(Service, MultiTenantFatTreeAllInNetworkExact) {
   for (const workload::JobArrival& a : workload::make_job_mix(mix, 64)) {
     JobSpec spec;
     for (const u32 h : a.host_indices) spec.participants.push_back(topo.hosts[h]);
-    spec.data_bytes = a.data_bytes;
-    spec.dtype = a.dtype;
-    spec.seed = a.seed;
+    spec.desc.data_bytes = a.data_bytes;
+    spec.desc.dtype = a.dtype;
+    spec.desc.seed = a.seed;
     svc.submit_at(a.at_ps, std::move(spec));
   }
   net.sim().run();
@@ -336,9 +364,9 @@ TEST(Service, ScarceSlotsMixInNetworkAndFallback) {
   for (const workload::JobArrival& a : workload::make_job_mix(mix, 64)) {
     JobSpec spec;
     for (const u32 h : a.host_indices) spec.participants.push_back(topo.hosts[h]);
-    spec.data_bytes = a.data_bytes;
-    spec.dtype = a.dtype;
-    spec.seed = a.seed;
+    spec.desc.data_bytes = a.data_bytes;
+    spec.desc.dtype = a.dtype;
+    spec.desc.seed = a.seed;
     svc.submit_at(a.at_ps, std::move(spec));
   }
   net.sim().run();
