@@ -75,7 +75,7 @@ CellResult run_cell(u32 max_allreduces, f64 mean_interarrival_s,
   cell.jobs = jobs;
   const service::ServiceTelemetry& t = svc.telemetry();
   cell.in_network = static_cast<u32>(t.in_network);
-  cell.fallback = static_cast<u32>(t.fallback);
+  cell.fallback = static_cast<u32>(t.fallback());
   cell.queue_delay_mean_us = t.queue_delay_s.mean() * 1e6;
   cell.queue_delay_max_us = t.queue_delay_s.max() * 1e6;
   const f64 svc_sum = t.in_network_service_s.sum() +

@@ -48,7 +48,7 @@ int main() {
   std::printf("\nin-network %llu / fallback %llu (ratio %.2f), "
               "tree-cache %llu hits / %llu misses, peak queue %llu\n",
               static_cast<unsigned long long>(t.in_network),
-              static_cast<unsigned long long>(t.fallback),
+              static_cast<unsigned long long>(t.fallback()),
               t.fallback_ratio(),
               static_cast<unsigned long long>(svc.tree_cache().hits()),
               static_cast<unsigned long long>(svc.tree_cache().misses()),

@@ -47,6 +47,14 @@ class OpBase {
   /// result; its on_complete (if any) fires at completion.
   virtual void begin(u64 seed, std::shared_ptr<OpState> state) = 0;
 
+  /// The LIVE reduction tree of an in-network op holding an install;
+  /// nullptr for host-based ops and after a fault stripped the tree.
+  virtual const ReductionTree* current_tree() const { return nullptr; }
+
+  /// Releases installed switch state and host handlers; idempotent, no-op
+  /// for host-based ops.  Called by PersistentCollective::release().
+  virtual void release_install() {}
+
   /// True once finalize ran and (for one-shot ops) resources are released.
   bool reapable() const { return complete_; }
 
@@ -68,6 +76,361 @@ class OpBase {
   bool complete_ = false;
 };
 
+// ======================================================== host ring =======
+// Event-driven ring (Rabenseifner) allreduce over the same network: two
+// phases of P-1 steps (scatter-reduce, then allgather).  Each op draws a
+// fresh wire-protocol id and registers per-proto host handlers, so
+// overlapping ring collectives over shared hosts never mix fragments.
+//
+// Fault tolerance (Tuning::retransmit_timeout_ps > 0): the ring advances
+// strictly step by step per host, so loss detection is receiver-driven — a
+// host stalled on its expected (phase, step) chunk for longer than the
+// timeout NACKs its ring predecessor, which re-sends the recorded chunk
+// snapshot.  Fragment bookkeeping is idempotent (per-seq bitmap), so
+// duplicated re-sends and NACK storms are harmless, and a lost NACK is
+// simply re-issued on the next watchdog tick.
+
+class RingOp final : public OpBase {
+ public:
+  RingOp(net::Network& net, const std::vector<net::Host*>& participants,
+         const CollectiveOptions& desc)
+      : net_(net), participants_(participants), desc_(desc),
+        proto_(0x40000000u + net.alloc_collective_id()), op_(desc.op) {
+    dtype_ = desc_.dtype;
+    esize_ = core::dtype_size(dtype_);
+    elems_total_ = std::max<u64>(1, desc_.data_bytes / esize_);
+    mtu_ = desc_.mtu_bytes;
+    P_ = static_cast<u32>(participants_.size());
+    timeout_ps_ = desc_.retransmit_timeout_ps;
+  }
+
+  ~RingOp() override {
+    if (handlers_set_) {
+      for (net::Host* host : participants_) host->clear_proto_handler(proto_);
+    }
+  }
+
+  void begin(u64 seed, std::shared_ptr<OpState> state) override {
+    FLARE_ASSERT_MSG(state_ == nullptr,
+                     "previous iteration of this collective still running");
+    state_ = std::move(state);
+    complete_ = false;
+    finished_ = false;
+    hosts_done_ = 0;
+    retransmits_ = 0;
+    start_ps_ = net_.sim().now();
+    base_traffic_ = net_.total_traffic_bytes();
+
+    auto host_data =
+        workload::make_dense_data(P_, elems_total_, dtype_, seed);
+    expected_ = core::reference_reduce(host_data, op_);
+
+    runs_.clear();
+    runs_.resize(P_);
+    for (u32 h = 0; h < P_; ++h) {
+      runs_[h].host = participants_[h];
+      runs_[h].vec = std::move(host_data[h]);
+      runs_[h].host->set_proto_handler(
+          proto_, [this](const net::HostMsg& msg) { on_msg(msg); });
+    }
+    handlers_set_ = true;
+    if (P_ == 1) {
+      runs_[0].finish_ps = net_.sim().now();
+      finished_ = true;
+      net_.sim().schedule_after(0, [this] { finalize(); });
+      return;
+    }
+    for (RHost& hr : runs_) hr.last_progress_ps = start_ps_;
+    arm_watchdog();
+    // Kick off: every host sends its own chunk h for scatter-reduce step 0.
+    for (u32 h = 0; h < P_; ++h)
+      send_chunk(h, h, Phase::kScatterReduce, 0);
+  }
+
+ private:
+  enum class Phase : u8 { kScatterReduce, kAllGather, kDone };
+
+  /// Reassembly state of one logical chunk: per-fragment bitmap so that
+  /// retransmitted fragments never double-count.
+  struct Partial {
+    std::vector<bool> have;
+    u32 have_count = 0;
+    std::shared_ptr<const core::TypedBuffer> data;
+  };
+  /// What a host sent for one tag — kept until the op finishes so a NACK
+  /// can replay it (the working vector has moved on by then).
+  struct SentChunk {
+    u64 bytes = 0;
+    u32 frags = 0;
+    std::shared_ptr<const core::TypedBuffer> snapshot;
+  };
+  struct RHost {
+    net::Host* host = nullptr;
+    core::TypedBuffer vec;  ///< working vector (input, then result)
+    Phase phase = Phase::kScatterReduce;
+    u32 step = 0;
+    SimTime finish_ps = 0;
+    SimTime last_progress_ps = 0;
+    u32 nacks = 0;  ///< NACKs since last progress (backoff input)
+    std::unordered_map<u32, Partial> inbox;
+    std::unordered_map<u32, SentChunk> sent;
+  };
+
+  u64 chunk_begin(u32 c) const {
+    const u64 base = elems_total_ / P_;
+    const u64 rem = elems_total_ % P_;
+    return static_cast<u64>(c) * base + std::min<u64>(c, rem);
+  }
+  u64 chunk_elems(u32 c) const {
+    return chunk_begin(c + 1) - chunk_begin(c);
+  }
+
+  static u32 make_tag(Phase phase, u32 step) {
+    return (phase == Phase::kAllGather ? 0x10000u : 0u) | step;
+  }
+
+  void send_chunk(u32 h, u32 c, Phase phase, u32 step) {
+    RHost& hr = runs_[h];
+    const u64 elems = chunk_elems(c);
+    const u64 bytes = elems * esize_;
+    SentChunk chunk;
+    chunk.bytes = bytes;
+    chunk.frags =
+        std::max<u32>(1, static_cast<u32>((bytes + mtu_ - 1) / mtu_));
+    auto snapshot = std::make_shared<core::TypedBuffer>(dtype_, elems);
+    std::memcpy(snapshot->data(), hr.vec.at_byte(chunk_begin(c)), bytes);
+    chunk.snapshot = std::move(snapshot);
+    const u32 tag = make_tag(phase, step);
+    transmit(h, tag, chunk);
+    if (timeout_ps_ > 0) hr.sent[tag] = std::move(chunk);  // NACK replay
+  }
+
+  /// Sends every fragment of `chunk` to h's ring successor (first send and
+  /// NACK-triggered replays take the same path).
+  void transmit(u32 h, u32 tag, const SentChunk& chunk) {
+    const u32 dst = (h + 1) % P_;
+    for (u32 f = 0; f < chunk.frags; ++f) {
+      auto msg = std::make_shared<net::HostMsg>();
+      msg->src_host = h;
+      msg->dst_host = dst;  ///< job-local rank of the receiver
+      msg->proto = proto_;
+      msg->tag = tag;
+      msg->seq = f;
+      msg->seq_count = chunk.frags;
+      if (f + 1 == chunk.frags) msg->dense = chunk.snapshot;
+      net::NetPacket np;
+      np.kind = net::PacketKind::kHostMsg;
+      np.dst_node = runs_[dst].host->id();
+      // One flow per (op, ring edge): FIFO along one ECMP path.
+      np.flow = (static_cast<u64>(proto_) << 16) | h;
+      const u64 frag_bytes = std::min<u64>(
+          mtu_, chunk.bytes - static_cast<u64>(f) * mtu_);
+      np.wire_bytes = frag_bytes + core::kPacketWireOverhead;
+      np.msg = std::move(msg);
+      runs_[h].host->send(std::move(np));
+    }
+  }
+
+  void on_msg(const net::HostMsg& msg) {
+    if (finished_) return;
+    const u32 h = msg.dst_host;
+    FLARE_ASSERT(h < P_);
+    if (msg.seq_count == 0) {  // NACK: the successor is missing `tag`
+      handle_nack(h, msg.tag);
+      return;
+    }
+    RHost& hr = runs_[h];
+    Partial& partial = hr.inbox[msg.tag];
+    if (partial.have.empty()) partial.have.assign(msg.seq_count, false);
+    if (partial.have.at(msg.seq)) return;  // retransmitted fragment
+    partial.have[msg.seq] = true;
+    partial.have_count += 1;
+    if (msg.dense) partial.data = msg.dense;
+    if (partial.have_count == static_cast<u32>(partial.have.size())) {
+      advance(h);
+    }
+  }
+
+  void handle_nack(u32 h, u32 tag) {
+    RHost& hr = runs_[h];
+    const auto it = hr.sent.find(tag);
+    // Not sent yet: this host is itself behind; the chunk goes out when it
+    // catches up and the requester's next timeout re-NACKs if needed.
+    if (it == hr.sent.end()) return;
+    retransmits_ += 1;
+    transmit(h, tag, it->second);
+  }
+
+  void send_nack(u32 h) {
+    RHost& hr = runs_[h];
+    const u32 pred = (h + P_ - 1) % P_;
+    auto msg = std::make_shared<net::HostMsg>();
+    msg->src_host = h;
+    msg->dst_host = pred;
+    msg->proto = proto_;
+    msg->tag = make_tag(hr.phase, hr.step);
+    msg->seq = 0;
+    msg->seq_count = 0;  // seq_count==0 marks a NACK
+    net::NetPacket np;
+    np.kind = net::PacketKind::kHostMsg;
+    np.dst_node = runs_[pred].host->id();
+    np.flow = (static_cast<u64>(proto_) << 16) | (0x8000ull | h);
+    np.wire_bytes = core::kPacketWireOverhead;
+    np.msg = std::move(msg);
+    hr.host->send(std::move(np));
+  }
+
+  void arm_watchdog() {
+    if (timeout_ps_ == 0 || watchdog_armed_) return;
+    watchdog_armed_ = true;
+    std::weak_ptr<char> w = alive_;
+    net_.sim().schedule_after(timeout_ps_, [this, w] {
+      if (w.expired()) return;
+      watchdog_armed_ = false;
+      on_watchdog();
+    });
+  }
+
+  void on_watchdog() {
+    if (finished_ || state_ == nullptr) return;  // iteration over: go idle
+    const SimTime now = net_.sim().now();
+    for (u32 h = 0; h < P_; ++h) {
+      RHost& hr = runs_[h];
+      if (hr.phase == Phase::kDone) continue;
+      // Exponential backoff per stall (reset on progress): repeated NACKs
+      // each trigger a full chunk replay, so pacing them out keeps a long
+      // outage from piling replays onto the healing links.
+      const u32 shift = std::min<u32>(hr.nacks, 6);
+      if (now - hr.last_progress_ps < (timeout_ps_ << shift)) continue;
+      if (hr.nacks >= kMaxNacks) {
+        // Permanent stall (a fault that never repairs): surface a FAILED
+        // result instead of NACKing the calendar forever.
+        give_up();
+        return;
+      }
+      hr.nacks += 1;
+      send_nack(h);  // stalled: ask the predecessor to replay
+    }
+    arm_watchdog();
+  }
+
+  void advance(u32 h) {
+    RHost& hr = runs_[h];
+    while (hr.phase != Phase::kDone) {
+      const u32 tag = make_tag(hr.phase, hr.step);
+      auto it = hr.inbox.find(tag);
+      if (it == hr.inbox.end() || it->second.have.empty() ||
+          it->second.have_count !=
+              static_cast<u32>(it->second.have.size()) ||
+          it->second.data == nullptr) {
+        return;  // expected message not fully here yet
+      }
+      const Partial& partial = it->second;
+      hr.last_progress_ps = net_.sim().now();
+      hr.nacks = 0;
+      if (hr.phase == Phase::kScatterReduce) {
+        const u32 c = (h + P_ - hr.step - 1) % P_;
+        FLARE_ASSERT(partial.data->size() == chunk_elems(c));
+        op_.apply(dtype_, hr.vec.at_byte(chunk_begin(c)),
+                  partial.data->data(), chunk_elems(c));
+        hr.inbox.erase(it);
+        hr.step += 1;
+        if (hr.step < P_ - 1) {
+          send_chunk(h, (h + P_ - hr.step) % P_, Phase::kScatterReduce,
+                     hr.step);
+        } else {
+          hr.phase = Phase::kAllGather;
+          hr.step = 0;
+          send_chunk(h, (h + 1) % P_, Phase::kAllGather, 0);
+        }
+      } else {
+        const u32 c = (h + P_ - hr.step) % P_;
+        FLARE_ASSERT(partial.data->size() == chunk_elems(c));
+        std::memcpy(hr.vec.at_byte(chunk_begin(c)), partial.data->data(),
+                    chunk_elems(c) * esize_);
+        hr.inbox.erase(it);
+        hr.step += 1;
+        if (hr.step < P_ - 1) {
+          send_chunk(h, c, Phase::kAllGather, hr.step);
+        } else {
+          hr.phase = Phase::kDone;
+          hr.finish_ps = net_.sim().now();
+          hosts_done_ += 1;
+          if (hosts_done_ == P_ && !finished_) {
+            finished_ = true;
+            net_.sim().schedule_after(0, [this] { finalize(); });
+          }
+        }
+      }
+    }
+  }
+
+  /// Permanent stall: publish a failed result and release host handlers so
+  /// the calendar can drain.
+  void give_up() {
+    CollectiveResult res;
+    res.ok = false;
+    res.in_network = false;
+    res.retransmits = retransmits_;
+    for (net::Host* host : participants_) host->clear_proto_handler(proto_);
+    handlers_set_ = false;
+    finished_ = true;
+    complete_ = true;
+    publish(std::move(res));  // may destroy *this — nothing after
+  }
+
+  void finalize() {
+    CollectiveResult res;
+    res.blocks = P_;
+    res.in_network = false;
+    f64 err = 0.0, worst = 0.0, sum = 0.0;
+    for (const RHost& hr : runs_) {
+      err = std::max(err, hr.vec.max_abs_diff(expected_));
+      worst = std::max(worst, static_cast<f64>(hr.finish_ps - start_ps_));
+      sum += static_cast<f64>(hr.finish_ps - start_ps_);
+    }
+    res.max_abs_err = err;
+    res.ok = err <= core::reduce_tolerance(dtype_, P_);
+    res.completion_seconds = worst / kPsPerSecond;
+    res.mean_host_seconds = sum / P_ / kPsPerSecond;
+    res.total_traffic_bytes = net_.total_traffic_bytes() - base_traffic_;
+    res.total_packets = net_.total_packets();
+    res.retransmits = retransmits_;
+    for (net::Host* host : participants_) host->clear_proto_handler(proto_);
+    handlers_set_ = false;
+    complete_ = true;
+    publish(std::move(res));  // may destroy *this — nothing after
+  }
+
+  net::Network& net_;
+  const std::vector<net::Host*>& participants_;
+  CollectiveOptions desc_;
+  u32 proto_;
+  core::ReduceOp op_;
+  core::DType dtype_ = core::DType::kFloat32;
+  u32 esize_ = 4;
+  u64 elems_total_ = 0;
+  u64 mtu_ = 4096;
+  u32 P_ = 0;
+  u64 base_traffic_ = 0;
+  SimTime start_ps_ = 0;
+  bool handlers_set_ = false;
+  /// NACK budget per stalled host before the op reports failure: with the
+  /// capped exponential backoff this tolerates outages two orders longer
+  /// than the timeout while still bounding a permanent stall.
+  static constexpr u32 kMaxNacks = 64;
+  SimTime timeout_ps_ = 0;
+  /// Outlives-`this` guard for watchdog events left on the calendar.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+  bool watchdog_armed_ = false;
+  u64 retransmits_ = 0;
+  core::TypedBuffer expected_;
+  std::vector<RHost> runs_;
+  u32 hosts_done_ = 0;
+  bool finished_ = false;
+};
+
+
 // ========================================================== in-network ====
 // One event-driven driver for ALL in-network dense kinds (Section 8: the
 // extension collectives fall out of the allreduce machinery):
@@ -80,6 +443,20 @@ class OpBase {
 //     operator identity; the "sum" coming back is the root's vector;
 //   * barrier   — one 0-byte block; a host leaves the barrier when the
 //     root's empty result multicast reaches it.
+//
+// Fault tolerance (Tuning::retransmit_timeout_ps > 0), layered like
+// NetReduce + Canary (PAPERS.md):
+//   1. a per-op watchdog retransmits blocks outstanding past the timeout
+//      (switches re-emit cached results for blocks they already finished,
+//      so any single loss — contribution, aggregate, or multicast — heals);
+//   2. after max_retransmits of one block, or on a fabric fault notice
+//      that kills a tree element, the op declares the tree dead: it
+//      uninstalls the remains, recomputes + reinstalls on the surviving
+//      fabric under a FRESH collective id (stale packets drop harmlessly)
+//      and restarts the iteration;
+//   3. when no viable tree exists, an allreduce finishes on the host-ring
+//      data plane (reduce/broadcast/barrier retry once the fabric heals).
+// Persistent requests reinstall transparently between iterations.
 
 class InNetOp final : public OpBase {
  public:
@@ -89,8 +466,7 @@ class InNetOp final : public OpBase {
           ReductionTree tree, bool owns_install)
       : net_(net), manager_(manager), participants_(participants),
         desc_(desc), cfg_(cfg), tree_(std::move(tree)),
-        owns_install_(owns_install), installed_(owns_install),
-        op_(cfg.op) {
+        owns_install_(owns_install), op_(cfg.op) {
     const u32 esize = core::dtype_size(desc_.dtype);
     if (desc_.kind == CollectiveKind::kBarrier) {
       elems_total_ = 0;
@@ -108,22 +484,44 @@ class InNetOp final : public OpBase {
     window_ = desc_.order == core::SendOrder::kStaggered
                   ? std::max(desc_.window_blocks, nb_)
                   : std::max(1u, desc_.window_blocks);
+    timeout_ps_ = desc_.retransmit_timeout_ps;
+    max_retry_ = desc_.max_retransmits;
   }
 
   ~InNetOp() override {
     // Abandoned mid-flight (communicator destroyed): release switch slots
     // and host handlers so the fabric is reusable.
-    if (installed_) {
-      for (net::Host* host : participants_) {
-        host->clear_reduce_handler(cfg_.id);
-      }
-      manager_.uninstall(tree_, cfg_.id);
+    release_install();
+    if (listening_) net_.remove_fault_listener(fault_listener_);
+  }
+
+  const ReductionTree* current_tree() const override {
+    return installed_ ? &tree_ : nullptr;
+  }
+
+  void release_install() override {
+    if (!installed_) return;
+    for (net::Host* host : participants_) {
+      host->clear_reduce_handler(cfg_.id);
     }
+    manager_.uninstall(tree_, cfg_.id);
+    installed_ = false;
   }
 
   void begin(u64 seed, std::shared_ptr<OpState> state) override {
     FLARE_ASSERT_MSG(state_ == nullptr,
                      "previous iteration of this collective still running");
+    seed_ = seed;
+    retransmits_ = 0;
+    recoveries_ = 0;
+    recover_waits_ = 0;
+    if (!owns_install_ && !first_begin_) refresh_persistent_install();
+    first_begin_ = false;
+    if (ring_ != nullptr) {
+      // Earlier iterations lost the fabric for good: run on the host ring.
+      begin_ring_iteration(seed, std::move(state));
+      return;
+    }
     state_ = std::move(state);
     complete_ = false;
     finished_ = false;
@@ -161,10 +559,15 @@ class InNetOp final : public OpBase {
       }
       hr.schedule = core::send_schedule(h, P, nb_, desc_.order);
       hr.block_done.assign(nb_, false);
+      hr.sent.assign(nb_, false);
+      hr.sent_ps.assign(nb_, 0);
+      hr.retries.assign(nb_, 0);
       hr.host->set_reduce_handler(
           cfg_.id, [this, h](const core::Packet& pkt) { on_down(h, pkt); });
     }
     for (u32 h = 0; h < P; ++h) try_send(h);
+    subscribe_faults();
+    arm_watchdog();
   }
 
  private:
@@ -177,6 +580,9 @@ class InNetOp final : public OpBase {
     u64 blocks_done = 0;
     SimTime finish_ps = 0;
     std::vector<bool> block_done;
+    std::vector<bool> sent;      ///< result still pending for a sent block
+    std::vector<SimTime> sent_ps;  ///< last (re)transmission time per block
+    std::vector<u32> retries;    ///< retransmissions per block this epoch
   };
 
   bool consumes_payload() const {
@@ -205,20 +611,37 @@ class InNetOp final : public OpBase {
     return nullptr;
   }
 
+  void send_block(u32 h, u32 b, u16 extra_flags) {
+    HostRun& hr = runs_[h];
+    core::Packet p = core::make_dense_packet(
+        cfg_.id, b, tree_.host_child_index[hr.host->host_index()],
+        contribution(h, b), block_elems(b), desc_.dtype);
+    p.hdr.flags |= extra_flags;
+    net::NetPacket np;
+    np.kind = net::PacketKind::kReduceUp;
+    np.allreduce_id = cfg_.id;
+    np.wire_bytes = p.wire_bytes();
+    np.reduce = std::make_shared<const core::Packet>(std::move(p));
+    hr.host->send(std::move(np));
+  }
+
   void try_send(u32 h) {
     HostRun& hr = runs_[h];
-    while (hr.outstanding < window_ && hr.next < hr.schedule.size()) {
-      const u32 b = hr.schedule[hr.next++];
-      core::Packet p = core::make_dense_packet(
-          cfg_.id, b, tree_.host_child_index[hr.host->host_index()],
-          contribution(h, b), block_elems(b), desc_.dtype);
-      net::NetPacket np;
-      np.kind = net::PacketKind::kReduceUp;
-      np.allreduce_id = cfg_.id;
-      np.wire_bytes = p.wire_bytes();
-      np.reduce = std::make_shared<const core::Packet>(std::move(p));
-      hr.outstanding += 1;
-      hr.host->send(std::move(np));
+    while (hr.next < hr.schedule.size()) {
+      const u32 b = hr.schedule[hr.next];
+      // After a recovery restart the schedule replays from the top: blocks
+      // this host already holds results for are re-contributed (the fresh
+      // engines need every child's input) but consume no window slot and
+      // await no multicast.
+      const bool need_result = !hr.block_done[b];
+      if (need_result && hr.outstanding >= window_) break;
+      hr.next += 1;
+      if (need_result) {
+        hr.outstanding += 1;
+        hr.sent[b] = true;
+        hr.sent_ps[b] = net_.sim().now();
+      }
+      send_block(h, b, 0);
     }
   }
 
@@ -249,6 +672,226 @@ class InNetOp final : public OpBase {
       // resetting switch state afterwards is race-free.
       net_.sim().schedule_after(0, [this] { finalize(); });
     }
+  }
+
+  // ------------------------------------------------- fault tolerance ----
+
+  void subscribe_faults() {
+    if (listening_ || timeout_ps_ == 0) return;
+    std::weak_ptr<char> w = alive_;
+    fault_listener_ =
+        net_.add_fault_listener([this, w](const net::FaultNotice& notice) {
+          if (w.expired()) return;
+          on_fault(notice);
+        });
+    listening_ = true;
+  }
+
+  void on_fault(const net::FaultNotice&) {
+    if (finished_ || state_ == nullptr || ring_ != nullptr) return;
+    if (installed_ && tree_alive(net_, tree_)) return;  // tree unaffected
+    // React off the notifier's stack: the notice fires mid-event (possibly
+    // inside a Link::send) and recovery tears switch state down.
+    std::weak_ptr<char> w = alive_;
+    net_.sim().schedule_after(0, [this, w] {
+      if (w.expired()) return;
+      if (finished_ || state_ == nullptr || ring_ != nullptr) return;
+      if (installed_ && tree_alive(net_, tree_)) return;
+      recover(/*force=*/false);
+    });
+  }
+
+  void arm_watchdog() {
+    if (timeout_ps_ == 0 || watchdog_armed_) return;
+    watchdog_armed_ = true;
+    std::weak_ptr<char> w = alive_;
+    net_.sim().schedule_after(timeout_ps_, [this, w] {
+      if (w.expired()) return;
+      watchdog_armed_ = false;
+      on_watchdog();
+    });
+  }
+
+  void on_watchdog() {
+    if (finished_ || state_ == nullptr || ring_ != nullptr) return;
+    const SimTime now = net_.sim().now();
+    bool escalate = false;
+    for (u32 h = 0; h < runs_.size(); ++h) {
+      HostRun& hr = runs_[h];
+      for (u32 b = 0; b < nb_; ++b) {
+        if (!hr.sent[b] || hr.block_done[b]) continue;
+        // Exponential backoff: each retry doubles the wait.  Without it a
+        // full-message resend (serialization time > timeout) can outlast
+        // the timer, triggering a self-sustaining retransmission storm
+        // that congests the access links faster than they drain.
+        const u32 shift = std::min<u32>(hr.retries[b], 6);
+        if (now - hr.sent_ps[b] < (timeout_ps_ << shift)) continue;
+        if (hr.retries[b] >= max_retry_) {
+          escalate = true;  // retransmission is not healing this block
+          continue;
+        }
+        hr.retries[b] += 1;
+        retransmits_ += 1;
+        hr.sent_ps[b] = now;
+        send_block(h, b, core::kFlagRetransmit);
+      }
+    }
+    if (escalate) {
+      recover(/*force=*/true);
+      if (finished_ || state_ == nullptr || ring_ != nullptr) return;
+    }
+    arm_watchdog();
+  }
+
+  /// Uninstalls whatever remains of the dead tree and reinstalls on the
+  /// surviving fabric under a fresh collective id (stale in-flight packets
+  /// of the old id drop harmlessly at switches and hosts).
+  bool try_reinstall() {
+    release_install();
+    cfg_.id = manager_.next_id();
+    InstallReport report = manager_.install_with_retry(
+        participants_, cfg_, resolved_switch_service_bps(desc_, false));
+    if (!report) return false;
+    tree_ = std::move(*report);
+    installed_ = true;
+    recoveries_ += 1;
+    return true;
+  }
+
+  /// Tree declared dead.  `force` skips the liveness check — used when the
+  /// tree LOOKS healthy but progress has stopped (e.g. a switch restarted
+  /// and lost its engines without the tree failing a link test).
+  void recover(bool force) {
+    if (finished_ || state_ == nullptr || ring_ != nullptr) return;
+    if (!force && installed_ && tree_alive(net_, tree_)) return;
+    if (try_reinstall()) {
+      recover_waits_ = 0;
+      restart_iteration();
+      return;
+    }
+    if (desc_.kind == CollectiveKind::kAllreduce) {
+      fallback_to_ring();
+      return;
+    }
+    // Reduce/broadcast/barrier have no host-ring equivalent here: wait for
+    // the fabric to heal (repairs also notify, this is the backstop poll).
+    // Bounded: a fault that is never repaired must surface as a FAILED
+    // result, not hang the calendar forever.
+    if (recover_waits_ >= kMaxRecoverWaits) {
+      give_up();
+      return;
+    }
+    recover_waits_ += 1;
+    std::weak_ptr<char> w = alive_;
+    net_.sim().schedule_after(timeout_ps_, [this, w] {
+      if (w.expired()) return;
+      recover(/*force=*/false);
+    });
+  }
+
+  /// Permanent fault: no viable tree appeared within the retry budget.
+  /// Publish a failed result so run()/start() callers observe the outage
+  /// instead of spinning the calendar forever.
+  void give_up() {
+    release_install();
+    CollectiveResult res;
+    res.ok = false;
+    res.retransmits = retransmits_;
+    res.recoveries = recoveries_;
+    finished_ = true;
+    complete_ = true;
+    publish(std::move(res));  // may destroy *this — nothing after
+  }
+
+  /// Replays the iteration against a freshly installed tree: engines are
+  /// new, so every host re-contributes every block; already-delivered
+  /// results are kept (their multicast duplicates are dropped on arrival).
+  void restart_iteration() {
+    for (u32 h = 0; h < runs_.size(); ++h) {
+      HostRun& hr = runs_[h];
+      hr.host->set_reduce_handler(
+          cfg_.id, [this, h](const core::Packet& pkt) { on_down(h, pkt); });
+      hr.next = 0;
+      hr.outstanding = 0;
+      hr.sent.assign(nb_, false);
+      hr.sent_ps.assign(nb_, 0);
+      hr.retries.assign(nb_, 0);
+    }
+    for (u32 h = 0; h < runs_.size(); ++h) try_send(h);
+    arm_watchdog();
+  }
+
+  void prepare_ring_fallback() {
+    release_install();
+    FLARE_ASSERT_MSG(desc_.kind == CollectiveKind::kAllreduce,
+                     "only allreduce can fall back to the host ring");
+    CollectiveOptions rdesc = desc_;
+    rdesc.algorithm = Algorithm::kHostRing;
+    ring_ = std::make_unique<RingOp>(net_, participants_, rdesc);
+  }
+
+  /// Wires a ring iteration whose completion publishes THIS op's result.
+  void start_ring_iteration(u64 seed) {
+    ring_state_ = std::make_shared<OpState>();
+    std::weak_ptr<char> w = alive_;
+    ring_state_->on_complete = [this, w](const CollectiveResult&) {
+      if (w.expired()) return;
+      on_ring_done();
+    };
+    ring_->begin(seed, ring_state_);
+  }
+
+  void begin_ring_iteration(u64 seed, std::shared_ptr<OpState> state) {
+    state_ = std::move(state);
+    complete_ = false;
+    finished_ = false;
+    start_ring_iteration(seed);
+  }
+
+  /// Mid-iteration fallback: no viable tree remains.  The ring recomputes
+  /// the same seeded inputs, so the published result is bit-for-bit what
+  /// the in-network path would have produced for exact dtypes.
+  void fallback_to_ring() {
+    prepare_ring_fallback();
+    start_ring_iteration(seed_);
+  }
+
+  void on_ring_done() {
+    CollectiveResult res = ring_state_->result;
+    res.fell_back = true;
+    res.retransmits += retransmits_;
+    res.recoveries = recoveries_;
+    finished_ = true;
+    complete_ = true;
+    publish(std::move(res));  // may destroy *this — nothing after
+  }
+
+  /// Persistent re-run upkeep: reset healthy engines, transparently
+  /// reinstall a damaged tree, or probe a healed fabric to leave ring
+  /// fallback mode.
+  void refresh_persistent_install() {
+    if (ring_ != nullptr) {
+      if (timeout_ps_ > 0 && try_reinstall()) ring_.reset();
+      return;
+    }
+    bool healthy = installed_;
+    if (healthy && timeout_ps_ > 0) healthy = tree_alive(net_, tree_);
+    if (healthy) {
+      for (const TreeSwitchEntry& e : tree_.switches) {
+        if (!e.sw->reset_reduce(cfg_.id)) {
+          healthy = false;  // a switch restarted and lost the engines
+          break;
+        }
+      }
+    }
+    if (healthy) return;
+    FLARE_ASSERT_MSG(timeout_ps_ > 0,
+                     "persistent engine vanished from the switch");
+    if (!try_reinstall() && desc_.kind == CollectiveKind::kAllreduce) {
+      prepare_ring_fallback();
+    }
+    // Otherwise proceed uninstalled: sends blackhole and the watchdog
+    // escalates into recover(), which retries until the fabric heals.
   }
 
   void finalize() {
@@ -304,14 +947,10 @@ class InNetOp final : public OpBase {
             res.switch_working_mem_hwm, role->engine->pool().high_water());
       }
     }
+    res.retransmits = retransmits_;
+    res.recoveries = recoveries_;
 
-    if (owns_install_) {
-      for (net::Host* host : participants_) {
-        host->clear_reduce_handler(cfg_.id);
-      }
-      manager_.uninstall(tree_, cfg_.id);
-      installed_ = false;
-    }
+    if (owns_install_) release_install();
     complete_ = true;
     publish(std::move(res));  // may destroy *this — nothing after
   }
@@ -323,9 +962,10 @@ class InNetOp final : public OpBase {
   core::AllreduceConfig cfg_;
   ReductionTree tree_;
   bool owns_install_;
-  /// One-shot ops own their install; cleared once finalize released it.
-  /// Persistent installs are released by the PersistentCollective instead.
-  bool installed_;
+  /// This op owns the install's lifetime in both modes (one-shot releases
+  /// at finalize; persistent on PersistentCollective::release()); false
+  /// only after release or while a fault left the op treeless.
+  bool installed_ = true;
   core::ReduceOp op_;
   u64 elems_total_ = 0;
   u32 elems_per_pkt_ = 0;
@@ -340,223 +980,26 @@ class InNetOp final : public OpBase {
   std::vector<HostRun> runs_;
   u32 hosts_done_ = 0;
   bool finished_ = false;
-};
+  bool first_begin_ = true;
 
-// ======================================================== host ring =======
-// Event-driven ring (Rabenseifner) allreduce over the same network: two
-// phases of P-1 steps (scatter-reduce, then allgather).  Each op draws a
-// fresh wire-protocol id and registers per-proto host handlers, so
-// overlapping ring collectives over shared hosts never mix fragments.
-
-class RingOp final : public OpBase {
- public:
-  RingOp(net::Network& net, const std::vector<net::Host*>& participants,
-         const CollectiveOptions& desc)
-      : net_(net), participants_(participants), desc_(desc),
-        proto_(0x40000000u + net.alloc_collective_id()), op_(desc.op) {
-    dtype_ = desc_.dtype;
-    esize_ = core::dtype_size(dtype_);
-    elems_total_ = std::max<u64>(1, desc_.data_bytes / esize_);
-    mtu_ = desc_.mtu_bytes;
-    P_ = static_cast<u32>(participants_.size());
-  }
-
-  ~RingOp() override {
-    if (handlers_set_) {
-      for (net::Host* host : participants_) host->clear_proto_handler(proto_);
-    }
-  }
-
-  void begin(u64 seed, std::shared_ptr<OpState> state) override {
-    FLARE_ASSERT_MSG(state_ == nullptr,
-                     "previous iteration of this collective still running");
-    state_ = std::move(state);
-    complete_ = false;
-    finished_ = false;
-    hosts_done_ = 0;
-    start_ps_ = net_.sim().now();
-    base_traffic_ = net_.total_traffic_bytes();
-
-    auto host_data =
-        workload::make_dense_data(P_, elems_total_, dtype_, seed);
-    expected_ = core::reference_reduce(host_data, op_);
-
-    runs_.clear();
-    runs_.resize(P_);
-    for (u32 h = 0; h < P_; ++h) {
-      runs_[h].host = participants_[h];
-      runs_[h].vec = std::move(host_data[h]);
-      runs_[h].host->set_proto_handler(
-          proto_, [this](const net::HostMsg& msg) { on_msg(msg); });
-    }
-    handlers_set_ = true;
-    if (P_ == 1) {
-      runs_[0].finish_ps = net_.sim().now();
-      finished_ = true;
-      net_.sim().schedule_after(0, [this] { finalize(); });
-      return;
-    }
-    // Kick off: every host sends its own chunk h for scatter-reduce step 0.
-    for (u32 h = 0; h < P_; ++h)
-      send_chunk(h, h, Phase::kScatterReduce, 0);
-  }
-
- private:
-  enum class Phase : u8 { kScatterReduce, kAllGather, kDone };
-
-  struct Partial {
-    u32 frags = 0;
-    std::shared_ptr<const core::TypedBuffer> data;
-  };
-  struct RHost {
-    net::Host* host = nullptr;
-    core::TypedBuffer vec;  ///< working vector (input, then result)
-    Phase phase = Phase::kScatterReduce;
-    u32 step = 0;
-    SimTime finish_ps = 0;
-    std::unordered_map<u32, Partial> inbox;
-  };
-
-  u64 chunk_begin(u32 c) const {
-    const u64 base = elems_total_ / P_;
-    const u64 rem = elems_total_ % P_;
-    return static_cast<u64>(c) * base + std::min<u64>(c, rem);
-  }
-  u64 chunk_elems(u32 c) const {
-    return chunk_begin(c + 1) - chunk_begin(c);
-  }
-
-  static u32 make_tag(Phase phase, u32 step) {
-    return (phase == Phase::kAllGather ? 0x10000u : 0u) | step;
-  }
-
-  void send_chunk(u32 h, u32 c, Phase phase, u32 step) {
-    RHost& hr = runs_[h];
-    const u32 dst = (h + 1) % P_;
-    const u64 elems = chunk_elems(c);
-    const u64 bytes = elems * esize_;
-    const u32 frags =
-        std::max<u32>(1, static_cast<u32>((bytes + mtu_ - 1) / mtu_));
-    auto snapshot = std::make_shared<core::TypedBuffer>(dtype_, elems);
-    std::memcpy(snapshot->data(), hr.vec.at_byte(chunk_begin(c)), bytes);
-    for (u32 f = 0; f < frags; ++f) {
-      auto msg = std::make_shared<net::HostMsg>();
-      msg->src_host = h;
-      msg->dst_host = dst;  ///< job-local rank of the receiver
-      msg->proto = proto_;
-      msg->tag = make_tag(phase, step);
-      msg->seq = f;
-      msg->seq_count = frags;
-      if (f + 1 == frags) msg->dense = snapshot;
-      net::NetPacket np;
-      np.kind = net::PacketKind::kHostMsg;
-      np.dst_node = runs_[dst].host->id();
-      // One flow per (op, ring edge): FIFO along one ECMP path.
-      np.flow = (static_cast<u64>(proto_) << 16) | h;
-      const u64 frag_bytes = std::min<u64>(mtu_, bytes - f * mtu_);
-      np.wire_bytes = frag_bytes + core::kPacketWireOverhead;
-      np.msg = std::move(msg);
-      hr.host->send(std::move(np));
-    }
-  }
-
-  void on_msg(const net::HostMsg& msg) {
-    if (finished_) return;
-    const u32 h = msg.dst_host;
-    FLARE_ASSERT(h < P_);
-    RHost& hr = runs_[h];
-    Partial& partial = hr.inbox[msg.tag];
-    partial.frags += 1;
-    if (msg.dense) partial.data = msg.dense;
-    if (partial.frags == msg.seq_count) advance(h);
-  }
-
-  void advance(u32 h) {
-    RHost& hr = runs_[h];
-    while (hr.phase != Phase::kDone) {
-      const u32 tag = make_tag(hr.phase, hr.step);
-      auto it = hr.inbox.find(tag);
-      if (it == hr.inbox.end() || it->second.frags == 0 ||
-          it->second.data == nullptr) {
-        return;  // expected message not fully here yet
-      }
-      const Partial& partial = it->second;
-      if (hr.phase == Phase::kScatterReduce) {
-        const u32 c = (h + P_ - hr.step - 1) % P_;
-        FLARE_ASSERT(partial.data->size() == chunk_elems(c));
-        op_.apply(dtype_, hr.vec.at_byte(chunk_begin(c)),
-                  partial.data->data(), chunk_elems(c));
-        hr.inbox.erase(it);
-        hr.step += 1;
-        if (hr.step < P_ - 1) {
-          send_chunk(h, (h + P_ - hr.step) % P_, Phase::kScatterReduce,
-                     hr.step);
-        } else {
-          hr.phase = Phase::kAllGather;
-          hr.step = 0;
-          send_chunk(h, (h + 1) % P_, Phase::kAllGather, 0);
-        }
-      } else {
-        const u32 c = (h + P_ - hr.step) % P_;
-        FLARE_ASSERT(partial.data->size() == chunk_elems(c));
-        std::memcpy(hr.vec.at_byte(chunk_begin(c)), partial.data->data(),
-                    chunk_elems(c) * esize_);
-        hr.inbox.erase(it);
-        hr.step += 1;
-        if (hr.step < P_ - 1) {
-          send_chunk(h, c, Phase::kAllGather, hr.step);
-        } else {
-          hr.phase = Phase::kDone;
-          hr.finish_ps = net_.sim().now();
-          hosts_done_ += 1;
-          if (hosts_done_ == P_ && !finished_) {
-            finished_ = true;
-            net_.sim().schedule_after(0, [this] { finalize(); });
-          }
-        }
-      }
-    }
-  }
-
-  void finalize() {
-    CollectiveResult res;
-    res.blocks = P_;
-    res.in_network = false;
-    f64 err = 0.0, worst = 0.0, sum = 0.0;
-    for (const RHost& hr : runs_) {
-      err = std::max(err, hr.vec.max_abs_diff(expected_));
-      worst = std::max(worst, static_cast<f64>(hr.finish_ps - start_ps_));
-      sum += static_cast<f64>(hr.finish_ps - start_ps_);
-    }
-    res.max_abs_err = err;
-    res.ok = err <= core::reduce_tolerance(dtype_, P_);
-    res.completion_seconds = worst / kPsPerSecond;
-    res.mean_host_seconds = sum / P_ / kPsPerSecond;
-    res.total_traffic_bytes = net_.total_traffic_bytes() - base_traffic_;
-    res.total_packets = net_.total_packets();
-    for (net::Host* host : participants_) host->clear_proto_handler(proto_);
-    handlers_set_ = false;
-    complete_ = true;
-    publish(std::move(res));  // may destroy *this — nothing after
-  }
-
-  net::Network& net_;
-  const std::vector<net::Host*>& participants_;
-  CollectiveOptions desc_;
-  u32 proto_;
-  core::ReduceOp op_;
-  core::DType dtype_ = core::DType::kFloat32;
-  u32 esize_ = 4;
-  u64 elems_total_ = 0;
-  u64 mtu_ = 4096;
-  u32 P_ = 0;
-  u64 base_traffic_ = 0;
-  SimTime start_ps_ = 0;
-  bool handlers_set_ = false;
-  core::TypedBuffer expected_;
-  std::vector<RHost> runs_;
-  u32 hosts_done_ = 0;
-  bool finished_ = false;
+  // --- fault tolerance ---
+  /// Heal-wait budget for kinds with no host fallback: ~64 timeout periods
+  /// of continuous no-viable-tree before the op publishes a failed result.
+  static constexpr u32 kMaxRecoverWaits = 64;
+  SimTime timeout_ps_ = 0;
+  u32 max_retry_ = 4;
+  u32 recover_waits_ = 0;
+  /// Outlives-`this` guard for watchdog/listener events on the calendar.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+  u64 fault_listener_ = 0;
+  bool listening_ = false;
+  bool watchdog_armed_ = false;
+  u64 seed_ = 0;
+  u64 retransmits_ = 0;
+  u32 recoveries_ = 0;
+  /// Host-ring fallback data plane once no viable tree remains.
+  std::unique_ptr<RingOp> ring_;
+  std::shared_ptr<OpState> ring_state_;
 };
 
 }  // namespace detail
@@ -594,21 +1037,22 @@ PersistentCollective& PersistentCollective::operator=(
 
 PersistentCollective::~PersistentCollective() { release(); }
 
+bool PersistentCollective::in_network() const {
+  return op_ != nullptr && op_->current_tree() != nullptr;
+}
+
 const ReductionTree& PersistentCollective::tree() const {
-  FLARE_ASSERT_MSG(report_.has_value(),
+  const ReductionTree* live =
+      op_ != nullptr ? op_->current_tree() : nullptr;
+  FLARE_ASSERT_MSG(live != nullptr,
                    "tree() on a host-ring persistent (no installed tree)");
-  return *report_;
+  return *live;
 }
 
 void PersistentCollective::release() {
-  if (comm_ != nullptr && !host_ring_ && report_.has_value()) {
-    for (net::Host* host : comm_->participants()) {
-      host->clear_reduce_handler(cfg_.id);
-    }
-    comm_->manager().uninstall(*report_, cfg_.id);
-    report_.tree.reset();
-  }
+  if (op_ != nullptr) op_->release_install();
   op_.reset();
+  report_.tree.reset();
   comm_ = nullptr;
 }
 
@@ -616,15 +1060,10 @@ CollectiveHandle PersistentCollective::start(CompletionFn on_complete) {
   FLARE_ASSERT_MSG(ok(), "start() on a rejected persistent collective");
   auto state = std::make_shared<detail::OpState>();
   state->on_complete = std::move(on_complete);
-  if (!host_ring_ && iterations_ > 0) {
-    // Install-once / run-many: clear per-iteration engine state on every
-    // tree switch; the admission slot and tree roles stay put.
-    for (const TreeSwitchEntry& e : report_->switches) {
-      const bool found = e.sw->reset_reduce(cfg_.id);
-      FLARE_ASSERT_MSG(found, "persistent engine vanished from the switch");
-    }
-  }
   CollectiveHandle handle(state);
+  // Install-once / run-many: the op resets per-iteration engine state on
+  // every tree switch (and transparently reinstalls after a fabric fault)
+  // inside begin(); the admission slot and tree roles otherwise stay put.
   op_->begin(desc_.seed + iterations_, std::move(state));
   iterations_ += 1;
   return handle;

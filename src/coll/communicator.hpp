@@ -101,16 +101,25 @@ class PersistentCollective {
   bool ok() const { return op_ != nullptr; }
   /// Admission outcome of the one-time install (attempts, cache_hit,
   /// any_feasible; empty tree for host-ring persistents, which need none).
+  /// After a fault recovery this reports the ORIGINAL admission; tree()
+  /// always reflects the live (possibly reinstalled) embedding.
   const InstallReport& install_report() const { return report_; }
-  /// True when this request holds an installed reduction tree (false for
-  /// host-ring persistents, including the kAuto admission fallback).
-  bool in_network() const { return report_.has_value(); }
-  /// Asserts in_network(): host-ring persistents have no tree.
+  /// True when this request currently holds an installed reduction tree
+  /// (false for host-ring persistents — including the kAuto admission
+  /// fallback — and for requests that lost their tree to a fabric fault
+  /// and are finishing on the host ring).
+  bool in_network() const;
+  /// Asserts in_network(): host-ring persistents have no tree.  Returns
+  /// the LIVE tree, which may differ from install_report()'s after a
+  /// fault-triggered reinstall.
   const ReductionTree& tree() const;
   u32 iterations() const { return iterations_; }
 
   /// Blocking iteration: resets per-iteration engine/host state, executes
-  /// against the installed tree, drives the calendar to idle.
+  /// against the installed tree, drives the calendar to idle.  When the
+  /// fabric faulted since the last iteration (switch crash, dead link) and
+  /// Tuning::retransmit_timeout_ps is enabled, the tree is transparently
+  /// recomputed and reinstalled first.
   CollectiveResult run();
   /// Nonblocking iteration on the shared calendar.  Iterations of ONE
   /// persistent request must not overlap each other (the installed engine

@@ -11,6 +11,20 @@
 
 namespace flare::coll {
 
+bool tree_alive(const net::Network& net, const ReductionTree& tree) {
+  for (const TreeSwitchEntry& e : tree.switches) {
+    if (e.sw->failed()) return false;
+    if (e.sw->id() != tree.root &&
+        !net.port_usable(e.sw->id(), e.parent_port)) {
+      return false;
+    }
+    for (const u32 p : e.child_ports) {
+      if (!net.port_usable(e.sw->id(), p)) return false;
+    }
+  }
+  return !tree.switches.empty();
+}
+
 std::optional<ReductionTree> NetworkManager::compute_tree(
     const std::vector<net::Host*>& participants, net::NodeId root) {
   const u32 n = net_.num_nodes();
@@ -25,6 +39,10 @@ std::optional<ReductionTree> NetworkManager::compute_tree(
   std::unordered_map<net::NodeId, net::Switch*> switch_by_id;
   for (net::Switch* sw : net_.switches()) switch_by_id[sw->id()] = sw;
   if (!switch_by_id.contains(root)) return std::nullopt;
+  // Fault awareness: a failed root can host nothing, and the BFS must not
+  // route the tree across failed switches or down links (port_usable below
+  // covers both the duplex link state and peer liveness).
+  if (switch_by_id.at(root)->failed()) return std::nullopt;
 
   while (!frontier.empty()) {
     const net::NodeId cur = frontier.front();
@@ -32,6 +50,7 @@ std::optional<ReductionTree> NetworkManager::compute_tree(
     for (const net::PortPeer& pp : net_.neighbors(cur)) {
       if (!switch_by_id.contains(pp.peer)) continue;  // skip hosts
       if (dist[pp.peer] != std::numeric_limits<u32>::max()) continue;
+      if (!net_.port_usable(cur, pp.my_port)) continue;  // dead edge/peer
       dist[pp.peer] = dist[cur] + 1;
       pred[pp.peer] = cur;
       // Find the peer's port toward cur.
@@ -52,6 +71,8 @@ std::optional<ReductionTree> NetworkManager::compute_tree(
     FLARE_ASSERT_MSG(adj.size() == 1, "hosts must be single-homed");
     const net::NodeId leaf = adj[0].peer;
     if (dist[leaf] == std::numeric_limits<u32>::max()) return std::nullopt;
+    // The access link must carry traffic both ways for the host to join.
+    if (!net_.port_usable(host->id(), adj[0].my_port)) return std::nullopt;
     hosts_of[leaf].push_back(host);
   }
 

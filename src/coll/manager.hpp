@@ -52,9 +52,18 @@ struct InstallReport {
   const ReductionTree* operator->() const { return &*tree; }
 };
 
+/// True when every element of an installed (or cached) tree can still carry
+/// traffic: no tree switch has failed and every tree edge — parent links
+/// and child links, including the host access links — is up in both
+/// directions.  The recovery machinery uses this both to validate cached
+/// embeddings and to decide that a running collective's tree is dead.
+bool tree_alive(const net::Network& net, const ReductionTree& tree);
+
 class NetworkManager {
  public:
   explicit NetworkManager(net::Network& net) : net_(net) {}
+
+  net::Network& network() { return net_; }
 
   /// Fresh collective identifier, unique across every manager sharing the
   /// network (the counter lives on net::Network).

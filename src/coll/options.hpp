@@ -61,6 +61,19 @@ struct Tuning {
                  ///< uses seed + i)
   /// Blocks a host may have in flight (aggregation buffers per collective).
   u32 window_blocks = 64;
+
+  // --- fault tolerance (see README "Failure model") ---
+  /// Host-side loss detection: a block still outstanding after this long is
+  /// retransmitted with kFlagRetransmit; the host ring uses the same period
+  /// to NACK missing chunks.  0 disables fault handling entirely — no
+  /// watchdog events touch the calendar, preserving legacy behavior
+  /// bit for bit.
+  SimTime retransmit_timeout_ps = 0;
+  /// Consecutive retransmissions of one block before the collective
+  /// declares its reduction tree dead and triggers recovery: reinstall on
+  /// the surviving fabric, or host-ring fallback when no viable tree
+  /// remains.
+  u32 max_retransmits = 4;
 };
 
 /// Calibrated per-switch aggregation rates (Figures 11 and 13).

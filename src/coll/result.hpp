@@ -18,6 +18,13 @@ struct CollectiveResult {
   u64 extra_packets = 0;          ///< scheme-specific (e.g. sparse spills)
   /// Peak working memory across the tree switches (in-network schemes).
   u64 switch_working_mem_hwm = 0;
+
+  // --- fault recovery (populated when Tuning::retransmit_timeout_ps > 0) ---
+  u64 retransmits = 0;   ///< blocks/chunks re-sent after a host timeout
+  u32 recoveries = 0;    ///< reduction-tree reinstalls after a fabric fault
+  /// An in-network collective that lost its tree and FINISHED on the
+  /// host-ring data plane (in_network is false in that case).
+  bool fell_back = false;
 };
 
 }  // namespace flare::coll

@@ -52,8 +52,15 @@ std::optional<ReductionTree> TreeCache::get_or_compute(
     NetworkManager& manager, const std::vector<net::Host*>& participants,
     net::NodeId root, bool* cache_hit) {
   if (const ReductionTree* cached = lookup(participants, root)) {
-    if (cache_hit != nullptr) *cache_hit = true;
-    return *cached;
+    // A fabric fault may have invalidated the embedding since it was
+    // cached (failed switch, downed edge): serving it would install a tree
+    // that blackholes traffic.  Treat a dead embedding as a miss.
+    if (tree_alive(manager.network(), *cached)) {
+      if (cache_hit != nullptr) *cache_hit = true;
+      return *cached;
+    }
+    hits_ -= 1;  // re-classify: this lookup did not serve from the cache
+    misses_ += 1;
   }
   if (cache_hit != nullptr) *cache_hit = false;
   auto tree = manager.compute_tree(participants, root);

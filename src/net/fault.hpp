@@ -1,0 +1,83 @@
+// Deterministic fault injection for the network simulator.
+//
+// A FaultPlan is an event calendar of fabric disruptions — link flaps,
+// switch crash/restarts, silent packet-drop and CRC-corruption bursts —
+// either hand-written (targeted tests) or generated from a single seed
+// (chaos tests; the same seed always produces the same plan, and the
+// simulator's deterministic calendar makes the whole faulty run replayable
+// bit for bit).  The FaultInjector arms a plan on a Network's calendar.
+//
+// Repair pairing: every generated outage carries a matching repair event
+// (link back up, switch restarted) within the spec's bounds, so a plan
+// never partitions the fabric forever — completion is always possible once
+// the recovery machinery (host retransmission, tree reinstall, host-ring
+// fallback) does its job.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace flare::net {
+
+/// One scheduled disruption.  Target space depends on the kind:
+///  * kLinkDown / kLinkUp           — duplex link index (both directions);
+///  * kSwitchFail / kSwitchRestart  — switch NodeId;
+///  * kDropPackets/kCorruptPackets  — unidirectional link index; `count`
+///                                    packets affected.
+struct FaultEvent {
+  SimTime at = 0;
+  FaultKind kind = FaultKind::kLinkDown;
+  u32 target = 0;
+  u32 count = 1;
+};
+
+/// Knobs for seeded random plan generation.
+struct FaultPlanSpec {
+  u32 link_flaps = 2;        ///< transient duplex outages
+  u32 switch_failures = 1;   ///< crash + restart pairs
+  u32 drop_bursts = 3;       ///< silent per-link drop windows
+  u32 corrupt_bursts = 2;    ///< per-link CRC-corruption windows
+  u32 max_burst_packets = 3; ///< packets per drop/corrupt burst
+  SimTime horizon_ps = 40 * kPsPerUs;     ///< faults start in [0, horizon)
+  SimTime min_outage_ps = 2 * kPsPerUs;   ///< outage duration bounds
+  SimTime max_outage_ps = 10 * kPsPerUs;
+  bool include_host_links = true;  ///< host access links are fair game
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  /// Seeded deterministic plan over `net`'s links and switches.  Outages
+  /// are always paired with repairs (see file comment).
+  static FaultPlan random(const Network& net, u64 seed,
+                          const FaultPlanSpec& spec = {});
+
+  /// Human-readable schedule, one event per line — logged by the chaos
+  /// harness so any failing seed can be replayed and inspected.
+  std::string summary(const Network& net) const;
+};
+
+/// Schedules a plan's events on the network's calendar and drives the
+/// corresponding Link/Switch/Network fault entry points.
+class FaultInjector {
+ public:
+  explicit FaultInjector(Network& net) : net_(net) {}
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedules every event (at absolute times; call before running the
+  /// calendar past the plan's horizon).  May be called more than once.
+  void arm(const FaultPlan& plan);
+
+  u64 events_armed() const { return events_armed_; }
+
+ private:
+  static void apply(Network& net, const FaultEvent& ev);
+
+  Network& net_;
+  u64 events_armed_ = 0;
+};
+
+}  // namespace flare::net

@@ -8,6 +8,20 @@ namespace flare::net {
 
 void Link::send(NetPacket&& pkt) {
   FLARE_ASSERT_MSG(deliver_ != nullptr, "link has no receiver");
+  if (!up_) {
+    dropped_ += 1;  // offered to a dark fiber: vanishes without a trace
+    return;
+  }
+  if (drop_next_ > 0) {
+    drop_next_ -= 1;
+    dropped_ += 1;
+    return;
+  }
+  if (corrupt_next_ > 0) {
+    corrupt_next_ -= 1;
+    corrupted_ += 1;
+    pkt.corrupted = true;  // serializes normally; receiver drops on CRC
+  }
   const SimTime now = sim_.now();
   const u64 ser = serialization_ps(pkt.wire_bytes, bandwidth_bps_);
   const SimTime depart = std::max(now, busy_until_);

@@ -1,6 +1,13 @@
 // Unidirectional point-to-point link: FIFO serialization at the configured
 // bandwidth plus propagation latency, with per-link byte accounting (the
 // "Traffic (GiB)" panel of Figure 15 sums these counters).
+//
+// Fault model (src/net/fault.hpp): a link can be administratively DOWN
+// (packets offered while down vanish, as on a dark fiber), and the fault
+// injector can mark the next N packets for silent drop or CRC corruption.
+// Corrupted packets still serialize and cross the wire; the receiving node
+// discards them on the (modelled) frame checksum, so corruption behaves as
+// a drop one latency later — exactly what retransmission must recover.
 #pragma once
 
 #include <functional>
@@ -25,6 +32,23 @@ class Link {
   /// Enqueues `pkt` for transmission at the current simulated time.
   void send(NetPacket&& pkt);
 
+  // --- fault plane ---
+  /// Administrative state.  Packets offered to a down link are dropped
+  /// silently (no serialization, no traffic accounting).
+  bool up() const { return up_; }
+  void set_up(bool up) { up_ = up; }
+  /// The opposite direction of the same physical cable (set by
+  /// Network::connect); a duplex fault takes both down.
+  Link* reverse() const { return reverse_; }
+  void set_reverse(Link* r) { reverse_ = r; }
+  /// Arms the link to silently drop the next `n` packets offered.
+  void drop_next(u32 n) { drop_next_ += n; }
+  /// Arms the link to corrupt the next `n` packets (delivered with the
+  /// corrupted mark; the receiver discards them on the modelled CRC).
+  void corrupt_next(u32 n) { corrupt_next_ += n; }
+  u64 packets_dropped() const { return dropped_; }
+  u64 packets_corrupted() const { return corrupted_; }
+
   const TrafficCounter& traffic() const { return traffic_; }
   /// Time at which the link finishes serializing everything queued so far.
   SimTime busy_until() const { return busy_until_; }
@@ -41,6 +65,12 @@ class Link {
   u64 latency_ps_;
   std::string name_;
   Deliver deliver_;
+  Link* reverse_ = nullptr;
+  bool up_ = true;
+  u32 drop_next_ = 0;
+  u32 corrupt_next_ = 0;
+  u64 dropped_ = 0;
+  u64 corrupted_ = 0;
   SimTime busy_until_ = 0;
   u64 busy_cum_ = 0;
   TrafficCounter traffic_;

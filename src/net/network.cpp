@@ -5,6 +5,18 @@
 
 namespace flare::net {
 
+std::string_view fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kLinkDown: return "link-down";
+    case FaultKind::kLinkUp: return "link-up";
+    case FaultKind::kSwitchFail: return "switch-fail";
+    case FaultKind::kSwitchRestart: return "switch-restart";
+    case FaultKind::kDropPackets: return "drop-packets";
+    case FaultKind::kCorruptPackets: return "corrupt-packets";
+  }
+  return "?";
+}
+
 Host& Network::add_host(std::string name) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
   auto host = std::make_unique<Host>(*this, id,
@@ -43,8 +55,72 @@ void Network::connect(Node& a, Node& b, f64 bandwidth_bps, u64 latency_ps) {
   const u32 b_port = b.add_port(ba.get());
   adjacency_[a.id()].push_back({b.id(), a_port});
   adjacency_[b.id()].push_back({a.id(), b_port});
+  ab->set_reverse(ba.get());
+  ba->set_reverse(ab.get());
   links_.push_back(std::move(ab));
   links_.push_back(std::move(ba));
+}
+
+// --------------------------------------------------------------- faults ---
+
+void Network::set_duplex_up(u32 i, bool up) {
+  FLARE_ASSERT(static_cast<std::size_t>(i) * 2 + 1 < links_.size());
+  links_[2 * i]->set_up(up);
+  links_[2 * i + 1]->set_up(up);
+  notify_fault({up ? FaultKind::kLinkUp : FaultKind::kLinkDown,
+                kInvalidNode, i, sim_.now()});
+}
+
+bool Network::port_usable(NodeId node, u32 port) const {
+  const Link* out = nullptr;
+  NodeId peer = kInvalidNode;
+  for (const PortPeer& pp : adjacency_.at(node)) {
+    if (pp.my_port == port) {
+      peer = pp.peer;
+      break;
+    }
+  }
+  if (peer == kInvalidNode) return false;
+  out = &nodes_.at(node)->port(port);
+  if (!out->up() || out->reverse() == nullptr || !out->reverse()->up()) {
+    return false;
+  }
+  const Node* pn = nodes_.at(peer).get();
+  if (const auto* sw = dynamic_cast<const Switch*>(pn)) {
+    return !sw->failed();
+  }
+  return true;
+}
+
+Switch* Network::find_switch(NodeId id) {
+  for (Switch* sw : switches_) {
+    if (sw->id() == id) return sw;
+  }
+  return nullptr;
+}
+
+u64 Network::add_fault_listener(FaultListener listener) {
+  const u64 token = next_listener_token_++;
+  fault_listeners_.emplace_back(token, std::move(listener));
+  return token;
+}
+
+void Network::remove_fault_listener(u64 token) {
+  std::erase_if(fault_listeners_,
+                [token](const auto& p) { return p.first == token; });
+}
+
+void Network::notify_fault(const FaultNotice& notice) {
+  faults_notified_ += 1;
+  // Copy: a listener may (de)register listeners while being notified.
+  const auto listeners = fault_listeners_;
+  for (const auto& [token, fn] : listeners) fn(notice);
+}
+
+u64 Network::link_dropped_packets() const {
+  u64 total = 0;
+  for (const auto& link : links_) total += link->packets_dropped();
+  return total;
 }
 
 void Network::build_routes() {

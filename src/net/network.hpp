@@ -5,7 +5,10 @@
 // switches connecting 64 nodes (Figure 15).
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "net/node.hpp"
@@ -16,6 +19,33 @@ struct PortPeer {
   NodeId peer = kInvalidNode;
   u32 my_port = 0;
 };
+
+// ---------------------------------------------------------------- faults ---
+
+/// Topology-level fault classes the fabric can notify about.  Packet drops
+/// and corruptions are deliberately NOT notified: they are silent data loss
+/// that only the host-side timeout machinery can observe — exactly the
+/// distinction between fail-stop and fail-silent faults.
+enum class FaultKind : u8 {
+  kLinkDown = 0,
+  kLinkUp,
+  kSwitchFail,     ///< crash-stop: installed reduce state is LOST
+  kSwitchRestart,  ///< comes back with empty reduce tables
+  kDropPackets,    ///< silent: next N packets on a link vanish
+  kCorruptPackets, ///< silent: next N packets fail CRC at the receiver
+};
+
+std::string_view fault_kind_name(FaultKind k);
+
+/// One failure notification from the fabric's control plane.
+struct FaultNotice {
+  FaultKind kind = FaultKind::kLinkDown;
+  NodeId node = kInvalidNode;    ///< for switch faults
+  u32 duplex_link = UINT32_MAX;  ///< for link faults (duplex index)
+  SimTime at = 0;
+};
+
+using FaultListener = std::function<void(const FaultNotice&)>;
 
 class Network {
  public:
@@ -33,6 +63,7 @@ class Network {
   void build_routes();
 
   Node& node(NodeId id) { return *nodes_.at(id); }
+  const Node& node(NodeId id) const { return *nodes_.at(id); }
   const std::vector<PortPeer>& neighbors(NodeId id) const {
     return adjacency_.at(id);
   }
@@ -50,6 +81,42 @@ class Network {
   /// allreduce ids on a shared switch.
   u32 alloc_collective_id() { return next_collective_id_++; }
 
+  // --- fault plane -------------------------------------------------------
+  /// Unidirectional link count / access (two per connect() call).
+  u32 num_links() const { return static_cast<u32>(links_.size()); }
+  Link& link(u32 i) { return *links_.at(i); }
+  const Link& link(u32 i) const { return *links_.at(i); }
+  /// Full-duplex link count (connect() calls); duplex index i maps to the
+  /// unidirectional pair (2i, 2i+1).
+  u32 num_duplex_links() const { return static_cast<u32>(links_.size() / 2); }
+  /// Takes both directions of duplex link `i` down/up and notifies.
+  void set_duplex_up(u32 i, bool up);
+  /// True when the duplex link behind `port` of `node` is up in both
+  /// directions AND the peer is not a failed switch — i.e. the port can
+  /// carry traffic right now.
+  bool port_usable(NodeId node, u32 port) const;
+  Switch* find_switch(NodeId id);
+
+  /// Registers a failure observer; returns a token for removal.  Listeners
+  /// run synchronously inside the notifying event — heavy reactions should
+  /// reschedule themselves.
+  u64 add_fault_listener(FaultListener listener);
+  void remove_fault_listener(u64 token);
+  void notify_fault(const FaultNotice& notice);
+
+  // --- fault accounting --------------------------------------------------
+  void count_corrupt_drop() { corrupt_dropped_ += 1; }
+  void count_stale_reduce_drop() { stale_reduce_dropped_ += 1; }
+  void count_failed_switch_drop() { failed_switch_dropped_ += 1; }
+  void count_unroutable_drop() { unroutable_dropped_ += 1; }
+  /// Packets silently lost on links (down links + armed drops).
+  u64 link_dropped_packets() const;
+  u64 corrupt_dropped_packets() const { return corrupt_dropped_; }
+  u64 stale_reduce_dropped_packets() const { return stale_reduce_dropped_; }
+  u64 failed_switch_dropped_packets() const { return failed_switch_dropped_; }
+  u64 unroutable_dropped_packets() const { return unroutable_dropped_; }
+  u64 faults_notified() const { return faults_notified_; }
+
  private:
   sim::Simulator sim_;
   u32 next_collective_id_ = 1;
@@ -58,6 +125,13 @@ class Network {
   std::vector<std::vector<PortPeer>> adjacency_;
   std::vector<Host*> hosts_;
   std::vector<Switch*> switches_;
+  std::vector<std::pair<u64, FaultListener>> fault_listeners_;
+  u64 next_listener_token_ = 1;
+  u64 faults_notified_ = 0;
+  u64 corrupt_dropped_ = 0;
+  u64 stale_reduce_dropped_ = 0;
+  u64 failed_switch_dropped_ = 0;
+  u64 unroutable_dropped_ = 0;
 };
 
 // ------------------------------------------------------------- builders ---

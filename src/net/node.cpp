@@ -8,6 +8,10 @@ namespace flare::net {
 
 void Host::receive(NetPacket&& pkt, u32 in_port) {
   (void)in_port;
+  if (pkt.corrupted) {
+    net_.count_corrupt_drop();  // modelled NIC frame checksum
+    return;
+  }
   switch (pkt.kind) {
     case PacketKind::kHostMsg: {
       FLARE_ASSERT(pkt.msg != nullptr);
@@ -64,6 +68,24 @@ Switch::~Switch() = default;
 
 sim::Simulator& Switch::simulator() { return net_.sim(); }
 
+void Switch::fail() {
+  if (failed_) return;
+  failed_ = true;
+  // Crash-stop: installed engines, cached results and queued service work
+  // vanish.  Occupancy drops to zero — the partition is empty again.
+  roles_.clear();
+  occupancy_.set(0, net_.sim().now());
+  net_.notify_fault({FaultKind::kSwitchFail, id_, UINT32_MAX,
+                     net_.sim().now()});
+}
+
+void Switch::restart() {
+  if (!failed_) return;
+  failed_ = false;
+  net_.notify_fault({FaultKind::kSwitchRestart, id_, UINT32_MAX,
+                     net_.sim().now()});
+}
+
 bool Switch::install_reduce(const core::AllreduceConfig& cfg,
                             ReduceRole&& role) {
   if (!can_install()) return false;
@@ -84,6 +106,7 @@ bool Switch::reset_reduce(u32 allreduce_id) {
   auto it = roles_.find(allreduce_id);
   if (it == roles_.end()) return false;
   it->second.engine->reset();
+  it->second.completed.clear();
   return true;
 }
 
@@ -99,6 +122,14 @@ const core::EngineStats* Switch::engine_stats(u32 allreduce_id) const {
 
 void Switch::receive(NetPacket&& pkt, u32 in_port) {
   (void)in_port;
+  if (failed_) {
+    net_.count_failed_switch_drop();
+    return;
+  }
+  if (pkt.corrupted) {
+    net_.count_corrupt_drop();  // per-hop frame checksum
+    return;
+  }
   switch (pkt.kind) {
     case PacketKind::kHostMsg:
       forward_host_msg(std::move(pkt));
@@ -116,16 +147,40 @@ void Switch::forward_host_msg(NetPacket&& pkt) {
   FLARE_ASSERT(pkt.dst_node < routes_.size());
   const std::vector<u32>& ecmp = routes_[pkt.dst_node];
   FLARE_ASSERT_MSG(!ecmp.empty(), "no route to destination");
-  // Deterministic ECMP: hash the flow id over the equal-cost set.
-  u64 h = pkt.flow * 0x9E3779B97F4A7C15ull;
-  const u32 out = ecmp[(h >> 32) % ecmp.size()];
+  // Deterministic ECMP: hash the flow id over the equal-cost set.  On a
+  // healthy fabric the hashed port wins directly (no allocation, one
+  // usability probe, and the pre-fault-plane port selection exactly).
+  const u64 h = pkt.flow * 0x9E3779B97F4A7C15ull;
+  const u32 preferred = ecmp[(h >> 32) % ecmp.size()];
+  if (net_.port_usable(id_, preferred)) {
+    port(preferred).send(std::move(pkt));
+    return;
+  }
+  // Fast failover: the hashed port is dark — re-hash over the surviving
+  // subset.  If the whole set is dark the packet is lost and the sender's
+  // retransmission machinery must recover it.
+  std::vector<u32> live;
+  live.reserve(ecmp.size());
+  for (const u32 p : ecmp) {
+    if (p != preferred && net_.port_usable(id_, p)) live.push_back(p);
+  }
+  if (live.empty()) {
+    net_.count_unroutable_drop();
+    return;
+  }
+  const u32 out = live[(h >> 32) % live.size()];
   port(out).send(std::move(pkt));
 }
 
 void Switch::on_reduce_up(NetPacket&& pkt) {
   auto it = roles_.find(pkt.allreduce_id);
-  FLARE_ASSERT_MSG(it != roles_.end(),
-                   "reduction packet at a switch outside the tree");
+  if (it == roles_.end()) {
+    // Reduction traffic for a collective this switch no longer serves:
+    // state lost to a crash, or uninstalled by a recovery that moved the
+    // tree.  Realistic switches drop such packets on the floor.
+    net_.count_stale_reduce_drop();
+    return;
+  }
   ReduceRole& role2 = it->second;
   reduce_packets_ += 1;
   // Calibrated aggregation server: FIFO service at the PsPIN-derived rate.
@@ -134,17 +189,61 @@ void Switch::on_reduce_up(NetPacket&& pkt) {
       serialization_ps(pkt.wire_bytes, role2.service_bps);
   const SimTime start = std::max(now, role2.server_busy_until);
   role2.server_busy_until = start + service;
+  if ((pkt.reduce->hdr.flags & core::kFlagRetransmit) != 0 &&
+      role2.completed.contains(pkt.reduce->hdr.block_id)) {
+    // Retransmission for a block this switch already finished: the loss was
+    // downstream of aggregation (our up-aggregate or the down-multicast).
+    // Re-emit the cached result instead of feeding the engine, which would
+    // just drop the packet as a duplicate.
+    net_.sim().schedule_at(
+        role2.server_busy_until,
+        [this, id = pkt.allreduce_id, blk = pkt.reduce->hdr.block_id] {
+          reemit_completed(id, blk);
+        });
+    return;
+  }
   net_.sim().schedule_at(
       role2.server_busy_until,
       [this, id = pkt.allreduce_id, reduce = pkt.reduce] {
-        roles_.at(id).engine->process(reduce, [](SimTime) {});
+        // The role can vanish while the packet sits in the service queue
+        // (switch crash or recovery uninstall): drop, never re-create.
+        auto role_it = roles_.find(id);
+        if (role_it == roles_.end()) {
+          net_.count_stale_reduce_drop();
+          return;
+        }
+        role_it->second.engine->process(reduce, [](SimTime) {});
       });
+}
+
+void Switch::reemit_completed(u32 allreduce_id, u32 block_id) {
+  auto it = roles_.find(allreduce_id);
+  if (it == roles_.end()) return;  // uninstalled/crashed while queued
+  ReduceRole& role2 = it->second;
+  auto cit = role2.completed.find(block_id);
+  if (cit == role2.completed.end()) return;
+  core::Packet copy = *cit->second;
+  copy.hdr.flags |= core::kFlagRetransmit;  // keep the cache path upstream
+  NetPacket np;
+  np.allreduce_id = allreduce_id;
+  np.wire_bytes = copy.wire_bytes();
+  if (role2.is_root || copy.is_down()) {
+    np.kind = PacketKind::kReduceDown;
+    np.reduce = std::make_shared<const core::Packet>(std::move(copy));
+    on_reduce_down(std::move(np));
+  } else {
+    np.kind = PacketKind::kReduceUp;
+    np.reduce = std::make_shared<const core::Packet>(std::move(copy));
+    port(role2.parent_port).send(std::move(np));
+  }
 }
 
 void Switch::on_reduce_down(NetPacket&& pkt) {
   auto it = roles_.find(pkt.allreduce_id);
-  FLARE_ASSERT_MSG(it != roles_.end(),
-                   "down-bound reduction packet at a switch outside the tree");
+  if (it == roles_.end()) {
+    net_.count_stale_reduce_drop();
+    return;
+  }
   // Replicate toward every tree child (hosts or further switches).
   const ReduceRole& role2 = it->second;
   for (const u32 p : role2.child_ports) {
@@ -155,6 +254,11 @@ void Switch::on_reduce_down(NetPacket&& pkt) {
 
 void Switch::emit(core::Packet&& pkt, SimTime when) {
   const u32 id = pkt.hdr.allreduce_id;
+  const u32 block = pkt.hdr.block_id;
+  // Dense results are one packet per block: cache them for retransmission
+  // re-emit.  Sparse blocks span several shards/spills and are outside the
+  // recovery protocol — never cache those.
+  const bool cacheable = !pkt.is_sparse() && !pkt.is_spill();
   ReduceRole& role2 = roles_.at(id);
   NetPacket np;
   np.allreduce_id = id;
@@ -162,15 +266,19 @@ void Switch::emit(core::Packet&& pkt, SimTime when) {
   if (role2.is_root || pkt.is_down()) {
     np.kind = PacketKind::kReduceDown;
     np.reduce = std::make_shared<const core::Packet>(std::move(pkt));
+    if (cacheable) role2.completed[block] = np.reduce;
     net_.sim().schedule_at(when, [this, np = std::move(np)]() mutable {
+      if (failed_) return;
       on_reduce_down(std::move(np));
     });
   } else {
     np.kind = PacketKind::kReduceUp;
     pkt.hdr.child_index = role2.child_index_at_parent;
     np.reduce = std::make_shared<const core::Packet>(std::move(pkt));
+    if (cacheable) role2.completed[block] = np.reduce;
     const u32 out = role2.parent_port;
     net_.sim().schedule_at(when, [this, out, np = std::move(np)]() mutable {
+      if (failed_) return;
       port(out).send(std::move(np));
     });
   }

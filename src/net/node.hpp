@@ -39,6 +39,7 @@ class Node {
     return static_cast<u32>(ports_.size() - 1);
   }
   Link& port(u32 i) { return *ports_.at(i); }
+  const Link& port(u32 i) const { return *ports_.at(i); }
 
   virtual void receive(NetPacket&& pkt, u32 in_port) = 0;
 
@@ -102,6 +103,12 @@ struct ReduceRole {
   /// Calibrated aggregation service rate (bits/s of up-traffic processed).
   f64 service_bps = 0.0;
   SimTime server_busy_until = 0;
+  /// Result packets already emitted for completed blocks this iteration,
+  /// by block id.  A host-timeout retransmission arriving for a completed
+  /// block re-emits the cached result instead of re-aggregating — the
+  /// recovery path for lost switch-to-switch aggregates and lost
+  /// down-multicasts.  Cleared by reset_reduce() between iterations.
+  std::unordered_map<u32, std::shared_ptr<const core::Packet>> completed;
 };
 
 class Switch final : public Node, public core::EngineHost {
@@ -115,8 +122,20 @@ class Switch final : public Node, public core::EngineHost {
   }
   void receive(NetPacket&& pkt, u32 in_port) override;
 
+  // --- fault plane ---
+  /// Crash-stop failure: every installed reduction role (engines, cached
+  /// results, in-service work) is LOST and all traffic is dropped until
+  /// restart().  Notifies the network's fault listeners.
+  void fail();
+  /// Restarts a failed switch: forwarding tables persist, reduce state
+  /// starts empty — the control plane must reinstall.
+  void restart();
+  bool failed() const { return failed_; }
+
   // --- control plane (driven by the coll::NetworkManager) ---
-  bool can_install() const { return roles_.size() < max_allreduces_; }
+  bool can_install() const {
+    return !failed_ && roles_.size() < max_allreduces_;
+  }
   u32 max_allreduces() const { return max_allreduces_; }
   /// Installs a reduction role; returns false if slots are exhausted.
   bool install_reduce(const core::AllreduceConfig& cfg, ReduceRole&& role);
@@ -149,7 +168,10 @@ class Switch final : public Node, public core::EngineHost {
   void forward_host_msg(NetPacket&& pkt);
   void on_reduce_up(NetPacket&& pkt);
   void on_reduce_down(NetPacket&& pkt);
+  /// Re-sends the cached result of a completed block (retransmission hit).
+  void reemit_completed(u32 allreduce_id, u32 block_id);
 
+  bool failed_ = false;
   u32 max_allreduces_;
   std::vector<std::vector<u32>> routes_;  ///< dst NodeId -> ECMP port set
   std::unordered_map<u32, ReduceRole> roles_;

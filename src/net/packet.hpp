@@ -50,6 +50,9 @@ struct NetPacket {
   NodeId dst_node = kInvalidNode;  ///< routing target for kHostMsg
   u64 flow = 0;                    ///< ECMP hash input
   u32 allreduce_id = 0;            ///< for reduction traffic
+  /// Payload damaged in transit (fault injection): the frame checksum fails
+  /// at the next node, which discards the packet.
+  bool corrupted = false;
   std::shared_ptr<const core::Packet> reduce;
   std::shared_ptr<const HostMsg> msg;
 };

@@ -57,6 +57,11 @@ struct JobRecord {
   u32 admission_attempts = 0;  ///< install attempts across candidate roots
   u32 requeue_retries = 0;     ///< admission rounds re-run from the queue
   bool timed_out = false;      ///< left the queue via timeout
+  u64 retransmits = 0;         ///< blocks/chunks re-sent after host timeouts
+  u32 recoveries = 0;          ///< reduction-tree reinstalls after faults
+  /// Admitted in-network but FINISHED on the host ring because a fabric
+  /// fault left no viable tree (in_network is false then).
+  bool fell_back = false;
   bool tree_cache_hit = false;
   net::NodeId tree_root = net::kInvalidNode;
   u32 tree_switches = 0;

@@ -17,15 +17,25 @@ AllreduceService::AllreduceService(net::Network& net, ServiceOptions opt)
   manager_.set_release_listener([this](u32) {
     if (!queue_.empty()) schedule_drain();
   });
+  // Count every fabric disruption the service lives through; the per-job
+  // recovery itself happens inside the Communicator data planes.
+  fault_listener_ = net_.add_fault_listener(
+      [this](const net::FaultNotice&) { telemetry_.faults_seen += 1; });
 }
 
-AllreduceService::~AllreduceService() = default;
+AllreduceService::~AllreduceService() {
+  net_.remove_fault_listener(fault_listener_);
+}
 
 coll::CollectiveOptions AllreduceService::descriptor_for(
     const JobSpec& spec) const {
   coll::CollectiveOptions desc = spec.desc;
   // The service calibrates the fabric-wide aggregation rate centrally.
   desc.switch_service_bps = opt_.switch_service_bps;
+  if (opt_.retransmit_timeout_ps > 0) {
+    desc.retransmit_timeout_ps = opt_.retransmit_timeout_ps;
+    desc.max_retransmits = opt_.max_retransmits;
+  }
   return desc;
 }
 
@@ -47,7 +57,7 @@ u32 AllreduceService::submit(JobSpec spec) {
   if (specs_[job].desc.algorithm == coll::Algorithm::kHostRing) {
     // The tenant explicitly requested the host data plane: no admission,
     // and not a fallback (runs even with fallback_to_host disabled).
-    start_host_ring(job, /*requested=*/true);
+    start_host_ring(job, RingReason::kRequested);
     return job;
   }
 
@@ -58,10 +68,10 @@ u32 AllreduceService::submit(JobSpec spec) {
     // zero memory partition: this job can NEVER run in-network.  Queueing
     // it would deadlock the FIFO (nothing will ever release a slot for it).
     telemetry_.inadmissible += 1;
-    start_fallback_or_reject(job);
+    start_fallback_or_reject(job, RingReason::kInadmissible);
   } else if (queue_.size() >= opt_.max_queue) {
     telemetry_.queue_overflows += 1;
-    start_fallback_or_reject(job);
+    start_fallback_or_reject(job, RingReason::kOverflow);
   } else {
     enqueue(job);
   }
@@ -125,7 +135,7 @@ void AllreduceService::enqueue(u32 job) {
     queue_.erase(it);
     records_[job].timed_out = true;
     telemetry_.timed_out += 1;
-    start_fallback_or_reject(job);
+    start_fallback_or_reject(job, RingReason::kTimeout);
   });
 }
 
@@ -148,7 +158,7 @@ void AllreduceService::drain_queue() {
   }
 }
 
-void AllreduceService::start_fallback_or_reject(u32 job) {
+void AllreduceService::start_fallback_or_reject(u32 job, RingReason why) {
   const JobSpec& spec = specs_[job];
   const bool can_ring =
       opt_.fallback_to_host &&
@@ -160,10 +170,10 @@ void AllreduceService::start_fallback_or_reject(u32 job) {
     telemetry_.rejected += 1;
     return;
   }
-  start_host_ring(job, /*requested=*/false);
+  start_host_ring(job, why);
 }
 
-void AllreduceService::start_host_ring(u32 job, bool requested) {
+void AllreduceService::start_host_ring(u32 job, RingReason why) {
   const JobSpec& spec = specs_[job];
   FLARE_ASSERT_MSG(spec.desc.kind == coll::CollectiveKind::kAllreduce,
                    "the host ring serves allreduce only");
@@ -171,7 +181,14 @@ void AllreduceService::start_host_ring(u32 job, bool requested) {
   rec.state = JobState::kFallback;
   rec.in_network = false;
   rec.start_ps = net_.sim().now();
-  (requested ? telemetry_.host_requested : telemetry_.fallback) += 1;
+  switch (why) {
+    case RingReason::kRequested: telemetry_.host_requested += 1; break;
+    case RingReason::kTimeout: telemetry_.timeout_fallbacks += 1; break;
+    case RingReason::kOverflow: telemetry_.overflow_fallbacks += 1; break;
+    case RingReason::kInadmissible:
+      telemetry_.inadmissible_fallbacks += 1;
+      break;
+  }
   telemetry_.queue_delay_s.add(rec.queue_delay_seconds());
 
   coll::CollectiveOptions desc = descriptor_for(spec);
@@ -194,6 +211,18 @@ void AllreduceService::on_job_done(u32 job,
   rec.exact = res.max_abs_err == 0.0;
   rec.max_abs_err = res.max_abs_err;
   rec.finish_ps = net_.sim().now();
+  rec.retransmits = res.retransmits;
+  rec.recoveries = res.recoveries;
+  telemetry_.retransmits += res.retransmits;
+  if (res.fell_back) {
+    // Admitted in-network, finished on the ring: a mid-run fault ate the
+    // tree.  Distinct from admission fallbacks in the telemetry.
+    rec.fell_back = true;
+    rec.in_network = false;
+    telemetry_.fault_fallbacks += 1;
+  } else if (res.recoveries > 0 || res.retransmits > 0) {
+    telemetry_.jobs_recovered += 1;
+  }
   (rec.in_network ? telemetry_.in_network_service_s
                   : telemetry_.fallback_service_s)
       .add(rec.service_seconds());

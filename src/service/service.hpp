@@ -52,6 +52,11 @@ struct ServiceOptions {
   /// Calibrated per-switch aggregation rate (see FlareDenseOptions).
   f64 switch_service_bps = 2.4e12;
   std::size_t tree_cache_capacity = 64;
+  /// Host-side fault tolerance applied to every job this service runs
+  /// (see coll::Tuning::retransmit_timeout_ps).  0 leaves each job's own
+  /// descriptor untouched (fault handling off unless the tenant set it).
+  SimTime retransmit_timeout_ps = 0;
+  u32 max_retransmits = 4;
 };
 
 class AllreduceService {
@@ -92,6 +97,16 @@ class AllreduceService {
         : comm(net, std::move(participants), std::move(cfg)) {}
   };
 
+  /// Why a job runs on the host-ring data plane.  Exactly one counter is
+  /// bumped per ring start, keyed by this reason — a job that explicitly
+  /// requested the ring can never be double-counted as a timeout fallback.
+  enum class RingReason : u8 {
+    kRequested,     ///< tenant asked for Algorithm::kHostRing
+    kTimeout,       ///< left the wait queue via queue_timeout_ps
+    kOverflow,      ///< bounced off a full queue on arrival
+    kInadmissible,  ///< no switch partition can ever hold the job
+  };
+
   coll::CollectiveOptions descriptor_for(const JobSpec& spec) const;
   /// One admission round.  `feasible` (optional) reports whether the job
   /// could EVER run in-network (see NetworkManager::install_with_roots).
@@ -99,10 +114,9 @@ class AllreduceService {
   void enqueue(u32 job);
   void schedule_drain();
   void drain_queue();
-  void start_fallback_or_reject(u32 job);
-  /// Runs the job on the host-ring data plane.  `requested` marks jobs
-  /// that explicitly asked for the ring (vs admission fallbacks).
-  void start_host_ring(u32 job, bool requested);
+  void start_fallback_or_reject(u32 job, RingReason why);
+  /// Runs the job on the host-ring data plane for the given reason.
+  void start_host_ring(u32 job, RingReason why);
   void on_job_done(u32 job, const coll::CollectiveResult& res);
 
   net::Network& net_;
@@ -116,6 +130,7 @@ class AllreduceService {
   std::unordered_map<u32, std::unique_ptr<ActiveJob>> jobs_;
   u64 rr_cursor_ = 0;  ///< admission-round counter (round-robin policy)
   bool drain_scheduled_ = false;
+  u64 fault_listener_ = 0;  ///< network fault-notice subscription token
 };
 
 }  // namespace flare::service

@@ -14,8 +14,15 @@ namespace flare::service {
 struct ServiceTelemetry {
   u64 submitted = 0;
   u64 in_network = 0;       ///< jobs admitted to switch-based reduction
-  u64 fallback = 0;         ///< jobs that FELL BACK to the host-based ring
   u64 host_requested = 0;   ///< jobs that explicitly asked for the ring
+  /// Admission fallbacks, counted by CAUSE.  Every ring start increments
+  /// exactly one of host_requested / timeout_fallbacks / overflow_fallbacks
+  /// / inadmissible_fallbacks — a job that explicitly requested the ring is
+  /// never also counted as a timeout fallback (the old single `fallback`
+  /// counter conflated the two).
+  u64 timeout_fallbacks = 0;       ///< left the wait queue via timeout
+  u64 overflow_fallbacks = 0;      ///< bounced off a full queue on arrival
+  u64 inadmissible_fallbacks = 0;  ///< no switch partition can ever hold it
   u64 rejected = 0;         ///< jobs dropped (fallback disabled)
   u64 timed_out = 0;        ///< jobs that left the wait queue via timeout
   u64 queue_overflows = 0;  ///< arrivals bounced off a full queue
@@ -24,16 +31,29 @@ struct ServiceTelemetry {
   u64 requeue_retries = 0;     ///< admission rounds re-run after a release
   u64 peak_queue_len = 0;
 
+  // --- fault telemetry (populated when faults are injected) ---
+  u64 faults_seen = 0;      ///< fabric fault notices observed by the service
+  u64 retransmits = 0;      ///< blocks/chunks re-sent across all jobs
+  u64 jobs_recovered = 0;   ///< jobs that completed despite faults, in plane
+  u64 fault_fallbacks = 0;  ///< in-network jobs that FINISHED on the ring
+                            ///< after losing their tree mid-run
+
   RunningStats queue_delay_s;        ///< submit -> start, per served job
   RunningStats in_network_service_s; ///< start -> finish, in-network jobs
   RunningStats fallback_service_s;   ///< start -> finish, fallback jobs
 
-  u64 completed() const { return in_network + fallback + host_requested; }
+  /// Jobs that fell back to the host ring for ADMISSION reasons
+  /// (explicitly host-requested jobs and mid-run fault fallbacks are not
+  /// admission fallbacks).
+  u64 fallback() const {
+    return timeout_fallbacks + overflow_fallbacks + inadmissible_fallbacks;
+  }
+  u64 completed() const { return in_network + fallback() + host_requested; }
   /// Fraction of served jobs that had to fall back to host-based allreduce
   /// (explicitly host-requested jobs are not fallbacks).
   f64 fallback_ratio() const {
     const u64 served = completed();
-    return served == 0 ? 0.0 : static_cast<f64>(fallback) / served;
+    return served == 0 ? 0.0 : static_cast<f64>(fallback()) / served;
   }
 };
 

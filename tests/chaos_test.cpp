@@ -1,0 +1,347 @@
+// Deterministic chaos harness: seeded fault schedules (link flaps, switch
+// crash/restarts, silent drop and CRC-corruption bursts) replayed against
+// in-network collectives, the host ring and the multi-tenant service.
+//
+// Every case asserts the recovery contract end to end:
+//   * the collective COMPLETES despite the schedule (recovered in-network
+//     or finished on the host-ring fallback);
+//   * the result is bit-for-bit the reference reduction (integer dtypes
+//     make tree association exact);
+//   * re-running the same seed reproduces the run exactly — completion
+//     times, traffic, retransmission and recovery counts;
+//   * no switch occupancy leaks: after release every switch holds zero
+//     installed reductions.
+//
+// Reproduce any sweep case standalone with
+//   ./chaos_test --gtest_filter='Schedules/ChaosSweep.*/<seed>'
+// — the logged FaultPlan::summary shows the exact schedule replayed.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "coll/communicator.hpp"
+#include "common/rng.hpp"
+#include "net/fault.hpp"
+#include "service/service.hpp"
+
+namespace flare {
+namespace {
+
+using coll::Algorithm;
+using coll::CollectiveKind;
+using coll::CollectiveOptions;
+using coll::Communicator;
+
+void expect_no_leaked_occupancy(net::Network& net) {
+  for (net::Switch* sw : net.switches()) {
+    EXPECT_EQ(sw->installed_reduces(), 0u)
+        << sw->name() << " still holds installed reductions";
+    EXPECT_EQ(sw->occupancy().current(), 0u)
+        << sw->name() << " occupancy gauge leaked";
+  }
+}
+
+// ------------------------------------------------------- seeded sweep -----
+
+struct ChaosOutcome {
+  std::vector<f64> completion_s;
+  std::vector<u64> retransmits;
+  std::vector<u32> recoveries;
+  std::vector<bool> fell_back;
+  u64 traffic = 0;
+  u64 link_drops = 0;
+  u64 stale_drops = 0;
+
+  bool operator==(const ChaosOutcome& o) const = default;
+};
+
+/// One full chaos scenario, entirely derived from `seed`: topology, fault
+/// schedule, collective shape and iteration count.
+ChaosOutcome run_chaos(u64 seed) {
+  Rng meta(seed * 7919 + 1);
+  net::Network net;
+  std::vector<net::Host*> hosts;
+  if (meta.bernoulli(0.5)) {
+    net::FatTreeSpec spec;
+    spec.hosts = 16;
+    spec.radix = 4;
+    hosts = net::build_fat_tree(net, spec).hosts;
+  } else {
+    hosts = net::build_single_switch(net, 8).hosts;
+  }
+
+  net::FaultPlanSpec fspec;
+  fspec.link_flaps = 1 + static_cast<u32>(meta.uniform_u64(3));
+  fspec.switch_failures = static_cast<u32>(meta.uniform_u64(2));
+  fspec.drop_bursts = static_cast<u32>(meta.uniform_u64(5));
+  fspec.corrupt_bursts = static_cast<u32>(meta.uniform_u64(3));
+  fspec.horizon_ps = 30 * kPsPerUs;
+  const net::FaultPlan plan = net::FaultPlan::random(net, seed, fspec);
+  SCOPED_TRACE("seed " + std::to_string(seed) + " fault schedule:\n" +
+               plan.summary(net));
+  net::FaultInjector injector(net);
+  injector.arm(plan);
+
+  CollectiveOptions desc;
+  desc.algorithm = Algorithm::kFlareDense;
+  desc.dtype = meta.bernoulli(0.5) ? core::DType::kInt32
+                                   : core::DType::kInt64;
+  desc.data_bytes = 16_KiB << meta.uniform_u64(3);  // 16..64 KiB
+  desc.seed = seed;
+  desc.retransmit_timeout_ps = 5 * kPsPerUs;
+  desc.max_retransmits = 3;
+
+  ChaosOutcome out;
+  {
+    Communicator comm(net, hosts);
+    coll::PersistentCollective pc = comm.persistent(desc);
+    EXPECT_TRUE(pc.ok());
+    const u32 iters = 1 + static_cast<u32>(meta.uniform_u64(3));
+    for (u32 i = 0; i < iters; ++i) {
+      const coll::CollectiveResult res = pc.run();
+      EXPECT_TRUE(res.ok) << "iteration " << i;
+      EXPECT_EQ(res.max_abs_err, 0.0)
+          << "iteration " << i << " not bit-for-bit";
+      out.completion_s.push_back(res.completion_seconds);
+      out.retransmits.push_back(res.retransmits);
+      out.recoveries.push_back(res.recoveries);
+      out.fell_back.push_back(res.fell_back);
+    }
+    pc.release();
+  }
+  out.traffic = net.total_traffic_bytes();
+  out.link_drops = net.link_dropped_packets();
+  out.stale_drops = net.stale_reduce_dropped_packets();
+  expect_no_leaked_occupancy(net);
+  return out;
+}
+
+class ChaosSweep : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ChaosSweep, CompletesBitForBitAndDeterministically) {
+  const u64 seed = GetParam();
+  const ChaosOutcome first = run_chaos(seed);
+  const ChaosOutcome replay = run_chaos(seed);
+  // Same seed -> same run, down to completion times and every fault
+  // counter: the whole faulty execution is replayable.
+  EXPECT_TRUE(first == replay) << "seed " << seed << " not deterministic";
+}
+
+// >= 50 seeded schedules (acceptance criterion); each runs twice.
+INSTANTIATE_TEST_SUITE_P(Schedules, ChaosSweep,
+                         ::testing::Range<u64>(1, 61));
+
+// --------------------------------------------------- targeted recovery ----
+
+CollectiveOptions fault_tolerant_desc(u64 data_bytes = 32_KiB) {
+  CollectiveOptions desc;
+  desc.algorithm = Algorithm::kFlareDense;
+  desc.dtype = core::DType::kInt32;
+  desc.data_bytes = data_bytes;
+  desc.retransmit_timeout_ps = 3 * kPsPerUs;
+  desc.max_retransmits = 2;
+  return desc;
+}
+
+TEST(ChaosTargeted, SingleDropHealsByRetransmissionWithoutReinstall) {
+  // One lost host contribution: the watchdog retransmits, the engine
+  // aggregates the late copy, and no tree recovery is needed.
+  net::Network net;
+  auto topo = net::build_single_switch(net, 8);
+  net.link(0).drop_next(1);  // first packet of host 0's uplink
+
+  Communicator comm(net, topo.hosts);
+  const auto res = comm.run(fault_tolerant_desc());
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.max_abs_err, 0.0);
+  EXPECT_GE(res.retransmits, 1u);
+  EXPECT_EQ(res.recoveries, 0u);
+  EXPECT_FALSE(res.fell_back);
+  expect_no_leaked_occupancy(net);
+}
+
+TEST(ChaosTargeted, LostDownMulticastReemitsCachedResult) {
+  // Drop a packet on the switch->host direction: the host's retransmission
+  // hits a switch that already completed the block, which re-emits the
+  // cached result instead of re-aggregating.
+  net::Network net;
+  auto topo = net::build_single_switch(net, 4);
+  net.link(1).drop_next(2);  // switch->host0 direction of the first link
+
+  Communicator comm(net, topo.hosts);
+  const auto res = comm.run(fault_tolerant_desc(8_KiB));
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.max_abs_err, 0.0);
+  EXPECT_GE(res.retransmits, 1u);
+  EXPECT_EQ(res.recoveries, 0u);
+  expect_no_leaked_occupancy(net);
+}
+
+TEST(ChaosTargeted, SpineCrashRecoversInNetworkViaOtherSpine) {
+  // Fat tree with two spines: crashing the tree's spine mid-run forces a
+  // reinstall that routes around it — the collective finishes in-network.
+  net::Network net;
+  net::FatTreeSpec spec;
+  spec.hosts = 8;
+  spec.radix = 4;
+  auto topo = net::build_fat_tree(net, spec);
+  ASSERT_EQ(topo.spines.size(), 2u);
+
+  CollectiveOptions desc = fault_tolerant_desc(64_KiB);
+  Communicator comm(net, topo.hosts);
+  coll::PersistentCollective pc = comm.persistent(desc);
+  ASSERT_TRUE(pc.ok());
+  // The retry policy prefers the smallest embedding; find which spine (if
+  // any) the tree crosses and crash it mid-run.
+  net::Switch* tree_spine = nullptr;
+  for (const coll::TreeSwitchEntry& e : pc.tree().switches) {
+    for (net::Switch* sp : topo.spines) {
+      if (e.sw == sp) tree_spine = sp;
+    }
+  }
+  ASSERT_NE(tree_spine, nullptr) << "8 hosts over 4 leaves must cross a spine";
+  net.sim().schedule_at(2 * kPsPerUs, [tree_spine] { tree_spine->fail(); });
+
+  const auto res = pc.run();
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.max_abs_err, 0.0);
+  EXPECT_GE(res.recoveries, 1u);
+  EXPECT_FALSE(res.fell_back) << "the surviving spine should carry the tree";
+  EXPECT_TRUE(pc.in_network());
+  pc.release();
+  expect_no_leaked_occupancy(net);
+}
+
+TEST(ChaosTargeted, TotalSwitchLossFallsBackToHostRing) {
+  // Single switch crashed mid-run and restarted later: no viable tree at
+  // recovery time, so the allreduce finishes on the host ring (which itself
+  // NACKs through the outage window).
+  net::Network net;
+  auto topo = net::build_single_switch(net, 6);
+  net::Switch* sw = topo.leaves[0];
+  net.sim().schedule_at(2 * kPsPerUs, [sw] { sw->fail(); });
+  net.sim().schedule_at(40 * kPsPerUs, [sw] { sw->restart(); });
+
+  Communicator comm(net, topo.hosts);
+  const auto res = comm.run(fault_tolerant_desc());
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.max_abs_err, 0.0);
+  EXPECT_TRUE(res.fell_back);
+  EXPECT_FALSE(res.in_network);
+  expect_no_leaked_occupancy(net);
+}
+
+TEST(ChaosTargeted, HostRingSurvivesLinkFlap) {
+  // The ring data plane alone: a mid-run duplex outage on a host access
+  // link is healed by the NACK/replay machinery.
+  net::Network net;
+  auto topo = net::build_single_switch(net, 8);
+  CollectiveOptions desc = fault_tolerant_desc();
+  desc.algorithm = Algorithm::kHostRing;
+
+  net::FaultPlan plan;
+  plan.events.push_back({1 * kPsPerUs, net::FaultKind::kLinkDown, 2, 1});
+  plan.events.push_back({9 * kPsPerUs, net::FaultKind::kLinkUp, 2, 1});
+  net::FaultInjector injector(net);
+  injector.arm(plan);
+
+  Communicator comm(net, topo.hosts);
+  const auto res = comm.run(desc);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.max_abs_err, 0.0);
+  EXPECT_GE(res.retransmits, 1u);
+}
+
+TEST(ChaosTargeted, PermanentFaultReportsFailureInsteadOfHanging) {
+  // A switch that never restarts: broadcast has no host-ring fallback, so
+  // after the bounded heal-wait budget the op must publish ok == false and
+  // let the calendar drain — a permanent outage is an observable failure,
+  // not a hang.
+  net::Network net;
+  auto topo = net::build_single_switch(net, 4);
+  net.sim().schedule_at(1 * kPsPerUs, [sw = topo.leaves[0]] { sw->fail(); });
+
+  CollectiveOptions desc = fault_tolerant_desc(8_KiB);
+  desc.kind = CollectiveKind::kBroadcast;
+  Communicator comm(net, topo.hosts);
+  const auto res = comm.run(desc);
+  EXPECT_FALSE(res.ok);
+  expect_no_leaked_occupancy(net);
+}
+
+TEST(ChaosTargeted, PermanentRingStallReportsFailure) {
+  // The ring plane under a host access link that never comes back: the
+  // NACK budget runs out and the op publishes ok == false.
+  net::Network net;
+  auto topo = net::build_single_switch(net, 4);
+  net.sim().schedule_at(1 * kPsPerUs, [&net] {
+    net.set_duplex_up(0, false);  // h0's access link, down forever
+  });
+
+  CollectiveOptions desc = fault_tolerant_desc(8_KiB);
+  desc.algorithm = Algorithm::kHostRing;
+  Communicator comm(net, topo.hosts);
+  const auto res = comm.run(desc);
+  EXPECT_FALSE(res.ok);
+}
+
+// ------------------------------------------------------ service chaos -----
+
+TEST(ChaosService, JobsSurviveMidRunFaults) {
+  // A loaded service with a fault schedule across the run: every job must
+  // finish bit-for-bit, and the fault telemetry must show the service saw
+  // and survived the disruptions.
+  net::Network net;
+  net::FatTreeSpec spec;
+  spec.hosts = 16;
+  spec.radix = 4;
+  auto topo = net::build_fat_tree(net, spec);
+
+  service::ServiceOptions opt;
+  opt.retransmit_timeout_ps = 4 * kPsPerUs;
+  opt.max_retransmits = 2;
+  opt.queue_timeout_ps = 0;  // queued jobs wait for slots
+  service::AllreduceService svc(net, opt);
+
+  auto slice = [&](u32 lo, u32 n) {
+    return std::vector<net::Host*>(topo.hosts.begin() + lo,
+                                   topo.hosts.begin() + lo + n);
+  };
+  u32 jobs = 0;
+  for (u32 j = 0; j < 6; ++j) {
+    service::JobSpec s;
+    s.participants = slice((j * 4) % 12, 4 + (j % 2) * 4);
+    s.desc.data_bytes = 16_KiB << (j % 3);
+    s.desc.dtype = core::DType::kInt32;
+    s.desc.seed = 100 + j;
+    svc.submit_at(j * 2 * kPsPerUs, std::move(s));
+    jobs += 1;
+  }
+
+  net::FaultPlanSpec fspec;
+  fspec.link_flaps = 2;
+  fspec.switch_failures = 1;
+  fspec.drop_bursts = 4;
+  fspec.corrupt_bursts = 2;
+  fspec.horizon_ps = 25 * kPsPerUs;
+  const net::FaultPlan plan = net::FaultPlan::random(net, 4242, fspec);
+  net::FaultInjector injector(net);
+  injector.arm(plan);
+
+  net.sim().run();
+
+  ASSERT_EQ(svc.records().size(), jobs);
+  for (const service::JobRecord& rec : svc.records()) {
+    EXPECT_EQ(rec.state, service::JobState::kDone) << rec.job_id;
+    EXPECT_TRUE(rec.ok) << rec.job_id;
+    EXPECT_TRUE(rec.exact) << rec.job_id;
+  }
+  const service::ServiceTelemetry& t = svc.telemetry();
+  EXPECT_EQ(t.submitted, jobs);
+  EXPECT_GT(t.faults_seen, 0u);
+  EXPECT_EQ(svc.active_jobs(), 0u);
+  expect_no_leaked_occupancy(net);
+}
+
+}  // namespace
+}  // namespace flare

@@ -12,6 +12,7 @@
 
 #include "coll/communicator.hpp"
 #include "coll/flare_sparse.hpp"
+#include "net/fault.hpp"
 #include "workload/generators.hpp"
 
 namespace flare::coll {
@@ -218,6 +219,106 @@ TEST_P(SparseDensitySweep, TrafficTracksDensity) {
 
 INSTANTIATE_TEST_SUITE_P(Densities, SparseDensitySweep,
                          ::testing::Values(0.01, 0.05, 0.10, 0.25));
+
+// ------------------------------------------------ single-fault coverage ---
+// Property: for EVERY single-link and single-switch failure position in a
+// small fat-tree, every supported CollectiveKind x Algorithm combination
+// still completes correctly — recovered in-network, or on the host-ring
+// fallback — with a bit-for-bit (int32) result and no leaked switch
+// occupancy.  Faults are transient (down at 500 ns, repaired 8 us later),
+// which makes even a host access link or a leaf switch survivable.
+//
+// Combos cover the dense in-network kinds plus the ring data plane; the
+// sparse algorithms are excluded (blocking one-shots outside the recovery
+// protocol) and host-ring serves allreduce only.
+
+struct FaultCombo {
+  CollectiveKind kind;
+  Algorithm alg;
+};
+
+constexpr FaultCombo kFaultCombos[] = {
+    {CollectiveKind::kAllreduce, Algorithm::kFlareDense},
+    {CollectiveKind::kAllreduce, Algorithm::kAuto},
+    {CollectiveKind::kAllreduce, Algorithm::kHostRing},
+    {CollectiveKind::kReduce, Algorithm::kFlareDense},
+    {CollectiveKind::kBroadcast, Algorithm::kFlareDense},
+    {CollectiveKind::kBarrier, Algorithm::kFlareDense},
+};
+
+void run_all_combos_under_fault(bool fail_switch, u32 position) {
+  for (const FaultCombo& combo : kFaultCombos) {
+    SCOPED_TRACE(std::string(collective_kind_name(combo.kind)) + " x " +
+                 std::string(algorithm_name(combo.alg)) +
+                 (fail_switch ? " switch " : " link ") +
+                 std::to_string(position));
+    net::Network net;
+    net::FatTreeSpec spec;
+    spec.hosts = 8;
+    spec.radix = 4;
+    auto topo = net::build_fat_tree(net, spec);
+
+    net::FaultPlan plan;
+    if (fail_switch) {
+      const net::NodeId sw = (position < topo.spines.size())
+                                 ? topo.spines[position]->id()
+                                 : topo.leaves[position - topo.spines.size()]
+                                       ->id();
+      plan.events.push_back(
+          {kPsPerUs / 2, net::FaultKind::kSwitchFail, sw, 1});
+      plan.events.push_back(
+          {kPsPerUs / 2 + 8 * kPsPerUs, net::FaultKind::kSwitchRestart, sw,
+           1});
+    } else {
+      plan.events.push_back(
+          {kPsPerUs / 2, net::FaultKind::kLinkDown, position, 1});
+      plan.events.push_back(
+          {kPsPerUs / 2 + 8 * kPsPerUs, net::FaultKind::kLinkUp, position,
+           1});
+    }
+    net::FaultInjector injector(net);
+    injector.arm(plan);
+
+    CollectiveOptions desc;
+    desc.kind = combo.kind;
+    desc.algorithm = combo.alg;
+    desc.dtype = core::DType::kInt32;
+    desc.data_bytes = 16_KiB;
+    desc.seed = 100 + position;
+    desc.retransmit_timeout_ps = 3 * kPsPerUs;
+    desc.max_retransmits = 2;
+
+    Communicator comm(net, topo.hosts);
+    const CollectiveResult res = comm.run(desc);
+    ASSERT_TRUE(res.ok);
+    EXPECT_EQ(res.max_abs_err, 0.0);
+    for (net::Switch* sw : net.switches()) {
+      EXPECT_EQ(sw->installed_reduces(), 0u) << sw->name();
+      EXPECT_EQ(sw->occupancy().current(), 0u) << sw->name();
+    }
+  }
+}
+
+class SingleLinkFailure : public ::testing::TestWithParam<u32> {};
+
+TEST_P(SingleLinkFailure, EveryComboCompletes) {
+  run_all_combos_under_fault(/*fail_switch=*/false, GetParam());
+}
+
+// 8 host access links + 8 leaf-spine uplinks (duplex indices follow the
+// fat-tree builder's connect() order).
+INSTANTIATE_TEST_SUITE_P(Positions, SingleLinkFailure,
+                         ::testing::Range<u32>(0, 16));
+
+class SingleSwitchFailure : public ::testing::TestWithParam<u32> {};
+
+TEST_P(SingleSwitchFailure, EveryComboCompletes) {
+  run_all_combos_under_fault(/*fail_switch=*/true, GetParam());
+}
+
+// 2 spines then 4 leaves.
+INSTANTIATE_TEST_SUITE_P(Positions, SingleSwitchFailure,
+                         ::testing::Range<u32>(0, 6));
 
 // ----------------------------------------------------- tenant additivity --
 

@@ -189,6 +189,109 @@ TEST(Persistent, SingleHostRingIterationsAfterTimeZero) {
 
 // ------------------------------------------- reduce/broadcast/barrier -----
 
+TEST(PersistentFault, TransparentReinstallAfterSwitchRestart) {
+  // Persistent install-once / run-many across a crash: a tree switch fails
+  // and restarts BETWEEN iterations (its engines are lost), and the next
+  // start() transparently recomputes + reinstalls.  Iteration completion
+  // time before and after the recovery must be identical — the reinstalled
+  // embedding is the same tree on the same fabric — and releasing at the
+  // end must leave zero switch occupancy despite the install id changing.
+  CollectiveOptions desc = int_allreduce(32_KiB);
+  desc.retransmit_timeout_ps = 4 * kPsPerUs;
+
+  net::Network net;
+  net::FatTreeSpec spec;
+  spec.hosts = 8;
+  spec.radix = 4;
+  auto topo = net::build_fat_tree(net, spec);
+  Communicator comm(net, topo.hosts);
+  PersistentCollective pc = comm.persistent(desc);
+  ASSERT_TRUE(pc.ok());
+  const net::NodeId root_before = pc.tree().root;
+
+  const CollectiveResult before = pc.run();
+  ASSERT_TRUE(before.ok);
+  EXPECT_EQ(before.max_abs_err, 0.0);
+  EXPECT_EQ(before.recoveries, 0u);
+
+  // Crash-stop the tree root while idle; it restarts with empty tables.
+  net::Switch* failed = net.find_switch(root_before);
+  ASSERT_NE(failed, nullptr);
+  failed->fail();
+  failed->restart();
+  EXPECT_EQ(failed->installed_reduces(), 0u) << "crash must lose the engine";
+
+  const CollectiveResult after = pc.run();
+  ASSERT_TRUE(after.ok);
+  EXPECT_EQ(after.max_abs_err, 0.0);
+  EXPECT_EQ(after.recoveries, 1u) << "one transparent reinstall";
+  EXPECT_TRUE(pc.in_network());
+  EXPECT_EQ(pc.tree().root, root_before)
+      << "same fabric, same best embedding";
+  // Identical embedding + identical data-plane sizes: the iteration time
+  // is unchanged by the recovery (event times are value-independent).
+  EXPECT_DOUBLE_EQ(after.completion_seconds, before.completion_seconds);
+
+  // One more healthy iteration takes the plain reset path.
+  const CollectiveResult steady = pc.run();
+  ASSERT_TRUE(steady.ok);
+  EXPECT_EQ(steady.recoveries, 0u);
+  EXPECT_DOUBLE_EQ(steady.completion_seconds, before.completion_seconds);
+
+  pc.release();
+  // No leaked occupancy: the recovery's fresh install id was released too.
+  for (net::Switch* sw : net.switches()) {
+    EXPECT_EQ(sw->installed_reduces(), 0u) << sw->name();
+    EXPECT_EQ(sw->occupancy().current(), 0u) << sw->name();
+    EXPECT_GE(sw->occupancy().high_water(), 0u);
+  }
+}
+
+TEST(PersistentFault, MidIterationSpineCrashStaysInNetwork) {
+  // A spine dies mid-iteration on a two-spine fat tree: the op reinstalls
+  // around it and finishes in-network, and later iterations run against
+  // the recovered tree at steady-state timing.
+  CollectiveOptions desc = int_allreduce(64_KiB);
+  desc.retransmit_timeout_ps = 3 * kPsPerUs;
+  desc.max_retransmits = 2;
+
+  net::Network net;
+  net::FatTreeSpec spec;
+  spec.hosts = 8;
+  spec.radix = 4;
+  auto topo = net::build_fat_tree(net, spec);
+  Communicator comm(net, topo.hosts);
+  PersistentCollective pc = comm.persistent(desc);
+  ASSERT_TRUE(pc.ok());
+  net::Switch* tree_spine = nullptr;
+  for (const TreeSwitchEntry& e : pc.tree().switches) {
+    for (net::Switch* sp : topo.spines) {
+      if (e.sw == sp) tree_spine = sp;
+    }
+  }
+  ASSERT_NE(tree_spine, nullptr);
+  net.sim().schedule_at(2 * kPsPerUs, [tree_spine] { tree_spine->fail(); });
+
+  const CollectiveResult faulted = pc.run();
+  ASSERT_TRUE(faulted.ok);
+  EXPECT_EQ(faulted.max_abs_err, 0.0);
+  EXPECT_GE(faulted.recoveries, 1u);
+  EXPECT_FALSE(faulted.fell_back);
+  EXPECT_TRUE(pc.in_network());
+
+  const CollectiveResult steady = pc.run();
+  ASSERT_TRUE(steady.ok);
+  EXPECT_EQ(steady.recoveries, 0u);
+  EXPECT_LT(steady.completion_seconds, faulted.completion_seconds)
+      << "recovered iterations should not pay the fault penalty";
+
+  pc.release();
+  for (net::Switch* sw : net.switches()) {
+    EXPECT_EQ(sw->installed_reduces(), 0u) << sw->name();
+    EXPECT_EQ(sw->occupancy().current(), 0u) << sw->name();
+  }
+}
+
 TEST(CommunicatorKinds, ReduceDeliversAtDestination) {
   net::Network net;
   auto topo = net::build_single_switch(net, 8);

@@ -14,9 +14,11 @@
 #include <map>
 #include <memory>
 
+#include "coll/communicator.hpp"
 #include "common/rng.hpp"
 #include "core/allreduce_engine.hpp"
 #include "core/typed_buffer.hpp"
+#include "net/fault.hpp"
 #include "workload/generators.hpp"
 
 namespace flare::core {
@@ -242,6 +244,70 @@ TEST_P(SparseFuzz, InvariantsHoldUnderShardStorms) {
 INSTANTIATE_TEST_SUITE_P(Storms, SparseFuzz,
                          ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18,
                                            19, 20, 21, 22));
+
+// ---------------------------------------------------------------------------
+// Network-level fault fuzz: a randomized (seed-logged, replayable) fault
+// schedule — link flaps, switch crash/restarts, drop and corruption bursts —
+// against full collectives over the network simulator.  Contract: any run
+// that completes must be bit-for-bit equal to the reference reduction
+// (integer sum is associative, so tree association cannot hide errors), and
+// the fabric must come back clean (no leaked switch occupancy).
+
+class NetworkFaultFuzz : public ::testing::TestWithParam<u64> {};
+
+TEST_P(NetworkFaultFuzz, CompletedRunsMatchReferenceBitForBit) {
+  const u64 seed = GetParam();
+  Rng rng(seed * 31337 + 7);
+
+  net::Network net;
+  std::vector<net::Host*> hosts;
+  if (rng.bernoulli(0.4)) {
+    net::FatTreeSpec topo;
+    topo.hosts = 8;
+    topo.radix = 4;
+    hosts = net::build_fat_tree(net, topo).hosts;
+  } else {
+    hosts = net::build_single_switch(
+                net, 3 + static_cast<u32>(rng.uniform_u64(10)))
+                .hosts;
+  }
+
+  net::FaultPlanSpec fspec;
+  fspec.link_flaps = static_cast<u32>(rng.uniform_u64(3));
+  fspec.switch_failures = static_cast<u32>(rng.uniform_u64(2));
+  fspec.drop_bursts = 1 + static_cast<u32>(rng.uniform_u64(4));
+  fspec.corrupt_bursts = static_cast<u32>(rng.uniform_u64(3));
+  fspec.horizon_ps = 20 * kPsPerUs;
+  const net::FaultPlan plan = net::FaultPlan::random(net, seed, fspec);
+  // Seed-logged + replayable: a failing case prints the exact schedule.
+  SCOPED_TRACE("fault-fuzz seed " + std::to_string(seed) + ", schedule:\n" +
+               plan.summary(net));
+  net::FaultInjector injector(net);
+  injector.arm(plan);
+
+  coll::CollectiveOptions desc;
+  const u64 alg_pick = rng.uniform_u64(3);
+  desc.algorithm = alg_pick == 0   ? coll::Algorithm::kHostRing
+                   : alg_pick == 1 ? coll::Algorithm::kAuto
+                                   : coll::Algorithm::kFlareDense;
+  desc.dtype = rng.bernoulli(0.5) ? DType::kInt32 : DType::kInt64;
+  desc.data_bytes = 4_KiB << rng.uniform_u64(4);  // 4..32 KiB
+  desc.seed = seed;
+  desc.retransmit_timeout_ps = 4 * kPsPerUs;
+  desc.max_retransmits = 3;
+
+  coll::Communicator comm(net, hosts);
+  const coll::CollectiveResult res = comm.run(desc);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.max_abs_err, 0.0) << "completed run is not bit-for-bit";
+  for (net::Switch* sw : net.switches()) {
+    EXPECT_EQ(sw->installed_reduces(), 0u) << sw->name();
+    EXPECT_EQ(sw->occupancy().current(), 0u) << sw->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultSchedules, NetworkFaultFuzz,
+                         ::testing::Range<u64>(900, 924));
 
 }  // namespace
 }  // namespace flare::core

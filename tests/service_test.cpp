@@ -60,7 +60,7 @@ TEST(Service, QueueingOrderAndRetryAfterRelease) {
   EXPECT_GT(recs[j2].queue_delay_seconds(), 0.0);
   EXPECT_GE(recs[j1].requeue_retries, 1u);
   EXPECT_EQ(svc.telemetry().in_network, 3u);
-  EXPECT_EQ(svc.telemetry().fallback, 0u);
+  EXPECT_EQ(svc.telemetry().fallback(), 0u);
   EXPECT_EQ(svc.telemetry().peak_queue_len, 2u);
   EXPECT_EQ(svc.queued_jobs(), 0u);
   EXPECT_EQ(svc.active_jobs(), 0u);
@@ -112,7 +112,7 @@ TEST(Service, FallbackRingMatchesReference) {
     EXPECT_TRUE(rec.ok);
     EXPECT_TRUE(rec.exact);  // int32 sum is associative: bit-for-bit
   }
-  EXPECT_EQ(svc.telemetry().fallback, 2u);
+  EXPECT_EQ(svc.telemetry().fallback(), 2u);
   EXPECT_EQ(svc.telemetry().inadmissible, 2u);
   EXPECT_EQ(svc.telemetry().queue_overflows, 0u);
   EXPECT_DOUBLE_EQ(svc.telemetry().fallback_ratio(), 1.0);
@@ -155,7 +155,7 @@ TEST(Service, QueueTimeoutFallsBackToRing) {
   EXPECT_TRUE(recs[1].ok);
   EXPECT_EQ(recs[1].start_ps, recs[1].arrival_ps + 1 * kPsPerUs);
   EXPECT_EQ(svc.telemetry().timed_out, 1u);
-  EXPECT_EQ(svc.telemetry().fallback, 1u);
+  EXPECT_EQ(svc.telemetry().fallback(), 1u);
 }
 
 TEST(Service, ExplicitHostRingSkipsAdmission) {
@@ -180,9 +180,53 @@ TEST(Service, ExplicitHostRingSkipsAdmission) {
   EXPECT_TRUE(rec.exact);
   EXPECT_EQ(rec.admission_attempts, 0u);
   EXPECT_EQ(svc.telemetry().host_requested, 1u);
-  EXPECT_EQ(svc.telemetry().fallback, 0u);
+  EXPECT_EQ(svc.telemetry().fallback(), 0u);
   EXPECT_EQ(svc.telemetry().rejected, 0u);
   EXPECT_DOUBLE_EQ(svc.telemetry().fallback_ratio(), 0.0);
+}
+
+TEST(Service, RingCountersSeparateRequestsFromTimeoutFallbacks) {
+  // Regression for the double-count bug: the old single `fallback` counter
+  // conflated explicitly host-requested jobs with queue-timeout fallbacks.
+  // Now every ring start increments exactly ONE cause counter, so
+  // submitted == in_network + host_requested + fallback() + rejected holds
+  // job-for-job even when requests and timeouts mix in one run.
+  net::Network net;
+  auto topo = net::build_single_switch(net, 8, {}, /*max_allreduces=*/1);
+  ServiceOptions opt;
+  opt.queue_timeout_ps = 1 * kPsPerUs;  // shorter than job 0's runtime
+  AllreduceService svc(net, opt);
+
+  // Job 0 occupies the only switch slot; job 1 queues and times out into a
+  // ring fallback; job 2 explicitly requests the ring.
+  svc.submit(make_job(slice(topo.hosts, 0, 4), 1 * kMiB, 1));
+  svc.submit(make_job(slice(topo.hosts, 4, 2), 64 * kKiB, 2));
+  JobSpec explicit_ring = make_job(slice(topo.hosts, 6, 2), 64 * kKiB, 3);
+  explicit_ring.desc.algorithm = coll::Algorithm::kHostRing;
+  svc.submit(std::move(explicit_ring));
+  net.sim().run();
+
+  const ServiceTelemetry& t = svc.telemetry();
+  EXPECT_EQ(t.submitted, 3u);
+  EXPECT_EQ(t.in_network, 1u);
+  EXPECT_EQ(t.host_requested, 1u);
+  EXPECT_EQ(t.timeout_fallbacks, 1u);
+  EXPECT_EQ(t.overflow_fallbacks, 0u);
+  EXPECT_EQ(t.inadmissible_fallbacks, 0u);
+  EXPECT_EQ(t.fallback(), 1u);  // the timed-out job, once — not the
+                                // explicitly requested one
+  EXPECT_EQ(t.rejected, 0u);
+  // Every submitted job is counted exactly once across the outcomes.
+  EXPECT_EQ(t.in_network + t.host_requested + t.fallback() + t.rejected,
+            t.submitted);
+  EXPECT_EQ(t.completed(), 3u);
+  // The ratio denominates over served jobs and excludes explicit requests
+  // from the numerator.
+  EXPECT_DOUBLE_EQ(t.fallback_ratio(), 1.0 / 3.0);
+  for (const JobRecord& rec : svc.records()) {
+    EXPECT_EQ(rec.state, JobState::kDone);
+    EXPECT_TRUE(rec.ok);
+  }
 }
 
 TEST(Service, RejectsWhenFallbackDisabled) {
@@ -378,7 +422,7 @@ TEST(Service, ScarceSlotsMixInNetworkAndFallback) {
     EXPECT_TRUE(rec.exact);
   }
   EXPECT_EQ(svc.telemetry().completed(), 16u);
-  EXPECT_GT(svc.telemetry().fallback, 0u) << "scarce slots should force "
+  EXPECT_GT(svc.telemetry().fallback(), 0u) << "scarce slots should force "
                                              "some host fallback";
   EXPECT_GT(svc.telemetry().in_network, 0u);
 }
