@@ -9,6 +9,7 @@
 #include "coll/tree_cache.hpp"
 #include "core/policy.hpp"
 #include "core/staggered.hpp"
+#include "net/telemetry.hpp"
 #include "workload/generators.hpp"
 
 namespace flare::coll {
@@ -50,6 +51,10 @@ class OpBase {
   /// The LIVE reduction tree of an in-network op holding an install;
   /// nullptr for host-based ops and after a fault stripped the tree.
   virtual const ReductionTree* current_tree() const { return nullptr; }
+
+  /// Congestion migrations performed over the op's lifetime (0 for
+  /// host-based ops).
+  virtual u32 migrations() const { return 0; }
 
   /// Releases installed switch state and host handlers; idempotent, no-op
   /// for host-based ops.  Called by PersistentCollective::release().
@@ -463,10 +468,11 @@ class InNetOp final : public OpBase {
   InNetOp(net::Network& net, NetworkManager& manager,
           const std::vector<net::Host*>& participants,
           const CollectiveOptions& desc, core::AllreduceConfig cfg,
-          ReductionTree tree, bool owns_install)
+          ReductionTree tree, bool owns_install,
+          net::CongestionMonitor* monitor = nullptr)
       : net_(net), manager_(manager), participants_(participants),
         desc_(desc), cfg_(cfg), tree_(std::move(tree)),
-        owns_install_(owns_install), op_(cfg.op) {
+        owns_install_(owns_install), op_(cfg.op), monitor_(monitor) {
     const u32 esize = core::dtype_size(desc_.dtype);
     if (desc_.kind == CollectiveKind::kBarrier) {
       elems_total_ = 0;
@@ -499,6 +505,8 @@ class InNetOp final : public OpBase {
     return installed_ ? &tree_ : nullptr;
   }
 
+  u32 migrations() const override { return migrations_total_; }
+
   void release_install() override {
     if (!installed_) return;
     for (net::Host* host : participants_) {
@@ -515,7 +523,14 @@ class InNetOp final : public OpBase {
     retransmits_ = 0;
     recoveries_ = 0;
     recover_waits_ = 0;
-    if (!owns_install_ && !first_begin_) refresh_persistent_install();
+    migrations_iter_ = 0;
+    if (!owns_install_ && !first_begin_) {
+      refresh_persistent_install();
+      // Congestion adaptation happens at the iteration boundary, after the
+      // fault-driven refresh: a healthy tree on hot links is still the
+      // wrong tree.
+      maybe_migrate();
+    }
     first_begin_ = false;
     if (ring_ != nullptr) {
       // Earlier iterations lost the fabric for good: run on the host ring.
@@ -798,6 +813,7 @@ class InNetOp final : public OpBase {
     res.ok = false;
     res.retransmits = retransmits_;
     res.recoveries = recoveries_;
+    res.migrations = migrations_iter_;
     finished_ = true;
     complete_ = true;
     publish(std::move(res));  // may destroy *this — nothing after
@@ -861,6 +877,7 @@ class InNetOp final : public OpBase {
     res.fell_back = true;
     res.retransmits += retransmits_;
     res.recoveries = recoveries_;
+    res.migrations = migrations_iter_;
     finished_ = true;
     complete_ = true;
     publish(std::move(res));  // may destroy *this — nothing after
@@ -892,6 +909,93 @@ class InNetOp final : public OpBase {
     }
     // Otherwise proceed uninstalled: sends blackhole and the watchdog
     // escalates into recover(), which retries until the fabric heals.
+  }
+
+  // ---------------------------------------------- congestion adaptation --
+
+  /// Iteration-boundary migration check (Canary's dynamic trees): when the
+  /// installed tree's links run hot AND a sufficiently cheaper embedding
+  /// exists, move there via the fresh-id reinstall path.  Deterministic:
+  /// every input (monitor sample, costs, candidate order) is a pure
+  /// function of the calendar state at this instant.
+  void maybe_migrate() {
+    if (monitor_ == nullptr || desc_.migrate_above <= 0.0 || !installed_ ||
+        ring_ != nullptr) {
+      return;
+    }
+    // Completion-time watch — the PRIMARY trigger, as in Canary: only an
+    // iteration that actually regressed justifies control work.  This gate
+    // is mandatory because the EWMA alone cannot be trusted here: the
+    // session's OWN traffic makes whatever tree it runs on look hot, and
+    // acting on that signal would make every session flee itself forever.
+    // migrate_slowdown <= 1 checks on ANY regression; on a quiet fabric
+    // iterations repeat bit for bit, so equality never trips it.
+    const f64 slack = std::max(1.0, desc_.migrate_slowdown);
+    if (best_iter_ps_ == 0 ||
+        static_cast<f64>(last_iter_ps_) <=
+            static_cast<f64>(best_iter_ps_) * slack) {
+      return;
+    }
+    monitor_->sample();  // fresh snapshot at the decision point
+    const f64 cur_hot = tree_max_congestion(*monitor_, tree_);
+    if (cur_hot < desc_.migrate_above) return;
+    std::optional<ReductionTree> best;
+    for (net::Switch* candidate : net_.switches()) {
+      auto tree = manager_.compute_tree(participants_, candidate->id());
+      if (tree && (!best || tree->cost < best->cost)) best = std::move(tree);
+    }
+    // Hysteresis on the WORST edge, not the total cost: edges every
+    // candidate must cross (the participants' access links, self-heated by
+    // the session's own traffic) cancel out of a max and would dilute a
+    // sum — a migration must actually shed the hottest link, or the slow
+    // iteration was caused by congestion no tree can route around.
+    if (!best || tree_max_congestion(*monitor_, *best) >
+                     desc_.migrate_improvement * cur_hot) {
+      return;
+    }
+
+    // Break-before-make on the PR-3 fresh-id path: stale in-flight packets
+    // of the old id drop harmlessly at switches and hosts.  No calendar
+    // event can run between the release and the install, so at minimum the
+    // OLD embedding's slots are still free for the retry below.
+    std::vector<net::NodeId> old_switches;
+    for (const TreeSwitchEntry& e : tree_.switches) {
+      old_switches.push_back(e.sw->id());
+    }
+    release_install();
+    cfg_.id = manager_.next_id();
+    const f64 bps = resolved_switch_service_bps(desc_, false);
+    if (manager_.install(*best, cfg_, bps)) {
+      tree_ = std::move(*best);
+      installed_ = true;
+    } else {
+      // The target shares a full switch with other tenants: take the best
+      // install that fits instead (cost-ordered retry).
+      InstallReport rep =
+          manager_.install_with_retry(participants_, cfg_, bps);
+      if (!rep) {
+        if (desc_.kind == CollectiveKind::kAllreduce) {
+          prepare_ring_fallback();
+        } else {
+          FLARE_ASSERT_MSG(timeout_ps_ > 0,
+                           "migration lost the tree with fault handling off");
+        }
+        return;
+      }
+      tree_ = std::move(*rep);
+      installed_ = true;
+    }
+    // A migration is a tree that MOVED: when admission pushed the session
+    // back onto its old embedding (the target's slots were taken), the
+    // fresh-id churn is not a migration and must not count as one.
+    std::vector<net::NodeId> new_switches;
+    for (const TreeSwitchEntry& e : tree_.switches) {
+      new_switches.push_back(e.sw->id());
+    }
+    if (new_switches != old_switches) {
+      migrations_iter_ += 1;
+      migrations_total_ += 1;
+    }
   }
 
   void finalize() {
@@ -949,6 +1053,12 @@ class InNetOp final : public OpBase {
     }
     res.retransmits = retransmits_;
     res.recoveries = recoveries_;
+    res.migrations = migrations_iter_;
+    // Completion-time watch feeding the next iteration's migration check.
+    last_iter_ps_ = static_cast<SimTime>(worst);
+    if (best_iter_ps_ == 0 || last_iter_ps_ < best_iter_ps_) {
+      best_iter_ps_ = last_iter_ps_;
+    }
 
     if (owns_install_) release_install();
     complete_ = true;
@@ -997,6 +1107,14 @@ class InNetOp final : public OpBase {
   u64 seed_ = 0;
   u64 retransmits_ = 0;
   u32 recoveries_ = 0;
+
+  // --- congestion adaptation ---
+  net::CongestionMonitor* monitor_ = nullptr;
+  u32 migrations_iter_ = 0;   ///< while preparing the CURRENT iteration
+  u32 migrations_total_ = 0;  ///< over the op's lifetime
+  SimTime last_iter_ps_ = 0;  ///< completion of the previous iteration
+  SimTime best_iter_ps_ = 0;  ///< fastest iteration so far
+
   /// Host-ring fallback data plane once no viable tree remains.
   std::unique_ptr<RingOp> ring_;
   std::shared_ptr<OpState> ring_state_;
@@ -1049,6 +1167,10 @@ const ReductionTree& PersistentCollective::tree() const {
   return *live;
 }
 
+u32 PersistentCollective::migrations() const {
+  return op_ != nullptr ? op_->migrations() : 0;
+}
+
 void PersistentCollective::release() {
   if (op_ != nullptr) op_->release_install();
   op_.reset();
@@ -1092,6 +1214,17 @@ Communicator::Communicator(net::Network& net,
   } else {
     owned_manager_ = std::make_unique<NetworkManager>(net_);
     manager_ = owned_manager_.get();
+  }
+  if (cfg_.monitor != nullptr && owned_manager_ != nullptr) {
+    // Congestion-aware embedding: the monitor's edge costs drive the
+    // manager's tree search.  Installed on the PRIVATE manager only — its
+    // lifetime ends with this session, so the captured monitor pointer
+    // can never dangle into other sessions.  A shared manager keeps
+    // whatever provider its owner (e.g. the service layer) set.
+    net::CongestionMonitor* monitor = cfg_.monitor;
+    manager_->set_link_cost([monitor](net::NodeId node, u32 port) {
+      return monitor->edge_cost(node, port);
+    });
   }
 }
 
@@ -1148,6 +1281,9 @@ core::AllreduceConfig Communicator::make_config(
 
 InstallReport Communicator::install(const CollectiveOptions& desc,
                                     const core::AllreduceConfig& cfg) {
+  // Placement decisions read the fabric as it is NOW, not as it was at the
+  // monitor's last scheduled sample.
+  if (cfg_.monitor != nullptr) cfg_.monitor->sample();
   const f64 bps = resolved_switch_service_bps(desc, /*sparse=*/false);
   if (!cfg_.roots.empty()) {
     return manager_->install_with_roots(participants_, cfg, bps, cfg_.roots,
@@ -1190,7 +1326,7 @@ CollectiveHandle Communicator::start(const CollectiveOptions& desc,
       }
       auto op = std::make_unique<detail::InNetOp>(
           net_, *manager_, participants_, desc, cfg, std::move(*report),
-          /*owns_install=*/true);
+          /*owns_install=*/true, cfg_.monitor);
       auto state = std::make_shared<detail::OpState>();
       state->on_complete = std::move(on_complete);
       CollectiveHandle handle(state);
@@ -1314,7 +1450,7 @@ PersistentCollective Communicator::persistent(const CollectiveOptions& desc) {
   // tree()/release() and survives moves of the PersistentCollective.
   pc.op_ = std::make_unique<detail::InNetOp>(
       net_, *manager_, participants_, desc, pc.cfg_, *pc.report_,
-      /*owns_install=*/false);
+      /*owns_install=*/false, cfg_.monitor);
   return pc;
 }
 

@@ -83,6 +83,14 @@ struct CommunicatorConfig {
   /// Candidate tree roots tried in THIS order (a root-selection policy);
   /// empty -> best-fit retry over every switch.
   std::vector<net::NodeId> roots;
+  /// Congestion plane (must outlive the session): embedding turns
+  /// congestion-aware — the monitor's edge costs become the link-cost
+  /// provider of a PRIVATE manager (a shared `manager` keeps whatever
+  /// provider its owner set, so one session can never rewire another's
+  /// control plane), the monitor is sampled before each install, and
+  /// persistent sessions migrate per Tuning::migrate_above.  Null keeps
+  /// the congestion-blind behavior.
+  net::CongestionMonitor* monitor = nullptr;
 };
 
 /// A persistent collective request: install-once / run-many.  Move-only;
@@ -111,9 +119,12 @@ class PersistentCollective {
   bool in_network() const;
   /// Asserts in_network(): host-ring persistents have no tree.  Returns
   /// the LIVE tree, which may differ from install_report()'s after a
-  /// fault-triggered reinstall.
+  /// fault-triggered reinstall or a congestion migration.
   const ReductionTree& tree() const;
   u32 iterations() const { return iterations_; }
+  /// Congestion-triggered re-embeddings over the session's lifetime (each
+  /// iteration's CollectiveResult carries its own share).
+  u32 migrations() const;
 
   /// Blocking iteration: resets per-iteration engine/host state, executes
   /// against the installed tree, drives the calendar to idle.  When the

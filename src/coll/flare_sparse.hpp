@@ -9,11 +9,11 @@
 // so both the uniform SparseSpec generator (Figure 14) and the bucketed
 // gradient trace (Figure 15) drive the same protocol.
 //
-// The legacy run_flare_sparse entry point is DEPRECATED: use
-// coll::Communicator with a sparse workload attached to CollectiveOptions
-// (algorithm kAuto or kFlareSparse).  The sparse engine is blocking-only
-// (Communicator::run); detail::flare_sparse_oneshot is the shared
-// implementation.
+// Entry point: coll::Communicator with a sparse workload attached to
+// CollectiveOptions (algorithm kAuto or kFlareSparse).  The sparse engine
+// is blocking-only (Communicator::run); detail::flare_sparse_oneshot is
+// the shared implementation.  (The deprecated run_flare_sparse wrapper is
+// gone — every call site speaks the descriptor API.)
 #pragma once
 
 #include "coll/communicator.hpp"
@@ -38,12 +38,5 @@ FlareSparseResult flare_sparse_oneshot(
     net::Network& net, const std::vector<net::Host*>& participants,
     const SparseWorkload& workload, const FlareSparseOptions& opt);
 }  // namespace detail
-
-[[deprecated("use coll::Communicator with CollectiveOptions::sparse")]]
-inline FlareSparseResult run_flare_sparse(
-    net::Network& net, const std::vector<net::Host*>& participants,
-    const SparseWorkload& workload, const FlareSparseOptions& opt) {
-  return detail::flare_sparse_oneshot(net, participants, workload, opt);
-}
 
 }  // namespace flare::coll

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <deque>
 #include <limits>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "coll/tree_cache.hpp"
 #include "common/assert.hpp"
+#include "net/telemetry.hpp"
 
 namespace flare::coll {
 
@@ -30,37 +32,74 @@ std::optional<ReductionTree> NetworkManager::compute_tree(
   const u32 n = net_.num_nodes();
   FLARE_ASSERT(!participants.empty());
 
-  // BFS over switches only (hosts hang off their single access switch).
+  // Shortest paths over switches only (hosts hang off their single access
+  // switch): plain BFS under unit hop costs, Dijkstra when a link-cost
+  // provider is set — congested edges become long and the tree routes
+  // around them.  `dist` counts hops either way (it is the tree DEPTH,
+  // which sizes the aggregation pipeline); `cost` carries the provider
+  // metric the predecessor choice minimizes.
   std::vector<u32> dist(n, std::numeric_limits<u32>::max());
+  std::vector<f64> cost(n, std::numeric_limits<f64>::infinity());
   std::vector<net::NodeId> pred(n, net::kInvalidNode);
   std::vector<u32> pred_port(n, UINT32_MAX);  // port on THIS node -> parent
   dist[root] = 0;
-  std::deque<net::NodeId> frontier{root};
+  cost[root] = 0.0;
   std::unordered_map<net::NodeId, net::Switch*> switch_by_id;
   for (net::Switch* sw : net_.switches()) switch_by_id[sw->id()] = sw;
   if (!switch_by_id.contains(root)) return std::nullopt;
-  // Fault awareness: a failed root can host nothing, and the BFS must not
-  // route the tree across failed switches or down links (port_usable below
-  // covers both the duplex link state and peer liveness).
+  // Fault awareness: a failed root can host nothing, and the search must
+  // not route the tree across failed switches or down links (port_usable
+  // below covers both the duplex link state and peer liveness).
   if (switch_by_id.at(root)->failed()) return std::nullopt;
 
-  while (!frontier.empty()) {
-    const net::NodeId cur = frontier.front();
-    frontier.pop_front();
-    for (const net::PortPeer& pp : net_.neighbors(cur)) {
-      if (!switch_by_id.contains(pp.peer)) continue;  // skip hosts
-      if (dist[pp.peer] != std::numeric_limits<u32>::max()) continue;
-      if (!net_.port_usable(cur, pp.my_port)) continue;  // dead edge/peer
-      dist[pp.peer] = dist[cur] + 1;
-      pred[pp.peer] = cur;
-      // Find the peer's port toward cur.
-      for (const net::PortPeer& back : net_.neighbors(pp.peer)) {
-        if (back.peer == cur) {
-          pred_port[pp.peer] = back.my_port;
-          break;
+  if (!link_cost_) {
+    std::deque<net::NodeId> frontier{root};
+    while (!frontier.empty()) {
+      const net::NodeId cur = frontier.front();
+      frontier.pop_front();
+      for (const net::PortPeer& pp : net_.neighbors(cur)) {
+        if (!switch_by_id.contains(pp.peer)) continue;  // skip hosts
+        if (dist[pp.peer] != std::numeric_limits<u32>::max()) continue;
+        if (!net_.port_usable(cur, pp.my_port)) continue;  // dead edge/peer
+        dist[pp.peer] = dist[cur] + 1;
+        cost[pp.peer] = cost[cur] + 1.0;
+        pred[pp.peer] = cur;
+        // Find the peer's port toward cur.
+        for (const net::PortPeer& back : net_.neighbors(pp.peer)) {
+          if (back.peer == cur) {
+            pred_port[pp.peer] = back.my_port;
+            break;
+          }
         }
+        frontier.push_back(pp.peer);
       }
-      frontier.push_back(pp.peer);
+    }
+  } else {
+    // Dijkstra with a deterministic (cost, node-id) order; ties keep the
+    // first predecessor found, so equal-cost fabrics embed identically on
+    // every run.
+    std::set<std::pair<f64, net::NodeId>> frontier{{0.0, root}};
+    while (!frontier.empty()) {
+      const auto [ccost, cur] = *frontier.begin();
+      frontier.erase(frontier.begin());
+      if (ccost > cost[cur]) continue;  // stale entry
+      for (const net::PortPeer& pp : net_.neighbors(cur)) {
+        if (!switch_by_id.contains(pp.peer)) continue;  // skip hosts
+        if (!net_.port_usable(cur, pp.my_port)) continue;
+        const f64 ncost = cost[cur] + link_cost_(cur, pp.my_port);
+        if (ncost >= cost[pp.peer]) continue;
+        frontier.erase({cost[pp.peer], pp.peer});
+        cost[pp.peer] = ncost;
+        dist[pp.peer] = dist[cur] + 1;
+        pred[pp.peer] = cur;
+        for (const net::PortPeer& back : net_.neighbors(pp.peer)) {
+          if (back.peer == cur) {
+            pred_port[pp.peer] = back.my_port;
+            break;
+          }
+        }
+        frontier.insert({ncost, pp.peer});
+      }
     }
   }
 
@@ -170,7 +209,29 @@ std::optional<ReductionTree> NetworkManager::compute_tree(
     FLARE_ASSERT(found);
     tree.switches[i].child_index_at_parent = idx;
   }
+  tree.cost = tree_cost(tree);
   return tree;
+}
+
+f64 NetworkManager::tree_cost(const ReductionTree& tree) const {
+  // Every tree edge exactly once: each switch's child links (hosts and
+  // child switches — the parent links are the same edges seen from below).
+  f64 total = 0.0;
+  for (const TreeSwitchEntry& e : tree.switches) {
+    for (const u32 p : e.child_ports) total += edge_cost(e.sw->id(), p);
+  }
+  return total;
+}
+
+f64 tree_max_congestion(const net::CongestionMonitor& monitor,
+                        const ReductionTree& tree) {
+  f64 worst = 0.0;
+  for (const TreeSwitchEntry& e : tree.switches) {
+    for (const u32 p : e.child_ports) {
+      worst = std::max(worst, monitor.edge_congestion(e.sw->id(), p));
+    }
+  }
+  return worst;
 }
 
 bool NetworkManager::install(const ReductionTree& tree,
@@ -245,18 +306,34 @@ InstallReport NetworkManager::install_with_retry(
     f64 switch_service_bps) {
   InstallReport report;
   // Prefer the embedding that uses the fewest switches (and, among those,
-  // the shallowest): less switch memory consumed and fewer hops.
+  // the shallowest): less switch memory consumed and fewer hops.  Under a
+  // link-cost provider the preference inverts to CHEAPEST first — a
+  // slightly larger tree over idle links beats a compact one through a
+  // congested spine (Canary's placement result) — with size/depth/root as
+  // deterministic tie-breaks.
   std::vector<ReductionTree> candidates;
   for (net::Switch* candidate : net_.switches()) {
     auto tree = compute_tree(participants, candidate->id());
     if (tree) candidates.push_back(std::move(*tree));
   }
-  std::sort(candidates.begin(), candidates.end(),
-            [](const ReductionTree& a, const ReductionTree& b) {
-              if (a.switches.size() != b.switches.size())
-                return a.switches.size() < b.switches.size();
-              return a.max_depth < b.max_depth;
-            });
+  if (link_cost_) {
+    std::sort(candidates.begin(), candidates.end(),
+              [](const ReductionTree& a, const ReductionTree& b) {
+                if (a.cost != b.cost) return a.cost < b.cost;
+                if (a.switches.size() != b.switches.size())
+                  return a.switches.size() < b.switches.size();
+                if (a.max_depth != b.max_depth)
+                  return a.max_depth < b.max_depth;
+                return a.root < b.root;
+              });
+  } else {
+    std::sort(candidates.begin(), candidates.end(),
+              [](const ReductionTree& a, const ReductionTree& b) {
+                if (a.switches.size() != b.switches.size())
+                  return a.switches.size() < b.switches.size();
+                return a.max_depth < b.max_depth;
+              });
+  }
   for (ReductionTree& tree : candidates) {
     report.attempts += 1;
     if (!report.any_feasible) {

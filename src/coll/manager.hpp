@@ -14,6 +14,10 @@
 
 #include "net/network.hpp"
 
+namespace flare::net {
+class CongestionMonitor;  // net/telemetry.hpp
+}
+
 namespace flare::coll {
 
 struct TreeSwitchEntry {
@@ -30,6 +34,11 @@ struct ReductionTree {
   std::vector<TreeSwitchEntry> switches;     ///< root first (BFS order)
   std::vector<u16> host_child_index;         ///< by host_index
   u32 max_depth = 0;
+  /// Total embedding cost under the link-cost provider compute_tree ran
+  /// with: the sum of every tree edge's cost (parent links + child links,
+  /// including host access links).  Edge count when no provider (unit hop
+  /// costs).  Congestion-aware placement and migration compare this.
+  f64 cost = 0.0;
 };
 
 /// Outcome of an admission round (replaces the out-pointer parameters the
@@ -59,6 +68,13 @@ struct InstallReport {
 /// embeddings and to decide that a running collective's tree is dead.
 bool tree_alive(const net::Network& net, const ReductionTree& tree);
 
+/// Worst monitor EWMA utilization across every edge of `tree` (parent and
+/// child links, both directions — host access links included via the child
+/// ports).  The migration trigger and the TreeCache staleness validator
+/// both key off this.
+f64 tree_max_congestion(const net::CongestionMonitor& monitor,
+                        const ReductionTree& tree);
+
 class NetworkManager {
  public:
   explicit NetworkManager(net::Network& net) : net_(net) {}
@@ -68,6 +84,21 @@ class NetworkManager {
   /// Fresh collective identifier, unique across every manager sharing the
   /// network (the counter lives on net::Network).
   u32 next_id() { return net_.alloc_collective_id(); }
+
+  /// Pluggable embedding edge-cost provider: the cost (>= 1, where 1 is an
+  /// idle hop) of crossing the duplex link behind `port` of `node`.  Null
+  /// (the default) keeps unit hop costs — plain shortest-hop BFS.  Wire a
+  /// CongestionMonitor's edge_cost here and compute_tree routes trees
+  /// around congested links, while install_with_retry prefers the
+  /// cheapest (least-congested) embedding over the smallest.
+  using LinkCostFn = std::function<f64(net::NodeId node, u32 port)>;
+  void set_link_cost(LinkCostFn cost) { link_cost_ = std::move(cost); }
+  const LinkCostFn& link_cost() const { return link_cost_; }
+
+  /// Re-scores an existing tree under the CURRENT provider (a tree's
+  /// stored cost reflects the congestion at compute time; migration
+  /// decisions need today's number).
+  f64 tree_cost(const ReductionTree& tree) const;
 
   /// Builds the BFS reduction tree rooted at `root` spanning `participants`.
   /// Returns nullopt if some participant is unreachable from the root.
@@ -107,8 +138,13 @@ class NetworkManager {
   }
 
  private:
+  f64 edge_cost(net::NodeId node, u32 port) const {
+    return link_cost_ ? link_cost_(node, port) : 1.0;
+  }
+
   net::Network& net_;
   ReleaseListener on_release_;
+  LinkCostFn link_cost_;
 };
 
 }  // namespace flare::coll

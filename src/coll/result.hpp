@@ -22,6 +22,9 @@ struct CollectiveResult {
   // --- fault recovery (populated when Tuning::retransmit_timeout_ps > 0) ---
   u64 retransmits = 0;   ///< blocks/chunks re-sent after a host timeout
   u32 recoveries = 0;    ///< reduction-tree reinstalls after a fabric fault
+  /// Congestion-triggered tree re-embeddings performed while PREPARING
+  /// this iteration (persistent sessions with Tuning::migrate_above > 0).
+  u32 migrations = 0;
   /// An in-network collective that lost its tree and FINISHED on the
   /// host-ring data plane (in_network is false in that case).
   bool fell_back = false;

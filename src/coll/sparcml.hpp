@@ -9,10 +9,11 @@
 // dense messages, which is why the in-network sparse allreduce beats it on
 // both time and traffic.
 //
-// The legacy run_sparcml_allreduce entry point is DEPRECATED: use
-// coll::Communicator with a sparse workload and Algorithm::kSparcml
-// (blocking-only, Communicator::run).  detail::sparcml_oneshot is the
-// shared implementation.
+// Entry point: coll::Communicator with a sparse workload and
+// Algorithm::kSparcml (blocking-only, Communicator::run).
+// detail::sparcml_oneshot is the shared implementation.  (The deprecated
+// run_sparcml_allreduce wrapper is gone — every call site speaks the
+// descriptor API.)
 #pragma once
 
 #include <functional>
@@ -34,19 +35,11 @@ struct SparcmlResult : CollectiveResult {
 };
 
 namespace detail {
+/// `pairs(host)` yields host's sparse input with global indices.
 SparcmlResult sparcml_oneshot(
     net::Network& net, const std::vector<net::Host*>& hosts,
     const std::function<std::vector<core::SparsePair>(u32)>& pairs,
     const SparcmlOptions& opt);
 }  // namespace detail
-
-/// `pairs(host)` yields host's sparse input with global indices.
-[[deprecated("use coll::Communicator with Algorithm::kSparcml")]]
-inline SparcmlResult run_sparcml_allreduce(
-    net::Network& net, const std::vector<net::Host*>& hosts,
-    const std::function<std::vector<core::SparsePair>(u32)>& pairs,
-    const SparcmlOptions& opt) {
-  return detail::sparcml_oneshot(net, hosts, pairs, opt);
-}
 
 }  // namespace flare::coll

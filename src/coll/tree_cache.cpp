@@ -54,11 +54,15 @@ std::optional<ReductionTree> TreeCache::get_or_compute(
   if (const ReductionTree* cached = lookup(participants, root)) {
     // A fabric fault may have invalidated the embedding since it was
     // cached (failed switch, downed edge): serving it would install a tree
-    // that blackholes traffic.  Treat a dead embedding as a miss.
-    if (tree_alive(manager.network(), *cached)) {
+    // that blackholes traffic.  The validator (when set) additionally
+    // rejects embeddings whose links drifted past the owner's congestion
+    // staleness bound.  Either way: treat the entry as a miss.
+    const bool alive = tree_alive(manager.network(), *cached);
+    if (alive && (!validator_ || validator_(*cached))) {
       if (cache_hit != nullptr) *cache_hit = true;
       return *cached;
     }
+    if (alive) stale_evictions_ += 1;
     hits_ -= 1;  // re-classify: this lookup did not serve from the cache
     misses_ += 1;
   }

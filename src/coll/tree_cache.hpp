@@ -38,8 +38,18 @@ class TreeCache {
       NetworkManager& manager, const std::vector<net::Host*>& participants,
       net::NodeId root, bool* cache_hit = nullptr);
 
+  /// Extra validity predicate consulted by get_or_compute beyond
+  /// tree_alive(): an entry failing it is treated as a miss and recomputed
+  /// (the fresh embedding replaces it).  The congestion plane wires a
+  /// staleness bound here — an embedding cached when its links were idle
+  /// must not be re-served once those links run hot (see
+  /// tree_max_congestion); liveness alone would keep serving it.
+  using Validator = std::function<bool(const ReductionTree&)>;
+  void set_validator(Validator v) { validator_ = std::move(v); }
+
   u64 hits() const { return hits_; }
   u64 misses() const { return misses_; }
+  u64 stale_evictions() const { return stale_evictions_; }
   std::size_t size() const { return map_.size(); }
   std::size_t capacity() const { return capacity_; }
   void clear();
@@ -53,8 +63,10 @@ class TreeCache {
   std::size_t capacity_;
   LruList lru_;  ///< front = most recently used
   std::unordered_map<std::string, LruList::iterator> map_;
+  Validator validator_;
   u64 hits_ = 0;
   u64 misses_ = 0;
+  u64 stale_evictions_ = 0;  ///< entries the validator rejected
 };
 
 }  // namespace flare::coll

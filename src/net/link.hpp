@@ -54,9 +54,37 @@ class Link {
   SimTime busy_until() const { return busy_until_; }
   f64 bandwidth_bps() const { return bandwidth_bps_; }
   const std::string& name() const { return name_; }
+  /// LIFETIME utilization over [0, horizon].  Misleading as a congestion
+  /// signal after long idle phases (the historic mean never recovers);
+  /// monitors should diff busy_cum_ps() samples and use the windowed form.
   f64 utilization(SimTime horizon) const {
     if (horizon == 0) return 0.0;
     return static_cast<f64>(busy_cum_) / static_cast<f64>(horizon);
+  }
+  /// Cumulative serialization time committed so far (the busy-window
+  /// counter).  Committed at send(): a burst accepted at time t books its
+  /// full serialization immediately, even the part extending past t.
+  u64 busy_cum_ps() const { return busy_cum_; }
+  /// Utilization over the window [from, to] given two busy_cum_ps()
+  /// readings taken at the window edges.  Can exceed 1.0 when the window
+  /// accepted more serialization work than wall time — oversubscription,
+  /// exactly the congestion signal the lifetime form hides.
+  static f64 windowed_utilization(u64 busy_from_ps, u64 busy_to_ps,
+                                  SimTime from, SimTime to) {
+    if (to <= from) return 0.0;
+    return static_cast<f64>(busy_to_ps - busy_from_ps) /
+           static_cast<f64>(to - from);
+  }
+  /// Serialization backlog at `now`: how long a packet offered right now
+  /// would wait before its first bit goes on the wire.
+  SimTime queue_delay_ps(SimTime now) const {
+    return busy_until_ > now ? busy_until_ - now : 0;
+  }
+  /// Bytes accepted but not yet serialized at `now` (FIFO at a fixed rate,
+  /// so the backlog time converts exactly).
+  u64 queued_bytes(SimTime now) const {
+    return static_cast<u64>(static_cast<f64>(queue_delay_ps(now)) *
+                            bandwidth_bps_ / 8.0 / kPsPerSecond);
   }
 
  private:

@@ -150,8 +150,7 @@ void Switch::forward_host_msg(NetPacket&& pkt) {
   // Deterministic ECMP: hash the flow id over the equal-cost set.  On a
   // healthy fabric the hashed port wins directly (no allocation, one
   // usability probe, and the pre-fault-plane port selection exactly).
-  const u64 h = pkt.flow * 0x9E3779B97F4A7C15ull;
-  const u32 preferred = ecmp[(h >> 32) % ecmp.size()];
+  const u32 preferred = ecmp[ecmp_index(pkt.flow, ecmp.size())];
   if (net_.port_usable(id_, preferred)) {
     port(preferred).send(std::move(pkt));
     return;
@@ -168,7 +167,7 @@ void Switch::forward_host_msg(NetPacket&& pkt) {
     net_.count_unroutable_drop();
     return;
   }
-  const u32 out = live[(h >> 32) % live.size()];
+  const u32 out = live[ecmp_index(pkt.flow, live.size())];
   port(out).send(std::move(pkt));
 }
 

@@ -24,6 +24,15 @@ namespace flare::net {
 using NodeId = u32;
 inline constexpr NodeId kInvalidNode = UINT32_MAX;
 
+/// Deterministic ECMP pick: which member of an equal-cost port set a flow
+/// label hashes to.  THE routing hash — switches forward with it, and
+/// traffic-engineering code (e.g. the congestion benches aiming background
+/// flows at known spines) must use this function rather than a copy.
+inline u32 ecmp_index(u64 flow, std::size_t set_size) {
+  const u64 h = flow * 0x9E3779B97F4A7C15ull;
+  return static_cast<u32>((h >> 32) % set_size);
+}
+
 /// Payload of a host-protocol message.  Fragments of one logical message
 /// share the (proto, tag, seq_count) triple; bulk data rides on one
 /// fragment as a shared_ptr (the others model wire bytes only).

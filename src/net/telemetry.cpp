@@ -1,0 +1,103 @@
+#include "net/telemetry.hpp"
+
+#include <algorithm>
+
+namespace flare::net {
+
+CongestionMonitor::CongestionMonitor(Network& net,
+                                     CongestionMonitorOptions opt)
+    : net_(net), opt_(opt) {
+  FLARE_ASSERT_MSG(opt_.period_ps > 0, "sampling period must be positive");
+  const u32 n = net_.num_links();
+  snap_.links.resize(n);
+  busy_at_last_.assign(n, 0);
+  for (u32 i = 0; i < n; ++i) index_of_[&net_.link(i)] = i;
+}
+
+void CongestionMonitor::sample() {
+  FLARE_ASSERT_MSG(net_.num_links() == snap_.links.size(),
+                   "links added after the monitor was built");
+  const SimTime now = net_.sim().now();
+  const bool fresh_window = !sampled_ || now > last_sample_ps_;
+  for (u32 i = 0; i < snap_.links.size(); ++i) {
+    const Link& link = net_.link(i);
+    LinkCongestion& lc = snap_.links[i];
+    if (fresh_window) {
+      const u64 busy = link.busy_cum_ps();
+      if (sampled_) {
+        lc.inst_utilization = Link::windowed_utilization(
+            busy_at_last_[i], busy, last_sample_ps_, now);
+        lc.ewma_utilization = opt_.ewma_alpha * lc.inst_utilization +
+                              (1.0 - opt_.ewma_alpha) * lc.ewma_utilization;
+      } else {
+        // First sample: the window is [0, now] and seeds the EWMA.
+        lc.inst_utilization = link.utilization(now);
+        lc.ewma_utilization = lc.inst_utilization;
+      }
+      busy_at_last_[i] = busy;
+    }
+    lc.queue_delay_ps = link.queue_delay_ps(now);
+    lc.queued_bytes = link.queued_bytes(now);
+  }
+  if (fresh_window) {
+    last_sample_ps_ = now;
+    sampled_ = true;
+  }
+  snap_.at = now;
+  snap_.epoch += 1;
+}
+
+void CongestionMonitor::arm_until(SimTime until) {
+  sim::Simulator& sim = net_.sim();
+  SimTime at = std::max(sim.now(), armed_until_);
+  // First new sample one period past whatever is already scheduled.
+  for (at += opt_.period_ps; at <= until; at += opt_.period_ps) {
+    sim.schedule_at(at, [this] { sample(); });
+    armed_until_ = at;
+  }
+}
+
+const LinkCongestion* CongestionMonitor::stats_for(NodeId node, u32 port,
+                                                   bool reverse) const {
+  const Node& n = net_.node(node);
+  if (port >= n.num_ports()) return nullptr;
+  const Link* link = &n.port(port);
+  if (reverse) link = link->reverse();
+  if (link == nullptr) return nullptr;
+  const auto it = index_of_.find(link);
+  return it == index_of_.end() ? nullptr : &snap_.links[it->second];
+}
+
+f64 CongestionMonitor::edge_congestion(NodeId node, u32 port) const {
+  f64 worst = 0.0;
+  if (const LinkCongestion* out = stats_for(node, port, false)) {
+    worst = std::max(worst, out->ewma_utilization);
+  }
+  if (const LinkCongestion* in = stats_for(node, port, true)) {
+    worst = std::max(worst, in->ewma_utilization);
+  }
+  return worst;
+}
+
+f64 CongestionMonitor::edge_cost(NodeId node, u32 port) const {
+  f64 queue_ps = 0.0;
+  if (const LinkCongestion* out = stats_for(node, port, false)) {
+    queue_ps = std::max(queue_ps, static_cast<f64>(out->queue_delay_ps));
+  }
+  if (const LinkCongestion* in = stats_for(node, port, true)) {
+    queue_ps = std::max(queue_ps, static_cast<f64>(in->queue_delay_ps));
+  }
+  return 1.0 + opt_.utilization_weight * edge_congestion(node, port) +
+         opt_.queue_weight * queue_ps / static_cast<f64>(opt_.period_ps);
+}
+
+f64 CongestionMonitor::node_congestion(NodeId node) const {
+  const u32 ports = net_.node(node).num_ports();
+  f64 worst = 0.0;
+  for (u32 p = 0; p < ports; ++p) {
+    worst = std::max(worst, edge_congestion(node, p));
+  }
+  return worst;
+}
+
+}  // namespace flare::net

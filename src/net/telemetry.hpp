@@ -1,0 +1,109 @@
+// Fabric-wide congestion telemetry plane (Canary, PAPERS.md: congestion-
+// aware in-network allreduce needs a congestion SIGNAL before it can place
+// or move trees).
+//
+// The CongestionMonitor periodically snapshots every link's windowed
+// utilization (diffing Link::busy_cum_ps() across the sampling window — the
+// lifetime counter misleads after idle phases) and serialization backlog,
+// folding them into a per-link EWMA.  Sampling runs on the event calendar,
+// so a given topology + traffic + sampling schedule replays bit for bit;
+// there is no wall-clock anywhere in the plane.
+//
+// Consumers:
+//   * coll::NetworkManager — link-cost provider for congestion-aware tree
+//     embedding (cost() / edge_cost());
+//   * coll::Communicator persistent sessions — migration trigger
+//     (edge_congestion() over the installed tree's links);
+//   * service::RootPolicy::kLeastCongested — root ordering.
+//
+// Two sampling styles, both deterministic:
+//   * arm_until(t) schedules period-spaced samples on the calendar (the
+//     calendar drains once the horizon passes — a monitor never keeps the
+//     simulation alive forever);
+//   * sample() takes one snapshot NOW — control planes call it at natural
+//     decision points (iteration boundaries, admission rounds).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace flare::net {
+
+/// One link's congestion state in the latest snapshot.
+struct LinkCongestion {
+  f64 inst_utilization = 0.0;  ///< over the last sampling window
+  f64 ewma_utilization = 0.0;  ///< EWMA of the windowed utilizations
+  u64 queued_bytes = 0;        ///< serialization backlog at sample time
+  SimTime queue_delay_ps = 0;  ///< backlog expressed as wait time
+};
+
+struct CongestionSnapshot {
+  SimTime at = 0;  ///< sample time
+  u64 epoch = 0;   ///< samples taken so far (staleness tracking)
+  std::vector<LinkCongestion> links;  ///< by unidirectional link index
+};
+
+struct CongestionMonitorOptions {
+  /// Sampling period for arm_until(); also normalizes the queue-delay term
+  /// of edge_cost().
+  SimTime period_ps = 5 * kPsPerUs;
+  /// Weight of the newest window in the EWMA (1.0 = windowed only).
+  f64 ewma_alpha = 0.3;
+  /// edge_cost() = 1 (the hop) + utilization_weight * ewma
+  ///             + queue_weight * queue_delay / period.
+  f64 utilization_weight = 8.0;
+  f64 queue_weight = 2.0;
+};
+
+class CongestionMonitor {
+ public:
+  explicit CongestionMonitor(Network& net,
+                             CongestionMonitorOptions opt = {});
+  CongestionMonitor(const CongestionMonitor&) = delete;
+  CongestionMonitor& operator=(const CongestionMonitor&) = delete;
+
+  /// Takes one snapshot at the current simulated time.  Re-sampling at the
+  /// same instant refreshes queue occupancy but leaves the EWMA untouched
+  /// (a zero-length window has no utilization).
+  void sample();
+
+  /// Schedules period-spaced samples from now up to and including `until`.
+  /// The events capture `this`: the monitor must outlive the horizon.
+  void arm_until(SimTime until);
+
+  const CongestionSnapshot& snapshot() const { return snap_; }
+  u64 samples() const { return snap_.epoch; }
+  const CongestionMonitorOptions& options() const { return opt_; }
+  Network& network() { return net_; }
+
+  /// Congestion of the duplex link behind `port` of `node`: the worse
+  /// EWMA utilization of the two directions (tree traffic crosses both —
+  /// contributions up, multicast down).
+  f64 edge_congestion(NodeId node, u32 port) const;
+
+  /// Embedding cost of crossing that duplex link (>= 1.0, the hop cost;
+  /// grows with EWMA utilization and queueing).  Plug into
+  /// coll::NetworkManager::set_link_cost for congestion-aware placement.
+  f64 edge_cost(NodeId node, u32 port) const;
+
+  /// Worst edge_congestion() across every port of `node` — the root-
+  /// selection signal of the least-congested policy.
+  f64 node_congestion(NodeId node) const;
+
+ private:
+  const LinkCongestion* stats_for(NodeId node, u32 port, bool reverse) const;
+
+  Network& net_;
+  CongestionMonitorOptions opt_;
+  CongestionSnapshot snap_;
+  std::vector<u64> busy_at_last_;  ///< busy_cum_ps per link at last sample
+  SimTime last_sample_ps_ = 0;
+  bool sampled_ = false;
+  /// Stable Link* -> unidirectional index map (links never move).
+  std::unordered_map<const Link*, u32> index_of_;
+  SimTime armed_until_ = 0;  ///< furthest scheduled sample (idempotent arm)
+};
+
+}  // namespace flare::net

@@ -28,6 +28,11 @@ namespace flare::service {
 struct JobSpec {
   std::vector<net::Host*> participants;
   coll::CollectiveOptions desc;
+  /// Training iterations this job runs (iteration i uses desc.seed + i).
+  /// In-network jobs execute them against ONE persistent install — and a
+  /// multi-iteration job is exactly what congestion-aware migration needs:
+  /// a session long enough to observe the fabric change under it.
+  u32 iterations = 1;
 };
 
 enum class JobState : u8 {
@@ -57,8 +62,10 @@ struct JobRecord {
   u32 admission_attempts = 0;  ///< install attempts across candidate roots
   u32 requeue_retries = 0;     ///< admission rounds re-run from the queue
   bool timed_out = false;      ///< left the queue via timeout
+  u32 iterations_done = 0;     ///< completed iterations (of spec.iterations)
   u64 retransmits = 0;         ///< blocks/chunks re-sent after host timeouts
   u32 recoveries = 0;          ///< reduction-tree reinstalls after faults
+  u32 migrations = 0;          ///< congestion-triggered re-embeddings
   /// Admitted in-network but FINISHED on the host ring because a fabric
   /// fault left no viable tree (in_network is false then).
   bool fell_back = false;

@@ -9,16 +9,21 @@ std::string_view root_policy_name(RootPolicy p) {
     case RootPolicy::kFixed: return "fixed";
     case RootPolicy::kRoundRobin: return "round-robin";
     case RootPolicy::kLeastLoaded: return "least-loaded";
+    case RootPolicy::kLeastCongested: return "least-congested";
   }
   return "?";
 }
 
-std::vector<net::NodeId> candidate_roots(RootPolicy policy,
-                                         const net::Network& net, u64 cursor) {
+std::vector<net::NodeId> candidate_roots(
+    RootPolicy policy, const net::Network& net, u64 cursor,
+    const net::CongestionMonitor* monitor) {
   const std::vector<net::Switch*>& switches = net.switches();
   std::vector<net::NodeId> roots;
   roots.reserve(switches.size());
   const std::size_t n = switches.size();
+  if (policy == RootPolicy::kLeastCongested && monitor == nullptr) {
+    policy = RootPolicy::kLeastLoaded;  // no signal: occupancy heuristic
+  }
   switch (policy) {
     case RootPolicy::kFixed:
       for (net::Switch* sw : switches) roots.push_back(sw->id());
@@ -37,6 +42,21 @@ std::vector<net::NodeId> candidate_roots(RootPolicy policy,
                                 b->installed_reduces();
                        });
       for (net::Switch* sw : by_load) roots.push_back(sw->id());
+      break;
+    }
+    case RootPolicy::kLeastCongested: {
+      std::vector<net::Switch*> by_heat(switches);
+      // Stable + full tie chain so runs are deterministic even on a
+      // perfectly balanced fabric.
+      std::stable_sort(by_heat.begin(), by_heat.end(),
+                       [monitor](const net::Switch* a, const net::Switch* b) {
+                         const f64 ca = monitor->node_congestion(a->id());
+                         const f64 cb = monitor->node_congestion(b->id());
+                         if (ca != cb) return ca < cb;
+                         return a->installed_reduces() <
+                                b->installed_reduces();
+                       });
+      for (net::Switch* sw : by_heat) roots.push_back(sw->id());
       break;
     }
   }

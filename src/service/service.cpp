@@ -21,6 +21,20 @@ AllreduceService::AllreduceService(net::Network& net, ServiceOptions opt)
   // recovery itself happens inside the Communicator data planes.
   fault_listener_ = net_.add_fault_listener(
       [this](const net::FaultNotice&) { telemetry_.faults_seen += 1; });
+  if (opt_.monitor != nullptr) {
+    // Congestion plane: the shared manager embeds with the monitor's link
+    // costs, and cached embeddings go stale once their links run hot.
+    net::CongestionMonitor* monitor = opt_.monitor;
+    manager_.set_link_cost([monitor](net::NodeId node, u32 port) {
+      return monitor->edge_cost(node, port);
+    });
+    if (opt_.cache_stale_above > 0.0) {
+      const f64 bound = opt_.cache_stale_above;
+      cache_.set_validator([monitor, bound](const coll::ReductionTree& t) {
+        return coll::tree_max_congestion(*monitor, t) <= bound;
+      });
+    }
+  }
 }
 
 AllreduceService::~AllreduceService() {
@@ -35,6 +49,11 @@ coll::CollectiveOptions AllreduceService::descriptor_for(
   if (opt_.retransmit_timeout_ps > 0) {
     desc.retransmit_timeout_ps = opt_.retransmit_timeout_ps;
     desc.max_retransmits = opt_.max_retransmits;
+  }
+  if (opt_.monitor != nullptr && opt_.migrate_above > 0.0) {
+    desc.migrate_above = opt_.migrate_above;
+    desc.migrate_improvement = opt_.migrate_improvement;
+    desc.migrate_slowdown = opt_.migrate_slowdown;
   }
   return desc;
 }
@@ -86,8 +105,11 @@ void AllreduceService::submit_at(SimTime at, JobSpec spec) {
 bool AllreduceService::try_admit(u32 job, bool* feasible) {
   const JobSpec& spec = specs_[job];
   JobRecord& rec = records_[job];
+  // The congestion-aware root policy (and the monitor-backed link costs
+  // behind install) must read the fabric as it is at THIS admission round.
+  if (opt_.monitor != nullptr) opt_.monitor->sample();
   std::vector<net::NodeId> roots =
-      candidate_roots(opt_.root_policy, net_, rr_cursor_++);
+      candidate_roots(opt_.root_policy, net_, rr_cursor_++, opt_.monitor);
   if (opt_.max_root_candidates > 0 &&
       roots.size() > opt_.max_root_candidates) {
     roots.resize(opt_.max_root_candidates);
@@ -99,7 +121,9 @@ bool AllreduceService::try_admit(u32 job, bool* feasible) {
 
   auto aj = std::make_unique<ActiveJob>(
       net_, spec.participants,
-      coll::CommunicatorConfig{&manager_, &cache_, std::move(roots)});
+      coll::CommunicatorConfig{&manager_, &cache_, std::move(roots),
+                               opt_.monitor});
+  aj->desc = desc;
   aj->pc = aj->comm.persistent(desc);
   const coll::InstallReport& report = aj->pc.install_report();
   rec.admission_attempts += report.attempts;
@@ -195,6 +219,7 @@ void AllreduceService::start_host_ring(u32 job, RingReason why) {
   desc.algorithm = coll::Algorithm::kHostRing;
   auto aj = std::make_unique<ActiveJob>(net_, spec.participants,
                                         coll::CommunicatorConfig{});
+  aj->desc = desc;
   ActiveJob* raw = aj.get();
   jobs_.emplace(job, std::move(aj));
   raw->handle = raw->comm.start(
@@ -206,21 +231,36 @@ void AllreduceService::start_host_ring(u32 job, RingReason why) {
 void AllreduceService::on_job_done(u32 job,
                                    const coll::CollectiveResult& res) {
   JobRecord& rec = records_[job];
-  rec.state = JobState::kDone;
-  rec.ok = res.ok;
-  rec.exact = res.max_abs_err == 0.0;
-  rec.max_abs_err = res.max_abs_err;
-  rec.finish_ps = net_.sim().now();
-  rec.retransmits = res.retransmits;
-  rec.recoveries = res.recoveries;
+  // Per-iteration bookkeeping (a job is a SEQUENCE of iterations since the
+  // congestion plane landed; single-iteration jobs take the same path).
+  rec.iterations_done += 1;
+  rec.ok = rec.iterations_done == 1 ? res.ok : (rec.ok && res.ok);
+  rec.max_abs_err = std::max(rec.max_abs_err, res.max_abs_err);
+  rec.exact = rec.ok && rec.max_abs_err == 0.0;
+  rec.retransmits += res.retransmits;
+  rec.recoveries += res.recoveries;
+  rec.migrations += res.migrations;
   telemetry_.retransmits += res.retransmits;
-  if (res.fell_back) {
-    // Admitted in-network, finished on the ring: a mid-run fault ate the
-    // tree.  Distinct from admission fallbacks in the telemetry.
-    rec.fell_back = true;
+  telemetry_.migrations += res.migrations;
+  if (res.fell_back) rec.fell_back = true;
+
+  const u32 want = std::max<u32>(1, specs_[job].iterations);
+  if (res.ok && rec.iterations_done < want) {
+    // More iterations: restart off this callback's stack (the completing
+    // op is still finishing under our feet).
+    net_.sim().schedule_after(0, [this, job] { start_next_iteration(job); });
+    return;
+  }
+
+  rec.state = JobState::kDone;
+  rec.finish_ps = net_.sim().now();
+  if (rec.fell_back) {
+    // Admitted in-network but SOME iteration finished on the ring: a
+    // mid-run fault ate the tree.  Distinct from admission fallbacks in
+    // the telemetry.
     rec.in_network = false;
     telemetry_.fault_fallbacks += 1;
-  } else if (res.recoveries > 0 || res.retransmits > 0) {
+  } else if (rec.recoveries > 0 || rec.retransmits > 0) {
     telemetry_.jobs_recovered += 1;
   }
   (rec.in_network ? telemetry_.in_network_service_s
@@ -230,6 +270,25 @@ void AllreduceService::on_job_done(u32 job,
   // callback's stack: the job's own op is still executing it.  The release
   // listener then re-triggers admission for queued jobs.
   net_.sim().schedule_after(0, [this, job] { jobs_.erase(job); });
+}
+
+void AllreduceService::start_next_iteration(u32 job) {
+  const auto it = jobs_.find(job);
+  if (it == jobs_.end()) return;
+  ActiveJob& aj = *it->second;
+  auto done = [this, job](const coll::CollectiveResult& res) {
+    on_job_done(job, res);
+  };
+  if (aj.pc.ok()) {
+    // Persistent request: seed bumping, engine reset, fault reinstall and
+    // congestion migration all happen inside start().
+    aj.handle = aj.pc.start(done);
+    return;
+  }
+  // Ring job: one-shot per iteration with the bumped seed.
+  coll::CollectiveOptions desc = aj.desc;
+  desc.seed += records_[job].iterations_done;
+  aj.handle = aj.comm.start(desc, done);
 }
 
 }  // namespace flare::service

@@ -57,6 +57,22 @@ struct ServiceOptions {
   /// descriptor untouched (fault handling off unless the tenant set it).
   SimTime retransmit_timeout_ps = 0;
   u32 max_retransmits = 4;
+
+  // --- congestion plane (README "Congestion plane") ---
+  /// Fabric congestion monitor (must outlive the service).  When set: tree
+  /// embedding uses the monitor's link costs, RootPolicy::kLeastCongested
+  /// becomes available, cached embeddings are staleness-checked, and the
+  /// migration knobs below reach every job's descriptor.
+  net::CongestionMonitor* monitor = nullptr;
+  /// Per-job congestion migration (see coll::Tuning::migrate_above);
+  /// 0 places congestion-aware but never migrates mid-job.
+  f64 migrate_above = 0.0;
+  f64 migrate_improvement = 0.85;
+  f64 migrate_slowdown = 1.05;
+  /// TreeCache staleness bound: cached embeddings whose worst link EWMA
+  /// exceeds this are recomputed instead of re-served (0 = liveness-only
+  /// validation, the pre-congestion-plane behavior).
+  f64 cache_stale_above = 0.0;
 };
 
 class AllreduceService {
@@ -91,6 +107,9 @@ class AllreduceService {
     coll::Communicator comm;
     coll::PersistentCollective pc;
     coll::CollectiveHandle handle;
+    /// The job's resolved descriptor — multi-iteration ring jobs re-start
+    /// from it with a bumped seed (persistent requests bump internally).
+    coll::CollectiveOptions desc;
 
     ActiveJob(net::Network& net, std::vector<net::Host*> participants,
               coll::CommunicatorConfig cfg)
@@ -118,6 +137,9 @@ class AllreduceService {
   /// Runs the job on the host-ring data plane for the given reason.
   void start_host_ring(u32 job, RingReason why);
   void on_job_done(u32 job, const coll::CollectiveResult& res);
+  /// Kicks off the next iteration of a multi-iteration job (off the
+  /// completion callback's stack).
+  void start_next_iteration(u32 job);
 
   net::Network& net_;
   ServiceOptions opt_;

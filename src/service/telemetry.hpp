@@ -38,6 +38,10 @@ struct ServiceTelemetry {
   u64 fault_fallbacks = 0;  ///< in-network jobs that FINISHED on the ring
                             ///< after losing their tree mid-run
 
+  // --- congestion telemetry (populated when a monitor is configured) ---
+  u64 migrations = 0;       ///< congestion-triggered tree re-embeddings
+                            ///< across all jobs (see Tuning::migrate_above)
+
   RunningStats queue_delay_s;        ///< submit -> start, per served job
   RunningStats in_network_service_s; ///< start -> finish, in-network jobs
   RunningStats fallback_service_s;   ///< start -> finish, fallback jobs

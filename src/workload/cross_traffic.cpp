@@ -1,0 +1,98 @@
+#include "workload/cross_traffic.hpp"
+
+#include <algorithm>
+
+#include "core/packet.hpp"
+
+namespace flare::workload {
+
+void CrossTrafficInjector::arm_packet(SimTime at, u32 src_host, u32 dst_host,
+                                      u64 flow) {
+  // The event captures the Network and host indices (stable), never the
+  // injector: arming is fire-and-forget.
+  net::Network* net = &net_;
+  const u64 wire = spec_.packet_bytes + core::kPacketWireOverhead;
+  net_.sim().schedule_at(at, [net, src_host, dst_host, flow, wire] {
+    net::Host* src = net->hosts()[src_host];
+    net::Host* dst = net->hosts()[dst_host];
+    auto msg = std::make_shared<net::HostMsg>();
+    msg->src_host = src_host;
+    msg->dst_host = dst_host;
+    msg->proto = kProto;
+    net::NetPacket np;
+    np.kind = net::PacketKind::kHostMsg;
+    np.dst_node = dst->id();
+    np.flow = flow;
+    np.wire_bytes = wire;
+    np.msg = std::move(msg);
+    src->send(std::move(np));
+  });
+  packets_armed_ += 1;
+  bytes_armed_ += wire;
+}
+
+void CrossTrafficInjector::arm() {
+  const u32 hosts = static_cast<u32>(net_.hosts().size());
+  FLARE_ASSERT_MSG(hosts >= 2, "cross traffic needs at least two hosts");
+  Rng rng(spec_.seed);
+  // Packet pacing while a flow is ON.
+  const SimTime gap_ps = std::max<SimTime>(
+      1, serialization_ps(spec_.packet_bytes + core::kPacketWireOverhead,
+                          spec_.flow_rate_bps));
+
+  for (u32 f = 0; f < spec_.flows; ++f) {
+    u32 src, dst;
+    if (f < spec_.pairs.size()) {
+      src = spec_.pairs[f].first;
+      dst = spec_.pairs[f].second;
+      FLARE_ASSERT(src < hosts && dst < hosts && src != dst);
+    } else {
+      src = static_cast<u32>(rng.uniform_u64(hosts));
+      do {
+        dst = static_cast<u32>(rng.uniform_u64(hosts));
+      } while (dst == src);
+    }
+    // One ECMP flow label per background flow: its packets take ONE path,
+    // as a real 5-tuple flow would, so the congestion it builds is stable
+    // enough for a monitor to learn.
+    const u64 flow = f < spec_.flow_labels.size()
+                         ? spec_.flow_labels[f]
+                         : derive_seed(spec_.seed, 0x0FF10000ull + f);
+    // Alternate exponential ON bursts and OFF gaps across the horizon.
+    SimTime t = spec_.start_ps;
+    while (t < spec_.horizon_ps) {
+      const SimTime on_len = static_cast<SimTime>(
+          rng.exponential(static_cast<f64>(spec_.mean_on_ps)));
+      const SimTime on_end = std::min(spec_.horizon_ps, t + on_len);
+      for (; t < on_end; t += gap_ps) arm_packet(t, src, dst, flow);
+      t = std::max(t, on_end) +
+          static_cast<SimTime>(
+              rng.exponential(static_cast<f64>(spec_.mean_off_ps)));
+    }
+  }
+
+  for (u32 b = 0; b < spec_.incast_bursts; ++b) {
+    if (hosts < 2) break;
+    const SimTime at =
+        spec_.start_ps +
+        static_cast<SimTime>(rng.uniform() *
+                             static_cast<f64>(spec_.horizon_ps -
+                                              spec_.start_ps));
+    const u32 victim = static_cast<u32>(rng.uniform_u64(hosts));
+    const u64 packets =
+        std::max<u64>(1, spec_.incast_bytes / spec_.packet_bytes);
+    const u32 fanin = std::min(spec_.incast_fanin, hosts - 1);
+    for (u32 s = 0; s < fanin; ++s) {
+      u32 sender;
+      do {
+        sender = static_cast<u32>(rng.uniform_u64(hosts));
+      } while (sender == victim);
+      const u64 flow = derive_seed(spec_.seed, 0x1CA57000ull + b * 64 + s);
+      // Back to back: the sender's NIC serializes the burst contiguously;
+      // all of it lands on the victim's access link at once.
+      for (u64 p = 0; p < packets; ++p) arm_packet(at, sender, victim, flow);
+    }
+  }
+}
+
+}  // namespace flare::workload

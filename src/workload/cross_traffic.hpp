@@ -1,0 +1,84 @@
+// Background cross-traffic injectors: the tenant/storage/telemetry bytes a
+// production fabric carries BESIDES the allreduce trees.  Flare's
+// evaluation assumes an otherwise-idle network; Canary (PAPERS.md) shows
+// that once trees share links with other traffic, where a tree is embedded
+// dominates its completion time.  These injectors make that congestion
+// exist in the simulator, deterministically:
+//
+//   * on/off flows — seeded host pairs alternate exponential ON bursts
+//     (packets paced at a configured rate) and OFF silences, the classic
+//     heavy-tailed datacenter background;
+//   * incast bursts — at seeded instants, `fanin` hosts each unload a
+//     buffer at one victim host back to back, the storage/shuffle pattern
+//     that builds deep queues on a single access link.
+//
+// Packets are ordinary host messages under a reserved proto id that no
+// collective claims, so receivers drop them on arrival — they exist only
+// to occupy links.  Every emission is scheduled on the event calendar from
+// a single seed at arm() time and stays within [start_ps, horizon_ps], so
+// runs replay bit for bit and the calendar still drains.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/network.hpp"
+
+namespace flare::workload {
+
+struct CrossTrafficSpec {
+  u32 flows = 8;  ///< concurrent on/off host-pair flows
+  /// Offered rate per flow while ON (half the paper's 100 Gbps links keeps
+  /// one flow noticeable without starving the link alone).
+  f64 flow_rate_bps = 50e9;
+  u64 packet_bytes = 4096;  ///< payload per packet (plus wire overhead)
+  SimTime mean_on_ps = 20 * kPsPerUs;   ///< exponential ON burst length
+  SimTime mean_off_ps = 20 * kPsPerUs;  ///< exponential OFF gap
+  u32 incast_bursts = 2;   ///< seeded incast events over the horizon
+  u32 incast_fanin = 4;    ///< senders per incast
+  u64 incast_bytes = 64 * kKiB;  ///< bytes per sender per incast
+  SimTime start_ps = 0;
+  SimTime horizon_ps = 200 * kPsPerUs;  ///< no emission past this time
+  u64 seed = 1;
+  /// Explicit flow endpoints as host indices (into net.hosts()); drawn
+  /// uniformly (distinct src/dst) when empty.  Benches use this to aim
+  /// congestion at specific leaf/spine links.
+  std::vector<std::pair<u32, u32>> pairs;
+  /// Explicit ECMP flow labels, parallel to `pairs` (derived from the seed
+  /// when absent).  Combined with `pairs` this pins each background flow
+  /// to a KNOWN spine — the traffic-engineering hook the adaptation bench
+  /// uses to place congestion on specific links.
+  std::vector<u64> flow_labels;
+};
+
+class CrossTrafficInjector {
+ public:
+  /// Host-message proto id of background packets.  No collective registers
+  /// it, so receiving hosts drop them silently — pure link load.
+  static constexpr u32 kProto = 0x7C000000u;
+
+  CrossTrafficInjector(net::Network& net, CrossTrafficSpec spec)
+      : net_(net), spec_(std::move(spec)) {}
+  CrossTrafficInjector(const CrossTrafficInjector&) = delete;
+  CrossTrafficInjector& operator=(const CrossTrafficInjector&) = delete;
+
+  /// Expands the spec into concrete packet emissions on the calendar
+  /// (absolute times; call before running past start_ps).  The events
+  /// capture the Network, not the injector — the injector may go out of
+  /// scope before the calendar runs.
+  void arm();
+
+  u64 packets_armed() const { return packets_armed_; }
+  u64 bytes_armed() const { return bytes_armed_; }
+
+ private:
+  void arm_packet(SimTime at, u32 src_host, u32 dst_host, u64 flow);
+
+  net::Network& net_;
+  CrossTrafficSpec spec_;
+  u64 packets_armed_ = 0;
+  u64 bytes_armed_ = 0;
+};
+
+}  // namespace flare::workload

@@ -133,6 +133,67 @@ TEST(FatTree, EcmpSpreadsFlows) {
   EXPECT_EQ(got, 64u);
 }
 
+TEST(FatTree, EcmpSpreadsFlowsAcrossSpines) {
+  // The cross-leaf ECMP set is the leaf's full uplink fan: with 64 distinct
+  // flow labels between one host pair, the flow hash must put bytes through
+  // MULTIPLE spines, not funnel everything onto one (the congestion plane
+  // depends on background flows spreading this way).
+  Network net;
+  FatTreeSpec spec;
+  auto topo = build_fat_tree(net, spec);
+  u32 got = 0;
+  Host* dst = topo.hosts[63];
+  dst->set_msg_handler([&](const HostMsg&) { got += 1; });
+  for (u64 flow = 0; flow < 64; ++flow) {
+    topo.hosts[0]->send(make_msg(0, 63, dst->id(), 1000, flow * 977 + 13));
+  }
+  net.sim().run();
+  EXPECT_EQ(got, 64u);
+  u32 spines_used = 0;
+  for (Switch* spine : topo.spines) {
+    u64 bytes = 0;
+    for (u32 p = 0; p < spine->num_ports(); ++p) {
+      bytes += spine->port(p).traffic().bytes;
+    }
+    if (bytes > 0) spines_used += 1;
+  }
+  EXPECT_GE(spines_used, 2u);
+  // And the host's leaf spread the flows over more than one uplink: the
+  // spine downlink bytes cannot all be on one spine.
+  EXPECT_EQ(net.total_traffic_bytes(), 64u * 1000 * 4);  // 4 hops per msg
+}
+
+TEST(FatTree, BuildRoutesPathsAreSymmetric) {
+  // build_routes must produce symmetric host<->host paths: for every
+  // ordered pair, a->b and b->a cross the same number of links, so an
+  // otherwise idle fabric delivers both in identical time.
+  Network net;
+  FatTreeSpec spec;
+  spec.hosts = 16;
+  spec.radix = 4;  // 8 leaves x 2 hosts, 4 spines
+  auto topo = build_fat_tree(net, spec);
+  SimTime arrived = 0;
+  for (Host* h : topo.hosts) {
+    h->set_msg_handler([&](const HostMsg&) { arrived = net.sim().now(); });
+  }
+  const u32 n = static_cast<u32>(topo.hosts.size());
+  for (u32 a = 0; a < n; ++a) {
+    for (u32 b = a + 1; b < n; ++b) {
+      const SimTime t0 = net.sim().now();
+      topo.hosts[a]->send(
+          make_msg(a, b, topo.hosts[b]->id(), 1000, a * 131 + b));
+      net.sim().run();  // drain: no queueing interference between probes
+      const SimTime fwd = arrived - t0;
+      const SimTime t1 = net.sim().now();
+      topo.hosts[b]->send(
+          make_msg(b, a, topo.hosts[a]->id(), 1000, a * 131 + b));
+      net.sim().run();
+      const SimTime rev = arrived - t1;
+      EXPECT_EQ(fwd, rev) << "asymmetric path " << a << "<->" << b;
+    }
+  }
+}
+
 // ------------------------------------------------------- reduction plane --
 
 core::AllreduceConfig reduce_cfg(u32 id, u32 children) {
