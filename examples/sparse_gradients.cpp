@@ -54,10 +54,11 @@ int main() {
     spec.hosts = workers;
     spec.radix = 8;
     auto topo = net::build_fat_tree(net, spec);
-    // The scheme-specific pair counters come from the shared oneshot; the
-    // Communicator returns the common CollectiveResult.
-    const auto res = coll::detail::flare_sparse_oneshot(net, topo.hosts, w,
-                                                        {});
+    coll::CollectiveOptions desc;
+    desc.algorithm = coll::Algorithm::kFlareSparse;
+    desc.sparse = w;
+    coll::Communicator comm(net, topo.hosts);
+    const auto res = comm.run(desc);
     std::printf("\n  Flare in-network sparse: %s\n",
                 res.ok ? "PASS" : "FAIL");
     std::printf("    completion : %.3f ms\n", res.completion_seconds * 1e3);

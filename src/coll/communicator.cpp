@@ -1,6 +1,7 @@
 #include "coll/communicator.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 #include <utility>
 
@@ -36,50 +37,6 @@ std::string_view algorithm_name(Algorithm a) {
 }
 
 namespace detail {
-
-class OpBase {
- public:
-  virtual ~OpBase() = default;
-  OpBase(const OpBase&) = delete;
-  OpBase& operator=(const OpBase&) = delete;
-
-  /// Kicks off one iteration: (re)wires host handlers, stages data and
-  /// enqueues the first sends on the calendar.  `state` receives the
-  /// result; its on_complete (if any) fires at completion.
-  virtual void begin(u64 seed, std::shared_ptr<OpState> state) = 0;
-
-  /// The LIVE reduction tree of an in-network op holding an install;
-  /// nullptr for host-based ops and after a fault stripped the tree.
-  virtual const ReductionTree* current_tree() const { return nullptr; }
-
-  /// Congestion migrations performed over the op's lifetime (0 for
-  /// host-based ops).
-  virtual u32 migrations() const { return 0; }
-
-  /// Releases installed switch state and host handlers; idempotent, no-op
-  /// for host-based ops.  Called by PersistentCollective::release().
-  virtual void release_install() {}
-
-  /// True once finalize ran and (for one-shot ops) resources are released.
-  bool reapable() const { return complete_; }
-
- protected:
-  OpBase() = default;
-
-  /// Publishes the result and invokes the completion callback.  MUST be
-  /// the last thing a finalize path does: the callback may destroy the op
-  /// (service jobs self-erase), so no member access is allowed after it.
-  void publish(CollectiveResult&& res) {
-    auto st = std::move(state_);
-    st->result = std::move(res);
-    st->done = true;
-    auto cb = std::move(st->on_complete);
-    if (cb) cb(st->result);  // 'this' may be destroyed here
-  }
-
-  std::shared_ptr<OpState> state_;
-  bool complete_ = false;
-};
 
 // ======================================================== host ring =======
 // Event-driven ring (Rabenseifner) allreduce over the same network: two
@@ -462,17 +419,21 @@ class RingOp final : public OpBase {
 //   3. when no viable tree exists, an allreduce finishes on the host-ring
 //      data plane (reduce/broadcast/barrier retry once the fabric heals).
 // Persistent requests reinstall transparently between iterations.
+//
+// All of 1-3, the persistent upkeep and the congestion migration live in
+// detail::TreeOpBase (coll/op.{hpp,cpp}) and are shared verbatim with the
+// sparse engine's SparseOp; this class is the DENSE data plane only.
 
-class InNetOp final : public OpBase {
+class InNetOp final : public TreeOpBase {
  public:
   InNetOp(net::Network& net, NetworkManager& manager,
           const std::vector<net::Host*>& participants,
           const CollectiveOptions& desc, core::AllreduceConfig cfg,
           ReductionTree tree, bool owns_install,
           net::CongestionMonitor* monitor = nullptr)
-      : net_(net), manager_(manager), participants_(participants),
-        desc_(desc), cfg_(cfg), tree_(std::move(tree)),
-        owns_install_(owns_install), op_(cfg.op), monitor_(monitor) {
+      : TreeOpBase(net, manager, participants, desc, cfg, std::move(tree),
+                   owns_install, /*sparse=*/false, monitor),
+        op_(cfg.op) {
     const u32 esize = core::dtype_size(desc_.dtype);
     if (desc_.kind == CollectiveKind::kBarrier) {
       elems_total_ = 0;
@@ -490,56 +451,10 @@ class InNetOp final : public OpBase {
     window_ = desc_.order == core::SendOrder::kStaggered
                   ? std::max(desc_.window_blocks, nb_)
                   : std::max(1u, desc_.window_blocks);
-    timeout_ps_ = desc_.retransmit_timeout_ps;
-    max_retry_ = desc_.max_retransmits;
-  }
-
-  ~InNetOp() override {
-    // Abandoned mid-flight (communicator destroyed): release switch slots
-    // and host handlers so the fabric is reusable.
-    release_install();
-    if (listening_) net_.remove_fault_listener(fault_listener_);
-  }
-
-  const ReductionTree* current_tree() const override {
-    return installed_ ? &tree_ : nullptr;
-  }
-
-  u32 migrations() const override { return migrations_total_; }
-
-  void release_install() override {
-    if (!installed_) return;
-    for (net::Host* host : participants_) {
-      host->clear_reduce_handler(cfg_.id);
-    }
-    manager_.uninstall(tree_, cfg_.id);
-    installed_ = false;
   }
 
   void begin(u64 seed, std::shared_ptr<OpState> state) override {
-    FLARE_ASSERT_MSG(state_ == nullptr,
-                     "previous iteration of this collective still running");
-    seed_ = seed;
-    retransmits_ = 0;
-    recoveries_ = 0;
-    recover_waits_ = 0;
-    migrations_iter_ = 0;
-    if (!owns_install_ && !first_begin_) {
-      refresh_persistent_install();
-      // Congestion adaptation happens at the iteration boundary, after the
-      // fault-driven refresh: a healthy tree on hot links is still the
-      // wrong tree.
-      maybe_migrate();
-    }
-    first_begin_ = false;
-    if (ring_ != nullptr) {
-      // Earlier iterations lost the fabric for good: run on the host ring.
-      begin_ring_iteration(seed, std::move(state));
-      return;
-    }
-    state_ = std::move(state);
-    complete_ = false;
-    finished_ = false;
+    if (!begin_prologue(seed, std::move(state))) return;
     hosts_done_ = 0;
     start_ps_ = net_.sim().now();
     base_traffic_ = net_.total_traffic_bytes();
@@ -574,9 +489,7 @@ class InNetOp final : public OpBase {
       }
       hr.schedule = core::send_schedule(h, P, nb_, desc_.order);
       hr.block_done.assign(nb_, false);
-      hr.sent.assign(nb_, false);
-      hr.sent_ps.assign(nb_, 0);
-      hr.retries.assign(nb_, 0);
+      hr.retry.reset(nb_);
       hr.host->set_reduce_handler(
           cfg_.id, [this, h](const core::Packet& pkt) { on_down(h, pkt); });
     }
@@ -595,9 +508,7 @@ class InNetOp final : public OpBase {
     u64 blocks_done = 0;
     SimTime finish_ps = 0;
     std::vector<bool> block_done;
-    std::vector<bool> sent;      ///< result still pending for a sent block
-    std::vector<SimTime> sent_ps;  ///< last (re)transmission time per block
-    std::vector<u32> retries;    ///< retransmissions per block this epoch
+    BlockRetryState retry;  ///< shared watchdog bookkeeping (TreeOpBase)
   };
 
   bool consumes_payload() const {
@@ -653,8 +564,8 @@ class InNetOp final : public OpBase {
       hr.next += 1;
       if (need_result) {
         hr.outstanding += 1;
-        hr.sent[b] = true;
-        hr.sent_ps[b] = net_.sim().now();
+        hr.retry.sent[b] = true;
+        hr.retry.sent_ps[b] = net_.sim().now();
       }
       send_block(h, b, 0);
     }
@@ -689,313 +600,39 @@ class InNetOp final : public OpBase {
     }
   }
 
-  // ------------------------------------------------- fault tolerance ----
+  // --------------------------------------------- TreeOpBase data hooks ----
 
-  void subscribe_faults() {
-    if (listening_ || timeout_ps_ == 0) return;
-    std::weak_ptr<char> w = alive_;
-    fault_listener_ =
-        net_.add_fault_listener([this, w](const net::FaultNotice& notice) {
-          if (w.expired()) return;
-          on_fault(notice);
-        });
-    listening_ = true;
-  }
-
-  void on_fault(const net::FaultNotice&) {
-    if (finished_ || state_ == nullptr || ring_ != nullptr) return;
-    if (installed_ && tree_alive(net_, tree_)) return;  // tree unaffected
-    // React off the notifier's stack: the notice fires mid-event (possibly
-    // inside a Link::send) and recovery tears switch state down.
-    std::weak_ptr<char> w = alive_;
-    net_.sim().schedule_after(0, [this, w] {
-      if (w.expired()) return;
-      if (finished_ || state_ == nullptr || ring_ != nullptr) return;
-      if (installed_ && tree_alive(net_, tree_)) return;
-      recover(/*force=*/false);
-    });
-  }
-
-  void arm_watchdog() {
-    if (timeout_ps_ == 0 || watchdog_armed_) return;
-    watchdog_armed_ = true;
-    std::weak_ptr<char> w = alive_;
-    net_.sim().schedule_after(timeout_ps_, [this, w] {
-      if (w.expired()) return;
-      watchdog_armed_ = false;
-      on_watchdog();
-    });
-  }
-
-  void on_watchdog() {
-    if (finished_ || state_ == nullptr || ring_ != nullptr) return;
-    const SimTime now = net_.sim().now();
-    bool escalate = false;
-    for (u32 h = 0; h < runs_.size(); ++h) {
-      HostRun& hr = runs_[h];
-      for (u32 b = 0; b < nb_; ++b) {
-        if (!hr.sent[b] || hr.block_done[b]) continue;
-        // Exponential backoff: each retry doubles the wait.  Without it a
-        // full-message resend (serialization time > timeout) can outlast
-        // the timer, triggering a self-sustaining retransmission storm
-        // that congests the access links faster than they drain.
-        const u32 shift = std::min<u32>(hr.retries[b], 6);
-        if (now - hr.sent_ps[b] < (timeout_ps_ << shift)) continue;
-        if (hr.retries[b] >= max_retry_) {
-          escalate = true;  // retransmission is not healing this block
-          continue;
-        }
-        hr.retries[b] += 1;
-        retransmits_ += 1;
-        hr.sent_ps[b] = now;
-        send_block(h, b, core::kFlagRetransmit);
-      }
-    }
-    if (escalate) {
-      recover(/*force=*/true);
-      if (finished_ || state_ == nullptr || ring_ != nullptr) return;
-    }
-    arm_watchdog();
-  }
-
-  /// Uninstalls whatever remains of the dead tree and reinstalls on the
-  /// surviving fabric under a fresh collective id (stale in-flight packets
-  /// of the old id drop harmlessly at switches and hosts).
-  bool try_reinstall() {
-    release_install();
-    cfg_.id = manager_.next_id();
-    InstallReport report = manager_.install_with_retry(
-        participants_, cfg_, resolved_switch_service_bps(desc_, false));
-    if (!report) return false;
-    tree_ = std::move(*report);
-    installed_ = true;
-    recoveries_ += 1;
-    return true;
-  }
-
-  /// Tree declared dead.  `force` skips the liveness check — used when the
-  /// tree LOOKS healthy but progress has stopped (e.g. a switch restarted
-  /// and lost its engines without the tree failing a link test).
-  void recover(bool force) {
-    if (finished_ || state_ == nullptr || ring_ != nullptr) return;
-    if (!force && installed_ && tree_alive(net_, tree_)) return;
-    if (try_reinstall()) {
-      recover_waits_ = 0;
-      restart_iteration();
-      return;
-    }
-    if (desc_.kind == CollectiveKind::kAllreduce) {
-      fallback_to_ring();
-      return;
-    }
-    // Reduce/broadcast/barrier have no host-ring equivalent here: wait for
-    // the fabric to heal (repairs also notify, this is the backstop poll).
-    // Bounded: a fault that is never repaired must surface as a FAILED
-    // result, not hang the calendar forever.
-    if (recover_waits_ >= kMaxRecoverWaits) {
-      give_up();
-      return;
-    }
-    recover_waits_ += 1;
-    std::weak_ptr<char> w = alive_;
-    net_.sim().schedule_after(timeout_ps_, [this, w] {
-      if (w.expired()) return;
-      recover(/*force=*/false);
-    });
-  }
-
-  /// Permanent fault: no viable tree appeared within the retry budget.
-  /// Publish a failed result so run()/start() callers observe the outage
-  /// instead of spinning the calendar forever.
-  void give_up() {
-    release_install();
-    CollectiveResult res;
-    res.ok = false;
-    res.retransmits = retransmits_;
-    res.recoveries = recoveries_;
-    res.migrations = migrations_iter_;
-    finished_ = true;
-    complete_ = true;
-    publish(std::move(res));  // may destroy *this — nothing after
+  /// Fallback data plane: the host ring (dense allreduce only; the other
+  /// kinds wait for the fabric to heal).
+  std::unique_ptr<OpBase> make_fallback_op() override {
+    if (desc_.kind != CollectiveKind::kAllreduce) return nullptr;
+    CollectiveOptions rdesc = desc_;
+    rdesc.algorithm = Algorithm::kHostRing;
+    return std::make_unique<RingOp>(net_, participants_, rdesc);
   }
 
   /// Replays the iteration against a freshly installed tree: engines are
   /// new, so every host re-contributes every block; already-delivered
   /// results are kept (their multicast duplicates are dropped on arrival).
-  void restart_iteration() {
+  void restart_iteration() override {
     for (u32 h = 0; h < runs_.size(); ++h) {
       HostRun& hr = runs_[h];
       hr.host->set_reduce_handler(
           cfg_.id, [this, h](const core::Packet& pkt) { on_down(h, pkt); });
       hr.next = 0;
       hr.outstanding = 0;
-      hr.sent.assign(nb_, false);
-      hr.sent_ps.assign(nb_, 0);
-      hr.retries.assign(nb_, 0);
+      hr.retry.reset(nb_);
     }
     for (u32 h = 0; h < runs_.size(); ++h) try_send(h);
     arm_watchdog();
   }
 
-  void prepare_ring_fallback() {
-    release_install();
-    FLARE_ASSERT_MSG(desc_.kind == CollectiveKind::kAllreduce,
-                     "only allreduce can fall back to the host ring");
-    CollectiveOptions rdesc = desc_;
-    rdesc.algorithm = Algorithm::kHostRing;
-    ring_ = std::make_unique<RingOp>(net_, participants_, rdesc);
-  }
-
-  /// Wires a ring iteration whose completion publishes THIS op's result.
-  void start_ring_iteration(u64 seed) {
-    ring_state_ = std::make_shared<OpState>();
-    std::weak_ptr<char> w = alive_;
-    ring_state_->on_complete = [this, w](const CollectiveResult&) {
-      if (w.expired()) return;
-      on_ring_done();
-    };
-    ring_->begin(seed, ring_state_);
-  }
-
-  void begin_ring_iteration(u64 seed, std::shared_ptr<OpState> state) {
-    state_ = std::move(state);
-    complete_ = false;
-    finished_ = false;
-    start_ring_iteration(seed);
-  }
-
-  /// Mid-iteration fallback: no viable tree remains.  The ring recomputes
-  /// the same seeded inputs, so the published result is bit-for-bit what
-  /// the in-network path would have produced for exact dtypes.
-  void fallback_to_ring() {
-    prepare_ring_fallback();
-    start_ring_iteration(seed_);
-  }
-
-  void on_ring_done() {
-    CollectiveResult res = ring_state_->result;
-    res.fell_back = true;
-    res.retransmits += retransmits_;
-    res.recoveries = recoveries_;
-    res.migrations = migrations_iter_;
-    finished_ = true;
-    complete_ = true;
-    publish(std::move(res));  // may destroy *this — nothing after
-  }
-
-  /// Persistent re-run upkeep: reset healthy engines, transparently
-  /// reinstall a damaged tree, or probe a healed fabric to leave ring
-  /// fallback mode.
-  void refresh_persistent_install() {
-    if (ring_ != nullptr) {
-      if (timeout_ps_ > 0 && try_reinstall()) ring_.reset();
-      return;
-    }
-    bool healthy = installed_;
-    if (healthy && timeout_ps_ > 0) healthy = tree_alive(net_, tree_);
-    if (healthy) {
-      for (const TreeSwitchEntry& e : tree_.switches) {
-        if (!e.sw->reset_reduce(cfg_.id)) {
-          healthy = false;  // a switch restarted and lost the engines
-          break;
-        }
-      }
-    }
-    if (healthy) return;
-    FLARE_ASSERT_MSG(timeout_ps_ > 0,
-                     "persistent engine vanished from the switch");
-    if (!try_reinstall() && desc_.kind == CollectiveKind::kAllreduce) {
-      prepare_ring_fallback();
-    }
-    // Otherwise proceed uninstalled: sends blackhole and the watchdog
-    // escalates into recover(), which retries until the fabric heals.
-  }
-
-  // ---------------------------------------------- congestion adaptation --
-
-  /// Iteration-boundary migration check (Canary's dynamic trees): when the
-  /// installed tree's links run hot AND a sufficiently cheaper embedding
-  /// exists, move there via the fresh-id reinstall path.  Deterministic:
-  /// every input (monitor sample, costs, candidate order) is a pure
-  /// function of the calendar state at this instant.
-  void maybe_migrate() {
-    if (monitor_ == nullptr || desc_.migrate_above <= 0.0 || !installed_ ||
-        ring_ != nullptr) {
-      return;
-    }
-    // Completion-time watch — the PRIMARY trigger, as in Canary: only an
-    // iteration that actually regressed justifies control work.  This gate
-    // is mandatory because the EWMA alone cannot be trusted here: the
-    // session's OWN traffic makes whatever tree it runs on look hot, and
-    // acting on that signal would make every session flee itself forever.
-    // migrate_slowdown <= 1 checks on ANY regression; on a quiet fabric
-    // iterations repeat bit for bit, so equality never trips it.
-    const f64 slack = std::max(1.0, desc_.migrate_slowdown);
-    if (best_iter_ps_ == 0 ||
-        static_cast<f64>(last_iter_ps_) <=
-            static_cast<f64>(best_iter_ps_) * slack) {
-      return;
-    }
-    monitor_->sample();  // fresh snapshot at the decision point
-    const f64 cur_hot = tree_max_congestion(*monitor_, tree_);
-    if (cur_hot < desc_.migrate_above) return;
-    std::optional<ReductionTree> best;
-    for (net::Switch* candidate : net_.switches()) {
-      auto tree = manager_.compute_tree(participants_, candidate->id());
-      if (tree && (!best || tree->cost < best->cost)) best = std::move(tree);
-    }
-    // Hysteresis on the WORST edge, not the total cost: edges every
-    // candidate must cross (the participants' access links, self-heated by
-    // the session's own traffic) cancel out of a max and would dilute a
-    // sum — a migration must actually shed the hottest link, or the slow
-    // iteration was caused by congestion no tree can route around.
-    if (!best || tree_max_congestion(*monitor_, *best) >
-                     desc_.migrate_improvement * cur_hot) {
-      return;
-    }
-
-    // Break-before-make on the PR-3 fresh-id path: stale in-flight packets
-    // of the old id drop harmlessly at switches and hosts.  No calendar
-    // event can run between the release and the install, so at minimum the
-    // OLD embedding's slots are still free for the retry below.
-    std::vector<net::NodeId> old_switches;
-    for (const TreeSwitchEntry& e : tree_.switches) {
-      old_switches.push_back(e.sw->id());
-    }
-    release_install();
-    cfg_.id = manager_.next_id();
-    const f64 bps = resolved_switch_service_bps(desc_, false);
-    if (manager_.install(*best, cfg_, bps)) {
-      tree_ = std::move(*best);
-      installed_ = true;
-    } else {
-      // The target shares a full switch with other tenants: take the best
-      // install that fits instead (cost-ordered retry).
-      InstallReport rep =
-          manager_.install_with_retry(participants_, cfg_, bps);
-      if (!rep) {
-        if (desc_.kind == CollectiveKind::kAllreduce) {
-          prepare_ring_fallback();
-        } else {
-          FLARE_ASSERT_MSG(timeout_ps_ > 0,
-                           "migration lost the tree with fault handling off");
-        }
-        return;
-      }
-      tree_ = std::move(*rep);
-      installed_ = true;
-    }
-    // A migration is a tree that MOVED: when admission pushed the session
-    // back onto its old embedding (the target's slots were taken), the
-    // fresh-id churn is not a migration and must not count as one.
-    std::vector<net::NodeId> new_switches;
-    for (const TreeSwitchEntry& e : tree_.switches) {
-      new_switches.push_back(e.sw->id());
-    }
-    if (new_switches != old_switches) {
-      migrations_iter_ += 1;
-      migrations_total_ += 1;
-    }
+  bool scan_timeouts() override {
+    return scan_block_timeouts(
+        static_cast<u32>(runs_.size()), nb_,
+        [this](u32 h) -> BlockRetryState& { return runs_[h].retry; },
+        [this](u32 h, u32 b) { return bool{runs_[h].block_done[b]}; },
+        [this](u32 h, u32 b) { send_block(h, b, core::kFlagRetransmit); });
   }
 
   void finalize() {
@@ -1055,27 +692,13 @@ class InNetOp final : public OpBase {
     res.recoveries = recoveries_;
     res.migrations = migrations_iter_;
     // Completion-time watch feeding the next iteration's migration check.
-    last_iter_ps_ = static_cast<SimTime>(worst);
-    if (best_iter_ps_ == 0 || last_iter_ps_ < best_iter_ps_) {
-      best_iter_ps_ = last_iter_ps_;
-    }
+    record_iteration_time(static_cast<SimTime>(worst));
 
     if (owns_install_) release_install();
     complete_ = true;
     publish(std::move(res));  // may destroy *this — nothing after
   }
 
-  net::Network& net_;
-  NetworkManager& manager_;
-  const std::vector<net::Host*>& participants_;
-  CollectiveOptions desc_;
-  core::AllreduceConfig cfg_;
-  ReductionTree tree_;
-  bool owns_install_;
-  /// This op owns the install's lifetime in both modes (one-shot releases
-  /// at finalize; persistent on PersistentCollective::release()); false
-  /// only after release or while a fault left the op treeless.
-  bool installed_ = true;
   core::ReduceOp op_;
   u64 elems_total_ = 0;
   u32 elems_per_pkt_ = 0;
@@ -1089,35 +712,6 @@ class InNetOp final : public OpBase {
   core::TypedBuffer expected_;
   std::vector<HostRun> runs_;
   u32 hosts_done_ = 0;
-  bool finished_ = false;
-  bool first_begin_ = true;
-
-  // --- fault tolerance ---
-  /// Heal-wait budget for kinds with no host fallback: ~64 timeout periods
-  /// of continuous no-viable-tree before the op publishes a failed result.
-  static constexpr u32 kMaxRecoverWaits = 64;
-  SimTime timeout_ps_ = 0;
-  u32 max_retry_ = 4;
-  u32 recover_waits_ = 0;
-  /// Outlives-`this` guard for watchdog/listener events on the calendar.
-  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
-  u64 fault_listener_ = 0;
-  bool listening_ = false;
-  bool watchdog_armed_ = false;
-  u64 seed_ = 0;
-  u64 retransmits_ = 0;
-  u32 recoveries_ = 0;
-
-  // --- congestion adaptation ---
-  net::CongestionMonitor* monitor_ = nullptr;
-  u32 migrations_iter_ = 0;   ///< while preparing the CURRENT iteration
-  u32 migrations_total_ = 0;  ///< over the op's lifetime
-  SimTime last_iter_ps_ = 0;  ///< completion of the previous iteration
-  SimTime best_iter_ps_ = 0;  ///< fastest iteration so far
-
-  /// Host-ring fallback data plane once no viable tree remains.
-  std::unique_ptr<RingOp> ring_;
-  std::shared_ptr<OpState> ring_state_;
 };
 
 }  // namespace detail
@@ -1233,16 +827,42 @@ Communicator::~Communicator() = default;
 Algorithm Communicator::resolve_algorithm(
     const CollectiveOptions& desc) const {
   if (desc.algorithm != Algorithm::kAuto) return desc.algorithm;
-  if (desc.sparse.pairs != nullptr) return Algorithm::kFlareSparse;
+  if (desc.sparse.pairs != nullptr || desc.sparse.epoch_pairs != nullptr) {
+    return Algorithm::kFlareSparse;
+  }
   return Algorithm::kFlareDense;
 }
 
+namespace {
+
+/// SparCML's recursive doubling serves power-of-two groups only; the kAuto
+/// admission fallback must not construct it for other sizes.
+bool sparcml_feasible(std::size_t participants) {
+  return std::has_single_bit(participants);
+}
+
+}  // namespace
+
 core::AllreduceConfig Communicator::make_config(
-    const CollectiveOptions& desc) const {
+    const CollectiveOptions& desc, Algorithm alg) const {
   core::AllreduceConfig cfg;
   cfg.id = manager_->next_id();
   cfg.dtype = desc.dtype;
+  cfg.fault_recovery = desc.retransmit_timeout_ps > 0;
   const u32 esize = core::dtype_size(desc.dtype);
+  if (alg == Algorithm::kFlareSparse) {
+    // In-network sparse allreduce (Section 7): hash stores below the root,
+    // array at the root (the manager flips hash_storage per switch).
+    cfg.op = core::ReduceOp(core::OpKind::kSum);
+    cfg.policy = core::AggPolicy::kSingleBuffer;
+    cfg.sparse = true;
+    cfg.block_span = desc.sparse.block_span;
+    cfg.pairs_per_packet =
+        core::sparse_pairs_per_packet(desc.packet_payload, desc.dtype);
+    cfg.hash_capacity_pairs = desc.hash_capacity_pairs;
+    cfg.spill_capacity_pairs = desc.spill_capacity_pairs;
+    return cfg;
+  }
   switch (desc.kind) {
     case CollectiveKind::kAllreduce:
     case CollectiveKind::kReduce: {
@@ -1280,11 +900,12 @@ core::AllreduceConfig Communicator::make_config(
 }
 
 InstallReport Communicator::install(const CollectiveOptions& desc,
-                                    const core::AllreduceConfig& cfg) {
+                                    const core::AllreduceConfig& cfg,
+                                    bool sparse) {
   // Placement decisions read the fabric as it is NOW, not as it was at the
   // monitor's last scheduled sample.
   if (cfg_.monitor != nullptr) cfg_.monitor->sample();
-  const f64 bps = resolved_switch_service_bps(desc, /*sparse=*/false);
+  const f64 bps = resolved_switch_service_bps(desc, sparse);
   if (!cfg_.roots.empty()) {
     return manager_->install_with_roots(participants_, cfg, bps, cfg_.roots,
                                         cfg_.cache);
@@ -1298,6 +919,32 @@ void Communicator::reap() {
   });
 }
 
+std::unique_ptr<detail::OpBase> Communicator::make_host_op(
+    const CollectiveOptions& desc, Algorithm alg) {
+  FLARE_ASSERT_MSG(desc.kind == CollectiveKind::kAllreduce,
+                   "the host data planes serve allreduce only");
+  if (alg == Algorithm::kSparcml) {
+    CollectiveOptions sdesc = desc;
+    sdesc.algorithm = Algorithm::kSparcml;
+    return std::make_unique<detail::SparcmlOp>(net_, participants_, sdesc);
+  }
+  FLARE_ASSERT(alg == Algorithm::kHostRing);
+  CollectiveOptions rdesc = desc;
+  rdesc.algorithm = Algorithm::kHostRing;
+  return std::make_unique<detail::RingOp>(net_, participants_, rdesc);
+}
+
+CollectiveHandle Communicator::start_op(
+    std::unique_ptr<detail::OpBase> op, u64 seed, CompletionFn on_complete) {
+  auto state = std::make_shared<detail::OpState>();
+  state->on_complete = std::move(on_complete);
+  CollectiveHandle handle(state);
+  detail::OpBase* raw = op.get();
+  ops_.push_back(std::move(op));
+  raw->begin(seed, std::move(state));
+  return handle;
+}
+
 CollectiveHandle Communicator::start(const CollectiveOptions& desc,
                                      CompletionFn on_complete) {
   reap();
@@ -1308,14 +955,27 @@ CollectiveHandle Communicator::start(const CollectiveOptions& desc,
   }
   const Algorithm alg = resolve_algorithm(desc);
   switch (alg) {
-    case Algorithm::kFlareDense: {
-      const core::AllreduceConfig cfg = make_config(desc);
-      InstallReport report = install(desc, cfg);
+    case Algorithm::kFlareDense:
+    case Algorithm::kFlareSparse: {
+      const bool sparse = alg == Algorithm::kFlareSparse;
+      if (sparse) {
+        FLARE_ASSERT_MSG(desc.kind == CollectiveKind::kAllreduce,
+                         "sparse engines serve allreduce only");
+        FLARE_ASSERT_MSG(desc.sparse.pairs != nullptr ||
+                             desc.sparse.epoch_pairs != nullptr,
+                         "sparse collective without a sparse workload");
+      }
+      const core::AllreduceConfig cfg = make_config(desc, alg);
+      InstallReport report = install(desc, cfg, sparse);
       if (!report) {
         if (desc.algorithm == Algorithm::kAuto &&
-            desc.kind == CollectiveKind::kAllreduce) {
-          // The paper's admission policy: fall back to the host ring.
-          return start_ring(desc, std::move(on_complete));
+            desc.kind == CollectiveKind::kAllreduce &&
+            (!sparse || sparcml_feasible(participants_.size()))) {
+          // The paper's admission policy: fall back to the host data plane
+          // (the ring; SparCML for sparse workloads).
+          return start_op(make_host_op(desc, sparse ? Algorithm::kSparcml
+                                                    : Algorithm::kHostRing),
+                          desc.seed, std::move(on_complete));
         }
         // Explicit in-network request rejected by admission: report
         // failure through an immediately-complete handle.
@@ -1324,96 +984,34 @@ CollectiveHandle Communicator::start(const CollectiveOptions& desc,
         if (on_complete) on_complete(state->result);
         return CollectiveHandle(std::move(state));
       }
-      auto op = std::make_unique<detail::InNetOp>(
-          net_, *manager_, participants_, desc, cfg, std::move(*report),
-          /*owns_install=*/true, cfg_.monitor);
-      auto state = std::make_shared<detail::OpState>();
-      state->on_complete = std::move(on_complete);
-      CollectiveHandle handle(state);
-      detail::InNetOp* raw = op.get();
-      ops_.push_back(std::move(op));
-      raw->begin(desc.seed, std::move(state));
-      return handle;
+      std::unique_ptr<detail::OpBase> op;
+      if (sparse) {
+        op = std::make_unique<detail::SparseOp>(
+            net_, *manager_, participants_, desc, cfg, std::move(*report),
+            /*owns_install=*/true, cfg_.monitor);
+      } else {
+        op = std::make_unique<detail::InNetOp>(
+            net_, *manager_, participants_, desc, cfg, std::move(*report),
+            /*owns_install=*/true, cfg_.monitor);
+      }
+      return start_op(std::move(op), desc.seed, std::move(on_complete));
     }
     case Algorithm::kHostRing:
-      return start_ring(desc, std::move(on_complete));
-    case Algorithm::kFlareSparse:
     case Algorithm::kSparcml:
-      FLARE_ASSERT_MSG(false,
-                       "sparse algorithms are blocking-only: use run()");
-      return {};
+      return start_op(make_host_op(desc, alg), desc.seed,
+                      std::move(on_complete));
     case Algorithm::kAuto:
       break;  // resolved above
   }
   FLARE_UNREACHABLE("unresolved algorithm");
 }
 
-CollectiveHandle Communicator::start_ring(const CollectiveOptions& desc,
-                                          CompletionFn on_complete) {
-  FLARE_ASSERT_MSG(desc.kind == CollectiveKind::kAllreduce,
-                   "the host ring serves allreduce only");
-  auto op = std::make_unique<detail::RingOp>(net_, participants_, desc);
-  auto state = std::make_shared<detail::OpState>();
-  state->on_complete = std::move(on_complete);
-  CollectiveHandle handle(state);
-  detail::RingOp* raw = op.get();
-  ops_.push_back(std::move(op));
-  raw->begin(desc.seed, std::move(state));
-  return handle;
-}
-
 CollectiveResult Communicator::run(const CollectiveOptions& desc) {
-  const Algorithm alg = resolve_algorithm(desc);
-  if (alg == Algorithm::kFlareSparse || alg == Algorithm::kSparcml) {
-    return run_sparse(desc, alg);
-  }
   CollectiveHandle handle = start(desc, {});
   net_.sim().run();
   FLARE_ASSERT_MSG(handle.done(),
                    "calendar drained without completing the collective");
   return handle.result();
-}
-
-CollectiveResult Communicator::run_sparse(const CollectiveOptions& desc,
-                                          Algorithm alg) {
-  FLARE_ASSERT_MSG(desc.kind == CollectiveKind::kAllreduce,
-                   "sparse engines serve allreduce only");
-  FLARE_ASSERT_MSG(desc.sparse.pairs != nullptr,
-                   "sparse collective without a sparse workload");
-  if (alg == Algorithm::kFlareSparse) {
-    FlareSparseOptions opt;
-    opt.dtype = desc.dtype;
-    opt.packet_payload = desc.packet_payload;
-    opt.window_blocks = desc.window_blocks;
-    opt.order = desc.order;
-    opt.hash_capacity_pairs = desc.hash_capacity_pairs;
-    opt.spill_capacity_pairs = desc.spill_capacity_pairs;
-    opt.switch_service_bps =
-        resolved_switch_service_bps(desc, /*sparse=*/true);
-    CollectiveResult res =
-        detail::flare_sparse_oneshot(net_, participants_, desc.sparse, opt);
-    res.in_network = true;
-    return res;
-  }
-  // SparCML on the same workload description: blocks flattened to global
-  // indices (the SparCML baseline reduces one global sparse vector).
-  SparcmlOptions opt;
-  opt.total_elems =
-      static_cast<u64>(desc.sparse.block_span) * desc.sparse.num_blocks;
-  opt.dtype = desc.dtype;
-  opt.mtu_bytes = desc.mtu_bytes;
-  const SparseWorkload& w = desc.sparse;
-  auto provider = [&w](u32 h) {
-    std::vector<core::SparsePair> all;
-    for (u32 b = 0; b < w.num_blocks; ++b) {
-      for (core::SparsePair sp : w.pairs(h, b)) {
-        sp.index += b * w.block_span;
-        all.push_back(sp);
-      }
-    }
-    return all;
-  };
-  return detail::sparcml_oneshot(net_, participants_, provider, opt);
 }
 
 PersistentCollective Communicator::persistent(const CollectiveOptions& desc) {
@@ -1426,31 +1024,48 @@ PersistentCollective Communicator::persistent(const CollectiveOptions& desc) {
   pc.comm_ = this;
   pc.desc_ = desc;
   const Algorithm alg = resolve_algorithm(desc);
-  if (alg == Algorithm::kHostRing) {
-    FLARE_ASSERT_MSG(desc.kind == CollectiveKind::kAllreduce,
-                     "the host ring serves allreduce only");
+  if (alg == Algorithm::kHostRing || alg == Algorithm::kSparcml) {
+    // Host data planes need no switch state: the persistent request is just
+    // the reusable op.
     pc.host_ring_ = true;
-    pc.op_ = std::make_unique<detail::RingOp>(net_, participants_, desc);
+    pc.op_ = make_host_op(desc, alg);
     return pc;
   }
-  FLARE_ASSERT_MSG(alg == Algorithm::kFlareDense,
-                   "persistent requests serve the dense engines");
-  pc.cfg_ = make_config(desc);
-  pc.report_ = install(desc, pc.cfg_);
+  const bool sparse = alg == Algorithm::kFlareSparse;
+  FLARE_ASSERT_MSG(alg == Algorithm::kFlareDense || sparse,
+                   "unresolved algorithm");
+  if (sparse) {
+    FLARE_ASSERT_MSG(desc.kind == CollectiveKind::kAllreduce,
+                     "sparse engines serve allreduce only");
+    FLARE_ASSERT_MSG(desc.sparse.pairs != nullptr ||
+                         desc.sparse.epoch_pairs != nullptr,
+                     "sparse collective without a sparse workload");
+  }
+  pc.cfg_ = make_config(desc, alg);
+  pc.report_ = install(desc, pc.cfg_, sparse);
   if (!pc.report_) {
     if (desc.algorithm == Algorithm::kAuto &&
-        desc.kind == CollectiveKind::kAllreduce) {
-      // Admission rejected: a persistent host ring needs no switch state.
+        desc.kind == CollectiveKind::kAllreduce &&
+        (!sparse || sparcml_feasible(participants_.size()))) {
+      // Admission rejected: a persistent host data plane needs no switch
+      // state (the ring; SparCML for sparse workloads).
       pc.host_ring_ = true;
-      pc.op_ = std::make_unique<detail::RingOp>(net_, participants_, desc);
+      pc.op_ = make_host_op(desc, sparse ? Algorithm::kSparcml
+                                         : Algorithm::kHostRing);
     }
     return pc;  // !ok() when no fallback applies
   }
   // The op keeps its own copy of the tree; the report's copy backs
   // tree()/release() and survives moves of the PersistentCollective.
-  pc.op_ = std::make_unique<detail::InNetOp>(
-      net_, *manager_, participants_, desc, pc.cfg_, *pc.report_,
-      /*owns_install=*/false, cfg_.monitor);
+  if (sparse) {
+    pc.op_ = std::make_unique<detail::SparseOp>(
+        net_, *manager_, participants_, desc, pc.cfg_, *pc.report_,
+        /*owns_install=*/false, cfg_.monitor);
+  } else {
+    pc.op_ = std::make_unique<detail::InNetOp>(
+        net_, *manager_, participants_, desc, pc.cfg_, *pc.report_,
+        /*owns_install=*/false, cfg_.monitor);
+  }
   return pc;
 }
 

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "coll/manager.hpp"
+#include "coll/op.hpp"
 #include "coll/options.hpp"
 #include "coll/result.hpp"
 
@@ -39,21 +40,6 @@ namespace flare::coll {
 
 class TreeCache;
 class Communicator;
-
-using CompletionFn = std::function<void(const CollectiveResult&)>;
-
-namespace detail {
-
-/// Shared completion record behind a CollectiveHandle.
-struct OpState {
-  bool done = false;
-  CollectiveResult result;
-  CompletionFn on_complete;
-};
-
-class OpBase;  // one in-flight collective on the calendar (communicator.cpp)
-
-}  // namespace detail
 
 /// Handle to a started (nonblocking) collective.  Cheap to copy; stays
 /// valid after the Communicator finishes the operation.
@@ -167,14 +153,17 @@ class Communicator {
 
   /// Nonblocking one-shot: installs (in-network schemes) and enqueues the
   /// first sends, then returns.  The caller drives the calendar; `cb` (if
-  /// any) fires at completion, on the calendar.  Sparse algorithms are
-  /// blocking-only — use run().
+  /// any) fires at completion, on the calendar.  Every algorithm — dense,
+  /// sparse, host-based — composes on the one shared calendar.
   CollectiveHandle start(const CollectiveOptions& desc,
                          CompletionFn on_complete = {});
 
   /// Install-once / run-many (see PersistentCollective).  Supported for
-  /// the in-network dense kinds and the host ring; kAuto allreduce falls
-  /// back to a persistent host ring when admission rejects the install.
+  /// every engine: the in-network dense kinds, the in-network sparse
+  /// allreduce (per-iteration switch hash-store reset, fresh gradients via
+  /// SparseWorkload::epoch_pairs), the host ring and SparCML.  kAuto falls
+  /// back to a persistent host data plane (ring, or SparCML for sparse
+  /// workloads) when admission rejects the install.
   PersistentCollective persistent(const CollectiveOptions& desc);
 
   net::Network& network() { return net_; }
@@ -187,12 +176,18 @@ class Communicator {
   friend class PersistentCollective;
 
   Algorithm resolve_algorithm(const CollectiveOptions& desc) const;
-  core::AllreduceConfig make_config(const CollectiveOptions& desc) const;
+  core::AllreduceConfig make_config(const CollectiveOptions& desc,
+                                    Algorithm alg) const;
   InstallReport install(const CollectiveOptions& desc,
-                        const core::AllreduceConfig& cfg);
-  CollectiveHandle start_ring(const CollectiveOptions& desc,
-                              CompletionFn on_complete);
-  CollectiveResult run_sparse(const CollectiveOptions& desc, Algorithm alg);
+                        const core::AllreduceConfig& cfg, bool sparse);
+  /// Adopts `op` into ops_, wires a handle/state pair and begins the
+  /// first iteration — the one completion contract for every engine.
+  CollectiveHandle start_op(std::unique_ptr<detail::OpBase> op, u64 seed,
+                            CompletionFn on_complete);
+  /// Host-side data plane for `alg` (kHostRing or kSparcml), used both for
+  /// explicit requests and for kAuto admission fallbacks.
+  std::unique_ptr<detail::OpBase> make_host_op(const CollectiveOptions& desc,
+                                               Algorithm alg);
   void reap();
 
   net::Network& net_;

@@ -7,36 +7,86 @@
 // the root), spilling collisions as extra traffic; the root multicasts the
 // aggregated pairs down.  The workload is pluggable (coll::SparseWorkload)
 // so both the uniform SparseSpec generator (Figure 14) and the bucketed
-// gradient trace (Figure 15) drive the same protocol.
+// gradient trace (Figure 15) drive the same protocol; persistent sessions
+// draw fresh per-iteration gradients through SparseWorkload::epoch_pairs.
 //
 // Entry point: coll::Communicator with a sparse workload attached to
-// CollectiveOptions (algorithm kAuto or kFlareSparse).  The sparse engine
-// is blocking-only (Communicator::run); detail::flare_sparse_oneshot is
-// the shared implementation.  (The deprecated run_flare_sparse wrapper is
-// gone — every call site speaks the descriptor API.)
+// CollectiveOptions (algorithm kAuto or kFlareSparse).  detail::SparseOp is
+// a first-class op in the Communicator lifecycle, riding detail::TreeOpBase
+// exactly as the dense InNetOp does: run() blocking, start() nonblocking
+// handles composing on one calendar, persistent() install-once/run-many
+// with per-iteration switch hash-store reset, timeout-retransmission +
+// fresh-id reinstall fault recovery with a SparCML host fallback, and
+// congestion-aware embedding + runtime migration.
 #pragma once
 
-#include "coll/communicator.hpp"
+#include "coll/op.hpp"
+#include "core/block_state.hpp"
+#include "core/typed_buffer.hpp"
 
-namespace flare::coll {
+namespace flare::coll::detail {
 
-struct FlareSparseOptions : Tuning {
-  /// See CollectiveOptions::order.
-  core::SendOrder order = core::SendOrder::kAligned;
-  u32 hash_capacity_pairs = 512;
-  u32 spill_capacity_pairs = 64;
+/// The in-network sparse data plane (see the file comment).  Everything
+/// about the install's lifetime — fault recovery, persistent upkeep,
+/// congestion migration — lives in TreeOpBase, shared with the dense
+/// engine.
+class SparseOp final : public TreeOpBase {
+ public:
+  SparseOp(net::Network& net, NetworkManager& manager,
+           const std::vector<net::Host*>& participants,
+           const CollectiveOptions& desc, core::AllreduceConfig cfg,
+           ReductionTree tree, bool owns_install,
+           net::CongestionMonitor* monitor = nullptr);
+
+  void begin(u64 seed, std::shared_ptr<OpState> state) override;
+
+ protected:
+  std::unique_ptr<OpBase> make_fallback_op() override;
+  void restart_iteration() override;
+  bool scan_timeouts() override;
+
+ private:
+  struct HostRun {
+    net::Host* host = nullptr;
+    std::vector<u32> schedule;
+    std::size_t next = 0;
+    u32 outstanding = 0;
+    u64 blocks_done = 0;
+    SimTime finish_ps = 0;
+    /// Down-multicast shard bookkeeping per block: the per-seq bitmap makes
+    /// switch re-emits of cached results idempotent at the host.
+    std::vector<core::ShardTracker> down;
+    std::vector<bool> block_done;
+    BlockRetryState retry;  ///< shared watchdog bookkeeping (TreeOpBase)
+  };
+
+  void stage(u64 seed);
+  void try_send(u32 h);
+  /// (Re)transmits every shard of host h's contribution to block b.
+  void send_block(u32 h, u32 b, u16 extra_flags);
+  void on_down(u32 h, const core::Packet& pkt);
+  void finalize();
+
+  core::ReduceOp op_;
+  u32 P_ = 0;
+  u32 nb_ = 0;     ///< reduction blocks
+  u32 span_ = 0;   ///< index space per block
+  u32 ppp_ = 0;    ///< pairs per packet
+  u32 esize_ = 4;
+  u32 window_ = 0;
+  u64 base_traffic_ = 0;
+  SimTime start_ps_ = 0;
+  u64 spills_at_begin_ = 0;  ///< engine spill counters at iteration start
+  /// Staged (host, block) pair lists for the CURRENT iteration; shared by
+  /// the data plane and the reference check.
+  std::vector<std::vector<std::vector<core::SparsePair>>> staged_;
+  /// Host 0's accumulation of the down-multicast stream (contents are
+  /// identical across hosts, so one copy is checked against the reference).
+  core::TypedBuffer result_;
+  u64 down_pairs_ = 0;
+  u64 host_pairs_sent_ = 0;
+  std::vector<HostRun> runs_;
+  u32 hosts_done_ = 0;
 };
 
-struct FlareSparseResult : CollectiveResult {
-  u64 spill_packets = 0;
-  u64 host_pairs_sent = 0;
-  u64 down_pairs = 0;
-};
-
-namespace detail {
-FlareSparseResult flare_sparse_oneshot(
-    net::Network& net, const std::vector<net::Host*>& participants,
-    const SparseWorkload& workload, const FlareSparseOptions& opt);
-}  // namespace detail
-
-}  // namespace flare::coll
+}  // namespace flare::coll::detail

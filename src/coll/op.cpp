@@ -1,0 +1,354 @@
+#include "coll/op.hpp"
+
+#include <optional>
+#include <utility>
+
+#include "net/telemetry.hpp"
+
+namespace flare::coll::detail {
+
+TreeOpBase::TreeOpBase(net::Network& net, NetworkManager& manager,
+                       const std::vector<net::Host*>& participants,
+                       const CollectiveOptions& desc,
+                       core::AllreduceConfig cfg, ReductionTree tree,
+                       bool owns_install, bool sparse,
+                       net::CongestionMonitor* monitor)
+    : net_(net), manager_(manager), participants_(participants),
+      desc_(desc), cfg_(cfg), tree_(std::move(tree)),
+      owns_install_(owns_install), sparse_(sparse), monitor_(monitor) {
+  timeout_ps_ = desc_.retransmit_timeout_ps;
+  max_retry_ = desc_.max_retransmits;
+}
+
+TreeOpBase::~TreeOpBase() {
+  // Abandoned mid-flight (communicator destroyed): release switch slots
+  // and host handlers so the fabric is reusable.
+  release_install();
+  if (listening_) net_.remove_fault_listener(fault_listener_);
+}
+
+void TreeOpBase::release_install() {
+  if (!installed_) return;
+  for (net::Host* host : participants_) {
+    host->clear_reduce_handler(cfg_.id);
+  }
+  manager_.uninstall(tree_, cfg_.id);
+  installed_ = false;
+}
+
+bool TreeOpBase::begin_prologue(u64 seed, std::shared_ptr<OpState> state) {
+  FLARE_ASSERT_MSG(state_ == nullptr,
+                   "previous iteration of this collective still running");
+  seed_ = seed;
+  retransmits_ = 0;
+  recoveries_ = 0;
+  recover_waits_ = 0;
+  migrations_iter_ = 0;
+  if (!owns_install_ && !first_begin_) {
+    refresh_persistent_install();
+    // Congestion adaptation happens at the iteration boundary, after the
+    // fault-driven refresh: a healthy tree on hot links is still the
+    // wrong tree.
+    maybe_migrate();
+  }
+  first_begin_ = false;
+  if (fallback_active()) {
+    // Earlier iterations lost the fabric for good: run on the host-side
+    // fallback data plane.
+    begin_fallback_iteration(seed, std::move(state));
+    return false;
+  }
+  state_ = std::move(state);
+  complete_ = false;
+  finished_ = false;
+  return true;
+}
+
+// ------------------------------------------------------ fault recovery ----
+
+void TreeOpBase::subscribe_faults() {
+  if (listening_ || timeout_ps_ == 0) return;
+  std::weak_ptr<char> w = alive_;
+  fault_listener_ =
+      net_.add_fault_listener([this, w](const net::FaultNotice& notice) {
+        if (w.expired()) return;
+        on_fault(notice);
+      });
+  listening_ = true;
+}
+
+void TreeOpBase::on_fault(const net::FaultNotice&) {
+  if (!iteration_active() || fallback_active()) return;
+  if (installed_ && tree_alive(net_, tree_)) return;  // tree unaffected
+  // React off the notifier's stack: the notice fires mid-event (possibly
+  // inside a Link::send) and recovery tears switch state down.
+  std::weak_ptr<char> w = alive_;
+  net_.sim().schedule_after(0, [this, w] {
+    if (w.expired()) return;
+    if (!iteration_active() || fallback_active()) return;
+    if (installed_ && tree_alive(net_, tree_)) return;
+    recover(/*force=*/false);
+  });
+}
+
+void TreeOpBase::arm_watchdog() {
+  if (timeout_ps_ == 0 || watchdog_armed_) return;
+  watchdog_armed_ = true;
+  std::weak_ptr<char> w = alive_;
+  net_.sim().schedule_after(timeout_ps_, [this, w] {
+    if (w.expired()) return;
+    watchdog_armed_ = false;
+    on_watchdog();
+  });
+}
+
+void TreeOpBase::on_watchdog() {
+  if (!iteration_active() || fallback_active()) return;
+  if (scan_timeouts()) {
+    recover(/*force=*/true);
+    if (!iteration_active() || fallback_active()) return;
+  }
+  arm_watchdog();
+}
+
+bool TreeOpBase::scan_block_timeouts(
+    u32 hosts, u32 blocks,
+    const std::function<BlockRetryState&(u32 host)>& retry_of,
+    const std::function<bool(u32 host, u32 block)>& block_done,
+    const std::function<void(u32 host, u32 block)>& resend) {
+  const SimTime now = net_.sim().now();
+  bool escalate = false;
+  for (u32 h = 0; h < hosts; ++h) {
+    BlockRetryState& rs = retry_of(h);
+    for (u32 b = 0; b < blocks; ++b) {
+      if (!rs.sent[b] || block_done(h, b)) continue;
+      // Exponential backoff: each retry doubles the wait.  Without it a
+      // full-message resend (serialization time > timeout) can outlast
+      // the timer, triggering a self-sustaining retransmission storm
+      // that congests the access links faster than they drain.
+      const u32 shift = std::min<u32>(rs.retries[b], 6);
+      if (now - rs.sent_ps[b] < (timeout_ps_ << shift)) continue;
+      if (rs.retries[b] >= max_retry_) {
+        escalate = true;  // retransmission is not healing this block
+        continue;
+      }
+      rs.retries[b] += 1;
+      retransmits_ += 1;
+      rs.sent_ps[b] = now;
+      resend(h, b);
+    }
+  }
+  return escalate;
+}
+
+bool TreeOpBase::try_reinstall() {
+  // Uninstall whatever remains of the dead tree and reinstall on the
+  // surviving fabric under a fresh collective id (stale in-flight packets
+  // of the old id drop harmlessly at switches and hosts).
+  release_install();
+  cfg_.id = manager_.next_id();
+  InstallReport report = manager_.install_with_retry(
+      participants_, cfg_, resolved_switch_service_bps(desc_, sparse_));
+  if (!report) return false;
+  tree_ = std::move(*report);
+  installed_ = true;
+  recoveries_ += 1;
+  return true;
+}
+
+void TreeOpBase::recover(bool force) {
+  if (!iteration_active() || fallback_active()) return;
+  if (!force && installed_ && tree_alive(net_, tree_)) return;
+  if (try_reinstall()) {
+    recover_waits_ = 0;
+    restart_iteration();
+    return;
+  }
+  if (prepare_fallback()) {
+    // Mid-iteration fallback: the host data plane recomputes the same
+    // seeded inputs, so the published result is bit-for-bit what the
+    // in-network path would have produced for exact dtypes.
+    start_fallback_iteration(seed_);
+    return;
+  }
+  // No host fallback for this kind: wait for the fabric to heal (repairs
+  // also notify, this is the backstop poll).  Bounded: a fault that is
+  // never repaired must surface as a FAILED result, not hang the calendar.
+  if (recover_waits_ >= kMaxRecoverWaits) {
+    give_up();
+    return;
+  }
+  recover_waits_ += 1;
+  std::weak_ptr<char> w = alive_;
+  net_.sim().schedule_after(timeout_ps_, [this, w] {
+    if (w.expired()) return;
+    recover(/*force=*/false);
+  });
+}
+
+void TreeOpBase::give_up() {
+  release_install();
+  CollectiveResult res;
+  res.ok = false;
+  res.retransmits = retransmits_;
+  res.recoveries = recoveries_;
+  res.migrations = migrations_iter_;
+  finished_ = true;
+  complete_ = true;
+  publish(std::move(res));  // may destroy *this — nothing after
+}
+
+// ------------------------------------------------- fallback data plane ----
+
+bool TreeOpBase::prepare_fallback() {
+  std::unique_ptr<OpBase> fallback = make_fallback_op();
+  if (fallback == nullptr) return false;
+  release_install();
+  fallback_op_ = std::move(fallback);
+  return true;
+}
+
+void TreeOpBase::start_fallback_iteration(u64 seed) {
+  fallback_state_ = std::make_shared<OpState>();
+  std::weak_ptr<char> w = alive_;
+  fallback_state_->on_complete = [this, w](const CollectiveResult&) {
+    if (w.expired()) return;
+    on_fallback_done();
+  };
+  fallback_op_->begin(seed, fallback_state_);
+}
+
+void TreeOpBase::begin_fallback_iteration(u64 seed,
+                                          std::shared_ptr<OpState> state) {
+  state_ = std::move(state);
+  complete_ = false;
+  finished_ = false;
+  start_fallback_iteration(seed);
+}
+
+void TreeOpBase::on_fallback_done() {
+  CollectiveResult res = fallback_state_->result;
+  res.fell_back = true;
+  res.retransmits += retransmits_;
+  res.recoveries = recoveries_;
+  res.migrations = migrations_iter_;
+  finished_ = true;
+  complete_ = true;
+  publish(std::move(res));  // may destroy *this — nothing after
+}
+
+// --------------------------------------------------- persistent upkeep ----
+
+void TreeOpBase::refresh_persistent_install() {
+  if (fallback_active()) {
+    // Probe a healed fabric to leave fallback mode.
+    if (timeout_ps_ > 0 && try_reinstall()) fallback_op_.reset();
+    return;
+  }
+  bool healthy = installed_;
+  if (healthy && timeout_ps_ > 0) healthy = tree_alive(net_, tree_);
+  if (healthy) {
+    for (const TreeSwitchEntry& e : tree_.switches) {
+      if (!e.sw->reset_reduce(cfg_.id)) {
+        healthy = false;  // a switch restarted and lost the engines
+        break;
+      }
+    }
+  }
+  if (healthy) return;
+  FLARE_ASSERT_MSG(timeout_ps_ > 0,
+                   "persistent engine vanished from the switch");
+  if (!try_reinstall()) {
+    prepare_fallback();
+    // Otherwise proceed uninstalled: sends blackhole and the watchdog
+    // escalates into recover(), which retries until the fabric heals.
+  }
+}
+
+// ------------------------------------------------ congestion adaptation ---
+
+void TreeOpBase::record_iteration_time(SimTime worst_ps) {
+  last_iter_ps_ = worst_ps;
+  if (best_iter_ps_ == 0 || last_iter_ps_ < best_iter_ps_) {
+    best_iter_ps_ = last_iter_ps_;
+  }
+}
+
+void TreeOpBase::maybe_migrate() {
+  if (monitor_ == nullptr || desc_.migrate_above <= 0.0 || !installed_ ||
+      fallback_active()) {
+    return;
+  }
+  // Completion-time watch — the PRIMARY trigger, as in Canary: only an
+  // iteration that actually regressed justifies control work.  This gate
+  // is mandatory because the EWMA alone cannot be trusted here: the
+  // session's OWN traffic makes whatever tree it runs on look hot, and
+  // acting on that signal would make every session flee itself forever.
+  // migrate_slowdown <= 1 checks on ANY regression; on a quiet fabric
+  // iterations repeat bit for bit, so equality never trips it.
+  const f64 slack = std::max(1.0, desc_.migrate_slowdown);
+  if (best_iter_ps_ == 0 ||
+      static_cast<f64>(last_iter_ps_) <=
+          static_cast<f64>(best_iter_ps_) * slack) {
+    return;
+  }
+  monitor_->sample();  // fresh snapshot at the decision point
+  const f64 cur_hot = tree_max_congestion(*monitor_, tree_);
+  if (cur_hot < desc_.migrate_above) return;
+  std::optional<ReductionTree> best;
+  for (net::Switch* candidate : net_.switches()) {
+    auto tree = manager_.compute_tree(participants_, candidate->id());
+    if (tree && (!best || tree->cost < best->cost)) best = std::move(tree);
+  }
+  // Hysteresis on the WORST edge, not the total cost: edges every
+  // candidate must cross (the participants' access links, self-heated by
+  // the session's own traffic) cancel out of a max and would dilute a
+  // sum — a migration must actually shed the hottest link, or the slow
+  // iteration was caused by congestion no tree can route around.
+  if (!best || tree_max_congestion(*monitor_, *best) >
+                   desc_.migrate_improvement * cur_hot) {
+    return;
+  }
+
+  // Break-before-make on the PR-3 fresh-id path: stale in-flight packets
+  // of the old id drop harmlessly at switches and hosts.  No calendar
+  // event can run between the release and the install, so at minimum the
+  // OLD embedding's slots are still free for the retry below.
+  std::vector<net::NodeId> old_switches;
+  for (const TreeSwitchEntry& e : tree_.switches) {
+    old_switches.push_back(e.sw->id());
+  }
+  release_install();
+  cfg_.id = manager_.next_id();
+  const f64 bps = resolved_switch_service_bps(desc_, sparse_);
+  if (manager_.install(*best, cfg_, bps)) {
+    tree_ = std::move(*best);
+    installed_ = true;
+  } else {
+    // The target shares a full switch with other tenants: take the best
+    // install that fits instead (cost-ordered retry).
+    InstallReport rep = manager_.install_with_retry(participants_, cfg_, bps);
+    if (!rep) {
+      if (!prepare_fallback()) {
+        FLARE_ASSERT_MSG(timeout_ps_ > 0,
+                         "migration lost the tree with fault handling off");
+      }
+      return;
+    }
+    tree_ = std::move(*rep);
+    installed_ = true;
+  }
+  // A migration is a tree that MOVED: when admission pushed the session
+  // back onto its old embedding (the target's slots were taken), the
+  // fresh-id churn is not a migration and must not count as one.
+  std::vector<net::NodeId> new_switches;
+  for (const TreeSwitchEntry& e : tree_.switches) {
+    new_switches.push_back(e.sw->id());
+  }
+  if (new_switches != old_switches) {
+    migrations_iter_ += 1;
+    migrations_total_ += 1;
+  }
+}
+
+}  // namespace flare::coll::detail

@@ -1,0 +1,254 @@
+// The collective-op lifecycle shared by every engine the Communicator
+// drives (coll/communicator.hpp is the public entry point).
+//
+// detail::OpBase is one in-flight collective on the event calendar: begin()
+// kicks off an iteration, publish() hands the result to the caller's
+// CollectiveHandle.  detail::TreeOpBase is the chassis of the TREE-BACKED
+// in-network ops (dense InNetOp, sparse SparseOp): it owns the installed
+// reduction tree's lifetime and centralizes the three control-plane
+// reactions PRs 3-4 built so dense and sparse share them verbatim:
+//
+//   * fault recovery — fresh-id uninstall/reinstall on the surviving
+//     fabric, bounded heal-waits, and a pluggable host-side fallback data
+//     plane (the ring for dense allreduce, SparCML for sparse);
+//   * persistent upkeep — per-iteration engine reset, transparent
+//     reinstall after a crash, fallback probing once the fabric heals;
+//   * congestion migration — the completion-time-gated, worst-edge-EWMA
+//     break-before-make re-embedding of the Canary-style dynamic trees.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "coll/manager.hpp"
+#include "coll/options.hpp"
+#include "coll/result.hpp"
+
+namespace flare::coll {
+
+using CompletionFn = std::function<void(const CollectiveResult&)>;
+
+namespace detail {
+
+/// Shared completion record behind a CollectiveHandle.
+struct OpState {
+  bool done = false;
+  CollectiveResult result;
+  CompletionFn on_complete;
+};
+
+class OpBase {
+ public:
+  virtual ~OpBase() = default;
+  OpBase(const OpBase&) = delete;
+  OpBase& operator=(const OpBase&) = delete;
+
+  /// Kicks off one iteration: (re)wires host handlers, stages data and
+  /// enqueues the first sends on the calendar.  `state` receives the
+  /// result; its on_complete (if any) fires at completion.
+  virtual void begin(u64 seed, std::shared_ptr<OpState> state) = 0;
+
+  /// The LIVE reduction tree of an in-network op holding an install;
+  /// nullptr for host-based ops and after a fault stripped the tree.
+  virtual const ReductionTree* current_tree() const { return nullptr; }
+
+  /// Congestion migrations performed over the op's lifetime (0 for
+  /// host-based ops).
+  virtual u32 migrations() const { return 0; }
+
+  /// Releases installed switch state and host handlers; idempotent, no-op
+  /// for host-based ops.  Called by PersistentCollective::release().
+  virtual void release_install() {}
+
+  /// True once finalize ran and (for one-shot ops) resources are released.
+  bool reapable() const { return complete_; }
+
+ protected:
+  OpBase() = default;
+
+  /// Publishes the result and invokes the completion callback.  MUST be
+  /// the last thing a finalize path does: the callback may destroy the op
+  /// (service jobs self-erase), so no member access is allowed after it.
+  void publish(CollectiveResult&& res) {
+    auto st = std::move(state_);
+    st->result = std::move(res);
+    st->done = true;
+    auto cb = std::move(st->on_complete);
+    if (cb) cb(st->result);  // 'this' may be destroyed here
+  }
+
+  std::shared_ptr<OpState> state_;
+  bool complete_ = false;
+};
+
+/// Per-host, per-block retry bookkeeping shared by the tree-backed data
+/// planes: which sent blocks still await a result, when each was last
+/// (re)transmitted, and how many times.
+struct BlockRetryState {
+  std::vector<bool> sent;        ///< result still pending for a sent block
+  std::vector<SimTime> sent_ps;  ///< last (re)transmission time per block
+  std::vector<u32> retries;      ///< retransmissions per block this epoch
+  void reset(u32 blocks) {
+    sent.assign(blocks, false);
+    sent_ps.assign(blocks, 0);
+    retries.assign(blocks, 0);
+  }
+};
+
+/// Chassis of the tree-backed in-network ops (see the file comment).  The
+/// concrete op supplies the data plane through four hooks; everything
+/// about the install's lifetime — recovery, persistence, migration — runs
+/// here, identically for the dense and sparse engines.
+class TreeOpBase : public OpBase {
+ public:
+  TreeOpBase(net::Network& net, NetworkManager& manager,
+             const std::vector<net::Host*>& participants,
+             const CollectiveOptions& desc, core::AllreduceConfig cfg,
+             ReductionTree tree, bool owns_install, bool sparse,
+             net::CongestionMonitor* monitor);
+  ~TreeOpBase() override;
+
+  const ReductionTree* current_tree() const override {
+    return installed_ ? &tree_ : nullptr;
+  }
+  u32 migrations() const override { return migrations_total_; }
+  void release_install() override;
+
+ protected:
+  // ---- hooks the concrete op supplies -----------------------------------
+
+  /// Host-side fallback data plane once no viable tree remains (the ring
+  /// for dense allreduce, SparCML for sparse allreduce); nullptr when the
+  /// kind has none (reduce/broadcast/barrier wait for the fabric to heal).
+  virtual std::unique_ptr<OpBase> make_fallback_op() = 0;
+
+  /// Replays the CURRENT iteration against a freshly installed tree
+  /// (engines are new: every host re-contributes every block).
+  virtual void restart_iteration() = 0;
+
+  /// One watchdog pass over the outstanding blocks: retransmit what timed
+  /// out (with the caller-side exponential backoff) and return true when
+  /// some block exhausted max_retransmits — the base then escalates into
+  /// recover().
+  virtual bool scan_timeouts() = 0;
+
+  // ---- shared machinery --------------------------------------------------
+
+  /// Everything begin() does before the data plane stages an iteration:
+  /// asserts no iteration is running, resets per-iteration counters,
+  /// performs persistent upkeep (engine reset / transparent reinstall /
+  /// migration check) and routes the iteration to the fallback data plane
+  /// when the fabric was lost for good.  Returns false in that last case —
+  /// the caller must not run the in-network path.  On true, state_ has
+  /// been adopted and the op is live.
+  bool begin_prologue(u64 seed, std::shared_ptr<OpState> state);
+
+  /// An iteration is executing (guards watchdog and fault-notice events).
+  bool iteration_active() const { return !finished_ && state_ != nullptr; }
+  bool fallback_active() const { return fallback_op_ != nullptr; }
+
+  /// Fresh-id reinstall on the surviving fabric; false when admission
+  /// rejects every candidate root.  Bumps recoveries_ on success.
+  bool try_reinstall();
+
+  /// Tree declared dead (`force` skips the liveness probe — progress
+  /// stopped although the tree LOOKS healthy, e.g. a restarted switch).
+  /// Reinstall, or hand the iteration to the fallback data plane, or
+  /// schedule a bounded heal-wait; gives up past the wait budget.
+  void recover(bool force);
+
+  /// Permanent outage: publish ok == false so callers observe the failure
+  /// instead of spinning the calendar forever.
+  void give_up();
+
+  void subscribe_faults();
+  void arm_watchdog();
+
+  /// The shared body of scan_timeouts(): walks every (host, block) whose
+  /// result is pending, applies the exponential backoff, re-sends timed-out
+  /// blocks via `resend(h, b)` with retransmits_/retry bookkeeping, and
+  /// returns true when some block exhausted max_retransmits (the caller's
+  /// signal to escalate into recover()).  One backoff policy for every
+  /// tree-backed data plane — tweak it here, not per engine.
+  bool scan_block_timeouts(
+      u32 hosts, u32 blocks,
+      const std::function<BlockRetryState&(u32 host)>& retry_of,
+      const std::function<bool(u32 host, u32 block)>& block_done,
+      const std::function<void(u32 host, u32 block)>& resend);
+
+  /// Completion-time bookkeeping feeding the next iteration's migration
+  /// check; call from the concrete finalize with the iteration's worst
+  /// host completion.
+  void record_iteration_time(SimTime worst_ps);
+
+  net::Network& net_;
+  NetworkManager& manager_;
+  const std::vector<net::Host*>& participants_;
+  CollectiveOptions desc_;
+  core::AllreduceConfig cfg_;
+  ReductionTree tree_;
+  bool owns_install_;
+  /// This op owns the install's lifetime in both modes (one-shot releases
+  /// at finalize; persistent on PersistentCollective::release()); false
+  /// only after release or while a fault left the op treeless.
+  bool installed_ = true;
+  /// Sparse engines run at the sparse calibrated service rate and install
+  /// hash/array stores — the only dense/sparse asymmetry the base carries.
+  const bool sparse_;
+  bool finished_ = false;
+  u64 seed_ = 0;
+
+  // --- fault tolerance ---
+  /// Heal-wait budget for kinds with no host fallback: ~64 timeout periods
+  /// of continuous no-viable-tree before the op publishes a failed result.
+  static constexpr u32 kMaxRecoverWaits = 64;
+  SimTime timeout_ps_ = 0;
+  u32 max_retry_ = 4;
+  u32 recover_waits_ = 0;
+  /// Outlives-`this` guard for watchdog/listener events on the calendar.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+  u64 retransmits_ = 0;
+  u32 recoveries_ = 0;
+
+  // --- congestion adaptation ---
+  net::CongestionMonitor* monitor_ = nullptr;
+  u32 migrations_iter_ = 0;   ///< while preparing the CURRENT iteration
+  u32 migrations_total_ = 0;  ///< over the op's lifetime
+
+  /// Host-side fallback data plane once no viable tree remains.
+  std::unique_ptr<OpBase> fallback_op_;
+
+ private:
+  void on_fault(const net::FaultNotice& notice);
+  void on_watchdog();
+
+  /// Persistent re-run upkeep: reset healthy engines, transparently
+  /// reinstall a damaged tree, or probe a healed fabric to leave the
+  /// fallback data plane.
+  void refresh_persistent_install();
+
+  /// Iteration-boundary migration check (Canary's dynamic trees): when the
+  /// installed tree's links run hot AND a sufficiently cheaper embedding
+  /// exists, move there via the fresh-id reinstall path.
+  void maybe_migrate();
+
+  /// Constructs the fallback op (when the kind has one) and releases the
+  /// install; false when no fallback applies.
+  bool prepare_fallback();
+  void start_fallback_iteration(u64 seed);
+  void begin_fallback_iteration(u64 seed, std::shared_ptr<OpState> state);
+  void on_fallback_done();
+
+  bool first_begin_ = true;
+  u64 fault_listener_ = 0;
+  bool listening_ = false;
+  bool watchdog_armed_ = false;
+  SimTime last_iter_ps_ = 0;  ///< completion of the previous iteration
+  SimTime best_iter_ps_ = 0;  ///< fastest iteration so far
+  std::shared_ptr<OpState> fallback_state_;
+};
+
+}  // namespace detail
+
+}  // namespace flare::coll

@@ -112,6 +112,14 @@ struct SparseWorkload {
   u32 block_span = 1280;
   u32 num_blocks = 16;
   std::function<std::vector<core::SparsePair>(u32 host, u32 block)> pairs;
+  /// Optional per-iteration source for persistent sparse sessions: when
+  /// set, iteration i of a persistent request draws its gradients from
+  /// epoch_pairs(seed + i, host, block) — fresh data every iteration,
+  /// exactly as make_dense_data does for the dense kinds.  When null,
+  /// every iteration replays `pairs` (a fixed gradient).
+  std::function<std::vector<core::SparsePair>(u64 epoch, u32 host,
+                                              u32 block)>
+      epoch_pairs;
 };
 
 /// One descriptor for every collective the substrate serves.

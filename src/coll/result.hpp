@@ -19,6 +19,22 @@ struct CollectiveResult {
   /// Peak working memory across the tree switches (in-network schemes).
   u64 switch_working_mem_hwm = 0;
 
+  // --- sparse extras (flare-sparse / SparCML; zero for dense schemes) ---
+  /// Hash-collision spill flushes across the tree switches (flare-sparse);
+  /// mirrored into extra_packets.
+  u64 spill_packets = 0;
+  /// (index, value) pairs the hosts transmitted up, retransmissions
+  /// included (flare-sparse).
+  u64 host_pairs_sent = 0;
+  /// Pairs consumed from the root's down-multicast, recovery replays
+  /// included (flare-sparse).
+  u64 down_pairs = 0;
+  /// Messages sent in dense representation after SparCML's sparse-to-dense
+  /// switchover.
+  u64 dense_switchovers = 0;
+  /// Pairs exchanged while still sparse (SparCML).
+  u64 pairs_exchanged = 0;
+
   // --- fault recovery (populated when Tuning::retransmit_timeout_ps > 0) ---
   u64 retransmits = 0;   ///< blocks/chunks re-sent after a host timeout
   u32 recoveries = 0;    ///< reduction-tree reinstalls after a fabric fault

@@ -57,6 +57,11 @@ struct AllreduceConfig {
   /// the up-to-25x penalty.  Used by the scheduler ablation.
   bool remote_l1 = false;
 
+  /// Host-side fault recovery is armed (Tuning::retransmit_timeout_ps):
+  /// switches cache sparse emission sequences for retransmission replay
+  /// only when someone can actually ask for them.
+  bool fault_recovery = false;
+
   // --- sparse allreduce (Section 7) ---
   bool sparse = false;
   bool hash_storage = true;     ///< hash+spill if true, contiguous array else

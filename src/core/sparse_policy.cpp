@@ -80,8 +80,16 @@ SparseAggregator::Block& SparseAggregator::get_block(u32 block_id,
 }
 
 void SparseAggregator::reset() {
-  FLARE_ASSERT_MSG(blocks_.empty(),
-                   "reset with open blocks: packets still in flight");
+  // Blocks can be open here when a persistent session resets an engine
+  // whose iteration was abandoned by the recovery plane (fresh-id
+  // reinstall elsewhere left this engine mid-block): drop them and return
+  // their working memory, or the pool's occupancy telemetry would report a
+  // leak for the lifetime of the install.
+  const SimTime now = host_.simulator().now();
+  for (auto& [id, blk] : blocks_) {
+    pool_.release(store_footprint() * blk.stores.size(), now);
+  }
+  blocks_.clear();
   completed_.clear();
 }
 
@@ -91,8 +99,10 @@ void SparseAggregator::process(std::shared_ptr<const Packet> pkt,
   stats_.payload_bytes_in += pkt->payload_bytes();
   const auto& costs = host_.costs();
   const u64 pre = costs.handler_dispatch_cycles + costs.dma_packet_cycles;
+  std::weak_ptr<char> w = alive_;
   host_.simulator().schedule_after(
-      pre, [this, pkt = std::move(pkt), done = std::move(done)]() mutable {
+      pre, [this, w, pkt = std::move(pkt), done = std::move(done)]() mutable {
+        if (w.expired()) return;  // engine uninstalled while queued
         on_ready(std::move(pkt), std::move(done));
       });
 }
@@ -166,9 +176,13 @@ void SparseAggregator::run_on_store(u32 block_id, u32 store_idx,
     flush_spill(blk, slot, block_id, end);
   }
 
+  std::weak_ptr<char> w = alive_;
   host_.simulator().schedule_at(
-      end, [this, block_id, store_idx, done = std::move(done)]() mutable {
-        Block& b = blocks_.at(block_id);
+      end, [this, w, block_id, store_idx, done = std::move(done)]() mutable {
+        if (w.expired()) return;  // engine uninstalled while working
+        const auto it = blocks_.find(block_id);
+        if (it == blocks_.end()) return;  // reset dropped the block
+        Block& b = it->second;
         b.inserted += 1;
         const SimTime now2 = host_.simulator().now();
         if (b.tracker->complete() && b.inserted == b.seen) {
@@ -298,7 +312,9 @@ void SparseAggregator::finalize_block(u32 block_id, u32 my_store, SimTime t,
       static_cast<f64>(store_footprint() * blk.stores.size()));
 
   const u64 release_bytes = store_footprint() * blk.stores.size();
-  host_.simulator().schedule_at(t, [this, release_bytes] {
+  std::weak_ptr<char> w = alive_;
+  host_.simulator().schedule_at(t, [this, w, release_bytes] {
+    if (w.expired()) return;  // engine (and its pool) already gone
     pool_.release(release_bytes, host_.simulator().now());
   });
   completed_.insert(block_id);

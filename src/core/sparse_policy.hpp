@@ -84,6 +84,10 @@ class SparseAggregator final : public Aggregator {
   std::unordered_map<u32, Block> blocks_;
   std::unordered_set<u32> completed_;
   u64 total_collisions_ = 0;
+  /// Outlives-`this` guard for calendar events: the recovery plane can
+  /// uninstall (destroy) an engine while its insert/release events are
+  /// still scheduled — they must expire, not dereference a dead engine.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
 };
 
 std::unique_ptr<Aggregator> make_sparse_aggregator(EngineHost& host,

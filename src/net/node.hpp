@@ -109,6 +109,14 @@ struct ReduceRole {
   /// recovery path for lost switch-to-switch aggregates and lost
   /// down-multicasts.  Cleared by reset_reduce() between iterations.
   std::unordered_map<u32, std::shared_ptr<const core::Packet>> completed;
+  /// The SPARSE analogue: a sparse block's output spans several shard and
+  /// spill packets, so the cache keeps the whole emission sequence in
+  /// order.  Valid for re-emit only once the last-shard marker was emitted
+  /// (the final packet of the sequence); receivers deduplicate replays by
+  /// (child, shard_seq), so re-emitting the full sequence is idempotent.
+  /// Cleared by reset_reduce() between iterations.
+  std::unordered_map<u32, std::vector<std::shared_ptr<const core::Packet>>>
+      completed_sparse;
 };
 
 class Switch final : public Node, public core::EngineHost {
@@ -155,6 +163,17 @@ class Switch final : public Node, public core::EngineHost {
   /// Occupancy over simulated time: current level, high-water mark, and
   /// time-weighted mean — the control plane's contention signal.
   const Gauge& occupancy() const { return occupancy_; }
+  /// Working-memory bytes currently acquired across every installed
+  /// engine's pool.  The sparse leak check: once an iteration completes,
+  /// every hash/array store was returned and this reads zero even while
+  /// the installs themselves stay resident (persistent sessions).
+  u64 engine_pool_in_use() const {
+    u64 total = 0;
+    for (const auto& [id, role] : roles_) {
+      total += role.engine->pool().in_use();
+    }
+    return total;
+  }
 
   // --- EngineHost (picosecond clock; engines run with a zero cost model,
   //     timing comes from the calibrated server) ---
@@ -170,6 +189,8 @@ class Switch final : public Node, public core::EngineHost {
   void on_reduce_down(NetPacket&& pkt);
   /// Re-sends the cached result of a completed block (retransmission hit).
   void reemit_completed(u32 allreduce_id, u32 block_id);
+  /// Sparse analogue: replays the block's whole cached emission sequence.
+  void reemit_completed_sparse(u32 allreduce_id, u32 block_id);
 
   bool failed_ = false;
   u32 max_allreduces_;

@@ -100,4 +100,11 @@ f64 CongestionMonitor::node_congestion(NodeId node) const {
   return worst;
 }
 
+f64 CongestionMonitor::mean_congestion() const {
+  if (snap_.links.empty()) return 0.0;
+  f64 sum = 0.0;
+  for (const LinkCongestion& lc : snap_.links) sum += lc.ewma_utilization;
+  return sum / static_cast<f64>(snap_.links.size());
+}
+
 }  // namespace flare::net

@@ -92,6 +92,12 @@ class CongestionMonitor {
   /// selection signal of the least-congested policy.
   f64 node_congestion(NodeId node) const;
 
+  /// Fabric-wide mean EWMA utilization over every unidirectional link in
+  /// the latest snapshot (0 before the first sample).  The service layer's
+  /// admission-backpressure signal: one number saying "how hot is the
+  /// fabric as a whole", as opposed to the per-edge views above.
+  f64 mean_congestion() const;
+
  private:
   const LinkCongestion* stats_for(NodeId node, u32 port, bool reverse) const;
 

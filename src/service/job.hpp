@@ -66,6 +66,13 @@ struct JobRecord {
   u64 retransmits = 0;         ///< blocks/chunks re-sent after host timeouts
   u32 recoveries = 0;          ///< reduction-tree reinstalls after faults
   u32 migrations = 0;          ///< congestion-triggered re-embeddings
+  /// Sparse extras accumulated across iterations (zero for dense jobs) —
+  /// the CollectiveResult counters surfaced per job.
+  u64 spill_packets = 0;       ///< hash-collision spill flushes in the tree
+  u64 host_pairs_sent = 0;     ///< (index, value) pairs hosts sent up
+  u64 down_pairs = 0;          ///< pairs consumed from the down-multicast
+  u64 dense_switchovers = 0;   ///< SparCML messages sent dense (fallbacks)
+  u64 pairs_exchanged = 0;     ///< SparCML pairs exchanged while sparse
   /// Admitted in-network but FINISHED on the host ring because a fabric
   /// fault left no viable tree (in_network is false then).
   bool fell_back = false;

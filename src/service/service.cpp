@@ -1,6 +1,7 @@
 #include "service/service.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace flare::service {
 
@@ -58,11 +59,14 @@ coll::CollectiveOptions AllreduceService::descriptor_for(
   return desc;
 }
 
+bool AllreduceService::is_sparse(const JobSpec& spec) {
+  return spec.desc.sparse.pairs != nullptr ||
+         spec.desc.sparse.epoch_pairs != nullptr;
+}
+
 u32 AllreduceService::submit(JobSpec spec) {
   FLARE_ASSERT_MSG(!spec.participants.empty(),
                    "job needs at least one participant");
-  FLARE_ASSERT_MSG(spec.desc.sparse.pairs == nullptr,
-                   "the service schedules dense collectives");
   const u32 job = static_cast<u32>(records_.size());
   JobRecord rec;
   rec.job_id = job;
@@ -73,10 +77,26 @@ u32 AllreduceService::submit(JobSpec spec) {
   specs_.push_back(std::move(spec));
   telemetry_.submitted += 1;
 
-  if (specs_[job].desc.algorithm == coll::Algorithm::kHostRing) {
-    // The tenant explicitly requested the host data plane: no admission,
+  if (specs_[job].desc.algorithm == coll::Algorithm::kHostRing ||
+      specs_[job].desc.algorithm == coll::Algorithm::kSparcml) {
+    // The tenant explicitly requested a host data plane: no admission,
     // and not a fallback (runs even with fallback_to_host disabled).
-    start_host_ring(job, RingReason::kRequested);
+    start_host_plane(job, RingReason::kRequested);
+    return job;
+  }
+
+  if (!congestion_gate_open()) {
+    // Monitor-driven admission backpressure: don't place new work onto a
+    // saturated fabric — QUEUE (never reject) and re-check once the EWMA
+    // windows have turned.  The queue timeout still bounds the wait.
+    telemetry_.congestion_deferrals += 1;
+    if (queue_.size() >= opt_.max_queue) {
+      telemetry_.queue_overflows += 1;
+      start_fallback_or_reject(job, RingReason::kOverflow);
+    } else {
+      enqueue(job);
+      schedule_congestion_recheck();
+    }
     return job;
   }
 
@@ -116,8 +136,9 @@ bool AllreduceService::try_admit(u32 job, bool* feasible) {
   }
   coll::CollectiveOptions desc = descriptor_for(spec);
   // Explicitly in-network: the fallback decision is the SERVICE's (queue
-  // first, ring only on timeout/overflow), not the Communicator's.
-  desc.algorithm = coll::Algorithm::kFlareDense;
+  // first, host plane only on timeout/overflow), not the Communicator's.
+  desc.algorithm = is_sparse(spec) ? coll::Algorithm::kFlareSparse
+                                   : coll::Algorithm::kFlareDense;
 
   auto aj = std::make_unique<ActiveJob>(
       net_, spec.participants,
@@ -169,8 +190,32 @@ void AllreduceService::schedule_drain() {
   net_.sim().schedule_after(0, [this] { drain_queue(); });
 }
 
+bool AllreduceService::congestion_gate_open() {
+  if (opt_.monitor == nullptr || opt_.admit_below_congestion <= 0.0) {
+    return true;
+  }
+  opt_.monitor->sample();
+  return opt_.monitor->mean_congestion() <= opt_.admit_below_congestion;
+}
+
+void AllreduceService::schedule_congestion_recheck() {
+  if (recheck_scheduled_) return;
+  recheck_scheduled_ = true;
+  net_.sim().schedule_after(opt_.monitor->options().period_ps, [this] {
+    recheck_scheduled_ = false;
+    drain_queue();
+  });
+}
+
 void AllreduceService::drain_queue() {
   drain_scheduled_ = false;
+  if (!queue_.empty() && !congestion_gate_open()) {
+    // Backpressure holds the WHOLE queue (strict FIFO anyway): check again
+    // one monitor period later.
+    telemetry_.congestion_deferrals += 1;
+    schedule_congestion_recheck();
+    return;
+  }
   // Strict FIFO: the head blocks the rest — a released slot goes to the
   // longest-waiting job, never to a smaller job that could overtake it.
   while (!queue_.empty()) {
@@ -184,23 +229,26 @@ void AllreduceService::drain_queue() {
 
 void AllreduceService::start_fallback_or_reject(u32 job, RingReason why) {
   const JobSpec& spec = specs_[job];
-  const bool can_ring =
+  // Dense allreduce falls back to the ring; sparse to SparCML (recursive
+  // doubling: power-of-two groups only).
+  const bool can_host =
       opt_.fallback_to_host &&
-      spec.desc.kind == coll::CollectiveKind::kAllreduce;
-  if (!can_ring) {
+      spec.desc.kind == coll::CollectiveKind::kAllreduce &&
+      (!is_sparse(spec) || std::has_single_bit(spec.participants.size()));
+  if (!can_host) {
     JobRecord& rec = records_[job];
     rec.state = JobState::kRejected;
     rec.start_ps = rec.finish_ps = net_.sim().now();
     telemetry_.rejected += 1;
     return;
   }
-  start_host_ring(job, why);
+  start_host_plane(job, why);
 }
 
-void AllreduceService::start_host_ring(u32 job, RingReason why) {
+void AllreduceService::start_host_plane(u32 job, RingReason why) {
   const JobSpec& spec = specs_[job];
   FLARE_ASSERT_MSG(spec.desc.kind == coll::CollectiveKind::kAllreduce,
-                   "the host ring serves allreduce only");
+                   "the host data planes serve allreduce only");
   JobRecord& rec = records_[job];
   rec.state = JobState::kFallback;
   rec.in_network = false;
@@ -216,7 +264,8 @@ void AllreduceService::start_host_ring(u32 job, RingReason why) {
   telemetry_.queue_delay_s.add(rec.queue_delay_seconds());
 
   coll::CollectiveOptions desc = descriptor_for(spec);
-  desc.algorithm = coll::Algorithm::kHostRing;
+  desc.algorithm = is_sparse(spec) ? coll::Algorithm::kSparcml
+                                   : coll::Algorithm::kHostRing;
   auto aj = std::make_unique<ActiveJob>(net_, spec.participants,
                                         coll::CommunicatorConfig{});
   aj->desc = desc;
@@ -240,6 +289,11 @@ void AllreduceService::on_job_done(u32 job,
   rec.retransmits += res.retransmits;
   rec.recoveries += res.recoveries;
   rec.migrations += res.migrations;
+  rec.spill_packets += res.spill_packets;
+  rec.host_pairs_sent += res.host_pairs_sent;
+  rec.down_pairs += res.down_pairs;
+  rec.dense_switchovers += res.dense_switchovers;
+  rec.pairs_exchanged += res.pairs_exchanged;
   telemetry_.retransmits += res.retransmits;
   telemetry_.migrations += res.migrations;
   if (res.fell_back) rec.fell_back = true;

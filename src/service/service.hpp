@@ -73,6 +73,13 @@ struct ServiceOptions {
   /// exceeds this are recomputed instead of re-served (0 = liveness-only
   /// validation, the pre-congestion-plane behavior).
   f64 cache_stale_above = 0.0;
+  /// Monitor-driven admission backpressure: while the fabric-wide MEAN
+  /// EWMA utilization (CongestionMonitor::mean_congestion) exceeds this
+  /// bound, arriving jobs are QUEUED — not rejected — instead of being
+  /// admitted onto a saturated fabric, and the queue re-checks one monitor
+  /// period later (the queue timeout still bounds the wait).  0 (default)
+  /// disables the gate; requires `monitor`.
+  f64 admit_below_congestion = 0.0;
 };
 
 class AllreduceService {
@@ -127,15 +134,26 @@ class AllreduceService {
   };
 
   coll::CollectiveOptions descriptor_for(const JobSpec& spec) const;
+  /// The job carries a sparse workload: admission targets the in-network
+  /// sparse engine and the host fallback is SparCML instead of the ring.
+  static bool is_sparse(const JobSpec& spec);
   /// One admission round.  `feasible` (optional) reports whether the job
   /// could EVER run in-network (see NetworkManager::install_with_roots).
   bool try_admit(u32 job, bool* feasible = nullptr);
   void enqueue(u32 job);
   void schedule_drain();
   void drain_queue();
+  /// False while the admission-backpressure gate is closed (fabric-wide
+  /// mean congestion above ServiceOptions::admit_below_congestion).
+  /// Samples the monitor, so the answer reflects the fabric NOW.
+  bool congestion_gate_open();
+  /// Re-runs the queue drain one monitor period later (EWMA windows must
+  /// turn before the gate can observe a cooler fabric).
+  void schedule_congestion_recheck();
   void start_fallback_or_reject(u32 job, RingReason why);
-  /// Runs the job on the host-ring data plane for the given reason.
-  void start_host_ring(u32 job, RingReason why);
+  /// Runs the job on its host data plane (ring; SparCML for sparse jobs)
+  /// for the given reason.
+  void start_host_plane(u32 job, RingReason why);
   void on_job_done(u32 job, const coll::CollectiveResult& res);
   /// Kicks off the next iteration of a multi-iteration job (off the
   /// completion callback's stack).
@@ -151,7 +169,11 @@ class AllreduceService {
   std::deque<u32> queue_;  ///< job ids waiting for admission (FIFO)
   std::unordered_map<u32, std::unique_ptr<ActiveJob>> jobs_;
   u64 rr_cursor_ = 0;  ///< admission-round counter (round-robin policy)
-  bool drain_scheduled_ = false;
+  bool drain_scheduled_ = false;    ///< immediate (next-event) drain pending
+  /// A one-monitor-period congestion recheck is pending.  Kept separate
+  /// from drain_scheduled_: a slot release must still drain IMMEDIATELY
+  /// while a recheck is parked a period away.
+  bool recheck_scheduled_ = false;
   u64 fault_listener_ = 0;  ///< network fault-notice subscription token
 };
 

@@ -41,6 +41,11 @@ struct ServiceTelemetry {
   // --- congestion telemetry (populated when a monitor is configured) ---
   u64 migrations = 0;       ///< congestion-triggered tree re-embeddings
                             ///< across all jobs (see Tuning::migrate_above)
+  /// Admission rounds deferred by the congestion gate
+  /// (ServiceOptions::admit_below_congestion): arrivals parked in the
+  /// queue plus queue drains paused while the fabric-wide mean EWMA sat
+  /// above the bound.
+  u64 congestion_deferrals = 0;
 
   RunningStats queue_delay_s;        ///< submit -> start, per served job
   RunningStats in_network_service_s; ///< start -> finish, in-network jobs

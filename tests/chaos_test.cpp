@@ -21,6 +21,7 @@
 
 #include "coll/communicator.hpp"
 #include "common/rng.hpp"
+#include "workload/generators.hpp"
 #include "net/fault.hpp"
 #include "service/service.hpp"
 
@@ -284,6 +285,204 @@ TEST(ChaosTargeted, PermanentRingStallReportsFailure) {
   const auto res = comm.run(desc);
   EXPECT_FALSE(res.ok);
 }
+
+// ------------------------------------------------------- sparse chaos -----
+// The sparse engine under the same recovery contract: integer workloads
+// (bit-for-bit), zero leaked switch occupancy AND zero leaked hash-store
+// bytes (engine_pool_in_use) after completion.
+
+CollectiveOptions sparse_fault_desc(u32 span = 1280, u32 blocks = 8) {
+  CollectiveOptions desc;
+  desc.algorithm = Algorithm::kFlareSparse;
+  desc.dtype = core::DType::kInt32;
+  desc.sparse.block_span = span;
+  desc.sparse.num_blocks = blocks;
+  desc.sparse.epoch_pairs = [span](u64 epoch, u32 h, u32 b) {
+    workload::SparseSpec spec{span, 0.08, 0.5, core::DType::kInt32, epoch};
+    return workload::sparse_block_pairs(spec, h, b);
+  };
+  desc.retransmit_timeout_ps = 3 * kPsPerUs;
+  desc.max_retransmits = 2;
+  return desc;
+}
+
+void expect_no_leaked_hash_store(net::Network& net) {
+  for (net::Switch* sw : net.switches()) {
+    EXPECT_EQ(sw->engine_pool_in_use(), 0u)
+        << sw->name() << " still holds sparse store bytes";
+  }
+}
+
+TEST(ChaosSparse, SingleDropHealsByRetransmissionWithoutReinstall) {
+  // One lost sparse contribution shard: the watchdog re-sends the block's
+  // shards, the switch shard-trackers absorb the duplicates and aggregate
+  // only the missing one — no tree recovery.
+  net::Network net;
+  auto topo = net::build_single_switch(net, 8);
+  net.link(0).drop_next(1);  // first packet of host 0's uplink
+
+  Communicator comm(net, topo.hosts);
+  const auto res = comm.run(sparse_fault_desc());
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.max_abs_err, 0.0);
+  EXPECT_GE(res.retransmits, 1u);
+  EXPECT_EQ(res.recoveries, 0u);
+  EXPECT_FALSE(res.fell_back);
+  expect_no_leaked_occupancy(net);
+  expect_no_leaked_hash_store(net);
+}
+
+TEST(ChaosSparse, LostDownMulticastReemitsCachedShardSequence) {
+  // Drop packets on the switch->host direction: the host's retransmission
+  // hits a switch that already completed the block, which replays the
+  // block's cached emission sequence; the host-side shard bitmaps keep the
+  // replay idempotent.
+  net::Network net;
+  auto topo = net::build_single_switch(net, 4);
+  net.link(1).drop_next(2);  // switch->host0 direction of the first link
+
+  Communicator comm(net, topo.hosts);
+  const auto res = comm.run(sparse_fault_desc(1024, 4));
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.max_abs_err, 0.0);
+  EXPECT_GE(res.retransmits, 1u);
+  EXPECT_EQ(res.recoveries, 0u);
+  expect_no_leaked_occupancy(net);
+  expect_no_leaked_hash_store(net);
+}
+
+TEST(ChaosSparse, SpineCrashRecoversInNetworkViaOtherSpine) {
+  // Persistent sparse on a two-spine fat tree: the tree's spine dies
+  // mid-iteration; the fresh-id reinstall routes around it and the session
+  // finishes in-network, exactly like the dense engine.
+  net::Network net;
+  net::FatTreeSpec spec;
+  spec.hosts = 8;
+  spec.radix = 4;
+  auto topo = net::build_fat_tree(net, spec);
+  ASSERT_EQ(topo.spines.size(), 2u);
+
+  Communicator comm(net, topo.hosts);
+  coll::PersistentCollective pc = comm.persistent(sparse_fault_desc());
+  ASSERT_TRUE(pc.ok());
+  net::Switch* tree_spine = nullptr;
+  for (const coll::TreeSwitchEntry& e : pc.tree().switches) {
+    for (net::Switch* sp : topo.spines) {
+      if (e.sw == sp) tree_spine = sp;
+    }
+  }
+  ASSERT_NE(tree_spine, nullptr) << "8 hosts over 4 leaves must cross a spine";
+  net.sim().schedule_at(2 * kPsPerUs, [tree_spine] { tree_spine->fail(); });
+
+  const auto faulted = pc.run();
+  ASSERT_TRUE(faulted.ok);
+  EXPECT_EQ(faulted.max_abs_err, 0.0);
+  EXPECT_GE(faulted.recoveries, 1u);
+  EXPECT_FALSE(faulted.fell_back) << "the surviving spine should carry it";
+  EXPECT_TRUE(pc.in_network());
+
+  const auto steady = pc.run();
+  ASSERT_TRUE(steady.ok);
+  EXPECT_EQ(steady.max_abs_err, 0.0);
+  EXPECT_EQ(steady.recoveries, 0u);
+
+  pc.release();
+  expect_no_leaked_occupancy(net);
+  expect_no_leaked_hash_store(net);
+}
+
+TEST(ChaosSparse, TotalSwitchLossFallsBackToSparcml) {
+  // The only switch crashes mid-run and restarts later: no viable tree at
+  // recovery time, so the sparse allreduce finishes on the SparCML host
+  // data plane — whose receiver-driven NACK/replay machinery itself rides
+  // out the outage window.
+  net::Network net;
+  auto topo = net::build_single_switch(net, 4);
+  net::Switch* sw = topo.leaves[0];
+  net.sim().schedule_at(2 * kPsPerUs, [sw] { sw->fail(); });
+  net.sim().schedule_at(40 * kPsPerUs, [sw] { sw->restart(); });
+
+  Communicator comm(net, topo.hosts);
+  const auto res = comm.run(sparse_fault_desc());
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.max_abs_err, 0.0);
+  EXPECT_TRUE(res.fell_back);
+  EXPECT_FALSE(res.in_network);
+  expect_no_leaked_occupancy(net);
+  expect_no_leaked_hash_store(net);
+}
+
+/// Seeded sparse chaos runs, mirroring the dense sweep: every schedule
+/// completes bit-for-bit and replays identically.
+ChaosOutcome run_sparse_chaos(u64 seed) {
+  Rng meta(seed * 6151 + 5);
+  net::Network net;
+  std::vector<net::Host*> hosts;
+  if (meta.bernoulli(0.5)) {
+    net::FatTreeSpec spec;
+    spec.hosts = 16;
+    spec.radix = 4;
+    hosts = net::build_fat_tree(net, spec).hosts;
+  } else {
+    hosts = net::build_single_switch(net, 8).hosts;
+  }
+
+  net::FaultPlanSpec fspec;
+  fspec.link_flaps = 1 + static_cast<u32>(meta.uniform_u64(2));
+  fspec.switch_failures = static_cast<u32>(meta.uniform_u64(2));
+  fspec.drop_bursts = static_cast<u32>(meta.uniform_u64(4));
+  fspec.corrupt_bursts = static_cast<u32>(meta.uniform_u64(3));
+  fspec.horizon_ps = 30 * kPsPerUs;
+  const net::FaultPlan plan = net::FaultPlan::random(net, seed, fspec);
+  SCOPED_TRACE("sparse seed " + std::to_string(seed) + " fault schedule:\n" +
+               plan.summary(net));
+  net::FaultInjector injector(net);
+  injector.arm(plan);
+
+  CollectiveOptions desc = sparse_fault_desc(
+      1024 << meta.uniform_u64(2), 4 + static_cast<u32>(meta.uniform_u64(5)));
+  desc.seed = seed;
+  desc.retransmit_timeout_ps = 5 * kPsPerUs;
+  desc.max_retransmits = 3;
+
+  ChaosOutcome out;
+  {
+    Communicator comm(net, hosts);
+    coll::PersistentCollective pc = comm.persistent(desc);
+    EXPECT_TRUE(pc.ok());
+    const u32 iters = 1 + static_cast<u32>(meta.uniform_u64(3));
+    for (u32 i = 0; i < iters; ++i) {
+      const coll::CollectiveResult res = pc.run();
+      EXPECT_TRUE(res.ok) << "iteration " << i;
+      EXPECT_EQ(res.max_abs_err, 0.0)
+          << "iteration " << i << " not bit-for-bit";
+      out.completion_s.push_back(res.completion_seconds);
+      out.retransmits.push_back(res.retransmits);
+      out.recoveries.push_back(res.recoveries);
+      out.fell_back.push_back(res.fell_back);
+    }
+    pc.release();
+  }
+  out.traffic = net.total_traffic_bytes();
+  out.link_drops = net.link_dropped_packets();
+  out.stale_drops = net.stale_reduce_dropped_packets();
+  expect_no_leaked_occupancy(net);
+  expect_no_leaked_hash_store(net);
+  return out;
+}
+
+class SparseChaosSweep : public ::testing::TestWithParam<u64> {};
+
+TEST_P(SparseChaosSweep, CompletesBitForBitAndDeterministically) {
+  const u64 seed = GetParam();
+  const ChaosOutcome first = run_sparse_chaos(seed);
+  const ChaosOutcome replay = run_sparse_chaos(seed);
+  EXPECT_TRUE(first == replay) << "sparse seed " << seed
+                               << " not deterministic";
+}
+
+INSTANTIATE_TEST_SUITE_P(SparseSchedules, SparseChaosSweep,
+                         ::testing::Range<u64>(1, 13));
 
 // ------------------------------------------------------ service chaos -----
 

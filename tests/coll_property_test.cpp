@@ -206,9 +206,11 @@ TEST_P(SparseDensitySweep, TrafficTracksDensity) {
   w.pairs = [spec](u32 h, u32 b) {
     return workload::sparse_block_pairs(spec, h, b);
   };
-  // host_pairs_sent is scheme-specific: drive the shared oneshot.
-  const auto res =
-      detail::flare_sparse_oneshot(net, topo.hosts, w, {});
+  CollectiveOptions desc;
+  desc.algorithm = Algorithm::kFlareSparse;
+  desc.sparse = std::move(w);
+  Communicator comm(net, topo.hosts);
+  const CollectiveResult res = comm.run(desc);
   ASSERT_TRUE(res.ok) << res.max_abs_err;
   // Host pairs scale ~ density * span * blocks per host.
   const f64 expected_pairs = density * span * 8;
@@ -228,9 +230,10 @@ INSTANTIATE_TEST_SUITE_P(Densities, SparseDensitySweep,
 // occupancy.  Faults are transient (down at 500 ns, repaired 8 us later),
 // which makes even a host access link or a leaf switch survivable.
 //
-// Combos cover the dense in-network kinds plus the ring data plane; the
-// sparse algorithms are excluded (blocking one-shots outside the recovery
-// protocol) and host-ring serves allreduce only.
+// Combos cover the dense in-network kinds plus the ring data plane;
+// host-ring serves allreduce only.  The sparse engines run the same
+// recovery machinery; their fault coverage lives in chaos_test's
+// ChaosSparse scenarios and seeded SparseChaosSweep.
 
 struct FaultCombo {
   CollectiveKind kind;

@@ -466,15 +466,10 @@ TEST(Sparcml, DenseSwitchoverTriggersForDenseData) {
   auto topo = net::build_single_switch(net, 4);
   workload::SparseSpec spec{1024, 0.45, 0.0, core::DType::kFloat32, 37};
   // Union of 4 hosts at 45% density exceeds the pair-encoding break-even:
-  // later rounds must go dense.  The switchover count needs the
-  // scheme-specific result, so this drives the shared oneshot directly.
-  auto provider = [&spec](u32 h) {
-    return workload::sparse_block_pairs(spec, h, 0);
-  };
-  SparcmlOptions opt;
-  opt.total_elems = 1024;
-  const SparcmlResult res =
-      detail::sparcml_oneshot(net, topo.hosts, provider, opt);
+  // later rounds must go dense.  The switchover count rides the shared
+  // CollectiveResult's sparse extras.
+  const CollectiveResult res =
+      run_collective(net, topo.hosts, sparcml_desc(1024, 1, spec));
   ASSERT_TRUE(res.ok);
   EXPECT_GT(res.dense_switchovers, 0u);
 }

@@ -9,6 +9,7 @@
 
 #include "coll/communicator.hpp"
 #include "service/telemetry.hpp"
+#include "workload/generators.hpp"
 
 namespace flare::coll {
 namespace {
@@ -19,6 +20,26 @@ CollectiveOptions int_allreduce(u64 data_bytes) {
   desc.algorithm = Algorithm::kFlareDense;
   desc.data_bytes = data_bytes;
   desc.dtype = core::DType::kInt32;  // integer sum: bit-for-bit checkable
+  return desc;
+}
+
+/// Integer sparse workload with fresh per-iteration gradients: iteration i
+/// (epoch seed + i) redraws every (host, block) pair list.
+CollectiveOptions int_sparse_allreduce(u32 span = 1280, u32 blocks = 8,
+                                       f64 density = 0.08,
+                                       f64 overlap = 0.5) {
+  CollectiveOptions desc;
+  desc.kind = CollectiveKind::kAllreduce;
+  desc.algorithm = Algorithm::kFlareSparse;
+  desc.dtype = core::DType::kInt32;
+  desc.sparse.block_span = span;
+  desc.sparse.num_blocks = blocks;
+  desc.sparse.epoch_pairs = [span, density, overlap](u64 epoch, u32 h,
+                                                     u32 b) {
+    workload::SparseSpec spec{span, density, overlap, core::DType::kInt32,
+                              epoch};
+    return workload::sparse_block_pairs(spec, h, b);
+  };
   return desc;
 }
 
@@ -185,6 +206,175 @@ TEST(Persistent, SingleHostRingIterationsAfterTimeZero) {
     EXPECT_EQ(res.completion_seconds, 0.0);
     EXPECT_EQ(res.mean_host_seconds, 0.0);
   }
+}
+
+// ------------------------------------------------- persistent sparse ------
+
+TEST(PersistentSparse, TenIterationsInstallOnceBitForBit) {
+  // The sparse acceptance scenario: a 10-iteration persistent sparse
+  // allreduce installs its tree EXACTLY once on the healthy path (no
+  // per-iteration reinstall), every iteration is bit-for-bit (int32 sum),
+  // per-iteration engine reset returns every hash/array store to the pool,
+  // and release leaves zero switch occupancy.
+  const CollectiveOptions desc = int_sparse_allreduce();
+
+  // Single-shot baseline on an identical fabric (same seed as iteration 0).
+  net::Network solo_net;
+  auto solo_topo = net::build_single_switch(solo_net, 8);
+  Communicator solo_comm(solo_net, solo_topo.hosts);
+  const CollectiveResult solo = solo_comm.run(desc);
+  ASSERT_TRUE(solo.ok);
+  EXPECT_EQ(solo.max_abs_err, 0.0);
+  EXPECT_TRUE(solo.in_network);
+
+  net::Network net;
+  auto topo = net::build_single_switch(net, 8);
+  Communicator comm(net, topo.hosts);
+  PersistentCollective pc = comm.persistent(desc);
+  ASSERT_TRUE(pc.ok());
+  EXPECT_EQ(pc.install_report().attempts, 1u);
+  EXPECT_TRUE(pc.in_network());
+
+  for (u32 it = 0; it < 10; ++it) {
+    const CollectiveResult res = pc.run();
+    ASSERT_TRUE(res.ok) << "iteration " << it;
+    EXPECT_EQ(res.max_abs_err, 0.0) << "iteration " << it;
+    EXPECT_TRUE(res.in_network);
+    EXPECT_EQ(res.recoveries, 0u) << "healthy path must never reinstall";
+    EXPECT_GT(res.host_pairs_sent, 0u);
+    EXPECT_GT(res.down_pairs, 0u);
+    if (it == 0) {
+      // Iteration 0 uses the same epoch as the one-shot: identical data
+      // plane, so install amortization must not cost completion time.
+      EXPECT_DOUBLE_EQ(res.completion_seconds, solo.completion_seconds);
+    }
+    // Install-once: the one-time report never grows, the switch keeps
+    // exactly the one installed reduction...
+    EXPECT_EQ(pc.install_report().attempts, 1u);
+    EXPECT_EQ(topo.leaves[0]->installed_reduces(), 1u);
+    EXPECT_EQ(topo.leaves[0]->occupancy().high_water(), 1u);
+    // ...and the per-iteration reset returned every sparse store: zero
+    // hash-store bytes held between iterations.
+    EXPECT_EQ(topo.leaves[0]->engine_pool_in_use(), 0u)
+        << "leaked hash-store occupancy after iteration " << it;
+  }
+  EXPECT_EQ(pc.iterations(), 10u);
+
+  pc.release();
+  EXPECT_EQ(topo.leaves[0]->installed_reduces(), 0u);
+  EXPECT_EQ(topo.leaves[0]->occupancy().current(), 0u);
+}
+
+TEST(PersistentSparse, FreshGradientsPerEpochDiffer) {
+  // epoch_pairs really is consulted per iteration: pair traffic changes
+  // across iterations (distinct epochs draw distinct non-zeros) while
+  // every iteration stays exact.
+  net::Network net;
+  auto topo = net::build_single_switch(net, 4);
+  Communicator comm(net, topo.hosts);
+  CollectiveOptions desc = int_sparse_allreduce();
+  desc.seed = 21;
+  PersistentCollective pc = comm.persistent(desc);
+  ASSERT_TRUE(pc.ok());
+  std::vector<u64> pairs_per_iter;
+  for (u32 it = 0; it < 3; ++it) {
+    const CollectiveResult res = pc.run();
+    ASSERT_TRUE(res.ok);
+    EXPECT_EQ(res.max_abs_err, 0.0);
+    pairs_per_iter.push_back(res.host_pairs_sent);
+  }
+  EXPECT_FALSE(pairs_per_iter[0] == pairs_per_iter[1] &&
+               pairs_per_iter[1] == pairs_per_iter[2])
+      << "three epochs drew identical sparse patterns — epoch_pairs unused?";
+}
+
+TEST(PersistentSparse, MultiSwitchTreeSpillsAndResets) {
+  // Fat-tree sparse persistent: leaf switches run tiny hash stores that
+  // MUST spill; iterations stay exact and the spill counter is
+  // per-iteration (reset path), not cumulative.
+  net::Network net;
+  net::FatTreeSpec spec;
+  spec.hosts = 16;
+  spec.radix = 4;
+  auto topo = net::build_fat_tree(net, spec);
+  Communicator comm(net, topo.hosts);
+  CollectiveOptions desc = int_sparse_allreduce(2048, 4, 0.2, 0.0);
+  desc.hash_capacity_pairs = 32;
+  desc.spill_capacity_pairs = 8;
+  // Deterministic data every iteration isolates the spill-counter check.
+  desc.sparse.epoch_pairs = {};
+  workload::SparseSpec sspec{2048, 0.2, 0.0, core::DType::kInt32, 43};
+  desc.sparse.pairs = [sspec](u32 h, u32 b) {
+    return workload::sparse_block_pairs(sspec, h, b);
+  };
+  PersistentCollective pc = comm.persistent(desc);
+  ASSERT_TRUE(pc.ok());
+  ASSERT_GE(pc.tree().switches.size(), 5u);
+  u64 first_spills = 0;
+  for (u32 it = 0; it < 3; ++it) {
+    const CollectiveResult res = pc.run();
+    ASSERT_TRUE(res.ok) << "iteration " << it;
+    EXPECT_EQ(res.max_abs_err, 0.0);
+    EXPECT_GT(res.spill_packets, 0u);
+    if (it == 0) {
+      first_spills = res.spill_packets;
+    } else {
+      EXPECT_EQ(res.spill_packets, first_spills)
+          << "spill counter must be per-iteration, not cumulative";
+    }
+    for (net::Switch* sw : net.switches()) {
+      EXPECT_EQ(sw->engine_pool_in_use(), 0u) << sw->name();
+    }
+  }
+}
+
+TEST(PersistentSparse, AutoFallsBackToPersistentSparcml) {
+  // Zero switch slots: a kAuto persistent SPARSE allreduce degrades to a
+  // persistent SparCML host data plane (no install) and still iterates
+  // exactly.
+  net::Network net;
+  auto topo = net::build_single_switch(net, 4, net::LinkSpec{},
+                                       /*max_allreduces=*/0);
+  Communicator comm(net, topo.hosts);
+  CollectiveOptions desc = int_sparse_allreduce();
+  desc.algorithm = Algorithm::kAuto;
+  PersistentCollective pc = comm.persistent(desc);
+  ASSERT_TRUE(pc.ok());
+  EXPECT_FALSE(pc.in_network());
+  for (u32 it = 0; it < 3; ++it) {
+    const CollectiveResult res = pc.run();
+    ASSERT_TRUE(res.ok);
+    EXPECT_FALSE(res.in_network);
+    EXPECT_EQ(res.max_abs_err, 0.0);
+  }
+}
+
+TEST(PersistentSparse, NonblockingSparseOverlapsDenseOnOneCalendar) {
+  // The former blocking-only gap: a sparse handle composes with a dense
+  // handle on ONE calendar, both exact.
+  net::Network net;
+  net::FatTreeSpec spec;
+  spec.hosts = 16;
+  spec.radix = 4;
+  auto topo = net::build_fat_tree(net, spec);
+  Communicator sparse(net, {topo.hosts.begin(), topo.hosts.begin() + 8});
+  Communicator dense(net, {topo.hosts.begin() + 8, topo.hosts.end()});
+  PersistentCollective ps = sparse.persistent(int_sparse_allreduce());
+  PersistentCollective pd = dense.persistent(int_allreduce(32_KiB));
+  ASSERT_TRUE(ps.ok() && pd.ok());
+  for (u32 it = 0; it < 3; ++it) {
+    CollectiveHandle hs = ps.start();
+    CollectiveHandle hd = pd.start();
+    EXPECT_FALSE(hs.done());
+    net.sim().run();
+    ASSERT_TRUE(hs.done() && hd.done()) << "iteration " << it;
+    EXPECT_TRUE(hs.result().ok);
+    EXPECT_TRUE(hd.result().ok);
+    EXPECT_EQ(hs.result().max_abs_err, 0.0);
+    EXPECT_EQ(hd.result().max_abs_err, 0.0);
+    EXPECT_TRUE(hs.result().in_network);
+  }
+  EXPECT_EQ(ps.install_report().attempts, 1u);
 }
 
 // ------------------------------------------- reduce/broadcast/barrier -----

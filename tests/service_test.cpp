@@ -8,6 +8,9 @@
 #include <set>
 
 #include "service/service.hpp"
+#include "net/telemetry.hpp"
+#include "workload/cross_traffic.hpp"
+#include "workload/generators.hpp"
 #include "workload/job_mix.hpp"
 
 namespace flare::service {
@@ -302,6 +305,126 @@ TEST(Service, RoundRobinCompletesAllJobs) {
 }
 
 // ------------------------------------------------------------- job mix ---
+
+// ------------------------------------------------------- sparse jobs ------
+
+JobSpec make_sparse_job(std::vector<net::Host*> hosts, u64 seed = 7,
+                        u32 iterations = 1) {
+  JobSpec s;
+  s.participants = std::move(hosts);
+  s.desc.dtype = core::DType::kInt32;  // integer sum: bit-for-bit
+  s.desc.seed = seed;
+  s.desc.sparse.block_span = 1280;
+  s.desc.sparse.num_blocks = 6;
+  s.desc.sparse.epoch_pairs = [](u64 epoch, u32 h, u32 b) {
+    workload::SparseSpec spec{1280, 0.08, 0.5, core::DType::kInt32, epoch};
+    return workload::sparse_block_pairs(spec, h, b);
+  };
+  s.iterations = iterations;
+  return s;
+}
+
+TEST(ServiceSparse, SparseJobRunsInNetworkWithCounters) {
+  // A sparse JobSpec flows through the SAME persistent machinery as dense
+  // jobs: one install, three iterations, exact results, and the sparse
+  // spill/pair counters surface in the JobRecord.
+  net::Network net;
+  auto topo = net::build_single_switch(net, 8);
+  AllreduceService svc(net, {});
+  const u32 job = svc.submit(make_sparse_job(topo.hosts, 11, 3));
+  net.sim().run();
+
+  const JobRecord& rec = svc.records()[job];
+  EXPECT_EQ(rec.state, JobState::kDone);
+  EXPECT_TRUE(rec.in_network);
+  EXPECT_TRUE(rec.ok);
+  EXPECT_TRUE(rec.exact);
+  EXPECT_EQ(rec.iterations_done, 3u);
+  EXPECT_GT(rec.host_pairs_sent, 0u);
+  EXPECT_GT(rec.down_pairs, 0u);
+  EXPECT_EQ(svc.telemetry().in_network, 1u);
+  for (net::Switch* sw : net.switches()) {
+    EXPECT_EQ(sw->installed_reduces(), 0u);
+    EXPECT_EQ(sw->engine_pool_in_use(), 0u);
+  }
+}
+
+TEST(ServiceSparse, InadmissibleSparseJobFallsBackToSparcml) {
+  // Zero switch partitions: the sparse job can never run in-network; the
+  // service's host fallback for sparse is SparCML (not the dense ring).
+  net::Network net;
+  auto topo = net::build_single_switch(net, 4, {}, /*max_allreduces=*/0);
+  AllreduceService svc(net, {});
+  const u32 job = svc.submit(make_sparse_job(topo.hosts, 13));
+  net.sim().run();
+
+  const JobRecord& rec = svc.records()[job];
+  EXPECT_EQ(rec.state, JobState::kDone);
+  EXPECT_FALSE(rec.in_network);
+  EXPECT_TRUE(rec.ok);
+  EXPECT_TRUE(rec.exact);
+  EXPECT_EQ(svc.telemetry().inadmissible_fallbacks, 1u);
+}
+
+// ----------------------------------------------- admission backpressure ---
+
+TEST(ServiceBackpressure, DefersWhileFabricHotThenAdmits) {
+  // Monitor-driven admission backpressure: a job arriving while seeded
+  // cross-traffic saturates the fabric is QUEUED (deferral counter, no
+  // rejection) and admitted once the EWMA cools below the bound.
+  net::Network net;
+  auto topo = net::build_single_switch(net, 8);
+  // Background load on hosts 4..7 only; the job runs over hosts 0..3.
+  workload::CrossTrafficSpec cspec;
+  cspec.seed = 5;
+  cspec.flow_rate_bps = 80e9;
+  cspec.mean_on_ps = 40 * kPsPerUs;
+  cspec.mean_off_ps = 4 * kPsPerUs;
+  cspec.incast_bursts = 0;
+  cspec.pairs = {{4, 5}, {5, 6}, {6, 7}, {7, 4}};
+  cspec.flows = static_cast<u32>(cspec.pairs.size());
+  cspec.start_ps = 0;
+  cspec.horizon_ps = 30 * kPsPerUs;
+  workload::CrossTrafficInjector traffic(net, cspec);
+  traffic.arm();
+
+  net::CongestionMonitor monitor(net);
+  monitor.arm_until(40 * kPsPerUs);
+
+  ServiceOptions opt;
+  opt.monitor = &monitor;
+  opt.admit_below_congestion = 0.05;
+  opt.queue_timeout_ps = 0;  // backpressure, not timeout, decides
+  AllreduceService svc(net, opt);
+
+  svc.submit_at(10 * kPsPerUs, make_job(slice(topo.hosts, 0, 4)));
+  net.sim().run();
+
+  ASSERT_EQ(svc.records().size(), 1u);
+  const JobRecord& rec = svc.records()[0];
+  EXPECT_EQ(rec.state, JobState::kDone);
+  EXPECT_TRUE(rec.in_network) << "deferred, never rejected";
+  EXPECT_TRUE(rec.ok);
+  EXPECT_GE(svc.telemetry().congestion_deferrals, 1u);
+  EXPECT_GT(rec.queue_delay_seconds(), 0.0)
+      << "the gate must actually have held the job back";
+  EXPECT_EQ(svc.telemetry().rejected, 0u);
+}
+
+TEST(ServiceBackpressure, GateOpenOnQuietFabricAdmitsImmediately) {
+  net::Network net;
+  auto topo = net::build_single_switch(net, 4);
+  net::CongestionMonitor monitor(net);
+  ServiceOptions opt;
+  opt.monitor = &monitor;
+  opt.admit_below_congestion = 0.05;
+  AllreduceService svc(net, opt);
+  const u32 job = svc.submit(make_job(topo.hosts));
+  net.sim().run();
+  EXPECT_EQ(svc.records()[job].state, JobState::kDone);
+  EXPECT_EQ(svc.telemetry().congestion_deferrals, 0u);
+  EXPECT_EQ(svc.records()[job].queue_delay_seconds(), 0.0);
+}
 
 TEST(JobMix, DeterministicAndWellFormed) {
   workload::JobMixSpec spec;
