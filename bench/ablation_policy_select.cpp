@@ -42,6 +42,7 @@ const char* selected_name(u64 bytes) {
 int main() {
   bench::print_title("Ablation",
                      "policy auto-selection vs per-size winner (Tbps)");
+  bench::JsonReport report("ablation_policy_select");
   std::printf("  %-8s |", "size");
   for (const Alg& a : kAlgs) std::printf(" %8s-mod %8s-sim |", a.name, a.name);
   std::printf(" %10s\n", "selected");
@@ -69,6 +70,8 @@ int main() {
                   bench::fmt_tbps(simulated).c_str());
     }
     std::printf(" %10s\n", selected_name(z));
+    report.add("selected_" + bench::fmt_size(z), selected_name(z));
   }
+  report.emit();
   return 0;
 }

@@ -29,6 +29,7 @@ pspin::SingleSwitchOptions base(u64 bytes) {
 int main() {
   bench::print_title("Ablation",
                      "staggered sending & hierarchical FCFS scheduling");
+  bench::JsonReport report("ablation_staggered");
 
   std::printf("  (a) staggered vs aligned sending, single buffer "
               "(Tbps, scaled to 64 clusters):\n");
@@ -48,6 +49,8 @@ int main() {
                 bench::fmt_tbps(ra.goodput_bps * scale).c_str(),
                 rs.goodput_bps / ra.goodput_bps, rs.cs_wait_mean_cycles,
                 ra.cs_wait_mean_cycles);
+    report.add("staggered_gain_" + bench::fmt_size(z),
+               rs.goodput_bps / ra.goodput_bps);
   }
 
   std::printf("\n  (b) hierarchical FCFS (local L1) vs global FCFS "
@@ -65,6 +68,9 @@ int main() {
                 bench::fmt_tbps(rh.goodput_bps * scale).c_str(),
                 bench::fmt_tbps(rg.goodput_bps * scale).c_str(),
                 rh.goodput_bps / rg.goodput_bps);
+    report.add("hierarchical_gain_" + bench::fmt_size(z),
+               rh.goodput_bps / rg.goodput_bps);
   }
+  report.emit();
   return 0;
 }

@@ -143,7 +143,6 @@ RunResult run_contender(bool aware, SimTime t_mid, SimTime t_end,
   if (aware) {
     desc.migrate_above = 0.2;
     desc.migrate_improvement = 0.85;
-    desc.migrate_slowdown = 1.05;
   }
 
   // Warm-up: let phase A build queues before placement happens.
@@ -268,6 +267,16 @@ int main(int argc, char** argv) {
               "shared-fabric traffic -> %s\n",
               blind.total_seconds / aware.total_seconds,
               pass ? "PASS" : "FAIL");
+  bench::JsonReport report("congestion_adaptation");
+  report.add("iterations", kIterations)
+      .add("blind_total_seconds", blind.total_seconds)
+      .add("aware_total_seconds", aware.total_seconds)
+      .add("speedup", blind.total_seconds / aware.total_seconds)
+      .add("migrations", static_cast<u64>(aware.migrations))
+      .add("deterministic", deterministic)
+      .add("leak_free", blind.leak_free && aware.leak_free)
+      .add("pass", pass);
+  report.emit();
   (void)full;
   return pass ? 0 : 1;
 }

@@ -28,6 +28,7 @@ constexpr Alg kAlgs[] = {
 int main() {
   bench::print_title(
       "Figure 10", "modeled bandwidth & memory per aggregation policy, S=C");
+  bench::JsonReport report("fig10_policies");
   const u64 sizes[] = {64_KiB, 128_KiB, 256_KiB, 512_KiB};
 
   std::printf("  Bandwidth (Tbps):\n  %-8s", "size");
@@ -39,6 +40,9 @@ int main() {
       model::SwitchParams sp;
       const auto pt = model::evaluate(sp, a.policy, a.buffers, z);
       std::printf(" %10s", bench::fmt_tbps(pt.bandwidth_bps).c_str());
+      report.add(std::string("bw_tbps_") + a.name + "_" +
+                     bench::fmt_size(z),
+                 pt.bandwidth_bps / 1e12);
     }
     std::printf("\n");
   }
@@ -63,5 +67,6 @@ int main() {
               "catches up with more\n  buffers helping at smaller sizes; "
               "single buffer catches up by 512 KiB and\n  leads beyond "
               "(no per-buffer management overhead).\n");
+  report.emit();
   return 0;
 }

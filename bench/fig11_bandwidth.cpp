@@ -55,6 +55,7 @@ int main(int argc, char** argv) {
   const bool full = bench::has_flag(argc, argv, "--full");
   bench::print_title("Figure 11",
                      "simulated switch bandwidth vs size and data type");
+  bench::JsonReport report("fig11_bandwidth");
   if (!full) {
     bench::print_note("(scaled-down unit: 16 of 64 clusters simulated, "
                       "results scaled linearly; run with --full for the "
@@ -108,6 +109,10 @@ int main(int argc, char** argv) {
     const f64 bw = res.goodput_bps * cluster_scale(opt);
     const f64 flare_eps = model::elements_per_second(bw, t);
     const f64 sw_eps = model::switchml_elements_per_second(t);
+    report.add(std::string("flare_eps_") + std::string(core::dtype_name(t)),
+               flare_eps)
+        .add(std::string("correct_") + std::string(core::dtype_name(t)),
+             res.correct);
     std::printf("  %-8s %16.3e %16s%s\n",
                 std::string(core::dtype_name(t)).c_str(), flare_eps,
                 sw_eps > 0 ? (std::to_string(sw_eps / 1e9) + "e9").c_str()
@@ -118,5 +123,6 @@ int main(int argc, char** argv) {
               "single buffer\n  overtakes everything from ~512 KiB (beating "
               "SHARP); narrower integers raise\n  Flare's element rate via "
               "SIMD while SwitchML is flat and float-less.\n");
+  report.emit();
   return 0;
 }

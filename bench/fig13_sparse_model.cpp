@@ -23,7 +23,7 @@ constexpr Alg kAlgs[] = {
     {"tree", core::AggPolicy::kTree, 1},
 };
 
-void panel(bool hash) {
+void panel(bool hash, bench::JsonReport& report) {
   std::printf("\n  %s storage — bandwidth (Tbps):\n  %-10s",
               hash ? "Hash" : "Array", "sparsified");
   for (const Alg& a : kAlgs) std::printf(" %10s", a.name);
@@ -36,6 +36,9 @@ void panel(bool hash) {
       p.density = 0.10;
       const auto pt = model::evaluate_sparse(p, a.policy, a.buffers, z);
       std::printf(" %10s", bench::fmt_tbps(pt.bandwidth_bps).c_str());
+      report.add(std::string(hash ? "hash_" : "array_") + a.name + "_" +
+                     bench::fmt_size(z),
+                 pt.bandwidth_bps / 1e12);
     }
     std::printf("\n");
   }
@@ -46,10 +49,12 @@ void panel(bool hash) {
 int main() {
   bench::print_title("Figure 13",
                      "modeled sparse-allreduce bandwidth (10% density)");
-  panel(/*hash=*/true);
-  panel(/*hash=*/false);
+  bench::JsonReport report("fig13_sparse_model");
+  panel(/*hash=*/true, report);
+  panel(/*hash=*/false, report);
   std::printf("\n  Paper shape: sparse bandwidth sits well below the dense "
               "~4 Tbps because the\n  handler pays per-pair costs; same "
               "policy ordering as the dense case.\n");
+  report.emit();
   return 0;
 }

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   const bool full = bench::has_flag(argc, argv, "--full");
   bench::print_title("Figure 14",
                      "simulated sparse allreduce vs density and storage");
+  bench::JsonReport report("fig14_sparse_sim");
   if (!full) {
     bench::print_note("(scaled-down unit: 16 of 64 clusters; --full for the "
                       "512-core unit and 1 MiB data)");
@@ -64,6 +65,12 @@ int main(int argc, char** argv) {
                   bench::fmt_tbps(bw).c_str(),
                   bench::fmt_kib(res.block_mem_mean_bytes).c_str(),
                   res.extra_traffic_pct, res.correct ? "OK" : "FAILED");
+      const std::string key = std::string(hash ? "hash_" : "array_") +
+                              std::to_string(static_cast<int>(density * 100)) +
+                              "pct";
+      report.add(key + "_tbps", bw / 1e12)
+          .add(key + "_extra_traffic_pct", res.extra_traffic_pct)
+          .add(key + "_correct", res.correct);
     }
   }
   std::printf("\n  Paper shape: hash storage has density-independent "
@@ -71,5 +78,6 @@ int main(int argc, char** argv) {
               "union of indices grows (worst at 20%%); array\n  storage "
               "never spills, with memory growing as 1/density (prohibitive "
               "at 1%%).\n");
+  report.emit();
   return 0;
 }

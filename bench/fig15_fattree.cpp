@@ -70,6 +70,7 @@ int main(int argc, char** argv) {
     return trace.window_pairs(h, b * buckets_per_block, buckets_per_block);
   };
 
+  bench::JsonReport report("fig15_fattree");
   auto run_scheme = [&](const char* name, coll::Algorithm algorithm,
                         bool sparse) {
     net::Network net;
@@ -87,11 +88,22 @@ int main(int argc, char** argv) {
     return res;
   };
 
-  run_scheme("Host-Based Dense", coll::Algorithm::kHostRing, false);
-  run_scheme("Flare Dense", coll::Algorithm::kFlareDense, false);
-  run_scheme("Host-Based Sparse", coll::Algorithm::kSparcml, true);
+  const auto record = [&report](const char* key,
+                                const coll::CollectiveResult& res) {
+    report.add(std::string(key) + "_seconds", res.completion_seconds)
+        .add(std::string(key) + "_traffic_bytes", res.total_traffic_bytes)
+        .add(std::string(key) + "_ok", res.ok);
+  };
+  record("host_dense",
+         run_scheme("Host-Based Dense", coll::Algorithm::kHostRing, false));
+  record("flare_dense",
+         run_scheme("Flare Dense", coll::Algorithm::kFlareDense, false));
+  record("host_sparse",
+         run_scheme("Host-Based Sparse", coll::Algorithm::kSparcml, true));
   const auto sparse_res =
       run_scheme("Flare Sparse", coll::Algorithm::kFlareSparse, true);
+  record("flare_sparse", sparse_res);
+  report.add("flare_sparse_spill_packets", sparse_res.extra_packets);
   std::printf("  %-18s %12s %14llu\n", "  (spill packets)", "",
               static_cast<unsigned long long>(sparse_res.extra_packets));
 
@@ -100,5 +112,6 @@ int main(int argc, char** argv) {
               "on time but moves more bytes than\n  in-network sparse; "
               "Flare sparse wins on BOTH time and traffic (paper: up to\n"
               "  35%% faster and ~20x less traffic than SparCML).\n");
+  report.emit();
   return 0;
 }

@@ -1,0 +1,204 @@
+// Observability plane acceptance bench: one seeded multi-tenant run with
+// BOTH chaos (seeded fault plan) and congestion (seeded cross-traffic +
+// armed monitor) exporting every observability surface at once —
+//
+//   * a Chrome trace-event JSON (obs_trace.json) with job spans, iteration
+//     spans, fault/retransmit/recovery instants, and congestion-threshold
+//     crossings;
+//   * the unified metrics registry as JSON (obs_metrics.json) and
+//     Prometheus text (obs_metrics.prom), including the per-(link,
+//     collective) busy-picosecond attribution;
+//
+// then the ENTIRE scenario runs a second time from the same seed and every
+// exported string must be BYTE-IDENTICAL.  That is the PR's determinism
+// contract: tracing and metrics observe the simulation without perturbing
+// it, and the simulation itself replays bit for bit.
+//
+// Also asserts the attribution conservation invariant across the whole
+// fabric (sum of per-trace busy buckets == busy_cum_ps on every link).
+// Exit status is the acceptance gate; BENCH_JSON carries the tallies.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "net/fault.hpp"
+#include "net/telemetry.hpp"
+#include "obs/bridge.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "service/service.hpp"
+#include "workload/cross_traffic.hpp"
+
+using namespace flare;
+
+namespace {
+
+constexpr u64 kSeed = 20210814;  // SC '21 vibes; any seed must replay
+
+struct RunOutput {
+  std::string trace_json;
+  std::string metrics_json;
+  std::string metrics_prom;
+  u64 trace_events = 0;
+  u64 completed = 0;
+  u64 faults = 0;
+  u64 retransmits = 0;
+  bool jobs_ok = true;
+  bool conservation_ok = true;
+  bool attributed_tenants = false;  // >= 2 non-zero trace buckets somewhere
+};
+
+RunOutput run_once() {
+  net::Network net;
+  auto topo = net::build_fat_tree(net, net::FatTreeSpec{.hosts = 32});
+
+  obs::Tracer tracer;
+  net.set_tracer(&tracer);
+
+  // Background tenants: seeded on/off flows plus two incast bursts, all
+  // trace-tagged, so the attribution sees foreign heat next to the jobs.
+  workload::CrossTrafficSpec xspec;
+  xspec.seed = kSeed;
+  xspec.flows = 6;
+  xspec.horizon_ps = 400 * kPsPerUs;
+  workload::CrossTrafficInjector cross(net, xspec);
+  cross.arm();
+
+  // Seeded chaos: link flaps, one switch crash/restart, silent drop and
+  // corruption bursts — every fault lands as a tracer instant.
+  net::FaultPlanSpec fspec;
+  fspec.horizon_ps = 120 * kPsPerUs;
+  net::FaultInjector injector(net);
+  injector.arm(net::FaultPlan::random(net, kSeed, fspec));
+
+  net::CongestionMonitor monitor(net);
+  monitor.arm_until(400 * kPsPerUs);
+
+  service::ServiceOptions opt;
+  opt.monitor = &monitor;
+  opt.retransmit_timeout_ps = 30 * kPsPerUs;
+  opt.migrate_above = 0.25;
+  service::AllreduceService service(net, opt);
+
+  // Six tenants on a training cadence: mixed dense/sparse/ring so every
+  // data plane exercises its spans.
+  for (u32 j = 0; j < 6; ++j) {
+    service::JobSpec spec;
+    for (u32 h = 0; h < 8; ++h) {
+      spec.participants.push_back(net.hosts()[(j * 4 + h) % 32]);
+    }
+    spec.desc.data_bytes = 64 * kKiB;
+    spec.desc.dtype = core::DType::kInt32;
+    spec.desc.seed = kSeed + j;
+    spec.desc.algorithm =
+        j % 3 == 2 ? coll::Algorithm::kHostRing : coll::Algorithm::kFlareDense;
+    spec.iterations = 3;
+    service.submit_at(j * 10 * kPsPerUs, std::move(spec));
+  }
+
+  net.sim().run();
+
+  RunOutput out;
+  for (const service::JobRecord& rec : service.records()) {
+    out.jobs_ok = out.jobs_ok && rec.state == service::JobState::kDone &&
+                  rec.ok;
+    out.completed += rec.state == service::JobState::kDone ? 1 : 0;
+    out.retransmits += rec.retransmits;
+  }
+  out.faults = net.faults_notified();
+
+  // Attribution conservation: every link's per-trace buckets must sum
+  // EXACTLY to its cumulative busy counter.
+  u32 multi_tenant_links = 0;
+  for (u32 i = 0; i < net.num_links(); ++i) {
+    const net::Link& link = net.link(i);
+    u64 sum = 0;
+    u32 tenants = 0;
+    for (const auto& [trace, ps] : link.busy_by_trace()) {
+      sum += ps;
+      tenants += ps > 0 ? 1 : 0;
+    }
+    out.conservation_ok =
+        out.conservation_ok && sum == link.busy_cum_ps();
+    multi_tenant_links += tenants >= 2 ? 1 : 0;
+  }
+  out.attributed_tenants = multi_tenant_links > 0;
+
+  obs::MetricsRegistry reg;
+  obs::register_network_metrics(reg, net);
+  obs::export_service_telemetry(reg, service.telemetry());
+
+  out.trace_events = tracer.events();
+  out.trace_json = tracer.to_json();
+  out.metrics_json = reg.to_json();
+  out.metrics_prom = reg.to_prometheus();
+  return out;
+}
+
+bool write_file(const char* path, const std::string& body) {
+  std::FILE* f = std::fopen(path, "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  bench::print_title("OBSERVABILITY",
+                     "deterministic tracing + metrics under chaos and "
+                     "congestion");
+  std::printf("  32-host fat tree, 6 tenant jobs x 3 iterations, seeded "
+              "faults + cross-traffic,\n  full observability surface "
+              "exported twice and compared byte for byte.\n\n");
+
+  const RunOutput a = run_once();
+  const RunOutput b = run_once();
+
+  const bool trace_identical = a.trace_json == b.trace_json;
+  const bool metrics_identical =
+      a.metrics_json == b.metrics_json && a.metrics_prom == b.metrics_prom;
+
+  write_file("obs_trace.json", a.trace_json);
+  write_file("obs_metrics.json", a.metrics_json);
+  write_file("obs_metrics.prom", a.metrics_prom);
+
+  std::printf("  jobs completed ok         %s (%llu)\n",
+              a.jobs_ok ? "PASS" : "FAIL",
+              static_cast<unsigned long long>(a.completed));
+  std::printf("  faults observed           %llu   retransmits %llu\n",
+              static_cast<unsigned long long>(a.faults),
+              static_cast<unsigned long long>(a.retransmits));
+  std::printf("  trace events              %llu -> obs_trace.json\n",
+              static_cast<unsigned long long>(a.trace_events));
+  std::printf("  trace bit-identical       %s\n",
+              trace_identical ? "PASS" : "FAIL");
+  std::printf("  metrics bit-identical     %s (json + prometheus)\n",
+              metrics_identical ? "PASS" : "FAIL");
+  std::printf("  attribution conservation  %s\n",
+              a.conservation_ok ? "PASS" : "FAIL");
+  std::printf("  multi-tenant attribution  %s\n",
+              a.attributed_tenants ? "PASS" : "FAIL");
+
+  const bool pass = a.jobs_ok && a.faults > 0 && a.trace_events > 0 &&
+                    trace_identical && metrics_identical &&
+                    a.conservation_ok && a.attributed_tenants;
+  std::printf("\n  observability plane: deterministic, conservative, "
+              "attributed -> %s\n", pass ? "PASS" : "FAIL");
+
+  bench::JsonReport report("observability_chaos");
+  report.add("jobs_completed", a.completed)
+      .add("faults_observed", a.faults)
+      .add("retransmits", a.retransmits)
+      .add("trace_events", a.trace_events)
+      .add("trace_bit_identical", trace_identical)
+      .add("metrics_bit_identical", metrics_identical)
+      .add("attribution_conserved", a.conservation_ok)
+      .add("multi_tenant_attribution", a.attributed_tenants)
+      .add("pass", pass);
+  report.emit();
+  return pass ? 0 : 1;
+}

@@ -92,5 +92,13 @@ int main(int argc, char** argv) {
               "equal data-plane time -> %s\n",
               single_installs / std::max(1u, persistent_installs),
               pass ? "PASS" : "FAIL");
+  bench::JsonReport report("persistent_allreduce");
+  report.add("iterations", iterations)
+      .add("single_iter_ms", single_iter_ms)
+      .add("persistent_iter_ms", persistent_iter_ms)
+      .add("single_installs", single_installs)
+      .add("persistent_installs", persistent_installs)
+      .add("pass", pass);
+  report.emit();
   return pass ? 0 : 1;
 }

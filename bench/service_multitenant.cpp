@@ -166,6 +166,14 @@ int main(int argc, char** argv) {
               v.jobs, v.in_network, v.fallback, v.all_exact ? "yes" : "no",
               verify_ok ? "PASS" : "FAIL");
 
+  bench::JsonReport report("service_multitenant");
+  report.add("verify_jobs", v.jobs)
+      .add("verify_in_network", v.in_network)
+      .add("verify_fallback", v.fallback)
+      .add("verify_exact", v.all_exact)
+      .add("sweep_ok", sweep_ok)
+      .add("pass", verify_ok && sweep_ok);
+  report.emit();
   if (!verify_ok || !sweep_ok) return 1;
   return 0;
 }

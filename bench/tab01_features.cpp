@@ -65,6 +65,7 @@ int main() {
   std::printf("  (Y = provided, ~ = partial, N = no, ? = unknown)\n");
 
   std::printf("\n  Live capability demonstrations on the PsPIN switch:\n");
+  bench::JsonReport report("tab01_features");
 
   // F1: custom operator (saturating int8 sum, a quantized-training op no
   // fixed-function or RMT switch offers).
@@ -76,6 +77,7 @@ int main() {
     std::printf("  [F1] int8 tree aggregation, %llu blocks: %s\n",
                 static_cast<unsigned long long>(res.blocks_completed),
                 res.correct ? "OK" : "FAILED");
+    report.add("f1_custom_op_ok", res.correct);
   }
 
   // F2: sparse allreduce with irregular per-host non-zeros.
@@ -88,6 +90,7 @@ int main() {
     std::printf("  [F2] sparse hash-store allreduce (5%% dense): %s "
                 "(extra traffic %.1f%%)\n",
                 res.correct ? "OK" : "FAILED", res.extra_traffic_pct);
+    report.add("f2_sparse_ok", res.correct);
   }
 
   // F3: bitwise reproducibility across different arrival orders.
@@ -106,6 +109,8 @@ int main() {
                 reproducible ? "BITWISE IDENTICAL" : "FAILED",
                 static_cast<unsigned long long>(a.result_checksum),
                 static_cast<unsigned long long>(b.result_checksum));
+    report.add("f3_reproducible", reproducible);
   }
+  report.emit();
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "core/policy.hpp"
 #include "core/staggered.hpp"
 #include "net/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "workload/generators.hpp"
 
 namespace flare::coll {
@@ -54,10 +55,15 @@ namespace detail {
 
 class RingOp final : public OpBase {
  public:
+  /// `trace`: attribution/tracer row id.  Nonzero when this ring is the
+  /// fallback plane of an in-network session (it inherits the session's
+  /// stable trace so the attribution plane sees one continuous tenant);
+  /// 0 lets the ring allocate its own.
   RingOp(net::Network& net, const std::vector<net::Host*>& participants,
-         const CollectiveOptions& desc)
+         const CollectiveOptions& desc, u32 trace = 0)
       : net_(net), participants_(participants), desc_(desc),
-        proto_(0x40000000u + net.alloc_collective_id()), op_(desc.op) {
+        proto_(0x40000000u + net.alloc_collective_id()),
+        trace_(trace != 0 ? trace : net.alloc_trace_id()), op_(desc.op) {
     dtype_ = desc_.dtype;
     esize_ = core::dtype_size(dtype_);
     elems_total_ = std::max<u64>(1, desc_.data_bytes / esize_);
@@ -82,6 +88,10 @@ class RingOp final : public OpBase {
     retransmits_ = 0;
     start_ps_ = net_.sim().now();
     base_traffic_ = net_.total_traffic_bytes();
+    if (obs::Tracer* tr = net_.tracer()) {
+      tr->name_thread(trace_, "coll-" + std::to_string(trace_));
+      tr->begin(trace_, "ring-iteration", start_ps_, "iteration");
+    }
 
     auto host_data =
         workload::make_dense_data(P_, elems_total_, dtype_, seed);
@@ -185,6 +195,7 @@ class RingOp final : public OpBase {
       np.dst_node = runs_[dst].host->id();
       // One flow per (op, ring edge): FIFO along one ECMP path.
       np.flow = (static_cast<u64>(proto_) << 16) | h;
+      np.trace = trace_;
       const u64 frag_bytes = std::min<u64>(
           mtu_, chunk.bytes - static_cast<u64>(f) * mtu_);
       np.wire_bytes = frag_bytes + core::kPacketWireOverhead;
@@ -220,6 +231,9 @@ class RingOp final : public OpBase {
     // catches up and the requester's next timeout re-NACKs if needed.
     if (it == hr.sent.end()) return;
     retransmits_ += 1;
+    if (obs::Tracer* tr = net_.tracer()) {
+      tr->instant(trace_, "retransmit", net_.sim().now(), "recovery");
+    }
     transmit(h, tag, it->second);
   }
 
@@ -237,6 +251,7 @@ class RingOp final : public OpBase {
     np.kind = net::PacketKind::kHostMsg;
     np.dst_node = runs_[pred].host->id();
     np.flow = (static_cast<u64>(proto_) << 16) | (0x8000ull | h);
+    np.trace = trace_;
     np.wire_bytes = core::kPacketWireOverhead;
     np.msg = std::move(msg);
     hr.host->send(std::move(np));
@@ -330,6 +345,10 @@ class RingOp final : public OpBase {
   /// Permanent stall: publish a failed result and release host handlers so
   /// the calendar can drain.
   void give_up() {
+    if (obs::Tracer* tr = net_.tracer()) {
+      tr->instant(trace_, "give-up", net_.sim().now(), "recovery");
+      tr->end(trace_, net_.sim().now());
+    }
     CollectiveResult res;
     res.ok = false;
     res.in_network = false;
@@ -342,6 +361,9 @@ class RingOp final : public OpBase {
   }
 
   void finalize() {
+    if (obs::Tracer* tr = net_.tracer()) {
+      tr->end(trace_, net_.sim().now());
+    }
     CollectiveResult res;
     res.blocks = P_;
     res.in_network = false;
@@ -368,6 +390,7 @@ class RingOp final : public OpBase {
   const std::vector<net::Host*>& participants_;
   CollectiveOptions desc_;
   u32 proto_;
+  u32 trace_;  ///< attribution tag + tracer row (see ctor)
   core::ReduceOp op_;
   core::DType dtype_ = core::DType::kFloat32;
   u32 esize_ = 4;
@@ -546,6 +569,7 @@ class InNetOp final : public TreeOpBase {
     net::NetPacket np;
     np.kind = net::PacketKind::kReduceUp;
     np.allreduce_id = cfg_.id;
+    np.trace = cfg_.trace;
     np.wire_bytes = p.wire_bytes();
     np.reduce = std::make_shared<const core::Packet>(std::move(p));
     hr.host->send(std::move(np));
@@ -608,7 +632,9 @@ class InNetOp final : public TreeOpBase {
     if (desc_.kind != CollectiveKind::kAllreduce) return nullptr;
     CollectiveOptions rdesc = desc_;
     rdesc.algorithm = Algorithm::kHostRing;
-    return std::make_unique<RingOp>(net_, participants_, rdesc);
+    // The ring inherits the session's trace id: the attribution plane sees
+    // one continuous tenant across the in-network -> host transition.
+    return std::make_unique<RingOp>(net_, participants_, rdesc, cfg_.trace);
   }
 
   /// Replays the iteration against a freshly installed tree: engines are
@@ -691,7 +717,7 @@ class InNetOp final : public TreeOpBase {
     res.retransmits = retransmits_;
     res.recoveries = recoveries_;
     res.migrations = migrations_iter_;
-    // Completion-time watch feeding the next iteration's migration check.
+    // Iteration bookkeeping (+ closes this iteration's tracer span).
     record_iteration_time(static_cast<SimTime>(worst));
 
     if (owns_install_) release_install();
@@ -847,6 +873,9 @@ core::AllreduceConfig Communicator::make_config(
     const CollectiveOptions& desc, Algorithm alg) const {
   core::AllreduceConfig cfg;
   cfg.id = manager_->next_id();
+  // The attribution tag outlives the id: every fresh-id reinstall keeps
+  // cfg.trace, so link accounting sees one tenant across recoveries.
+  cfg.trace = net_.alloc_trace_id();
   cfg.dtype = desc.dtype;
   cfg.fault_recovery = desc.retransmit_timeout_ps > 0;
   const u32 esize = core::dtype_size(desc.dtype);

@@ -110,6 +110,7 @@ void SparseOp::send_block(u32 h, u32 b, u16 extra_flags) {
     net::NetPacket np;
     np.kind = net::PacketKind::kReduceUp;
     np.allreduce_id = cfg_.id;
+    np.trace = cfg_.trace;
     np.wire_bytes = p.wire_bytes();
     np.reduce = std::make_shared<const core::Packet>(std::move(p));
     hr.host->send(std::move(np));
@@ -181,7 +182,8 @@ std::unique_ptr<OpBase> SparseOp::make_fallback_op() {
   if (!std::has_single_bit(P_)) return nullptr;
   CollectiveOptions sdesc = desc_;
   sdesc.algorithm = Algorithm::kSparcml;
-  return std::make_unique<SparcmlOp>(net_, participants_, sdesc);
+  // Inherit the session's trace: one continuous tenant for attribution.
+  return std::make_unique<SparcmlOp>(net_, participants_, sdesc, cfg_.trace);
 }
 
 void SparseOp::restart_iteration() {

@@ -234,6 +234,18 @@ f64 tree_max_congestion(const net::CongestionMonitor& monitor,
   return worst;
 }
 
+f64 tree_max_congestion_excluding(const net::CongestionMonitor& monitor,
+                                  const ReductionTree& tree, u32 trace) {
+  f64 worst = 0.0;
+  for (const TreeSwitchEntry& e : tree.switches) {
+    for (const u32 p : e.child_ports) {
+      worst = std::max(
+          worst, monitor.edge_congestion_excluding(e.sw->id(), p, trace));
+    }
+  }
+  return worst;
+}
+
 bool NetworkManager::install(const ReductionTree& tree,
                              core::AllreduceConfig cfg,
                              f64 switch_service_bps) {

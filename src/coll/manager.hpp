@@ -75,6 +75,14 @@ bool tree_alive(const net::Network& net, const ReductionTree& tree);
 f64 tree_max_congestion(const net::CongestionMonitor& monitor,
                         const ReductionTree& tree);
 
+/// tree_max_congestion with one collective's own traffic subtracted per
+/// edge (CongestionMonitor::edge_congestion_excluding).  THE persistent-
+/// session migration trigger: a session running alone on a hot-looking
+/// tree reads ~0 — only foreign heat registers — which is what let the
+/// completion-time regression gate retire.
+f64 tree_max_congestion_excluding(const net::CongestionMonitor& monitor,
+                                  const ReductionTree& tree, u32 trace);
+
 class NetworkManager {
  public:
   explicit NetworkManager(net::Network& net) : net_(net) {}

@@ -4,8 +4,28 @@
 #include <utility>
 
 #include "net/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace flare::coll::detail {
+
+obs::Tracer* TreeOpBase::tracer() const {
+  return cfg_.trace != 0 ? net_.tracer() : nullptr;
+}
+
+void TreeOpBase::trace_iteration_begin() {
+  obs::Tracer* tr = tracer();
+  if (tr == nullptr || iter_span_open_) return;
+  tr->name_thread(cfg_.trace, "coll-" + std::to_string(cfg_.trace));
+  tr->begin(cfg_.trace, "iteration", net_.sim().now(), "iteration");
+  iter_span_open_ = true;
+}
+
+void TreeOpBase::trace_iteration_end() {
+  obs::Tracer* tr = tracer();
+  if (tr == nullptr || !iter_span_open_) return;
+  tr->end(cfg_.trace, net_.sim().now());
+  iter_span_open_ = false;
+}
 
 TreeOpBase::TreeOpBase(net::Network& net, NetworkManager& manager,
                        const std::vector<net::Host*>& participants,
@@ -52,6 +72,7 @@ bool TreeOpBase::begin_prologue(u64 seed, std::shared_ptr<OpState> state) {
     maybe_migrate();
   }
   first_begin_ = false;
+  trace_iteration_begin();
   if (fallback_active()) {
     // Earlier iterations lost the fabric for good: run on the host-side
     // fallback data plane.
@@ -135,6 +156,9 @@ bool TreeOpBase::scan_block_timeouts(
       rs.retries[b] += 1;
       retransmits_ += 1;
       rs.sent_ps[b] = now;
+      if (obs::Tracer* tr = tracer()) {
+        tr->instant(cfg_.trace, "retransmit", now, "recovery");
+      }
       resend(h, b);
     }
   }
@@ -153,6 +177,9 @@ bool TreeOpBase::try_reinstall() {
   tree_ = std::move(*report);
   installed_ = true;
   recoveries_ += 1;
+  if (obs::Tracer* tr = tracer()) {
+    tr->instant(cfg_.trace, "reinstall", net_.sim().now(), "recovery");
+  }
   return true;
 }
 
@@ -187,6 +214,10 @@ void TreeOpBase::recover(bool force) {
 }
 
 void TreeOpBase::give_up() {
+  if (obs::Tracer* tr = tracer()) {
+    tr->instant(cfg_.trace, "give-up", net_.sim().now(), "recovery");
+  }
+  trace_iteration_end();
   release_install();
   CollectiveResult res;
   res.ok = false;
@@ -205,6 +236,9 @@ bool TreeOpBase::prepare_fallback() {
   if (fallback == nullptr) return false;
   release_install();
   fallback_op_ = std::move(fallback);
+  if (obs::Tracer* tr = tracer()) {
+    tr->instant(cfg_.trace, "fallback", net_.sim().now(), "recovery");
+  }
   return true;
 }
 
@@ -227,6 +261,7 @@ void TreeOpBase::begin_fallback_iteration(u64 seed,
 }
 
 void TreeOpBase::on_fallback_done() {
+  trace_iteration_end();
   CollectiveResult res = fallback_state_->result;
   res.fell_back = true;
   res.retransmits += retransmits_;
@@ -272,6 +307,7 @@ void TreeOpBase::record_iteration_time(SimTime worst_ps) {
   if (best_iter_ps_ == 0 || last_iter_ps_ < best_iter_ps_) {
     best_iter_ps_ = last_iter_ps_;
   }
+  trace_iteration_end();
 }
 
 void TreeOpBase::maybe_migrate() {
@@ -279,33 +315,33 @@ void TreeOpBase::maybe_migrate() {
       fallback_active()) {
     return;
   }
-  // Completion-time watch — the PRIMARY trigger, as in Canary: only an
-  // iteration that actually regressed justifies control work.  This gate
-  // is mandatory because the EWMA alone cannot be trusted here: the
-  // session's OWN traffic makes whatever tree it runs on look hot, and
-  // acting on that signal would make every session flee itself forever.
-  // migrate_slowdown <= 1 checks on ANY regression; on a quiet fabric
-  // iterations repeat bit for bit, so equality never trips it.
-  const f64 slack = std::max(1.0, desc_.migrate_slowdown);
-  if (best_iter_ps_ == 0 ||
-      static_cast<f64>(last_iter_ps_) <=
-          static_cast<f64>(best_iter_ps_) * slack) {
-    return;
-  }
+  // Every iteration boundary samples the monitor and asks one question:
+  // how hot is this tree from OTHER tenants' traffic?  Per-collective link
+  // attribution (NetPacket::trace -> Link::busy_by_trace) lets the monitor
+  // subtract the session's own contribution per edge, so the old
+  // completion-time regression gate — which existed only because the raw
+  // EWMA could not tell self-heat from foreign heat, and which cost one
+  // slow iteration of detection latency — is gone.  A session running
+  // alone reads ~0 here no matter how hard it drives its tree.
   monitor_->sample();  // fresh snapshot at the decision point
-  const f64 cur_hot = tree_max_congestion(*monitor_, tree_);
+  const f64 cur_hot =
+      tree_max_congestion_excluding(*monitor_, tree_, cfg_.trace);
   if (cur_hot < desc_.migrate_above) return;
+  if (obs::Tracer* tr = tracer()) {
+    tr->instant(cfg_.trace, "migrate-considered", net_.sim().now(),
+                "migration");
+  }
   std::optional<ReductionTree> best;
   for (net::Switch* candidate : net_.switches()) {
     auto tree = manager_.compute_tree(participants_, candidate->id());
     if (tree && (!best || tree->cost < best->cost)) best = std::move(tree);
   }
-  // Hysteresis on the WORST edge, not the total cost: edges every
-  // candidate must cross (the participants' access links, self-heated by
-  // the session's own traffic) cancel out of a max and would dilute a
-  // sum — a migration must actually shed the hottest link, or the slow
-  // iteration was caused by congestion no tree can route around.
-  if (!best || tree_max_congestion(*monitor_, *best) >
+  // Hysteresis on the WORST edge, in the same excluding view: edges every
+  // candidate must cross (the participants' access links) carry the same
+  // foreign heat everywhere and cancel out of a max — a migration must
+  // actually shed the hottest foreign load, or the congestion is one no
+  // tree can route around.
+  if (!best || tree_max_congestion_excluding(*monitor_, *best, cfg_.trace) >
                    desc_.migrate_improvement * cur_hot) {
     return;
   }
@@ -348,6 +384,9 @@ void TreeOpBase::maybe_migrate() {
   if (new_switches != old_switches) {
     migrations_iter_ += 1;
     migrations_total_ += 1;
+    if (obs::Tracer* tr = tracer()) {
+      tr->instant(cfg_.trace, "migrate", net_.sim().now(), "migration");
+    }
   }
 }
 

@@ -13,8 +13,10 @@
 //     plane (the ring for dense allreduce, SparCML for sparse);
 //   * persistent upkeep — per-iteration engine reset, transparent
 //     reinstall after a crash, fallback probing once the fabric heals;
-//   * congestion migration — the completion-time-gated, worst-edge-EWMA
-//     break-before-make re-embedding of the Canary-style dynamic trees.
+//   * congestion migration — break-before-make re-embedding of the
+//     Canary-style dynamic trees, triggered on the worst tree edge's
+//     FOREIGN EWMA utilization (per-collective link attribution subtracts
+//     the session's own traffic; no completion-time gate needed).
 #pragma once
 
 #include <functional>
@@ -24,6 +26,10 @@
 #include "coll/manager.hpp"
 #include "coll/options.hpp"
 #include "coll/result.hpp"
+
+namespace flare::obs {
+class Tracer;
+}  // namespace flare::obs
 
 namespace flare::coll {
 
@@ -177,10 +183,19 @@ class TreeOpBase : public OpBase {
       const std::function<bool(u32 host, u32 block)>& block_done,
       const std::function<void(u32 host, u32 block)>& resend);
 
-  /// Completion-time bookkeeping feeding the next iteration's migration
-  /// check; call from the concrete finalize with the iteration's worst
-  /// host completion.
+  /// Completion-time bookkeeping; call from the concrete finalize with the
+  /// iteration's worst host completion.  Also closes the iteration span on
+  /// the tracer (the migration trigger itself no longer consumes this —
+  /// per-collective attribution replaced the regression gate).
   void record_iteration_time(SimTime worst_ps);
+
+  /// The network's tracer when this collective is traceable (nonzero trace
+  /// id — the tracer's row key); nullptr otherwise.  Call-sites guard on
+  /// it, so an untraced run pays one branch.
+  obs::Tracer* tracer() const;
+  /// Opens/closes the per-iteration span on the collective's row.
+  void trace_iteration_begin();
+  void trace_iteration_end();
 
   net::Network& net_;
   NetworkManager& manager_;
@@ -241,6 +256,7 @@ class TreeOpBase : public OpBase {
   void on_fallback_done();
 
   bool first_begin_ = true;
+  bool iter_span_open_ = false;  ///< balances B/E on the tracer row
   u64 fault_listener_ = 0;
   bool listening_ = false;
   bool watchdog_armed_ = false;

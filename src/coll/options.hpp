@@ -76,10 +76,13 @@ struct Tuning {
   u32 max_retransmits = 4;
 
   // --- congestion adaptation (README "Congestion plane") ---
-  /// Persistent sessions re-examine their embedding at iteration
-  /// boundaries once the worst tree-edge EWMA utilization (from the
-  /// CommunicatorConfig's CongestionMonitor) exceeds this bound; 0, the
-  /// default, disables migration entirely.
+  /// Persistent sessions re-examine their embedding at every iteration
+  /// boundary once the worst tree-edge FOREIGN EWMA utilization — the
+  /// monitor's edge_congestion_excluding view, which subtracts the
+  /// session's own attributed traffic — exceeds this bound; 0, the
+  /// default, disables migration entirely.  Because self-traffic is
+  /// excluded at the telemetry layer, no completion-time regression gate
+  /// is needed: a session running alone reads ~0 and never flees itself.
   f64 migrate_above = 0.0;
   /// Hysteresis: actually migrate only onto a tree whose WORST-edge
   /// congestion is at most this fraction of the current embedding's —
@@ -87,12 +90,6 @@ struct Tuning {
   /// and never moves at all when the hot edge (e.g. a participant's access
   /// link) is one every candidate must cross.
   f64 migrate_improvement = 0.85;
-  /// Completion-time watch — the primary migration trigger (the session's
-  /// own traffic always makes its tree's links look busy, so the EWMA
-  /// alone must never move a tree): the congestion check runs only after
-  /// an iteration slower than the session's best times this factor.
-  /// Values <= 1 check on any regression at all.
-  f64 migrate_slowdown = 1.05;
 };
 
 /// Calibrated per-switch aggregation rates (Figures 11 and 13).

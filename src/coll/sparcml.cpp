@@ -7,6 +7,7 @@
 
 #include "core/sparse_store.hpp"
 #include "net/node.hpp"
+#include "obs/trace.hpp"
 
 namespace flare::coll::detail {
 
@@ -45,9 +46,10 @@ std::vector<core::SparsePair> merge_pairs(
 
 SparcmlOp::SparcmlOp(net::Network& net,
                      const std::vector<net::Host*>& participants,
-                     const CollectiveOptions& desc)
+                     const CollectiveOptions& desc, u32 trace)
     : net_(net), participants_(participants), desc_(desc),
       proto_(0x53500000u + net.alloc_collective_id()),
+      trace_(trace != 0 ? trace : net.alloc_trace_id()),
       op_(core::OpKind::kSum) {
   P_ = static_cast<u32>(participants_.size());
   FLARE_ASSERT(P_ >= 1);
@@ -98,6 +100,10 @@ void SparcmlOp::begin(u64 seed, std::shared_ptr<OpState> state) {
   retransmits_ = 0;
   start_ps_ = net_.sim().now();
   base_traffic_ = net_.total_traffic_bytes();
+  if (obs::Tracer* tr = net_.tracer()) {
+    tr->name_thread(trace_, "coll-" + std::to_string(trace_));
+    tr->begin(trace_, "sparcml-iteration", start_ps_, "iteration");
+  }
 
   // Reference: dense sum of all hosts' inputs.
   expected_ = core::TypedBuffer(desc_.dtype, total_elems_);
@@ -195,6 +201,7 @@ void SparcmlOp::transmit(u32 h, u32 r, const SentMsg& msg) {
     np.dst_node = runs_[dst].host->id();
     // One flow per (op, sender): FIFO along one ECMP path.
     np.flow = (static_cast<u64>(proto_) << 16) | h;
+    np.trace = trace_;
     const u64 frag_bytes = std::min<u64>(
         desc_.mtu_bytes, msg.bytes - static_cast<u64>(f) * desc_.mtu_bytes);
     np.wire_bytes = frag_bytes + core::kPacketWireOverhead;
@@ -229,6 +236,9 @@ void SparcmlOp::handle_nack(u32 h, u32 r) {
   // catches up and the requester's next timeout re-NACKs if needed.
   if (it == hr.sent.end()) return;
   retransmits_ += 1;
+  if (obs::Tracer* tr = net_.tracer()) {
+    tr->instant(trace_, "retransmit", net_.sim().now(), "recovery");
+  }
   transmit(h, r, it->second);
 }
 
@@ -246,6 +256,7 @@ void SparcmlOp::send_nack(u32 h) {
   np.kind = net::PacketKind::kHostMsg;
   np.dst_node = runs_[partner].host->id();
   np.flow = (static_cast<u64>(proto_) << 16) | (0x8000ull | h);
+  np.trace = trace_;
   np.wire_bytes = core::kPacketWireOverhead;
   np.msg = std::move(hm);
   hr.host->send(std::move(np));
@@ -335,6 +346,10 @@ void SparcmlOp::advance(u32 h) {
 }
 
 void SparcmlOp::give_up() {
+  if (obs::Tracer* tr = net_.tracer()) {
+    tr->instant(trace_, "give-up", net_.sim().now(), "recovery");
+    tr->end(trace_, net_.sim().now());
+  }
   CollectiveResult res;
   res.ok = false;
   res.in_network = false;
@@ -345,6 +360,9 @@ void SparcmlOp::give_up() {
 }
 
 void SparcmlOp::finalize() {
+  if (obs::Tracer* tr = net_.tracer()) {
+    tr->end(trace_, net_.sim().now());
+  }
   CollectiveResult res;
   res.blocks = rounds_;
   res.in_network = false;

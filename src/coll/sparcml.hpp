@@ -30,8 +30,11 @@ namespace flare::coll::detail {
 
 class SparcmlOp final : public OpBase {
  public:
+  /// `trace`: attribution/tracer row id — nonzero when this op is the
+  /// fallback plane of an in-network sparse session (inherits the
+  /// session's stable trace); 0 allocates a fresh one.
   SparcmlOp(net::Network& net, const std::vector<net::Host*>& participants,
-            const CollectiveOptions& desc);
+            const CollectiveOptions& desc, u32 trace = 0);
   ~SparcmlOp() override;
 
   void begin(u64 seed, std::shared_ptr<OpState> state) override;
@@ -84,6 +87,7 @@ class SparcmlOp final : public OpBase {
   const std::vector<net::Host*>& participants_;
   CollectiveOptions desc_;
   u32 proto_;
+  u32 trace_;  ///< attribution tag + tracer row (see ctor)
   core::ReduceOp op_;
   u32 P_ = 0;
   u32 rounds_ = 0;

@@ -41,6 +41,11 @@ namespace flare::core {
 /// Static configuration of one installed allreduce on one switch.
 struct AllreduceConfig {
   u32 id = 0;
+  /// Attribution tag (Network::alloc_trace_id): stamped onto every packet
+  /// this collective serializes so links can account busy-time per session.
+  /// Stable across fresh-id reinstalls — only `id` churns on migration.
+  /// 0 = untagged.
+  u32 trace = 0;
   /// P: number of children of this switch in the reduction tree.
   u32 num_children = 1;
   DType dtype = DType::kFloat32;

@@ -27,6 +27,7 @@ void Link::send(NetPacket&& pkt) {
   const SimTime depart = std::max(now, busy_until_);
   busy_until_ = depart + ser;
   busy_cum_ += ser;
+  busy_by_trace_[pkt.trace] += ser;
   traffic_.add(pkt.wire_bytes);
   const SimTime arrive = busy_until_ + latency_ps_;
   sim_.schedule_at(arrive, [this, p = std::move(pkt)]() mutable {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 
 #include "common/stats.hpp"
 #include "net/packet.hpp"
@@ -65,6 +66,17 @@ class Link {
   /// counter).  Committed at send(): a burst accepted at time t books its
   /// full serialization immediately, even the part extending past t.
   u64 busy_cum_ps() const { return busy_cum_; }
+  /// Per-collective attribution: busy picoseconds by NetPacket::trace id
+  /// (0 = untagged).  Conservation invariant: the values sum EXACTLY to
+  /// busy_cum_ps() — every serialized packet lands in exactly one bucket,
+  /// dropped packets in none.  std::map: deterministic iteration order for
+  /// the exporters.
+  const std::map<u32, u64>& busy_by_trace() const { return busy_by_trace_; }
+  /// Busy picoseconds attributed to one trace id (0 when never seen).
+  u64 busy_ps_for_trace(u32 trace) const {
+    const auto it = busy_by_trace_.find(trace);
+    return it == busy_by_trace_.end() ? 0 : it->second;
+  }
   /// Utilization over the window [from, to] given two busy_cum_ps()
   /// readings taken at the window edges.  Can exceed 1.0 when the window
   /// accepted more serialization work than wall time — oversubscription,
@@ -101,6 +113,7 @@ class Link {
   u64 corrupted_ = 0;
   SimTime busy_until_ = 0;
   u64 busy_cum_ = 0;
+  std::map<u32, u64> busy_by_trace_;  ///< attribution (sums to busy_cum_)
   TrafficCounter traffic_;
 };
 

@@ -3,6 +3,8 @@
 #include <deque>
 #include <limits>
 
+#include "obs/trace.hpp"
+
 namespace flare::net {
 
 std::string_view fault_kind_name(FaultKind k) {
@@ -112,6 +114,12 @@ void Network::remove_fault_listener(u64 token) {
 
 void Network::notify_fault(const FaultNotice& notice) {
   faults_notified_ += 1;
+  if (tracer_ != nullptr) {
+    // Fault instants land on the fabric row (tid 0) so chrome://tracing
+    // shows the chaos schedule against every collective's spans.
+    tracer_->name_thread(0, "fabric");
+    tracer_->instant(0, fault_kind_name(notice.kind), notice.at, "fault");
+  }
   // Copy: a listener may (de)register listeners while being notified.
   const auto listeners = fault_listeners_;
   for (const auto& [token, fn] : listeners) fn(notice);

@@ -13,6 +13,10 @@
 
 #include "net/node.hpp"
 
+namespace flare::obs {
+class Tracer;
+}  // namespace flare::obs
+
 namespace flare::net {
 
 struct PortPeer {
@@ -81,6 +85,21 @@ class Network {
   /// allreduce ids on a shared switch.
   u32 alloc_collective_id() { return next_collective_id_++; }
 
+  /// Attribution trace-id allocator, deliberately SEPARATE from the
+  /// collective-id counter: trace ids stay stable across fresh-id
+  /// reinstalls/migrations (the session keeps one trace for its lifetime),
+  /// and keeping the counters apart leaves existing id/ECMP sequences —
+  /// and every deterministic test built on them — unperturbed.  0 is
+  /// reserved for untagged traffic.
+  u32 alloc_trace_id() { return next_trace_id_++; }
+
+  // --- observability -----------------------------------------------------
+  /// Optional span/instant sink.  When set, the fabric emits instant events
+  /// for fault notifications (tid 0 = the fabric row); collective and
+  /// service layers pull the same tracer through here.  Not owned.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
   // --- fault plane -------------------------------------------------------
   /// Unidirectional link count / access (two per connect() call).
   u32 num_links() const { return static_cast<u32>(links_.size()); }
@@ -120,6 +139,8 @@ class Network {
  private:
   sim::Simulator sim_;
   u32 next_collective_id_ = 1;
+  u32 next_trace_id_ = 1;
+  obs::Tracer* tracer_ = nullptr;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<std::vector<PortPeer>> adjacency_;

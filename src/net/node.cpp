@@ -247,6 +247,7 @@ void Switch::reemit_completed(u32 allreduce_id, u32 block_id) {
   copy.hdr.flags |= core::kFlagRetransmit;  // keep the cache path upstream
   NetPacket np;
   np.allreduce_id = allreduce_id;
+  np.trace = role2.engine->config().trace;
   np.wire_bytes = copy.wire_bytes();
   if (role2.is_root || copy.is_down()) {
     np.kind = PacketKind::kReduceDown;
@@ -273,6 +274,7 @@ void Switch::reemit_completed_sparse(u32 allreduce_id, u32 block_id) {
     copy.hdr.flags |= core::kFlagRetransmit;  // keep the cache path upstream
     NetPacket np;
     np.allreduce_id = allreduce_id;
+    np.trace = role2.engine->config().trace;
     np.wire_bytes = copy.wire_bytes();
     if (role2.is_root || copy.is_down()) {
       np.kind = PacketKind::kReduceDown;
@@ -316,6 +318,7 @@ void Switch::emit(core::Packet&& pkt, SimTime when) {
       sparse && role2.engine->config().fault_recovery;
   NetPacket np;
   np.allreduce_id = id;
+  np.trace = role2.engine->config().trace;
   np.wire_bytes = pkt.wire_bytes();
   if (role2.is_root || pkt.is_down()) {
     np.kind = PacketKind::kReduceDown;

@@ -59,6 +59,12 @@ struct NetPacket {
   NodeId dst_node = kInvalidNode;  ///< routing target for kHostMsg
   u64 flow = 0;                    ///< ECMP hash input
   u32 allreduce_id = 0;            ///< for reduction traffic
+  /// Per-collective attribution tag (Network::alloc_trace_id).  Unlike
+  /// allreduce_id — which churns on every fresh-id reinstall/migration —
+  /// the trace id is stable for a whole session, so links can account
+  /// busy-time per collective across recoveries.  0 = untagged traffic
+  /// (cross-traffic defaults, stale frames, raw injections).
+  u32 trace = 0;
   /// Payload damaged in transit (fault injection): the frame checksum fails
   /// at the next node, which discards the packet.
   bool corrupted = false;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace flare::net {
 
 CongestionMonitor::CongestionMonitor(Network& net,
@@ -11,6 +13,8 @@ CongestionMonitor::CongestionMonitor(Network& net,
   const u32 n = net_.num_links();
   snap_.links.resize(n);
   busy_at_last_.assign(n, 0);
+  by_trace_.resize(n);
+  hot_.assign(n, false);
   for (u32 i = 0; i < n; ++i) index_of_[&net_.link(i)] = i;
 }
 
@@ -35,6 +39,42 @@ void CongestionMonitor::sample() {
         lc.ewma_utilization = lc.inst_utilization;
       }
       busy_at_last_[i] = busy;
+      // Per-trace EWMAs on the SAME window schedule, seeding recipe, and
+      // alpha as the total above.  Attribution conserves busy time exactly
+      // (sum of buckets == busy_cum), and the EWMA update is linear, so in
+      // exact arithmetic sum-over-traces(ewma) == total ewma — which is
+      // what makes total - self a sound foreign-heat signal.  A trace id
+      // that never reappears keeps decaying its old state toward zero only
+      // implicitly (no new busy -> windowed form reads 0), which is the
+      // same behaviour the total exhibits for an idle link.
+      std::map<u32, TraceState>& per = by_trace_[i];
+      for (const auto& [trace, busy_t] : link.busy_by_trace()) {
+        TraceState& st = per[trace];
+        if (sampled_) {
+          const f64 inst = Link::windowed_utilization(
+              st.busy_at_last, busy_t, last_sample_ps_, now);
+          st.ewma = opt_.ewma_alpha * inst +
+                    (1.0 - opt_.ewma_alpha) * st.ewma;
+        } else {
+          st.ewma = now == 0 ? 0.0
+                             : static_cast<f64>(busy_t) /
+                                   static_cast<f64>(now);
+        }
+        st.busy_at_last = busy_t;
+      }
+      // Congestion-threshold crossing instants for the tracer (tid 0):
+      // chrome://tracing shows when each link went hot/cool against the
+      // collectives' spans.  Pure observation — nothing consumes hot_.
+      if (obs::Tracer* tr = net_.tracer()) {
+        const bool hot = lc.ewma_utilization > opt_.hot_threshold;
+        if (hot != hot_[i]) {
+          tr->name_thread(0, "fabric");
+          tr->instant(0, hot ? "congestion-hot" : "congestion-cool", now,
+                      "congestion",
+                      "{\"link\":\"" + link.name() + "\"}");
+          hot_[i] = hot;
+        }
+      }
     }
     lc.queue_delay_ps = link.queue_delay_ps(now);
     lc.queued_bytes = link.queued_bytes(now);
@@ -66,6 +106,43 @@ const LinkCongestion* CongestionMonitor::stats_for(NodeId node, u32 port,
   if (link == nullptr) return nullptr;
   const auto it = index_of_.find(link);
   return it == index_of_.end() ? nullptr : &snap_.links[it->second];
+}
+
+const Link* CongestionMonitor::link_for(NodeId node, u32 port,
+                                        bool reverse) const {
+  const Node& n = net_.node(node);
+  if (port >= n.num_ports()) return nullptr;
+  const Link* link = &n.port(port);
+  return reverse ? link->reverse() : link;
+}
+
+f64 CongestionMonitor::trace_ewma_of(const Link* link, u32 trace) const {
+  if (link == nullptr) return 0.0;
+  const auto it = index_of_.find(link);
+  if (it == index_of_.end()) return 0.0;
+  const std::map<u32, TraceState>& per = by_trace_[it->second];
+  const auto ts = per.find(trace);
+  return ts == per.end() ? 0.0 : ts->second.ewma;
+}
+
+f64 CongestionMonitor::link_trace_ewma(u32 i, u32 trace) const {
+  if (i >= by_trace_.size()) return 0.0;
+  const auto ts = by_trace_[i].find(trace);
+  return ts == by_trace_[i].end() ? 0.0 : ts->second.ewma;
+}
+
+f64 CongestionMonitor::edge_congestion_excluding(NodeId node, u32 port,
+                                                 u32 trace) const {
+  f64 worst = 0.0;
+  for (const bool reverse : {false, true}) {
+    const LinkCongestion* lc = stats_for(node, port, reverse);
+    if (lc == nullptr) continue;
+    const f64 self = trace_ewma_of(link_for(node, port, reverse), trace);
+    // Clamp: exact in theory (attribution conserves), but FP rounding can
+    // leave total - self epsilon-negative on a purely-self link.
+    worst = std::max(worst, std::max(0.0, lc->ewma_utilization - self));
+  }
+  return worst;
 }
 
 f64 CongestionMonitor::edge_congestion(NodeId node, u32 port) const {

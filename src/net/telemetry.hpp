@@ -24,6 +24,7 @@
 //     decision points (iteration boundaries, admission rounds).
 #pragma once
 
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -51,6 +52,10 @@ struct CongestionMonitorOptions {
   SimTime period_ps = 5 * kPsPerUs;
   /// Weight of the newest window in the EWMA (1.0 = windowed only).
   f64 ewma_alpha = 0.3;
+  /// EWMA level at which a link counts as hot for the tracer's
+  /// congestion-crossing instants (emitted only when the network has a
+  /// tracer attached; no effect on any control decision).
+  f64 hot_threshold = 0.5;
   /// edge_cost() = 1 (the hop) + utilization_weight * ewma
   ///             + queue_weight * queue_delay / period.
   f64 utilization_weight = 8.0;
@@ -83,6 +88,20 @@ class CongestionMonitor {
   /// contributions up, multicast down).
   f64 edge_congestion(NodeId node, u32 port) const;
 
+  /// edge_congestion() with the named collective's OWN contribution
+  /// subtracted: per direction, clamp(ewma_total - ewma_trace, >= 0), then
+  /// the worse direction.  The per-trace EWMAs update with the same window
+  /// schedule, seeding, and alpha as the totals, and link attribution
+  /// conserves busy time exactly, so a link heated ONLY by `trace` reads
+  /// ~0 here — the migration trigger that replaced the completion-time
+  /// regression gate sees FOREIGN heat alone.  trace 0 excludes nothing
+  /// measurable (untagged traffic is by definition foreign).
+  f64 edge_congestion_excluding(NodeId node, u32 port, u32 trace) const;
+
+  /// EWMA utilization attributed to `trace` on unidirectional link `i`
+  /// (0 when the trace never serialized there).  Test/bridge hook.
+  f64 link_trace_ewma(u32 i, u32 trace) const;
+
   /// Embedding cost of crossing that duplex link (>= 1.0, the hop cost;
   /// grows with EWMA utilization and queueing).  Plug into
   /// coll::NetworkManager::set_link_cost for congestion-aware placement.
@@ -99,12 +118,24 @@ class CongestionMonitor {
   f64 mean_congestion() const;
 
  private:
+  /// Per-(link, trace) EWMA state, updated on the same windows as the
+  /// totals.  std::map keyed by trace id: deterministic iteration, and the
+  /// trace population per link is small (the collectives crossing it).
+  struct TraceState {
+    f64 ewma = 0.0;
+    u64 busy_at_last = 0;
+  };
+
   const LinkCongestion* stats_for(NodeId node, u32 port, bool reverse) const;
+  const Link* link_for(NodeId node, u32 port, bool reverse) const;
+  f64 trace_ewma_of(const Link* link, u32 trace) const;
 
   Network& net_;
   CongestionMonitorOptions opt_;
   CongestionSnapshot snap_;
   std::vector<u64> busy_at_last_;  ///< busy_cum_ps per link at last sample
+  std::vector<std::map<u32, TraceState>> by_trace_;  ///< by link index
+  std::vector<bool> hot_;  ///< above hot_threshold at last sample
   SimTime last_sample_ps_ = 0;
   bool sampled_ = false;
   /// Stable Link* -> unidirectional index map (links never move).

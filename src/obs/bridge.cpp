@@ -1,0 +1,218 @@
+#include "obs/bridge.hpp"
+
+#include <memory>
+#include <string>
+
+namespace flare::obs {
+
+namespace {
+
+/// Collect-to-collect window state for the monitor-less utilization gauge.
+/// Owned by the collector closure (shared_ptr: std::function must stay
+/// copyable), indexed by unidirectional link index.
+struct WindowState {
+  std::vector<u64> busy_at_last;
+  SimTime last_at = 0;
+  bool sampled = false;
+};
+
+std::string link_label(const net::Link& link, u32 i) {
+  return link.name().empty() ? "link" + std::to_string(i) : link.name();
+}
+
+}  // namespace
+
+void register_network_metrics(MetricsRegistry& reg, net::Network& net) {
+  auto state = std::make_shared<WindowState>();
+  reg.add_collector([&net, state](MetricsRegistry& r) {
+    const SimTime now = net.sim().now();
+    state->busy_at_last.resize(net.num_links(), 0);
+    // Advance the utilization window only when time moved: two collects at
+    // the same instant re-serve the previous window instead of a bogus 0.
+    const bool fresh = !state->sampled || now > state->last_at;
+    for (u32 i = 0; i < net.num_links(); ++i) {
+      net::Link& link = net.link(i);
+      const Labels l{{"link", link_label(link, i)}};
+      r.counter("flare_link_busy_ps_total",
+                "Cumulative serialization picoseconds per link", l)
+          .counter = link.busy_cum_ps();
+      r.counter("flare_link_dropped_packets_total",
+                "Packets silently dropped on the link (down link or armed "
+                "drop)",
+                l)
+          .counter = link.packets_dropped();
+      r.counter("flare_link_corrupted_packets_total",
+                "Packets corrupted in flight (discarded at the receiver)", l)
+          .counter = link.packets_corrupted();
+      for (const auto& [trace, ps] : link.busy_by_trace()) {
+        r.counter("flare_link_busy_ps_by_collective",
+                  "Busy picoseconds attributed per collective trace id "
+                  "(trace 0 = untagged); sums exactly to "
+                  "flare_link_busy_ps_total",
+                  {{"link", link_label(link, i)},
+                   {"trace", std::to_string(trace)}})
+            .counter = ps;
+      }
+      if (fresh) {
+        const f64 util =
+            state->sampled
+                ? net::Link::windowed_utilization(state->busy_at_last[i],
+                                                  link.busy_cum_ps(),
+                                                  state->last_at, now)
+                : link.utilization(now);
+        r.gauge("flare_link_windowed_utilization",
+                "Link utilization over the window between the last two "
+                "collects (lifetime utilization on the first); no "
+                "CongestionMonitor needed",
+                l)
+            .set(util);
+        state->busy_at_last[i] = link.busy_cum_ps();
+      }
+      // On-demand backlog gauges: evaluated inside collect(), so they
+      // always read the calendar's CURRENT time.
+      r.callback_gauge(
+          "flare_link_queue_depth_ps",
+          "Serialization backlog in picoseconds a packet offered now would "
+          "wait",
+          l, [&net, i] {
+            return static_cast<f64>(
+                net.link(i).queue_delay_ps(net.sim().now()));
+          });
+      r.callback_gauge(
+          "flare_link_queued_bytes",
+          "Bytes accepted but not yet serialized on the link", l,
+          [&net, i] {
+            return static_cast<f64>(net.link(i).queued_bytes(net.sim().now()));
+          });
+    }
+    if (fresh) {
+      state->last_at = now;
+      state->sampled = true;
+    }
+
+    r.counter("flare_net_traffic_bytes_total",
+              "Bytes serialized over all links, both directions")
+        .counter = net.total_traffic_bytes();
+    r.counter("flare_net_packets_total", "Packets serialized over all links")
+        .counter = net.total_packets();
+    r.counter("flare_net_faults_notified_total",
+              "Fabric fault notices delivered to listeners")
+        .counter = net.faults_notified();
+    const char* kHelp = "Packets dropped network-wide, by cause";
+    r.counter("flare_net_drops_total", kHelp, {{"kind", "link"}}).counter =
+        net.link_dropped_packets();
+    r.counter("flare_net_drops_total", kHelp, {{"kind", "corrupt"}}).counter =
+        net.corrupt_dropped_packets();
+    r.counter("flare_net_drops_total", kHelp, {{"kind", "stale_reduce"}})
+        .counter = net.stale_reduce_dropped_packets();
+    r.counter("flare_net_drops_total", kHelp, {{"kind", "failed_switch"}})
+        .counter = net.failed_switch_dropped_packets();
+    r.counter("flare_net_drops_total", kHelp, {{"kind", "unroutable"}})
+        .counter = net.unroutable_dropped_packets();
+
+    for (net::Switch* sw : net.switches()) {
+      const Labels l{{"switch", sw->name()}};
+      r.gauge("flare_switch_installed_reduces",
+              "Reduction sessions currently installed on the switch", l)
+          .set(static_cast<f64>(sw->installed_reduces()));
+      r.gauge("flare_switch_pool_in_use",
+              "Aggregation-pool slots in use across the switch's engines", l)
+          .set(static_cast<f64>(sw->engine_pool_in_use()));
+      r.gauge("flare_switch_occupancy_peak",
+              "High-water mark of concurrent reductions on the switch", l)
+          .set(static_cast<f64>(sw->occupancy().high_water()));
+    }
+  });
+}
+
+namespace {
+
+void set_event(MetricsRegistry& reg, const char* event, u64 value) {
+  reg.counter("flare_service_events_total",
+              "AllreduceService lifecycle tallies, by event",
+              {{"event", event}})
+      .counter = value;
+}
+
+void set_latency(MetricsRegistry& reg, const char* kind,
+                 const RunningStats& s) {
+  const char* kHelp =
+      "Service latency statistics in seconds, by kind and statistic";
+  const auto stat = [&](const char* name, f64 v) {
+    reg.gauge("flare_service_latency_seconds", kHelp,
+              {{"kind", kind}, {"stat", name}})
+        .set(v);
+  };
+  stat("mean", s.mean());
+  stat("min", s.min());
+  stat("max", s.max());
+  reg.counter("flare_service_latency_samples_total",
+              "Jobs contributing to each latency statistic",
+              {{"kind", kind}})
+      .counter = s.count();
+}
+
+}  // namespace
+
+void export_service_telemetry(MetricsRegistry& reg,
+                              const service::ServiceTelemetry& t) {
+  set_event(reg, "submitted", t.submitted);
+  set_event(reg, "in_network", t.in_network);
+  set_event(reg, "host_requested", t.host_requested);
+  set_event(reg, "timeout_fallback", t.timeout_fallbacks);
+  set_event(reg, "overflow_fallback", t.overflow_fallbacks);
+  set_event(reg, "inadmissible_fallback", t.inadmissible_fallbacks);
+  set_event(reg, "rejected", t.rejected);
+  set_event(reg, "timed_out", t.timed_out);
+  set_event(reg, "queue_overflow", t.queue_overflows);
+  set_event(reg, "inadmissible", t.inadmissible);
+  set_event(reg, "admission_attempt", t.admission_attempts);
+  set_event(reg, "requeue_retry", t.requeue_retries);
+  set_event(reg, "fault_seen", t.faults_seen);
+  set_event(reg, "retransmit", t.retransmits);
+  set_event(reg, "job_recovered", t.jobs_recovered);
+  set_event(reg, "fault_fallback", t.fault_fallbacks);
+  set_event(reg, "migration", t.migrations);
+  set_event(reg, "congestion_deferral", t.congestion_deferrals);
+  reg.gauge("flare_service_peak_queue_len",
+            "High-water mark of the admission wait queue")
+      .set(static_cast<f64>(t.peak_queue_len));
+  set_latency(reg, "queue_delay", t.queue_delay_s);
+  set_latency(reg, "in_network_service", t.in_network_service_s);
+  set_latency(reg, "fallback_service", t.fallback_service_s);
+}
+
+void accumulate_result(MetricsRegistry& reg,
+                       const coll::CollectiveResult& r) {
+  reg.counter("flare_collective_completions_total",
+              "Finished collectives, by serving data plane and outcome",
+              {{"plane", r.in_network ? "in_network" : "host"},
+               {"ok", r.ok ? "true" : "false"}})
+      .inc();
+  const char* kHelp = "Cumulative per-collective tallies, by kind";
+  reg.counter("flare_collective_tallies_total", kHelp, {{"kind", "blocks"}})
+      .inc(r.blocks);
+  reg.counter("flare_collective_tallies_total", kHelp,
+              {{"kind", "retransmits"}})
+      .inc(r.retransmits);
+  reg.counter("flare_collective_tallies_total", kHelp,
+              {{"kind", "recoveries"}})
+      .inc(r.recoveries);
+  reg.counter("flare_collective_tallies_total", kHelp,
+              {{"kind", "migrations"}})
+      .inc(r.migrations);
+  reg.counter("flare_collective_tallies_total", kHelp,
+              {{"kind", "extra_packets"}})
+      .inc(r.extra_packets);
+  if (r.fell_back) {
+    reg.counter("flare_collective_tallies_total", kHelp,
+                {{"kind", "fault_fallbacks"}})
+        .inc();
+  }
+  reg.histogram("flare_collective_completion_seconds",
+                "Completion time of finished collectives (slowest host)",
+                {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0})
+      .observe(r.completion_seconds);
+}
+
+}  // namespace flare::obs

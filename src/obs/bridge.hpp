@@ -1,0 +1,62 @@
+// Bridges between the simulator's native counters and the unified
+// MetricsRegistry (src/obs/metrics.hpp).  Three entry points, one per
+// telemetry producer:
+//
+//   * register_network_metrics — installs a stateful collector over a
+//     Network: link busy/drop counters, per-(link, collective) busy
+//     attribution, queue-depth and queued-byte gauges, switch pool
+//     occupancy, and a WINDOWED utilization gauge computed by diffing
+//     Link::busy_cum_ps between collects.  This is the monitor-less
+//     sampling path: none of it needs a CongestionMonitor armed — any
+//     caller can snapshot utilization on demand via collect()/to_json().
+//
+//   * export_service_telemetry — pushes one AllreduceService telemetry
+//     struct into the registry (admission/fallback/fault/congestion
+//     tallies plus the latency RunningStats as labeled gauges).
+//
+//   * accumulate_result — folds one CollectiveResult into cumulative
+//     per-plane counters and a completion-time histogram; call it per
+//     finished collective.
+//
+// Everything lands in ordinary registry families, so determinism and
+// export formatting come from the registry contract — nothing here prints.
+#pragma once
+
+#include "coll/result.hpp"
+#include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "service/telemetry.hpp"
+
+namespace flare::obs {
+
+/// Installs network collectors/gauges on `reg`.  `net` must outlive the
+/// registry.  Families registered (all labeled `link="<name>"` unless
+/// noted):
+///   flare_link_busy_ps_total           counter, cumulative serialization ps
+///   flare_link_busy_ps_by_collective   counter, labels link+trace
+///   flare_link_windowed_utilization    gauge, busy delta / time delta
+///                                      between the last two collects
+///                                      (lifetime utilization on the first)
+///   flare_link_queue_depth_ps          gauge (callback, on demand)
+///   flare_link_queued_bytes            gauge (callback, on demand)
+///   flare_link_dropped_packets_total / flare_link_corrupted_packets_total
+///   flare_net_drops_total              counter, label kind=
+///                                      corrupt|stale_reduce|failed_switch|
+///                                      unroutable
+///   flare_net_traffic_bytes_total / flare_net_packets_total /
+///   flare_net_faults_notified_total    counters, no labels
+///   flare_switch_installed_reduces     gauge, label switch="<name>"
+///   flare_switch_pool_in_use           gauge, label switch="<name>"
+///   flare_switch_occupancy_peak        gauge, label switch="<name>"
+void register_network_metrics(MetricsRegistry& reg, net::Network& net);
+
+/// Pushes `t` into `reg` (idempotent per state: series are SET, not
+/// accumulated, so re-exporting after more jobs just refreshes them).
+void export_service_telemetry(MetricsRegistry& reg,
+                              const service::ServiceTelemetry& t);
+
+/// Folds one finished collective into the cumulative result families
+/// (labeled by data plane and outcome) and the completion histogram.
+void accumulate_result(MetricsRegistry& reg, const coll::CollectiveResult& r);
+
+}  // namespace flare::obs

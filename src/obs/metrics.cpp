@@ -1,0 +1,228 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace flare::obs {
+
+namespace {
+
+/// One formatting recipe for every double in every export: integers print
+/// as integers (counters re-homed from u64 stay readable), everything else
+/// as shortest-round-trip %.17g.  Deterministic across runs by
+/// construction — no locale, no float state.
+std::string fmt_f64(f64 v) {
+  char buf[40];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else if (std::isinf(v)) {
+    return v > 0 ? "+Inf" : "-Inf";
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+std::string fmt_u64(u64 v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+void Series::observe(f64 v) {
+  FLARE_ASSERT_MSG(!hist.counts.empty(), "observe() on a non-histogram");
+  std::size_t b = 0;
+  while (b < hist.bounds.size() && v > hist.bounds[b]) ++b;
+  hist.counts[b] += 1;
+  hist.count += 1;
+  hist.sum += v;
+}
+
+std::string MetricsRegistry::canonical(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto& [k, v] : sorted) {
+    if (!out.empty()) out += ',';
+    out += k + "=\"" + escape(v) + "\"";
+  }
+  return out;
+}
+
+Series& MetricsRegistry::upsert(const std::string& name,
+                                const std::string& help, MetricType type,
+                                const Labels& labels) {
+  Family& fam = families_[name];
+  if (fam.series.empty()) {
+    fam.type = type;
+    fam.help = help;
+  } else {
+    FLARE_ASSERT_MSG(fam.type == type,
+                     "metric family re-registered with a different type");
+  }
+  const std::string key = canonical(labels);
+  auto [it, inserted] = fam.series.try_emplace(key);
+  if (inserted) {
+    Labels sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    fam.labels.emplace(key, std::move(sorted));
+  }
+  return it->second;
+}
+
+Series& MetricsRegistry::counter(const std::string& name,
+                                 const std::string& help,
+                                 const Labels& labels) {
+  return upsert(name, help, MetricType::kCounter, labels);
+}
+
+Series& MetricsRegistry::gauge(const std::string& name,
+                               const std::string& help,
+                               const Labels& labels) {
+  return upsert(name, help, MetricType::kGauge, labels);
+}
+
+Series& MetricsRegistry::callback_gauge(const std::string& name,
+                                        const std::string& help,
+                                        const Labels& labels,
+                                        std::function<f64()> fn) {
+  Series& s = upsert(name, help, MetricType::kGauge, labels);
+  s.gauge_fn = std::move(fn);
+  return s;
+}
+
+Series& MetricsRegistry::histogram(const std::string& name,
+                                   const std::string& help,
+                                   std::vector<f64> bounds,
+                                   const Labels& labels) {
+  FLARE_ASSERT_MSG(std::is_sorted(bounds.begin(), bounds.end()),
+                   "histogram bounds must ascend");
+  Series& s = upsert(name, help, MetricType::kHistogram, labels);
+  if (s.hist.counts.empty()) {
+    s.hist.bounds = std::move(bounds);
+    s.hist.counts.assign(s.hist.bounds.size() + 1, 0);
+  }
+  return s;
+}
+
+void MetricsRegistry::collect() {
+  for (const auto& fn : collectors_) fn(*this);
+  for (auto& [name, fam] : families_) {
+    for (auto& [key, s] : fam.series) {
+      if (s.gauge_fn) s.gauge = s.gauge_fn();
+    }
+  }
+}
+
+std::string MetricsRegistry::to_json() {
+  collect();
+  std::string out = "{\"metrics\":[\n";
+  bool first_fam = true;
+  for (const auto& [name, fam] : families_) {
+    if (!first_fam) out += ",\n";
+    first_fam = false;
+    out += "{\"name\":\"" + escape(name) + "\",\"type\":\"";
+    switch (fam.type) {
+      case MetricType::kCounter: out += "counter"; break;
+      case MetricType::kGauge: out += "gauge"; break;
+      case MetricType::kHistogram: out += "histogram"; break;
+    }
+    out += "\",\"help\":\"" + escape(fam.help) + "\",\"series\":[";
+    bool first_series = true;
+    for (const auto& [key, s] : fam.series) {
+      if (!first_series) out += ",";
+      first_series = false;
+      out += "{\"labels\":{";
+      bool first_label = true;
+      for (const auto& [k, v] : fam.labels.at(key)) {
+        if (!first_label) out += ",";
+        first_label = false;
+        out += "\"" + escape(k) + "\":\"" + escape(v) + "\"";
+      }
+      out += "}";
+      switch (fam.type) {
+        case MetricType::kCounter:
+          out += ",\"value\":" + fmt_u64(s.counter);
+          break;
+        case MetricType::kGauge:
+          out += ",\"value\":" + fmt_f64(s.gauge);
+          break;
+        case MetricType::kHistogram: {
+          out += ",\"count\":" + fmt_u64(s.hist.count) +
+                 ",\"sum\":" + fmt_f64(s.hist.sum) + ",\"buckets\":[";
+          for (std::size_t b = 0; b < s.hist.counts.size(); ++b) {
+            if (b != 0) out += ",";
+            const std::string le = b < s.hist.bounds.size()
+                                       ? fmt_f64(s.hist.bounds[b])
+                                       : "\"+Inf\"";
+            out += "{\"le\":" + le + ",\"count\":" +
+                   fmt_u64(s.hist.counts[b]) + "}";
+          }
+          out += "]";
+          break;
+        }
+      }
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string MetricsRegistry::to_prometheus() {
+  collect();
+  std::string out;
+  for (const auto& [name, fam] : families_) {
+    out += "# HELP " + name + " " + fam.help + "\n";
+    out += "# TYPE " + name + " ";
+    switch (fam.type) {
+      case MetricType::kCounter: out += "counter\n"; break;
+      case MetricType::kGauge: out += "gauge\n"; break;
+      case MetricType::kHistogram: out += "histogram\n"; break;
+    }
+    for (const auto& [key, s] : fam.series) {
+      const std::string braces = key.empty() ? "" : "{" + key + "}";
+      switch (fam.type) {
+        case MetricType::kCounter:
+          out += name + braces + " " + fmt_u64(s.counter) + "\n";
+          break;
+        case MetricType::kGauge:
+          out += name + braces + " " + fmt_f64(s.gauge) + "\n";
+          break;
+        case MetricType::kHistogram: {
+          u64 cum = 0;
+          for (std::size_t b = 0; b < s.hist.counts.size(); ++b) {
+            cum += s.hist.counts[b];
+            const std::string le = b < s.hist.bounds.size()
+                                       ? fmt_f64(s.hist.bounds[b])
+                                       : "+Inf";
+            const std::string sep = key.empty() ? "" : key + ",";
+            out += name + "_bucket{" + sep + "le=\"" + le + "\"} " +
+                   fmt_u64(cum) + "\n";
+          }
+          out += name + "_sum" + braces + " " + fmt_f64(s.hist.sum) + "\n";
+          out += name + "_count" + braces + " " + fmt_u64(s.hist.count) +
+                 "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace flare::obs

@@ -1,0 +1,111 @@
+// Unified metrics registry: every ad-hoc counter in the repo (service
+// telemetry, collective result tallies, link drop/busy counters, switch
+// pool gauges) re-homes onto ONE surface with labeled series, deterministic
+// iteration order, and two export formats — JSON for tooling and the
+// Prometheus text exposition format for eyeballs and scrapers.
+//
+// Determinism contract: families iterate in name order, series in canonical
+// sorted-label order (std::map everywhere), and doubles format via one
+// fixed printf recipe — identical registry state serializes to identical
+// bytes, which is what the observability CI step asserts.
+//
+// On-demand collection (the monitor-less sampling fix): callback gauges and
+// registered collectors run inside collect(), which both exporters call
+// first.  A collector may keep state between collections (e.g. the network
+// bridge diffs Link::busy_cum_ps between collects to produce windowed
+// utilization without any CongestionMonitor armed).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/units.hpp"
+
+namespace flare::obs {
+
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricType : u8 { kCounter = 0, kGauge, kHistogram };
+
+struct HistogramData {
+  std::vector<f64> bounds;  ///< ascending upper bounds; +Inf bucket implicit
+  std::vector<u64> counts;  ///< bounds.size() + 1 buckets (last = +Inf)
+  u64 count = 0;
+  f64 sum = 0.0;
+};
+
+/// One labeled time series.  Handles returned by the registry point at
+/// these; std::map storage keeps them address-stable.
+struct Series {
+  u64 counter = 0;
+  f64 gauge = 0.0;
+  std::function<f64()> gauge_fn;  ///< evaluated at collect() when set
+  HistogramData hist;
+
+  void inc(u64 d = 1) { counter += d; }
+  void set(f64 v) { gauge = v; }
+  void observe(f64 v);
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or finds) the labeled counter series `name{labels}`.
+  Series& counter(const std::string& name, const std::string& help,
+                  const Labels& labels = {});
+  /// Registers (or finds) the labeled gauge series.
+  Series& gauge(const std::string& name, const std::string& help,
+                const Labels& labels = {});
+  /// A gauge whose value is pulled at collect() time — the on-demand
+  /// sampling hook (queue depths, pool occupancy, windowed utilization).
+  Series& callback_gauge(const std::string& name, const std::string& help,
+                         const Labels& labels, std::function<f64()> fn);
+  /// Registers (or finds) a histogram with the given ascending bucket
+  /// upper bounds (an implicit +Inf bucket is appended).
+  Series& histogram(const std::string& name, const std::string& help,
+                    std::vector<f64> bounds, const Labels& labels = {});
+
+  /// Runs at the start of every collect(): push fresh values into the
+  /// registry (counters/gauges it created or looked up).  Collectors run in
+  /// registration order.
+  void add_collector(std::function<void(MetricsRegistry&)> fn) {
+    collectors_.push_back(std::move(fn));
+  }
+
+  /// Runs every collector, then every callback gauge.  Exporters call this
+  /// first; call it directly to take a snapshot without serializing.
+  void collect();
+
+  /// Canonical label string `a="x",b="y"` (keys sorted); "" for no labels.
+  static std::string canonical(const Labels& labels);
+
+  /// JSON export: {"metrics":[{name,type,help,series:[{labels,value|...}]}]}
+  /// in deterministic order.  Calls collect().
+  std::string to_json();
+  /// Prometheus text exposition format, deterministic.  Calls collect().
+  std::string to_prometheus();
+
+  u64 num_families() const { return families_.size(); }
+
+ private:
+  struct Family {
+    MetricType type = MetricType::kCounter;
+    std::string help;
+    std::map<std::string, Series> series;  ///< by canonical label string
+    std::map<std::string, Labels> labels;  ///< parallel: parsed label sets
+  };
+
+  Series& upsert(const std::string& name, const std::string& help,
+                 MetricType type, const Labels& labels);
+
+  std::map<std::string, Family> families_;  ///< by metric name
+  std::vector<std::function<void(MetricsRegistry&)>> collectors_;
+};
+
+}  // namespace flare::obs

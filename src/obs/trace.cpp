@@ -1,0 +1,111 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+namespace flare::obs {
+
+namespace {
+
+/// Minimal JSON string escaping (names and categories are repo-controlled
+/// ASCII, but a stray quote must not corrupt the document).
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Picoseconds -> microsecond timestamp string, integer arithmetic only:
+/// "%llu.%06llu" can never pick up platform-dependent float formatting.
+std::string ts_us(SimTime ps) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%06llu",
+                static_cast<unsigned long long>(ps / 1000000ull),
+                static_cast<unsigned long long>(ps % 1000000ull));
+  return buf;
+}
+
+}  // namespace
+
+void Tracer::begin(u64 tid, std::string_view name, SimTime ps,
+                   std::string_view cat, std::string_view args_json) {
+  events_.push_back({'B', tid, ps, std::string(name), std::string(cat),
+                     std::string(args_json)});
+}
+
+void Tracer::end(u64 tid, SimTime ps) {
+  events_.push_back({'E', tid, ps, {}, {}, {}});
+}
+
+void Tracer::instant(u64 tid, std::string_view name, SimTime ps,
+                     std::string_view cat, std::string_view args_json) {
+  events_.push_back({'i', tid, ps, std::string(name), std::string(cat),
+                     std::string(args_json)});
+}
+
+void Tracer::name_thread(u64 tid, std::string_view name) {
+  if (!named_tids_.insert(tid).second) return;
+  events_.push_back({'M', tid, 0, std::string(name), {}, {}});
+}
+
+std::string Tracer::to_json() const {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const Event& ev : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    char head[64];
+    std::snprintf(head, sizeof(head), "{\"pid\":1,\"tid\":%llu,",
+                  static_cast<unsigned long long>(ev.tid));
+    out += head;
+    switch (ev.ph) {
+      case 'B':
+        out += "\"ph\":\"B\",\"ts\":" + ts_us(ev.ps) + ",\"cat\":\"" +
+               escape(ev.cat) + "\",\"name\":\"" + escape(ev.name) + "\"";
+        break;
+      case 'E':
+        out += "\"ph\":\"E\",\"ts\":" + ts_us(ev.ps);
+        break;
+      case 'i':
+        out += "\"ph\":\"i\",\"s\":\"t\",\"ts\":" + ts_us(ev.ps) +
+               ",\"cat\":\"" + escape(ev.cat) + "\",\"name\":\"" +
+               escape(ev.name) + "\"";
+        break;
+      case 'M':
+        out += "\"ph\":\"M\",\"ts\":0,\"name\":\"thread_name\","
+               "\"args\":{\"name\":\"" + escape(ev.name) + "\"}";
+        break;
+    }
+    if (ev.ph != 'M' && !ev.args.empty()) {
+      out += ",\"args\":" + ev.args;
+    }
+    out += "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool Tracer::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string json = to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace flare::obs

@@ -1,0 +1,77 @@
+// Deterministic Chrome-trace-event tracer for the simulator.
+//
+// Spans and instant events are keyed on SIMULATED picosecond time, never on
+// the wall clock, and serialize with fixed integer-derived formatting — two
+// runs of the same seeded scenario produce byte-identical JSON.  The output
+// is the Chrome trace-event format ("traceEvents" array of B/E/i/M records,
+// timestamps in microseconds), so a whole multi-tenant chaos run loads
+// straight into chrome://tracing or https://ui.perfetto.dev.
+//
+// Row (tid) convention across the repo:
+//   * tid 0                — the fabric (faults, congestion crossings);
+//   * tid = trace id       — one collective session (per-iteration spans,
+//                            retransmit/recovery/migration instants);
+//   * tid = 1000000 + job  — one service job (submit -> done span).
+//
+// The tracer is pure recording: attach it with Network::set_tracer and every
+// instrumented layer (ops, monitor, service) emits through it when present.
+// A null tracer costs nothing — call sites guard on the pointer.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace flare::obs {
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Opens a duration span ("B") on row `tid` at simulated time `ps`.
+  /// `args_json`, when non-empty, must be a complete JSON object literal
+  /// (e.g. R"({"root":3})") and is emitted verbatim.
+  void begin(u64 tid, std::string_view name, SimTime ps,
+             std::string_view cat = "span", std::string_view args_json = {});
+
+  /// Closes the innermost open span on row `tid` ("E").
+  void end(u64 tid, SimTime ps);
+
+  /// A zero-duration instant event ("i", thread scope).
+  void instant(u64 tid, std::string_view name, SimTime ps,
+               std::string_view cat = "event",
+               std::string_view args_json = {});
+
+  /// Names a row via a thread_name metadata record ("M").  Idempotent per
+  /// tid: only the first name sticks.
+  void name_thread(u64 tid, std::string_view name);
+
+  u64 events() const { return events_.size(); }
+
+  /// The full trace as Chrome trace-event JSON (one event per line, stable
+  /// field order, integer-derived timestamps — byte-identical across reruns
+  /// of the same seed).
+  std::string to_json() const;
+
+  /// Writes to_json() to `path`; returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  struct Event {
+    char ph = 'i';        ///< B / E / i / M
+    u64 tid = 0;
+    SimTime ps = 0;
+    std::string name;
+    std::string cat;
+    std::string args;     ///< verbatim JSON object ("" = none)
+  };
+
+  std::vector<Event> events_;   ///< emission order (the calendar's order)
+  std::unordered_set<u64> named_tids_;
+};
+
+}  // namespace flare::obs

@@ -3,7 +3,17 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/trace.hpp"
+
 namespace flare::service {
+
+namespace {
+
+/// Tracer row convention: service job rows live above every collective's
+/// trace-id row (tid = kJobTidBase + job id).
+constexpr u64 kJobTidBase = 1000000;
+
+}  // namespace
 
 // The service is pure orchestration: admission order, queueing, timeouts,
 // fallback decisions and telemetry.  The data planes (in-network dense
@@ -54,7 +64,6 @@ coll::CollectiveOptions AllreduceService::descriptor_for(
   if (opt_.monitor != nullptr && opt_.migrate_above > 0.0) {
     desc.migrate_above = opt_.migrate_above;
     desc.migrate_improvement = opt_.migrate_improvement;
-    desc.migrate_slowdown = opt_.migrate_slowdown;
   }
   return desc;
 }
@@ -76,6 +85,10 @@ u32 AllreduceService::submit(JobSpec spec) {
   records_.push_back(rec);
   specs_.push_back(std::move(spec));
   telemetry_.submitted += 1;
+  if (obs::Tracer* tr = net_.tracer()) {
+    tr->name_thread(kJobTidBase + job, "job-" + std::to_string(job));
+    tr->begin(kJobTidBase + job, "job", net_.sim().now(), "service");
+  }
 
   if (specs_[job].desc.algorithm == coll::Algorithm::kHostRing ||
       specs_[job].desc.algorithm == coll::Algorithm::kSparcml) {
@@ -155,6 +168,9 @@ bool AllreduceService::try_admit(u32 job, bool* feasible) {
   rec.state = JobState::kInNetwork;
   rec.in_network = true;
   rec.start_ps = net_.sim().now();
+  if (obs::Tracer* tr = net_.tracer()) {
+    tr->instant(kJobTidBase + job, "admitted", rec.start_ps, "service");
+  }
   rec.tree_cache_hit = report.cache_hit;
   rec.tree_root = aj->pc.tree().root;
   rec.tree_switches = static_cast<u32>(aj->pc.tree().switches.size());
@@ -240,6 +256,10 @@ void AllreduceService::start_fallback_or_reject(u32 job, RingReason why) {
     rec.state = JobState::kRejected;
     rec.start_ps = rec.finish_ps = net_.sim().now();
     telemetry_.rejected += 1;
+    if (obs::Tracer* tr = net_.tracer()) {
+      tr->instant(kJobTidBase + job, "rejected", rec.finish_ps, "service");
+      tr->end(kJobTidBase + job, rec.finish_ps);
+    }
     return;
   }
   start_host_plane(job, why);
@@ -253,6 +273,9 @@ void AllreduceService::start_host_plane(u32 job, RingReason why) {
   rec.state = JobState::kFallback;
   rec.in_network = false;
   rec.start_ps = net_.sim().now();
+  if (obs::Tracer* tr = net_.tracer()) {
+    tr->instant(kJobTidBase + job, "host-plane", rec.start_ps, "service");
+  }
   switch (why) {
     case RingReason::kRequested: telemetry_.host_requested += 1; break;
     case RingReason::kTimeout: telemetry_.timeout_fallbacks += 1; break;
@@ -308,6 +331,9 @@ void AllreduceService::on_job_done(u32 job,
 
   rec.state = JobState::kDone;
   rec.finish_ps = net_.sim().now();
+  if (obs::Tracer* tr = net_.tracer()) {
+    tr->end(kJobTidBase + job, rec.finish_ps);
+  }
   if (rec.fell_back) {
     // Admitted in-network but SOME iteration finished on the ring: a
     // mid-run fault ate the tree.  Distinct from admission fallbacks in

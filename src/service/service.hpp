@@ -68,7 +68,6 @@ struct ServiceOptions {
   /// 0 places congestion-aware but never migrates mid-job.
   f64 migrate_above = 0.0;
   f64 migrate_improvement = 0.85;
-  f64 migrate_slowdown = 1.05;
   /// TreeCache staleness bound: cached embeddings whose worst link EWMA
   /// exceeds this are recomputed instead of re-served (0 = liveness-only
   /// validation, the pre-congestion-plane behavior).

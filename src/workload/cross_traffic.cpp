@@ -7,12 +7,12 @@
 namespace flare::workload {
 
 void CrossTrafficInjector::arm_packet(SimTime at, u32 src_host, u32 dst_host,
-                                      u64 flow) {
+                                      u64 flow, u32 trace) {
   // The event captures the Network and host indices (stable), never the
   // injector: arming is fire-and-forget.
   net::Network* net = &net_;
   const u64 wire = spec_.packet_bytes + core::kPacketWireOverhead;
-  net_.sim().schedule_at(at, [net, src_host, dst_host, flow, wire] {
+  net_.sim().schedule_at(at, [net, src_host, dst_host, flow, wire, trace] {
     net::Host* src = net->hosts()[src_host];
     net::Host* dst = net->hosts()[dst_host];
     auto msg = std::make_shared<net::HostMsg>();
@@ -23,6 +23,7 @@ void CrossTrafficInjector::arm_packet(SimTime at, u32 src_host, u32 dst_host,
     np.kind = net::PacketKind::kHostMsg;
     np.dst_node = dst->id();
     np.flow = flow;
+    np.trace = trace;
     np.wire_bytes = wire;
     np.msg = std::move(msg);
     src->send(std::move(np));
@@ -58,13 +59,18 @@ void CrossTrafficInjector::arm() {
     const u64 flow = f < spec_.flow_labels.size()
                          ? spec_.flow_labels[f]
                          : derive_seed(spec_.seed, 0x0FF10000ull + f);
+    // One attribution trace per flow: background load shows up in the
+    // per-collective link accounting as its own tenant, so monitors can
+    // tell a collective's self-heat from this foreign heat.
+    const u32 trace = net_.alloc_trace_id();
+    trace_ids_.push_back(trace);
     // Alternate exponential ON bursts and OFF gaps across the horizon.
     SimTime t = spec_.start_ps;
     while (t < spec_.horizon_ps) {
       const SimTime on_len = static_cast<SimTime>(
           rng.exponential(static_cast<f64>(spec_.mean_on_ps)));
       const SimTime on_end = std::min(spec_.horizon_ps, t + on_len);
-      for (; t < on_end; t += gap_ps) arm_packet(t, src, dst, flow);
+      for (; t < on_end; t += gap_ps) arm_packet(t, src, dst, flow, trace);
       t = std::max(t, on_end) +
           static_cast<SimTime>(
               rng.exponential(static_cast<f64>(spec_.mean_off_ps)));
@@ -82,6 +88,10 @@ void CrossTrafficInjector::arm() {
     const u64 packets =
         std::max<u64>(1, spec_.incast_bytes / spec_.packet_bytes);
     const u32 fanin = std::min(spec_.incast_fanin, hosts - 1);
+    // One trace per burst (not per sender): the burst is a single
+    // storage/shuffle event, so its heat is attributed as one tenant.
+    const u32 trace = net_.alloc_trace_id();
+    trace_ids_.push_back(trace);
     for (u32 s = 0; s < fanin; ++s) {
       u32 sender;
       do {
@@ -90,7 +100,8 @@ void CrossTrafficInjector::arm() {
       const u64 flow = derive_seed(spec_.seed, 0x1CA57000ull + b * 64 + s);
       // Back to back: the sender's NIC serializes the burst contiguously;
       // all of it lands on the victim's access link at once.
-      for (u64 p = 0; p < packets; ++p) arm_packet(at, sender, victim, flow);
+      for (u64 p = 0; p < packets; ++p)
+        arm_packet(at, sender, victim, flow, trace);
     }
   }
 }

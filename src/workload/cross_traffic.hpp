@@ -72,13 +72,21 @@ class CrossTrafficInjector {
   u64 packets_armed() const { return packets_armed_; }
   u64 bytes_armed() const { return bytes_armed_; }
 
+  /// Attribution trace ids allocated at arm() time: one per on/off flow
+  /// (index-parallel to the flows), then one per incast burst.  Lets tests
+  /// and exporters see background load as first-class tenants in the
+  /// per-collective link accounting.
+  const std::vector<u32>& trace_ids() const { return trace_ids_; }
+
  private:
-  void arm_packet(SimTime at, u32 src_host, u32 dst_host, u64 flow);
+  void arm_packet(SimTime at, u32 src_host, u32 dst_host, u64 flow,
+                  u32 trace);
 
   net::Network& net_;
   CrossTrafficSpec spec_;
   u64 packets_armed_ = 0;
   u64 bytes_armed_ = 0;
+  std::vector<u32> trace_ids_;
 };
 
 }  // namespace flare::workload

@@ -258,7 +258,6 @@ TEST(Migration, PersistentSessionMovesOffHotTree) {
   desc.dtype = core::DType::kInt32;
   desc.migrate_above = 0.2;
   desc.migrate_improvement = 0.85;
-  desc.migrate_slowdown = 0.0;  // check congestion at every boundary
 
   coll::PersistentCollective pc = comm.persistent(desc);
   ASSERT_TRUE(pc.ok());
@@ -268,7 +267,9 @@ TEST(Migration, PersistentSessionMovesOffHotTree) {
   const NodeId old_root = pc.tree().root;
 
   // Heat the installed root's tree links: a 10 MiB backlog each way means
-  // staying put costs ~800 us of queueing per direction.
+  // staying put costs ~800 us of queueing per direction.  The heat is
+  // untagged (trace 0), i.e. FOREIGN to the session — exactly what the
+  // edge_congestion_excluding trigger reacts to.
   std::string root_name;
   for (Switch* s : topo.spines) {
     if (s->id() == old_root) root_name = s->name();
@@ -276,22 +277,18 @@ TEST(Migration, PersistentSessionMovesOffHotTree) {
   ASSERT_FALSE(root_name.empty()) << "tree rooted off-spine?";
   heat_switch_links(net, root_name, {"leaf0", "leaf1"}, 10 * kMiB);
 
-  // Detection latency is one iteration: iteration 2 eats the regression
-  // (the completion-time watch needs to SEE a slow iteration before it
-  // spends control work), iteration 3 migrates.
+  // The foreign-heat trigger needs no slow iteration to convince it: the
+  // next iteration boundary samples the monitor, sees the backlog on the
+  // tree's edges, and migrates BEFORE paying the regression.
   const auto res2 = pc.run();
   EXPECT_TRUE(res2.ok);
-  EXPECT_EQ(res2.migrations, 0u);
-  EXPECT_GT(res2.completion_seconds, 2 * res1.completion_seconds);
-  const auto res3 = pc.run();
-  EXPECT_TRUE(res3.ok);
-  EXPECT_EQ(res3.max_abs_err, 0.0);
-  EXPECT_EQ(res3.migrations, 1u);
+  EXPECT_EQ(res2.max_abs_err, 0.0);
+  EXPECT_EQ(res2.migrations, 1u);
   EXPECT_EQ(pc.migrations(), 1u);
   EXPECT_NE(pc.tree().root, old_root);
-  // Off the backlogged links, iteration 3 returns to iteration 1's time
-  // class instead of queueing behind the remaining heat.
-  EXPECT_LT(res3.completion_seconds, 3 * res1.completion_seconds);
+  // Off the backlogged links, iteration 2 stays in iteration 1's time
+  // class instead of queueing behind ~800 us of foreign heat.
+  EXPECT_LT(res2.completion_seconds, 2 * res1.completion_seconds);
 
   // No occupancy leak: exactly one 3-switch tree installed, and nothing
   // after release.
@@ -314,7 +311,6 @@ TEST(Migration, HysteresisHoldsOnCoolFabric) {
   desc.data_bytes = 64 * kKiB;
   desc.dtype = core::DType::kInt32;
   desc.migrate_above = 0.2;
-  desc.migrate_slowdown = 0.0;
   coll::PersistentCollective pc = comm.persistent(desc);
   ASSERT_TRUE(pc.ok());
   const NodeId root = pc.tree().root;
@@ -325,6 +321,56 @@ TEST(Migration, HysteresisHoldsOnCoolFabric) {
   }
   EXPECT_EQ(pc.tree().root, root);  // nothing hot: the tree never moves
   EXPECT_EQ(pc.migrations(), 0u);
+}
+
+TEST(Migration, SelfHeatIsExcludedForeignHeatTriggers) {
+  Network net;
+  auto topo = build_fat_tree(net, four_spine_spec());
+  CongestionMonitor monitor(net);
+  coll::CommunicatorConfig ccfg;
+  ccfg.monitor = &monitor;
+  coll::Communicator comm(net, first_hosts(topo, 8), std::move(ccfg));
+  coll::CollectiveOptions desc;
+  desc.algorithm = coll::Algorithm::kFlareDense;
+  desc.data_bytes = 256 * kKiB;  // big enough to keep its own links busy
+  desc.dtype = core::DType::kInt32;
+  // A bound the session's OWN traffic comfortably exceeds on its tree
+  // links when iterations run back to back.
+  desc.migrate_above = 0.05;
+  desc.migrate_improvement = 0.85;
+  coll::PersistentCollective pc = comm.persistent(desc);
+  ASSERT_TRUE(pc.ok());
+  const NodeId root = pc.tree().root;
+
+  for (int i = 0; i < 4; ++i) {
+    const auto res = pc.run();
+    EXPECT_TRUE(res.ok);
+    EXPECT_EQ(res.migrations, 0u) << "self-heat alone must never migrate";
+  }
+  EXPECT_EQ(pc.tree().root, root);
+  EXPECT_EQ(pc.migrations(), 0u);
+  // Prove the old TOTAL-EWMA signal would have fired: the tree's worst
+  // edge is well above the bound — it is all the session's own heat, and
+  // the self-exclusion is the only thing holding migration back.
+  monitor.sample();
+  EXPECT_GT(coll::tree_max_congestion(monitor, pc.tree()),
+            desc.migrate_above);
+
+  // Now add FOREIGN (untagged) heat on the installed root's tree links:
+  // the excluding trigger fires at the next iteration boundary.
+  std::string root_name;
+  for (Switch* s : topo.spines) {
+    if (s->id() == root) root_name = s->name();
+  }
+  ASSERT_FALSE(root_name.empty());
+  heat_switch_links(net, root_name, {"leaf0", "leaf1"}, 10 * kMiB);
+  net.sim().run();  // let the foreign bytes serialize into the EWMA window
+  const auto res = pc.run();
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.migrations, 1u);
+  EXPECT_NE(pc.tree().root, root);
+  pc.release();
+  for (Switch* s : net.switches()) EXPECT_EQ(s->installed_reduces(), 0u);
 }
 
 // ----------------------------------------------------------- root policy --
@@ -370,7 +416,6 @@ TEST(ServiceCongestion, AdmissionAvoidsHotSpineAndJobMigrates) {
   opt.root_policy = service::RootPolicy::kLeastCongested;
   opt.monitor = &monitor;
   opt.migrate_above = 0.2;
-  opt.migrate_slowdown = 0.0;
   opt.cache_stale_above = 0.3;
   service::AllreduceService service(net, opt);
 

@@ -1,0 +1,301 @@
+// Observability plane: MetricsRegistry determinism (label ordering,
+// histogram buckets, export round-trips), Tracer span/instant/metadata
+// emission and byte-identical serialization, per-collective link
+// attribution (conservation of busy picoseconds), the self-excluding
+// congestion view the migration trigger runs on, and monitor-less
+// on-demand sampling through the network bridge.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "coll/communicator.hpp"
+#include "core/packet.hpp"
+#include "net/telemetry.hpp"
+#include "obs/bridge.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "workload/cross_traffic.hpp"
+
+namespace flare {
+namespace {
+
+using namespace flare::net;
+
+// ---------------------------------------------------------------- registry --
+
+TEST(MetricsRegistry, LabelsCanonicalizeSorted) {
+  EXPECT_EQ(obs::MetricsRegistry::canonical({}), "");
+  EXPECT_EQ(obs::MetricsRegistry::canonical({{"b", "2"}, {"a", "1"}}),
+            "a=\"1\",b=\"2\"");
+  // Quotes and backslashes in values escape; the key order never depends
+  // on insertion order.
+  EXPECT_EQ(obs::MetricsRegistry::canonical({{"k", "x\"y\\z"}}),
+            "k=\"x\\\"y\\\\z\"");
+  obs::MetricsRegistry reg;
+  reg.counter("m", "h", {{"b", "2"}, {"a", "1"}}).inc(3);
+  // The SAME series regardless of label order at the call site.
+  reg.counter("m", "h", {{"a", "1"}, {"b", "2"}}).inc(4);
+  const std::string prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("m{a=\"1\",b=\"2\"} 7"), std::string::npos) << prom;
+}
+
+TEST(MetricsRegistry, HistogramBucketsAndExport) {
+  obs::MetricsRegistry reg;
+  obs::Series& h = reg.histogram("lat", "latency", {1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1
+  h.observe(1.0);    // <= 1 (upper bounds are inclusive)
+  h.observe(5.0);    // <= 10
+  h.observe(1000.0); // +Inf
+  ASSERT_EQ(h.hist.counts.size(), 4u);
+  EXPECT_EQ(h.hist.counts[0], 2u);
+  EXPECT_EQ(h.hist.counts[1], 1u);
+  EXPECT_EQ(h.hist.counts[2], 0u);
+  EXPECT_EQ(h.hist.counts[3], 1u);
+  EXPECT_EQ(h.hist.count, 4u);
+  EXPECT_EQ(h.hist.sum, 1006.5);
+  const std::string prom = reg.to_prometheus();
+  // Prometheus buckets are CUMULATIVE and end at +Inf == count.
+  EXPECT_NE(prom.find("lat_bucket{le=\"1\"} 2"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("lat_bucket{le=\"10\"} 3"), std::string::npos);
+  EXPECT_NE(prom.find("lat_bucket{le=\"+Inf\"} 4"), std::string::npos);
+  EXPECT_NE(prom.find("lat_count 4"), std::string::npos);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"count\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"le\":\"+Inf\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, ExportsAreDeterministic) {
+  const auto build = [] {
+    auto reg = std::make_unique<obs::MetricsRegistry>();
+    // Insertion order differs from name order on purpose.
+    reg->gauge("zeta", "z").set(1.5);
+    reg->counter("alpha", "a", {{"x", "1"}}).inc(2);
+    reg->counter("alpha", "a", {{"x", "2"}}).inc(5);
+    reg->histogram("mid", "m", {0.5}).observe(0.25);
+    reg->callback_gauge("cb", "c", {}, [] { return 42.0; });
+    return reg;
+  };
+  auto a = build();
+  auto b = build();
+  EXPECT_EQ(a->to_json(), b->to_json());
+  EXPECT_EQ(a->to_prometheus(), b->to_prometheus());
+  // Families serialize in name order, independent of registration order.
+  const std::string json = a->to_json();
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"cb\""));
+  EXPECT_LT(json.find("\"cb\""), json.find("\"mid\""));
+  EXPECT_LT(json.find("\"mid\""), json.find("\"zeta\""));
+  EXPECT_NE(json.find("\"value\":42"), std::string::npos) << json;
+}
+
+TEST(MetricsRegistry, CollectorsRunOnEveryCollect) {
+  obs::MetricsRegistry reg;
+  u64 pushed = 0;
+  reg.add_collector([&pushed](obs::MetricsRegistry& r) {
+    pushed += 1;
+    r.counter("pushes", "collector runs").counter = pushed;
+  });
+  reg.collect();
+  reg.collect();
+  const std::string prom = reg.to_prometheus();  // collects a third time
+  EXPECT_NE(prom.find("pushes 3"), std::string::npos) << prom;
+}
+
+// ------------------------------------------------------------------ tracer --
+
+TEST(Tracer, SpansInstantsAndMetadataSerialize) {
+  obs::Tracer tr;
+  tr.name_thread(0, "fabric");
+  tr.name_thread(0, "ignored");  // idempotent: first name sticks
+  tr.begin(7, "iteration", 1500000, "iteration");
+  tr.instant(0, "link-down", 2000000, "fault");
+  tr.end(7, 2500000);
+  const std::string json = tr.to_json();
+  EXPECT_NE(json.find("\"name\":\"fabric\""), std::string::npos) << json;
+  EXPECT_EQ(json.find("ignored"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  // ps -> us with six fractional digits, integer-derived.
+  EXPECT_NE(json.find("\"ts\":1.500000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ts\":2.000000"), std::string::npos);
+}
+
+TEST(Tracer, IdenticalEventSequencesSerializeIdentically) {
+  const auto build = [] {
+    auto tr = std::make_unique<obs::Tracer>();
+    tr->name_thread(1, "coll-1");
+    tr->begin(1, "iteration", 0, "iteration");
+    tr->instant(1, "retransmit", 3 * kPsPerUs, "recovery",
+                R"({"block":4})");
+    tr->end(1, 5 * kPsPerUs);
+    return tr;
+  };
+  EXPECT_EQ(build()->to_json(), build()->to_json());
+}
+
+// ------------------------------------------------------------- attribution --
+
+TEST(Attribution, BusyByTraceConservesBusyCum) {
+  Network net;
+  auto topo = build_fat_tree(net, FatTreeSpec{.hosts = 32});
+
+  workload::CrossTrafficSpec xspec;
+  xspec.seed = 5;
+  xspec.horizon_ps = 60 * kPsPerUs;
+  workload::CrossTrafficInjector cross(net, xspec);
+  cross.arm();
+  EXPECT_GE(cross.trace_ids().size(), xspec.flows);
+
+  coll::Communicator comm(net, {topo.hosts.begin(), topo.hosts.begin() + 8});
+  coll::CollectiveOptions desc;
+  desc.data_bytes = 128 * kKiB;
+  desc.dtype = core::DType::kInt32;
+  const auto res = comm.run(desc);
+  EXPECT_TRUE(res.ok);
+  net.sim().run();  // drain the remaining background schedule
+
+  // Conservation: on EVERY link the per-trace buckets sum EXACTLY to the
+  // cumulative busy counter — nothing double-counted, nothing dropped.
+  u64 total_busy = 0;
+  u32 links_with_collective_traffic = 0;
+  for (u32 i = 0; i < net.num_links(); ++i) {
+    const Link& link = net.link(i);
+    u64 sum = 0;
+    bool tagged = false;
+    for (const auto& [trace, ps] : link.busy_by_trace()) {
+      sum += ps;
+      tagged = tagged || (trace != 0 && ps > 0);
+    }
+    EXPECT_EQ(sum, link.busy_cum_ps()) << link.name();
+    total_busy += link.busy_cum_ps();
+    links_with_collective_traffic += tagged ? 1 : 0;
+  }
+  EXPECT_GT(total_busy, 0u);
+  // The collective and the background flows are all trace-tagged, so a
+  // healthy share of links must carry attributed (non-zero-trace) bytes.
+  EXPECT_GT(links_with_collective_traffic, 0u);
+}
+
+TEST(Attribution, SelfExclusionReadsForeignHeatOnly) {
+  Network net;
+  auto topo = build_fat_tree(net, FatTreeSpec{.hosts = 32});
+  CongestionMonitor monitor(net);
+  monitor.sample();  // cold baseline at t=0
+
+  // Pick the leaf0 -> spine0 uplink and find the port behind it.
+  const NodeId leaf = topo.leaves[0]->id();
+  const NodeId spine = topo.spines[0]->id();
+  u32 port = UINT32_MAX;
+  for (const PortPeer& p : net.neighbors(leaf)) {
+    if (p.peer == spine) port = p.my_port;
+  }
+  ASSERT_NE(port, UINT32_MAX);
+  u32 up_index = UINT32_MAX;
+  for (u32 i = 0; i < net.num_links(); ++i) {
+    if (net.link(i).name() == "leaf0->spine0") up_index = i;
+  }
+  ASSERT_NE(up_index, UINT32_MAX);
+
+  // Heat the link with traffic tagged as collective 42 ONLY (a stale
+  // reduce-down frame: dropped on arrival, but every byte serializes).
+  const u32 self = 42;
+  {
+    std::vector<i32> dummy(4, 0);
+    core::Packet p = core::make_dense_packet(0x7EA70000u, 0, 0, dummy.data(),
+                                             4, core::DType::kInt32);
+    NetPacket np;
+    np.kind = PacketKind::kReduceDown;
+    np.allreduce_id = 0x7EA70000u;  // installed nowhere
+    np.trace = self;
+    np.wire_bytes = 2 * kMiB;  // ~160 us of serialization at 100 Gbps
+    np.reduce = std::make_shared<const core::Packet>(std::move(p));
+    net.link(up_index).send(std::move(np));
+  }
+  net.sim().run();
+  monitor.sample();
+
+  const f64 total = monitor.edge_congestion(leaf, port);
+  EXPECT_GT(total, 0.1);  // the link is plainly hot...
+  // ...but every picosecond of that heat belongs to collective 42:
+  EXPECT_NEAR(monitor.edge_congestion_excluding(leaf, port, self), 0.0,
+              1e-12);
+  EXPECT_EQ(monitor.link_trace_ewma(up_index, self),
+            monitor.snapshot().links[up_index].ewma_utilization);
+  // A DIFFERENT collective looking at the same edge sees all of it.
+  EXPECT_EQ(monitor.edge_congestion_excluding(leaf, port, 77), total);
+  // Trace 0 excludes nothing measurable either.
+  EXPECT_EQ(monitor.edge_congestion_excluding(leaf, port, 0), total);
+}
+
+// ---------------------------------------------------------------- bridge ---
+
+TEST(Bridge, MonitorlessWindowedUtilizationOnDemand) {
+  Network net;
+  auto topo = build_fat_tree(net, FatTreeSpec{.hosts = 32});
+  obs::MetricsRegistry reg;
+  obs::register_network_metrics(reg, net);  // NO CongestionMonitor anywhere
+
+  // Collect once on the idle fabric to open the window.
+  reg.collect();
+
+  workload::CrossTrafficSpec xspec;
+  xspec.seed = 9;
+  xspec.horizon_ps = 40 * kPsPerUs;
+  workload::CrossTrafficInjector cross(net, xspec);
+  cross.arm();
+  net.sim().run();
+
+  // Second collect: the stateful collector diffs busy_cum_ps over the
+  // window and the gauges must show the traffic that just flowed.
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("flare_link_windowed_utilization"), std::string::npos);
+  EXPECT_NE(json.find("flare_link_busy_ps_by_collective"),
+            std::string::npos);
+  EXPECT_NE(json.find("flare_net_traffic_bytes_total"), std::string::npos);
+
+  u64 busiest = 0;
+  for (u32 i = 0; i < net.num_links(); ++i) {
+    busiest = std::max(busiest, net.link(i).busy_cum_ps());
+  }
+  EXPECT_GT(busiest, 0u);
+  // Registry state is pull-based: a third export at the same sim time is
+  // byte-identical (the window does not advance at zero width).
+  EXPECT_EQ(reg.to_json(), reg.to_json());
+}
+
+TEST(Bridge, ServiceTelemetryAndResultsRoundTrip) {
+  obs::MetricsRegistry reg;
+  service::ServiceTelemetry t;
+  t.submitted = 7;
+  t.in_network = 5;
+  t.migrations = 2;
+  t.queue_delay_s.add(0.25);
+  obs::export_service_telemetry(reg, t);
+  coll::CollectiveResult r;
+  r.ok = true;
+  r.in_network = true;
+  r.completion_seconds = 0.003;
+  r.blocks = 11;
+  r.retransmits = 4;
+  obs::accumulate_result(reg, r);
+  obs::accumulate_result(reg, r);  // cumulative: counted twice
+  const std::string prom = reg.to_prometheus();
+  EXPECT_NE(
+      prom.find("flare_service_events_total{event=\"submitted\"} 7"),
+      std::string::npos)
+      << prom;
+  EXPECT_NE(
+      prom.find("flare_service_events_total{event=\"migration\"} 2"),
+      std::string::npos);
+  EXPECT_NE(prom.find("flare_collective_completions_total{ok=\"true\","
+                      "plane=\"in_network\"} 2"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(
+      prom.find("flare_collective_tallies_total{kind=\"retransmits\"} 8"),
+      std::string::npos);
+}
+
+}  // namespace
+}  // namespace flare

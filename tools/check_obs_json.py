@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Schema checker for the observability plane's emitted artifacts.
+
+Validates, with no third-party dependencies:
+
+  * a Chrome trace-event JSON (as written by flare::obs::Tracer) — the
+    exact structure chrome://tracing and Perfetto ingest: a top-level
+    object with a "traceEvents" array of B/E/i/M records, microsecond
+    timestamps, and balanced begin/end spans per row;
+  * a metrics registry JSON export (flare::obs::MetricsRegistry::to_json)
+    — named families typed counter/gauge/histogram with labeled series,
+    cumulative-consistent histogram buckets ending at +Inf;
+  * a Prometheus text exposition file (to_prometheus) — every sample line
+    preceded by its family's # HELP / # TYPE header.
+
+Usage:
+  check_obs_json.py --trace obs_trace.json --metrics obs_metrics.json \
+                    --prom obs_metrics.prom
+
+Any subset of the three flags may be given.  Exits non-zero with a list of
+violations on the first invalid artifact.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+PHASES = {"B", "E", "i", "M"}
+
+
+def fail(errors):
+    for e in errors:
+        print(f"  SCHEMA VIOLATION: {e}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path):
+    errors = []
+    with open(path, "rb") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail([f"{path}: top level must be an object with 'traceEvents'"])
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail([f"{path}: 'traceEvents' must be a non-empty array"])
+    open_spans = {}  # tid -> depth
+    for i, ev in enumerate(events):
+        where = f"{path}: event {i}"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in PHASES:
+            errors.append(f"{where}: ph {ph!r} not one of {sorted(PHASES)}")
+            continue
+        if "pid" not in ev or "tid" not in ev:
+            errors.append(f"{where}: missing pid/tid")
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"{where}: ts {ts!r} is not a number >= 0")
+        tid = ev["tid"]
+        if ph == "B":
+            if not ev.get("name"):
+                errors.append(f"{where}: B record without a name")
+            open_spans[tid] = open_spans.get(tid, 0) + 1
+        elif ph == "E":
+            if open_spans.get(tid, 0) <= 0:
+                errors.append(f"{where}: E on tid {tid} with no open span")
+            else:
+                open_spans[tid] -= 1
+        elif ph == "i":
+            if not ev.get("name"):
+                errors.append(f"{where}: instant without a name")
+        elif ph == "M":
+            if ev.get("name") != "thread_name":
+                errors.append(f"{where}: metadata record is not thread_name")
+            if not ev.get("args", {}).get("name"):
+                errors.append(f"{where}: thread_name without args.name")
+    for tid, depth in sorted(open_spans.items()):
+        if depth != 0:
+            errors.append(f"{path}: tid {tid} ends with {depth} unclosed span(s)")
+    if errors:
+        fail(errors)
+    print(f"  OK {path}: {len(events)} trace events, spans balanced")
+
+
+def check_metrics_json(path):
+    errors = []
+    with open(path, "rb") as f:
+        doc = json.load(f)
+    families = doc.get("metrics")
+    if not isinstance(families, list) or not families:
+        fail([f"{path}: top level must hold a non-empty 'metrics' array"])
+    names = [f.get("name") for f in families]
+    if names != sorted(names):
+        errors.append(f"{path}: families are not in name order")
+    n_series = 0
+    for fam in families:
+        name = fam.get("name", "<unnamed>")
+        if fam.get("type") not in ("counter", "gauge", "histogram"):
+            errors.append(f"{path}: {name}: bad type {fam.get('type')!r}")
+            continue
+        series = fam.get("series")
+        if not isinstance(series, list) or not series:
+            errors.append(f"{path}: {name}: empty series")
+            continue
+        n_series += len(series)
+        for s in series:
+            if not isinstance(s.get("labels"), dict):
+                errors.append(f"{path}: {name}: series without labels object")
+                continue
+            if fam["type"] == "histogram":
+                buckets = s.get("buckets")
+                if not isinstance(buckets, list) or not buckets:
+                    errors.append(f"{path}: {name}: histogram without buckets")
+                    continue
+                if buckets[-1].get("le") != "+Inf":
+                    errors.append(f"{path}: {name}: last bucket is not +Inf")
+                total = sum(b.get("count", 0) for b in buckets)
+                if total != s.get("count"):
+                    errors.append(
+                        f"{path}: {name}: bucket counts sum {total} != "
+                        f"count {s.get('count')}")
+            elif "value" not in s:
+                errors.append(f"{path}: {name}: series without value")
+    if errors:
+        fail(errors)
+    print(f"  OK {path}: {len(families)} families, {n_series} series")
+
+
+SAMPLE_RE = re.compile(r"^([A-Za-z_:][A-Za-z0-9_:]*)(\{.*\})? \S+$")
+
+
+def check_prom(path):
+    errors = []
+    helped, typed = set(), set()
+    samples = 0
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# HELP "):
+                helped.add(line.split()[2])
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split()
+                if parts[3] not in ("counter", "gauge", "histogram"):
+                    errors.append(f"{path}:{lineno}: bad TYPE {parts[3]!r}")
+                typed.add(parts[2])
+                continue
+            m = SAMPLE_RE.match(line)
+            if m is None:
+                errors.append(f"{path}:{lineno}: unparseable sample: {line!r}")
+                continue
+            family = re.sub(r"_(bucket|sum|count)$", "", m.group(1))
+            if family not in typed and m.group(1) not in typed:
+                errors.append(
+                    f"{path}:{lineno}: sample {m.group(1)!r} has no # TYPE")
+            samples += 1
+    if samples == 0:
+        errors.append(f"{path}: no samples at all")
+    if errors:
+        fail(errors)
+    print(f"  OK {path}: {samples} samples, {len(typed)} typed families")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trace", help="Chrome trace-event JSON to validate")
+    ap.add_argument("--metrics", help="metrics registry JSON to validate")
+    ap.add_argument("--prom", help="Prometheus text exposition to validate")
+    args = ap.parse_args()
+    if not (args.trace or args.metrics or args.prom):
+        ap.error("give at least one of --trace/--metrics/--prom")
+    if args.trace:
+        check_trace(args.trace)
+    if args.metrics:
+        check_metrics_json(args.metrics)
+    if args.prom:
+        check_prom(args.prom)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Diff a bench binary's BENCH_JSON report against a committed baseline.
+
+Every bench/* binary ends its run with one machine-readable line:
+
+    BENCH_JSON {"bench":"...", ...}
+
+This script extracts that line from a captured bench stdout (file or stdin)
+and compares its KEY SET against a committed baseline JSON file.  Values
+drift run to run (timings, speedups) and are not compared — the contract CI
+enforces is the report schema: a key that disappears breaks downstream
+tooling silently, and a key that appears should be reviewed into the
+baseline on purpose.
+
+Boolean gate values ARE compared: a key that is `true` in the baseline must
+still be `true` (pass/ok/deterministic flags regressing to false is a bench
+failure even if the binary's own exit code missed it).
+
+Usage:
+  bench_binary | tee out.txt
+  diff_bench_keys.py baseline.json out.txt
+"""
+
+import json
+import sys
+
+
+def extract_report(path):
+    stream = sys.stdin if path == "-" else open(path, "r", encoding="utf-8")
+    with stream:
+        reports = [line.split("BENCH_JSON ", 1)[1]
+                   for line in stream if "BENCH_JSON " in line]
+    if not reports:
+        print(f"  BENCH DIFF: no BENCH_JSON line in {path}", file=sys.stderr)
+        sys.exit(1)
+    return json.loads(reports[-1])
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    baseline_path, output_path = sys.argv[1], sys.argv[2]
+    with open(baseline_path, "r", encoding="utf-8") as f:
+        baseline = json.load(f)
+    current = extract_report(output_path)
+
+    errors = []
+    missing = sorted(set(baseline) - set(current))
+    added = sorted(set(current) - set(baseline))
+    if missing:
+        errors.append(f"keys dropped from the report: {missing}")
+    if added:
+        errors.append(f"keys added (update {baseline_path} on purpose): "
+                      f"{added}")
+    for key, want in baseline.items():
+        if want is True and current.get(key) is not True:
+            errors.append(f"gate {key!r} regressed: baseline true, "
+                          f"now {current.get(key)!r}")
+
+    name = current.get("bench", "<unknown>")
+    if errors:
+        for e in errors:
+            print(f"  BENCH DIFF [{name}]: {e}", file=sys.stderr)
+        sys.exit(1)
+    print(f"  OK {name}: {len(current)} report keys match {baseline_path}")
+
+
+if __name__ == "__main__":
+    main()
