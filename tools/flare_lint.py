@@ -1,0 +1,479 @@
+#!/usr/bin/env python3
+"""flare-lint: repo-specific determinism static analysis.
+
+Every acceptance gate in this repo (chaos replay, migration benches, the
+byte-identical observability export) rests on one property the compiler
+never checks: two runs of the same seed are bit-for-bit identical.  This
+linter flags the source patterns that break that property:
+
+  unordered-iter   range-for over std::unordered_{map,set} — iteration
+                   order depends on hashing/layout, so anything
+                   order-sensitive (exports, FP accumulation, event
+                   scheduling) diverges between runs/platforms.
+  pointer-key      ordered containers/comparators keyed by pointer —
+                   ASLR makes the order differ run to run.
+  wall-clock       wall-clock / entropy sources (std::chrono clocks,
+                   time(), rand(), std::random_device) — simulation time
+                   and seeded flare::Rng are the only clocks allowed.
+  uninit-pod       scalar members without initializers in wire/option
+                   structs (…Packet/Header/Msg/Options/Config/Spec/
+                   Notice/Pair/Result) — uninitialized padding or fields
+                   leak indeterminate bytes into results and exports.
+  fp-accum-order   float accumulation whose order is unspecified
+                   (std::reduce / transform_reduce, or FP += inside an
+                   unordered-container loop) — FP addition does not
+                   commute bit-for-bit.
+
+Suppression etiquette: silence a single site with an inline comment on
+the same or the preceding line, and say WHY —
+
+    // flare-lint: allow(unordered-iter) integer sum, order-insensitive
+    for (const auto& [id, role] : roles_) total += role.bytes;
+
+A whole file opts out of one rule with `flare-lint: allow-file(<rule>)`
+in its first 40 lines.  Suppressions without a justification are legal
+but frowned upon in review.
+
+Exit status: 0 clean, 1 violations found, 2 usage error.
+`--json PATH` additionally writes a machine-readable report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+RULES = {
+    "unordered-iter": "iteration over std::unordered_{map,set} (hash order "
+                      "is not deterministic across runs/platforms)",
+    "pointer-key": "ordered container or comparator keyed by pointer "
+                   "(ASLR-dependent ordering)",
+    "wall-clock": "wall-clock or entropy source (use simulation time and "
+                  "seeded flare::Rng)",
+    "uninit-pod": "uninitialized scalar member in a wire/option struct",
+    "fp-accum-order": "floating-point accumulation with unspecified order",
+}
+
+DEFAULT_SCAN_DIRS = ("src", "bench", "tests")
+SOURCE_EXTS = (".cpp", ".hpp", ".h", ".cc", ".hh")
+
+UNORDERED_RE = re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<")
+POINTER_KEY_RE = re.compile(
+    r"\bstd::(?:map|set|multimap|multiset|less|greater)\s*<\s*"
+    r"(?:const\s+)?[\w:]+(?:\s*<[^<>]*>)?\s*\*")
+WALL_CLOCK_RES = (
+    re.compile(r"\bstd::chrono::(?:system_clock|steady_clock|"
+               r"high_resolution_clock)\b"),
+    re.compile(r"\bstd::random_device\b"),
+    # Free-function calls; lookbehind rejects members (.time(), ->time()),
+    # qualified names (foo::time) and identifiers merely ending in the name
+    # (run_time(), word boundary handles that via \b on identifier chars).
+    re.compile(r"(?<![\w.:>])(?:time|clock|gettimeofday|rand|srand|drand48)"
+               r"\s*\("),
+)
+STD_REDUCE_RE = re.compile(r"\bstd::(?:reduce|transform_reduce)\s*\(")
+
+# Struct names whose members must be initialized: anything that crosses a
+# wire, parametrizes a run, or is exported — indeterminate bytes there are
+# exactly the nondeterminism this tool exists to keep out.
+POD_STRUCT_RE = re.compile(
+    r"(?:Packet|Header|Msg|Message|Option|Options|Config|Spec|Notice|Pair|"
+    r"Result|Report|Role|Record|Snapshot|State|Stats|Counter)$")
+
+SCALAR_TYPES = {
+    "bool", "char", "short", "int", "long", "unsigned", "float", "double",
+    "u8", "u16", "u32", "u64", "i8", "i16", "i32", "i64", "f32", "f64",
+    "size_t", "std::size_t",
+    "std::uint8_t", "std::uint16_t", "std::uint32_t", "std::uint64_t",
+    "std::int8_t", "std::int16_t", "std::int32_t", "std::int64_t",
+    "uint8_t", "uint16_t", "uint32_t", "uint64_t",
+    "int8_t", "int16_t", "int32_t", "int64_t",
+    "SimTime", "sim::SimTime", "flare::SimTime",
+    "NodeId", "net::NodeId", "flare::net::NodeId",
+}
+
+ALLOW_RE = re.compile(r"flare-lint:\s*allow\(([^)]*)\)")
+ALLOW_FILE_RE = re.compile(r"flare-lint:\s*allow-file\(([^)]*)\)")
+
+FP_TYPES = {"float", "double", "f32", "f64"}
+
+
+@dataclass
+class Violation:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+    snippet: str
+
+
+@dataclass
+class FileReport:
+    violations: list = field(default_factory=list)
+    suppressed: int = 0
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line structure
+    so reported line numbers match the original file."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join(ch if ch == "\n" else " "
+                               for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + quote if j - i >= 2
+                       else text[i:j])
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def matching_bracket(text: str, open_pos: int, open_ch: str,
+                     close_ch: str) -> int:
+    """Index of the bracket closing text[open_pos]; -1 if unbalanced."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == open_ch:
+            depth += 1
+        elif text[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+IDENT_AFTER_TYPE_RE = re.compile(r"\s*&?\s*([A-Za-z_]\w*)\s*[;={(]")
+USING_RE = re.compile(r"\busing\s+([A-Za-z_]\w*)\s*=\s*$")
+
+
+def unordered_names(text: str) -> set:
+    """Names of variables/members/aliases declared with an unordered
+    container type anywhere in `text` (comment-stripped)."""
+    names = set()
+    aliases = set()
+    for m in UNORDERED_RE.finditer(text):
+        open_angle = text.find("<", m.start())
+        close = matching_bracket(text, open_angle, "<", ">")
+        if close < 0:
+            continue
+        # `using Alias = std::unordered_map<...>;` declares a type whose
+        # own declarations must be chased below.
+        before = text[max(0, m.start() - 160):m.start()]
+        um = USING_RE.search(before)
+        im = IDENT_AFTER_TYPE_RE.match(text, close + 1)
+        if um:
+            aliases.add(um.group(1))
+        elif im:
+            names.add(im.group(1))
+    for alias in aliases:
+        for dm in re.finditer(r"\b" + re.escape(alias) +
+                              r"\s+([A-Za-z_]\w*)\s*[;={]", text):
+            names.add(dm.group(1))
+    return names
+
+
+def fp_names(text: str) -> set:
+    """Names declared with floating-point type (accumulation candidates)."""
+    names = set()
+    for m in re.finditer(r"\b(?:float|double|f32|f64)\s+([A-Za-z_]\w*)\s*[;={]",
+                         text):
+        names.add(m.group(1))
+    return names
+
+
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(")
+
+
+def range_for_target(text: str, for_pos: int):
+    """For a range-for at `for_pos`, returns (target_name, body_start,
+    body_end, header_line) or None for a classic for."""
+    open_paren = text.find("(", for_pos)
+    close_paren = matching_bracket(text, open_paren, "(", ")")
+    if close_paren < 0:
+        return None
+    header = text[open_paren + 1:close_paren]
+    # Range-for: `decl : expr` with no `;` at top level.
+    if ";" in header:
+        return None
+    depth = 0
+    colon = -1
+    i = 0
+    while i < len(header):
+        ch = header[i]
+        if ch in "<([{":
+            depth += 1
+        elif ch in ">)]}":
+            depth -= 1
+        elif ch == ":" and depth == 0:
+            if i + 1 < len(header) and header[i + 1] == ":":
+                i += 2
+                continue
+            if i > 0 and header[i - 1] == ":":
+                i += 1
+                continue
+            colon = i
+            break
+        i += 1
+    if colon < 0:
+        return None
+    expr = header[colon + 1:].strip()
+    # The deciding token is the last identifier of the base expression,
+    # with a trailing argument-less call stripped: `roles_`, `x.roles_`,
+    # `sw->roles()`, `net.links()`.
+    expr = re.sub(r"\(\s*\)\s*$", "", expr.rstrip())
+    mm = re.search(r"([A-Za-z_]\w*)\s*$", expr)
+    if not mm:
+        return None
+    body_open = text.find("{", close_paren)
+    # Braceless range-for bodies: treat the single statement as the body.
+    if body_open < 0 or text[close_paren + 1:body_open].strip():
+        semi = text.find(";", close_paren)
+        return (mm.group(1), close_paren + 1,
+                semi if semi > 0 else close_paren + 1, line_of(text, for_pos))
+    body_close = matching_bracket(text, body_open, "{", "}")
+    if body_close < 0:
+        body_close = len(text)
+    return (mm.group(1), body_open, body_close, line_of(text, for_pos))
+
+
+def struct_bodies(text: str):
+    """Yields (struct_name, body_start, body_end) for struct/class
+    definitions whose name matches the wire/option pattern."""
+    for m in re.finditer(r"\b(?:struct|class)\s+([A-Za-z_]\w*)"
+                         r"(?:\s+final)?\s*(?::[^;{]*)?\{", text):
+        name = m.group(1)
+        if not POD_STRUCT_RE.search(name):
+            continue
+        body_open = text.rfind("{", m.start(), m.end())
+        body_close = matching_bracket(text, body_open, "{", "}")
+        if body_close < 0:
+            continue
+        yield name, body_open + 1, body_close
+
+
+MEMBER_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?((?:[A-Za-z_][\w:]*(?:\s*::\s*\w+)*))\s*"
+    r"(\*?)\s*([A-Za-z_]\w*)\s*;\s*$")
+
+
+def uninit_members(text: str, name: str, start: int, end: int):
+    """Scalar/pointer members without initializers, at struct depth only
+    (member lines inside nested braces — methods, nested types — are
+    skipped)."""
+    body = text[start:end]
+    depth = 0
+    offset = 0
+    for raw in body.split("\n"):
+        line = raw
+        if depth == 0:
+            m = MEMBER_DECL_RE.match(line)
+            if m:
+                typ, star, member = m.group(1), m.group(2), m.group(3)
+                if typ in ("static", "constexpr", "using", "typedef",
+                           "return", "friend"):
+                    pass
+                elif star == "*" or typ in SCALAR_TYPES:
+                    yield (line_of(text, start + offset), name, member, typ +
+                           ("*" if star else ""))
+        depth += line.count("{") - line.count("}")
+        depth = max(depth, 0)
+        offset += len(raw) + 1
+
+
+def gather_allows(lines):
+    """Per-line and per-file suppressions from the ORIGINAL source lines."""
+    line_allows = {}
+    file_allows = set()
+    for i, line in enumerate(lines):
+        m = ALLOW_FILE_RE.search(line)
+        if m and i < 40:
+            file_allows.update(r.strip() for r in m.group(1).split(","))
+        m = ALLOW_RE.search(line)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",")}
+            line_allows.setdefault(i + 1, set()).update(rules)
+    return line_allows, file_allows
+
+
+def is_suppressed(rule, line, line_allows, file_allows):
+    if rule in file_allows or "*" in file_allows:
+        return True
+    for candidate in (line, line - 1):
+        rules = line_allows.get(candidate)
+        if rules and (rule in rules or "*" in rules):
+            return True
+    return False
+
+
+def sibling_header_text(path: str) -> str:
+    base, ext = os.path.splitext(path)
+    if ext not in (".cpp", ".cc"):
+        return ""
+    for hext in (".hpp", ".h", ".hh"):
+        hp = base + hext
+        if os.path.exists(hp):
+            with open(hp, encoding="utf-8", errors="replace") as f:
+                return strip_comments_and_strings(f.read())
+    return ""
+
+
+def lint_file(path: str, rel: str, report: FileReport):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        original = f.read()
+    lines = original.split("\n")
+    text = strip_comments_and_strings(original)
+    line_allows, file_allows = gather_allows(lines)
+
+    def emit(rule, line, message):
+        if is_suppressed(rule, line, line_allows, file_allows):
+            report.suppressed += 1
+            return
+        snippet = lines[line - 1].strip() if 0 < line <= len(lines) else ""
+        report.violations.append(Violation(rel, line, rule, message, snippet))
+
+    # Members declared unordered in the sibling header are iterated from
+    # the .cpp — merge both declaration sets.
+    unames = unordered_names(text) | unordered_names(sibling_header_text(path))
+    fnames = fp_names(text)
+
+    # unordered-iter + fp-accum-order (inside unordered loop bodies).
+    for m in RANGE_FOR_RE.finditer(text):
+        rf = range_for_target(text, m.start())
+        if not rf:
+            continue
+        target, body_start, body_end, header_line = rf
+        if target not in unames:
+            continue
+        emit("unordered-iter", header_line,
+             f"range-for over unordered container '{target}' — emit in "
+             "sorted/indexed order, use an ordered container, or justify "
+             "with an inline allow")
+        body = text[body_start:body_end]
+        for am in re.finditer(r"([A-Za-z_]\w*)\s*\+=", body):
+            if am.group(1) in fnames:
+                emit("fp-accum-order",
+                     line_of(text, body_start + am.start()),
+                     f"floating-point accumulation into '{am.group(1)}' in "
+                     "unordered iteration order — FP addition does not "
+                     "commute bit-for-bit")
+
+    for m in POINTER_KEY_RE.finditer(text):
+        emit("pointer-key", line_of(text, m.start()),
+             "ordered container/comparator keyed by pointer — ASLR orders "
+             "it differently every run; key by stable id instead")
+
+    for rx in WALL_CLOCK_RES:
+        for m in rx.finditer(text):
+            emit("wall-clock", line_of(text, m.start()),
+                 f"'{m.group(0).strip()}' — wall clocks and entropy "
+                 "sources break replay; use sim time / seeded flare::Rng")
+
+    for m in STD_REDUCE_RE.finditer(text):
+        emit("fp-accum-order", line_of(text, m.start()),
+             "std::reduce/transform_reduce has unspecified evaluation "
+             "order — use std::accumulate (left fold) on reduce paths")
+
+    for name, start, end in struct_bodies(text):
+        for line, sname, member, typ in uninit_members(text, name, start,
+                                                       end):
+            emit("uninit-pod", line,
+                 f"{sname}::{member} ({typ}) has no initializer — "
+                 "indeterminate bytes leak into wire formats and exports")
+
+
+def collect_files(root: str, paths):
+    files = []
+    for p in paths:
+        ap = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(ap):
+            files.append(ap)
+            continue
+        for dirpath, _dirnames, filenames in os.walk(ap):
+            for fn in sorted(filenames):
+                if fn.endswith(SOURCE_EXTS):
+                    files.append(os.path.join(dirpath, fn))
+    return sorted(set(files))
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="flare-lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("paths", nargs="*",
+                    help="files/directories to scan (default: src bench "
+                         "tests under --root)")
+    ap.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: the checkout containing this tool)")
+    ap.add_argument("--json", metavar="PATH",
+                    help="write a machine-readable report to PATH")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print the rule catalogue and exit")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in sorted(RULES.items()):
+            print(f"{rule:16} {desc}")
+        return 0
+
+    paths = args.paths or [d for d in DEFAULT_SCAN_DIRS
+                           if os.path.isdir(os.path.join(args.root, d))]
+    files = collect_files(args.root, paths)
+    if not files:
+        print("flare-lint: no source files found", file=sys.stderr)
+        return 2
+
+    report = FileReport()
+    for path in files:
+        rel = os.path.relpath(path, args.root)
+        lint_file(path, rel, report)
+
+    report.violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    for v in report.violations:
+        print(f"{v.path}:{v.line}: [{v.rule}] {v.message}")
+        if v.snippet:
+            print(f"    {v.snippet}")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump({
+                "files_scanned": len(files),
+                "suppressed": report.suppressed,
+                "violations": [v.__dict__ for v in report.violations],
+            }, f, indent=2, sort_keys=True)
+            f.write("\n")
+
+    n = len(report.violations)
+    print(f"flare-lint: {len(files)} files, {n} violation(s), "
+          f"{report.suppressed} suppressed")
+    return 1 if n else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+// flare-lint fixture: a determinism-clean file — ordered exports, seeded
+// randomness, initialized wire structs, id-keyed containers, left-fold
+// accumulation.  The linter must report ZERO violations here.
+// NOT compiled; consumed by test_flare_lint.py.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <numeric>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+struct ExportHeader {
+  std::uint32_t version = 1;
+  std::uint64_t at_ps = 0;
+  double scale = 1.0;
+};
+
+struct Emitter {
+  std::unordered_map<std::uint32_t, double> staging_;
+  std::map<std::uint32_t, double> export_order_;
+
+  void emit(std::vector<double>& out) {
+    // Deterministic pattern: move the unordered staging area into an
+    // ordered container BEFORE iterating for export.
+    for (std::uint32_t id = 0; id < 16; ++id) {
+      auto it = staging_.find(id);
+      if (it != staging_.end()) export_order_[id] = it->second;
+    }
+    for (const auto& [id, v] : export_order_) out.push_back(v);
+  }
+
+  double fold(const std::vector<double>& v) const {
+    return std::accumulate(v.begin(), v.end(), 0.0);
+  }
+
+  std::uint64_t seeded_draw(std::uint64_t seed) const {
+    std::mt19937_64 rng(seed);
+    return rng();
+  }
+};

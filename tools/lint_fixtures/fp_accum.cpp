@@ -1,0 +1,31 @@
+// flare-lint fixture: fp-accum-order must fire on std::reduce /
+// transform_reduce and on floating-point accumulation inside unordered
+// iteration, and stay quiet on left-fold std::accumulate and integer
+// sums.  NOT compiled; consumed by test_flare_lint.py.
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+struct ReducePath {
+  std::unordered_map<int, double> grads_;
+
+  double unstable_sum() {
+    double acc = 0.0;
+    long count = 0;
+    // The loop itself is justified; the FP accumulation inside is not.
+    // flare-lint: allow(unordered-iter) counting only... or so it claims
+    for (const auto& [id, g] : grads_) {
+      acc += g;  // VIOLATION fp-accum-order
+      count += 1;  // integer: clean
+    }
+    return acc + static_cast<double>(count);
+  }
+
+  double unspecified_order(const std::vector<double>& v) {
+    return std::reduce(v.begin(), v.end());  // VIOLATION fp-accum-order
+  }
+
+  double left_fold(const std::vector<double>& v) {
+    return std::accumulate(v.begin(), v.end(), 0.0);  // clean
+  }
+};

@@ -1,0 +1,19 @@
+// flare-lint fixture: pointer-key must fire on ordered containers and
+// comparators keyed by pointer (ASLR-ordered), and stay quiet on
+// id-keyed containers.  NOT compiled; consumed by test_flare_lint.py.
+#include <map>
+#include <queue>
+#include <set>
+
+struct Link {
+  int id = 0;
+};
+
+struct Registry {
+  std::map<Link*, int> index_;          // VIOLATION pointer-key
+  std::set<const Link*> members_;       // VIOLATION pointer-key
+  std::less<Link*> by_address_;         // VIOLATION pointer-key
+  // flare-lint: allow(pointer-key) scratch map, never iterated or compared
+  std::map<Link*, int> scratch_;
+  std::map<int, Link*> by_id_;          // pointer VALUE is fine
+};

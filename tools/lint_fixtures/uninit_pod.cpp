@@ -1,0 +1,30 @@
+// flare-lint fixture: uninit-pod must fire on scalar/pointer members
+// without initializers in wire/option structs, and stay quiet on
+// initialized members, non-matching struct names, and method locals.
+// NOT compiled; consumed by test_flare_lint.py.
+#include <cstdint>
+#include <vector>
+
+struct WireHeader {
+  std::uint32_t id = 0;
+  std::uint32_t block;   // VIOLATION uninit-pod
+  double scale;          // VIOLATION uninit-pod
+  // flare-lint: allow(uninit-pod) always set by the only factory
+  std::uint16_t flags;
+  std::vector<int> payload;  // non-scalar: clean
+
+  std::uint32_t total() const {
+    std::uint32_t local;  // method local at nested depth: clean
+    local = id + block;
+    return local;
+  }
+};
+
+struct RunOptions {
+  bool verbose;  // VIOLATION uninit-pod
+  int iters = 1;
+};
+
+struct Scratch {  // name doesn't match the wire/option pattern: clean
+  int tmp;
+};

@@ -1,0 +1,34 @@
+// flare-lint fixture: unordered-iter must fire on range-for over
+// unordered containers, including members declared in-class, aliased
+// types, and set iteration — and stay quiet on suppressed sites and
+// ordered containers.  Accumulators are integral so only unordered-iter
+// is exercised here (fp_accum.cpp covers the FP rule).
+// NOT compiled; consumed by test_flare_lint.py.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+using Index = std::unordered_map<int, long>;
+
+struct Exporter {
+  std::unordered_map<int, long> by_id_;
+  std::unordered_set<int> seen_;
+  Index aliased_;
+  std::map<int, long> ordered_;
+
+  long dump() {
+    long total = 0;
+    for (const auto& [id, v] : by_id_) {  // VIOLATION unordered-iter
+      total += v;
+    }
+    for (int id : seen_) total += id;  // VIOLATION unordered-iter
+    for (const auto& [id, v] : aliased_) {  // VIOLATION unordered-iter
+      total += v;
+    }
+    // flare-lint: allow(unordered-iter) integer sum, order-insensitive
+    for (int id : seen_) total += id;
+    for (const auto& [id, v] : ordered_) total += v;  // ordered: clean
+    return total;
+  }
+};

@@ -1,0 +1,33 @@
+// flare-lint fixture: wall-clock must fire on wall clocks and entropy
+// sources, and stay quiet on simulation time and identifiers that merely
+// contain the banned names.  NOT compiled; consumed by test_flare_lint.py.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+struct Sim {
+  unsigned long long now_ps = 0;
+  unsigned long long run_time() const { return now_ps; }
+};
+
+inline unsigned long long bad_now() {
+  auto t = std::chrono::system_clock::now();  // VIOLATION wall-clock
+  (void)t;
+  return static_cast<unsigned long long>(time(nullptr));  // VIOLATION
+}
+
+inline int bad_entropy() {
+  std::random_device rd;  // VIOLATION wall-clock
+  return static_cast<int>(rd()) + rand();  // VIOLATION wall-clock
+}
+
+inline long long allowed_timer() {
+  // flare-lint: allow(wall-clock) host-side benchmark timer, not sim state
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+inline unsigned long long good(const Sim& sim) {
+  std::mt19937_64 rng(42);  // seeded PRNG: clean
+  return sim.run_time() + rng();
+}

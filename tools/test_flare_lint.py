@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Golden-fixture tests for tools/flare_lint.py.
+
+Each fixture under tools/lint_fixtures/ carries known violations (marked
+with VIOLATION comments) plus a suppressed instance of the same hazard;
+these tests pin the exact (rule, line) set the linter must report, the
+suppression accounting, the JSON report shape, and the CLI exit-code
+contract (non-zero on violations, zero on a clean tree).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(TOOLS_DIR, "lint_fixtures")
+LINT = os.path.join(TOOLS_DIR, "flare_lint.py")
+
+sys.path.insert(0, TOOLS_DIR)
+import flare_lint  # noqa: E402
+
+
+def lint(fixture):
+    """Runs the linter in-process on one fixture; returns (violations,
+    suppressed) with violations as a set of (rule, line)."""
+    report = flare_lint.FileReport()
+    path = os.path.join(FIXTURES, fixture)
+    flare_lint.lint_file(path, fixture, report)
+    return ({(v.rule, v.line) for v in report.violations}, report.suppressed)
+
+
+class FixtureRules(unittest.TestCase):
+    def test_unordered_iter_fires(self):
+        violations, suppressed = lint("unordered_iter.cpp")
+        self.assertEqual(violations, {
+            ("unordered-iter", 22),  # member
+            ("unordered-iter", 25),  # unordered_set
+            ("unordered-iter", 26),  # via `using` alias
+        })
+        self.assertEqual(suppressed, 1)
+
+    def test_pointer_key_fires(self):
+        violations, suppressed = lint("pointer_key.cpp")
+        self.assertEqual(violations, {
+            ("pointer-key", 13),  # std::map<Link*, ...>
+            ("pointer-key", 14),  # std::set<const Link*>
+            ("pointer-key", 15),  # std::less<Link*>
+        })
+        self.assertEqual(suppressed, 1)
+
+    def test_wall_clock_fires(self):
+        violations, suppressed = lint("wall_clock.cpp")
+        self.assertEqual(violations, {
+            ("wall-clock", 15),  # std::chrono::system_clock
+            ("wall-clock", 17),  # time(nullptr)
+            ("wall-clock", 21),  # std::random_device
+            ("wall-clock", 22),  # rand()
+        })
+        self.assertEqual(suppressed, 1)
+
+    def test_uninit_pod_fires(self):
+        violations, suppressed = lint("uninit_pod.cpp")
+        self.assertEqual(violations, {
+            ("uninit-pod", 10),  # u32 without initializer
+            ("uninit-pod", 11),  # double without initializer
+            ("uninit-pod", 24),  # bool in an Options struct
+        })
+        self.assertEqual(suppressed, 1)
+
+    def test_fp_accum_fires(self):
+        violations, suppressed = lint("fp_accum.cpp")
+        self.assertEqual(violations, {
+            ("fp-accum-order", 18),  # FP += inside unordered loop
+            ("fp-accum-order", 25),  # std::reduce
+        })
+        # The unordered-iter allow does NOT silence the FP rule.
+        self.assertEqual(suppressed, 1)
+
+    def test_clean_fixture_is_clean(self):
+        violations, suppressed = lint("clean.cpp")
+        self.assertEqual(violations, set())
+        self.assertEqual(suppressed, 0)
+
+
+class CliContract(unittest.TestCase):
+    def run_cli(self, *args):
+        return subprocess.run(
+            [sys.executable, LINT, *args],
+            capture_output=True, text=True, check=False)
+
+    def test_exits_nonzero_on_violations_with_json_report(self):
+        with tempfile.TemporaryDirectory() as td:
+            out = os.path.join(td, "report.json")
+            proc = self.run_cli("--json", out,
+                                os.path.join(FIXTURES, "wall_clock.cpp"))
+            self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+            with open(out, encoding="utf-8") as f:
+                report = json.load(f)
+            self.assertEqual(report["files_scanned"], 1)
+            self.assertEqual(report["suppressed"], 1)
+            rules = {v["rule"] for v in report["violations"]}
+            self.assertEqual(rules, {"wall-clock"})
+            for v in report["violations"]:
+                for key in ("path", "line", "rule", "message", "snippet"):
+                    self.assertIn(key, v)
+
+    def test_exits_zero_on_clean_file(self):
+        proc = self.run_cli(os.path.join(FIXTURES, "clean.cpp"))
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_real_tree_is_clean(self):
+        # The determinism contract for the repo itself: src/ bench/ tests/
+        # lint clean (fixed or explicitly justified via inline allows).
+        proc = self.run_cli()
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_list_rules(self):
+        proc = self.run_cli("--list-rules")
+        self.assertEqual(proc.returncode, 0)
+        for rule in flare_lint.RULES:
+            self.assertIn(rule, proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
