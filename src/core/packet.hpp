@@ -69,8 +69,8 @@ inline const void* dense_payload(const Packet& p) { return p.payload.data(); }
 
 /// A single sparse (index, value) pair staged on the host side.
 struct SparsePair {
-  u32 index;   ///< block-relative element index
-  f64 value;   ///< staged as f64; narrowed to dtype at pack time
+  u32 index = 0;    ///< block-relative element index
+  f64 value = 0.0;  ///< staged as f64; narrowed to dtype at pack time
 };
 
 /// Builds a sparse packet with `pairs` (SoA layout: indices then values).

@@ -86,6 +86,7 @@ void SparseAggregator::reset() {
   // their working memory, or the pool's occupancy telemetry would report a
   // leak for the lifetime of the install.
   const SimTime now = host_.simulator().now();
+  // flare-lint: allow(unordered-iter) commutative integer pool releases
   for (auto& [id, blk] : blocks_) {
     pool_.release(store_footprint() * blk.stores.size(), now);
   }

@@ -169,6 +169,7 @@ class Switch final : public Node, public core::EngineHost {
   /// the installs themselves stay resident (persistent sessions).
   u64 engine_pool_in_use() const {
     u64 total = 0;
+    // flare-lint: allow(unordered-iter) integer sum, order-insensitive
     for (const auto& [id, role] : roles_) {
       total += role.engine->pool().in_use();
     }

@@ -158,6 +158,7 @@ void PsPinUnit::emit(core::Packet&& pkt, SimTime when) {
 
 u64 PsPinUnit::working_memory_high_water() const {
   u64 total = 0;
+  // flare-lint: allow(unordered-iter) integer sum, order-insensitive
   for (const auto& [id, engine] : engines_)
     total += engine->pool().high_water();
   return total;

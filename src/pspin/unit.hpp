@@ -67,7 +67,7 @@ class PsPinUnit final : public core::EngineHost {
  private:
   struct QueuedPacket {
     std::shared_ptr<const core::Packet> pkt;
-    core::AllreduceEngine* engine;
+    core::AllreduceEngine* engine = nullptr;
   };
   struct Subset {
     std::vector<u32> core_ids;
