@@ -283,6 +283,19 @@ bool NetworkManager::install(const ReductionTree& tree,
 void NetworkManager::uninstall(const ReductionTree& tree, u32 allreduce_id) {
   for (const TreeSwitchEntry& e : tree.switches)
     e.sw->uninstall_reduce(allreduce_id);
+#if FLARE_VALIDATE_ENABLED
+  // Op-release audit: after an uninstall no switch of the tree may still
+  // hold a role for the id (a survivor would pin a slot and a stale
+  // engine for the install's lifetime — invisible until admission jams).
+  for (const TreeSwitchEntry& e : tree.switches) {
+    if (e.sw->role(allreduce_id) != nullptr) {
+      validate::fail("op-release",
+                     "switch '" + e.sw->name() + "' still holds a role " +
+                         "for allreduce " + std::to_string(allreduce_id) +
+                         " after uninstall");
+    }
+  }
+#endif
   if (on_release_) on_release_(allreduce_id);
 }
 

@@ -1,0 +1,42 @@
+#include "common/validate.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace flare::validate {
+
+namespace {
+
+// The simulators are single-threaded; plain globals suffice.
+u64 g_violations = 0;
+
+void default_handler(const Violation& v) {
+  std::fprintf(stderr, "FLARE_VALIDATE violation [%s]: %s\n",
+               v.check.c_str(), v.detail.c_str());
+  std::abort();
+}
+
+Handler& handler() {
+  static Handler h = default_handler;
+  return h;
+}
+
+}  // namespace
+
+Handler set_handler(Handler h) {
+  Handler prev = std::move(handler());
+  handler() = h ? std::move(h) : default_handler;
+  return prev;
+}
+
+u64 violations_seen() { return g_violations; }
+
+void reset_violations() { g_violations = 0; }
+
+void fail(const char* check, std::string detail) {
+  g_violations += 1;
+  handler()(Violation{check, std::move(detail)});
+}
+
+}  // namespace flare::validate

@@ -1,0 +1,71 @@
+// FLARE_VALIDATE invariant plane: compiled-in runtime checks of the
+// determinism/conservation contracts static analysis cannot see.
+//
+// flare-lint (tools/flare_lint.py) catches the SOURCE patterns that break
+// replay — unordered iteration, wall clocks, uninitialized wire structs.
+// This plane checks the DYNAMIC invariants behind the same contract, at
+// the moments they can silently break:
+//
+//   * calendar monotonicity — the event calendar dispatches in
+//     non-decreasing time order (a comparator or heap bug here reorders
+//     every downstream tie-break);
+//   * attribution conservation — on every metrics collect / monitor
+//     sample, each link's busy_by_trace() buckets sum EXACTLY to
+//     busy_cum_ps() (the self-excluding migration trigger reads garbage
+//     otherwise);
+//   * occupancy & pool audits — a switch's occupancy gauge tracks its
+//     role table at every install/uninstall, and a persistent engine
+//     reset returns every acquired hash/array-store byte (the sparse
+//     leak class chaos tests can only sample);
+//   * packet lifecycle — every packet offered to a link carries the
+//     payload its kind promises (reduce traffic has a core::Packet and a
+//     live id; host messages have a HostMsg and a routable destination).
+//
+// The checks compile in only under -DFLARE_VALIDATE=ON (CMake option):
+// hot paths in normal builds pay nothing, and CI runs the full suite in
+// a dedicated FLARE_VALIDATE configuration.  A violation aborts with the
+// failing check's name; tests install a capturing handler instead and
+// prove the plane fires on seeded injected violations (see
+// tests/validate_test.cpp and the debug_* injection backdoors).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/units.hpp"
+
+#if defined(FLARE_VALIDATE)
+#define FLARE_VALIDATE_ENABLED 1
+#else
+#define FLARE_VALIDATE_ENABLED 0
+#endif
+
+namespace flare::validate {
+
+/// True when the invariant plane is compiled in (tests skip otherwise).
+constexpr bool enabled() { return FLARE_VALIDATE_ENABLED != 0; }
+
+/// One failed invariant: the check's stable name (e.g.
+/// "calendar-monotonic", "attribution-conservation") plus detail text.
+struct Violation {
+  std::string check;
+  std::string detail;
+};
+
+using Handler = std::function<void(const Violation&)>;
+
+/// Installs a violation handler and returns the previous one.  The
+/// default handler prints the violation and aborts — an invariant breach
+/// in a validating build is never survivable by accident.  Tests install
+/// a capturing handler to assert the plane fires.
+Handler set_handler(Handler h);
+
+/// Violations reported since construction / the last reset (counted even
+/// when a capturing handler swallows them).
+u64 violations_seen();
+void reset_violations();
+
+/// Reports a failed invariant to the installed handler.
+void fail(const char* check, std::string detail);
+
+}  // namespace flare::validate

@@ -8,6 +8,9 @@ namespace flare::net {
 
 void Link::send(NetPacket&& pkt) {
   FLARE_ASSERT_MSG(deliver_ != nullptr, "link has no receiver");
+#if FLARE_VALIDATE_ENABLED
+  validate_packet_lifecycle(pkt);
+#endif
   if (!up_) {
     dropped_ += 1;  // offered to a dark fiber: vanishes without a trace
     return;

@@ -14,6 +14,7 @@
 #include <map>
 
 #include "common/stats.hpp"
+#include "common/validate.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
 
@@ -98,6 +99,30 @@ class Link {
     return static_cast<u64>(static_cast<f64>(queue_delay_ps(now)) *
                             bandwidth_bps_ / 8.0 / kPsPerSecond);
   }
+
+#if FLARE_VALIDATE_ENABLED
+  /// FLARE_VALIDATE conservation audit: the attribution buckets must sum
+  /// EXACTLY to the busy-time counter — every serialized packet lands in
+  /// one bucket, dropped packets in none.  The self-excluding migration
+  /// trigger divides by this identity; run on every metrics collect and
+  /// monitor sample.
+  void validate_attribution() const {
+    u64 sum = 0;
+    for (const auto& [trace, ps] : busy_by_trace_) sum += ps;
+    if (sum != busy_cum_) {
+      validate::fail("attribution-conservation",
+                     "link '" + name_ + "': busy_by_trace sums to " +
+                         std::to_string(sum) + " but busy_cum_ps is " +
+                         std::to_string(busy_cum_));
+    }
+  }
+  /// Validator-test backdoor: inflates one attribution bucket WITHOUT
+  /// touching busy_cum_ps(), deliberately breaking conservation so
+  /// tests/validate_test.cpp can prove the audit fires.
+  void debug_skew_attribution(u32 trace, u64 ps) {
+    busy_by_trace_[trace] += ps;
+  }
+#endif
 
  private:
   sim::Simulator& sim_;

@@ -123,6 +123,17 @@ class Network {
   void remove_fault_listener(u64 token);
   void notify_fault(const FaultNotice& notice);
 
+#if FLARE_VALIDATE_ENABLED
+  /// FLARE_VALIDATE fabric-wide audit: attribution conservation on every
+  /// link plus occupancy consistency on every switch.  The collective and
+  /// service layers run this at op release / job completion; tests may
+  /// call it at any quiescent point.
+  void validate_audit() const {
+    for (const auto& link : links_) link->validate_attribution();
+    for (const Switch* sw : switches_) sw->validate_occupancy();
+  }
+#endif
+
   // --- fault accounting --------------------------------------------------
   void count_corrupt_drop() { corrupt_dropped_ += 1; }
   void count_stale_reduce_drop() { stale_reduce_dropped_ += 1; }

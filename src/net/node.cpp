@@ -93,6 +93,9 @@ bool Switch::install_reduce(const core::AllreduceConfig& cfg,
   auto [it, inserted] = roles_.try_emplace(cfg.id, std::move(role));
   FLARE_ASSERT_MSG(inserted, "allreduce id already installed on switch");
   occupancy_.set(roles_.size(), net_.sim().now());
+#if FLARE_VALIDATE_ENABLED
+  validate_occupancy();
+#endif
   return true;
 }
 
@@ -100,6 +103,9 @@ void Switch::uninstall_reduce(u32 allreduce_id) {
   if (roles_.erase(allreduce_id) != 0) {
     occupancy_.set(roles_.size(), net_.sim().now());
   }
+#if FLARE_VALIDATE_ENABLED
+  validate_occupancy();
+#endif
 }
 
 bool Switch::reset_reduce(u32 allreduce_id) {
@@ -108,8 +114,25 @@ bool Switch::reset_reduce(u32 allreduce_id) {
   it->second.engine->reset();
   it->second.completed.clear();
   it->second.completed_sparse.clear();
+#if FLARE_VALIDATE_ENABLED
+  // A persistent reset must return every acquired hash/array-store byte:
+  // anything still out after engine->reset() is the sparse leak class
+  // the chaos tests can only sample — here it is checked on EVERY reset.
+  if (const u64 in_use = it->second.engine->pool().in_use(); in_use != 0) {
+    validate::fail("engine-pool-leak",
+                   "switch '" + name_ + "': engine for allreduce " +
+                       std::to_string(allreduce_id) + " still holds " +
+                       std::to_string(in_use) + " pool bytes after reset");
+  }
+#endif
   return true;
 }
+
+#if FLARE_VALIDATE_ENABLED
+void Switch::debug_leak_occupancy() {
+  occupancy_.add(1, net_.sim().now());
+}
+#endif
 
 const ReduceRole* Switch::role(u32 allreduce_id) const {
   auto it = roles_.find(allreduce_id);

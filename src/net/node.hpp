@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "common/validate.hpp"
 #include "core/allreduce_engine.hpp"
 #include "net/link.hpp"
 
@@ -183,6 +184,25 @@ class Switch final : public Node, public core::EngineHost {
   void emit(core::Packet&& pkt, SimTime when) override;
 
   u64 reduce_packets_processed() const { return reduce_packets_; }
+
+#if FLARE_VALIDATE_ENABLED
+  /// FLARE_VALIDATE occupancy audit: the gauge the control plane reads
+  /// for admission must track the role table exactly.  Run after every
+  /// install/uninstall and on demand by fabric-wide audits.
+  void validate_occupancy() const {
+    if (occupancy_.current() != roles_.size()) {
+      validate::fail("switch-occupancy",
+                     "switch '" + name_ + "': occupancy gauge reads " +
+                         std::to_string(occupancy_.current()) + " but " +
+                         std::to_string(roles_.size()) +
+                         " roles are installed");
+    }
+  }
+  /// Validator-test backdoor: bumps the occupancy gauge WITHOUT
+  /// installing a role — the leaked-slot bug class — so
+  /// tests/validate_test.cpp can prove the audit fires.
+  void debug_leak_occupancy();
+#endif
 
  private:
   void forward_host_msg(NetPacket&& pkt);

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/validate.hpp"
 #include "core/packet.hpp"
 #include "core/sparse_store.hpp"
 #include "core/typed_buffer.hpp"
@@ -71,5 +72,40 @@ struct NetPacket {
   std::shared_ptr<const core::Packet> reduce;
   std::shared_ptr<const HostMsg> msg;
 };
+
+#if FLARE_VALIDATE_ENABLED
+/// FLARE_VALIDATE packet-lifecycle invariant: every packet offered to a
+/// link carries the payload its kind promises.  A violation here means
+/// some data plane built a frame by hand and skipped a field — the kind
+/// of bug that surfaces many hops later as a nonsense aggregate.
+/// Called by Link::send() on every hop in validating builds.
+inline void validate_packet_lifecycle(const NetPacket& pkt) {
+  if (pkt.wire_bytes == 0) {
+    validate::fail("packet-lifecycle", "packet with zero wire_bytes");
+  }
+  switch (pkt.kind) {
+    case PacketKind::kHostMsg:
+      if (!pkt.msg) {
+        validate::fail("packet-lifecycle", "kHostMsg without a HostMsg");
+      }
+      if (pkt.dst_node == kInvalidNode) {
+        validate::fail("packet-lifecycle",
+                       "kHostMsg without a routable dst_node");
+      }
+      break;
+    case PacketKind::kReduceUp:
+    case PacketKind::kReduceDown:
+      if (!pkt.reduce) {
+        validate::fail("packet-lifecycle",
+                       "reduce packet without a core::Packet");
+      }
+      if (pkt.allreduce_id == 0) {
+        validate::fail("packet-lifecycle",
+                       "reduce packet with null allreduce id");
+      }
+      break;
+  }
+}
+#endif
 
 }  // namespace flare::net

@@ -25,6 +25,11 @@ void CongestionMonitor::sample() {
   const bool fresh_window = !sampled_ || now > last_sample_ps_;
   for (u32 i = 0; i < snap_.links.size(); ++i) {
     const Link& link = net_.link(i);
+#if FLARE_VALIDATE_ENABLED
+    // The per-trace EWMAs below are only a sound foreign-heat signal
+    // while attribution conserves busy time exactly; audit per sample.
+    link.validate_attribution();
+#endif
     LinkCongestion& lc = snap_.links[i];
     if (fresh_window) {
       const u64 busy = link.busy_cum_ps();

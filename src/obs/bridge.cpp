@@ -32,6 +32,11 @@ void register_network_metrics(MetricsRegistry& reg, net::Network& net) {
     const bool fresh = !state->sampled || now > state->last_at;
     for (u32 i = 0; i < net.num_links(); ++i) {
       net::Link& link = net.link(i);
+#if FLARE_VALIDATE_ENABLED
+      // Exporters divide by the conservation identity (per-trace sums ==
+      // busy total); audit it on the same schedule they read it.
+      link.validate_attribution();
+#endif
       const Labels l{{"link", link_label(link, i)}};
       r.counter("flare_link_busy_ps_total",
                 "Cumulative serialization picoseconds per link", l)

@@ -349,7 +349,15 @@ void AllreduceService::on_job_done(u32 job,
   // Destroy the ActiveJob (and release its switch state) off this
   // callback's stack: the job's own op is still executing it.  The release
   // listener then re-triggers admission for queued jobs.
-  net_.sim().schedule_after(0, [this, job] { jobs_.erase(job); });
+  net_.sim().schedule_after(0, [this, job] {
+    jobs_.erase(job);
+#if FLARE_VALIDATE_ENABLED
+    // Job teardown is the service plane's quiescent point: the install
+    // was just released, so the fabric-wide conservation and occupancy
+    // invariants must hold right now.
+    net_.validate_audit();
+#endif
+  });
 }
 
 void AllreduceService::start_next_iteration(u32 job) {

@@ -11,6 +11,17 @@ void Simulator::schedule_at(SimTime at, EventFn fn) {
 }
 
 void Simulator::dispatch(Event&& ev) {
+#if FLARE_VALIDATE_ENABLED
+  // schedule_at() rejects past events at insertion; this catches the
+  // class it cannot see — a comparator or heap bug handing events out in
+  // the wrong order, which would silently reorder every same-time
+  // tie-break downstream.
+  if (ev.at < now_) {
+    validate::fail("calendar-monotonic",
+                   "event at t=" + std::to_string(ev.at) +
+                       " dispatched after now=" + std::to_string(now_));
+  }
+#endif
   now_ = ev.at;
   events_run_ += 1;
   ev.fn();

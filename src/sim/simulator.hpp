@@ -16,6 +16,7 @@
 
 #include "common/assert.hpp"
 #include "common/units.hpp"
+#include "common/validate.hpp"
 
 namespace flare::sim {
 
@@ -54,6 +55,17 @@ class Simulator {
   bool empty() const { return queue_.empty(); }
   u64 pending_events() const { return queue_.size(); }
   u64 total_events_run() const { return events_run_; }
+
+#if FLARE_VALIDATE_ENABLED
+  /// Validator-test backdoor: enqueues an event BYPASSING the
+  /// schedule-time past-event assert, so tests/validate_test.cpp can
+  /// seed an out-of-order event and prove the dispatch-time
+  /// calendar-monotonic check fires.  Exists only in FLARE_VALIDATE
+  /// builds; never call it outside that test.
+  void debug_inject_at(SimTime at, EventFn fn) {
+    queue_.push(Event{at, next_seq_++, std::move(fn)});
+  }
+#endif
 
  private:
   struct Event {

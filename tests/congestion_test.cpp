@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <string>
 
 #include "coll/communicator.hpp"
@@ -68,6 +69,17 @@ std::vector<Host*> first_hosts(const BuiltTopology& topo, u32 n) {
   return {topo.hosts.begin(), topo.hosts.begin() + n};
 }
 
+/// Wire-only filler frame for the Link micro-tests below: a minimal but
+/// WELL-FORMED host message (the FLARE_VALIDATE packet-lifecycle check
+/// rejects payloadless frames, and these tests only care about bytes).
+NetPacket filler(u64 bytes) {
+  NetPacket np;
+  np.dst_node = 0;
+  np.wire_bytes = bytes;
+  np.msg = std::make_shared<HostMsg>();
+  return np;
+}
+
 // ------------------------------------------------------------------ Link --
 
 TEST(LinkCounters, WindowedUtilizationRecoversAfterIdle) {
@@ -77,9 +89,7 @@ TEST(LinkCounters, WindowedUtilizationRecoversAfterIdle) {
   // 10 x 1250 B = 1000 ns busy committed at t=0.
   sim.schedule_at(0, [&] {
     for (int i = 0; i < 10; ++i) {
-      NetPacket p;
-      p.wire_bytes = 1250;
-      link.send(std::move(p));
+      link.send(filler(1250));
     }
   });
   sim.run();
@@ -102,8 +112,7 @@ TEST(LinkCounters, QueueBacklogIsVisible) {
   SimTime delay = 0;
   u64 queued = 0;
   sim.schedule_at(0, [&] {
-    NetPacket a;
-    a.wire_bytes = 125000;  // 10 us of serialization
+    NetPacket a = filler(125000);  // 10 us of serialization
     link.send(std::move(a));
     delay = link.queue_delay_ps(sim.now());
     queued = link.queued_bytes(sim.now());

@@ -30,8 +30,7 @@ TEST(Link, SerializationPlusLatency) {
   Link link(sim, 100e9, 500 * kPsPerNs);  // 100 Gbps, 500 ns
   SimTime arrived = 0;
   link.set_deliver([&](NetPacket&&) { arrived = sim.now(); });
-  NetPacket p;
-  p.wire_bytes = 1250;  // 100 ns at 100 Gbps
+  NetPacket p = make_msg(0, 1, 0, 1250);  // 100 ns at 100 Gbps
   sim.schedule_at(0, [&] { link.send(std::move(p)); });
   sim.run();
   EXPECT_EQ(arrived, 100 * kPsPerNs + 500 * kPsPerNs);
@@ -46,9 +45,7 @@ TEST(Link, BackToBackPacketsQueueFifo) {
   link.set_deliver([&](NetPacket&&) { arrivals.push_back(sim.now()); });
   sim.schedule_at(0, [&] {
     for (int i = 0; i < 3; ++i) {
-      NetPacket p;
-      p.wire_bytes = 1250;
-      link.send(std::move(p));
+      link.send(make_msg(0, 1, 0, 1250));
     }
   });
   sim.run();
