@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Fixture tests for tools/check_obs_json.py.
+
+The script is CI's schema gate on the observability plane's exported
+artifacts; these tests pin each checker against minimal valid documents
+and targeted corruptions: trace-event structure and span balance,
+metrics-family ordering and histogram bucket consistency, and Prometheus
+HELP/TYPE coverage — plus the exit-code contract (0 valid / 1 violation /
+2 usage).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+CHECK = os.path.join(TOOLS_DIR, "check_obs_json.py")
+
+VALID_TRACE = {
+    "traceEvents": [
+        {"ph": "M", "pid": 1, "tid": 0, "ts": 0, "name": "thread_name",
+         "args": {"name": "fabric"}},
+        {"ph": "B", "pid": 1, "tid": 7, "ts": 1.5, "name": "iteration",
+         "cat": "iteration"},
+        {"ph": "i", "pid": 1, "tid": 0, "ts": 2.0, "name": "link-down",
+         "cat": "fault", "s": "t"},
+        {"ph": "E", "pid": 1, "tid": 7, "ts": 2.5},
+    ]
+}
+
+VALID_METRICS = {
+    "metrics": [
+        {"name": "alpha", "type": "counter",
+         "series": [{"labels": {"x": "1"}, "value": 2}]},
+        {"name": "lat", "type": "histogram",
+         "series": [{"labels": {}, "count": 3, "sum": 6.0,
+                     "buckets": [{"le": "1", "count": 2},
+                                 {"le": "+Inf", "count": 1}]}]},
+        {"name": "zeta", "type": "gauge",
+         "series": [{"labels": {}, "value": 1.5}]},
+    ]
+}
+
+VALID_PROM = (
+    "# HELP alpha a counter\n"
+    "# TYPE alpha counter\n"
+    'alpha{x="1"} 2\n'
+    "# HELP lat a histogram\n"
+    "# TYPE lat histogram\n"
+    'lat_bucket{le="1"} 2\n'
+    'lat_bucket{le="+Inf"} 3\n'
+    "lat_sum 6.0\n"
+    "lat_count 3\n"
+)
+
+
+def run_check(flag, content, as_text=False):
+    """Writes `content` (JSON-dumped unless as_text) to a temp file and
+    runs the CLI with one artifact flag; returns the completed process."""
+    with tempfile.TemporaryDirectory() as d:
+        path = os.path.join(d, "artifact")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content if as_text else json.dumps(content))
+        return subprocess.run([sys.executable, CHECK, flag, path],
+                              capture_output=True, text=True)
+
+
+def corrupted_trace(mutate):
+    doc = json.loads(json.dumps(VALID_TRACE))
+    mutate(doc)
+    return doc
+
+
+class TraceSchema(unittest.TestCase):
+    def test_valid_trace_passes(self):
+        p = run_check("--trace", VALID_TRACE)
+        self.assertEqual(p.returncode, 0, p.stderr)
+        self.assertIn("spans balanced", p.stdout)
+
+    def test_missing_trace_events_fails(self):
+        p = run_check("--trace", {"events": []})
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("traceEvents", p.stderr)
+
+    def test_bad_phase_fails(self):
+        doc = corrupted_trace(lambda d: d["traceEvents"][1].update(ph="X"))
+        p = run_check("--trace", doc)
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("'X'", p.stderr)
+
+    def test_unbalanced_span_fails(self):
+        doc = corrupted_trace(lambda d: d["traceEvents"].pop())  # drop the E
+        p = run_check("--trace", doc)
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("unclosed", p.stderr)
+
+    def test_end_without_begin_fails(self):
+        doc = corrupted_trace(lambda d: d["traceEvents"].pop(1))  # drop the B
+        p = run_check("--trace", doc)
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("no open span", p.stderr)
+
+    def test_negative_timestamp_fails(self):
+        doc = corrupted_trace(lambda d: d["traceEvents"][2].update(ts=-1))
+        p = run_check("--trace", doc)
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("ts", p.stderr)
+
+
+def corrupted_metrics(mutate):
+    doc = json.loads(json.dumps(VALID_METRICS))
+    mutate(doc)
+    return doc
+
+
+class MetricsSchema(unittest.TestCase):
+    def test_valid_metrics_pass(self):
+        p = run_check("--metrics", VALID_METRICS)
+        self.assertEqual(p.returncode, 0, p.stderr)
+        self.assertIn("3 families", p.stdout)
+
+    def test_unsorted_families_fail(self):
+        p = run_check("--metrics",
+                      corrupted_metrics(lambda d: d["metrics"].reverse()))
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("name order", p.stderr)
+
+    def test_bucket_sum_mismatch_fails(self):
+        def mutate(d):
+            d["metrics"][1]["series"][0]["buckets"][0]["count"] = 9
+        p = run_check("--metrics", corrupted_metrics(mutate))
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("bucket counts sum", p.stderr)
+
+    def test_missing_inf_bucket_fails(self):
+        def mutate(d):
+            d["metrics"][1]["series"][0]["buckets"].pop()
+        p = run_check("--metrics", corrupted_metrics(mutate))
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("+Inf", p.stderr)
+
+    def test_bad_family_type_fails(self):
+        def mutate(d):
+            d["metrics"][0]["type"] = "summary"
+        p = run_check("--metrics", corrupted_metrics(mutate))
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("summary", p.stderr)
+
+
+class PromSchema(unittest.TestCase):
+    def test_valid_prom_passes(self):
+        p = run_check("--prom", VALID_PROM, as_text=True)
+        self.assertEqual(p.returncode, 0, p.stderr)
+
+    def test_untyped_sample_fails(self):
+        p = run_check("--prom", VALID_PROM + "orphan 1\n", as_text=True)
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("no # TYPE", p.stderr)
+
+    def test_empty_exposition_fails(self):
+        p = run_check("--prom", "\n", as_text=True)
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("no samples", p.stderr)
+
+
+class Cli(unittest.TestCase):
+    def test_no_flags_is_usage_error(self):
+        p = subprocess.run([sys.executable, CHECK],
+                           capture_output=True, text=True)
+        self.assertEqual(p.returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

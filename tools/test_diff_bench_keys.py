@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Fixture tests for tools/diff_bench_keys.py.
+
+The script is CI's schema gate on every bench's BENCH_JSON report line;
+these tests pin the contract with synthetic captures: key-set equality
+(missing AND added keys fail), boolean-gate regression detection (a
+baseline `true` must stay `true`), last-line-wins extraction, and the
+exit-code protocol (0 match / 1 mismatch / 1 no report / 2 usage).
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+DIFF = os.path.join(TOOLS_DIR, "diff_bench_keys.py")
+
+BASELINE = '{"bench": "demo", "elapsed_s": 1.5, "deterministic": true}\n'
+
+
+def run_diff(baseline_text, output_text):
+    """Writes both sides to temp files and runs the CLI; returns the
+    completed process (stdout/stderr captured as text)."""
+    with tempfile.TemporaryDirectory() as d:
+        base = os.path.join(d, "baseline.json")
+        out = os.path.join(d, "out.txt")
+        with open(base, "w", encoding="utf-8") as f:
+            f.write(baseline_text)
+        with open(out, "w", encoding="utf-8") as f:
+            f.write(output_text)
+        return subprocess.run([sys.executable, DIFF, base, out],
+                              capture_output=True, text=True)
+
+
+def capture(report_json):
+    """Wraps a JSON report into a plausible bench stdout capture."""
+    return ("bench chatter line\n"
+            f"BENCH_JSON {report_json}\n"
+            "trailing chatter\n")
+
+
+class KeySetContract(unittest.TestCase):
+    def test_matching_report_passes(self):
+        p = run_diff(BASELINE, capture(BASELINE.strip()))
+        self.assertEqual(p.returncode, 0, p.stderr)
+        self.assertIn("OK demo", p.stdout)
+
+    def test_missing_key_fails(self):
+        p = run_diff(BASELINE,
+                     capture('{"bench": "demo", "deterministic": true}'))
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("keys dropped", p.stderr)
+        self.assertIn("elapsed_s", p.stderr)
+
+    def test_added_key_fails(self):
+        p = run_diff(BASELINE, capture(
+            '{"bench": "demo", "elapsed_s": 2.0, "deterministic": true,'
+            ' "surprise": 7}'))
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("keys added", p.stderr)
+        self.assertIn("surprise", p.stderr)
+
+    def test_values_are_not_compared(self):
+        # Timings drift run to run; only the key set and the gates gate.
+        p = run_diff(BASELINE, capture(
+            '{"bench": "demo", "elapsed_s": 99.0, "deterministic": true}'))
+        self.assertEqual(p.returncode, 0, p.stderr)
+
+
+class BooleanGates(unittest.TestCase):
+    def test_flipped_gate_fails(self):
+        p = run_diff(BASELINE, capture(
+            '{"bench": "demo", "elapsed_s": 1.0, "deterministic": false}'))
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("regressed", p.stderr)
+        self.assertIn("deterministic", p.stderr)
+
+    def test_gate_must_be_exactly_true(self):
+        # Truthy-but-not-True (1, "true") still counts as a regression.
+        p = run_diff(BASELINE, capture(
+            '{"bench": "demo", "elapsed_s": 1.0, "deterministic": 1}'))
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("regressed", p.stderr)
+
+    def test_false_baseline_gate_may_stay_false(self):
+        base = '{"bench": "demo", "flaky": false}\n'
+        p = run_diff(base, capture('{"bench": "demo", "flaky": false}'))
+        self.assertEqual(p.returncode, 0, p.stderr)
+
+
+class Extraction(unittest.TestCase):
+    def test_no_report_line_fails(self):
+        p = run_diff(BASELINE, "just chatter, no report\n")
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("no BENCH_JSON", p.stderr)
+
+    def test_last_report_line_wins(self):
+        # A bench that prints intermediate reports: CI diffs the final one.
+        stale = 'BENCH_JSON {"bench": "demo", "partial": true}\n'
+        p = run_diff(BASELINE, stale + capture(BASELINE.strip()))
+        self.assertEqual(p.returncode, 0, p.stderr)
+
+    def test_usage_error_exits_2(self):
+        p = subprocess.run([sys.executable, DIFF],
+                           capture_output=True, text=True)
+        self.assertEqual(p.returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()
