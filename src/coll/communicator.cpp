@@ -571,7 +571,7 @@ class InNetOp final : public TreeOpBase {
     np.allreduce_id = cfg_.id;
     np.trace = cfg_.trace;
     np.wire_bytes = p.wire_bytes();
-    np.reduce = std::make_shared<const core::Packet>(std::move(p));
+    np.reduce = core::make_pooled_packet(std::move(p));
     hr.host->send(std::move(np));
   }
 

@@ -1,3 +1,89 @@
+// Payload arena: global power-of-two size-class freelists.
+//
+// The simulator is single-threaded and allocates packet payloads and
+// aggregation buffers in a tight create/destroy cycle — one or two round
+// trips per simulated packet, millions per run.  Requests are rounded up to
+// a power-of-two size class and blocks are recycled through a per-class
+// LIFO freelist (LIFO keeps the hottest block in cache).  Oversized
+// requests bypass the classes and go straight to the heap.
+//
+// Allocation reuse never feeds simulation state — nothing in the repo keys
+// on addresses (flare-lint's pointer-key rule enforces this) — so recycling
+// cannot perturb determinism.
 #include "core/buffer_pool.hpp"
 
-namespace flare::core {}
+#include <new>
+
+namespace flare::core::pool_detail {
+
+namespace {
+
+constexpr std::size_t kMinClassLog2 = 6;   // 64 B floor
+constexpr std::size_t kMaxClassLog2 = 21;  // 2 MiB ceiling; larger -> heap
+constexpr std::size_t kClasses = kMaxClassLog2 - kMinClassLog2 + 1;
+
+std::size_t class_of(std::size_t bytes) {
+  std::size_t cls = 0;
+  while ((std::size_t{1} << (kMinClassLog2 + cls)) < bytes) ++cls;
+  return cls;
+}
+
+struct Arena {
+  std::vector<void*> free_lists[kClasses];
+  u64 fresh = 0;
+  u64 reused = 0;
+
+  ~Arena() {
+    for (auto& fl : free_lists) {
+      for (void* p : fl) ::operator delete(p);
+    }
+  }
+};
+
+// Meyers singleton: destroyed at exit AFTER function-local statics that
+// might hold packets.  Payload-owning objects must not outlive main's
+// statics (none do; everything lives in stack-scoped Network/Simulator
+// objects).
+Arena& arena() {
+  static Arena a;
+  return a;
+}
+
+}  // namespace
+
+void* pool_alloc(std::size_t bytes) {
+  Arena& a = arena();
+  if (bytes > (std::size_t{1} << kMaxClassLog2)) {
+    a.fresh += 1;
+    return ::operator new(bytes);
+  }
+  std::vector<void*>& fl = a.free_lists[class_of(bytes)];
+  if (!fl.empty()) {
+    void* p = fl.back();
+    fl.pop_back();
+    a.reused += 1;
+    return p;
+  }
+  a.fresh += 1;
+  return ::operator new(std::size_t{1} << (kMinClassLog2 + class_of(bytes)));
+}
+
+void pool_free(void* p, std::size_t bytes) noexcept {
+  if (p == nullptr) return;
+  if (bytes > (std::size_t{1} << kMaxClassLog2)) {
+    ::operator delete(p);
+    return;
+  }
+  arena().free_lists[class_of(bytes)].push_back(p);
+}
+
+PoolStats payload_pool_stats() {
+  const Arena& a = arena();
+  PoolStats s;
+  s.fresh = a.fresh;
+  s.reused = a.reused;
+  for (const auto& fl : a.free_lists) s.cached_blocks += fl.size();
+  return s;
+}
+
+}  // namespace flare::core::pool_detail

@@ -1,17 +1,76 @@
-// Working-memory accounting (Section 4.3).
+// Working-memory accounting (Section 4.3) and the payload arena.
 //
-// The L1 working memory assigned to one allreduce is statically partitioned
-// by the network manager; aggregation buffers are acquired from this pool
-// when a block starts and released when the block's result is emitted.  The
-// pool tracks the time-weighted occupancy and high-water mark that Figures
-// 7, 10 and 14 report ("Work. Mem.", "Block Mem.").
+// Two pools live here.  BufferPool is the SIMULATED one: the L1 working
+// memory assigned to one allreduce is statically partitioned by the network
+// manager; aggregation buffers are acquired from this pool when a block
+// starts and released when the block's result is emitted.  The pool tracks
+// the time-weighted occupancy and high-water mark that Figures 7, 10 and 14
+// report ("Work. Mem.", "Block Mem.").
+//
+// PoolAllocator is the HOST-SIDE one: a power-of-two size-class freelist
+// (implemented in buffer_pool.cpp) recycling the short-lived allocations the
+// simulator hot path churns through — packet payloads and aggregation
+// buffers that are created and destroyed once per simulated packet.  The
+// general-purpose heap pays lock/metadata costs per round trip; the arena
+// turns the steady state into two freelist vector operations.
 #pragma once
+
+#include <cstddef>
+#include <vector>
 
 #include "common/assert.hpp"
 #include "common/stats.hpp"
 #include "common/units.hpp"
 
 namespace flare::core {
+
+namespace pool_detail {
+
+/// Grabs a block of at least `bytes` from the size-class freelists (or the
+/// heap on a cold miss / oversized request).
+void* pool_alloc(std::size_t bytes);
+/// Returns a block to its size class.  `bytes` must be the value passed to
+/// pool_alloc.
+void pool_free(void* p, std::size_t bytes) noexcept;
+
+struct PoolStats {
+  u64 fresh = 0;        ///< heap allocations (freelist misses + oversized)
+  u64 reused = 0;       ///< allocations served from a freelist
+  u64 cached_blocks = 0;  ///< blocks currently parked on freelists
+};
+PoolStats payload_pool_stats();
+
+}  // namespace pool_detail
+
+/// Stateless allocator over the global payload arena.  Single-threaded by
+/// design, like the simulator itself.  All instances compare equal, so
+/// containers move across PoolAllocator boundaries without reallocating.
+template <typename T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+
+  PoolAllocator() noexcept = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) noexcept {}  // NOLINT
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(pool_detail::pool_alloc(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    pool_detail::pool_free(p, n * sizeof(T));
+  }
+};
+
+template <typename T, typename U>
+bool operator==(const PoolAllocator<T>&, const PoolAllocator<U>&) {
+  return true;
+}
+
+/// Packet payload / aggregation buffer storage: byte vector backed by the
+/// arena.  The simulator allocates one of these per simulated packet, which
+/// is exactly the churn the freelists absorb.
+using PayloadVec = std::vector<std::byte, PoolAllocator<std::byte>>;
 
 class BufferPool {
  public:

@@ -10,7 +10,7 @@ namespace {
 /// Builds the block-result packet from an aggregation buffer.  `elems` may
 /// be smaller than the configured N for the ragged last block of a message.
 Packet make_result_packet(const AllreduceConfig& cfg, u32 block_id,
-                          std::vector<std::byte>&& buf, u32 elems) {
+                          PayloadVec&& buf, u32 elems) {
   Packet out;
   out.hdr.allreduce_id = cfg.id;
   out.hdr.block_id = block_id;
@@ -176,6 +176,9 @@ MultiBufferAggregator::MultiBufferAggregator(EngineHost& host,
 
 MultiBufferAggregator::Block& MultiBufferAggregator::get_block(u32 block_id,
                                                                SimTime now) {
+  if (cached_block_ != nullptr && cached_block_id_ == block_id) {
+    return *cached_block_;
+  }
   auto [it, inserted] = blocks_.try_emplace(block_id);
   Block& blk = it->second;
   if (inserted) {
@@ -183,12 +186,15 @@ MultiBufferAggregator::Block& MultiBufferAggregator::get_block(u32 block_id,
     blk.subs.resize(cfg_.num_buffers);
     blk.first_arrival = now;
   }
+  cached_block_id_ = block_id;
+  cached_block_ = &blk;
   return blk;
 }
 
 void MultiBufferAggregator::reset() {
   FLARE_ASSERT_MSG(blocks_.empty(),
                    "reset with open blocks: packets still in flight");
+  cached_block_ = nullptr;
   completed_.clear();
 }
 
@@ -239,7 +245,7 @@ void MultiBufferAggregator::run_on_sub(u32 block_id, u32 sub_idx,
                                        std::shared_ptr<const Packet> pkt,
                                        SimTime enqueued_at, SimTime start,
                                        HandlerDone done) {
-  Block& blk = blocks_.at(block_id);
+  Block& blk = block_ref(block_id);
   Sub& s = blk.subs[sub_idx];
   stats_.cs_wait_cycles.add(static_cast<f64>(start - enqueued_at));
   const auto& costs = host_.costs();
@@ -273,7 +279,7 @@ void MultiBufferAggregator::run_on_sub(u32 block_id, u32 sub_idx,
   const SimTime end = start + work;
   host_.simulator().schedule_at(
       end, [this, block_id, sub_idx, done = std::move(done)]() mutable {
-        Block& b = blocks_.at(block_id);
+        Block& b = block_ref(block_id);
         b.aggregated += 1;
         const SimTime now = host_.simulator().now();
         if (b.aggregated == cfg_.num_children && b.bitmap.complete()) {
@@ -288,7 +294,7 @@ void MultiBufferAggregator::run_on_sub(u32 block_id, u32 sub_idx,
 
 void MultiBufferAggregator::release_sub(u32 block_id, u32 sub_idx,
                                         SimTime at) {
-  Block& blk = blocks_.at(block_id);
+  Block& blk = block_ref(block_id);
   if (!blk.waiters.empty()) {
     auto fn = std::move(blk.waiters.front());
     blk.waiters.pop_front();
@@ -300,7 +306,7 @@ void MultiBufferAggregator::release_sub(u32 block_id, u32 sub_idx,
 
 void MultiBufferAggregator::merge_chain(u32 block_id, u32 my_sub, SimTime t,
                                         HandlerDone done) {
-  Block& blk = blocks_.at(block_id);
+  Block& blk = block_ref(block_id);
   // By construction no other handler is active on this block (aggregated ==
   // P), so the remaining buffers are idle and can be folded sequentially.
   for (u32 j = 0; j < blk.subs.size(); ++j) {
@@ -313,7 +319,7 @@ void MultiBufferAggregator::merge_chain(u32 block_id, u32 my_sub, SimTime t,
     host_.simulator().schedule_at(
         t + merge_cost,
         [this, block_id, my_sub, j, done = std::move(done)]() mutable {
-          Block& b = blocks_.at(block_id);
+          Block& b = block_ref(block_id);
           cfg_.op.apply(cfg_.dtype, b.subs[my_sub].buf.data(),
                         b.subs[j].buf.data(), b.elems);
           b.subs[j].has_data = false;
@@ -330,7 +336,7 @@ void MultiBufferAggregator::merge_chain(u32 block_id, u32 my_sub, SimTime t,
 
 void MultiBufferAggregator::finish_block(u32 block_id, u32 my_sub, SimTime t,
                                          HandlerDone done) {
-  Block& blk = blocks_.at(block_id);
+  Block& blk = block_ref(block_id);
   const SimTime end = t + host_.costs().emit_packet_cycles;
   stats_.block_mem_bytes.add(static_cast<f64>(blk.max_allocated) *
                              static_cast<f64>(cfg_.dense_block_bytes()));
@@ -345,6 +351,7 @@ void MultiBufferAggregator::finish_block(u32 block_id, u32 my_sub, SimTime t,
     pool_.release(cfg_.dense_block_bytes(), host_.simulator().now());
   });
   completed_.insert(block_id);
+  if (cached_block_id_ == block_id) cached_block_ = nullptr;
   blocks_.erase(block_id);
   done(end);
 }

@@ -130,7 +130,7 @@ class SingleBufferAggregator final : public Aggregator {
 
  private:
   struct Block {
-    std::vector<std::byte> buf;
+    PayloadVec buf;
     ChildBitmap bitmap;
     u32 aggregated = 0;  ///< packets folded into the buffer so far; the
                          ///< bitmap marks arrivals, but completion requires
@@ -169,7 +169,7 @@ class MultiBufferAggregator final : public Aggregator {
 
  private:
   struct Sub {
-    std::vector<std::byte> buf;
+    PayloadVec buf;
     bool allocated = false;
     bool has_data = false;
     bool busy = false;
@@ -185,6 +185,19 @@ class MultiBufferAggregator final : public Aggregator {
   };
 
   Block& get_block(u32 block_id, SimTime now);
+  /// Cached blocks_.at(): a block's packets are handled in a burst (arrive,
+  /// aggregate, merge, finish), so consecutive lookups overwhelmingly hit
+  /// the same block.  unordered_map references are stable under insert, so
+  /// the cache only needs invalidating when the block is erased.
+  Block& block_ref(u32 block_id) {
+    if (cached_block_ != nullptr && cached_block_id_ == block_id) {
+      return *cached_block_;
+    }
+    Block& b = blocks_.at(block_id);
+    cached_block_id_ = block_id;
+    cached_block_ = &b;
+    return b;
+  }
   void on_ready(std::shared_ptr<const Packet> pkt, HandlerDone done);
   void run_on_sub(u32 block_id, u32 sub_idx,
                   std::shared_ptr<const Packet> pkt, SimTime enqueued_at,
@@ -197,6 +210,8 @@ class MultiBufferAggregator final : public Aggregator {
   AllreduceConfig cfg_;
   BufferPool& pool_;
   std::unordered_map<u32, Block> blocks_;
+  u32 cached_block_id_ = 0;
+  Block* cached_block_ = nullptr;  ///< one-entry cache over blocks_
   std::unordered_set<u32> completed_;
 };
 
@@ -227,7 +242,7 @@ class TreeAggregator final : public Aggregator {
   struct NodeState {
     bool done = false;
     bool claimed = false;  ///< a handler is (or has) combining this node
-    std::vector<std::byte> buf;  ///< subtree result, valid when done
+    PayloadVec buf;  ///< subtree result, valid when done
   };
   struct Block {
     std::vector<NodeState> nodes;

@@ -10,10 +10,12 @@
 #pragma once
 
 #include <cstring>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "core/buffer_pool.hpp"
 #include "core/dtype.hpp"
 
 namespace flare::core {
@@ -50,7 +52,9 @@ inline constexpr u64 kPacketWireOverhead = 64;
 
 struct Packet {
   PacketHeader hdr;
-  std::vector<std::byte> payload;
+  /// Arena-backed: payload storage recycles through the size-class
+  /// freelists instead of round-tripping the heap once per packet.
+  PayloadVec payload;
 
   u64 payload_bytes() const { return payload.size(); }
   u64 wire_bytes() const { return kPacketWireOverhead + payload.size(); }
@@ -63,6 +67,16 @@ struct Packet {
 /// Builds a dense packet from `elems` raw elements at `data`.
 Packet make_dense_packet(u32 allreduce_id, u32 block_id, u16 child_index,
                          const void* data, u32 elems, DType dtype);
+
+/// Shared ownership of an immutable in-flight packet (the form the network
+/// layer multicasts).  The control block comes from the payload arena too:
+/// one pooled allocation instead of a heap make_shared per packet.
+using PacketPtr = std::shared_ptr<const Packet>;
+
+inline PacketPtr make_pooled_packet(Packet&& p) {
+  return std::allocate_shared<const Packet>(PoolAllocator<Packet>{},
+                                            std::move(p));
+}
 
 /// Read-only view of a dense payload as raw element storage.
 inline const void* dense_payload(const Packet& p) { return p.payload.data(); }

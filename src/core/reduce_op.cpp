@@ -1,6 +1,7 @@
 #include "core/reduce_op.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <limits>
@@ -11,83 +12,117 @@ namespace flare::core {
 
 namespace {
 
-template <typename T>
-struct Kernels {
-  static void apply(OpKind k, T* acc, const T* in, std::size_t n) {
-    switch (k) {
-      case OpKind::kSum:
-        for (std::size_t i = 0; i < n; ++i)
-          acc[i] = static_cast<T>(acc[i] + in[i]);
-        break;
-      case OpKind::kProd:
-        for (std::size_t i = 0; i < n; ++i)
-          acc[i] = static_cast<T>(acc[i] * in[i]);
-        break;
-      case OpKind::kMin:
-        for (std::size_t i = 0; i < n; ++i) acc[i] = std::min(acc[i], in[i]);
-        break;
-      case OpKind::kMax:
-        for (std::size_t i = 0; i < n; ++i) acc[i] = std::max(acc[i], in[i]);
-        break;
-      case OpKind::kBand:
-        if constexpr (std::is_integral_v<T>) {
-          for (std::size_t i = 0; i < n; ++i)
-            acc[i] = static_cast<T>(acc[i] & in[i]);
-        }
-        break;
-      case OpKind::kBor:
-        if constexpr (std::is_integral_v<T>) {
-          for (std::size_t i = 0; i < n; ++i)
-            acc[i] = static_cast<T>(acc[i] | in[i]);
-        }
-        break;
-      case OpKind::kBxor:
-        if constexpr (std::is_integral_v<T>) {
-          for (std::size_t i = 0; i < n; ++i)
-            acc[i] = static_cast<T>(acc[i] ^ in[i]);
-        }
-        break;
-      case OpKind::kCustom:
-        FLARE_UNREACHABLE("custom op dispatched through builtin kernel");
-    }
-  }
+constexpr std::size_t kBuiltinOps = 7;  // kSum..kBxor (kCustom excluded)
+constexpr std::size_t kDTypeCount = std::size(kAllDTypes);
 
-  static T identity(OpKind k) {
-    switch (k) {
-      case OpKind::kSum: return T{0};
-      case OpKind::kProd: return T{1};
-      case OpKind::kMin: return std::numeric_limits<T>::max();
-      case OpKind::kMax: return std::numeric_limits<T>::lowest();
-      case OpKind::kBand:
-        if constexpr (std::is_integral_v<T>) {
-          return static_cast<T>(~T{0});
-        } else {
-          return T{0};
-        }
-      case OpKind::kBor: return T{0};
-      case OpKind::kBxor: return T{0};
-      case OpKind::kCustom: break;
+/// One fully monomorphized element loop per (dtype, op).  The switch that
+/// used to sit inside Kernels<T>::apply is hoisted into the table lookup
+/// below, so each loop body is branch-free with `__restrict` operands —
+/// the shape GCC/Clang auto-vectorize (verified via bench/kernels.cpp).
+using KernelFn = void (*)(void* acc, const void* in, std::size_t n);
+
+template <typename T, OpKind K>
+void kernel(void* accv, const void* inv, std::size_t n) {
+  T* __restrict acc = static_cast<T*>(accv);
+  const T* __restrict in = static_cast<const T*>(inv);
+  for (std::size_t i = 0; i < n; ++i) {
+    if constexpr (K == OpKind::kSum) {
+      acc[i] = static_cast<T>(acc[i] + in[i]);
+    } else if constexpr (K == OpKind::kProd) {
+      acc[i] = static_cast<T>(acc[i] * in[i]);
+    } else if constexpr (K == OpKind::kMin) {
+      acc[i] = std::min(acc[i], in[i]);
+    } else if constexpr (K == OpKind::kMax) {
+      acc[i] = std::max(acc[i], in[i]);
+    } else if constexpr (K == OpKind::kBand) {
+      acc[i] = static_cast<T>(acc[i] & in[i]);
+    } else if constexpr (K == OpKind::kBor) {
+      acc[i] = static_cast<T>(acc[i] | in[i]);
+    } else if constexpr (K == OpKind::kBxor) {
+      acc[i] = static_cast<T>(acc[i] ^ in[i]);
     }
-    return T{0};
   }
-};
+}
 
 // Float16: convert through f32 per element, exactly like handler code on an
 // FP16-capable FPU that widens to f32 internally.
-void apply_f16(OpKind k, u16* acc, const u16* in, std::size_t n) {
+template <OpKind K>
+void kernel_f16(void* accv, const void* inv, std::size_t n) {
+  u16* __restrict acc = static_cast<u16*>(accv);
+  const u16* __restrict in = static_cast<const u16*>(inv);
   for (std::size_t i = 0; i < n; ++i) {
     const f32 a = f16_to_f32(acc[i]);
     const f32 b = f16_to_f32(in[i]);
     f32 r = 0.0f;
-    switch (k) {
-      case OpKind::kSum: r = a + b; break;
-      case OpKind::kProd: r = a * b; break;
-      case OpKind::kMin: r = std::min(a, b); break;
-      case OpKind::kMax: r = std::max(a, b); break;
-      default: FLARE_UNREACHABLE("unsupported f16 op");
+    if constexpr (K == OpKind::kSum) {
+      r = a + b;
+    } else if constexpr (K == OpKind::kProd) {
+      r = a * b;
+    } else if constexpr (K == OpKind::kMin) {
+      r = std::min(a, b);
+    } else if constexpr (K == OpKind::kMax) {
+      r = std::max(a, b);
+    } else {
+      FLARE_UNREACHABLE("unsupported f16 op");
     }
     acc[i] = f32_to_f16(r);
   }
+}
+
+template <typename T>
+constexpr std::array<KernelFn, kBuiltinOps> integer_row() {
+  return {&kernel<T, OpKind::kSum>,  &kernel<T, OpKind::kProd>,
+          &kernel<T, OpKind::kMin>,  &kernel<T, OpKind::kMax>,
+          &kernel<T, OpKind::kBand>, &kernel<T, OpKind::kBor>,
+          &kernel<T, OpKind::kBxor>};
+}
+
+// Rows indexed by DType value, columns by OpKind value.  Bitwise columns of
+// float rows are null — supports() rejects those pairs before dispatch.
+constexpr std::array<std::array<KernelFn, kBuiltinOps>, kDTypeCount>
+    kKernelTable{{
+        integer_row<i8>(),   // kInt8
+        integer_row<i16>(),  // kInt16
+        integer_row<i32>(),  // kInt32
+        integer_row<i64>(),  // kInt64
+        {&kernel_f16<OpKind::kSum>, &kernel_f16<OpKind::kProd>,
+         &kernel_f16<OpKind::kMin>, &kernel_f16<OpKind::kMax>, nullptr,
+         nullptr, nullptr},  // kFloat16
+        {&kernel<f32, OpKind::kSum>, &kernel<f32, OpKind::kProd>,
+         &kernel<f32, OpKind::kMin>, &kernel<f32, OpKind::kMax>, nullptr,
+         nullptr, nullptr},  // kFloat32
+    }};
+
+template <typename T>
+T identity_of(OpKind k) {
+  switch (k) {
+    case OpKind::kSum: return T{0};
+    case OpKind::kProd: return T{1};
+    case OpKind::kMin:
+      // Floats: +inf, NOT numeric_limits<T>::max() — min(FLT_MAX, +inf)
+      // is FLT_MAX, so a max()-identity silently clips +inf inputs.
+      if constexpr (std::is_floating_point_v<T>) {
+        return std::numeric_limits<T>::infinity();
+      } else {
+        return std::numeric_limits<T>::max();
+      }
+    case OpKind::kMax:
+      if constexpr (std::is_floating_point_v<T>) {
+        return -std::numeric_limits<T>::infinity();
+      } else {
+        return std::numeric_limits<T>::lowest();
+      }
+    case OpKind::kBand:
+      if constexpr (std::is_integral_v<T>) {
+        return static_cast<T>(~T{0});
+      } else {
+        return T{0};
+      }
+    case OpKind::kBor: return T{0};
+    case OpKind::kBxor: return T{0};
+    case OpKind::kCustom: break;
+  }
+  return T{0};
 }
 
 }  // namespace
@@ -172,32 +207,10 @@ void ReduceOp::apply(DType t, void* acc, const void* in,
     (*custom_kernel_)(t, acc, in, n);
     return;
   }
-  switch (t) {
-    case DType::kInt8:
-      Kernels<i8>::apply(kind_, static_cast<i8*>(acc),
-                         static_cast<const i8*>(in), n);
-      break;
-    case DType::kInt16:
-      Kernels<i16>::apply(kind_, static_cast<i16*>(acc),
-                          static_cast<const i16*>(in), n);
-      break;
-    case DType::kInt32:
-      Kernels<i32>::apply(kind_, static_cast<i32*>(acc),
-                          static_cast<const i32*>(in), n);
-      break;
-    case DType::kInt64:
-      Kernels<i64>::apply(kind_, static_cast<i64*>(acc),
-                          static_cast<const i64*>(in), n);
-      break;
-    case DType::kFloat32:
-      Kernels<f32>::apply(kind_, static_cast<f32*>(acc),
-                          static_cast<const f32*>(in), n);
-      break;
-    case DType::kFloat16:
-      apply_f16(kind_, static_cast<u16*>(acc), static_cast<const u16*>(in),
-                n);
-      break;
-  }
+  const KernelFn fn =
+      kKernelTable[static_cast<std::size_t>(t)][static_cast<std::size_t>(kind_)];
+  FLARE_ASSERT(fn != nullptr);
+  fn(acc, in, n);
 }
 
 void ReduceOp::fill_identity(DType t, void* dst, std::size_t n) const {
@@ -207,32 +220,34 @@ void ReduceOp::fill_identity(DType t, void* dst, std::size_t n) const {
   }
   switch (t) {
     case DType::kInt8: {
-      const i8 v = Kernels<i8>::identity(kind_);
+      const i8 v = identity_of<i8>(kind_);
       std::fill_n(static_cast<i8*>(dst), n, v);
       break;
     }
     case DType::kInt16: {
-      const i16 v = Kernels<i16>::identity(kind_);
+      const i16 v = identity_of<i16>(kind_);
       std::fill_n(static_cast<i16*>(dst), n, v);
       break;
     }
     case DType::kInt32: {
-      const i32 v = Kernels<i32>::identity(kind_);
+      const i32 v = identity_of<i32>(kind_);
       std::fill_n(static_cast<i32*>(dst), n, v);
       break;
     }
     case DType::kInt64: {
-      const i64 v = Kernels<i64>::identity(kind_);
+      const i64 v = identity_of<i64>(kind_);
       std::fill_n(static_cast<i64*>(dst), n, v);
       break;
     }
     case DType::kFloat32: {
-      const f32 v = Kernels<f32>::identity(kind_);
+      const f32 v = identity_of<f32>(kind_);
       std::fill_n(static_cast<f32*>(dst), n, v);
       break;
     }
     case DType::kFloat16: {
-      const u16 v = f32_to_f16(Kernels<f32>::identity(kind_));
+      // f16 identities ride the f32 path: f32_to_f16 maps ±inf to the f16
+      // infinities (0x7C00 / 0xFC00), so the min/max fix above propagates.
+      const u16 v = f32_to_f16(identity_of<f32>(kind_));
       std::fill_n(static_cast<u16*>(dst), n, v);
       break;
     }

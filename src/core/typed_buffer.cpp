@@ -1,8 +1,61 @@
 #include "core/typed_buffer.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace flare::core {
+namespace {
+
+// Monomorphized bulk loops: fill_random and max_abs_diff walk every element
+// of every host buffer (inside the simulator's timed region when jobs spawn
+// mid-run), so the dtype dispatch is hoisted out of the loop here and the
+// per-element body reduces to a fixed-size memcpy the compiler turns into a
+// plain load/store.  The scalar get/set_as_f64 entry points stay as the
+// general (and test-visible) element API.
+
+template <typename T, bool Floor>
+void fill_loop(std::byte* p, std::size_t n, Rng& rng, f64 lo, f64 hi) {
+  for (std::size_t i = 0; i < n; ++i) {
+    f64 v = rng.uniform(lo, hi);
+    if constexpr (Floor) v = std::floor(v);
+    const T x = static_cast<T>(v);
+    std::memcpy(p + i * sizeof(T), &x, sizeof(T));
+  }
+}
+
+void fill_loop_f16(std::byte* p, std::size_t n, Rng& rng, f64 lo, f64 hi) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const u16 x = f32_to_f16(static_cast<f32>(rng.uniform(lo, hi)));
+    std::memcpy(p + i * sizeof(u16), &x, sizeof(u16));
+  }
+}
+
+template <typename T>
+f64 diff_loop(const std::byte* a, const std::byte* b, std::size_t n) {
+  f64 worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    T x, y;
+    std::memcpy(&x, a + i * sizeof(T), sizeof(T));
+    std::memcpy(&y, b + i * sizeof(T), sizeof(T));
+    worst = std::max(worst,
+                     std::abs(static_cast<f64>(x) - static_cast<f64>(y)));
+  }
+  return worst;
+}
+
+f64 diff_loop_f16(const std::byte* a, const std::byte* b, std::size_t n) {
+  f64 worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    u16 x, y;
+    std::memcpy(&x, a + i * sizeof(u16), sizeof(u16));
+    std::memcpy(&y, b + i * sizeof(u16), sizeof(u16));
+    worst = std::max(worst, std::abs(static_cast<f64>(f16_to_f32(x)) -
+                                     static_cast<f64>(f16_to_f32(y))));
+  }
+  return worst;
+}
+
+}  // namespace
 
 f64 TypedBuffer::get_as_f64(std::size_t i) const {
   FLARE_ASSERT(i < elems_);
@@ -80,20 +133,34 @@ void TypedBuffer::set_from_f64(std::size_t i, f64 v) {
 }
 
 void TypedBuffer::fill_random(Rng& rng, f64 lo, f64 hi) {
-  for (std::size_t i = 0; i < elems_; ++i) {
-    f64 v = rng.uniform(lo, hi);
-    if (!dtype_is_float(dtype_)) v = std::floor(v);
-    set_from_f64(i, v);
+  std::byte* p = bytes_.data();
+  switch (dtype_) {
+    case DType::kInt8: fill_loop<i8, true>(p, elems_, rng, lo, hi); break;
+    case DType::kInt16: fill_loop<i16, true>(p, elems_, rng, lo, hi); break;
+    case DType::kInt32: fill_loop<i32, true>(p, elems_, rng, lo, hi); break;
+    case DType::kInt64: fill_loop<i64, true>(p, elems_, rng, lo, hi); break;
+    case DType::kFloat16: fill_loop_f16(p, elems_, rng, lo, hi); break;
+    case DType::kFloat32: fill_loop<f32, false>(p, elems_, rng, lo, hi); break;
   }
 }
 
 f64 TypedBuffer::max_abs_diff(const TypedBuffer& other) const {
   FLARE_ASSERT(other.dtype_ == dtype_ && other.elems_ == elems_);
-  f64 worst = 0.0;
-  for (std::size_t i = 0; i < elems_; ++i) {
-    worst = std::max(worst, std::abs(get_as_f64(i) - other.get_as_f64(i)));
+  const std::byte* a = bytes_.data();
+  const std::byte* b = other.bytes_.data();
+  // Bitwise-equal buffers (the common case for exact integer reductions)
+  // have an elementwise diff of zero everywhere; one memcmp beats a
+  // widen-and-subtract loop over every element.
+  if (elems_ > 0 && std::memcmp(a, b, bytes_.size()) == 0) return 0.0;
+  switch (dtype_) {
+    case DType::kInt8: return diff_loop<i8>(a, b, elems_);
+    case DType::kInt16: return diff_loop<i16>(a, b, elems_);
+    case DType::kInt32: return diff_loop<i32>(a, b, elems_);
+    case DType::kInt64: return diff_loop<i64>(a, b, elems_);
+    case DType::kFloat16: return diff_loop_f16(a, b, elems_);
+    case DType::kFloat32: return diff_loop<f32>(a, b, elems_);
   }
-  return worst;
+  return 0.0;
 }
 
 std::size_t TypedBuffer::count_mismatches(const TypedBuffer& other) const {

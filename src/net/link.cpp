@@ -30,12 +30,38 @@ void Link::send(NetPacket&& pkt) {
   const SimTime depart = std::max(now, busy_until_);
   busy_until_ = depart + ser;
   busy_cum_ += ser;
-  busy_by_trace_[pkt.trace] += ser;
+  if (cached_trace_busy_ == nullptr || pkt.trace != cached_trace_) {
+    cached_trace_ = pkt.trace;
+    cached_trace_busy_ = &busy_by_trace_[pkt.trace];
+  }
+  *cached_trace_busy_ += ser;
   traffic_.add(pkt.wire_bytes);
   const SimTime arrive = busy_until_ + latency_ps_;
-  sim_.schedule_at(arrive, [this, p = std::move(pkt)]() mutable {
+  // Park the packet on the pending queue instead of booking a calendar
+  // event per packet: one delivery event (for the queue front) is armed at
+  // a time, so a burst costs one event plus cheap deque appends.
+  pending_.push_back(Pending{arrive, std::move(pkt)});
+  if (!delivery_armed_) {
+    delivery_armed_ = true;
+    sim_.schedule_at(pending_.front().arrive,
+                     [this] { drain_deliveries(); });
+  }
+}
+
+void Link::drain_deliveries() {
+  // Disarm BEFORE delivering: deliver_ may reenter send() on this link,
+  // which must be able to arm the next event itself if the queue empties.
+  delivery_armed_ = false;
+  while (!pending_.empty() && pending_.front().arrive <= sim_.now()) {
+    NetPacket p = std::move(pending_.front().pkt);
+    pending_.pop_front();
     deliver_(std::move(p));
-  });
+  }
+  if (!pending_.empty() && !delivery_armed_) {
+    delivery_armed_ = true;
+    sim_.schedule_at(pending_.front().arrive,
+                     [this] { drain_deliveries(); });
+  }
 }
 
 }  // namespace flare::net

@@ -10,6 +10,8 @@
 // a drop one latency later — exactly what retransmission must recover.
 #pragma once
 
+#include <cmath>
+#include <deque>
 #include <functional>
 #include <map>
 
@@ -26,8 +28,9 @@ class Link {
 
   Link(sim::Simulator& sim, f64 bandwidth_bps, u64 latency_ps,
        std::string name = {})
-      : sim_(sim), bandwidth_bps_(bandwidth_bps), latency_ps_(latency_ps),
-        name_(std::move(name)) {}
+      : sim_(sim), bandwidth_bps_(bandwidth_bps),
+        bandwidth_u64_(static_cast<u64>(std::llround(bandwidth_bps))),
+        latency_ps_(latency_ps), name_(std::move(name)) {}
 
   void set_deliver(Deliver d) { deliver_ = std::move(d); }
 
@@ -94,10 +97,14 @@ class Link {
     return busy_until_ > now ? busy_until_ - now : 0;
   }
   /// Bytes accepted but not yet serialized at `now` (FIFO at a fixed rate,
-  /// so the backlog time converts exactly).
+  /// so the backlog time converts exactly).  Integer arithmetic end to
+  /// end: the f64 round trip (delay x bps / 8e12) loses bits once the
+  /// product exceeds 2^53 — at 400 Gbps that is any backlog beyond ~180 us
+  /// — and misreported backlogs skew the congestion telemetry.
   u64 queued_bytes(SimTime now) const {
-    return static_cast<u64>(static_cast<f64>(queue_delay_ps(now)) *
-                            bandwidth_bps_ / 8.0 / kPsPerSecond);
+    using u128 = unsigned __int128;
+    const u128 bits = static_cast<u128>(queue_delay_ps(now)) * bandwidth_u64_;
+    return static_cast<u64>(bits / (8 * static_cast<u128>(kPsPerSecond)));
   }
 
 #if FLARE_VALIDATE_ENABLED
@@ -125,8 +132,19 @@ class Link {
 #endif
 
  private:
+  /// One accepted packet waiting to cross the wire.
+  struct Pending {
+    SimTime arrive;
+    NetPacket pkt;
+  };
+
+  /// Delivers every pending packet whose arrival time has been reached,
+  /// then re-arms the single delivery event for the next one.
+  void drain_deliveries();
+
   sim::Simulator& sim_;
   f64 bandwidth_bps_;
+  u64 bandwidth_u64_;  ///< rounded once; integer backlog conversion
   u64 latency_ps_;
   std::string name_;
   Deliver deliver_;
@@ -136,9 +154,21 @@ class Link {
   u32 corrupt_next_ = 0;
   u64 dropped_ = 0;
   u64 corrupted_ = 0;
+  /// In-flight packets in arrival order (send() keeps busy_until_, and so
+  /// the arrival times, nondecreasing).  Exactly ONE calendar event is
+  /// armed per link — for the front packet — instead of one per packet, so
+  /// a burst keeps the calendar shallow and the per-event closure tiny.
+  std::deque<Pending> pending_;
+  bool delivery_armed_ = false;
   SimTime busy_until_ = 0;
   u64 busy_cum_ = 0;
   std::map<u32, u64> busy_by_trace_;  ///< attribution (sums to busy_cum_)
+  /// One-entry cache over busy_by_trace_: packets of one collective arrive
+  /// in bursts, so most sends hit the same trace as the previous one and
+  /// skip the tree walk.  Map nodes are address-stable and never erased, so
+  /// the cached pointer cannot dangle.
+  u32 cached_trace_ = 0;
+  u64* cached_trace_busy_ = nullptr;
   TrafficCounter traffic_;
 };
 

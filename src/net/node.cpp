@@ -73,6 +73,7 @@ void Switch::fail() {
   failed_ = true;
   // Crash-stop: installed engines, cached results and queued service work
   // vanish.  Occupancy drops to zero — the partition is empty again.
+  invalidate_role_cache();
   roles_.clear();
   occupancy_.set(0, net_.sim().now());
   net_.notify_fault({FaultKind::kSwitchFail, id_, UINT32_MAX,
@@ -100,6 +101,7 @@ bool Switch::install_reduce(const core::AllreduceConfig& cfg,
 }
 
 void Switch::uninstall_reduce(u32 allreduce_id) {
+  invalidate_role_cache();
   if (roles_.erase(allreduce_id) != 0) {
     occupancy_.set(roles_.size(), net_.sim().now());
   }
@@ -196,15 +198,15 @@ void Switch::forward_host_msg(NetPacket&& pkt) {
 }
 
 void Switch::on_reduce_up(NetPacket&& pkt) {
-  auto it = roles_.find(pkt.allreduce_id);
-  if (it == roles_.end()) {
+  ReduceRole* found = find_role(pkt.allreduce_id);
+  if (found == nullptr) {
     // Reduction traffic for a collective this switch no longer serves:
     // state lost to a crash, or uninstalled by a recovery that moved the
     // tree.  Realistic switches drop such packets on the floor.
     net_.count_stale_reduce_drop();
     return;
   }
-  ReduceRole& role2 = it->second;
+  ReduceRole& role2 = *found;
   reduce_packets_ += 1;
   // Calibrated aggregation server: FIFO service at the PsPIN-derived rate.
   const SimTime now = net_.sim().now();
@@ -248,15 +250,15 @@ void Switch::on_reduce_up(NetPacket&& pkt) {
   }
   net_.sim().schedule_at(
       role2.server_busy_until,
-      [this, id = pkt.allreduce_id, reduce = pkt.reduce] {
+      [this, id = pkt.allreduce_id, reduce = std::move(pkt.reduce)] {
         // The role can vanish while the packet sits in the service queue
         // (switch crash or recovery uninstall): drop, never re-create.
-        auto role_it = roles_.find(id);
-        if (role_it == roles_.end()) {
+        ReduceRole* r = find_role(id);
+        if (r == nullptr) {
           net_.count_stale_reduce_drop();
           return;
         }
-        role_it->second.engine->process(reduce, [](SimTime) {});
+        r->engine->process(reduce, [](SimTime) {});
       });
 }
 
@@ -274,11 +276,11 @@ void Switch::reemit_completed(u32 allreduce_id, u32 block_id) {
   np.wire_bytes = copy.wire_bytes();
   if (role2.is_root || copy.is_down()) {
     np.kind = PacketKind::kReduceDown;
-    np.reduce = std::make_shared<const core::Packet>(std::move(copy));
+    np.reduce = core::make_pooled_packet(std::move(copy));
     on_reduce_down(std::move(np));
   } else {
     np.kind = PacketKind::kReduceUp;
-    np.reduce = std::make_shared<const core::Packet>(std::move(copy));
+    np.reduce = core::make_pooled_packet(std::move(copy));
     port(role2.parent_port).send(std::move(np));
   }
 }
@@ -301,24 +303,24 @@ void Switch::reemit_completed_sparse(u32 allreduce_id, u32 block_id) {
     np.wire_bytes = copy.wire_bytes();
     if (role2.is_root || copy.is_down()) {
       np.kind = PacketKind::kReduceDown;
-      np.reduce = std::make_shared<const core::Packet>(std::move(copy));
+      np.reduce = core::make_pooled_packet(std::move(copy));
       on_reduce_down(std::move(np));
     } else {
       np.kind = PacketKind::kReduceUp;
-      np.reduce = std::make_shared<const core::Packet>(std::move(copy));
+      np.reduce = core::make_pooled_packet(std::move(copy));
       port(role2.parent_port).send(std::move(np));
     }
   }
 }
 
 void Switch::on_reduce_down(NetPacket&& pkt) {
-  auto it = roles_.find(pkt.allreduce_id);
-  if (it == roles_.end()) {
+  const ReduceRole* found = find_role(pkt.allreduce_id);
+  if (found == nullptr) {
     net_.count_stale_reduce_drop();
     return;
   }
   // Replicate toward every tree child (hosts or further switches).
-  const ReduceRole& role2 = it->second;
+  const ReduceRole& role2 = *found;
   for (const u32 p : role2.child_ports) {
     NetPacket copy = pkt;
     port(p).send(std::move(copy));
@@ -335,7 +337,9 @@ void Switch::emit(core::Packet&& pkt, SimTime when) {
   // is kept only when fault recovery is armed, since nothing can request
   // a replay otherwise and large sparse iterations would pay the memory
   // for nothing.
-  ReduceRole& role2 = roles_.at(id);
+  ReduceRole* found = find_role(id);
+  FLARE_ASSERT_MSG(found != nullptr, "emit for an uninstalled allreduce");
+  ReduceRole& role2 = *found;
   const bool sparse = pkt.is_sparse();
   const bool cache_sparse =
       sparse && role2.engine->config().fault_recovery;
@@ -345,7 +349,7 @@ void Switch::emit(core::Packet&& pkt, SimTime when) {
   np.wire_bytes = pkt.wire_bytes();
   if (role2.is_root || pkt.is_down()) {
     np.kind = PacketKind::kReduceDown;
-    np.reduce = std::make_shared<const core::Packet>(std::move(pkt));
+    np.reduce = core::make_pooled_packet(std::move(pkt));
     if (cache_sparse) {
       role2.completed_sparse[block].push_back(np.reduce);
     } else if (!sparse) {
@@ -358,7 +362,7 @@ void Switch::emit(core::Packet&& pkt, SimTime when) {
   } else {
     np.kind = PacketKind::kReduceUp;
     pkt.hdr.child_index = role2.child_index_at_parent;
-    np.reduce = std::make_shared<const core::Packet>(std::move(pkt));
+    np.reduce = core::make_pooled_packet(std::move(pkt));
     if (cache_sparse) {
       role2.completed_sparse[block].push_back(np.reduce);
     } else if (!sparse) {

@@ -205,6 +205,24 @@ class Switch final : public Node, public core::EngineHost {
 #endif
 
  private:
+  /// Cached roles_ lookup for the per-packet data plane: reduction packets
+  /// of one collective arrive in bursts, so most lookups repeat the
+  /// previous id.  unordered_map references are stable under insert and
+  /// rehash, so the cache only needs invalidating when a role is erased
+  /// (uninstall_reduce, fail).  Misses are never cached — a stale-drop id
+  /// can be installed later without the cache masking it.
+  ReduceRole* find_role(u32 allreduce_id) {
+    if (cached_role_ != nullptr && cached_role_id_ == allreduce_id) {
+      return cached_role_;
+    }
+    auto it = roles_.find(allreduce_id);
+    if (it == roles_.end()) return nullptr;
+    cached_role_id_ = allreduce_id;
+    cached_role_ = &it->second;
+    return cached_role_;
+  }
+  void invalidate_role_cache() { cached_role_ = nullptr; }
+
   void forward_host_msg(NetPacket&& pkt);
   void on_reduce_up(NetPacket&& pkt);
   void on_reduce_down(NetPacket&& pkt);
@@ -217,6 +235,8 @@ class Switch final : public Node, public core::EngineHost {
   u32 max_allreduces_;
   std::vector<std::vector<u32>> routes_;  ///< dst NodeId -> ECMP port set
   std::unordered_map<u32, ReduceRole> roles_;
+  u32 cached_role_id_ = 0;
+  ReduceRole* cached_role_ = nullptr;  ///< one-entry cache over roles_
   Gauge occupancy_;
   core::CostModel zero_costs_;
   u64 reduce_packets_ = 0;

@@ -77,7 +77,7 @@ void PsPinUnit::inject(core::Packet pkt, SimTime when) {
     l2_bytes_.add(static_cast<i64>(wire), now);
     const u32 s = subset_of(pkt);
     subsets_[s].queue.push_back(
-        QueuedPacket{std::make_shared<const core::Packet>(std::move(pkt)),
+        QueuedPacket{core::make_pooled_packet(std::move(pkt)),
                      engine});
     queued_packets_.add(1, now);
     dispatch(s);

@@ -4,10 +4,85 @@
 
 namespace flare::sim {
 
+namespace detail {
+
+void BucketCalendar::push(Event&& ev) {
+  u64 slot = slot_of(ev.at);
+  // Simulator::schedule_at rejects past events; the validator-test
+  // backdoor can still inject one, and it must surface immediately (the
+  // dispatch-time calendar-monotonic check wants to see it next).
+  if (slot < cur_slot_) slot = cur_slot_;
+  size_ += 1;
+  if (slot >= cur_slot_ + kBuckets) {
+    far_.push_back(std::move(ev));
+    std::push_heap(far_.begin(), far_.end(), Later{});
+    return;
+  }
+  std::vector<Event>& b = ring_[ring_index(slot)];
+  if (slot == cur_slot_ && sorted_) {
+    // Scheduling into the bucket being drained (the zero/short-delay hot
+    // pattern): place among the not-yet-dispatched remainder.  The new
+    // event carries the largest seq so far, so it goes after every
+    // already-queued event of the same timestamp — exact FIFO.
+    const auto it =
+        std::upper_bound(b.begin() + static_cast<std::ptrdiff_t>(pos_),
+                         b.end(), ev.at,
+                         [](SimTime t, const Event& e) { return t < e.at; });
+    b.insert(it, std::move(ev));
+    return;
+  }
+  b.push_back(std::move(ev));
+}
+
+void BucketCalendar::advance_horizon() {
+  // Pull far-future events whose slot just entered the ring horizon.
+  while (!far_.empty() && slot_of(far_.front().at) < cur_slot_ + kBuckets) {
+    std::pop_heap(far_.begin(), far_.end(), Later{});
+    Event ev = std::move(far_.back());
+    far_.pop_back();
+    ring_[ring_index(slot_of(ev.at))].push_back(std::move(ev));
+  }
+}
+
+Event* BucketCalendar::ensure_front() {
+  FLARE_ASSERT(size_ > 0);
+  for (;;) {
+    std::vector<Event>& b = ring_[ring_index(cur_slot_)];
+    if (sorted_) {
+      if (pos_ < b.size()) return &b[pos_];
+      b.clear();  // keeps capacity: buckets recycle their storage
+      pos_ = 0;
+      sorted_ = false;
+      cur_slot_ += 1;
+      advance_horizon();
+      continue;
+    }
+    if (!b.empty()) {
+      std::sort(b.begin(), b.end(), [](const Event& a, const Event& e) {
+        if (a.at != e.at) return a.at < e.at;
+        return a.seq < e.seq;
+      });
+      sorted_ = true;
+      continue;
+    }
+    // Current bucket empty: step to the next occupied slot.  When the
+    // whole ring is drained, jump the cursor straight to the first
+    // far-future event instead of walking empty buckets one by one.
+    if (size_ == far_.size()) {
+      cur_slot_ = slot_of(far_.front().at);
+    } else {
+      cur_slot_ += 1;
+    }
+    advance_horizon();
+  }
+}
+
+}  // namespace detail
+
 void Simulator::schedule_at(SimTime at, EventFn fn) {
   FLARE_ASSERT_MSG(at >= now_, "event scheduled in the past");
-  FLARE_ASSERT(fn != nullptr);
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+  FLARE_ASSERT(fn);
+  push_event(Event{at, next_seq_++, std::move(fn)});
 }
 
 void Simulator::dispatch(Event&& ev) {
@@ -30,12 +105,8 @@ void Simulator::dispatch(Event&& ev) {
 u64 Simulator::run() {
   stop_requested_ = false;
   u64 n = 0;
-  while (!queue_.empty() && !stop_requested_) {
-    // priority_queue::top() returns const&; the event is copied out so the
-    // callback can schedule new events (which may reallocate the heap).
-    Event ev = queue_.top();
-    queue_.pop();
-    dispatch(std::move(ev));
+  while (!empty() && !stop_requested_) {
+    dispatch(pop_event());
     ++n;
   }
   return n;
@@ -44,22 +115,24 @@ u64 Simulator::run() {
 u64 Simulator::run_until(SimTime until) {
   stop_requested_ = false;
   u64 n = 0;
-  while (!queue_.empty() && !stop_requested_) {
-    if (queue_.top().at > until) break;
-    Event ev = queue_.top();
-    queue_.pop();
-    dispatch(std::move(ev));
+  while (!empty() && !stop_requested_) {
+    if (peek_event()->at > until) break;
+    dispatch(pop_event());
     ++n;
   }
-  if (now_ < until && queue_.empty()) now_ = until;
+  // Uniform window-clock semantics: the clock lands exactly on `until`
+  // whether the calendar drained or the next event lies beyond the
+  // window, so back-to-back run_until windows never observe a clock
+  // lagging at the last dispatched event.  stop() is the exception: it
+  // cuts the window short with events (possibly before `until`) still
+  // pending, and jumping over them would make them "past" at dispatch.
+  if (!stop_requested_ && now_ < until) now_ = until;
   return n;
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  Event ev = queue_.top();
-  queue_.pop();
-  dispatch(std::move(ev));
+  if (empty()) return false;
+  dispatch(pop_event());
   return true;
 }
 

@@ -6,12 +6,33 @@
 // reproducibility experiments (Section 6.3 of the paper) and for debugging
 // the aggregation state machines.
 //
+// Hot-path design (the throughput ceiling for every bench, see
+// bench/sim_throughput.cpp):
+//
+//   * events hold an EventFn — a move-only callable with inline storage
+//     sized for the common network-layer closures (a captured NetPacket),
+//     so scheduling neither heap-allocates nor copies shared_ptr payloads;
+//   * dispatch MOVES the event out of the calendar instead of copying it
+//     out of priority_queue::top() (the pre-optimization implementation
+//     paid one closure allocation plus refcount churn per event);
+//   * two interchangeable calendar backends behind the same ordering
+//     contract: a binary heap (std::push_heap/pop_heap over a vector) and
+//     a bucketed calendar queue (time-sliced ring of FIFO buckets with a
+//     far-future overflow heap, O(1) amortized for the short-delay events
+//     that dominate network simulation).  tests/sim_calendar_property_test
+//     proves both backends dispatch identically.
+//
 // Time units are not interpreted by this layer: the PsPIN simulator ticks in
 // core cycles, the network simulator in picoseconds.
 #pragma once
 
-#include <functional>
-#include <queue>
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -20,13 +41,198 @@
 
 namespace flare::sim {
 
-using EventFn = std::function<void()>;
+/// Move-only type-erased `void()` callable with inline small-object
+/// storage.  Sized so the hottest closures in the repo — a captured
+/// NetPacket plus a `this` pointer — stay inline; larger or throwing-move
+/// callables fall back to a single heap cell.  Unlike std::function it
+/// never copies the callable, so scheduling a lambda that owns shared_ptr
+/// payloads costs no refcount traffic.
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 88;
+
+  EventFn() noexcept = default;
+  EventFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& o) noexcept { move_from(o); }
+  EventFn& operator=(EventFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  ///< move-construct + destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps{
+      [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); },
+      [](void* dst, void* src) {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* p) { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); }};
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps{
+      [](void* p) { (**std::launder(reinterpret_cast<Fn**>(p)))(); },
+      [](void* dst, void* src) { std::memcpy(dst, src, sizeof(Fn*)); },
+      [](void* p) { delete *std::launder(reinterpret_cast<Fn**>(p)); }};
+
+  void move_from(EventFn& o) noexcept {
+    ops_ = o.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, o.buf_);
+      o.ops_ = nullptr;
+    }
+  }
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) std::byte buf_[kInlineBytes];
+};
+
+/// One calendar entry.  (at, seq) is a unique total order: seq is the
+/// insertion sequence number, so same-time events dispatch FIFO.
+struct Event {
+  SimTime at = 0;
+  u64 seq = 0;
+  EventFn fn;
+};
+
+namespace detail {
+
+/// Heap order: `true` when a dispatches AFTER b (max-heap comparator that
+/// leaves the earliest (at, seq) on top).
+struct Later {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;  // FIFO among same-time events.
+  }
+};
+
+/// Binary-heap calendar: std::push_heap/pop_heap over a plain vector, so
+/// the minimum event can be MOVED out (std::priority_queue::top() returns
+/// const& and forces a copy).
+class HeapCalendar {
+ public:
+  void push(Event&& ev) {
+    heap_.push_back(std::move(ev));
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+  Event pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    return ev;
+  }
+  const Event* peek() const {
+    return heap_.empty() ? nullptr : &heap_.front();
+  }
+  bool empty() const { return heap_.empty(); }
+  u64 size() const { return heap_.size(); }
+
+ private:
+  std::vector<Event> heap_;
+};
+
+/// Bucketed calendar queue: a ring of kBuckets FIFO buckets, each covering
+/// kBucketWidth ticks, plus a far-future overflow heap.  Pushing an event
+/// inside the ring horizon is an O(1) append; buckets are sorted by
+/// (at, seq) once, when the cursor reaches them.  Events scheduled into
+/// the bucket currently being drained (the zero/short-delay pattern the
+/// network layer hammers) are placed by binary search among the not-yet-
+/// dispatched remainder, preserving the exact total order of the heap.
+class BucketCalendar {
+ public:
+  void push(Event&& ev);
+  Event pop() {
+    Event* front = ensure_front();
+    Event ev = std::move(*front);
+    pos_ += 1;
+    size_ -= 1;
+    return ev;
+  }
+  /// Valid until the next push/pop.  Non-const: advancing to the next
+  /// non-empty bucket (and sorting it) happens lazily here.
+  const Event* peek() { return empty() ? nullptr : ensure_front(); }
+  bool empty() const { return size_ == 0; }
+  u64 size() const { return size_; }
+
+ private:
+  // 1024 buckets x 64 ns cover a 67 us horizon: link serialization and
+  // propagation delays (hundreds of ns) land in the ring, while timeout
+  // and monitor-period events (hundreds of us) take the overflow heap.
+  static constexpr u64 kBucketWidthLog2 = 16;  ///< 2^16 ps = 65.5 ns
+  static constexpr u64 kBucketWidth = u64{1} << kBucketWidthLog2;
+  static constexpr u64 kBuckets = 1024;  ///< power of two (mask below)
+
+  static u64 slot_of(SimTime at) { return at >> kBucketWidthLog2; }
+  static u64 ring_index(u64 slot) { return slot & (kBuckets - 1); }
+
+  Event* ensure_front();
+  void advance_horizon();
+
+  std::vector<Event> ring_[kBuckets];
+  std::vector<Event> far_;  ///< Later{}-heap of events beyond the horizon
+  u64 cur_slot_ = 0;        ///< time slot the cursor is draining
+  std::size_t pos_ = 0;     ///< dispatch position within the current bucket
+  bool sorted_ = false;     ///< current bucket sorted and being drained
+  u64 size_ = 0;
+};
+
+}  // namespace detail
+
+/// Calendar backend selection.  Both obey the identical (time, seq)
+/// dispatch contract (property-tested against each other); the bucketed
+/// queue is the default because it wins on the sim_throughput scenario.
+enum class CalendarKind : u8 {
+  kBinaryHeap = 0,
+  kBucketed,
+};
 
 class Simulator {
  public:
-  Simulator() = default;
+  explicit Simulator(CalendarKind kind = CalendarKind::kBucketed)
+      : kind_(kind) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  CalendarKind calendar_kind() const { return kind_; }
 
   /// Current simulated time.  Valid inside event callbacks and after run().
   SimTime now() const { return now_; }
@@ -43,7 +249,11 @@ class Simulator {
   u64 run();
 
   /// Runs until the calendar is empty or simulated time exceeds `until`.
-  /// Events scheduled exactly at `until` are executed.
+  /// Events scheduled exactly at `until` are executed.  On return the
+  /// clock reads exactly `until` (unless stop() cut the window short, or
+  /// `until` was already in the past), regardless of whether the calendar
+  /// drained or the next event lies beyond the window — so back-to-back
+  /// run_until windows observe one uniform clock.
   u64 run_until(SimTime until);
 
   /// Runs a single event if one is pending; returns false if calendar empty.
@@ -52,8 +262,8 @@ class Simulator {
   /// Requests run()/run_until() to return after the current event completes.
   void stop() { stop_requested_ = true; }
 
-  bool empty() const { return queue_.empty(); }
-  u64 pending_events() const { return queue_.size(); }
+  bool empty() const { return queue_size() == 0; }
+  u64 pending_events() const { return queue_size(); }
   u64 total_events_run() const { return events_run_; }
 
 #if FLARE_VALIDATE_ENABLED
@@ -63,26 +273,34 @@ class Simulator {
   /// calendar-monotonic check fires.  Exists only in FLARE_VALIDATE
   /// builds; never call it outside that test.
   void debug_inject_at(SimTime at, EventFn fn) {
-    queue_.push(Event{at, next_seq_++, std::move(fn)});
+    push_event(Event{at, next_seq_++, std::move(fn)});
   }
 #endif
 
  private:
-  struct Event {
-    SimTime at;
-    u64 seq;
-    EventFn fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;  // FIFO among same-time events.
-    }
-  };
-
   void dispatch(Event&& ev);
+  void push_event(Event&& ev) {
+    if (kind_ == CalendarKind::kBinaryHeap) {
+      heap_.push(std::move(ev));
+    } else {
+      bucket_.push(std::move(ev));
+    }
+  }
+  Event pop_event() {
+    return kind_ == CalendarKind::kBinaryHeap ? heap_.pop() : bucket_.pop();
+  }
+  const Event* peek_event() {
+    return kind_ == CalendarKind::kBinaryHeap ? heap_.peek()
+                                              : bucket_.peek();
+  }
+  u64 queue_size() const {
+    return kind_ == CalendarKind::kBinaryHeap ? heap_.size()
+                                              : bucket_.size();
+  }
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  CalendarKind kind_;
+  detail::HeapCalendar heap_;
+  detail::BucketCalendar bucket_;
   SimTime now_ = 0;
   u64 next_seq_ = 0;
   u64 events_run_ = 0;

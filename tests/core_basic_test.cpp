@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <numeric>
 
@@ -440,6 +441,49 @@ TEST(BufferPoolDeath, OverReleaseAborts) {
   BufferPool pool(100);
   EXPECT_TRUE(pool.acquire(10, 0));
   EXPECT_DEATH(pool.release(20, 1), "releasing more than acquired");
+}
+
+// ---------------------------------------------------------- payload arena --
+
+TEST(PayloadArena, RecyclesBlocksAcrossPacketLifetimes) {
+  // Park a block on the freelist, then demand the next same-class
+  // allocation comes back from it, not the heap.
+  { PayloadVec v(1000); }
+  const auto before = pool_detail::payload_pool_stats();
+  EXPECT_GE(before.cached_blocks, 1u);
+  { PayloadVec v(1000); }
+  const auto after = pool_detail::payload_pool_stats();
+  EXPECT_GE(after.reused, before.reused + 1);
+  EXPECT_EQ(after.fresh, before.fresh);  // no new heap traffic
+}
+
+TEST(PayloadArena, SizeClassRoundingSharesBlocks) {
+  // 100 B and 128 B land in the same power-of-two class, so the freed
+  // block of one serves the other.
+  { PayloadVec v(100); }
+  const auto before = pool_detail::payload_pool_stats();
+  { PayloadVec v(128); }
+  const auto after = pool_detail::payload_pool_stats();
+  EXPECT_GE(after.reused, before.reused + 1);
+}
+
+TEST(PayloadArena, OversizedRequestsBypassTheClasses) {
+  const auto before = pool_detail::payload_pool_stats();
+  { PayloadVec v(3 * 1024 * 1024); }  // > 2 MiB ceiling -> plain heap
+  const auto after = pool_detail::payload_pool_stats();
+  EXPECT_EQ(after.cached_blocks, before.cached_blocks);
+  EXPECT_GE(after.fresh, before.fresh + 1);
+}
+
+TEST(PayloadArena, PooledPacketsRoundTrip) {
+  std::vector<f32> data(64, 2.5f);
+  Packet p = make_dense_packet(1, 2, 3, data.data(), 64, DType::kFloat32);
+  PacketPtr sp = make_pooled_packet(std::move(p));
+  ASSERT_EQ(sp->hdr.elem_count, 64u);
+  EXPECT_EQ(sp->payload.size(), 64 * sizeof(f32));
+  f32 back = 0;
+  std::memcpy(&back, sp->payload.data(), sizeof(back));
+  EXPECT_EQ(back, 2.5f);
 }
 
 }  // namespace

@@ -4,10 +4,14 @@
 //  * packet encode/decode round-trips across every dtype and payload shape;
 //  * cost-model consistency (paper calibration identities and monotonicity);
 //  * staggered-sending schedule properties;
+//  * ReduceOp kernel-table dispatch vs a naive scalar oracle, identity
+//    no-op laws, and the float min/max ±inf identity regression;
 //  * fp16 random round-trip against the double-rounding-free reference.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <set>
 #include <unordered_set>
 
@@ -15,6 +19,7 @@
 #include "core/cost_model.hpp"
 #include "core/dense_policies.hpp"
 #include "core/packet.hpp"
+#include "core/reduce_op.hpp"
 #include "core/staggered.hpp"
 #include "core/typed_buffer.hpp"
 
@@ -256,6 +261,148 @@ INSTANTIATE_TEST_SUITE_P(
                       std::tuple{4u, 4u}, std::tuple{4u, 10u},
                       std::tuple{8u, 64u}, std::tuple{16u, 16u},
                       std::tuple{16u, 1024u}, std::tuple{7u, 13u}));
+
+// ------------------------------------------------------------- reduce op --
+
+constexpr OpKind kBuiltinOpKinds[] = {OpKind::kSum,  OpKind::kProd,
+                                      OpKind::kMin,  OpKind::kMax,
+                                      OpKind::kBand, OpKind::kBor,
+                                      OpKind::kBxor};
+
+// Naive scalar oracle for one element — deliberately written as the switch
+// the production code used to be, so the kernel-table dispatch is checked
+// against an independent restatement of the semantics.
+template <typename T>
+T ref_scalar(OpKind k, T a, T b) {
+  switch (k) {
+    case OpKind::kSum: return static_cast<T>(a + b);
+    case OpKind::kProd: return static_cast<T>(a * b);
+    case OpKind::kMin: return std::min(a, b);
+    case OpKind::kMax: return std::max(a, b);
+    case OpKind::kBand:
+      if constexpr (std::is_integral_v<T>) return static_cast<T>(a & b);
+      break;
+    case OpKind::kBor:
+      if constexpr (std::is_integral_v<T>) return static_cast<T>(a | b);
+      break;
+    case OpKind::kBxor:
+      if constexpr (std::is_integral_v<T>) return static_cast<T>(a ^ b);
+      break;
+    case OpKind::kCustom: break;
+  }
+  return a;
+}
+
+void ref_apply(OpKind k, DType t, TypedBuffer& acc, const TypedBuffer& in) {
+  auto loop = [&](auto* a, const auto* b) {
+    for (std::size_t i = 0; i < acc.size(); ++i)
+      a[i] = ref_scalar(k, a[i], b[i]);
+  };
+  switch (t) {
+    case DType::kInt8:
+      loop(reinterpret_cast<i8*>(acc.data()),
+           reinterpret_cast<const i8*>(in.data()));
+      break;
+    case DType::kInt16:
+      loop(reinterpret_cast<i16*>(acc.data()),
+           reinterpret_cast<const i16*>(in.data()));
+      break;
+    case DType::kInt32:
+      loop(reinterpret_cast<i32*>(acc.data()),
+           reinterpret_cast<const i32*>(in.data()));
+      break;
+    case DType::kInt64:
+      loop(reinterpret_cast<i64*>(acc.data()),
+           reinterpret_cast<const i64*>(in.data()));
+      break;
+    case DType::kFloat32:
+      loop(reinterpret_cast<f32*>(acc.data()),
+           reinterpret_cast<const f32*>(in.data()));
+      break;
+    case DType::kFloat16: {
+      auto* a = reinterpret_cast<u16*>(acc.data());
+      const auto* b = reinterpret_cast<const u16*>(in.data());
+      for (std::size_t i = 0; i < acc.size(); ++i) {
+        a[i] = f32_to_f16(
+            ref_scalar(k, f16_to_f32(a[i]), f16_to_f32(b[i])));
+      }
+      break;
+    }
+  }
+}
+
+TEST(ReduceOpProperty, ApplyMatchesScalarOracleForEveryOpDtypePair) {
+  Rng rng(4242);
+  for (const OpKind k : kBuiltinOpKinds) {
+    const ReduceOp op(k);
+    for (const DType t : kAllDTypes) {
+      if (!op.supports(t)) continue;
+      // Odd lengths included so the vectorized loop tails are exercised.
+      for (const std::size_t n : {1u, 3u, 64u, 255u, 1000u}) {
+        TypedBuffer acc(t, n), in(t, n), ref(t, n);
+        acc.fill_random(rng);
+        in.fill_random(rng);
+        std::memcpy(ref.data(), acc.data(), acc.size_bytes());
+        acc.accumulate(in, op);
+        ref_apply(k, t, ref, in);
+        EXPECT_TRUE(acc.bitwise_equal(ref))
+            << op_name(k) << "/" << dtype_name(t) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(ReduceOpProperty, IdentityIsANoOpForEveryOpDtypePair) {
+  Rng rng(777);
+  for (const OpKind k : kBuiltinOpKinds) {
+    const ReduceOp op(k);
+    for (const DType t : kAllDTypes) {
+      if (!op.supports(t)) continue;
+      TypedBuffer in(t, 333);
+      in.fill_random(rng);
+      TypedBuffer acc(t, 333);
+      acc.fill_identity(op);
+      acc.accumulate(in, op);
+      EXPECT_TRUE(acc.bitwise_equal(in))
+          << op_name(k) << "/" << dtype_name(t);
+    }
+  }
+}
+
+// The identity-bug regression (ISSUE 8): float min/max identities must be
+// the infinities, not FLT_MAX/-FLT_MAX, or ±inf inputs are silently
+// clipped by the very first accumulate.
+TEST(ReduceOpProperty, FloatMinMaxIdentitiesAreInfinite) {
+  const ReduceOp vmin(OpKind::kMin), vmax(OpKind::kMax);
+  f32 v = 0.0f;
+  vmin.fill_identity(DType::kFloat32, &v, 1);
+  EXPECT_TRUE(std::isinf(v) && v > 0) << v;
+  vmax.fill_identity(DType::kFloat32, &v, 1);
+  EXPECT_TRUE(std::isinf(v) && v < 0) << v;
+  u16 h = 0;
+  vmin.fill_identity(DType::kFloat16, &h, 1);
+  EXPECT_EQ(h, 0x7C00) << "f16 +inf";
+  vmax.fill_identity(DType::kFloat16, &h, 1);
+  EXPECT_EQ(h, 0xFC00) << "f16 -inf";
+  // Integer identities unchanged: the full range must survive.
+  i32 iv = 0;
+  vmin.fill_identity(DType::kInt32, &iv, 1);
+  EXPECT_EQ(iv, std::numeric_limits<i32>::max());
+  vmax.fill_identity(DType::kInt32, &iv, 1);
+  EXPECT_EQ(iv, std::numeric_limits<i32>::min());
+
+  // The user-visible symptom: a buffer containing +inf reduced with max
+  // (or -inf with min) through the identity must keep the infinity.
+  const f32 pinf = std::numeric_limits<f32>::infinity();
+  f32 m = 0.0f;
+  vmax.fill_identity(DType::kFloat32, &m, 1);
+  vmax.apply(DType::kFloat32, &m, &pinf, 1);
+  EXPECT_EQ(m, pinf);
+  const f32 ninf = -pinf;
+  vmin.fill_identity(DType::kFloat32, &m, 1);
+  vmin.apply(DType::kFloat32, &m, &ninf, 1);
+  EXPECT_EQ(m, ninf);
+}
 
 // ------------------------------------------------------------------ fp16 --
 

@@ -9,6 +9,8 @@
 // buffer-pool lifecycle, and multi-block interleaving.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <limits>
 #include <memory>
 
 #include "common/rng.hpp"
@@ -163,6 +165,57 @@ std::vector<SweepParam> make_sweep() {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, PolicySweep, ::testing::ValuesIn(make_sweep()));
 
+// ISSUE 8 identity-bug regression: the aggregation buffer is seeded with
+// fill_identity, so a FLT_MAX/-FLT_MAX "identity" silently clips ±inf
+// inputs in the first combine.  Reduce buffers CONTAINING infinities with
+// min/max through every policy and demand the infinities survive.
+TEST(PolicyIdentity, InfinityValuesSurviveFloatMinMax) {
+  const f64 pinf = std::numeric_limits<f64>::infinity();
+  for (const AggPolicy policy :
+       {AggPolicy::kSingleBuffer, AggPolicy::kMultiBuffer, AggPolicy::kTree}) {
+    for (const DType t : {DType::kFloat32, DType::kFloat16}) {
+      for (const OpKind k : {OpKind::kMin, OpKind::kMax}) {
+        const u32 P = 5;
+        Rng rng(derive_seed(4, static_cast<u64>(policy) * 10 +
+                                   static_cast<u64>(k)));
+        std::vector<TypedBuffer> data;
+        for (u32 h = 0; h < P; ++h) {
+          TypedBuffer b(t, 16);
+          b.fill_random(rng, -4.0, 4.0);
+          data.push_back(std::move(b));
+        }
+        // Element 3 sees a +inf, element 7 a -inf (from different hosts).
+        data[1].set_from_f64(3, pinf);
+        data[4].set_from_f64(7, -pinf);
+        std::vector<SimTime> arrivals;
+        for (u32 h = 0; h < P; ++h) arrivals.push_back(rng.uniform_u64(4000));
+
+        AllreduceConfig cfg = base_config(
+            P, policy, policy == AggPolicy::kMultiBuffer ? 2 : 1, t, k, 16);
+        RunResult rr = run_one_block(cfg, data, arrivals);
+        TypedBuffer got(t, 16);
+        ASSERT_EQ(rr.result.payload.size(), got.size_bytes());
+        std::memcpy(got.data(), rr.result.payload.data(),
+                    rr.result.payload.size());
+        if (k == OpKind::kMax) {
+          EXPECT_EQ(got.get_as_f64(3), pinf)
+              << "policy=" << static_cast<int>(policy)
+              << " dtype=" << dtype_name(t);
+        } else {
+          EXPECT_EQ(got.get_as_f64(7), -pinf)
+              << "policy=" << static_cast<int>(policy)
+              << " dtype=" << dtype_name(t);
+        }
+        // Every other element must match the plain reference fold.
+        const TypedBuffer expected = reference_reduce(data, ReduceOp(k));
+        for (std::size_t i = 0; i < 16; ++i) {
+          EXPECT_EQ(got.get_as_f64(i), expected.get_as_f64(i)) << "elem " << i;
+        }
+      }
+    }
+  }
+}
+
 // ------------------------------------------------------- reproducibility --
 
 TEST(TreePolicy, BitwiseReproducibleAcrossArrivalOrders) {
@@ -181,7 +234,7 @@ TEST(TreePolicy, BitwiseReproducibleAcrossArrivalOrders) {
   AllreduceConfig cfg =
       base_config(P, AggPolicy::kTree, 1, DType::kFloat32, OpKind::kSum, 32);
 
-  std::vector<std::vector<std::byte>> payloads;
+  std::vector<PayloadVec> payloads;
   for (u64 perm = 0; perm < 8; ++perm) {
     Rng arr(derive_seed(500, perm));
     std::vector<SimTime> arrivals;

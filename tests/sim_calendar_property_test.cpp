@@ -1,0 +1,229 @@
+// Property test proving the two calendar backends interchangeable.
+//
+// The Simulator contract is a single total order — dispatch by
+// (time, insertion-seq), FIFO among same-time events — regardless of which
+// calendar implements it.  The binary heap is the obviously-correct
+// reference; the bucketed calendar queue earns its place only by matching
+// it event for event.  Each property below runs the SAME seeded random
+// workload on both backends and demands identical dispatch traces and
+// clocks, across the patterns that stress the bucket machinery:
+//
+//   * same-timestamp bursts (FIFO tie-break inside one bucket),
+//   * zero/short delays scheduled from inside events (insertion into the
+//     bucket currently being drained),
+//   * far-future delays beyond the ring horizon (overflow heap + cursor
+//     jump over empty buckets),
+//   * run_until windows and stop() cutting a window short.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace flare::sim {
+namespace {
+
+constexpr CalendarKind kBackends[] = {CalendarKind::kBinaryHeap,
+                                      CalendarKind::kBucketed};
+
+/// One dispatched event, as observed from inside its callback.
+struct TraceEntry {
+  SimTime at = 0;
+  u64 id = 0;
+  bool operator==(const TraceEntry&) const = default;
+};
+
+// Delay classes chosen against the bucket geometry (2^16 ps buckets,
+// 1024-slot ring => 2^26 ps horizon): same-bucket, near-future ring,
+// and past-the-horizon overflow-heap events all occur in every storm.
+SimTime random_delay(Rng& rng) {
+  switch (rng.uniform_u64(4)) {
+    case 0: return 0;                                   // same timestamp
+    case 1: return rng.uniform_u64(u64{1} << 16);       // same/next bucket
+    case 2: return rng.uniform_u64(u64{1} << 24);       // inside the ring
+    default: return rng.uniform_u64(u64{1} << 30);      // beyond the horizon
+  }
+}
+
+/// Static storm: pre-schedule `n` events (no rescheduling), run to empty,
+/// return the dispatch trace.
+std::vector<TraceEntry> static_storm(CalendarKind kind, u64 seed, u64 n) {
+  Rng rng(seed);
+  Simulator sim(kind);
+  std::vector<TraceEntry> trace;
+  trace.reserve(n);
+  for (u64 id = 0; id < n; ++id) {
+    const SimTime at = random_delay(rng);
+    sim.schedule_at(at, [&trace, &sim, id] {
+      trace.push_back({sim.now(), id});
+    });
+  }
+  sim.run();
+  return trace;
+}
+
+/// Cascading storm: every event may schedule further events (with the
+/// backend's own Rng stream, seeded identically), exercising insertion
+/// into the currently-draining bucket.
+std::vector<TraceEntry> cascade_storm(CalendarKind kind, u64 seed, u64 roots,
+                                      u64 budget) {
+  auto rng = std::make_shared<Rng>(seed);
+  auto remaining = std::make_shared<u64>(budget);
+  Simulator sim(kind);
+  std::vector<TraceEntry> trace;
+  u64 next_id = 0;
+
+  std::function<void(u64)> fire = [&, rng, remaining](u64 id) {
+    trace.push_back({sim.now(), id});
+    const u64 children = rng->uniform_u64(3);  // 0..2 follow-ups
+    for (u64 c = 0; c < children && *remaining > 0; ++c) {
+      *remaining -= 1;
+      const u64 child_id = next_id++;
+      sim.schedule_after(random_delay(*rng),
+                         [&fire, child_id] { fire(child_id); });
+    }
+  };
+  for (u64 r = 0; r < roots; ++r) {
+    const u64 id = next_id++;
+    const SimTime at = random_delay(*rng);
+    sim.schedule_at(at, [&fire, id] { fire(id); });
+  }
+  sim.run();
+  return trace;
+}
+
+/// Windowed storm: dispatch the same pre-scheduled storm through a series
+/// of random run_until windows (including empty ones), recording the clock
+/// after every window.
+struct WindowedResult {
+  std::vector<TraceEntry> trace;
+  std::vector<SimTime> clocks;
+  bool operator==(const WindowedResult&) const = default;
+};
+
+WindowedResult windowed_storm(CalendarKind kind, u64 seed, u64 n) {
+  Rng rng(seed);
+  Simulator sim(kind);
+  WindowedResult r;
+  for (u64 id = 0; id < n; ++id) {
+    const SimTime at = random_delay(rng);
+    sim.schedule_at(at, [&r, &sim, id] {
+      r.trace.push_back({sim.now(), id});
+    });
+  }
+  SimTime until = 0;
+  while (!sim.empty()) {
+    until += rng.uniform_u64(u64{1} << 22);
+    sim.run_until(until);
+    r.clocks.push_back(sim.now());
+  }
+  sim.run();
+  r.clocks.push_back(sim.now());
+  return r;
+}
+
+/// Model check on the static storm: the trace must be the stable sort of
+/// the schedule by time (stable = insertion order breaks ties).
+TEST(CalendarProperty, StaticStormMatchesStableSortModel) {
+  for (const CalendarKind kind : kBackends) {
+    for (u64 seed = 1; seed <= 5; ++seed) {
+      Rng rng(seed);
+      std::vector<TraceEntry> expect;
+      for (u64 id = 0; id < 500; ++id) expect.push_back({random_delay(rng), id});
+      std::stable_sort(
+          expect.begin(), expect.end(),
+          [](const TraceEntry& a, const TraceEntry& b) { return a.at < b.at; });
+      EXPECT_EQ(static_storm(kind, seed, 500), expect)
+          << "backend=" << static_cast<int>(kind) << " seed=" << seed;
+    }
+  }
+}
+
+TEST(CalendarProperty, BackendsAgreeOnCascadingStorms) {
+  for (u64 seed = 10; seed <= 14; ++seed) {
+    const auto heap = cascade_storm(CalendarKind::kBinaryHeap, seed, 64, 2000);
+    const auto bucket = cascade_storm(CalendarKind::kBucketed, seed, 64, 2000);
+    ASSERT_GT(heap.size(), 64u) << "storm fizzled; seed=" << seed;
+    EXPECT_EQ(heap, bucket) << "seed=" << seed;
+  }
+}
+
+TEST(CalendarProperty, BackendsAgreeOnRunUntilWindows) {
+  for (u64 seed = 20; seed <= 24; ++seed) {
+    const auto heap = windowed_storm(CalendarKind::kBinaryHeap, seed, 400);
+    const auto bucket = windowed_storm(CalendarKind::kBucketed, seed, 400);
+    EXPECT_EQ(heap, bucket) << "seed=" << seed;
+  }
+}
+
+/// Same-timestamp FIFO under pressure: many events at few distinct times,
+/// with same-time follow-ups scheduled from inside events (which must
+/// dispatch after every already-queued event of that timestamp).
+TEST(CalendarProperty, SameTimeFifoWithInEventScheduling) {
+  for (const CalendarKind kind : kBackends) {
+    Simulator sim(kind);
+    std::vector<u64> order;
+    u64 next = 0;
+    for (int i = 0; i < 20; ++i) {
+      const u64 id = next++;
+      sim.schedule_at(100, [&, id] {
+        order.push_back(id);
+        if (id < 5) {
+          // Zero-delay follow-up: same timestamp, larger seq => must run
+          // after ALL twenty pre-scheduled events.
+          const u64 child = next++;
+          sim.schedule_after(0, [&order, child] { order.push_back(child); });
+        }
+      });
+    }
+    sim.run();
+    ASSERT_EQ(order.size(), 25u);
+    for (u64 i = 0; i < 25; ++i) {
+      EXPECT_EQ(order[i], i) << "backend=" << static_cast<int>(kind);
+    }
+  }
+}
+
+TEST(CalendarProperty, StopAgreesAcrossBackends) {
+  for (const CalendarKind kind : kBackends) {
+    Simulator sim(kind);
+    std::vector<u64> order;
+    for (u64 id = 0; id < 10; ++id) {
+      sim.schedule_at(id * 1000, [&, id] {
+        order.push_back(id);
+        if (id == 4) sim.stop();
+      });
+    }
+    sim.run_until(8000);
+    EXPECT_EQ(order.size(), 5u) << "backend=" << static_cast<int>(kind);
+    EXPECT_EQ(sim.now(), 4000u);  // stop() pins the clock at the last event
+    sim.run();
+    EXPECT_EQ(order.size(), 10u);
+    EXPECT_EQ(sim.now(), 9000u);
+  }
+}
+
+/// The far-future overflow path alone: everything beyond the ring horizon,
+/// forcing the cursor jump and the horizon migration.
+TEST(CalendarProperty, FarFutureOnlyStorm) {
+  for (const CalendarKind kind : kBackends) {
+    Rng rng(99);
+    Simulator sim(kind);
+    std::vector<SimTime> times;
+    std::vector<SimTime> seen;
+    for (int i = 0; i < 200; ++i) {
+      // All far beyond the 2^26 ps ring horizon, widely spread.
+      const SimTime at = (u64{1} << 27) + rng.uniform_u64(u64{1} << 40);
+      times.push_back(at);
+      sim.schedule_at(at, [&seen, &sim] { seen.push_back(sim.now()); });
+    }
+    std::sort(times.begin(), times.end());
+    sim.run();
+    EXPECT_EQ(seen, times) << "backend=" << static_cast<int>(kind);
+  }
+}
+
+}  // namespace
+}  // namespace flare::sim

@@ -65,6 +65,56 @@ TEST(Simulator, RunUntilStopsAtBoundary) {
   EXPECT_EQ(ran, 3);
 }
 
+// Uniform run_until clock semantics: the clock lands on the window end in
+// BOTH exits — calendar drained, or next event beyond the window.  Before
+// the hot-path PR only the drained exit advanced, so back-to-back windows
+// (the congestion monitor's arm_until sampling cadence) saw a clock
+// lagging at the last dispatched event.
+TEST(Simulator, RunUntilAdvancesClockWhenNextEventIsBeyondWindow) {
+  Simulator sim;
+  sim.schedule_at(10, [] {});
+  sim.schedule_at(500, [] {});
+  sim.run_until(100);
+  EXPECT_EQ(sim.now(), 100u);  // not 10: the window end is the clock
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(200);  // an empty window still advances the clock
+  EXPECT_EQ(sim.now(), 200u);
+  sim.run_until(500);
+  EXPECT_EQ(sim.now(), 500u);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenDrained) {
+  Simulator sim;
+  sim.schedule_at(10, [] {});
+  sim.run_until(100);
+  EXPECT_EQ(sim.now(), 100u);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, RunUntilInThePastIsANoOp) {
+  Simulator sim;
+  sim.schedule_at(50, [] {});
+  sim.run();
+  EXPECT_EQ(sim.now(), 50u);
+  sim.run_until(20);  // window already closed: clock must not rewind
+  EXPECT_EQ(sim.now(), 50u);
+}
+
+TEST(Simulator, StopLeavesClockAtLastEventNotWindowEnd) {
+  Simulator sim;
+  sim.schedule_at(10, [&] { sim.stop(); });
+  sim.schedule_at(30, [] {});
+  sim.run_until(100);
+  // stop() cut the window short with an event still pending before the
+  // window end; jumping to 100 would dispatch it "in the past".
+  EXPECT_EQ(sim.now(), 10u);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(100);
+  EXPECT_EQ(sim.now(), 100u);
+  EXPECT_TRUE(sim.empty());
+}
+
 TEST(Simulator, StopInterruptsRun) {
   Simulator sim;
   int ran = 0;
