@@ -717,6 +717,7 @@ class InNetOp final : public TreeOpBase {
     res.retransmits = retransmits_;
     res.recoveries = recoveries_;
     res.migrations = migrations_iter_;
+    res.planned_migrations = planned_iter_;
     // Iteration bookkeeping (+ closes this iteration's tracer span).
     record_iteration_time(static_cast<SimTime>(worst));
 
@@ -790,6 +791,20 @@ const ReductionTree& PersistentCollective::tree() const {
 u32 PersistentCollective::migrations() const {
   return op_ != nullptr ? op_->migrations() : 0;
 }
+
+u32 PersistentCollective::planned_migrations() const {
+  return op_ != nullptr ? op_->planned_migrations() : 0;
+}
+
+bool PersistentCollective::plan_migration(const ReductionTree& target) {
+  return op_ != nullptr && op_->plan_migration(target);
+}
+
+#if FLARE_VALIDATE_ENABLED
+bool PersistentCollective::debug_break_next_plan_apply() {
+  return op_ != nullptr && op_->debug_break_next_plan_apply();
+}
+#endif
 
 void PersistentCollective::release() {
   if (op_ != nullptr) op_->release_install();

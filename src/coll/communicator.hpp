@@ -111,6 +111,26 @@ class PersistentCollective {
   /// Congestion-triggered re-embeddings over the session's lifetime (each
   /// iteration's CollectiveResult carries its own share).
   u32 migrations() const;
+  /// Optimizer-planned re-embeddings applied over the session's lifetime
+  /// (disjoint from the reactive migrations() count).
+  u32 planned_migrations() const;
+  /// Traffic-attribution tag (core::AllreduceConfig::trace) of this
+  /// session — stable across reinstalls and migrations; 0 when empty.
+  /// The co-placement snapshot keys per-job link EWMAs off it.
+  u32 trace() const { return cfg_.trace; }
+
+  /// Stages a PlacementPlan move: the session re-embeds onto `target` at
+  /// its next iteration boundary via the break-before-make fresh-id path.
+  /// False (nothing staged) for host-ring persistents and sessions
+  /// currently without an install.
+  bool plan_migration(const ReductionTree& target);
+
+#if FLARE_VALIDATE_ENABLED
+  /// Test backdoor: breaks the next planned-move application so the
+  /// FLARE_VALIDATE "plan-apply" audit must fire (validate_test).  False
+  /// when the session has no tree op.
+  bool debug_break_next_plan_apply();
+#endif
 
   /// Blocking iteration: resets per-iteration engine/host state, executes
   /// against the installed tree, drives the calendar to idle.  When the

@@ -282,6 +282,7 @@ void SparseOp::finalize() {
   res.retransmits = retransmits_;
   res.recoveries = recoveries_;
   res.migrations = migrations_iter_;
+    res.planned_migrations = planned_iter_;
   // Completion-time watch feeding the next iteration's migration check.
   record_iteration_time(static_cast<SimTime>(worst));
 

@@ -64,12 +64,16 @@ bool TreeOpBase::begin_prologue(u64 seed, std::shared_ptr<OpState> state) {
   recoveries_ = 0;
   recover_waits_ = 0;
   migrations_iter_ = 0;
+  planned_iter_ = 0;
   if (!owns_install_ && !first_begin_) {
     refresh_persistent_install();
     // Congestion adaptation happens at the iteration boundary, after the
     // fault-driven refresh: a healthy tree on hot links is still the
-    // wrong tree.
-    maybe_migrate();
+    // wrong tree.  An optimizer-planned move (service co-placement round)
+    // applies first and suppresses the reactive check this boundary — two
+    // controllers re-embedding the same session in one instant would
+    // fight over the fresh id.
+    if (!apply_planned_migration()) maybe_migrate();
   }
   first_begin_ = false;
   trace_iteration_begin();
@@ -224,6 +228,7 @@ void TreeOpBase::give_up() {
   res.retransmits = retransmits_;
   res.recoveries = recoveries_;
   res.migrations = migrations_iter_;
+    res.planned_migrations = planned_iter_;
   finished_ = true;
   complete_ = true;
   publish(std::move(res));  // may destroy *this — nothing after
@@ -267,6 +272,7 @@ void TreeOpBase::on_fallback_done() {
   res.retransmits += retransmits_;
   res.recoveries = recoveries_;
   res.migrations = migrations_iter_;
+    res.planned_migrations = planned_iter_;
   finished_ = true;
   complete_ = true;
   publish(std::move(res));  // may destroy *this — nothing after
@@ -345,7 +351,29 @@ void TreeOpBase::maybe_migrate() {
                    desc_.migrate_improvement * cur_hot) {
     return;
   }
+  migrate_to(*best, /*planned=*/false);
+}
 
+bool TreeOpBase::plan_migration(const ReductionTree& target) {
+  if (!installed_ || fallback_active()) return false;
+  planned_tree_ = target;
+  return true;
+}
+
+bool TreeOpBase::apply_planned_migration() {
+  if (!planned_tree_) return false;
+  const ReductionTree target = std::move(*planned_tree_);
+  planned_tree_.reset();
+  if (!installed_ || fallback_active()) return false;
+  // The fabric may have changed since the optimizer froze it (faults,
+  // other tenants moving): a dead target is dropped and the reactive
+  // check still runs this boundary; the service re-plans next round.
+  if (!tree_alive(net_, target)) return false;
+  migrate_to(target, /*planned=*/true);
+  return true;
+}
+
+void TreeOpBase::migrate_to(const ReductionTree& target, bool planned) {
   // Break-before-make on the PR-3 fresh-id path: stale in-flight packets
   // of the old id drop harmlessly at switches and hosts.  No calendar
   // event can run between the release and the install, so at minimum the
@@ -357,8 +385,8 @@ void TreeOpBase::maybe_migrate() {
   release_install();
   cfg_.id = manager_.next_id();
   const f64 bps = resolved_switch_service_bps(desc_, sparse_);
-  if (manager_.install(*best, cfg_, bps)) {
-    tree_ = std::move(*best);
+  if (manager_.install(target, cfg_, bps)) {
+    tree_ = target;
     installed_ = true;
   } else {
     // The target shares a full switch with other tenants: take the best
@@ -369,6 +397,7 @@ void TreeOpBase::maybe_migrate() {
         FLARE_ASSERT_MSG(timeout_ps_ > 0,
                          "migration lost the tree with fault handling off");
       }
+      validate_plan_apply(planned);
       return;
     }
     tree_ = std::move(*rep);
@@ -382,12 +411,47 @@ void TreeOpBase::maybe_migrate() {
     new_switches.push_back(e.sw->id());
   }
   if (new_switches != old_switches) {
-    migrations_iter_ += 1;
-    migrations_total_ += 1;
+    if (planned) {
+      planned_iter_ += 1;
+      planned_total_ += 1;
+    } else {
+      migrations_iter_ += 1;
+      migrations_total_ += 1;
+    }
     if (obs::Tracer* tr = tracer()) {
-      tr->instant(cfg_.trace, "migrate", net_.sim().now(), "migration");
+      tr->instant(cfg_.trace, planned ? "planned-migrate" : "migrate",
+                  net_.sim().now(), "migration");
     }
   }
+  validate_plan_apply(planned);
+}
+
+void TreeOpBase::validate_plan_apply(bool planned) {
+#if FLARE_VALIDATE_ENABLED
+  if (!planned) return;
+  if (debug_break_plan_apply_ && installed_ && !tree_.switches.empty()) {
+    // Seeded violation: strip one role AFTER the install so the audit
+    // below must detect the half-applied move (validate_test).
+    tree_.switches.front().sw->uninstall_reduce(cfg_.id);
+    debug_break_plan_apply_ = false;
+  }
+  if (installed_) {
+    for (const TreeSwitchEntry& e : tree_.switches) {
+      if (e.sw->role(cfg_.id) == nullptr) {
+        validate::fail("plan-apply",
+                       "planned move half-applied: switch '" + e.sw->name() +
+                           "' holds no role for allreduce " +
+                           std::to_string(cfg_.id));
+      }
+    }
+  } else if (!fallback_active() && timeout_ps_ == 0) {
+    validate::fail("plan-apply",
+                   "planned move neither applied nor rolled back: op has no "
+                   "install, no fallback, and fault handling is off");
+  }
+#else
+  (void)planned;
+#endif
 }
 
 }  // namespace flare::coll::detail

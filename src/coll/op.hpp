@@ -23,9 +23,12 @@
 #include <memory>
 #include <vector>
 
+#include <optional>
+
 #include "coll/manager.hpp"
 #include "coll/options.hpp"
 #include "coll/result.hpp"
+#include "common/validate.hpp"
 
 namespace flare::obs {
 class Tracer;
@@ -62,6 +65,28 @@ class OpBase {
   /// Congestion migrations performed over the op's lifetime (0 for
   /// host-based ops).
   virtual u32 migrations() const { return 0; }
+
+  /// Stages an optimizer-planned re-embedding (a PlacementPlan move) to
+  /// apply at the next iteration boundary through the break-before-make
+  /// fresh-id path.  Returns false — and stages nothing — for host-based
+  /// ops and for tree ops currently without an install (fallback/outage):
+  /// the service re-plans such jobs on a later round instead.
+  virtual bool plan_migration(const ReductionTree& target) {
+    (void)target;
+    return false;
+  }
+
+  /// Optimizer-planned migrations applied over the op's lifetime —
+  /// disjoint from migrations(), which counts only the op's own reactive
+  /// moves (the bench asserts the co-placement win comes from planning,
+  /// not more reactive churn).
+  virtual u32 planned_migrations() const { return 0; }
+
+#if FLARE_VALIDATE_ENABLED
+  /// Seeded-violation backdoor for the "plan-apply" audit; false when the
+  /// op has no planned-move machinery (host-based ops).
+  virtual bool debug_break_next_plan_apply() { return false; }
+#endif
 
   /// Releases installed switch state and host handlers; idempotent, no-op
   /// for host-based ops.  Called by PersistentCollective::release().
@@ -119,7 +144,18 @@ class TreeOpBase : public OpBase {
     return installed_ ? &tree_ : nullptr;
   }
   u32 migrations() const override { return migrations_total_; }
+  bool plan_migration(const ReductionTree& target) override;
+  u32 planned_migrations() const override { return planned_total_; }
   void release_install() override;
+
+#if FLARE_VALIDATE_ENABLED
+  /// After the next planned migration installs, silently strips the first
+  /// tree switch's role so the audit MUST fire (validate_test proves it).
+  bool debug_break_next_plan_apply() override {
+    debug_break_plan_apply_ = true;
+    return true;
+  }
+#endif
 
  protected:
   // ---- hooks the concrete op supplies -----------------------------------
@@ -230,6 +266,8 @@ class TreeOpBase : public OpBase {
   net::CongestionMonitor* monitor_ = nullptr;
   u32 migrations_iter_ = 0;   ///< while preparing the CURRENT iteration
   u32 migrations_total_ = 0;  ///< over the op's lifetime
+  u32 planned_iter_ = 0;      ///< optimizer-planned, CURRENT iteration
+  u32 planned_total_ = 0;     ///< optimizer-planned, op lifetime
 
   /// Host-side fallback data plane once no viable tree remains.
   std::unique_ptr<OpBase> fallback_op_;
@@ -248,12 +286,39 @@ class TreeOpBase : public OpBase {
   /// exists, move there via the fresh-id reinstall path.
   void maybe_migrate();
 
+  /// Consumes the tree staged by plan_migration() at the iteration
+  /// boundary.  True when a plan was pending and ATTEMPTED (the reactive
+  /// check is skipped that boundary — two controllers re-embedding one
+  /// session in the same instant would fight); false when nothing was
+  /// staged or the plan went stale (fabric changed since the optimizer
+  /// froze it).
+  bool apply_planned_migration();
+
+  /// Break-before-make re-embedding onto `target` via the fresh-id
+  /// reinstall path — the shared tail of maybe_migrate() and
+  /// apply_planned_migration().  Counts a migration (reactive or planned
+  /// per `planned`) only when the switch set actually changed.
+  void migrate_to(const ReductionTree& target, bool planned);
+
+  /// FLARE_VALIDATE "plan-apply" audit: a planned move must leave the op
+  /// either fully installed (every tree switch holds the fresh id's role)
+  /// or fully rolled off the fabric onto a recovery path.  No-op for
+  /// reactive moves and in non-validating builds.
+  void validate_plan_apply(bool planned);
+
   /// Constructs the fallback op (when the kind has one) and releases the
   /// install; false when no fallback applies.
   bool prepare_fallback();
   void start_fallback_iteration(u64 seed);
   void begin_fallback_iteration(u64 seed, std::shared_ptr<OpState> state);
   void on_fallback_done();
+
+  /// Re-embedding staged by plan_migration(), consumed at the next
+  /// iteration boundary by apply_planned_migration().
+  std::optional<ReductionTree> planned_tree_;
+#if FLARE_VALIDATE_ENABLED
+  bool debug_break_plan_apply_ = false;
+#endif
 
   bool first_begin_ = true;
   bool iter_span_open_ = false;  ///< balances B/E on the tracer row

@@ -41,6 +41,10 @@ struct CollectiveResult {
   /// Congestion-triggered tree re-embeddings performed while PREPARING
   /// this iteration (persistent sessions with Tuning::migrate_above > 0).
   u32 migrations = 0;
+  /// Optimizer-planned re-embeddings applied while preparing this
+  /// iteration (service co-placement rounds) — disjoint from the reactive
+  /// `migrations` count above.
+  u32 planned_migrations = 0;
   /// An in-network collective that lost its tree and FINISHED on the
   /// host-ring data plane (in_network is false in that case).
   bool fell_back = false;

@@ -178,13 +178,43 @@ void export_service_telemetry(MetricsRegistry& reg,
   set_event(reg, "job_recovered", t.jobs_recovered);
   set_event(reg, "fault_fallback", t.fault_fallbacks);
   set_event(reg, "migration", t.migrations);
+  set_event(reg, "planned_migration", t.planned_migrations);
+  set_event(reg, "admission_reorder", t.admission_reorders);
   set_event(reg, "congestion_deferral", t.congestion_deferrals);
+  export_placement_telemetry(reg, t);
   reg.gauge("flare_service_peak_queue_len",
             "High-water mark of the admission wait queue")
       .set(static_cast<f64>(t.peak_queue_len));
   set_latency(reg, "queue_delay", t.queue_delay_s);
   set_latency(reg, "in_network_service", t.in_network_service_s);
   set_latency(reg, "fallback_service", t.fallback_service_s);
+}
+
+void export_placement_telemetry(MetricsRegistry& reg,
+                                const service::ServiceTelemetry& t) {
+  reg.counter("flare_place_rounds_total",
+              "Co-placement optimizer rounds executed")
+      .counter = t.place.rounds;
+  const char* kMoves = "Co-placement plan moves, by outcome";
+  const auto moves = [&](const char* outcome, u64 v) {
+    reg.counter("flare_place_moves_total", kMoves, {{"outcome", outcome}})
+        .counter = v;
+  };
+  moves("proposed", t.place.moves_proposed);
+  moves("rejected", t.place.moves_rejected);
+  moves("planned", t.place.moves_planned);
+  // Applied moves are counted where they happen — at the jobs' iteration
+  // boundaries — and flow back through CollectiveResult.
+  moves("applied", t.planned_migrations);
+  const char* kCost =
+      "Fabric objective around the last staged plan, by phase "
+      "(predicted vs realized grades the optimizer's cost model)";
+  const auto cost = [&](const char* phase, f64 v) {
+    reg.gauge("flare_place_cost", kCost, {{"phase", phase}}).set(v);
+  };
+  cost("before", t.place.last_cost_before);
+  cost("predicted", t.place.last_cost_predicted);
+  cost("realized", t.place.last_cost_realized);
 }
 
 void accumulate_result(MetricsRegistry& reg,

@@ -55,6 +55,16 @@ void register_network_metrics(MetricsRegistry& reg, net::Network& net);
 void export_service_telemetry(MetricsRegistry& reg,
                               const service::ServiceTelemetry& t);
 
+/// Pushes the placement-plane slice of `t` into `reg` (called by
+/// export_service_telemetry; exposed for callers exporting only the
+/// co-placement families):
+///   flare_place_rounds_total  counter, optimizer rounds executed
+///   flare_place_moves_total   counter, label outcome=
+///                             proposed|rejected|planned|applied
+///   flare_place_cost          gauge, label phase=before|predicted|realized
+void export_placement_telemetry(MetricsRegistry& reg,
+                                const service::ServiceTelemetry& t);
+
 /// Folds one finished collective into the cumulative result families
 /// (labeled by data plane and outcome) and the completion histogram.
 void accumulate_result(MetricsRegistry& reg, const coll::CollectiveResult& r);

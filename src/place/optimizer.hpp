@@ -1,0 +1,124 @@
+// PlacementOptimizer: seeded simulated annealing over the JOINT assignment
+// of every active job's embedding (ISSUE 9 tentpole, exemplar:
+// SET-ISCA2023's sa.cpp/placement.cpp cost_f = e^k·d).
+//
+// Greedy admission embeds one job at a time against whatever heat exists at
+// that instant; reactive migration (TreeOpBase::maybe_migrate) fixes one
+// job at a time when ITS tree gets hot.  Neither ever reconsiders the fleet
+// as a whole, so early tenants pin the spines and late tenants stack onto
+// whatever is left.  This optimizer searches the joint space offline,
+// against a CostSnapshot's frozen numbers:
+//
+//   load[l]  = background[l] + Σ_{jobs crossing l} weight_j
+//   hot_j    = max_{l ∈ links_j} (load[l] − weight_j)       (foreign heat)
+//   est_j    = (bytes_j / Σ bytes) · e^{k·hot_j}            (relative ECT)
+//   objective = (1 + max_l load[l]) · Σ_j est_j
+//
+// i.e. worst-edge congestion × aggregate estimated completion time.  The
+// exponential makes a job on a contended edge expensive fast (the
+// SET cost_f shape), the (1 + worst) factor keeps the fabric-wide hot spot
+// first-class even when the jobs sitting on it are small.
+//
+// The search is a pure function of (snapshot, options): same seed → same
+// plan, bit for bit.  All randomness flows through one flare::Rng; every
+// tie-break is deterministic (strict improvement, first-in-switch-order
+// wins).
+#pragma once
+
+#include <vector>
+
+#include "place/snapshot.hpp"
+
+namespace flare::place {
+
+struct OptimizerOptions {
+  u64 seed = 0xC0F1ACEull;
+  /// Annealing steps.  Each step proposes one move (re-root / re-embed /
+  /// swap) and accepts by the Metropolis criterion.
+  u32 iterations = 600;
+  f64 initial_temp = 1.0;
+  /// Geometric cooling: temp *= cooling after every step.
+  f64 cooling = 0.995;
+  /// k in est_j = share_j · e^{k·hot_j} — how sharply contention inflates a
+  /// job's estimated completion time.
+  f64 heat_exponent = 2.0;
+};
+
+/// One per-job re-embedding the plan asks the service to apply.
+struct PlannedMove {
+  u32 job_id = 0;
+  net::NodeId old_root = net::kInvalidNode;
+  net::NodeId new_root = net::kInvalidNode;
+  coll::ReductionTree tree;  ///< target embedding (not yet installed)
+  /// Fractional objective improvement attributable to THIS move alone:
+  /// (objective with this job reverted − final objective) / former.
+  /// The hysteresis filter (filter_moves) keys off this.
+  f64 predicted_gain = 0.0;
+};
+
+struct PlacementPlan {
+  f64 cost_before = 0.0;  ///< objective of the as-is assignment
+  f64 cost_after = 0.0;   ///< objective of the best assignment found
+  u32 sa_iterations = 0;  ///< annealing steps executed
+  u32 proposed = 0;       ///< candidate moves evaluated
+  u32 accepted = 0;       ///< Metropolis acceptances
+  /// Jobs whose best embedding differs from the snapshot's, ascending
+  /// job_id.  May be empty (as-is assignment already optimal).
+  std::vector<PlannedMove> moves;
+};
+
+class PlacementOptimizer {
+ public:
+  PlacementOptimizer(net::Network& net, OptimizerOptions opt);
+
+  /// Runs the annealing search.  Pure in `snap`: no live telemetry is
+  /// read, no switch state is touched (candidate trees are computed, not
+  /// installed — capacity is checked at apply time by the migration path).
+  PlacementPlan optimize(const CostSnapshot& snap);
+
+  /// Cross-job admission scoring: the MARGINAL worst-edge heat a queued
+  /// job would add — max over the cheapest candidate embedding's links of
+  /// (load[l] + kColdStartWeight), where load is the frozen fleet-wide
+  /// load.  +infinity when no root reaches every participant.  The
+  /// service admits the cheapest queued job first instead of strict FIFO.
+  f64 admission_score(const CostSnapshot& snap,
+                      const std::vector<net::Host*>& participants);
+
+ private:
+  struct State;  // SA working state (optimizer.cpp)
+
+  /// Cheapest embedding for job `j` of `st` rooted anywhere, under edge
+  /// costs that exclude j's own contribution (strict less, first in
+  /// net.switches() order wins).  nullopt when no root spans.
+  std::optional<coll::ReductionTree> cheapest_tree(const CostSnapshot& snap,
+                                                   State& st, u32 j);
+  std::optional<coll::ReductionTree> tree_for(const CostSnapshot& snap,
+                                              State& st, u32 j,
+                                              net::NodeId root);
+  f64 objective(const CostSnapshot& snap, const State& st) const;
+
+  net::Network& net_;
+  OptimizerOptions opt_;
+  /// Private manager: reuses the deterministic congestion-aware Dijkstra
+  /// (compute_tree) against the SNAPSHOT loads via a link-cost closure
+  /// reading cost_* below.  Never installs anything.
+  coll::NetworkManager manager_;
+  // Link-cost closure inputs for the current compute_tree call.
+  const CostSnapshot* cost_snap_ = nullptr;
+  const std::vector<f64>* cost_load_ = nullptr;
+  const std::vector<u32>* cost_exclude_links_ = nullptr;  ///< sorted
+  f64 cost_exclude_weight_ = 0.0;
+};
+
+/// Hysteresis: drops plan moves with predicted_gain < min_gain (applying a
+/// migration costs a break-before-make install; marginal wins churn the
+/// fabric for nothing).  Returns the number of moves dropped.
+u32 filter_moves(PlacementPlan& plan, f64 min_gain);
+
+/// True when `tree` touches any switch in `sorted_targets` (ascending
+/// NodeId) — used to invalidate TreeCache entries whose embedding conflicts
+/// with a freshly applied PlacementPlan.
+bool tree_conflicts(const coll::ReductionTree& tree,
+                    const std::vector<net::NodeId>& sorted_targets);
+
+}  // namespace flare::place

@@ -33,6 +33,12 @@ struct JobSpec {
   /// multi-iteration job is exactly what congestion-aware migration needs:
   /// a session long enough to observe the fabric change under it.
   u32 iterations = 1;
+  /// Duty cycle: iteration i+1 starts this long after iteration i
+  /// completes (0 = back-to-back).  A fleet of partial-duty-cycle jobs is
+  /// exactly where co-placement beats reactive migration: each job's own
+  /// EWMA footprint stays below the per-job reactive trigger while the
+  /// fabric-wide overlap still hurts everyone.
+  SimTime iteration_gap_ps = 0;
 };
 
 enum class JobState : u8 {
@@ -66,6 +72,7 @@ struct JobRecord {
   u64 retransmits = 0;         ///< blocks/chunks re-sent after host timeouts
   u32 recoveries = 0;          ///< reduction-tree reinstalls after faults
   u32 migrations = 0;          ///< congestion-triggered re-embeddings
+  u32 planned_migrations = 0;  ///< optimizer-planned re-embeddings applied
   /// Sparse extras accumulated across iterations (zero for dense jobs) —
   /// the CollectiveResult counters surfaced per job.
   u64 spill_packets = 0;       ///< hash-collision spill flushes in the tree

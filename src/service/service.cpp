@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
 
+#include "common/rng.hpp"
 #include "obs/trace.hpp"
+#include "place/optimizer.hpp"
 
 namespace flare::service {
 
@@ -12,6 +15,8 @@ namespace {
 /// Tracer row convention: service job rows live above every collective's
 /// trace-id row (tid = kJobTidBase + job id).
 constexpr u64 kJobTidBase = 1000000;
+/// The placement plane gets its own tracer row, above the job rows.
+constexpr u64 kPlaceTid = 2000000;
 
 }  // namespace
 
@@ -39,11 +44,20 @@ AllreduceService::AllreduceService(net::Network& net, ServiceOptions opt)
     manager_.set_link_cost([monitor](net::NodeId node, u32 port) {
       return monitor->edge_cost(node, port);
     });
-    if (opt_.cache_stale_above > 0.0) {
+    const bool stale_check = opt_.cache_stale_above > 0.0;
+    if (stale_check || opt_.place_period_ps > 0) {
       const f64 bound = opt_.cache_stale_above;
-      cache_.set_validator([monitor, bound](const coll::ReductionTree& t) {
-        return coll::tree_max_congestion(*monitor, t) <= bound;
-      });
+      cache_.set_validator(
+          [this, monitor, bound, stale_check](const coll::ReductionTree& t) {
+            if (stale_check &&
+                coll::tree_max_congestion(*monitor, t) > bound) {
+              return false;
+            }
+            // A cached embedding crossing a switch the last PlacementPlan
+            // moved jobs ONTO is stale by fiat: serving it would re-create
+            // exactly the contention the plan just cleared.
+            return !place::tree_conflicts(t, plan_target_switches_);
+          });
     }
   }
 }
@@ -181,6 +195,7 @@ bool AllreduceService::try_admit(u32 job, bool* feasible) {
         on_job_done(job, res);
       });
   jobs_.emplace(job, std::move(aj));
+  ensure_place_armed();
   return true;
 }
 
@@ -232,15 +247,137 @@ void AllreduceService::drain_queue() {
     schedule_congestion_recheck();
     return;
   }
-  // Strict FIFO: the head blocks the rest — a released slot goes to the
-  // longest-waiting job, never to a smaller job that could overtake it.
+  // Strict FIFO by default: the head blocks the rest — a released slot
+  // goes to the longest-waiting job, never to a smaller job that could
+  // overtake it.  With admission scoring on, the cheapest MARGINAL
+  // worst-edge heat overtakes instead (pick_queued_index).
   while (!queue_.empty()) {
-    const u32 job = queue_.front();
+    const std::size_t pick = pick_queued_index();
+    const u32 job = queue_[pick];
     records_[job].requeue_retries += 1;
     telemetry_.requeue_retries += 1;
     if (!try_admit(job)) break;
-    queue_.pop_front();
+    if (pick != 0) telemetry_.admission_reorders += 1;
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
   }
+}
+
+std::size_t AllreduceService::pick_queued_index() {
+  if (!opt_.admission_scoring || opt_.monitor == nullptr ||
+      queue_.size() < 2) {
+    return 0;
+  }
+  // Score every queued job's marginal worst-edge heat against one freeze
+  // of the active fleet; cheapest wins, ties keep FIFO order (strict
+  // less).  An infeasible job scores +inf and never overtakes.
+  opt_.monitor->sample();
+  const place::CostSnapshot snap = freeze_active();
+  place::OptimizerOptions popt;
+  popt.seed = opt_.place_seed;
+  place::PlacementOptimizer scorer(net_, popt);
+  std::size_t best_i = 0;
+  f64 best = std::numeric_limits<f64>::infinity();
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const f64 s =
+        scorer.admission_score(snap, specs_[queue_[i]].participants);
+    if (s < best) {
+      best = s;
+      best_i = i;
+    }
+  }
+  return best_i;
+}
+
+place::CostSnapshot AllreduceService::freeze_active() {
+  std::vector<place::JobInput> inputs;
+  inputs.reserve(jobs_.size());
+  // Ascending job id (jobs_ is an unordered_map — never iterate it where
+  // order matters).
+  for (u32 job = 0; job < static_cast<u32>(records_.size()); ++job) {
+    const auto it = jobs_.find(job);
+    if (it == jobs_.end()) continue;
+    ActiveJob& aj = *it->second;
+    if (!aj.pc.ok() || !aj.pc.in_network()) continue;  // host-plane jobs
+    place::JobInput in;
+    in.job_id = job;
+    in.trace = aj.pc.trace();
+    in.data_bytes = specs_[job].desc.data_bytes;
+    in.participants = specs_[job].participants;
+    in.tree = aj.pc.tree();
+    inputs.push_back(std::move(in));
+  }
+  return place::CostSnapshot::freeze(net_, *opt_.monitor, std::move(inputs));
+}
+
+void AllreduceService::ensure_place_armed() {
+  if (opt_.place_period_ps == 0 || opt_.monitor == nullptr || place_armed_) {
+    return;
+  }
+  place_armed_ = true;
+  net_.sim().schedule_after(opt_.place_period_ps, [this] {
+    place_armed_ = false;
+    run_place_round();
+  });
+}
+
+void AllreduceService::run_place_round() {
+  // An empty fleet disarms the plane; the next successful admission
+  // re-arms it (ensure_place_armed in try_admit).
+  if (jobs_.empty()) return;
+  opt_.monitor->sample();  // freeze the fabric as it is NOW
+  const place::CostSnapshot snap = freeze_active();
+  if (snap.jobs().size() >= 2) {  // one job has nothing to co-place against
+    place::OptimizerOptions popt;
+    popt.seed = derive_seed(opt_.place_seed, place_round_);
+    popt.iterations = opt_.place_iterations;
+    place::PlacementOptimizer optimizer(net_, popt);
+    obs::Tracer* tr = net_.tracer();
+    const SimTime t0 = net_.sim().now();
+    if (tr != nullptr) {
+      tr->name_thread(kPlaceTid, "placement");
+      tr->begin(kPlaceTid, "optimize", t0, "place");
+    }
+    place::PlacementPlan plan = optimizer.optimize(snap);
+    if (tr != nullptr) tr->end(kPlaceTid, net_.sim().now());
+    if (place_grade_pending_) {
+      // This round's as-is objective IS the realized cost of the last
+      // plan: the fabric was re-measured after its moves applied.
+      telemetry_.place.last_cost_realized = plan.cost_before;
+      place_grade_pending_ = false;
+    }
+    telemetry_.place.rounds += 1;
+    telemetry_.place.moves_proposed += plan.proposed;
+    telemetry_.place.moves_rejected +=
+        place::filter_moves(plan, opt_.place_min_gain);
+    u32 staged = 0;
+    std::vector<net::NodeId> targets;
+    for (const place::PlannedMove& mv : plan.moves) {
+      const auto it = jobs_.find(mv.job_id);
+      if (it == jobs_.end()) continue;  // finished since the freeze
+      // Staged onto the session; applied at its next iteration boundary
+      // through the break-before-make fresh-id path (TreeOpBase).
+      if (!it->second->pc.plan_migration(mv.tree)) continue;
+      staged += 1;
+      for (const coll::TreeSwitchEntry& e : mv.tree.switches) {
+        targets.push_back(e.sw->id());
+      }
+      if (tr != nullptr) {
+        tr->instant(kPlaceTid, "plan-move", net_.sim().now(), "place");
+      }
+    }
+    telemetry_.place.moves_planned += staged;
+    if (staged > 0) {
+      std::sort(targets.begin(), targets.end());
+      targets.erase(std::unique(targets.begin(), targets.end()),
+                    targets.end());
+      plan_target_switches_ = std::move(targets);
+      telemetry_.place.last_cost_before = plan.cost_before;
+      telemetry_.place.last_cost_predicted = plan.cost_after;
+      place_grade_pending_ = true;
+    }
+  }
+  place_round_ += 1;
+  ensure_place_armed();
 }
 
 void AllreduceService::start_fallback_or_reject(u32 job, RingReason why) {
@@ -312,6 +449,7 @@ void AllreduceService::on_job_done(u32 job,
   rec.retransmits += res.retransmits;
   rec.recoveries += res.recoveries;
   rec.migrations += res.migrations;
+  rec.planned_migrations += res.planned_migrations;
   rec.spill_packets += res.spill_packets;
   rec.host_pairs_sent += res.host_pairs_sent;
   rec.down_pairs += res.down_pairs;
@@ -319,13 +457,16 @@ void AllreduceService::on_job_done(u32 job,
   rec.pairs_exchanged += res.pairs_exchanged;
   telemetry_.retransmits += res.retransmits;
   telemetry_.migrations += res.migrations;
+  telemetry_.planned_migrations += res.planned_migrations;
   if (res.fell_back) rec.fell_back = true;
 
   const u32 want = std::max<u32>(1, specs_[job].iterations);
   if (res.ok && rec.iterations_done < want) {
     // More iterations: restart off this callback's stack (the completing
-    // op is still finishing under our feet).
-    net_.sim().schedule_after(0, [this, job] { start_next_iteration(job); });
+    // op is still finishing under our feet), after the job's duty-cycle
+    // gap when one is configured.
+    net_.sim().schedule_after(specs_[job].iteration_gap_ps,
+                              [this, job] { start_next_iteration(job); });
     return;
   }
 

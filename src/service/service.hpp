@@ -35,6 +35,10 @@
 #include "service/root_policy.hpp"
 #include "service/telemetry.hpp"
 
+namespace flare::place {
+class CostSnapshot;  // place/snapshot.hpp
+}
+
 namespace flare::service {
 
 struct ServiceOptions {
@@ -79,6 +83,28 @@ struct ServiceOptions {
   /// period later (the queue timeout still bounds the wait).  0 (default)
   /// disables the gate; requires `monitor`.
   f64 admit_below_congestion = 0.0;
+
+  // --- placement plane (README "Placement plane"; src/place/) ---
+  /// Period of the co-placement optimizer rounds: every period (while jobs
+  /// are active) the service freezes the fabric, runs the seeded SA search
+  /// over the whole active job set, and stages the surviving moves onto
+  /// their sessions for application at the next iteration boundary.
+  /// 0 (default) disables the plane; requires `monitor`.
+  SimTime place_period_ps = 0;
+  u32 place_iterations = 600;  ///< SA steps per optimizer round
+  /// Round r's optimizer runs with derive_seed(place_seed, r) — replays
+  /// are bit-for-bit.
+  u64 place_seed = 0xC0F1ACEull;
+  /// Hysteresis: plan moves predicting less than this fractional objective
+  /// improvement are rejected (a break-before-make re-install is not
+  /// free; marginal wins churn the fabric for nothing).
+  f64 place_min_gain = 0.02;
+  /// Cross-job admission scoring: score each queued job's MARGINAL
+  /// worst-edge heat (place::PlacementOptimizer::admission_score) and
+  /// admit the cheapest first instead of strict FIFO.  The congestion
+  /// gate (admit_below_congestion) still applies first.  Requires
+  /// `monitor`.
+  bool admission_scoring = false;
 };
 
 class AllreduceService {
@@ -153,6 +179,23 @@ class AllreduceService {
   /// Runs the job on its host data plane (ring; SparCML for sparse jobs)
   /// for the given reason.
   void start_host_plane(u32 job, RingReason why);
+
+  // --- placement plane (src/place/) ---
+  /// Freezes the in-network active jobs + monitor state into an immutable
+  /// CostSnapshot (ascending job id; never samples the monitor itself).
+  place::CostSnapshot freeze_active();
+  /// Arms the next co-placement round one place_period_ps out; no-op when
+  /// the plane is off or a round is already armed.
+  void ensure_place_armed();
+  /// One co-placement round: freeze, seeded SA search, hysteresis filter,
+  /// stage survivors onto their sessions (applied at each job's next
+  /// iteration boundary via the break-before-make fresh-id path).
+  void run_place_round();
+  /// Index into queue_ of the job to admit next: 0 (FIFO) unless
+  /// admission scoring is on, in which case the job with the cheapest
+  /// marginal worst-edge heat (ties keep FIFO order).
+  std::size_t pick_queued_index();
+
   void on_job_done(u32 job, const coll::CollectiveResult& res);
   /// Kicks off the next iteration of a multi-iteration job (off the
   /// completion callback's stack).
@@ -174,6 +217,18 @@ class AllreduceService {
   /// while a recheck is parked a period away.
   bool recheck_scheduled_ = false;
   u64 fault_listener_ = 0;  ///< network fault-notice subscription token
+
+  // --- placement plane state ---
+  bool place_armed_ = false;  ///< a co-placement round is on the calendar
+  u64 place_round_ = 0;       ///< rounds run (seeds derive from this)
+  /// Switches the LAST applied plan moved jobs onto (sorted NodeIds): a
+  /// cached embedding crossing one is invalidated by the TreeCache
+  /// validator — serving it would re-create the contention the plan just
+  /// cleared.
+  std::vector<net::NodeId> plan_target_switches_;
+  /// The last staged plan's predicted cost awaits grading against the
+  /// next round's measured cost_before.
+  bool place_grade_pending_ = false;
 };
 
 }  // namespace flare::service

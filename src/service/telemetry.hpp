@@ -47,6 +47,33 @@ struct ServiceTelemetry {
   /// above the bound.
   u64 congestion_deferrals = 0;
 
+  // --- placement plane (populated when ServiceOptions::place_period_ps
+  //     > 0 or admission_scoring is on; see src/place/) ---
+  /// Optimizer-planned re-embeddings APPLIED by jobs at their iteration
+  /// boundaries — disjoint from `migrations`, which counts only the ops'
+  /// own reactive moves (the coplacement bench asserts the win comes from
+  /// planning, not more reactive churn).
+  u64 planned_migrations = 0;
+  /// Scored admission (ServiceOptions::admission_scoring) picked a
+  /// non-head queued job — the cheapest marginal worst-edge heat overtook
+  /// strict FIFO order.
+  u64 admission_reorders = 0;
+  /// Per co-placement-round counters.
+  struct PlacementTelemetry {
+    u64 rounds = 0;          ///< optimizer rounds executed
+    u64 moves_proposed = 0;  ///< SA candidate moves evaluated
+    u64 moves_rejected = 0;  ///< plan moves dropped by the hysteresis gate
+    u64 moves_planned = 0;   ///< plan moves staged onto live sessions
+    /// Prediction grading for the LAST plan that staged moves: the
+    /// objective before, the optimizer's predicted objective, and the
+    /// realized objective (the NEXT round's freeze re-measures the fabric
+    /// — realized/predicted quantifies model error).
+    f64 last_cost_before = 0.0;
+    f64 last_cost_predicted = 0.0;
+    f64 last_cost_realized = 0.0;
+  };
+  PlacementTelemetry place;
+
   RunningStats queue_delay_s;        ///< submit -> start, per served job
   RunningStats in_network_service_s; ///< start -> finish, in-network jobs
   RunningStats fallback_service_s;   ///< start -> finish, fallback jobs

@@ -18,6 +18,7 @@
 #include "coll/communicator.hpp"
 #include "coll/tree_cache.hpp"
 #include "net/telemetry.hpp"
+#include "place/optimizer.hpp"
 #include "service/service.hpp"
 #include "workload/cross_traffic.hpp"
 
@@ -248,6 +249,46 @@ TEST(TreeCache, CongestionStalenessInvalidates) {
   monitor.sample();
   ASSERT_TRUE(cache.get_or_compute(manager, participants, root, &hit));
   EXPECT_FALSE(hit);  // stale: recomputed, not re-served
+  EXPECT_EQ(cache.stale_evictions(), 1u);
+}
+
+/// The placement plane's side of the cache validator (the service wires
+/// staleness AND plan-conflict into one predicate): a cached embedding
+/// crossing a switch a fresh PlacementPlan moved jobs onto must not be
+/// re-served — it would re-create the contention the plan just cleared.
+TEST(TreeCache, PlanConflictInvalidatesCachedEmbedding) {
+  Network net;
+  auto topo = build_fat_tree(net, four_spine_spec());
+  auto participants = first_hosts(topo, 8);
+  CongestionMonitor monitor(net);
+  monitor.sample();
+  coll::NetworkManager manager(net);
+  coll::TreeCache cache;
+  std::vector<NodeId> plan_targets;  // the service's plan_target_switches_
+  cache.set_validator([&](const coll::ReductionTree& t) {
+    return coll::tree_max_congestion(monitor, t) <= 0.25 &&
+           !place::tree_conflicts(t, plan_targets);
+  });
+
+  const NodeId root = topo.spines[0]->id();
+  bool hit = true;
+  ASSERT_TRUE(cache.get_or_compute(manager, participants, root, &hit));
+  EXPECT_FALSE(hit);
+  ASSERT_TRUE(cache.get_or_compute(manager, participants, root, &hit));
+  EXPECT_TRUE(hit);  // cool and conflict-free: served from cache
+  EXPECT_EQ(cache.stale_evictions(), 0u);
+
+  // A plan lands jobs on spine1: entries NOT crossing it stay served...
+  plan_targets = {topo.spines[1]->id()};
+  ASSERT_TRUE(cache.get_or_compute(manager, participants, root, &hit));
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(cache.stale_evictions(), 0u);
+
+  // ...and a plan landing on spine0 evicts the embedding rooted there.
+  plan_targets = {topo.spines[0]->id(), topo.spines[1]->id()};
+  std::sort(plan_targets.begin(), plan_targets.end());
+  ASSERT_TRUE(cache.get_or_compute(manager, participants, root, &hit));
+  EXPECT_FALSE(hit);  // conflicting: recomputed, not re-served
   EXPECT_EQ(cache.stale_evictions(), 1u);
 }
 

@@ -146,6 +146,57 @@ TEST(Validate, LeakedOccupancyCaughtByAudit) {
   EXPECT_TRUE(cap.saw("switch-occupancy"));
 }
 
+/// The placement plane's apply audit: a staged PlacementPlan move must be
+/// applied atomically at the iteration boundary — every switch of the new
+/// embedding holds a role, or the op rolled back to fallback/recovery.
+/// The debug backdoor strips one role right after the planned install;
+/// the audit must flag the half-applied move, and the session's fault
+/// machinery must still heal the iteration.
+TEST(Validate, PlanApplyAuditCatchesHalfAppliedMove) {
+  CaptureViolations cap;
+  Network net;
+  FatTreeSpec spec;
+  spec.hosts = 32;
+  spec.radix = 8;
+  auto topo = build_fat_tree(net, spec);
+  std::vector<Host*> participants(topo.hosts.begin(), topo.hosts.begin() + 8);
+
+  coll::Communicator comm(net, participants);
+  coll::CollectiveOptions desc;
+  desc.algorithm = coll::Algorithm::kFlareDense;
+  desc.data_bytes = 64 * kKiB;
+  desc.dtype = core::DType::kInt32;
+  desc.retransmit_timeout_ps = 15 * kPsPerUs;  // heal the broken boundary
+  coll::PersistentCollective pc = comm.persistent(desc);
+  ASSERT_TRUE(pc.ok() && pc.in_network());
+  ASSERT_TRUE(pc.run().ok);
+
+  // Stage an optimizer-style move onto a DIFFERENT spine, then arm the
+  // backdoor that breaks the apply.
+  const NodeId old_root = pc.tree().root;
+  coll::NetworkManager manager(net);
+  std::optional<coll::ReductionTree> target;
+  for (Switch* sw : topo.spines) {
+    if (sw->id() == old_root) continue;
+    target = manager.compute_tree(participants, sw->id());
+    if (target) break;
+  }
+  ASSERT_TRUE(target);
+  ASSERT_TRUE(pc.plan_migration(*target));
+  ASSERT_TRUE(pc.debug_break_next_plan_apply());
+  EXPECT_TRUE(cap.got().empty());
+
+  // The next boundary applies the plan; the stripped role makes the move
+  // half-applied and the audit must say so.  Retransmit recovery then
+  // reinstalls a whole tree and the iteration still completes correctly.
+  const auto res = pc.run();
+  EXPECT_TRUE(cap.saw("plan-apply"));
+  EXPECT_TRUE(res.ok);
+  EXPECT_EQ(res.max_abs_err, 0.0);
+  pc.release();
+  for (Switch* s : net.switches()) EXPECT_EQ(s->installed_reduces(), 0u);
+}
+
 TEST(Validate, PacketLifecycleRejectsPayloadlessReduce) {
   CaptureViolations cap;
   Network net;
