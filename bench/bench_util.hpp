@@ -5,6 +5,8 @@
 // its keys against a committed baseline).
 #pragma once
 
+#include <sys/resource.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -15,6 +17,17 @@
 #include "common/units.hpp"
 
 namespace flare::bench {
+
+/// Peak resident set size of this process in bytes (0 if unavailable).
+/// Linux reports ru_maxrss in KiB.  JsonReport::emit() appends this to
+/// every bench report as `peak_rss_bytes` — the scale plane's memory
+/// trajectory — and tools/diff_bench_keys.py treats the key as purely
+/// informational (it varies with allocator and machine).
+inline u64 peak_rss_bytes() {
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<u64>(ru.ru_maxrss) * 1024;
+}
 
 inline bool has_flag(int argc, char** argv, const char* flag) {
   for (int i = 1; i < argc; ++i) {
@@ -106,8 +119,13 @@ class JsonReport {
   }
 
   /// Prints the single `BENCH_JSON {...}` line (with a leading newline so
-  /// it never glues onto a table row).
-  void emit() const { std::printf("\nBENCH_JSON %s\n", to_json().c_str()); }
+  /// it never glues onto a table row), appending the informational
+  /// peak_rss_bytes measurement last — the one key exempt from the
+  /// bit-identical-rerun property.
+  void emit() {
+    add("peak_rss_bytes", peak_rss_bytes());
+    std::printf("\nBENCH_JSON %s\n", to_json().c_str());
+  }
 
  private:
   static std::string escaped(const std::string& s) {

@@ -26,7 +26,14 @@ void Link::send(NetPacket&& pkt) {
     pkt.corrupted = true;  // serializes normally; receiver drops on CRC
   }
   const SimTime now = sim_.now();
-  const u64 ser = serialization_ps(pkt.wire_bytes, bandwidth_bps_);
+  // Flows occupy their fair share; packets serialize at what remains,
+  // floored at 5% of line rate so a fully flow-saturated link still makes
+  // (slow) forward progress instead of dividing by zero.
+  const f64 pkt_bps =
+      flow_rate_bps_ > 0.0
+          ? std::max(bandwidth_bps_ - flow_rate_bps_, 0.05 * bandwidth_bps_)
+          : bandwidth_bps_;
+  const u64 ser = serialization_ps(pkt.wire_bytes, pkt_bps);
   const SimTime depart = std::max(now, busy_until_);
   busy_until_ = depart + ser;
   busy_cum_ += ser;

@@ -58,6 +58,29 @@ class Link {
   /// Time at which the link finishes serializing everything queued so far.
   SimTime busy_until() const { return busy_until_; }
   f64 bandwidth_bps() const { return bandwidth_bps_; }
+
+  // --- flow plane (net/flow.hpp) ---
+  /// Books busy time + bytes accrued by flow-level (non-packet) transfers
+  /// into the SAME counters packet serialization feeds: busy_cum_ps, the
+  /// per-trace attribution bucket, and the byte counter.  Adding the
+  /// identical amount to busy_cum_ and busy_by_trace_[trace] keeps the
+  /// conservation invariant exact by construction.
+  void add_flow_busy(u64 busy_ps, u64 bytes, u32 trace) {
+    busy_cum_ += busy_ps;
+    if (cached_trace_busy_ == nullptr || trace != cached_trace_) {
+      cached_trace_ = trace;
+      cached_trace_busy_ = &busy_by_trace_[trace];
+    }
+    *cached_trace_busy_ += busy_ps;
+    traffic_.bytes += bytes;  // flow bytes carry no per-packet count
+  }
+  /// Aggregate fair-share rate of the flows currently resident on this
+  /// link (set by net::FlowManager at every recompute instant).  While
+  /// nonzero, packets serialize at the REMAINING bandwidth — flows and
+  /// packets genuinely contend, so packet-level collectives feel the
+  /// background load the flows model.
+  void set_flow_rate_bps(f64 r) { flow_rate_bps_ = r; }
+  f64 flow_rate_bps() const { return flow_rate_bps_; }
   const std::string& name() const { return name_; }
   /// LIFETIME utilization over [0, horizon].  Misleading as a congestion
   /// signal after long idle phases (the historic mean never recovers);
@@ -169,6 +192,9 @@ class Link {
   /// the cached pointer cannot dangle.
   u32 cached_trace_ = 0;
   u64* cached_trace_busy_ = nullptr;
+  /// Aggregate fair-share rate of resident flows (0 when the flow plane is
+  /// idle — the common case; send() then takes the exact legacy path).
+  f64 flow_rate_bps_ = 0.0;
   TrafficCounter traffic_;
 };
 

@@ -3,9 +3,22 @@
 #include <deque>
 #include <limits>
 
+#include "net/flow.hpp"
 #include "obs/trace.hpp"
 
 namespace flare::net {
+
+Network::Network() = default;   // FlowManager is complete here
+Network::~Network() = default;
+
+FlowManager& Network::flows() {
+  if (!flows_) flows_ = std::make_unique<FlowManager>(*this);
+  return *flows_;
+}
+
+void Network::sync_flows() {
+  if (flows_) flows_->sync();
+}
 
 std::string_view fault_kind_name(FaultKind k) {
   switch (k) {
@@ -27,6 +40,7 @@ Host& Network::add_host(std::string name) {
   Host* raw = host.get();
   nodes_.push_back(std::move(host));
   adjacency_.emplace_back();
+  host_index_by_node_.push_back(raw->host_index());
   hosts_.push_back(raw);
   return *raw;
 }
@@ -38,6 +52,7 @@ Switch& Network::add_switch(std::string name, u32 max_allreduces) {
   Switch* raw = sw.get();
   nodes_.push_back(std::move(sw));
   adjacency_.emplace_back();
+  host_index_by_node_.push_back(UINT32_MAX);
   switches_.push_back(raw);
   return *raw;
 }
@@ -231,6 +246,97 @@ BuiltTopology build_fat_tree(Network& net, const FatTreeSpec& spec) {
     }
   }
   net.build_routes();
+  return topo;
+}
+
+BuiltTopology3 build_fat_tree_3level(Network& net, const FatTree3Spec& spec) {
+  FLARE_ASSERT(spec.radix >= 4 && spec.radix % 2 == 0);
+  const u32 half = spec.radix / 2;
+  const u32 pods = spec.pods == 0 ? spec.radix : spec.pods;
+  FLARE_ASSERT_MSG(pods >= 1 && pods <= spec.radix,
+                   "pods must be 1..radix (core down-ports)");
+  const u32 n_core = half * half;
+
+  BuiltTopology3 topo;
+  for (u32 c = 0; c < n_core; ++c) {
+    topo.cores.push_back(
+        &net.add_switch("core" + std::to_string(c), spec.max_allreduces));
+  }
+
+  // Port plan (fixed by wiring order, relied on by the route tables):
+  //   edge:  0..half-1 hosts, half..radix-1 aggs (port half+j -> agg j)
+  //   agg:   0..half-1 edges (port e -> edge e), half..radix-1 cores
+  //          (port half+i -> core j*half+i for agg j)
+  //   core:  port q -> pod q's agg j (core c touches agg c/half everywhere)
+  std::vector<u32> up_ports(half);
+  for (u32 j = 0; j < half; ++j) up_ports[j] = half + j;
+  std::vector<u32> down_port_pool(half);
+  for (u32 e = 0; e < half; ++e) down_port_pool[e] = e;
+
+  for (u32 q = 0; q < pods; ++q) {
+    std::vector<Switch*> aggs(half);
+    std::vector<Switch*> edges(half);
+    for (u32 j = 0; j < half; ++j) {
+      aggs[j] = &net.add_switch("p" + std::to_string(q) + "a" +
+                                    std::to_string(j),
+                                spec.max_allreduces);
+    }
+    for (u32 e = 0; e < half; ++e) {
+      edges[e] = &net.add_switch("p" + std::to_string(q) + "e" +
+                                     std::to_string(e),
+                                 spec.max_allreduces);
+    }
+    for (u32 e = 0; e < half; ++e) {
+      // Hosts first: edge down-ports 0..half-1, host indices contiguous
+      // per edge so the compressed tables key whole edges/pods.
+      HostRouteTable et;
+      et.group_size = 1;
+      et.up_ports = up_ports;
+      et.ports = down_port_pool;
+      for (u32 h = 0; h < half; ++h) {
+        const u32 host_index = (q * half + e) * half + h;
+        Host& host = net.add_host("h" + std::to_string(host_index));
+        net.connect(host, *edges[e], spec.link.bandwidth_bps,
+                    spec.link.latency_ps);
+        topo.hosts.push_back(&host);
+        et.exceptions.push_back({host_index, h, h + 1});
+      }
+      for (u32 j = 0; j < half; ++j) {
+        net.connect(*edges[e], *aggs[j], spec.link.bandwidth_bps,
+                    spec.link.latency_ps);
+      }
+      edges[e]->set_host_routes(std::move(et));
+      topo.edges.push_back(edges[e]);
+    }
+    for (u32 j = 0; j < half; ++j) {
+      HostRouteTable at;
+      at.group_size = half;  // one group = one edge's hosts
+      at.up_ports = up_ports;
+      at.ports = down_port_pool;
+      for (u32 e = 0; e < half; ++e) {
+        at.exceptions.push_back({q * half + e, e, e + 1});
+      }
+      for (u32 i = 0; i < half; ++i) {
+        net.connect(*aggs[j], *topo.cores[j * half + i],
+                    spec.link.bandwidth_bps, spec.link.latency_ps);
+      }
+      aggs[j]->set_host_routes(std::move(at));
+      topo.aggs.push_back(aggs[j]);
+    }
+  }
+
+  // Cores route down only: group = pod, port = pod (wired in pod order).
+  std::vector<u32> pod_ports(pods);
+  for (u32 q = 0; q < pods; ++q) pod_ports[q] = q;
+  for (Switch* core : topo.cores) {
+    HostRouteTable ct;
+    ct.group_size = half * half;  // one group = one pod's hosts
+    ct.ports = pod_ports;
+    for (u32 q = 0; q < pods; ++q) ct.exceptions.push_back({q, q, q + 1});
+    core->set_host_routes(std::move(ct));
+  }
+  // NO build_routes(): the BFS would allocate O(switches x nodes) tables —
+  // gigabytes at 10k hosts — which the compressed form exists to avoid.
   return topo;
 }
 

@@ -19,6 +19,8 @@ class Tracer;
 
 namespace flare::net {
 
+class FlowManager;
+
 struct PortPeer {
   NodeId peer = kInvalidNode;
   u32 my_port = 0;
@@ -53,7 +55,11 @@ using FaultListener = std::function<void(const FaultNotice&)>;
 
 class Network {
  public:
-  Network() = default;
+  // Both out of line: FlowManager is incomplete here, and the
+  // unique_ptr<FlowManager> member needs it complete wherever its deleter
+  // is instantiated (destructor AND constructor unwind paths).
+  Network();
+  ~Network();
 
   sim::Simulator& sim() { return sim_; }
 
@@ -74,6 +80,22 @@ class Network {
   u32 num_nodes() const { return static_cast<u32>(nodes_.size()); }
   const std::vector<Host*>& hosts() const { return hosts_; }
   const std::vector<Switch*>& switches() const { return switches_; }
+  /// Host index (into hosts()) of node `id`; UINT32_MAX for switches.
+  /// The compressed host-route tables key on this (see Switch).
+  u32 host_index_of(NodeId id) const {
+    return id < host_index_by_node_.size() ? host_index_by_node_[id]
+                                           : UINT32_MAX;
+  }
+
+  // --- flow plane (net/flow.hpp) ---
+  /// The fluid bulk-transfer plane, created lazily on first use — packet-
+  /// only simulations never pay for it.
+  FlowManager& flows();
+  bool has_flows() const { return flows_ != nullptr; }
+  /// Settles flow accrual up to now(); no-op when no flows were ever
+  /// started.  Telemetry and metrics exporters call this before reading
+  /// link counters so EWMAs see flow load exactly like packet load.
+  void sync_flows();
 
   /// Total bytes serialized over all links (both directions).
   u64 total_traffic_bytes() const;
@@ -157,6 +179,8 @@ class Network {
   std::vector<std::vector<PortPeer>> adjacency_;
   std::vector<Host*> hosts_;
   std::vector<Switch*> switches_;
+  std::vector<u32> host_index_by_node_;  ///< UINT32_MAX for switches
+  std::unique_ptr<FlowManager> flows_;
   std::vector<std::pair<u64, FaultListener>> fault_listeners_;
   u64 next_listener_token_ = 1;
   u64 faults_notified_ = 0;
@@ -194,5 +218,32 @@ struct FatTreeSpec {
 /// 2-level fat tree: hosts/(radix/2) leaves, each with radix/2 uplinks
 /// wired round-robin to hosts/radix spines (full bisection).
 BuiltTopology build_fat_tree(Network& net, const FatTreeSpec& spec);
+
+/// 3-level (core/agg/edge) fat tree of `radix`-port switches — the 10k-host
+/// scale topology.  `pods` pods (default radix, the full k-ary tree), each
+/// with radix/2 edge and radix/2 agg switches; (radix/2)^2 cores; hosts =
+/// pods * (radix/2)^2.  radix=40, pods=26 gives 10400 hosts from 1440
+/// switches.
+struct FatTree3Spec {
+  u32 radix = 8;  ///< even; ports per switch
+  u32 pods = 0;   ///< 0 = radix (the full fat tree); else 1..radix
+  LinkSpec link{};
+  u32 max_allreduces = 8;
+};
+
+struct BuiltTopology3 {
+  std::vector<Host*> hosts;
+  std::vector<Switch*> edges;
+  std::vector<Switch*> aggs;
+  std::vector<Switch*> cores;
+};
+
+/// Builds the 3-level tree with COMPRESSED routing tables installed
+/// directly (Switch::set_host_routes): no BFS, and per-switch route state
+/// is a default up-port ECMP set plus per-subtree exceptions instead of an
+/// O(nodes) table — the difference between megabytes and gigabytes at 10k
+/// hosts.  Multi-stage deterministic ECMP: the flow label hashes a port
+/// independently at the edge and agg stage.
+BuiltTopology3 build_fat_tree_3level(Network& net, const FatTree3Spec& spec);
 
 }  // namespace flare::net

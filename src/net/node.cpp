@@ -169,14 +169,34 @@ void Switch::receive(NetPacket&& pkt, u32 in_port) {
   }
 }
 
+std::span<const u32> Switch::route_ports(NodeId dst) const {
+  if (!use_host_routes_) {
+    FLARE_ASSERT(dst < routes_.size());
+    const std::vector<u32>& v = routes_[dst];
+    return {v.data(), v.size()};
+  }
+  const u32 host = net_.host_index_of(dst);
+  if (host != UINT32_MAX) {
+    const u32 group = host / host_routes_.group_size;
+    const auto it = std::lower_bound(
+        host_routes_.exceptions.begin(), host_routes_.exceptions.end(), group,
+        [](const HostRouteTable::Exception& e, u32 g) { return e.group < g; });
+    if (it != host_routes_.exceptions.end() && it->group == group) {
+      return {host_routes_.ports.data() + it->begin,
+              static_cast<std::size_t>(it->end - it->begin)};
+    }
+  }
+  return {host_routes_.up_ports.data(), host_routes_.up_ports.size()};
+}
+
 void Switch::forward_host_msg(NetPacket&& pkt) {
-  FLARE_ASSERT(pkt.dst_node < routes_.size());
-  const std::vector<u32>& ecmp = routes_[pkt.dst_node];
+  const std::span<const u32> ecmp = route_ports(pkt.dst_node);
   FLARE_ASSERT_MSG(!ecmp.empty(), "no route to destination");
   // Deterministic ECMP: hash the flow id over the equal-cost set.  On a
   // healthy fabric the hashed port wins directly (no allocation, one
   // usability probe, and the pre-fault-plane port selection exactly).
-  const u32 preferred = ecmp[ecmp_index(pkt.flow, ecmp.size())];
+  const u64 label = pkt.flow ^ ecmp_salt();
+  const u32 preferred = ecmp[ecmp_index(label, ecmp.size())];
   if (net_.port_usable(id_, preferred)) {
     port(preferred).send(std::move(pkt));
     return;
@@ -193,7 +213,7 @@ void Switch::forward_host_msg(NetPacket&& pkt) {
     net_.count_unroutable_drop();
     return;
   }
-  const u32 out = live[ecmp_index(pkt.flow, live.size())];
+  const u32 out = live[ecmp_index(label, live.size())];
   port(out).send(std::move(pkt));
 }
 

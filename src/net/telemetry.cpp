@@ -21,6 +21,9 @@ CongestionMonitor::CongestionMonitor(Network& net,
 void CongestionMonitor::sample() {
   FLARE_ASSERT_MSG(net_.num_links() == snap_.links.size(),
                    "links added after the monitor was built");
+  // Settle fluid flow accrual first, so the windowed diffs below see flow
+  // load exactly like packet load (no-op without an active flow plane).
+  net_.sync_flows();
   const SimTime now = net_.sim().now();
   const bool fresh_window = !sampled_ || now > last_sample_ps_;
   for (u32 i = 0; i < snap_.links.size(); ++i) {

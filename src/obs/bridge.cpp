@@ -25,6 +25,9 @@ std::string link_label(const net::Link& link, u32 i) {
 void register_network_metrics(MetricsRegistry& reg, net::Network& net) {
   auto state = std::make_shared<WindowState>();
   reg.add_collector([&net, state](MetricsRegistry& r) {
+    // Settle fluid flow accrual before reading any busy counter (no-op
+    // without an active flow plane).
+    net.sync_flows();
     const SimTime now = net.sim().now();
     state->busy_at_last.resize(net.num_links(), 0);
     // Advance the utilization window only when time moved: two collects at

@@ -41,6 +41,23 @@
 
 namespace flare::sim {
 
+/// Geometry of the bucketed calendar (see detail::BucketCalendar).  All
+/// counts must be powers of two — the ring and wheel indices are computed
+/// with masks on the event-dispatch hot path — and the constructor
+/// FLARE_ASSERTs on anything else.
+///
+/// Defaults: 1024 buckets x 2^16 ps cover a 67 us ring horizon (link
+/// serialization + propagation delays), and two 64-slot coarse wheels on
+/// top extend the structured horizon to ~0.27 s (timeouts, monitor
+/// periods, flow finish times, placement rounds, fault repairs) before
+/// anything touches the far-future overflow heap.
+struct CalendarOptions {
+  u32 bucket_count = 1024;      ///< ring slots (power of two)
+  u32 bucket_width_log2 = 16;   ///< log2 ticks per ring slot
+  u32 coarse_slot_count = 64;   ///< slots per coarse wheel (power of two)
+  u32 coarse_levels = 2;        ///< hierarchical wheels above the ring (0 = none)
+};
+
 /// Move-only type-erased `void()` callable with inline small-object
 /// storage.  Sized so the hottest closures in the repo — a captured
 /// NetPacket plus a `this` pointer — stay inline; larger or throwing-move
@@ -170,21 +187,36 @@ class HeapCalendar {
   std::vector<Event> heap_;
 };
 
-/// Bucketed calendar queue: a ring of kBuckets FIFO buckets, each covering
-/// kBucketWidth ticks, plus a far-future overflow heap.  Pushing an event
-/// inside the ring horizon is an O(1) append; buckets are sorted by
-/// (at, seq) once, when the cursor reaches them.  Events scheduled into
+/// Bucketed calendar queue: a ring of FIFO buckets (each covering
+/// 2^bucket_width_log2 ticks), a configurable stack of coarse hierarchical
+/// wheels above the ring, and a far-future overflow heap on top.  Pushing
+/// an event inside the ring horizon is an O(1) append; buckets are sorted
+/// by (at, seq) once, when the cursor reaches them.  Events scheduled into
 /// the bucket currently being drained (the zero/short-delay pattern the
 /// network layer hammers) are placed by binary search among the not-yet-
 /// dispatched remainder, preserving the exact total order of the heap.
+///
+/// Coarse wheel k (k = 0..levels-1) slices time into blocks of
+/// bucket_count * coarse_slot_count^k ring slots and admits events inside
+/// a sliding window of coarse_slot_count such blocks.  A wheel slot is
+/// poured into the tiers below exactly when the cursor enters its
+/// (aligned) block, so events cascade ring-ward without ever being
+/// re-sorted: the final dispatch order is still decided by the in-bucket
+/// (at, seq) sort.  Only events beyond the top wheel's window — with the
+/// default geometry, further than ~0.27 s ahead — pay the O(log n)
+/// overflow heap, which is what keeps multi-second horizons (flow finish
+/// times, repair timers) from thrashing the heap on every reschedule.
 class BucketCalendar {
  public:
+  explicit BucketCalendar(const CalendarOptions& opts);
+
   void push(Event&& ev);
   Event pop() {
     Event* front = ensure_front();
     Event ev = std::move(*front);
     pos_ += 1;
     size_ -= 1;
+    ring_count_ -= 1;
     return ev;
   }
   /// Valid until the next push/pop.  Non-const: advancing to the next
@@ -194,21 +226,33 @@ class BucketCalendar {
   u64 size() const { return size_; }
 
  private:
-  // 1024 buckets x 64 ns cover a 67 us horizon: link serialization and
-  // propagation delays (hundreds of ns) land in the ring, while timeout
-  // and monitor-period events (hundreds of us) take the overflow heap.
-  static constexpr u64 kBucketWidthLog2 = 16;  ///< 2^16 ps = 65.5 ns
-  static constexpr u64 kBucketWidth = u64{1} << kBucketWidthLog2;
-  static constexpr u64 kBuckets = 1024;  ///< power of two (mask below)
-
-  static u64 slot_of(SimTime at) { return at >> kBucketWidthLog2; }
-  static u64 ring_index(u64 slot) { return slot & (kBuckets - 1); }
+  u64 slot_of(SimTime at) const { return at >> width_log2_; }
+  u64 ring_index(u64 slot) const { return slot & ring_mask_; }
 
   Event* ensure_front();
-  void advance_horizon();
+  /// Routes an event (relative to cur_slot_) into the ring, the lowest
+  /// admitting coarse wheel, or the overflow heap.  Does not touch size_.
+  void place(Event&& ev);
+  /// Moves the cursor to new_slot, pouring every coarse-wheel slot whose
+  /// block the cursor just entered (top level first, so poured events
+  /// settle through lower tiers) and pulling newly-admissible far events.
+  void advance_cursor(u64 new_slot);
+  void pull_far();
 
-  std::vector<Event> ring_[kBuckets];
-  std::vector<Event> far_;  ///< Later{}-heap of events beyond the horizon
+  // Geometry (fixed at construction; see CalendarOptions).
+  u32 width_log2_;
+  u64 ring_buckets_;
+  u64 ring_mask_;
+  u64 wheel_slots_;
+  u64 wheel_mask_;
+  u32 levels_;
+  std::vector<u32> shift_;  ///< per-level block size in log2 ring slots
+
+  std::vector<std::vector<Event>> ring_;
+  std::vector<std::vector<std::vector<Event>>> wheels_;  ///< [level][slot]
+  std::vector<u64> wheel_count_;  ///< events resident per wheel level
+  std::vector<Event> far_;  ///< Later{}-heap of events beyond every wheel
+  u64 ring_count_ = 0;      ///< events resident in the ring
   u64 cur_slot_ = 0;        ///< time slot the cursor is draining
   std::size_t pos_ = 0;     ///< dispatch position within the current bucket
   bool sorted_ = false;     ///< current bucket sorted and being drained
@@ -227,12 +271,14 @@ enum class CalendarKind : u8 {
 
 class Simulator {
  public:
-  explicit Simulator(CalendarKind kind = CalendarKind::kBucketed)
-      : kind_(kind) {}
+  explicit Simulator(CalendarKind kind = CalendarKind::kBucketed,
+                     const CalendarOptions& opts = {})
+      : kind_(kind), opts_(opts), bucket_(opts) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   CalendarKind calendar_kind() const { return kind_; }
+  const CalendarOptions& calendar_options() const { return opts_; }
 
   /// Current simulated time.  Valid inside event callbacks and after run().
   SimTime now() const { return now_; }
@@ -299,6 +345,7 @@ class Simulator {
   }
 
   CalendarKind kind_;
+  CalendarOptions opts_;
   detail::HeapCalendar heap_;
   detail::BucketCalendar bucket_;
   SimTime now_ = 0;

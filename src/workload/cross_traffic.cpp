@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/packet.hpp"
+#include "net/flow.hpp"
 
 namespace flare::workload {
 
@@ -30,6 +31,21 @@ void CrossTrafficInjector::arm_packet(SimTime at, u32 src_host, u32 dst_host,
   });
   packets_armed_ += 1;
   bytes_armed_ += wire;
+}
+
+void CrossTrafficInjector::arm_flow(SimTime at, u32 src_host, u32 dst_host,
+                                    u64 bytes, u64 n_pkts, f64 rate_cap_bps,
+                                    u64 flow, u32 trace) {
+  net::FlowSpec fs;
+  fs.src_host = src_host;
+  fs.dst_host = dst_host;
+  fs.bytes = bytes;
+  fs.flow_label = flow;
+  fs.trace = trace;
+  fs.rate_cap_bps = rate_cap_bps;
+  net_.flows().start_flow_at(at, std::move(fs));
+  packets_armed_ += n_pkts;
+  bytes_armed_ += bytes;
 }
 
 void CrossTrafficInjector::arm() {
@@ -65,12 +81,26 @@ void CrossTrafficInjector::arm() {
     const u32 trace = net_.alloc_trace_id();
     trace_ids_.push_back(trace);
     // Alternate exponential ON bursts and OFF gaps across the horizon.
+    // Both modes walk the SAME schedule: n paced packets per burst in
+    // packet mode, one flow of the burst's n x wire bytes capped at the
+    // pacing rate in flow mode.  Either way t advances by n * gap_ps, so
+    // burst boundaries (and every later RNG draw) match exactly.
+    const u64 wire = spec_.packet_bytes + core::kPacketWireOverhead;
     SimTime t = spec_.start_ps;
     while (t < spec_.horizon_ps) {
       const SimTime on_len = static_cast<SimTime>(
           rng.exponential(static_cast<f64>(spec_.mean_on_ps)));
       const SimTime on_end = std::min(spec_.horizon_ps, t + on_len);
-      for (; t < on_end; t += gap_ps) arm_packet(t, src, dst, flow, trace);
+      if (spec_.flow_mode) {
+        const u64 n = t < on_end ? (on_end - t + gap_ps - 1) / gap_ps : 0;
+        if (n > 0) {
+          arm_flow(t, src, dst, n * wire, n, spec_.flow_rate_bps, flow,
+                   trace);
+        }
+        t += n * gap_ps;
+      } else {
+        for (; t < on_end; t += gap_ps) arm_packet(t, src, dst, flow, trace);
+      }
       t = std::max(t, on_end) +
           static_cast<SimTime>(
               rng.exponential(static_cast<f64>(spec_.mean_off_ps)));
@@ -92,16 +122,37 @@ void CrossTrafficInjector::arm() {
     // storage/shuffle event, so its heat is attributed as one tenant.
     const u32 trace = net_.alloc_trace_id();
     trace_ids_.push_back(trace);
+    const u64 wire = spec_.packet_bytes + core::kPacketWireOverhead;
     for (u32 s = 0; s < fanin; ++s) {
       u32 sender;
       do {
         sender = static_cast<u32>(rng.uniform_u64(hosts));
       } while (sender == victim);
       const u64 flow = derive_seed(spec_.seed, 0x1CA57000ull + b * 64 + s);
-      // Back to back: the sender's NIC serializes the burst contiguously;
-      // all of it lands on the victim's access link at once.
-      for (u64 p = 0; p < packets; ++p)
-        arm_packet(at, sender, victim, flow, trace);
+      // A sender whose NIC is dark at plan time can never serialize a
+      // byte: arming its per-packet events only bloats the calendar (at
+      // 10k hosts an incast burst is thousands of events).  Skip at plan
+      // time, but keep the PLANNED totals so chaos runs compare like for
+      // like; the skip is visible in its own counters.
+      if (!net_.port_usable(net_.hosts()[sender]->id(), 0)) {
+        packets_armed_ += packets;
+        bytes_armed_ += packets * wire;
+        senders_skipped_ += 1;
+        packets_skipped_ += packets;
+        continue;
+      }
+      if (spec_.flow_mode) {
+        // Uncapped: the NIC line rate is the only limit, as back-to-back
+        // packet serialization would be.
+        arm_flow(at, sender, victim, packets * wire, packets, 0.0, flow,
+                 trace);
+      } else {
+        // Back to back: the sender's NIC serializes the burst
+        // contiguously; all of it lands on the victim's access link at
+        // once.
+        for (u64 p = 0; p < packets; ++p)
+          arm_packet(at, sender, victim, flow, trace);
+      }
     }
   }
 }

@@ -41,6 +41,15 @@ struct CrossTrafficSpec {
   SimTime start_ps = 0;
   SimTime horizon_ps = 200 * kPsPerUs;  ///< no emission past this time
   u64 seed = 1;
+  /// Emit each ON burst / incast sender as ONE fluid flow (net/flow.hpp)
+  /// instead of per-packet calendar events — the scale plane's switch.
+  /// The seeded schedule is IDENTICAL either way (same RNG consumption,
+  /// same endpoints, instants, labels, traces, and armed byte totals);
+  /// only the mechanism changes: an ON burst becomes a flow of the
+  /// burst's bytes capped at flow_rate_bps, an incast sender an uncapped
+  /// flow of its buffer.  A flow started before horizon_ps may deliver
+  /// its tail past it (packets stop exactly at the horizon).
+  bool flow_mode = false;
   /// Explicit flow endpoints as host indices (into net.hosts()); drawn
   /// uniformly (distinct src/dst) when empty.  Benches use this to aim
   /// congestion at specific leaf/spine links.
@@ -69,8 +78,16 @@ class CrossTrafficInjector {
   /// scope before the calendar runs.
   void arm();
 
+  /// Planned emission totals — the SAME whether emissions were armed,
+  /// carried by flows, or skipped for dead senders, so A/B runs and
+  /// chaos runs compare like for like.
   u64 packets_armed() const { return packets_armed_; }
   u64 bytes_armed() const { return bytes_armed_; }
+  /// Incast senders whose NIC was dark at plan time: their emissions are
+  /// skipped (they could never serialize — arming them only bloated the
+  /// calendar) but still counted in the planned totals above.
+  u64 incast_senders_skipped() const { return senders_skipped_; }
+  u64 packets_skipped() const { return packets_skipped_; }
 
   /// Attribution trace ids allocated at arm() time: one per on/off flow
   /// (index-parallel to the flows), then one per incast burst.  Lets tests
@@ -81,11 +98,17 @@ class CrossTrafficInjector {
  private:
   void arm_packet(SimTime at, u32 src_host, u32 dst_host, u64 flow,
                   u32 trace);
+  /// Flow-mode counterpart: one fluid flow covering `n_pkts` planned
+  /// packets of the schedule (books the identical armed totals).
+  void arm_flow(SimTime at, u32 src_host, u32 dst_host, u64 bytes,
+                u64 n_pkts, f64 rate_cap_bps, u64 flow, u32 trace);
 
   net::Network& net_;
   CrossTrafficSpec spec_;
   u64 packets_armed_ = 0;
   u64 bytes_armed_ = 0;
+  u64 senders_skipped_ = 0;
+  u64 packets_skipped_ = 0;
   std::vector<u32> trace_ids_;
 };
 

@@ -49,9 +49,10 @@ SimTime random_delay(Rng& rng) {
 
 /// Static storm: pre-schedule `n` events (no rescheduling), run to empty,
 /// return the dispatch trace.
-std::vector<TraceEntry> static_storm(CalendarKind kind, u64 seed, u64 n) {
+std::vector<TraceEntry> static_storm(CalendarKind kind, u64 seed, u64 n,
+                                     const CalendarOptions& opts = {}) {
   Rng rng(seed);
-  Simulator sim(kind);
+  Simulator sim(kind, opts);
   std::vector<TraceEntry> trace;
   trace.reserve(n);
   for (u64 id = 0; id < n; ++id) {
@@ -68,10 +69,11 @@ std::vector<TraceEntry> static_storm(CalendarKind kind, u64 seed, u64 n) {
 /// backend's own Rng stream, seeded identically), exercising insertion
 /// into the currently-draining bucket.
 std::vector<TraceEntry> cascade_storm(CalendarKind kind, u64 seed, u64 roots,
-                                      u64 budget) {
+                                      u64 budget,
+                                      const CalendarOptions& opts = {}) {
   auto rng = std::make_shared<Rng>(seed);
   auto remaining = std::make_shared<u64>(budget);
-  Simulator sim(kind);
+  Simulator sim(kind, opts);
   std::vector<TraceEntry> trace;
   u64 next_id = 0;
 
@@ -103,9 +105,10 @@ struct WindowedResult {
   bool operator==(const WindowedResult&) const = default;
 };
 
-WindowedResult windowed_storm(CalendarKind kind, u64 seed, u64 n) {
+WindowedResult windowed_storm(CalendarKind kind, u64 seed, u64 n,
+                              const CalendarOptions& opts = {}) {
   Rng rng(seed);
-  Simulator sim(kind);
+  Simulator sim(kind, opts);
   WindowedResult r;
   for (u64 id = 0; id < n; ++id) {
     const SimTime at = random_delay(rng);
@@ -203,6 +206,124 @@ TEST(CalendarProperty, StopAgreesAcrossBackends) {
     EXPECT_EQ(order.size(), 10u);
     EXPECT_EQ(sim.now(), 9000u);
   }
+}
+
+// ------------------------------------------------ geometry sweep --------
+//
+// CalendarOptions geometries chosen to stress every tier boundary: a tiny
+// ring that pushes most events into the wheels, deep wheel stacks, a
+// single coarse level, and levels=0 (ring + far heap only — the
+// pre-hierarchy shape).  Every geometry must dispatch the identical total
+// order the binary heap does.
+const CalendarOptions kGeometries[] = {
+    {},                // the default: 1024 x 2^16, two 64-slot levels
+    {64, 12, 8, 3},    // tiny ring, three shallow wheels
+    {256, 14, 16, 1},  // one coarse level only
+    {1024, 16, 64, 0}, // no wheels: ring + far heap
+    {4, 4, 2, 4},      // pathological: everything overflows somewhere
+};
+
+TEST(CalendarProperty, GeometriesMatchHeapOnStaticStorms) {
+  for (const CalendarOptions& g : kGeometries) {
+    for (u64 seed = 30; seed <= 32; ++seed) {
+      EXPECT_EQ(static_storm(CalendarKind::kBucketed, seed, 500, g),
+                static_storm(CalendarKind::kBinaryHeap, seed, 500))
+          << "buckets=" << g.bucket_count << " width=" << g.bucket_width_log2
+          << " slots=" << g.coarse_slot_count << " levels=" << g.coarse_levels
+          << " seed=" << seed;
+    }
+  }
+}
+
+TEST(CalendarProperty, GeometriesMatchHeapOnCascadingStorms) {
+  for (const CalendarOptions& g : kGeometries) {
+    const auto bucket = cascade_storm(CalendarKind::kBucketed, 40, 64, 2000, g);
+    const auto heap = cascade_storm(CalendarKind::kBinaryHeap, 40, 64, 2000);
+    ASSERT_GT(heap.size(), 64u);
+    EXPECT_EQ(bucket, heap)
+        << "buckets=" << g.bucket_count << " levels=" << g.coarse_levels;
+  }
+}
+
+TEST(CalendarProperty, GeometriesMatchHeapOnRunUntilWindows) {
+  for (const CalendarOptions& g : kGeometries) {
+    EXPECT_EQ(windowed_storm(CalendarKind::kBucketed, 50, 400, g),
+              windowed_storm(CalendarKind::kBinaryHeap, 50, 400))
+        << "buckets=" << g.bucket_count << " levels=" << g.coarse_levels;
+  }
+}
+
+/// Far-future storm spanning MULTIPLE coarse wheels: with a 64-bucket 2^12
+/// ring and 8-slot wheels, level k covers 64*8^k buckets — delays up to
+/// 2^40 ps populate every wheel level AND the far heap at once, and the
+/// stable-sort model must still hold exactly.
+TEST(CalendarProperty, FarFutureStormSpansMultipleCoarseWheels) {
+  const CalendarOptions g{64, 12, 8, 3};
+  for (u64 seed = 60; seed <= 62; ++seed) {
+    Rng rng(seed);
+    std::vector<TraceEntry> expect;
+    for (u64 id = 0; id < 600; ++id) {
+      // Mix block-boundary-straddling delays (exact multiples of wheel
+      // block widths +- 1) with uniform far-future spreads.
+      SimTime at;
+      switch (rng.uniform_u64(4)) {
+        case 0: {
+          const u64 block = u64{1} << (12 + 6 + 3 * (rng.uniform_u64(3) + 1));
+          at = block * (1 + rng.uniform_u64(4)) + rng.uniform_u64(3) - 1;
+          break;
+        }
+        case 1: at = rng.uniform_u64(u64{1} << 18); break;  // ring
+        default: at = rng.uniform_u64(u64{1} << 40); break; // anywhere
+      }
+      expect.push_back({at, id});
+    }
+    Simulator sim(CalendarKind::kBucketed, g);
+    std::vector<TraceEntry> trace;
+    for (const TraceEntry& e : expect) {
+      sim.schedule_at(e.at, [&trace, &sim, id = e.id] {
+        trace.push_back({sim.now(), id});
+      });
+    }
+    std::stable_sort(
+        expect.begin(), expect.end(),
+        [](const TraceEntry& a, const TraceEntry& b) { return a.at < b.at; });
+    sim.run();
+    EXPECT_EQ(trace, expect) << "seed=" << seed;
+  }
+}
+
+/// stop() agreement across geometries: cutting a run short mid-bucket must
+/// leave the same clock and the same dispatched prefix of the stable-sort
+/// model on every geometry.
+TEST(CalendarProperty, StopAgreesAcrossGeometries) {
+  for (const CalendarOptions& g : kGeometries) {
+    Simulator sim(CalendarKind::kBucketed, g);
+    std::vector<u64> order;
+    for (u64 id = 0; id < 10; ++id) {
+      sim.schedule_at(id * 100000, [&, id] {
+        order.push_back(id);
+        if (id == 4) sim.stop();
+      });
+    }
+    sim.run_until(800000);
+    EXPECT_EQ(order.size(), 5u) << "buckets=" << g.bucket_count;
+    EXPECT_EQ(sim.now(), 400000u);
+    sim.run();
+    EXPECT_EQ(order.size(), 10u);
+    EXPECT_EQ(sim.now(), 900000u);
+  }
+}
+
+TEST(CalendarPropertyDeathTest, RejectsNonPowerOfTwoGeometry) {
+  EXPECT_DEATH(Simulator(CalendarKind::kBucketed,
+                         CalendarOptions{1000, 16, 64, 2}),
+               "bucket_count");
+  EXPECT_DEATH(Simulator(CalendarKind::kBucketed,
+                         CalendarOptions{1024, 16, 63, 2}),
+               "coarse_slot_count");
+  EXPECT_DEATH(Simulator(CalendarKind::kBucketed,
+                         CalendarOptions{1024, 0, 64, 2}),
+               "bucket_width_log2");
 }
 
 /// The far-future overflow path alone: everything beyond the ring horizon,

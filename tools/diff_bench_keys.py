@@ -24,6 +24,11 @@ Usage:
 import json
 import sys
 
+# Keys that are purely informational: present or absent, never an error,
+# values never compared.  peak_rss_bytes is appended by JsonReport::emit()
+# on every bench and varies with allocator/machine.
+INFORMATIONAL_KEYS = {"peak_rss_bytes"}
+
 
 def extract_report(path):
     stream = sys.stdin if path == "-" else open(path, "r", encoding="utf-8")
@@ -46,8 +51,8 @@ def main():
     current = extract_report(output_path)
 
     errors = []
-    missing = sorted(set(baseline) - set(current))
-    added = sorted(set(current) - set(baseline))
+    missing = sorted(set(baseline) - set(current) - INFORMATIONAL_KEYS)
+    added = sorted(set(current) - set(baseline) - INFORMATIONAL_KEYS)
     if missing:
         errors.append(f"keys dropped from the report: {missing}")
     if added:

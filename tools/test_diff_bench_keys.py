@@ -68,6 +68,19 @@ class KeySetContract(unittest.TestCase):
             '{"bench": "demo", "elapsed_s": 99.0, "deterministic": true}'))
         self.assertEqual(p.returncode, 0, p.stderr)
 
+    def test_peak_rss_is_informational(self):
+        # JsonReport::emit() appends peak_rss_bytes to every report; its
+        # presence (or absence from an old baseline) never fails the diff.
+        p = run_diff(BASELINE, capture(
+            '{"bench": "demo", "elapsed_s": 1.0, "deterministic": true,'
+            ' "peak_rss_bytes": 123456789}'))
+        self.assertEqual(p.returncode, 0, p.stderr)
+        base = ('{"bench": "demo", "elapsed_s": 1.5, "deterministic": true,'
+                ' "peak_rss_bytes": 1}\n')
+        p = run_diff(base, capture(
+            '{"bench": "demo", "elapsed_s": 1.0, "deterministic": true}'))
+        self.assertEqual(p.returncode, 0, p.stderr)
+
 
 class BooleanGates(unittest.TestCase):
     def test_flipped_gate_fails(self):
